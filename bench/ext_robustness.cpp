@@ -1,0 +1,84 @@
+// Extension: schedule robustness under execution-time jitter.
+//
+// The paper evaluates nominal makespans only; a deployed system sees
+// per-frame variation. This bench Monte-Carlo-replays the PA, PA-R and
+// IS-5 schedules through the discrete-event simulator with multiplicative
+// task/reconfiguration jitter and reports the mean and 95th-percentile
+// stretch (simulated / nominal makespan) per algorithm.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "sim/executor.hpp"
+
+using namespace resched;
+using namespace resched::bench;
+
+namespace {
+
+struct Robustness {
+  RunningStat stretch;
+  std::vector<double> samples;
+};
+
+void Sample(const Instance& instance, const Schedule& schedule,
+            double jitter, std::size_t trials, Robustness& out) {
+  for (std::size_t i = 0; i < trials; ++i) {
+    sim::SimOptions opt;
+    opt.task_jitter = jitter;
+    opt.reconf_jitter = jitter;
+    opt.seed = HashCombine(0x5EED, i);
+    const sim::SimResult r = sim::Simulate(instance, schedule, opt);
+    out.stretch.Add(r.stretch);
+    out.samples.push_back(r.stretch);
+  }
+}
+
+}  // namespace
+
+int main() {
+  const BenchConfig config = LoadConfig();
+  const std::size_t n = 40;
+  const double jitter = 0.25;
+  const std::size_t trials = 50;
+
+  std::cout << "=== Extension: robustness under ±25% execution-time jitter "
+               "(n=" << n << ", " << trials << " trials/instance, suite "
+               "scale " << config.scale << ") ===\n";
+  PrintRow({"algorithm", "mean stretch", "p95 stretch"});
+
+  Robustness pa_r, par_r, is5_r;
+  for (const Instance& instance : Group(config, n)) {
+    const Schedule pa = SchedulePa(instance);
+    Sample(instance, pa, jitter, trials, pa_r);
+
+    PaROptions par_opt;
+    par_opt.time_budget_seconds = 0.2 * config.scale + 0.05;
+    par_opt.seed = 11;
+    const PaRResult par = SchedulePaR(instance, par_opt);
+    Sample(instance, par.best, jitter, trials, par_r);
+
+    IskOptions is5;
+    is5.k = 5;
+    is5.node_budget = config.is5_node_budget;
+    const Schedule is = ScheduleIsk(instance, is5);
+    Sample(instance, is, jitter, trials, is5_r);
+  }
+
+  std::vector<std::vector<std::string>> csv_rows;
+  auto report = [&](const char* name, Robustness& r) {
+    const double p95 = Percentile(r.samples, 95.0);
+    PrintRow({name, StrFormat("%.3f", r.stretch.Mean()),
+              StrFormat("%.3f", p95)});
+    csv_rows.push_back({name, StrFormat("%.4f", r.stretch.Mean()),
+                        StrFormat("%.4f", p95)});
+  };
+  report("PA", pa_r);
+  report("PA-R", par_r);
+  report("IS-5", is5_r);
+
+  WriteCsv(config, "ext_robustness",
+           {"algorithm", "mean_stretch", "p95_stretch"}, csv_rows);
+  std::cout << "\nStretch < 1 means the event-driven replay compacts "
+               "schedule slack faster than jitter consumes it.\n";
+  return 0;
+}

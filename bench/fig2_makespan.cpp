@@ -1,0 +1,43 @@
+// Figure 2 — "Comparison between solutions": average schedule makespan per
+// suite group for PA, PA-R, IS-1 and IS-5. PA-R runs with the measured
+// IS-5 time as its budget (the paper's protocol).
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace resched;
+using namespace resched::bench;
+
+int main() {
+  const BenchConfig config = LoadConfig();
+  std::cout << "=== Figure 2: average schedule makespan [ms] (suite scale "
+            << config.scale << ") ===\n";
+  PrintRow({"#tasks", "PA", "PA-R", "IS-1", "IS-5"});
+
+  std::vector<std::vector<std::string>> csv_rows;
+  for (const std::size_t n : config.group_sizes) {
+    ComparisonSelect select;
+    select.pa = select.par = select.is1 = select.is5 = true;
+    const auto rows = RunComparison(config, n, select);
+
+    RunningStat pa, par, is1, is5;
+    for (const ComparisonRow& row : rows) {
+      pa.Add(static_cast<double>(row.pa_makespan) / 1e3);
+      par.Add(static_cast<double>(row.par_makespan) / 1e3);
+      is1.Add(static_cast<double>(row.is1_makespan) / 1e3);
+      is5.Add(static_cast<double>(row.is5_makespan) / 1e3);
+    }
+    PrintRow({std::to_string(n), StrFormat("%.2f", pa.Mean()),
+              StrFormat("%.2f", par.Mean()), StrFormat("%.2f", is1.Mean()),
+              StrFormat("%.2f", is5.Mean())});
+    csv_rows.push_back(
+        {std::to_string(n), StrFormat("%.3f", pa.Mean()),
+         StrFormat("%.3f", par.Mean()), StrFormat("%.3f", is1.Mean()),
+         StrFormat("%.3f", is5.Mean())});
+  }
+  WriteCsv(config, "fig2_makespan",
+           {"num_tasks", "pa_ms", "par_ms", "is1_ms", "is5_ms"}, csv_rows);
+  std::cout << "\nPaper shape check: PA/PA-R curves should sit below IS-1 "
+               "and (for >= 20 tasks) below IS-5.\n";
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Design-space exploration: how do core count and reconfiguration
+// throughput affect the achievable makespan? This drives the library the
+// way a system designer would during platform sizing, and also shows the
+// PA-R convergence trace API (the data behind the paper's Figure 6).
+//
+// Usage: design_explorer [num_tasks] [seed] [par_budget_seconds]
+#include <cstdlib>
+#include <iostream>
+
+#include "arch/zynq.hpp"
+#include "core/pa_scheduler.hpp"
+#include "core/randomized.hpp"
+#include "sched/validator.hpp"
+#include "taskgraph/generator.hpp"
+#include "util/string_util.hpp"
+
+using namespace resched;
+
+int main(int argc, char** argv) {
+  const std::size_t num_tasks =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 40;
+  const std::uint64_t seed =
+      argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 99;
+  const double budget = argc > 3 ? std::atof(argv[3]) : 1.0;
+
+  GeneratorOptions gen;
+  gen.num_tasks = num_tasks;
+
+  // ---- sweep 1: processor count (FPGA fixed at XC7Z020).
+  std::cout << "== Core-count sweep (PA, XC7Z020) ==\n";
+  std::cout << StrFormat("%8s %14s %8s %12s\n", "cores", "makespan", "#HW",
+                         "#regions");
+  for (std::size_t cores = 1; cores <= 4; ++cores) {
+    const Platform platform =
+        Platform("sweep", cores, MakeXc7z020(), 1.024e9);
+    const Instance instance =
+        GenerateInstance(platform, gen, seed, "sweep_cores");
+    const Schedule s = SchedulePa(instance);
+    RESCHED_CHECK(ValidateSchedule(instance, s).ok());
+    std::cout << StrFormat("%8zu %14s %8zu %12zu\n", cores,
+                           FormatTicks(s.makespan).c_str(),
+                           s.NumHardwareTasks(), s.regions.size());
+  }
+
+  // ---- sweep 2: reconfiguration throughput.
+  std::cout << "\n== Reconfiguration-throughput sweep (PA, 2 cores) ==\n";
+  std::cout << StrFormat("%12s %14s %14s\n", "recFreq MB/s", "makespan",
+                         "reconf total");
+  for (const double mbps : {16.0, 32.0, 64.0, 128.0, 256.0, 400.0}) {
+    const Platform platform = MakeZedBoard(mbps * 8e6);
+    const Instance instance =
+        GenerateInstance(platform, gen, seed, "sweep_icap");
+    const Schedule s = SchedulePa(instance);
+    RESCHED_CHECK(ValidateSchedule(instance, s).ok());
+    std::cout << StrFormat("%12.0f %14s %14s\n", mbps,
+                           FormatTicks(s.makespan).c_str(),
+                           FormatTicks(s.TotalReconfigurationTime()).c_str());
+  }
+
+  // ---- PA-R convergence trace on the default platform.
+  std::cout << "\n== PA-R convergence (budget " << budget << " s) ==\n";
+  const Instance instance =
+      GenerateInstance(MakeZedBoard(), gen, seed, "par_trace");
+  PaROptions par;
+  par.time_budget_seconds = budget;
+  par.seed = seed;
+  par.record_trace = true;
+  const PaRResult result = SchedulePaR(instance, par);
+  std::cout << StrFormat("%12s %14s %10s\n", "seconds", "makespan", "iter");
+  for (const TracePoint& p : result.trace) {
+    std::cout << StrFormat("%12.4f %14s %10zu\n", p.seconds,
+                           FormatTicks(p.makespan).c_str(), p.iteration);
+  }
+  std::cout << result.iterations << " iterations total; best "
+            << (result.found ? FormatTicks(result.best.makespan) : "n/a")
+            << "\n";
+  return 0;
+}

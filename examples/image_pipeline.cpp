@@ -1,0 +1,161 @@
+// A realistic domain scenario: an image-processing pipeline (the kind of
+// hardware/software co-designed application the paper's introduction
+// motivates) scheduled on the ZedBoard.
+//
+// The pipeline: capture -> demosaic -> {denoise, resize} -> Sobel X/Y ->
+// gradient magnitude -> {Harris corners, histogram} -> feature overlay ->
+// encode -> transmit. Per-frame execution times and HLS-style
+// time/resource Pareto implementations are modelled after typical HD
+// (1080p) figures. The example compares PA, PA-R and IS-1 and saves the
+// instance as JSON so it can be re-loaded with io/instance_io.hpp.
+#include <iostream>
+
+#include "arch/zynq.hpp"
+#include "baseline/isk_scheduler.hpp"
+#include "core/pa_scheduler.hpp"
+#include "core/randomized.hpp"
+#include "io/instance_io.hpp"
+#include "sched/gantt.hpp"
+#include "sched/validator.hpp"
+#include "util/string_util.hpp"
+
+using namespace resched;
+
+namespace {
+
+Implementation Sw(TimeT us) {
+  Implementation impl;
+  impl.kind = ImplKind::kSoftware;
+  impl.name = "sw";
+  impl.exec_time = us;
+  return impl;
+}
+
+Implementation Hw(const char* name, TimeT us, std::int64_t clb,
+                  std::int64_t bram, std::int64_t dsp) {
+  Implementation impl;
+  impl.kind = ImplKind::kHardware;
+  impl.name = name;
+  impl.exec_time = us;
+  impl.res = ResourceVec({clb, bram, dsp});
+  return impl;
+}
+
+Instance MakeImagePipeline() {
+  TaskGraph g;
+  const TaskId capture = g.AddTask("capture");
+  const TaskId demosaic = g.AddTask("demosaic");
+  const TaskId denoise = g.AddTask("denoise");
+  const TaskId resize = g.AddTask("resize");
+  const TaskId sobel_x = g.AddTask("sobel_x");
+  const TaskId sobel_y = g.AddTask("sobel_y");
+  const TaskId grad_mag = g.AddTask("grad_mag");
+  const TaskId harris = g.AddTask("harris");
+  const TaskId histogram = g.AddTask("histogram");
+  const TaskId overlay = g.AddTask("overlay");
+  const TaskId encode = g.AddTask("encode");
+  const TaskId transmit = g.AddTask("transmit");
+
+  g.AddEdge(capture, demosaic);
+  g.AddEdge(demosaic, denoise);
+  g.AddEdge(demosaic, resize);
+  g.AddEdge(denoise, sobel_x);
+  g.AddEdge(denoise, sobel_y);
+  g.AddEdge(sobel_x, grad_mag);
+  g.AddEdge(sobel_y, grad_mag);
+  g.AddEdge(grad_mag, harris);
+  g.AddEdge(resize, histogram);
+  g.AddEdge(harris, overlay);
+  g.AddEdge(histogram, overlay);
+  g.AddEdge(overlay, encode);
+  g.AddEdge(encode, transmit);
+
+  // I/O-bound endpoints stay in software.
+  g.AddImpl(capture, Sw(1500));
+  g.AddImpl(transmit, Sw(1800));
+
+  // Compute stages: software plus unrolling-factor HW variants.
+  g.AddImpl(demosaic, Sw(21000));
+  g.AddImpl(demosaic, Hw("x4", 2600, 2400, 16, 12));
+  g.AddImpl(demosaic, Hw("x2", 4400, 1300, 10, 6));
+  g.AddImpl(demosaic, Hw("x1", 8100, 700, 6, 3));
+
+  g.AddImpl(denoise, Sw(30000));
+  g.AddImpl(denoise, Hw("nlm", 3600, 3100, 24, 20));
+  g.AddImpl(denoise, Hw("bilateral", 6200, 1500, 12, 10));
+  g.AddImpl(denoise, Hw("gauss", 10500, 650, 6, 4));
+
+  g.AddImpl(resize, Sw(9000));
+  g.AddImpl(resize, Hw("bicubic", 1900, 1100, 8, 14));
+  g.AddImpl(resize, Hw("bilinear", 3300, 450, 4, 6));
+
+  g.AddImpl(sobel_x, Sw(12500));
+  g.AddImpl(sobel_x, Hw("wide", 1400, 1200, 6, 0));
+  g.AddImpl(sobel_x, Hw("narrow", 3100, 420, 3, 0));
+
+  g.AddImpl(sobel_y, Sw(12500));
+  g.AddImpl(sobel_y, Hw("wide", 1400, 1200, 6, 0));
+  g.AddImpl(sobel_y, Hw("narrow", 3100, 420, 3, 0));
+
+  g.AddImpl(grad_mag, Sw(8000));
+  g.AddImpl(grad_mag, Hw("cordic", 1100, 800, 2, 8));
+  g.AddImpl(grad_mag, Hw("lut", 2300, 350, 4, 0));
+
+  g.AddImpl(harris, Sw(26000));
+  g.AddImpl(harris, Hw("x4", 3200, 2800, 18, 24));
+  g.AddImpl(harris, Hw("x1", 9800, 900, 8, 8));
+
+  g.AddImpl(histogram, Sw(5200));
+  g.AddImpl(histogram, Hw("hist", 1300, 380, 8, 0));
+
+  g.AddImpl(overlay, Sw(6400));
+  g.AddImpl(overlay, Hw("blend", 1600, 520, 4, 2));
+
+  g.AddImpl(encode, Sw(34000));
+  g.AddImpl(encode, Hw("mjpeg", 5200, 3300, 30, 26));
+  g.AddImpl(encode, Hw("mjpeg_lite", 11800, 1400, 14, 10));
+
+  return Instance{"image_pipeline", MakeZedBoard(), std::move(g)};
+}
+
+}  // namespace
+
+int main() {
+  const Instance instance = MakeImagePipeline();
+  std::cout << "Image pipeline: " << instance.graph.NumTasks()
+            << " stages on " << instance.platform.Name() << "\n\n";
+
+  const Schedule pa = SchedulePa(instance);
+  std::cout << ScheduleSummary(instance, pa) << "\n"
+            << "validator: " << ValidateSchedule(instance, pa).Summary()
+            << "\n\n";
+
+  PaROptions par_options;
+  par_options.time_budget_seconds = 0.5;
+  par_options.seed = 7;
+  const PaRResult par = SchedulePaR(instance, par_options);
+  if (par.found) {
+    std::cout << ScheduleSummary(instance, par.best) << " ("
+              << par.iterations << " iterations)\n"
+              << "validator: "
+              << ValidateSchedule(instance, par.best).Summary() << "\n\n";
+  }
+
+  IskOptions is1;
+  is1.k = 1;
+  const Schedule isk = ScheduleIsk(instance, is1);
+  std::cout << ScheduleSummary(instance, isk) << "\n"
+            << "validator: " << ValidateSchedule(instance, isk).Summary()
+            << "\n\n";
+
+  const Schedule& best =
+      par.found && par.best.makespan < pa.makespan ? par.best : pa;
+  std::cout << "Schedule detail (" << best.algorithm << "):\n"
+            << ScheduleTable(instance, best) << "\n"
+            << GanttChart(instance, best) << "\n";
+
+  // Persist the instance for reuse from other tools.
+  SaveInstance(instance, "image_pipeline.instance.json");
+  std::cout << "instance saved to image_pipeline.instance.json\n";
+  return 0;
+}

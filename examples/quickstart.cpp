@@ -1,0 +1,70 @@
+// Quickstart: generate a pseudo-random application, schedule it with the
+// deterministic PA scheduler and with PA-R, validate both results, and
+// print schedule summaries plus an ASCII Gantt chart.
+//
+// Usage: quickstart [num_tasks] [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "arch/zynq.hpp"
+#include "baseline/reference.hpp"
+#include "core/pa_scheduler.hpp"
+#include "core/randomized.hpp"
+#include "sched/gantt.hpp"
+#include "sched/validator.hpp"
+#include "taskgraph/generator.hpp"
+#include "util/string_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace resched;
+
+  const std::size_t num_tasks =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 20;
+  const std::uint64_t seed =
+      argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 42;
+
+  // 1. Target platform: the paper's ZedBoard (XC7Z020 + 2 ARM cores).
+  const Platform platform = MakeZedBoard();
+
+  // 2. Application: a synthetic task graph in the style of the paper's
+  //    benchmark suite (1 SW + 3 Pareto HW implementations per task).
+  GeneratorOptions gen;
+  gen.num_tasks = num_tasks;
+  const Instance instance =
+      GenerateInstance(platform, gen, seed, "quickstart");
+  std::cout << "Instance: " << instance.graph.NumTasks() << " tasks, "
+            << instance.graph.NumEdges() << " edges on "
+            << platform.Name() << "\n";
+  std::cout << "Critical-path lower bound: "
+            << FormatTicks(CriticalPathLowerBound(instance)) << "\n";
+  std::cout << "All-software reference:    "
+            << FormatTicks(ScheduleAllSoftware(instance).makespan) << "\n\n";
+
+  // 3. Deterministic PA run (fast, one shot).
+  const Schedule pa = SchedulePa(instance);
+  std::cout << ScheduleSummary(instance, pa) << "\n";
+  const ValidationResult pa_check = ValidateSchedule(instance, pa);
+  std::cout << "validator: " << pa_check.Summary() << "\n\n";
+
+  // 4. Randomized PA-R run with a 0.5 s budget.
+  PaROptions par_options;
+  par_options.time_budget_seconds = 0.5;
+  par_options.seed = seed;
+  const PaRResult par = SchedulePaR(instance, par_options);
+  if (par.found) {
+    std::cout << ScheduleSummary(instance, par.best) << " ("
+              << par.iterations << " iterations)\n";
+    const ValidationResult par_check = ValidateSchedule(instance, par.best);
+    std::cout << "validator: " << par_check.Summary() << "\n\n";
+  } else {
+    std::cout << "PA-R found no floorplan-feasible schedule in budget\n\n";
+  }
+
+  // 5. Gantt chart of the better schedule.
+  const Schedule& best =
+      par.found && par.best.makespan < pa.makespan ? par.best : pa;
+  std::cout << "Gantt (" << best.algorithm << "):\n"
+            << GanttChart(instance, best) << "\n";
+
+  return pa_check.ok() ? 0 : 1;
+}

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Plot the CSVs produced by the benchmark harness.
+
+Usage:
+    python3 scripts/plot_results.py [bench_results_dir] [out_dir]
+
+Reads the per-table/per-figure CSVs written by the binaries in
+`build/bench/` and emits PNG plots mirroring the paper's figures.
+Requires matplotlib; degrades to a clear error message without it.
+"""
+import csv
+import pathlib
+import sys
+
+
+def read_csv(path):
+    with open(path, newline="") as fh:
+        rows = list(csv.DictReader(fh))
+    return rows
+
+
+def main():
+    results = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else "bench_results")
+    out = pathlib.Path(sys.argv[2] if len(sys.argv) > 2 else "bench_results/plots")
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        sys.exit("matplotlib is required: pip install matplotlib")
+
+    out.mkdir(parents=True, exist_ok=True)
+
+    def save(fig, name):
+        path = out / f"{name}.png"
+        fig.savefig(path, dpi=150, bbox_inches="tight")
+        print(f"wrote {path}")
+
+    # ---- Figure 2: makespan curves.
+    path = results / "fig2_makespan.csv"
+    if path.exists():
+        rows = read_csv(path)
+        n = [int(r["num_tasks"]) for r in rows]
+        fig, ax = plt.subplots(figsize=(6, 4))
+        for key, label in [("pa_ms", "PA"), ("par_ms", "PA-R"),
+                           ("is1_ms", "IS-1"), ("is5_ms", "IS-5")]:
+            ax.plot(n, [float(r[key]) for r in rows], marker="o", label=label)
+        ax.set_xlabel("# tasks")
+        ax.set_ylabel("avg schedule makespan [ms]")
+        ax.set_title("Figure 2 — comparison between solutions")
+        ax.legend()
+        ax.grid(alpha=0.3)
+        save(fig, "fig2_makespan")
+
+    # ---- Figures 3-5: improvement bars with stddev.
+    for name, title in [
+        ("fig3_pa_vs_is1", "Figure 3 — PA improvement over IS-1"),
+        ("fig4_pa_vs_is5", "Figure 4 — PA improvement over IS-5"),
+        ("fig5_par_vs_is5", "Figure 5 — PA-R improvement over IS-5"),
+    ]:
+        path = results / f"{name}.csv"
+        if not path.exists():
+            continue
+        rows = read_csv(path)
+        n = [int(r["num_tasks"]) for r in rows]
+        mean = [float(r["improvement_pct"]) for r in rows]
+        std = [float(r["stddev_pct"]) for r in rows]
+        fig, ax = plt.subplots(figsize=(6, 4))
+        ax.bar([str(v) for v in n], mean, yerr=std, capsize=3)
+        ax.axhline(0, color="black", linewidth=0.8)
+        ax.set_xlabel("# tasks")
+        ax.set_ylabel("avg improvement [%]")
+        ax.set_title(title)
+        ax.grid(alpha=0.3, axis="y")
+        save(fig, name)
+
+    # ---- Figure 6: convergence traces.
+    path = results / "fig6_convergence.csv"
+    if path.exists():
+        rows = read_csv(path)
+        fig, ax = plt.subplots(figsize=(6, 4))
+        by_n = {}
+        for r in rows:
+            by_n.setdefault(int(r["num_tasks"]), []).append(
+                (float(r["seconds"]), int(r["best_makespan_us"]) / 1e3))
+        for n_tasks, points in sorted(by_n.items()):
+            points.sort()
+            xs = [p[0] for p in points]
+            ys = [p[1] for p in points]
+            ax.step(xs, ys, where="post", marker="o",
+                    label=f"{n_tasks} tasks")
+        ax.set_xlabel("time [s]")
+        ax.set_ylabel("best makespan [ms]")
+        ax.set_title("Figure 6 — PA-R solution improvement over time")
+        ax.legend()
+        ax.grid(alpha=0.3)
+        save(fig, "fig6_convergence")
+
+    # ---- Table I: runtime scaling.
+    path = results / "table1_runtime.csv"
+    if path.exists():
+        rows = read_csv(path)
+        n = [int(r["num_tasks"]) for r in rows]
+        fig, ax = plt.subplots(figsize=(6, 4))
+        for key, label in [("pa_total_s", "PA total"),
+                           ("pa_scheduling_s", "PA scheduling"),
+                           ("is1_s", "IS-1"), ("is5_s", "IS-5")]:
+            ax.plot(n, [float(r[key]) for r in rows], marker="o", label=label)
+        ax.set_yscale("log")
+        ax.set_xlabel("# tasks")
+        ax.set_ylabel("runtime [s] (log)")
+        ax.set_title("Table I — algorithm execution times")
+        ax.legend()
+        ax.grid(alpha=0.3)
+        save(fig, "table1_runtime")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#include "arch/device.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace resched {
+
+FpgaDevice::FpgaDevice(std::string name, ResourceModel model,
+                       FabricGeometry geometry)
+    : name_(std::move(name)),
+      model_(std::move(model)),
+      geometry_(std::move(geometry)) {
+  RESCHED_CHECK_MSG(geometry_.rows > 0, "fabric needs at least one row");
+  RESCHED_CHECK_MSG(!geometry_.columns.empty(), "fabric needs columns");
+  capacity_ = model_.ZeroVec();
+  for (const ColumnSpec& col : geometry_.columns) {
+    RESCHED_CHECK_MSG(col.kind < model_.NumKinds(),
+                      "column kind outside resource model");
+    RESCHED_CHECK_MSG(col.units_per_cell > 0, "column with no resources");
+    capacity_[col.kind] +=
+        col.units_per_cell * static_cast<std::int64_t>(geometry_.rows);
+  }
+}
+
+FabricGeometry BuildInterleavedFabric(
+    const ResourceModel& model, const ResourceVec& target,
+    const std::vector<std::int64_t>& units_per_cell, std::size_t rows) {
+  RESCHED_CHECK_MSG(target.size() == model.NumKinds(),
+                    "target arity mismatch");
+  RESCHED_CHECK_MSG(units_per_cell.size() == model.NumKinds(),
+                    "units_per_cell arity mismatch");
+  RESCHED_CHECK_MSG(rows > 0, "fabric needs at least one row");
+
+  // Column count per kind so that count * units_per_cell * rows ~= target.
+  std::vector<std::size_t> col_count(model.NumKinds());
+  std::size_t total_cols = 0;
+  for (std::size_t k = 0; k < model.NumKinds(); ++k) {
+    RESCHED_CHECK_MSG(units_per_cell[k] > 0, "units_per_cell must be positive");
+    const double per_col =
+        static_cast<double>(units_per_cell[k]) * static_cast<double>(rows);
+    col_count[k] = static_cast<std::size_t>(
+        std::max(1.0, std::round(static_cast<double>(target[k]) / per_col)));
+    total_cols += col_count[k];
+  }
+
+  // Interleave: spread the columns of each kind evenly over the die width so
+  // that any sufficiently wide rectangle sees a representative resource mix,
+  // as on a real device. We emit columns in order of "fractional position".
+  struct Pending {
+    double next_pos;
+    double stride;
+    ResourceKind kind;
+    std::size_t remaining;
+  };
+  std::vector<Pending> pending;
+  for (std::size_t k = 0; k < model.NumKinds(); ++k) {
+    const double stride =
+        static_cast<double>(total_cols) / static_cast<double>(col_count[k]);
+    pending.push_back(Pending{stride / 2.0, stride, k, col_count[k]});
+  }
+
+  FabricGeometry geom;
+  geom.rows = rows;
+  geom.columns.reserve(total_cols);
+  for (std::size_t emitted = 0; emitted < total_cols; ++emitted) {
+    // Pick the kind whose next scheduled position is earliest.
+    std::size_t best = pending.size();
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      if (pending[i].remaining == 0) continue;
+      if (best == pending.size() ||
+          pending[i].next_pos < pending[best].next_pos) {
+        best = i;
+      }
+    }
+    RESCHED_CHECK(best < pending.size());
+    geom.columns.push_back(
+        ColumnSpec{pending[best].kind, units_per_cell[pending[best].kind]});
+    pending[best].next_pos += pending[best].stride;
+    --pending[best].remaining;
+  }
+  return geom;
+}
+
+}  // namespace resched

@@ -1,0 +1,76 @@
+// FPGA device model: resource capacities plus the column-based fabric
+// geometry the floorplanner needs.
+//
+// Modern reconfigurable fabrics (Xilinx 7-series and later) are organized as
+// heterogeneous *columns* of a single resource kind, vertically divided into
+// *clock regions*. Pre-UltraScale partial-reconfiguration flows require a
+// reconfigurable region to span whole clock regions vertically, so the
+// floorplanning grid has one row per clock region and one column per fabric
+// column; a cell (column, row) contributes `units_per_cell` resources of the
+// column's kind.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/resource.hpp"
+
+namespace resched {
+
+/// One fabric column: its resource kind and units contributed per clock
+/// region (cell).
+struct ColumnSpec {
+  ResourceKind kind = 0;
+  std::int64_t units_per_cell = 0;
+};
+
+/// Column/row layout of the reconfigurable fabric.
+struct FabricGeometry {
+  std::size_t rows = 0;  ///< number of clock regions
+  std::vector<ColumnSpec> columns;
+
+  std::size_t NumColumns() const { return columns.size(); }
+};
+
+/// An FPGA device: named geometry + resource model.
+class FpgaDevice {
+ public:
+  FpgaDevice() = default;
+  FpgaDevice(std::string name, ResourceModel model, FabricGeometry geometry);
+
+  const std::string& Name() const { return name_; }
+  const ResourceModel& Model() const { return model_; }
+  const FabricGeometry& Geometry() const { return geometry_; }
+
+  /// Total per-kind capacity (maxRes_r), derived from the geometry so that
+  /// the scheduler's capacity checks and the floorplanner's grid can never
+  /// disagree.
+  const ResourceVec& Capacity() const { return capacity_; }
+
+  /// Eq. (1): estimated partial-bitstream size in bits for a region with
+  /// the given resource requirements.
+  double BitstreamBits(const ResourceVec& res) const {
+    return model_.BitstreamBits(res);
+  }
+
+ private:
+  std::string name_;
+  ResourceModel model_;
+  FabricGeometry geometry_;
+  ResourceVec capacity_;
+};
+
+/// Builds a synthetic fabric whose per-kind totals approximate `target`
+/// (exactly when divisible): columns of each kind are interleaved evenly
+/// across the die, mimicking the real 7-series column mix. Used both by the
+/// device presets and by tests that need devices of arbitrary size.
+///
+/// `units_per_cell` gives, per kind, the resources one column contributes in
+/// one clock region (e.g. 100 slice-equivalents for a CLB column, 10 BRAM,
+/// 20 DSP). Totals are rounded to the nearest achievable multiple.
+FabricGeometry BuildInterleavedFabric(const ResourceModel& model,
+                                      const ResourceVec& target,
+                                      const std::vector<std::int64_t>& units_per_cell,
+                                      std::size_t rows);
+
+}  // namespace resched

@@ -1,0 +1,41 @@
+#include "arch/platform.hpp"
+
+namespace resched {
+
+Platform::Platform(std::string name, std::size_t num_processors,
+                   FpgaDevice device, double recfreq_bits_per_sec,
+                   std::size_t num_reconfigurators)
+    : name_(std::move(name)),
+      num_processors_(num_processors),
+      device_(std::move(device)),
+      recfreq_bits_per_sec_(recfreq_bits_per_sec),
+      num_reconfigurators_(num_reconfigurators) {
+  RESCHED_CHECK_MSG(num_processors_ >= 1,
+                    "platform needs at least one processor core");
+  RESCHED_CHECK_MSG(recfreq_bits_per_sec_ > 0.0,
+                    "reconfiguration throughput must be positive");
+  RESCHED_CHECK_MSG(num_reconfigurators_ >= 1,
+                    "platform needs at least one reconfiguration controller");
+}
+
+Platform Platform::WithProcessors(std::size_t n) const {
+  Platform copy(name_, n, device_, recfreq_bits_per_sec_,
+                num_reconfigurators_);
+  copy.hw_sw_bandwidth_ = hw_sw_bandwidth_;
+  return copy;
+}
+
+Platform Platform::WithReconfigurators(std::size_t n) const {
+  Platform copy(name_, num_processors_, device_, recfreq_bits_per_sec_, n);
+  copy.hw_sw_bandwidth_ = hw_sw_bandwidth_;
+  return copy;
+}
+
+Platform Platform::WithHwSwBandwidth(double bytes_per_sec) const {
+  RESCHED_CHECK_MSG(bytes_per_sec >= 0.0, "negative bandwidth");
+  Platform copy = *this;
+  copy.hw_sw_bandwidth_ = bytes_per_sec;
+  return copy;
+}
+
+}  // namespace resched

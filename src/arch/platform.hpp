@@ -1,0 +1,71 @@
+// Target platform: processor cores + partially-reconfigurable FPGA + a
+// single reconfiguration controller (§III of the paper).
+#pragma once
+
+#include <cmath>
+#include <string>
+
+#include "arch/device.hpp"
+#include "util/common.hpp"
+
+namespace resched {
+
+class Platform {
+ public:
+  Platform() = default;
+
+  /// `recfreq_bits_per_sec` is the reconfiguration throughput of one
+  /// controller (the paper's recFreq), e.g. 2.56e8 bits/s for a 32 MB/s
+  /// PCAP flow. `num_reconfigurators` extends the paper's single-controller
+  /// model (§III) to the multi-controller generalization of Redaelli et
+  /// al.; the paper's setting is the default 1.
+  Platform(std::string name, std::size_t num_processors, FpgaDevice device,
+           double recfreq_bits_per_sec, std::size_t num_reconfigurators = 1);
+
+  const std::string& Name() const { return name_; }
+  std::size_t NumProcessors() const { return num_processors_; }
+  const FpgaDevice& Device() const { return device_; }
+  double RecFreqBitsPerSec() const { return recfreq_bits_per_sec_; }
+  std::size_t NumReconfigurators() const { return num_reconfigurators_; }
+
+  /// Eq. (2): reconfiguration time (in ticks = µs) for a region with the
+  /// given resource requirements; rounded up so a reconfiguration never
+  /// finishes earlier than physically possible.
+  TimeT ReconfTicks(const ResourceVec& region_res) const {
+    const double bits = device_.BitstreamBits(region_res);
+    const double seconds = bits / recfreq_bits_per_sec_;
+    return static_cast<TimeT>(std::ceil(seconds * 1e6));
+  }
+
+  /// Returns a copy of this platform with a different processor count
+  /// (useful for sweeps).
+  Platform WithProcessors(std::size_t n) const;
+
+  /// Returns a copy with a different reconfiguration-controller count.
+  Platform WithReconfigurators(std::size_t n) const;
+
+  // ---- communication-overhead extension (paper future work) -----------
+  /// Sustained PS<->PL transfer bandwidth in bytes/s used to price data
+  /// movement across the hardware/software boundary. 0 (default) disables
+  /// the communication model entirely.
+  double HwSwBandwidthBytesPerSec() const { return hw_sw_bandwidth_; }
+  Platform WithHwSwBandwidth(double bytes_per_sec) const;
+
+  /// Time (ticks) to move `bytes` across the HW<->SW boundary; 0 when the
+  /// model is disabled.
+  TimeT TransferTicks(std::int64_t bytes) const {
+    if (hw_sw_bandwidth_ <= 0.0 || bytes <= 0) return 0;
+    return static_cast<TimeT>(
+        std::ceil(static_cast<double>(bytes) / hw_sw_bandwidth_ * 1e6));
+  }
+
+ private:
+  std::string name_;
+  std::size_t num_processors_ = 0;
+  FpgaDevice device_;
+  double recfreq_bits_per_sec_ = 0.0;
+  std::size_t num_reconfigurators_ = 1;
+  double hw_sw_bandwidth_ = 0.0;
+};
+
+}  // namespace resched

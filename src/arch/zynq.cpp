@@ -1,0 +1,82 @@
+#include "arch/zynq.hpp"
+
+#include <algorithm>
+
+namespace resched {
+
+namespace {
+// Units one column contributes per clock region on 7-series:
+// a CLB column = 50 CLBs = 100 slice-equivalents, a BRAM column = 10
+// RAMB36, a DSP column = 20 DSP48. We count "CLB" capacity in slices.
+const std::vector<std::int64_t> kUnitsPerCell = {100, 10, 20};
+constexpr std::size_t kClockRegions = 4;
+}  // namespace
+
+FpgaDevice MakeXc7z020() {
+  const ResourceModel model = MakeClbBramDspModel();
+  ResourceVec target({13300, 140, 220});
+  FabricGeometry geom =
+      BuildInterleavedFabric(model, target, kUnitsPerCell, kClockRegions);
+  return FpgaDevice("XC7Z020", model, std::move(geom));
+}
+
+Platform MakeZedBoard(double recfreq_bits_per_sec) {
+  return Platform("ZedBoard", /*num_processors=*/2, MakeXc7z020(),
+                  recfreq_bits_per_sec);
+}
+
+FpgaDevice MakeScaledZynq(double scale) {
+  RESCHED_CHECK_MSG(scale >= 0.05, "scale too small for a meaningful fabric");
+  const ResourceModel model = MakeClbBramDspModel();
+  ResourceVec target(
+      {static_cast<std::int64_t>(13300 * scale),
+       std::max<std::int64_t>(10, static_cast<std::int64_t>(140 * scale)),
+       std::max<std::int64_t>(20, static_cast<std::int64_t>(220 * scale))});
+  FabricGeometry geom =
+      BuildInterleavedFabric(model, target, kUnitsPerCell, kClockRegions);
+  return FpgaDevice("ScaledZynq", model, std::move(geom));
+}
+
+Platform MakeScaledPlatform(double scale, std::size_t cores,
+                            double recfreq_bits_per_sec) {
+  return Platform("ScaledPlatform", cores, MakeScaledZynq(scale),
+                  recfreq_bits_per_sec);
+}
+
+FpgaDevice MakeXc7z010() {
+  const ResourceModel model = MakeClbBramDspModel();
+  FabricGeometry geom = BuildInterleavedFabric(
+      model, ResourceVec({4400, 60, 80}), kUnitsPerCell, /*rows=*/2);
+  return FpgaDevice("XC7Z010", model, std::move(geom));
+}
+
+Platform MakePynqZ1(double recfreq_bits_per_sec) {
+  return Platform("Pynq-Z1", /*num_processors=*/2, MakeXc7z010(),
+                  recfreq_bits_per_sec);
+}
+
+FpgaDevice MakeKintex7_160() {
+  const ResourceModel model = MakeClbBramDspModel();
+  FabricGeometry geom = BuildInterleavedFabric(
+      model, ResourceVec({25350, 325, 600}), kUnitsPerCell, /*rows=*/6);
+  return FpgaDevice("XC7K160T", model, std::move(geom));
+}
+
+Platform MakeKintexPlatform(std::size_t cores, double recfreq_bits_per_sec) {
+  return Platform("Kintex7-host", cores, MakeKintex7_160(),
+                  recfreq_bits_per_sec);
+}
+
+FpgaDevice MakeZu9eg() {
+  const ResourceModel model = MakeClbBramDspModel();
+  FabricGeometry geom = BuildInterleavedFabric(
+      model, ResourceVec({34260, 912, 2520}), kUnitsPerCell, /*rows=*/8);
+  return FpgaDevice("ZU9EG", model, std::move(geom));
+}
+
+Platform MakeZcu102(double recfreq_bits_per_sec) {
+  return Platform("ZCU102", /*num_processors=*/4, MakeZu9eg(),
+                  recfreq_bits_per_sec);
+}
+
+}  // namespace resched

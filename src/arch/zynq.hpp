@@ -1,0 +1,56 @@
+// Device and platform presets.
+//
+// The paper evaluates on the ZedBoard: a Zynq-7000 XC7Z020 (dual-core ARM
+// Cortex-A9 + Artix-7-class fabric). MakeZedBoard() reproduces that target;
+// the scaled variants are used by tests and by capacity-sensitivity
+// ablations.
+#pragma once
+
+#include "arch/platform.hpp"
+
+namespace resched {
+
+/// XC7Z020-like fabric: ~13300 slices, 140 RAMB36, 220 DSP48, 4 clock
+/// regions of programmable logic.
+FpgaDevice MakeXc7z020();
+
+/// ZedBoard: XC7Z020 + 2 ARM Cortex-A9 cores + one ICAP-class controller.
+/// `recfreq_bits_per_sec` defaults to 32 MB/s (2.56e8 bits/s) — the
+/// practical throughput of a Zynq-7000 PCAP/ICAP reconfiguration flow
+/// without a custom DMA engine, far below the 400 MB/s port maximum;
+/// reconfiguration overhead at this rate is the regime the paper's
+/// resource-efficiency argument targets (pass a higher value to model an
+/// optimized reconfiguration pipeline).
+Platform MakeZedBoard(double recfreq_bits_per_sec = 2.56e8);
+
+/// A device whose capacity is `scale` times the XC7Z020 in every kind
+/// (scale >= 0.05). Used by capacity-pressure studies.
+FpgaDevice MakeScaledZynq(double scale);
+
+/// Platform around MakeScaledZynq with a configurable core count.
+Platform MakeScaledPlatform(double scale, std::size_t cores,
+                            double recfreq_bits_per_sec = 2.56e8);
+
+// ---- further device presets -------------------------------------------
+
+/// Pynq-Z1 / XC7Z010: roughly 2/5 of an XC7Z020 (4400 slice-equivalents
+/// x4 quadrants model -> ~8800 slices... the real part has 17600 LUTs =
+/// ~4400 slices; we model 4400 slices, 60 BRAM, 80 DSP over 2 clock
+/// regions). Dual-core Cortex-A9 like the ZedBoard.
+FpgaDevice MakeXc7z010();
+Platform MakePynqZ1(double recfreq_bits_per_sec = 2.56e8);
+
+/// Kintex-7-class midrange fabric (XC7K160T-like): ~25350 slices, 325
+/// BRAM, 600 DSP over 6 clock regions — a larger PDR target for capacity
+/// sweeps.
+FpgaDevice MakeKintex7_160();
+Platform MakeKintexPlatform(std::size_t cores = 4,
+                            double recfreq_bits_per_sec = 1.024e9);
+
+/// Zynq UltraScale+ ZU9EG-like fabric: ~34260 slice-equivalents, 912
+/// BRAM, 2520 DSP over 8 clock regions, quad-core APU, and a faster
+/// configuration path (PCAP ~ 128 MB/s practical).
+FpgaDevice MakeZu9eg();
+Platform MakeZcu102(double recfreq_bits_per_sec = 1.024e9);
+
+}  // namespace resched

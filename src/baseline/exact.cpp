@@ -1,0 +1,214 @@
+#include "baseline/exact.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "baseline/isk_state.hpp"
+#include "baseline/priority.hpp"
+#include "sched/comm.hpp"
+#include "util/timer.hpp"
+
+namespace resched {
+
+namespace {
+
+struct Decision {
+  TaskId task = kInvalidTask;
+  std::size_t impl_index = 0;
+  TargetKind target = TargetKind::kProcessor;
+  std::size_t target_index = 0;
+  isk::PlacementOutcome outcome;
+};
+
+class ExactSearch {
+ public:
+  ExactSearch(const Instance& instance, const ExactOptions& options)
+      : instance_(instance),
+        options_(options),
+        tails_(ComputeTails(instance.graph)),
+        deadline_(options.time_budget_seconds) {}
+
+  ExactResult Run() {
+    const std::size_t n = instance_.graph.NumTasks();
+    isk::IskState root(instance_, instance_.platform.Device().Capacity());
+    std::vector<Decision> current;
+    std::vector<TimeT> ends(n, 0);
+    std::vector<std::size_t> pending(n);
+    for (std::size_t t = 0; t < n; ++t) {
+      pending[t] =
+          instance_.graph.Predecessors(static_cast<TaskId>(t)).size();
+    }
+    std::vector<bool> placed(n, false);
+
+    truncated_ = false;
+    best_obj_ = kTimeInfinity;
+    Dfs(root, placed, pending, ends, current, 0, 0);
+
+    ExactResult result;
+    result.complete = !truncated_;
+    result.nodes = nodes_;
+    result.seconds = deadline_.ElapsedSeconds();
+    result.schedule = Freeze();
+    return result;
+  }
+
+ private:
+  void Dfs(const isk::IskState& state, std::vector<bool>& placed,
+           std::vector<std::size_t>& pending, std::vector<TimeT>& ends,
+           std::vector<Decision>& current, std::size_t depth, TimeT obj) {
+    const std::size_t n = instance_.graph.NumTasks();
+    if (depth == n) {
+      if (obj < best_obj_) {
+        best_obj_ = obj;
+        best_ = current;
+        best_regions_ = state.Regions();
+        best_reconfs_ = state.ControllerTimeline();
+      }
+      return;
+    }
+    if (truncated_) return;
+
+    for (std::size_t ti = 0; ti < n; ++ti) {
+      if (placed[ti] || pending[ti] != 0) continue;
+      const auto t = static_cast<TaskId>(ti);
+      const Task& task = instance_.graph.GetTask(t);
+
+      // Domain-dependent ready times (communication extension).
+      TimeT ready_hw = 0;
+      TimeT ready_sw = 0;
+      for (const TaskId p : instance_.graph.Predecessors(t)) {
+        const Decision* pd = nullptr;
+        for (const Decision& d : current) {
+          if (d.task == p) {
+            pd = &d;
+            break;
+          }
+        }
+        RESCHED_CHECK(pd != nullptr);
+        const bool p_hw = pd->target == TargetKind::kRegion;
+        ready_hw = std::max(ready_hw,
+                            pd->outcome.end +
+                                CommGap(instance_.platform, instance_.graph,
+                                        p, t, p_hw, true));
+        ready_sw = std::max(ready_sw,
+                            pd->outcome.end +
+                                CommGap(instance_.platform, instance_.graph,
+                                        p, t, p_hw, false));
+      }
+
+      for (std::size_t i = 0; i < task.impls.size(); ++i) {
+        const Implementation& impl = task.impls[i];
+        std::vector<Decision> choices;
+        if (impl.IsSoftware()) {
+          std::vector<TimeT> seen;
+          for (std::size_t core = 0; core < state.NumCores(); ++core) {
+            const TimeT free = state.CoreFree(core);
+            if (std::find(seen.begin(), seen.end(), free) != seen.end()) {
+              continue;
+            }
+            seen.push_back(free);
+            choices.push_back(
+                Decision{t, i, TargetKind::kProcessor, core, {}});
+          }
+        } else {
+          for (std::size_t s = 0; s < state.Regions().size(); ++s) {
+            if (!impl.res.FitsWithin(state.Regions()[s].res)) continue;
+            choices.push_back(Decision{t, i, TargetKind::kRegion, s, {}});
+          }
+          if (state.HasFreeCapacity(impl.res)) {
+            choices.push_back(Decision{
+                t, i, TargetKind::kRegion, state.Regions().size(), {}});
+          }
+        }
+
+        for (Decision d : choices) {
+          if ((options_.max_nodes != 0 && nodes_ >= options_.max_nodes) ||
+              (nodes_ % 4096 == 0 && deadline_.Expired())) {
+            truncated_ = true;
+            return;
+          }
+          ++nodes_;
+
+          isk::IskState child = state;
+          if (d.target == TargetKind::kProcessor) {
+            d.outcome = child.PlaceOnCore(t, impl, d.target_index, ready_sw);
+          } else if (d.target_index == state.Regions().size()) {
+            d.outcome = child.PlaceInNewRegion(t, impl, ready_hw);
+          } else {
+            d.outcome = child.PlaceInRegion(t, impl, d.target_index,
+                                            ready_hw,
+                                            options_.module_reuse);
+          }
+          const TimeT child_obj =
+              std::max(obj, d.outcome.end + tails_[ti]);
+          if (child_obj >= best_obj_) continue;  // admissible bound prune
+
+          placed[ti] = true;
+          for (const TaskId s : instance_.graph.Successors(t)) {
+            --pending[static_cast<std::size_t>(s)];
+          }
+          ends[ti] = d.outcome.end;
+          current.push_back(d);
+
+          Dfs(child, placed, pending, ends, current, depth + 1, child_obj);
+
+          current.pop_back();
+          placed[ti] = false;
+          for (const TaskId s : instance_.graph.Successors(t)) {
+            ++pending[static_cast<std::size_t>(s)];
+          }
+          if (truncated_) return;
+        }
+      }
+    }
+  }
+
+  Schedule Freeze() const {
+    const std::size_t n = instance_.graph.NumTasks();
+    RESCHED_CHECK_MSG(best_.size() == n, "exact search found no schedule");
+    Schedule schedule;
+    schedule.task_slots.resize(n);
+    for (const Decision& d : best_) {
+      TaskSlot& slot = schedule.task_slots[static_cast<std::size_t>(d.task)];
+      slot.task = d.task;
+      slot.impl_index = d.impl_index;
+      slot.target = d.target;
+      slot.target_index = d.target_index;
+      slot.start = d.outcome.start;
+      slot.end = d.outcome.end;
+    }
+    for (const isk::IskRegion& region : best_regions_) {
+      RegionInfo info;
+      info.res = region.res;
+      info.reconf_time = region.reconf_time;
+      info.tasks = region.tasks;
+      schedule.regions.push_back(std::move(info));
+    }
+    schedule.reconfigurations = best_reconfs_;
+    schedule.makespan = schedule.ComputeMakespan();
+    schedule.algorithm = "exact";
+    return schedule;
+  }
+
+  const Instance& instance_;
+  const ExactOptions& options_;
+  std::vector<TimeT> tails_;
+  Deadline deadline_;
+
+  TimeT best_obj_ = kTimeInfinity;
+  std::vector<Decision> best_;
+  std::vector<isk::IskRegion> best_regions_;
+  std::vector<ReconfSlot> best_reconfs_;
+  std::size_t nodes_ = 0;
+  bool truncated_ = false;
+};
+
+}  // namespace
+
+ExactResult ScheduleExact(const Instance& instance,
+                          const ExactOptions& options) {
+  instance.graph.Validate(instance.platform.Device());
+  return ExactSearch(instance, options).Run();
+}
+
+}  // namespace resched

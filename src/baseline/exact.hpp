@@ -1,0 +1,41 @@
+// Exact reference scheduler for tiny instances.
+//
+// Exhaustive depth-first search over complete scheduling sequences: at
+// every step any *ready* task (all predecessors placed) may be placed next
+// with any implementation on any legal target, under the same
+// earliest-start placement semantics as IS-k (greedy start times,
+// reconfiguration prefetched into the earliest controller gap, regions
+// sized at creation). Every IS-k trajectory is one such sequence, so a
+// completed search is a certified lower bound for the whole IS-k family on
+// the instance — the role the full MILP of Deiana et al. plays in the
+// paper's framing. PA's phase structure can in rare cases place
+// reconfigurations later than "earliest gap", which is outside this model,
+// so PA is not formally dominated (in practice it almost always is).
+//
+// Complexity is factorial; intended for n <= ~8 in differential tests.
+#pragma once
+
+#include "sched/schedule.hpp"
+
+namespace resched {
+
+struct ExactOptions {
+  /// Node cap; 0 = unlimited. When hit, the result is the best found and
+  /// `complete` is false (the bound guarantee no longer holds).
+  std::size_t max_nodes = 5'000'000;
+  /// Wall-clock cap; <= 0 disables.
+  double time_budget_seconds = 10.0;
+  bool module_reuse = true;
+};
+
+struct ExactResult {
+  Schedule schedule;
+  bool complete = false;  ///< search ran to exhaustion
+  std::size_t nodes = 0;
+  double seconds = 0.0;
+};
+
+ExactResult ScheduleExact(const Instance& instance,
+                          const ExactOptions& options = {});
+
+}  // namespace resched

@@ -1,0 +1,206 @@
+#include "baseline/fixed_grid.hpp"
+
+#include <algorithm>
+
+#include "baseline/isk_state.hpp"
+#include "baseline/priority.hpp"
+#include "sched/comm.hpp"
+#include "util/timer.hpp"
+
+namespace resched {
+
+namespace {
+
+/// One greedy list-scheduling pass against a fixed grid of `num_slots`
+/// equal regions (0 slots = software-only). Returns the schedule (without
+/// floorplan).
+Schedule RunFixedGrid(const Instance& instance, std::size_t num_slots,
+                      bool module_reuse) {
+  const TaskGraph& graph = instance.graph;
+  const std::size_t n = graph.NumTasks();
+  const std::vector<TimeT> blevels = ComputeBottomLevels(graph);
+
+  // Equal split of the device capacity (floored per kind).
+  const ResourceVec& cap = instance.platform.Device().Capacity();
+  ResourceVec slot_res(cap.size());
+  if (num_slots > 0) {
+    for (std::size_t k = 0; k < cap.size(); ++k) {
+      slot_res[k] = cap[k] / static_cast<std::int64_t>(num_slots);
+    }
+  }
+
+  isk::IskState state(instance, cap);
+  if (!slot_res.IsZero()) {
+    for (std::size_t s = 0; s < num_slots; ++s) {
+      state.AddEmptyRegion(slot_res);
+    }
+  }
+
+  Schedule schedule;
+  schedule.task_slots.resize(n);
+  std::vector<TimeT> end(n, 0);
+  std::vector<std::size_t> pending(n, 0);
+  std::vector<TaskId> ready;
+  for (std::size_t t = 0; t < n; ++t) {
+    pending[t] = graph.Predecessors(static_cast<TaskId>(t)).size();
+    if (pending[t] == 0) ready.push_back(static_cast<TaskId>(t));
+  }
+
+  std::size_t done = 0;
+  while (done < n) {
+    RESCHED_CHECK_MSG(!ready.empty(), "no ready task (cycle?)");
+    std::stable_sort(ready.begin(), ready.end(), [&](TaskId a, TaskId b) {
+      return blevels[static_cast<std::size_t>(a)] >
+             blevels[static_cast<std::size_t>(b)];
+    });
+    const TaskId t = ready.front();
+    ready.erase(ready.begin());
+    const auto ti = static_cast<std::size_t>(t);
+    const Task& task = graph.GetTask(t);
+
+    TimeT ready_hw = 0;
+    TimeT ready_sw = 0;
+    for (const TaskId p : graph.Predecessors(t)) {
+      const TimeT end_p = end[static_cast<std::size_t>(p)];
+      const bool p_hw = schedule.task_slots[static_cast<std::size_t>(p)]
+                            .target == TargetKind::kRegion;
+      ready_hw = std::max(end_p + CommGap(instance.platform, graph, p, t,
+                                          p_hw, true),
+                          ready_hw);
+      ready_sw = std::max(end_p + CommGap(instance.platform, graph, p, t,
+                                          p_hw, false),
+                          ready_sw);
+    }
+
+    // Earliest-finish decision across every (impl, target) pair, probed on
+    // a copy of the state.
+    struct Best {
+      TimeT finish = kTimeInfinity;
+      std::size_t impl = 0;
+      bool on_fpga = false;
+      std::size_t index = 0;
+    } best;
+    for (std::size_t i = 0; i < task.impls.size(); ++i) {
+      const Implementation& impl = task.impls[i];
+      if (impl.IsSoftware()) {
+        for (std::size_t core = 0; core < state.NumCores(); ++core) {
+          const TimeT finish =
+              std::max(ready_sw, state.CoreFree(core)) + impl.exec_time;
+          if (finish < best.finish) {
+            best = Best{finish, i, false, core};
+          }
+        }
+      } else {
+        for (std::size_t s = 0; s < state.Regions().size(); ++s) {
+          if (!impl.res.FitsWithin(state.Regions()[s].res)) continue;
+          isk::IskState probe = state;
+          const isk::PlacementOutcome out =
+              probe.PlaceInRegion(t, impl, s, ready_hw, module_reuse);
+          if (out.end < best.finish) {
+            best = Best{out.end, i, true, s};
+          }
+        }
+      }
+    }
+    RESCHED_CHECK_MSG(best.finish < kTimeInfinity,
+                      "task has no feasible placement (missing SW impl?)");
+
+    const Implementation& impl = task.impls[best.impl];
+    isk::PlacementOutcome out;
+    if (best.on_fpga) {
+      out = state.PlaceInRegion(t, impl, best.index, ready_hw, module_reuse);
+    } else {
+      out = state.PlaceOnCore(t, impl, best.index, ready_sw);
+    }
+
+    TaskSlot& slot = schedule.task_slots[ti];
+    slot.task = t;
+    slot.impl_index = best.impl;
+    slot.target = best.on_fpga ? TargetKind::kRegion : TargetKind::kProcessor;
+    slot.target_index = best.index;
+    slot.start = out.start;
+    slot.end = out.end;
+    end[ti] = out.end;
+
+    ++done;
+    for (const TaskId s : graph.Successors(t)) {
+      if (--pending[static_cast<std::size_t>(s)] == 0) ready.push_back(s);
+    }
+  }
+
+  // Keep only slots that actually host tasks (empty fixed slots would
+  // inflate the capacity/floorplan checks for nothing). Region indices in
+  // task slots are remapped accordingly.
+  std::vector<std::size_t> remap(state.Regions().size(), SIZE_MAX);
+  for (std::size_t s = 0; s < state.Regions().size(); ++s) {
+    const isk::IskRegion& region = state.Regions()[s];
+    if (region.tasks.empty()) continue;
+    remap[s] = schedule.regions.size();
+    RegionInfo info;
+    info.res = region.res;
+    info.reconf_time = region.reconf_time;
+    info.tasks = region.tasks;
+    schedule.regions.push_back(std::move(info));
+  }
+  for (TaskSlot& slot : schedule.task_slots) {
+    if (slot.OnFpga()) slot.target_index = remap[slot.target_index];
+  }
+  schedule.reconfigurations = state.ControllerTimeline();
+  for (ReconfSlot& r : schedule.reconfigurations) {
+    r.region = remap[r.region];
+  }
+
+  schedule.makespan = schedule.ComputeMakespan();
+  schedule.algorithm = "fixed-grid-" + std::to_string(num_slots);
+  return schedule;
+}
+
+}  // namespace
+
+Schedule ScheduleFixedGrid(const Instance& instance,
+                           const FixedGridOptions& options) {
+  instance.graph.Validate(instance.platform.Device());
+  WallTimer timer;
+
+  std::vector<std::size_t> slot_counts;
+  if (options.num_slots != 0) {
+    slot_counts.push_back(options.num_slots);
+  } else {
+    for (std::size_t s = 1; s <= options.max_auto_slots; ++s) {
+      slot_counts.push_back(s);
+    }
+  }
+
+  Schedule best;
+  bool have_best = false;
+  double floorplan_seconds = 0.0;
+  for (const std::size_t slots : slot_counts) {
+    Schedule candidate = RunFixedGrid(instance, slots,
+                                      options.module_reuse);
+    if (have_best && candidate.makespan >= best.makespan) continue;
+    if (options.run_floorplan) {
+      const FloorplanResult fp =
+          FindFloorplan(instance.platform.Device(),
+                        candidate.RegionRequirements(), options.floorplan);
+      floorplan_seconds += fp.seconds;
+      if (!fp.feasible) continue;  // this grid granularity does not place
+      candidate.floorplan = fp.rects;
+      candidate.floorplan_checked = true;
+    }
+    best = std::move(candidate);
+    have_best = true;
+  }
+
+  if (!have_best) {
+    // Degenerate fall-back: no slots at all -> all-software schedule,
+    // trivially floorplannable.
+    best = RunFixedGrid(instance, 0, options.module_reuse);
+    best.floorplan_checked = options.run_floorplan;
+  }
+
+  best.scheduling_seconds = timer.ElapsedSeconds() - floorplan_seconds;
+  best.floorplanning_seconds = floorplan_seconds;
+  return best;
+}
+
+}  // namespace resched

@@ -1,0 +1,36 @@
+// Fixed-grid baseline: static equal-size reconfigurable slots.
+//
+// Related work the paper contrasts against (e.g. Ghiasi et al. [13])
+// partitions the reconfigurable fabric into regions of equal dimensions up
+// front and only schedules into those slots. This baseline reproduces that
+// design point so the claim "equal regions limit the solution space and
+// lead to suboptimal results" (§II) can be measured: the device capacity
+// is split into `num_slots` identical regions and tasks are list-scheduled
+// greedily onto {cores} ∪ {slots}, picking per task the earliest-finish
+// (implementation, target) pair. Slots boot unconfigured, so the first
+// module loaded into each slot costs a reconfiguration too.
+//
+// With num_slots == 0 (auto), every slot count in [1, 8] is tried and the
+// best resulting makespan wins — an optimistic upper bound on what a fixed
+// grid can do.
+#pragma once
+
+#include "sched/schedule.hpp"
+
+namespace resched {
+
+struct FixedGridOptions {
+  /// Number of equal slots; 0 = try 1..max_auto_slots, keep the best.
+  std::size_t num_slots = 0;
+  std::size_t max_auto_slots = 8;
+  bool module_reuse = true;
+  bool run_floorplan = true;
+  FloorplanOptions floorplan;
+};
+
+/// Schedules with a fixed equal-size region grid. Always returns a valid
+/// schedule (tasks that fit no slot run in software).
+Schedule ScheduleFixedGrid(const Instance& instance,
+                           const FixedGridOptions& options = {});
+
+}  // namespace resched

@@ -1,0 +1,360 @@
+#include "baseline/isk_scheduler.hpp"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+
+#include "baseline/isk_state.hpp"
+#include "sched/comm.hpp"
+#include "baseline/priority.hpp"
+#include "util/logging.hpp"
+#include "util/timer.hpp"
+
+namespace resched {
+
+namespace {
+
+using isk::IskState;
+using isk::PlacementOutcome;
+
+/// One committed task placement.
+struct Placed {
+  TaskId task = kInvalidTask;
+  std::size_t impl_index = 0;
+  TargetKind target = TargetKind::kProcessor;
+  std::size_t target_index = 0;
+  PlacementOutcome outcome;
+};
+
+/// A window task with its precomputed ready times. With the
+/// communication-overhead extension the ready time depends on the domain
+/// the task will run in (incoming HW<->SW transfers), so both variants are
+/// precomputed; they coincide when the comm model is off.
+struct WindowTask {
+  TaskId task = kInvalidTask;
+  TimeT ready_hw = 0;
+  TimeT ready_sw = 0;
+};
+
+/// Exhaustive (budgeted) optimizer for one IS-k window.
+class WindowSolver {
+ public:
+  WindowSolver(const Instance& instance, const IskOptions& options,
+               const std::vector<TimeT>& tails, TimeT committed_bound)
+      : instance_(instance),
+        options_(options),
+        tails_(tails),
+        committed_bound_(committed_bound) {}
+
+  /// Finds the best joint placement of `window` starting from `state`.
+  /// Returns the placements in commit order; `state` is advanced in place.
+  std::vector<Placed> Solve(IskState& state,
+                            const std::vector<WindowTask>& window) {
+    best_obj_ = kTimeInfinity;
+    best_tie_ = kTimeInfinity;
+    have_best_ = false;
+    nodes_ = 0;
+
+    // Greedy dive first: guarantees an incumbent even if the node budget
+    // is tiny, exactly like a MILP warm start.
+    GreedyIncumbent(state, window);
+    // Exact search (within budget).
+    std::vector<bool> placed(window.size(), false);
+    std::vector<Placed> current;
+    Dfs(state, window, placed, current, committed_bound_, 0);
+
+    RESCHED_CHECK_MSG(have_best_, "window solver found no placement");
+    // Re-apply the winning decision sequence to the real state; the
+    // deterministic earliest-start semantics reproduce the explored
+    // outcomes exactly.
+    std::vector<Placed> result = best_placements_;
+    for (Placed& p : result) (void)Apply(state, p);
+    return result;
+  }
+
+ private:
+  /// Enumerates every legal decision for `wt` on `state`.
+  template <typename Fn>
+  void ForEachDecision(const IskState& state, const WindowTask& wt,
+                       Fn&& fn) const {
+    const Task& task = instance_.graph.GetTask(wt.task);
+    for (std::size_t i = 0; i < task.impls.size(); ++i) {
+      const Implementation& impl = task.impls[i];
+      if (impl.IsSoftware()) {
+        // Symmetric cores with equal free times are interchangeable: visit
+        // one representative per distinct free time.
+        std::vector<TimeT> seen_frees;
+        for (std::size_t core = 0; core < state.NumCores(); ++core) {
+          const TimeT free = state.CoreFree(core);
+          if (std::find(seen_frees.begin(), seen_frees.end(), free) !=
+              seen_frees.end()) {
+            continue;
+          }
+          seen_frees.push_back(free);
+          fn(Placed{wt.task, i, TargetKind::kProcessor, core, {}});
+        }
+      } else {
+        for (std::size_t s = 0; s < state.Regions().size(); ++s) {
+          if (!impl.res.FitsWithin(state.Regions()[s].res)) continue;
+          fn(Placed{wt.task, i, TargetKind::kRegion, s, {}});
+        }
+        if (state.HasFreeCapacity(impl.res)) {
+          // target_index == regions.size() encodes "create a new region".
+          fn(Placed{wt.task, i, TargetKind::kRegion, state.Regions().size(),
+                    {}});
+        }
+      }
+    }
+  }
+
+  /// Executes a decision on `state`, filling outcome. Returns the updated
+  /// objective contribution end + tail(task).
+  TimeT Apply(IskState& state, Placed& p) const {
+    const Implementation& impl =
+        instance_.graph.GetImpl(p.task, p.impl_index);
+    const TimeT ready = ReadyOf(p.task, impl.IsHardware());
+    if (p.target == TargetKind::kProcessor) {
+      p.outcome = state.PlaceOnCore(p.task, impl, p.target_index, ready);
+    } else if (p.target_index == state.Regions().size()) {
+      p.outcome = state.PlaceInNewRegion(p.task, impl, ready);
+    } else {
+      p.outcome = state.PlaceInRegion(p.task, impl, p.target_index, ready,
+                                      options_.module_reuse);
+    }
+    return p.outcome.end + tails_[static_cast<std::size_t>(p.task)];
+  }
+
+  TimeT ReadyOf(TaskId t, bool hw) const {
+    const auto it = ready_.find(t);
+    RESCHED_CHECK_MSG(it != ready_.end(), "unknown window task");
+    return hw ? it->second.first : it->second.second;
+  }
+
+  void GreedyIncumbent(const IskState& state,
+                       const std::vector<WindowTask>& window) {
+    IskState work = state;
+    std::vector<Placed> chosen;
+    TimeT obj = committed_bound_;
+    ready_.clear();
+    for (const WindowTask& wt : window) {
+      ready_[wt.task] = {wt.ready_hw, wt.ready_sw};
+    }
+
+    for (const WindowTask& wt : window) {
+      std::optional<Placed> best;
+      TimeT best_contrib = kTimeInfinity;
+      ForEachDecision(work, wt, [&](Placed p) {
+        IskState probe = work;
+        const TimeT contrib = Apply(probe, p);
+        if (contrib < best_contrib) {
+          best_contrib = contrib;
+          best = p;
+        }
+      });
+      RESCHED_CHECK_MSG(best.has_value(), "no legal decision for a task");
+      obj = std::max(obj, Apply(work, *best));
+      chosen.push_back(*best);
+    }
+    Offer(chosen, obj);
+  }
+
+  void Offer(const std::vector<Placed>& placements, TimeT obj) {
+    TimeT tie = 0;
+    for (const Placed& p : placements) tie += p.outcome.end;
+    if (obj < best_obj_ || (obj == best_obj_ && tie < best_tie_)) {
+      best_obj_ = obj;
+      best_tie_ = tie;
+      best_placements_ = placements;
+      have_best_ = true;
+    }
+  }
+
+  void Dfs(const IskState& state, const std::vector<WindowTask>& window,
+           std::vector<bool>& placed, std::vector<Placed>& current,
+           TimeT obj, std::size_t depth) {
+    if (depth == window.size()) {
+      Offer(current, obj);
+      return;
+    }
+    if (options_.node_budget != 0 && nodes_ >= options_.node_budget) return;
+
+    for (std::size_t w = 0; w < window.size(); ++w) {
+      if (placed[w]) continue;
+      ForEachDecision(state, window[w], [&](Placed p) {
+        if (options_.node_budget != 0 && nodes_ >= options_.node_budget) {
+          return;
+        }
+        ++nodes_;
+        IskState child = state;
+        const TimeT contrib = Apply(child, p);
+        const TimeT child_obj = std::max(obj, contrib);
+        // Prune: the objective only grows along a branch.
+        if (child_obj > best_obj_ ||
+            (child_obj == best_obj_ && have_best_)) {
+          return;
+        }
+        placed[w] = true;
+        current.push_back(p);
+        Dfs(child, window, placed, current, child_obj, depth + 1);
+        current.pop_back();
+        placed[w] = false;
+      });
+      // With k == 1 or independent equal tasks the order loop would
+      // explore symmetric permutations; for depth 0 every task must still
+      // be tried as "first", but identical subtrees are cut by the bound.
+    }
+  }
+
+  const Instance& instance_;
+  const IskOptions& options_;
+  const std::vector<TimeT>& tails_;
+  TimeT committed_bound_;
+
+  std::map<TaskId, std::pair<TimeT, TimeT>> ready_;
+  TimeT best_obj_ = kTimeInfinity;
+  TimeT best_tie_ = kTimeInfinity;
+  bool have_best_ = false;
+  std::vector<Placed> best_placements_;
+  std::size_t nodes_ = 0;
+};
+
+}  // namespace
+
+Schedule RunIskCore(const Instance& instance, const IskOptions& options,
+                    const ResourceVec& avail_cap) {
+  RESCHED_CHECK_MSG(options.k >= 1, "IS-k requires k >= 1");
+  const TaskGraph& graph = instance.graph;
+  const std::size_t n = graph.NumTasks();
+  const std::vector<TimeT> tails = ComputeTails(graph);
+  const std::vector<TimeT> blevels = ComputeBottomLevels(graph);
+  const Deadline deadline(options.time_budget_seconds);
+
+  IskState state(instance, avail_cap);
+  std::vector<Placed> committed(n);
+  std::vector<bool> scheduled(n, false);
+  std::vector<std::size_t> pending_preds(n, 0);
+  for (std::size_t t = 0; t < n; ++t) {
+    pending_preds[t] = graph.Predecessors(static_cast<TaskId>(t)).size();
+  }
+
+  std::size_t done = 0;
+  TimeT committed_bound = 0;
+  while (done < n) {
+    // Ready set in b-level priority order.
+    std::vector<TaskId> ready;
+    for (std::size_t t = 0; t < n; ++t) {
+      if (!scheduled[t] && pending_preds[t] == 0) {
+        ready.push_back(static_cast<TaskId>(t));
+      }
+    }
+    RESCHED_CHECK_MSG(!ready.empty(), "no ready task (cycle?)");
+    std::stable_sort(ready.begin(), ready.end(), [&](TaskId a, TaskId b) {
+      return blevels[static_cast<std::size_t>(a)] >
+             blevels[static_cast<std::size_t>(b)];
+    });
+
+    IskOptions window_options = options;
+    if (deadline.Expired()) {
+      // Budget exhausted: fall back to pure greedy for the remainder.
+      window_options.node_budget = 1;
+    }
+
+    const std::size_t window_size = std::min(options.k, ready.size());
+    std::vector<WindowTask> window;
+    window.reserve(window_size);
+    for (std::size_t w = 0; w < window_size; ++w) {
+      TimeT ready_hw = 0;
+      TimeT ready_sw = 0;
+      for (const TaskId p : graph.Predecessors(ready[w])) {
+        const Placed& pred = committed[static_cast<std::size_t>(p)];
+        const bool p_hw = pred.target == TargetKind::kRegion;
+        ready_hw = std::max(
+            ready_hw, pred.outcome.end + CommGap(instance.platform, graph, p,
+                                                 ready[w], p_hw, true));
+        ready_sw = std::max(
+            ready_sw, pred.outcome.end + CommGap(instance.platform, graph, p,
+                                                 ready[w], p_hw, false));
+      }
+      window.push_back(WindowTask{ready[w], ready_hw, ready_sw});
+    }
+
+    WindowSolver solver(instance, window_options, tails, committed_bound);
+    const std::vector<Placed> placements = solver.Solve(state, window);
+
+    for (const Placed& p : placements) {
+      const auto ti = static_cast<std::size_t>(p.task);
+      committed[ti] = p;
+      scheduled[ti] = true;
+      committed_bound = std::max(committed_bound, p.outcome.end + tails[ti]);
+      ++done;
+      for (const TaskId s : graph.Successors(p.task)) {
+        --pending_preds[static_cast<std::size_t>(s)];
+      }
+    }
+  }
+
+  // ---- freeze into a Schedule.
+  Schedule schedule;
+  schedule.task_slots.resize(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    const Placed& p = committed[t];
+    TaskSlot& slot = schedule.task_slots[t];
+    slot.task = static_cast<TaskId>(t);
+    slot.impl_index = p.impl_index;
+    slot.target = p.target;
+    slot.target_index = p.target_index;
+    slot.start = p.outcome.start;
+    slot.end = p.outcome.end;
+  }
+  for (const isk::IskRegion& region : state.Regions()) {
+    RegionInfo info;
+    info.res = region.res;
+    info.reconf_time = region.reconf_time;
+    info.tasks = region.tasks;
+    schedule.regions.push_back(std::move(info));
+  }
+  schedule.reconfigurations = state.ControllerTimeline();
+  schedule.makespan = schedule.ComputeMakespan();
+  schedule.algorithm = "IS-" + std::to_string(options.k);
+  return schedule;
+}
+
+Schedule ScheduleIsk(const Instance& instance, const IskOptions& options) {
+  instance.graph.Validate(instance.platform.Device());
+
+  double scheduling_seconds = 0.0;
+  double floorplanning_seconds = 0.0;
+
+  ResourceVec avail_cap = instance.platform.Device().Capacity();
+  Schedule schedule;
+  for (std::size_t round = 0; round <= options.max_shrink_rounds; ++round) {
+    const bool last_round = round == options.max_shrink_rounds;
+    if (last_round) avail_cap = avail_cap.ScaledDown(0.0);
+
+    WallTimer sched_timer;
+    schedule = RunIskCore(instance, options, avail_cap);
+    scheduling_seconds += sched_timer.ElapsedSeconds();
+    schedule.floorplan_retries = round;
+
+    if (!options.run_floorplan) break;
+
+    const FloorplanResult fp =
+        FindFloorplan(instance.platform.Device(),
+                      schedule.RegionRequirements(), options.floorplan);
+    floorplanning_seconds += fp.seconds;
+    if (fp.feasible) {
+      schedule.floorplan = fp.rects;
+      schedule.floorplan_checked = true;
+      break;
+    }
+    RESCHED_LOG_INFO << "IS-" << options.k
+                     << ": floorplan infeasible; shrinking resources";
+    avail_cap = avail_cap.ScaledDown(options.shrink_factor);
+  }
+
+  schedule.scheduling_seconds = scheduling_seconds;
+  schedule.floorplanning_seconds = floorplanning_seconds;
+  return schedule;
+}
+
+}  // namespace resched

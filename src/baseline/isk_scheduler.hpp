@@ -1,0 +1,51 @@
+// IS-k baseline scheduler — re-implementation of the iterative MILP
+// approach of Deiana et al. (ReConFig 2015) that the paper compares
+// against (§II, §VII).
+//
+// IS-k repeatedly takes the k highest-priority ready tasks and schedules
+// them *optimally* given the already-committed partial schedule. The
+// original uses a MILP with a solver time limit; here the per-window
+// optimum is found by exhaustive branch-and-bound over
+//   (task order) x (implementation) x (core | existing region | new region)
+// with earliest-start semantics, admissible tail look-ahead pruning and a
+// node budget that plays the role of the MILP time limit. IS-k supports
+// reconfiguration prefetching (a reconfiguration is scheduled in the
+// earliest controller gap after its region falls idle) and module reuse
+// (no reconfiguration between consecutive same-module tasks in a region),
+// matching the feature set in the paper's §VII-A.
+#pragma once
+
+#include "sched/schedule.hpp"
+#include "util/common.hpp"
+
+namespace resched {
+
+struct IskOptions {
+  /// Window size: IS-1 and IS-5 are the paper's evaluated configurations.
+  std::size_t k = 1;
+  /// Branch-and-bound node budget per window (the MILP time-limit analog;
+  /// 0 = exhaustive).
+  std::size_t node_budget = 100'000;
+  /// Overall wall-clock budget; once expired the remaining windows are
+  /// committed greedily. <= 0 disables.
+  double time_budget_seconds = 0.0;
+  /// Module reuse (supported by IS-k in the paper, unlike PA).
+  bool module_reuse = true;
+
+  /// §V-H-style feasibility loop, as for PA.
+  bool run_floorplan = true;
+  double shrink_factor = 0.9;
+  std::size_t max_shrink_rounds = 12;
+  FloorplanOptions floorplan;
+};
+
+/// Runs IS-k to completion (including the floorplan feasibility loop when
+/// enabled) and returns a complete, valid schedule.
+Schedule ScheduleIsk(const Instance& instance, const IskOptions& options = {});
+
+/// One IS-k pass against a given virtually available capacity, without
+/// floorplanning (used by the driver and by benchmarks).
+Schedule RunIskCore(const Instance& instance, const IskOptions& options,
+                    const ResourceVec& avail_cap);
+
+}  // namespace resched

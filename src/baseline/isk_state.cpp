@@ -1,0 +1,128 @@
+#include "baseline/isk_state.hpp"
+
+#include <algorithm>
+
+namespace resched::isk {
+
+IskState::IskState(const Instance& instance, const ResourceVec& avail_cap)
+    : instance_(&instance),
+      avail_cap_(avail_cap),
+      used_cap_(instance.platform.Device().Model().ZeroVec()),
+      core_free_(instance.platform.NumProcessors(), 0) {}
+
+bool IskState::HasFreeCapacity(const ResourceVec& res) const {
+  return (used_cap_ + res).FitsWithin(avail_cap_);
+}
+
+TimeT IskState::EarliestControllerGap(std::size_t c, TimeT lo,
+                                      TimeT duration) const {
+  TimeT candidate = lo;
+  for (const ReconfSlot& busy : controller_) {
+    if (busy.controller != c) continue;
+    if (busy.end <= candidate) continue;
+    if (busy.start >= candidate + duration) break;  // gap before `busy` fits
+    candidate = busy.end;
+  }
+  return candidate;
+}
+
+std::pair<std::size_t, TimeT> IskState::BestControllerGap(
+    TimeT lo, TimeT duration) const {
+  std::size_t best_c = 0;
+  TimeT best_start = kTimeInfinity;
+  for (std::size_t c = 0; c < instance_->platform.NumReconfigurators(); ++c) {
+    const TimeT start = EarliestControllerGap(c, lo, duration);
+    if (start < best_start) {
+      best_start = start;
+      best_c = c;
+    }
+  }
+  return {best_c, best_start};
+}
+
+PlacementOutcome IskState::PlaceOnCore(TaskId t, const Implementation& impl,
+                                       std::size_t core, TimeT ready) {
+  RESCHED_CHECK_MSG(impl.IsSoftware(), "PlaceOnCore with HW implementation");
+  RESCHED_CHECK_MSG(core < core_free_.size(), "core out of range");
+  PlacementOutcome out;
+  out.start = std::max(ready, core_free_[core]);
+  out.end = out.start + impl.exec_time;
+  core_free_[core] = out.end;
+  (void)t;
+  return out;
+}
+
+PlacementOutcome IskState::PlaceInRegion(TaskId t, const Implementation& impl,
+                                         std::size_t s, TimeT ready,
+                                         bool module_reuse) {
+  RESCHED_CHECK_MSG(impl.IsHardware(), "PlaceInRegion with SW implementation");
+  RESCHED_CHECK_MSG(s < regions_.size(), "region out of range");
+  IskRegion& region = regions_[s];
+  RESCHED_CHECK_MSG(impl.res.FitsWithin(region.res),
+                    "implementation does not fit region");
+
+  PlacementOutcome out;
+  const bool reuse = module_reuse && impl.module_id >= 0 &&
+                     region.loaded_module == impl.module_id;
+  if (reuse) {
+    out.start = std::max(ready, region.free_at);
+  } else {
+    // The reconfiguration may be prefetched: it can run any time after the
+    // region's previous task finishes, in the earliest controller gap.
+    const auto [controller, reconf_start] =
+        BestControllerGap(region.free_at, region.reconf_time);
+    const TimeT reconf_end = reconf_start + region.reconf_time;
+    ReconfSlot slot{s, t, reconf_start, reconf_end, controller};
+    InsertControllerSlot(slot);
+    out.reconf = slot;
+    out.start = std::max(ready, reconf_end);
+  }
+  out.end = out.start + impl.exec_time;
+  region.free_at = out.end;
+  region.loaded_module = impl.module_id;
+  region.tasks.push_back(t);
+  return out;
+}
+
+PlacementOutcome IskState::PlaceInNewRegion(TaskId t,
+                                            const Implementation& impl,
+                                            TimeT ready) {
+  RESCHED_CHECK_MSG(impl.IsHardware(),
+                    "PlaceInNewRegion with SW implementation");
+  RESCHED_CHECK_MSG(HasFreeCapacity(impl.res), "no capacity for new region");
+  IskRegion region;
+  region.res = impl.res;
+  region.reconf_time = instance_->platform.ReconfTicks(region.res);
+  region.loaded_module = impl.module_id;
+  region.free_at = 0;
+  regions_.push_back(std::move(region));
+  used_cap_ += impl.res;
+
+  PlacementOutcome out;
+  out.start = ready;  // initial configuration is free (§III convention)
+  out.end = out.start + impl.exec_time;
+  IskRegion& created = regions_.back();
+  created.free_at = out.end;
+  created.tasks.push_back(t);
+  return out;
+}
+
+void IskState::AddEmptyRegion(const ResourceVec& res) {
+  RESCHED_CHECK_MSG(HasFreeCapacity(res), "no capacity for fixed region");
+  IskRegion region;
+  region.res = res;
+  region.reconf_time = instance_->platform.ReconfTicks(res);
+  region.loaded_module = -1;
+  region.free_at = 0;
+  regions_.push_back(std::move(region));
+  used_cap_ += res;
+}
+
+void IskState::InsertControllerSlot(const ReconfSlot& slot) {
+  const auto pos = std::upper_bound(
+      controller_.begin(), controller_.end(), slot,
+      [](const ReconfSlot& a, const ReconfSlot& b) { return a.start < b.start; });
+  controller_.insert(pos, slot);
+}
+
+}  // namespace resched::isk

@@ -1,0 +1,96 @@
+// Incremental placement state for the IS-k baseline scheduler.
+//
+// IS-k builds its schedule left-to-right: once a window of k tasks is
+// committed it is never revisited. The state therefore only needs the
+// *frontier* of every shared resource — per-core free times, per-region
+// free times and currently loaded modules, and the reconfiguration
+// controller's busy timeline (kept in full because prefetched
+// reconfigurations may be inserted into past gaps). The state is cheaply
+// copyable, which the window branch-and-bound uses to explore alternative
+// placements.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "sched/schedule.hpp"
+
+namespace resched::isk {
+
+/// A region created by IS-k.
+struct IskRegion {
+  ResourceVec res;
+  TimeT reconf_time = 0;
+  TimeT free_at = 0;             ///< end of the last task executed here
+  std::int32_t loaded_module = -1;  ///< module currently configured
+  std::vector<TaskId> tasks;     ///< execution order
+};
+
+/// Result of placing one task (start/end plus the induced reconfiguration,
+/// if any).
+struct PlacementOutcome {
+  TimeT start = 0;
+  TimeT end = 0;
+  std::optional<ReconfSlot> reconf;
+};
+
+class IskState {
+ public:
+  IskState(const Instance& instance, const ResourceVec& avail_cap);
+
+  const std::vector<IskRegion>& Regions() const { return regions_; }
+  std::size_t NumCores() const { return core_free_.size(); }
+  const ResourceVec& UsedCap() const { return used_cap_; }
+  const std::vector<ReconfSlot>& ControllerTimeline() const {
+    return controller_;
+  }
+
+  bool HasFreeCapacity(const ResourceVec& res) const;
+
+  /// Earliest start >= `lo` of a gap of `duration` on controller `c`.
+  TimeT EarliestControllerGap(std::size_t c, TimeT lo, TimeT duration) const;
+
+  /// (controller, start) pair with the overall earliest gap across all
+  /// controllers.
+  std::pair<std::size_t, TimeT> BestControllerGap(TimeT lo,
+                                                  TimeT duration) const;
+
+  // ---- placement operations (mutating) ---------------------------------
+  /// Runs `t` with software implementation `impl` on `core`; the task is
+  /// ready (all predecessors done) at `ready`.
+  PlacementOutcome PlaceOnCore(TaskId t, const Implementation& impl,
+                               std::size_t core, TimeT ready);
+
+  /// Runs `t` with hardware implementation `impl` in existing region `s`.
+  /// Requires impl.res to fit the region. Handles module reuse: no
+  /// reconfiguration when the region already holds impl's module.
+  PlacementOutcome PlaceInRegion(TaskId t, const Implementation& impl,
+                                 std::size_t s, TimeT ready,
+                                 bool module_reuse);
+
+  /// Creates a region sized for `impl` and runs `t` there. The first
+  /// configuration of a region is free (§III convention), so no
+  /// reconfiguration slot is emitted.
+  PlacementOutcome PlaceInNewRegion(TaskId t, const Implementation& impl,
+                                    TimeT ready);
+
+  /// Pre-creates an empty region of fixed size (used by the fixed-grid
+  /// baseline, which partitions the fabric up front). The region starts
+  /// unconfigured: its first task needs no reconfiguration (§III initial
+  /// configuration convention).
+  void AddEmptyRegion(const ResourceVec& res);
+
+  TimeT CoreFree(std::size_t core) const { return core_free_.at(core); }
+
+ private:
+  void InsertControllerSlot(const ReconfSlot& slot);
+
+  const Instance* instance_;
+  ResourceVec avail_cap_;
+  ResourceVec used_cap_;
+  std::vector<TimeT> core_free_;
+  std::vector<IskRegion> regions_;
+  std::vector<ReconfSlot> controller_;  ///< sorted by start
+};
+
+}  // namespace resched::isk

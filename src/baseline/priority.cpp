@@ -1,0 +1,46 @@
+#include "baseline/priority.hpp"
+
+#include <algorithm>
+
+namespace resched {
+
+namespace {
+std::vector<TimeT> MinExecTimes(const TaskGraph& graph) {
+  std::vector<TimeT> min_exec(graph.NumTasks());
+  for (std::size_t t = 0; t < graph.NumTasks(); ++t) {
+    const Task& task = graph.GetTask(static_cast<TaskId>(t));
+    TimeT best = task.impls.front().exec_time;
+    for (const Implementation& impl : task.impls) {
+      best = std::min(best, impl.exec_time);
+    }
+    min_exec[t] = best;
+  }
+  return min_exec;
+}
+}  // namespace
+
+std::vector<TimeT> ComputeBottomLevels(const TaskGraph& graph) {
+  const std::vector<TimeT> min_exec = MinExecTimes(graph);
+  const std::vector<TaskId> order = graph.TopologicalOrder();
+  std::vector<TimeT> blevel(graph.NumTasks(), 0);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const auto t = static_cast<std::size_t>(*it);
+    TimeT best_succ = 0;
+    for (const TaskId s : graph.Successors(*it)) {
+      best_succ = std::max(best_succ, blevel[static_cast<std::size_t>(s)]);
+    }
+    blevel[t] = min_exec[t] + best_succ;
+  }
+  return blevel;
+}
+
+std::vector<TimeT> ComputeTails(const TaskGraph& graph) {
+  const std::vector<TimeT> min_exec = MinExecTimes(graph);
+  std::vector<TimeT> tails = ComputeBottomLevels(graph);
+  for (std::size_t t = 0; t < tails.size(); ++t) {
+    tails[t] -= min_exec[t];
+  }
+  return tails;
+}
+
+}  // namespace resched

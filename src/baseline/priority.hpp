@@ -1,0 +1,21 @@
+// List-scheduling priorities for the IS-k baseline.
+#pragma once
+
+#include <vector>
+
+#include "taskgraph/taskgraph.hpp"
+
+namespace resched {
+
+/// Bottom level (b-level) per task: the longest path from the task to any
+/// sink, task execution counted with its *minimum* implementation time.
+/// Scheduling high-b-level tasks first is the standard list-scheduling
+/// priority; IS-k consumes its ready set in this order.
+std::vector<TimeT> ComputeBottomLevels(const TaskGraph& graph);
+
+/// Tail per task: b-level minus the task's own minimum execution time, i.e.
+/// the lower bound on the work that must still run after the task ends.
+/// Used as the admissible look-ahead in the window search objective.
+std::vector<TimeT> ComputeTails(const TaskGraph& graph);
+
+}  // namespace resched

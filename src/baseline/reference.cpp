@@ -1,0 +1,126 @@
+#include "baseline/reference.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "baseline/priority.hpp"
+#include "taskgraph/timing.hpp"
+
+namespace resched {
+
+Schedule ScheduleAllSoftware(const Instance& instance) {
+  const TaskGraph& graph = instance.graph;
+  const std::size_t n = graph.NumTasks();
+  const std::vector<TimeT> blevels = ComputeBottomLevels(graph);
+
+  Schedule schedule;
+  schedule.task_slots.resize(n);
+  std::vector<TimeT> core_free(instance.platform.NumProcessors(), 0);
+  std::vector<TimeT> end(n, 0);
+  std::vector<std::size_t> pending(n, 0);
+  for (std::size_t t = 0; t < n; ++t) {
+    pending[t] = graph.Predecessors(static_cast<TaskId>(t)).size();
+  }
+
+  std::vector<TaskId> ready;
+  for (std::size_t t = 0; t < n; ++t) {
+    if (pending[t] == 0) ready.push_back(static_cast<TaskId>(t));
+  }
+
+  std::size_t done = 0;
+  while (done < n) {
+    RESCHED_CHECK_MSG(!ready.empty(), "no ready task (cycle?)");
+    std::stable_sort(ready.begin(), ready.end(), [&](TaskId a, TaskId b) {
+      return blevels[static_cast<std::size_t>(a)] >
+             blevels[static_cast<std::size_t>(b)];
+    });
+    const TaskId t = ready.front();
+    ready.erase(ready.begin());
+    const auto ti = static_cast<std::size_t>(t);
+
+    TimeT ready_time = 0;
+    for (const TaskId p : graph.Predecessors(t)) {
+      ready_time = std::max(ready_time, end[static_cast<std::size_t>(p)]);
+    }
+    const std::size_t impl_index = graph.FastestSoftwareImpl(t);
+    const Implementation& impl = graph.GetImpl(t, impl_index);
+
+    // Earliest-finish core.
+    std::size_t best_core = 0;
+    for (std::size_t p = 1; p < core_free.size(); ++p) {
+      if (core_free[p] < core_free[best_core]) best_core = p;
+    }
+    const TimeT start = std::max(ready_time, core_free[best_core]);
+
+    TaskSlot& slot = schedule.task_slots[ti];
+    slot.task = t;
+    slot.impl_index = impl_index;
+    slot.target = TargetKind::kProcessor;
+    slot.target_index = best_core;
+    slot.start = start;
+    slot.end = start + impl.exec_time;
+    core_free[best_core] = slot.end;
+    end[ti] = slot.end;
+
+    ++done;
+    for (const TaskId s : graph.Successors(t)) {
+      if (--pending[static_cast<std::size_t>(s)] == 0) ready.push_back(s);
+    }
+  }
+
+  schedule.makespan = schedule.ComputeMakespan();
+  schedule.algorithm = "all-SW";
+  return schedule;
+}
+
+TimeT WorkLowerBound(const Instance& instance) {
+  const TaskGraph& graph = instance.graph;
+
+  // Minimum total work and the smallest hardware footprint any task can
+  // have (for the optimistic concurrent-region count).
+  TimeT total_work = 0;
+  std::int64_t min_footprint = std::numeric_limits<std::int64_t>::max();
+  for (std::size_t t = 0; t < graph.NumTasks(); ++t) {
+    const Task& task = graph.GetTask(static_cast<TaskId>(t));
+    TimeT best = task.impls.front().exec_time;
+    for (const Implementation& impl : task.impls) {
+      best = std::min(best, impl.exec_time);
+      if (impl.IsHardware()) {
+        min_footprint = std::min(min_footprint, impl.res.Total());
+      }
+    }
+    total_work += best;
+  }
+
+  std::size_t sites = instance.platform.NumProcessors();
+  if (min_footprint < std::numeric_limits<std::int64_t>::max() &&
+      min_footprint > 0) {
+    const std::int64_t cap = instance.platform.Device().Capacity().Total();
+    sites += static_cast<std::size_t>(cap / min_footprint);
+  }
+  if (sites == 0) return total_work;
+  // Ceiling division keeps the bound valid for integer slot lengths.
+  return (total_work + static_cast<TimeT>(sites) - 1) /
+         static_cast<TimeT>(sites);
+}
+
+TimeT CombinedLowerBound(const Instance& instance) {
+  return std::max(CriticalPathLowerBound(instance),
+                  WorkLowerBound(instance));
+}
+
+TimeT CriticalPathLowerBound(const Instance& instance) {
+  const TaskGraph& graph = instance.graph;
+  TimingContext timing(graph);
+  for (std::size_t t = 0; t < graph.NumTasks(); ++t) {
+    const Task& task = graph.GetTask(static_cast<TaskId>(t));
+    TimeT best = task.impls.front().exec_time;
+    for (const Implementation& impl : task.impls) {
+      best = std::min(best, impl.exec_time);
+    }
+    timing.SetExecTime(static_cast<TaskId>(t), best);
+  }
+  return timing.Makespan();
+}
+
+}  // namespace resched

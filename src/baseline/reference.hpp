@@ -1,0 +1,30 @@
+// Reference schedules and bounds used by tests and benchmarks to sanity-
+// frame the heuristics' results.
+#pragma once
+
+#include "sched/schedule.hpp"
+
+namespace resched {
+
+/// All-software list schedule: every task on its fastest software
+/// implementation, greedily mapped (earliest-finish) onto the cores in
+/// b-level priority order. Always valid; the "no FPGA" upper reference.
+Schedule ScheduleAllSoftware(const Instance& instance);
+
+/// Critical-path lower bound: CPM length with every task at its minimum
+/// implementation time and unlimited resources. No valid schedule can beat
+/// this.
+TimeT CriticalPathLowerBound(const Instance& instance);
+
+/// Work-conservation lower bound: total minimum work divided by the
+/// maximum number of execution sites that can ever be active at once
+/// (cores + the most single-smallest-footprint regions the fabric could
+/// hold). Deliberately optimistic about parallelism, so it is a valid
+/// bound for every scheduler; it dominates the critical-path bound on
+/// wide graphs under capacity pressure.
+TimeT WorkLowerBound(const Instance& instance);
+
+/// max(CriticalPathLowerBound, WorkLowerBound).
+TimeT CombinedLowerBound(const Instance& instance);
+
+}  // namespace resched

@@ -1,0 +1,99 @@
+// Final assembly: freezes the phase results into a Schedule (§V-E start and
+// end computation, applied to the *final* windows after every delay
+// propagation) and double-checks the reconfiguration timeline invariants
+// that phase G establishes by construction.
+#include <algorithm>
+#include <map>
+
+#include "core/pa_state.hpp"
+
+namespace resched::pa {
+
+Schedule AssembleSchedule(PaState& state, std::vector<ReconfSlot> reconfs) {
+  const TaskGraph& graph = state.Inst().graph;
+  const TimeWindows& win = state.Timing().Windows();
+
+  // Ingoing task per reconfiguration (the region task preceding the loaded
+  // one), for the invariant sweep below.
+  std::map<std::pair<std::size_t, TaskId>, TaskId> ingoing;
+  for (std::size_t s = 0; s < state.Regions().size(); ++s) {
+    const DraftRegion& region = state.Regions()[s];
+    for (std::size_t i = 0; i + 1 < region.tasks.size(); ++i) {
+      ingoing[{s, region.tasks[i + 1]}] = region.tasks[i];
+    }
+  }
+
+  // Invariant sweep: under the final windows every reconfiguration must
+  // start after its ingoing task ends, finish before its outgoing task
+  // starts, and the controller timeline must be overlap-free. Phase G
+  // guarantees all three; this is cheap insurance against regressions.
+  {
+    std::vector<ReconfSlot> sorted = reconfs;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const ReconfSlot& a, const ReconfSlot& b) {
+                return a.start < b.start;
+              });
+    std::vector<TimeT> last_end(
+        state.Inst().platform.NumReconfigurators(), 0);
+    for (const ReconfSlot& slot : sorted) {
+      const auto it = ingoing.find({slot.region, slot.loads_task});
+      RESCHED_CHECK_MSG(it != ingoing.end(),
+                        "reconfiguration without an ingoing task");
+      const auto in = static_cast<std::size_t>(it->second);
+      const auto out = static_cast<std::size_t>(slot.loads_task);
+      RESCHED_CHECK_MSG(
+          slot.start >= win.earliest_start[in] +
+                            state.Timing().ExecTime(it->second),
+          "reconfiguration starts before its ingoing task ends");
+      RESCHED_CHECK_MSG(slot.end <= win.earliest_start[out],
+                        "reconfiguration ends after its outgoing task starts");
+      RESCHED_CHECK_MSG(slot.start >= last_end.at(slot.controller),
+                        "reconfigurations overlap on a controller");
+      last_end[slot.controller] = slot.end;
+    }
+  }
+
+  // ---- freeze the schedule (§V-E on the final windows).
+  Schedule schedule;
+  schedule.task_slots.resize(graph.NumTasks());
+  for (std::size_t ti = 0; ti < graph.NumTasks(); ++ti) {
+    const auto t = static_cast<TaskId>(ti);
+    TaskSlot& slot = schedule.task_slots[ti];
+    slot.task = t;
+    slot.impl_index = state.ImplIndex(t);
+    slot.start = win.earliest_start[ti];
+    slot.end = slot.start + state.Timing().ExecTime(t);
+    if (state.RegionOf(t) >= 0) {
+      slot.target = TargetKind::kRegion;
+      slot.target_index = static_cast<std::size_t>(state.RegionOf(t));
+    } else {
+      RESCHED_CHECK_MSG(state.ProcessorOf(t) >= 0,
+                        "software task was never mapped to a core");
+      slot.target = TargetKind::kProcessor;
+      slot.target_index = static_cast<std::size_t>(state.ProcessorOf(t));
+    }
+  }
+
+  schedule.regions.reserve(state.Regions().size());
+  for (const DraftRegion& draft : state.Regions()) {
+    RegionInfo info;
+    info.res = draft.res;
+    info.reconf_time = draft.reconf_time;
+    info.tasks = draft.tasks;
+    std::sort(info.tasks.begin(), info.tasks.end(),
+              [&schedule](TaskId a, TaskId b) {
+                return schedule.SlotOf(a).start < schedule.SlotOf(b).start;
+              });
+    schedule.regions.push_back(std::move(info));
+  }
+
+  std::sort(reconfs.begin(), reconfs.end(),
+            [](const ReconfSlot& a, const ReconfSlot& b) {
+              return a.start < b.start;
+            });
+  schedule.reconfigurations = std::move(reconfs);
+  schedule.makespan = schedule.ComputeMakespan();
+  return schedule;
+}
+
+}  // namespace resched::pa

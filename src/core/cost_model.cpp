@@ -1,0 +1,48 @@
+#include "core/cost_model.hpp"
+
+namespace resched {
+
+std::vector<double> ComputeResourceWeights(const ResourceVec& max_res) {
+  const double total = static_cast<double>(max_res.Total());
+  RESCHED_CHECK_MSG(total > 0.0, "device with zero capacity");
+  std::vector<double> weights(max_res.size());
+  for (std::size_t r = 0; r < max_res.size(); ++r) {
+    weights[r] = 1.0 - static_cast<double>(max_res[r]) / total;
+  }
+  return weights;
+}
+
+double WeightedResources(const ResourceVec& res,
+                         const std::vector<double>& weights) {
+  RESCHED_CHECK_MSG(res.size() == weights.size(), "arity mismatch");
+  double sum = 0.0;
+  for (std::size_t r = 0; r < res.size(); ++r) {
+    sum += weights[r] * static_cast<double>(res[r]);
+  }
+  return sum;
+}
+
+double ImplementationCost(const Implementation& impl,
+                          const ResourceVec& max_res,
+                          const std::vector<double>& weights, TimeT max_t) {
+  RESCHED_CHECK_MSG(impl.IsHardware(), "Eq.(3) applies to HW implementations");
+  RESCHED_CHECK_MSG(max_t > 0, "maxT must be positive");
+  const double denom = WeightedResources(max_res, weights);
+  RESCHED_CHECK_MSG(denom > 0.0, "degenerate resource weights");
+  const double rel_res = WeightedResources(impl.res, weights) / denom;
+  const double rel_time =
+      static_cast<double>(impl.exec_time) / static_cast<double>(max_t);
+  return rel_res + rel_time;
+}
+
+double EfficiencyIndex(const Implementation& impl,
+                       const std::vector<double>& weights) {
+  RESCHED_CHECK_MSG(impl.IsHardware(), "Eq.(5) applies to HW implementations");
+  const double weighted = WeightedResources(impl.res, weights);
+  // A hardware implementation using only the most abundant kind can have a
+  // near-zero weighted footprint; clamp to keep the index finite.
+  const double denom = weighted > 1e-12 ? weighted : 1e-12;
+  return static_cast<double>(impl.exec_time) / denom;
+}
+
+}  // namespace resched

@@ -1,0 +1,33 @@
+// The paper's cost metrics: resource weights (Eq. 4), implementation cost
+// (Eq. 3) and the efficiency index (Eq. 5) that gives the approach its name.
+#pragma once
+
+#include <vector>
+
+#include "taskgraph/taskgraph.hpp"
+
+namespace resched {
+
+/// Eq. (4): weightRes_r = 1 - maxRes_r / sum_r' maxRes_r'. Scarcer resource
+/// kinds (BRAM, DSP) receive weights close to 1; abundant ones (CLB) close
+/// to 0, so using a scarce resource is expensive.
+std::vector<double> ComputeResourceWeights(const ResourceVec& max_res);
+
+/// Weighted resource amount sum_r weightRes_r * res_r.
+double WeightedResources(const ResourceVec& res,
+                         const std::vector<double>& weights);
+
+/// Eq. (3): cost of a hardware implementation — relative weighted resource
+/// usage plus execution time normalized by maxT (the all-fastest serial
+/// schedule length, Eq. 4 bottom).
+double ImplementationCost(const Implementation& impl,
+                          const ResourceVec& max_res,
+                          const std::vector<double>& weights, TimeT max_t);
+
+/// Eq. (5): efficiency index — execution time per weighted resource unit.
+/// High-efficiency implementations are slow-but-small; scheduling them
+/// first lets more regions coexist on the fabric.
+double EfficiencyIndex(const Implementation& impl,
+                       const std::vector<double>& weights);
+
+}  // namespace resched

@@ -1,0 +1,165 @@
+#include "core/local_search.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/cost_model.hpp"
+#include "util/timer.hpp"
+
+namespace resched {
+
+namespace {
+
+/// Mutates (order, factor) in place: one of a random transposition, a
+/// short segment reversal, or a capacity-factor nudge.
+void Mutate(std::vector<TaskId>& order, double& factor,
+            const PaLsOptions& options, Rng& rng) {
+  const std::int64_t kind = rng.UniformInt(0, 3);
+  const auto n = static_cast<std::int64_t>(order.size());
+  if (kind <= 1 && n >= 2) {  // transposition (most common move)
+    const auto i = static_cast<std::size_t>(rng.UniformInt(0, n - 1));
+    const auto j = static_cast<std::size_t>(rng.UniformInt(0, n - 1));
+    std::swap(order[i], order[j]);
+  } else if (kind == 2 && n >= 3) {  // short reversal
+    const auto i = static_cast<std::size_t>(rng.UniformInt(0, n - 3));
+    const auto len = static_cast<std::size_t>(
+        rng.UniformInt(2, std::min<std::int64_t>(6, n - static_cast<std::int64_t>(i))));
+    std::reverse(order.begin() + static_cast<std::ptrdiff_t>(i),
+                 order.begin() + static_cast<std::ptrdiff_t>(i + len));
+  } else {  // capacity nudge
+    factor = std::clamp(factor + rng.UniformDouble(-0.08, 0.08),
+                        options.capacity_factor_lo,
+                        options.capacity_factor_hi);
+  }
+}
+
+}  // namespace
+
+PaRResult SchedulePaLs(const Instance& instance,
+                       const PaLsOptions& options) {
+  RESCHED_CHECK_MSG(
+      options.time_budget_seconds > 0.0 || options.max_iterations > 0,
+      "PA-LS needs a time budget or an iteration cap");
+  RESCHED_CHECK_MSG(options.capacity_factor_lo > 0.0 &&
+                        options.capacity_factor_lo <=
+                            options.capacity_factor_hi &&
+                        options.capacity_factor_hi <= 1.0,
+                    "capacity factors must satisfy 0 < lo <= hi <= 1");
+  instance.graph.Validate(instance.platform.Device());
+
+  const Deadline deadline(options.time_budget_seconds);
+  Rng rng(options.seed);
+  const ResourceVec full_cap = instance.platform.Device().Capacity();
+
+  PaRResult result;
+  TimeT best_makespan = kTimeInfinity;
+  // Walk state initialized from the warm start: its shrink loop tells us
+  // at which virtual capacity feasible region sets live — starting the
+  // walk at factor 1.0 would propose only unfloorplannable candidates and
+  // capacity-lowering moves could never win on raw makespan.
+  double start_factor = options.capacity_factor_hi;
+  TimeT current_makespan = kTimeInfinity;
+
+  if (options.seed_with_deterministic) {
+    PaOptions det = options.base;
+    det.ordering = NonCriticalOrder::kEfficiency;
+    det.explicit_order.clear();
+    det.run_floorplan = true;
+    Schedule warm = SchedulePa(instance, det);
+    warm.algorithm = "PA-LS";
+    best_makespan = warm.makespan;
+    current_makespan = warm.makespan;
+    for (std::size_t r = 0; r < warm.floorplan_retries; ++r) {
+      start_factor *= det.shrink_factor;
+    }
+    start_factor = std::clamp(start_factor, options.capacity_factor_lo,
+                              options.capacity_factor_hi);
+    result.best = std::move(warm);
+    result.found = true;
+    if (options.record_trace) {
+      result.trace.push_back(
+          TracePoint{deadline.ElapsedSeconds(), best_makespan, 0});
+    }
+  }
+
+  // Start point: efficiency-index order over all tasks (PA's own order
+  // restricted to whichever tasks end up non-critical).
+  const std::vector<double> weights =
+      ComputeResourceWeights(instance.platform.Device().Capacity());
+  std::vector<TaskId> current(instance.graph.NumTasks());
+  std::iota(current.begin(), current.end(), TaskId{0});
+  std::stable_sort(current.begin(), current.end(), [&](TaskId a, TaskId b) {
+    auto best_eff = [&](TaskId t) {
+      double best = 0.0;
+      for (const std::size_t i : instance.graph.HardwareImpls(t)) {
+        best = std::max(best,
+                        EfficiencyIndex(instance.graph.GetImpl(t, i),
+                                        weights));
+      }
+      return best;
+    };
+    return best_eff(a) > best_eff(b);
+  });
+  double current_factor = start_factor;
+
+  PaOptions inner = options.base;
+  inner.ordering = NonCriticalOrder::kExplicit;
+  inner.run_floorplan = false;
+
+  std::size_t stall = 0;
+  std::size_t iterations = 0;
+  while (!deadline.Expired() &&
+         (options.max_iterations == 0 ||
+          iterations < options.max_iterations)) {
+    ++iterations;
+
+    std::vector<TaskId> candidate_order = current;
+    double candidate_factor = current_factor;
+    if (stall >= options.stall_limit) {  // random restart
+      rng.Shuffle(candidate_order);
+      candidate_factor = rng.UniformDouble(options.capacity_factor_lo,
+                                           options.capacity_factor_hi);
+      current_makespan = kTimeInfinity;  // accept whatever the restart finds
+      stall = 0;
+    } else {
+      Mutate(candidate_order, candidate_factor, options, rng);
+    }
+
+    inner.explicit_order = candidate_order;
+    Rng scratch = rng.Split();
+    Schedule schedule = RunPaCore(
+        instance, inner, full_cap.ScaledDown(candidate_factor), scratch);
+
+    if (schedule.makespan < current_makespan) {
+      current = std::move(candidate_order);
+      current_factor = candidate_factor;
+      current_makespan = schedule.makespan;
+      stall = 0;
+    } else {
+      ++stall;
+    }
+
+    if (schedule.makespan >= best_makespan) continue;
+    const FloorplanResult fp =
+        FindFloorplan(instance.platform.Device(),
+                      schedule.RegionRequirements(), inner.floorplan);
+    if (!fp.feasible) continue;
+    best_makespan = schedule.makespan;
+    schedule.floorplan = fp.rects;
+    schedule.floorplan_checked = true;
+    schedule.algorithm = "PA-LS";
+    result.best = std::move(schedule);
+    result.found = true;
+    if (options.record_trace) {
+      result.trace.push_back(
+          TracePoint{deadline.ElapsedSeconds(), best_makespan, iterations});
+    }
+  }
+
+  result.iterations = iterations;
+  result.seconds = deadline.ElapsedSeconds();
+  if (result.found) result.best.scheduling_seconds = result.seconds;
+  return result;
+}
+
+}  // namespace resched

@@ -1,0 +1,41 @@
+// PA-LS: local search over the regions-definition processing order.
+//
+// PA-R explores orderings by independent random restarts; PA-LS instead
+// walks a neighborhood: starting from the efficiency-index order (PA's
+// choice), it repeatedly proposes a mutated (order, capacity-factor) pair
+// — a random transposition, a small segment reversal, or a capacity
+// nudge — reruns the PA core, and accepts first improvements. After
+// `stall_limit` consecutive rejected proposals the walk restarts from a
+// fresh random order (keeping the incumbent). Like PA-R, candidates are
+// floorplan-checked only when they improve the incumbent, and the search
+// is warm-started with the deterministic PA schedule.
+//
+// This is an extension beyond the paper — §VI explicitly leaves "finding
+// the best ordering" open; PA-LS is the natural next step after random
+// restarts, and `bench/ext_local_search` measures whether the structure
+// of the ordering space rewards locality.
+#pragma once
+
+#include "core/pa_scheduler.hpp"
+#include "core/randomized.hpp"
+
+namespace resched {
+
+struct PaLsOptions {
+  double time_budget_seconds = 1.0;
+  /// Proposal cap; 0 = unbounded (budget-limited only).
+  std::size_t max_iterations = 0;
+  std::uint64_t seed = 1;
+  /// Consecutive rejected proposals before a random restart.
+  std::size_t stall_limit = 40;
+  PaOptions base;  ///< ordering/explicit_order are managed internally
+  double capacity_factor_lo = 0.70;
+  double capacity_factor_hi = 1.0;
+  bool seed_with_deterministic = true;
+  bool record_trace = false;
+};
+
+/// Result mirrors PA-R's.
+PaRResult SchedulePaLs(const Instance& instance, const PaLsOptions& options);
+
+}  // namespace resched

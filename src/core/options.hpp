@@ -1,0 +1,53 @@
+// Options for the PA deterministic scheduler (§V) and its PA-R randomized
+// variant (§VI).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "floorplan/floorplanner.hpp"
+#include "taskgraph/taskgraph.hpp"
+
+namespace resched {
+
+/// Processing order of *non-critical* hardware tasks during regions
+/// definition (§V-C / §VI). Critical tasks are always ordered by descending
+/// efficiency index, as in the paper.
+enum class NonCriticalOrder : std::uint8_t {
+  kEfficiency,    ///< descending efficiency index (deterministic PA)
+  kRandom,        ///< uniformly random permutation (PA-R inner call)
+  kFastestFirst,  ///< ascending execution time (the IS-1-like greedy bias;
+                  ///< ablation only)
+  kGraphOrder,    ///< task-id order (ablation only)
+  kExplicit,      ///< caller-supplied priority permutation (PA-LS inner
+                  ///< call; see PaOptions::explicit_order)
+};
+
+struct PaOptions {
+  NonCriticalOrder ordering = NonCriticalOrder::kEfficiency;
+  /// Seed for NonCriticalOrder::kRandom.
+  std::uint64_t seed = 0;
+
+  /// Priority permutation for NonCriticalOrder::kExplicit: non-critical
+  /// hardware tasks are processed in the order their ids appear here
+  /// (tasks not listed keep their relative efficiency order, after the
+  /// listed ones). May contain every task id; irrelevant entries are
+  /// ignored.
+  std::vector<TaskId> explicit_order;
+
+  /// Phase D (software task balancing) on/off — ablation knob.
+  bool sw_balancing = true;
+
+  /// Module-reuse extension (paper future work, default off): skip the
+  /// reconfiguration between consecutive same-module tasks of a region.
+  bool module_reuse = false;
+
+  /// Phase H: run the floorplanner and, on failure, shrink the virtually
+  /// available FPGA resources by `shrink_factor` and restart (§V-H).
+  bool run_floorplan = true;
+  double shrink_factor = 0.9;
+  std::size_t max_shrink_rounds = 12;
+  FloorplanOptions floorplan;
+};
+
+}  // namespace resched

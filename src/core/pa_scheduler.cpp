@@ -1,0 +1,70 @@
+#include "core/pa_scheduler.hpp"
+
+#include "core/pa_state.hpp"
+#include "util/logging.hpp"
+#include "util/timer.hpp"
+
+namespace resched {
+
+Schedule RunPaCore(const Instance& instance, const PaOptions& options,
+                   const ResourceVec& avail_cap, Rng& rng) {
+  pa::PaState state(instance, avail_cap, options);
+  pa::RunImplementationSelection(state);
+  pa::RunCriticalPathExtraction(state);
+  pa::RunRegionsDefinition(state, rng);
+  if (options.sw_balancing) pa::RunSoftwareTaskBalancing(state);
+  pa::RunSoftwareTaskMapping(state);
+  std::vector<ReconfSlot> reconfs = pa::RunReconfigurationScheduling(state);
+  Schedule schedule = pa::AssembleSchedule(state, std::move(reconfs));
+  schedule.algorithm =
+      options.ordering == NonCriticalOrder::kRandom ? "PA-R(inner)" : "PA";
+  return schedule;
+}
+
+Schedule SchedulePa(const Instance& instance, const PaOptions& options) {
+  instance.graph.Validate(instance.platform.Device());
+  Rng rng(options.seed);
+
+  double scheduling_seconds = 0.0;
+  double floorplanning_seconds = 0.0;
+
+  ResourceVec avail_cap = instance.platform.Device().Capacity();
+  Schedule schedule;
+  for (std::size_t round = 0; round <= options.max_shrink_rounds; ++round) {
+    const bool last_round = round == options.max_shrink_rounds;
+    if (last_round) {
+      // Fallback: zero virtual capacity forces an all-software schedule,
+      // which needs no regions and hence no floorplan.
+      avail_cap = avail_cap.ScaledDown(0.0);
+    }
+
+    WallTimer sched_timer;
+    schedule = RunPaCore(instance, options, avail_cap, rng);
+    scheduling_seconds += sched_timer.ElapsedSeconds();
+    schedule.floorplan_retries = round;
+
+    if (!options.run_floorplan) break;
+
+    const FloorplanResult fp = FindFloorplan(
+        instance.platform.Device(), schedule.RegionRequirements(),
+        options.floorplan);
+    floorplanning_seconds += fp.seconds;
+    if (fp.feasible) {
+      schedule.floorplan = fp.rects;
+      schedule.floorplan_checked = true;
+      break;
+    }
+    RESCHED_LOG_INFO << "floorplan infeasible for " << schedule.regions.size()
+                     << " regions (round " << round
+                     << "); shrinking available resources by "
+                     << options.shrink_factor;
+    avail_cap = avail_cap.ScaledDown(options.shrink_factor);
+  }
+
+  schedule.algorithm = "PA";
+  schedule.scheduling_seconds = scheduling_seconds;
+  schedule.floorplanning_seconds = floorplanning_seconds;
+  return schedule;
+}
+
+}  // namespace resched

@@ -1,0 +1,27 @@
+// Public entry points for the PA deterministic scheduler (the paper's
+// primary contribution, §IV-§V).
+#pragma once
+
+#include "core/options.hpp"
+#include "sched/schedule.hpp"
+#include "util/rng.hpp"
+
+namespace resched {
+
+/// Runs the full PA pipeline: the eight phases of §V including the
+/// feasibility-check loop of §V-H (floorplan; on failure shrink the
+/// virtually available resources by options.shrink_factor and restart).
+/// Always returns a complete schedule: if no floorplannable region set is
+/// found within options.max_shrink_rounds, the final round runs with zero
+/// virtual FPGA capacity, i.e. an all-software schedule, which is trivially
+/// feasible.
+Schedule SchedulePa(const Instance& instance, const PaOptions& options = {});
+
+/// One pass of the phases of §V-A..§V-G (no floorplanning) against a given
+/// virtually available capacity. This is the doSchedule() of Algorithm 1;
+/// PA-R calls it directly. `rng` is consulted only when
+/// options.ordering == NonCriticalOrder::kRandom.
+Schedule RunPaCore(const Instance& instance, const PaOptions& options,
+                   const ResourceVec& avail_cap, Rng& rng);
+
+}  // namespace resched

@@ -1,0 +1,204 @@
+#include "core/pa_state.hpp"
+
+#include <algorithm>
+
+#include "core/cost_model.hpp"
+#include "sched/comm.hpp"
+
+namespace resched::pa {
+
+PaState::PaState(const Instance& instance, const ResourceVec& avail_cap,
+                 const PaOptions& options)
+    : instance_(&instance),
+      options_(&options),
+      avail_cap_(avail_cap),
+      weights_(ComputeResourceWeights(instance.platform.Device().Capacity())),
+      max_t_(instance.graph.SerialLowerBoundTime()),
+      impl_of_(instance.graph.NumTasks(), 0),
+      timing_(instance.graph),
+      critical0_(instance.graph.NumTasks(), false),
+      region_of_(instance.graph.NumTasks(), -1),
+      used_cap_(instance.platform.Device().Model().ZeroVec()),
+      processor_of_(instance.graph.NumTasks(), -1) {
+  // Note: the weights of Eq. (4) are defined against the *device* capacity,
+  // not the (possibly shrunk) virtually available capacity — shrinking is a
+  // packing restriction, not a change of the device.
+}
+
+void PaState::SetImpl(TaskId t, std::size_t impl_index) {
+  const Task& task = Inst().graph.GetTask(t);
+  RESCHED_CHECK_MSG(impl_index < task.impls.size(), "impl index out of range");
+  impl_of_[static_cast<std::size_t>(t)] = impl_index;
+  timing_.SetExecTime(t, task.impls[impl_index].exec_time);
+
+  // Communication-overhead extension: the HW/SW domain of `t` may have
+  // changed, so refresh the transfer gaps on its incident edges.
+  const TaskGraph& graph = Inst().graph;
+  if (graph.HasEdgeData() &&
+      Inst().platform.HwSwBandwidthBytesPerSec() > 0.0) {
+    const bool t_hw = ChosenImpl(t).IsHardware();
+    for (const TaskId p : graph.Predecessors(t)) {
+      timing_.SetBaseEdgeGap(
+          p, t,
+          CommGap(Inst().platform, graph, p, t,
+                  ChosenImpl(p).IsHardware(), t_hw));
+    }
+    for (const TaskId s : graph.Successors(t)) {
+      timing_.SetBaseEdgeGap(
+          t, s,
+          CommGap(Inst().platform, graph, t, s, t_hw,
+                  ChosenImpl(s).IsHardware()));
+    }
+  }
+}
+
+const Implementation& PaState::ChosenImpl(TaskId t) const {
+  return Inst().graph.GetImpl(t, impl_of_.at(static_cast<std::size_t>(t)));
+}
+
+void PaState::SwitchToSoftware(TaskId t) {
+  RESCHED_CHECK_MSG(RegionOf(t) < 0,
+                    "cannot switch a region-assigned task to software");
+  SetImpl(t, Inst().graph.FastestSoftwareImpl(t));
+}
+
+void PaState::SnapshotCriticality() {
+  const TimeWindows& win = timing_.Windows();
+  for (std::size_t t = 0; t < critical0_.size(); ++t) {
+    critical0_[t] = win.critical[t];
+  }
+}
+
+bool PaState::HasFreeCapacity(const ResourceVec& res) const {
+  return (used_cap_ + res).FitsWithin(avail_cap_);
+}
+
+bool PaState::CanHost(std::size_t region, TaskId t, std::size_t impl_index,
+                      bool require_reconf_room) const {
+  RESCHED_CHECK_MSG(region < regions_.size(), "region out of range");
+  const DraftRegion& r = regions_[region];
+  const Implementation& impl = Inst().graph.GetImpl(t, impl_index);
+  RESCHED_CHECK_MSG(impl.IsHardware(), "CanHost with software implementation");
+  if (!impl.res.FitsWithin(r.res)) return false;
+
+  // Overlap test on the *planned occupancy slots* [T_MIN, T_MIN + exec).
+  //
+  // Interpretation note (see DESIGN.md §4): testing on the full
+  // [T_MIN, T_MAX] windows would reject almost every reuse, because
+  // non-critical windows are wide and mutually overlapping; slots are what
+  // the tasks will actually occupy (§V-E pins T_START = T_MIN), and the
+  // serialization edges added on assignment guarantee region exclusivity
+  // even when later delay propagation shifts the slots.
+  const TimeWindows& win = timing_.Windows();
+  const auto ti = static_cast<std::size_t>(t);
+  const TimeT start_t = win.earliest_start[ti];
+  const TimeT end_t = start_t + timing_.ExecTime(t);
+  const TimeT room = require_reconf_room ? r.reconf_time : 0;
+
+  for (const TaskId u : r.tasks) {
+    const auto ui = static_cast<std::size_t>(u);
+    const TimeT start_u = win.earliest_start[ui];
+    const TimeT end_u = start_u + timing_.ExecTime(u);
+    // Slots must be disjoint; with reconf room, the side on which the
+    // reconfiguration would run must additionally fit reconf_s — unless
+    // the pair shares a module under the reuse extension (no
+    // reconfiguration will run between them).
+    TimeT pair_room = room;
+    if (pair_room > 0 && Options().module_reuse) {
+      const Implementation& u_impl = ChosenImpl(u);
+      if (u_impl.module_id >= 0 && u_impl.module_id == impl.module_id) {
+        pair_room = 0;
+      }
+    }
+    const bool u_before_t = end_u + pair_room <= start_t;
+    const bool t_before_u = end_t + pair_room <= start_u;
+    if (!u_before_t && !t_before_u) return false;
+  }
+  return true;
+}
+
+bool PaState::WouldAvoidReconf(std::size_t region, TaskId t,
+                               std::size_t impl_index) const {
+  if (!Options().module_reuse) return false;
+  const DraftRegion& r = regions_.at(region);
+  const Implementation& impl = Inst().graph.GetImpl(t, impl_index);
+  if (impl.module_id < 0) return false;
+
+  // Insertion position by earliest start (same rule as AssignToRegion).
+  const TimeWindows& win = timing_.Windows();
+  const TimeT es_t = win.earliest_start[static_cast<std::size_t>(t)];
+  std::size_t pos = 0;
+  while (pos < r.tasks.size() &&
+         win.earliest_start[static_cast<std::size_t>(r.tasks[pos])] < es_t) {
+    ++pos;
+  }
+  if (pos == 0) return false;  // would be first: initial config is free anyway
+  return ChosenImpl(r.tasks[pos - 1]).module_id == impl.module_id;
+}
+
+std::size_t PaState::CreateRegionFor(TaskId t) {
+  const Implementation& impl = ChosenImpl(t);
+  RESCHED_CHECK_MSG(impl.IsHardware(), "region for a software implementation");
+  RESCHED_CHECK_MSG(HasFreeCapacity(impl.res), "no capacity for new region");
+  DraftRegion region;
+  region.res = impl.res;
+  region.reconf_time = Inst().platform.ReconfTicks(region.res);
+  region.tasks.push_back(t);
+  regions_.push_back(std::move(region));
+  used_cap_ += impl.res;
+  region_of_[static_cast<std::size_t>(t)] =
+      static_cast<int>(regions_.size() - 1);
+  return regions_.size() - 1;
+}
+
+TimeT PaState::RegionGap(std::size_t region, TaskId before,
+                         TaskId after) const {
+  if (Options().module_reuse) {
+    const Implementation& a = ChosenImpl(before);
+    const Implementation& b = ChosenImpl(after);
+    if (a.module_id >= 0 && a.module_id == b.module_id) return 0;
+  }
+  return regions_.at(region).reconf_time;
+}
+
+void PaState::AssignToRegion(std::size_t region, TaskId t) {
+  RESCHED_CHECK_MSG(region < regions_.size(), "region out of range");
+  RESCHED_CHECK_MSG(RegionOf(t) < 0, "task already assigned to a region");
+  DraftRegion& r = regions_[region];
+  const TimeWindows& win = timing_.Windows();
+  const TimeT es_t = win.earliest_start[static_cast<std::size_t>(t)];
+
+  // Insert position: tasks in a region have pairwise-disjoint windows, so
+  // ordering by earliest start equals ordering by windows.
+  std::size_t pos = 0;
+  while (pos < r.tasks.size() &&
+         win.earliest_start[static_cast<std::size_t>(r.tasks[pos])] < es_t) {
+    ++pos;
+  }
+  r.tasks.insert(r.tasks.begin() + static_cast<std::ptrdiff_t>(pos), t);
+  region_of_[static_cast<std::size_t>(t)] = static_cast<int>(region);
+
+  // Serialization edges with reconfiguration gaps. Stale prev->next edges
+  // from earlier insertions remain in the timing context but are dominated
+  // by the two new edges, so they are harmless.
+  if (pos > 0) {
+    const TaskId prev = r.tasks[pos - 1];
+    timing_.AddOrderingEdge(prev, t, RegionGap(region, prev, t));
+  }
+  if (pos + 1 < r.tasks.size()) {
+    const TaskId next = r.tasks[pos + 1];
+    timing_.AddOrderingEdge(t, next, RegionGap(region, t, next));
+  }
+}
+
+TimeT PaState::TotalReconfTimeEstimate() const {
+  TimeT total = 0;
+  for (const DraftRegion& r : regions_) {
+    if (r.tasks.size() > 1) {
+      total += r.reconf_time * static_cast<TimeT>(r.tasks.size() - 1);
+    }
+  }
+  return total;
+}
+
+}  // namespace resched::pa

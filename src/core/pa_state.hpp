@@ -1,0 +1,165 @@
+// Shared working state threaded through the PA phases (§V-A..§V-G).
+//
+// Phase functions mutate this state in sequence; the driver in
+// pa_scheduler.cpp owns the phase order. The state wraps a TimingContext so
+// that every implementation switch, region-ordering edge or release bump
+// transparently re-derives the paper's time windows (T_MIN/T_MAX), the
+// makespan and task criticality.
+#pragma once
+
+#include <vector>
+
+#include "core/options.hpp"
+#include "sched/schedule.hpp"
+#include "taskgraph/timing.hpp"
+#include "util/rng.hpp"
+
+namespace resched::pa {
+
+/// A reconfigurable region under construction. `tasks` is kept in the
+/// serialization order enforced by the ordering edges.
+struct DraftRegion {
+  ResourceVec res;
+  TimeT reconf_time = 0;
+  std::vector<TaskId> tasks;
+};
+
+class PaState {
+ public:
+  PaState(const Instance& instance, const ResourceVec& avail_cap,
+          const PaOptions& options);
+
+  const Instance& Inst() const { return *instance_; }
+  const PaOptions& Options() const { return *options_; }
+  const ResourceVec& AvailCap() const { return avail_cap_; }
+  const std::vector<double>& Weights() const { return weights_; }
+  TimeT MaxT() const { return max_t_; }
+
+  TimingContext& Timing() { return timing_; }
+  const TimingContext& Timing() const { return timing_; }
+
+  std::size_t NumTasks() const { return impl_of_.size(); }
+
+  // ---- implementation choice ------------------------------------------
+  void SetImpl(TaskId t, std::size_t impl_index);
+  std::size_t ImplIndex(TaskId t) const {
+    return impl_of_.at(static_cast<std::size_t>(t));
+  }
+  const Implementation& ChosenImpl(TaskId t) const;
+  bool ChosenIsHardware(TaskId t) const {
+    return ChosenImpl(t).IsHardware();
+  }
+
+  /// Switches `t` to its fastest software implementation (§V-C fallback).
+  void SwitchToSoftware(TaskId t);
+
+  // ---- criticality snapshot --------------------------------------------
+  /// Captures the phase-B criticality labels used for the regions-definition
+  /// processing order.
+  void SnapshotCriticality();
+  bool WasCritical(TaskId t) const {
+    return critical0_.at(static_cast<std::size_t>(t));
+  }
+
+  // ---- regions -----------------------------------------------------------
+  const std::vector<DraftRegion>& Regions() const { return regions_; }
+  /// Region index of `t` or -1 when t runs in software.
+  int RegionOf(TaskId t) const {
+    return region_of_.at(static_cast<std::size_t>(t));
+  }
+  const ResourceVec& UsedCap() const { return used_cap_; }
+
+  /// Free capacity check for creating a region of requirement `res`.
+  bool HasFreeCapacity(const ResourceVec& res) const;
+
+  /// Whether region `s` can host task `t` with implementation `impl_index`:
+  /// resource fit plus pairwise-disjoint time windows against every task
+  /// already in `s`. With `require_reconf_room`, windows must additionally
+  /// leave reconf_s of slack on the side where the reconfiguration would
+  /// run (§V-C step 1 for critical tasks) — except between same-module
+  /// neighbours when the module-reuse extension is active (no
+  /// reconfiguration happens there, so no room is needed).
+  bool CanHost(std::size_t region, TaskId t, std::size_t impl_index,
+               bool require_reconf_room) const;
+
+  /// Module-reuse extension: true when inserting (t, impl_index) into
+  /// region `s` would sit directly after a task using the same module, so
+  /// the reconfiguration before `t` disappears. Always false when the
+  /// extension is off.
+  bool WouldAvoidReconf(std::size_t region, TaskId t,
+                        std::size_t impl_index) const;
+
+  /// Creates a new region sized exactly for `t`'s implementation and
+  /// assigns t to it; returns the region index.
+  std::size_t CreateRegionFor(TaskId t);
+
+  /// Assigns `t` into existing region `s` (implementation already chosen):
+  /// inserts it in window order and adds the serialization edges with the
+  /// appropriate reconfiguration gaps.
+  void AssignToRegion(std::size_t region, TaskId t);
+
+  /// Eq. (6): total reconfiguration time over all regions, assuming the
+  /// first configuration of each region is free.
+  TimeT TotalReconfTimeEstimate() const;
+
+  /// Gap that must separate `before` and `after` in region `s`: the
+  /// region's reconfiguration time, or zero when the module-reuse extension
+  /// is active and both use the same module.
+  TimeT RegionGap(std::size_t region, TaskId before, TaskId after) const;
+
+  // ---- processors --------------------------------------------------------
+  int ProcessorOf(TaskId t) const {
+    return processor_of_.at(static_cast<std::size_t>(t));
+  }
+  void SetProcessor(TaskId t, std::size_t p) {
+    processor_of_.at(static_cast<std::size_t>(t)) = static_cast<int>(p);
+  }
+
+ private:
+  const Instance* instance_;
+  const PaOptions* options_;
+  ResourceVec avail_cap_;
+  std::vector<double> weights_;
+  TimeT max_t_ = 0;
+
+  std::vector<std::size_t> impl_of_;
+  TimingContext timing_;
+  std::vector<bool> critical0_;
+
+  std::vector<DraftRegion> regions_;
+  std::vector<int> region_of_;
+  ResourceVec used_cap_;
+
+  std::vector<int> processor_of_;
+};
+
+// ---- phase entry points (called in order by the driver) -------------------
+
+/// §V-A: assigns every task its initial implementation via Eq. (3).
+void RunImplementationSelection(PaState& state);
+
+/// §V-B is implicit: the TimingContext already yields CPM windows; this
+/// merely snapshots criticality for the phase-C processing order.
+void RunCriticalPathExtraction(PaState& state);
+
+/// §V-C: defines the reconfigurable regions and maps hardware tasks to
+/// them. `rng` is consulted only for NonCriticalOrder::kRandom.
+void RunRegionsDefinition(PaState& state, Rng& rng);
+
+/// §V-D: moves eligible software tasks back to underutilized regions.
+void RunSoftwareTaskBalancing(PaState& state);
+
+/// §V-F: binds software tasks to processors (Eq. 8/9).
+void RunSoftwareTaskMapping(PaState& state);
+
+/// §V-G: schedules the reconfiguration tasks on the single controller;
+/// returns the controller timeline.
+std::vector<ReconfSlot> RunReconfigurationScheduling(PaState& state);
+
+/// Final assembly: repairs any residual reconfiguration/slot inconsistency
+/// introduced by late delay propagation, then freezes starts/ends into a
+/// Schedule (§V-E start/end computation happens here, on the final
+/// windows).
+Schedule AssembleSchedule(PaState& state, std::vector<ReconfSlot> reconfs);
+
+}  // namespace resched::pa

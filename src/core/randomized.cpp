@@ -1,0 +1,109 @@
+#include "core/randomized.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+#include "util/timer.hpp"
+
+namespace resched {
+
+PaRResult SchedulePaR(const Instance& instance, const PaROptions& options) {
+  RESCHED_CHECK_MSG(
+      options.time_budget_seconds > 0.0 || options.max_iterations > 0,
+      "PA-R needs a time budget or an iteration cap");
+  RESCHED_CHECK_MSG(options.capacity_factor_lo > 0.0 &&
+                        options.capacity_factor_lo <=
+                            options.capacity_factor_hi &&
+                        options.capacity_factor_hi <= 1.0,
+                    "capacity factors must satisfy 0 < lo <= hi <= 1");
+  instance.graph.Validate(instance.platform.Device());
+
+  PaOptions inner = options.base;
+  inner.ordering = NonCriticalOrder::kRandom;
+  inner.run_floorplan = false;
+
+  const ResourceVec full_cap = instance.platform.Device().Capacity();
+  const Deadline deadline(options.time_budget_seconds);
+
+  PaRResult result;
+  std::mutex best_mutex;
+  TimeT best_makespan = kTimeInfinity;
+
+  if (options.seed_with_deterministic) {
+    PaOptions det = options.base;
+    det.ordering = NonCriticalOrder::kEfficiency;
+    det.run_floorplan = true;
+    Schedule warm = SchedulePa(instance, det);
+    warm.algorithm = "PA-R";
+    best_makespan = warm.makespan;
+    result.best = std::move(warm);
+    result.found = true;
+    if (options.record_trace) {
+      result.trace.push_back(
+          TracePoint{deadline.ElapsedSeconds(), best_makespan, 0});
+    }
+  }
+  std::atomic<std::size_t> tickets{0};
+  std::atomic<std::size_t> completed{0};
+
+  auto worker = [&](std::uint64_t worker_seed) {
+    Rng rng(worker_seed);
+    for (;;) {
+      if (deadline.Expired()) break;
+      const std::size_t iter = tickets.fetch_add(1) + 1;
+      if (options.max_iterations != 0 && iter > options.max_iterations) break;
+
+      const double factor = rng.UniformDouble(options.capacity_factor_lo,
+                                              options.capacity_factor_hi);
+      const ResourceVec avail_cap = full_cap.ScaledDown(factor);
+      Schedule candidate = RunPaCore(instance, inner, avail_cap, rng);
+      completed.fetch_add(1);
+
+      // Fast path: not an improvement, skip the floorplanner entirely.
+      {
+        std::lock_guard lock(best_mutex);
+        if (candidate.makespan >= best_makespan) continue;
+      }
+
+      // Potential improvement: validate on the fabric (outside the lock).
+      const FloorplanResult fp =
+          FindFloorplan(instance.platform.Device(),
+                        candidate.RegionRequirements(), inner.floorplan);
+      if (!fp.feasible) continue;
+
+      std::lock_guard lock(best_mutex);
+      if (candidate.makespan >= best_makespan) continue;  // raced: recheck
+      best_makespan = candidate.makespan;
+      candidate.floorplan = fp.rects;
+      candidate.floorplan_checked = true;
+      candidate.algorithm = "PA-R";
+      result.best = std::move(candidate);
+      result.found = true;
+      if (options.record_trace) {
+        result.trace.push_back(
+            TracePoint{deadline.ElapsedSeconds(), best_makespan, iter});
+      }
+    }
+  };
+
+  if (options.threads <= 1) {
+    worker(options.seed);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(options.threads);
+    for (std::size_t w = 0; w < options.threads; ++w) {
+      threads.emplace_back(worker, HashCombine(options.seed, w));
+    }
+    for (auto& t : threads) t.join();
+  }
+
+  result.iterations = completed.load();
+  result.seconds = deadline.ElapsedSeconds();
+  if (result.found) {
+    result.best.scheduling_seconds = result.seconds;
+  }
+  return result;
+}
+
+}  // namespace resched

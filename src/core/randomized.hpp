@@ -1,0 +1,75 @@
+// PA-R: the randomized scheduler variant (§VI, Algorithm 1).
+//
+// Repeatedly runs the PA core with a random non-critical task ordering
+// within a wall-clock budget, keeping the best floorplan-feasible schedule.
+// The floorplanner is only consulted when an iteration improves on the
+// incumbent, amortizing its cost across iterations; floorplan-infeasible
+// candidates are simply discarded (no resource-shrinking restart).
+//
+// As an extension over the paper, restarts can be fanned out over a thread
+// pool: every worker draws iterations from its own deterministic RNG
+// stream, so results are reproducible for a fixed (seed, max_iterations,
+// threads=1) configuration, and statistically equivalent when parallel.
+#pragma once
+
+#include <vector>
+
+#include "core/pa_scheduler.hpp"
+
+namespace resched {
+
+struct PaROptions {
+  /// Wall-clock budget (Algorithm 1's timeToRun); <= 0 means "no time
+  /// limit" and requires max_iterations > 0.
+  double time_budget_seconds = 1.0;
+  /// Iteration cap; 0 means unbounded (budget-limited only).
+  std::size_t max_iterations = 0;
+  /// Worker threads (1 = faithful sequential Algorithm 1).
+  std::size_t threads = 1;
+  std::uint64_t seed = 1;
+  /// Options for the inner doSchedule() calls; `ordering` is forced to
+  /// kRandom and `run_floorplan` to false internally.
+  PaOptions base;
+
+  /// Per-iteration virtually-available capacity factor, drawn uniformly in
+  /// [capacity_factor_lo, capacity_factor_hi].
+  ///
+  /// Rationale: phase §V-C deliberately packs regions up to the raw
+  /// capacity check, but a rectangle on a column-based fabric always
+  /// occupies at least its enclosing footprint, so region sets at ~100%
+  /// raw utilization rarely admit a floorplan. The deterministic PA
+  /// recovers through the §V-H shrink-and-restart loop; Algorithm 1 as
+  /// printed only *discards* infeasible iterations, which would discard
+  /// nearly all of them. Randomizing the virtual capacity keeps the
+  /// discard structure of Algorithm 1 while letting the search visit
+  /// region sets loose enough to floorplan. Set both factors to 1.0 to get
+  /// the literal Algorithm 1.
+  double capacity_factor_lo = 0.70;
+  double capacity_factor_hi = 1.0;
+
+  /// Warm start: seed the incumbent with the deterministic PA schedule
+  /// (including its shrink-loop floorplan recovery) before randomizing.
+  /// The warm-start time is charged against the budget. Guarantees PA-R
+  /// never returns worse than PA — and never returns empty-handed.
+  bool seed_with_deterministic = true;
+  /// Record (elapsed seconds, best makespan) improvement points (Fig. 6).
+  bool record_trace = false;
+};
+
+struct TracePoint {
+  double seconds = 0.0;
+  TimeT makespan = 0;
+  std::size_t iteration = 0;
+};
+
+struct PaRResult {
+  Schedule best;
+  bool found = false;
+  std::size_t iterations = 0;
+  double seconds = 0.0;
+  std::vector<TracePoint> trace;
+};
+
+PaRResult SchedulePaR(const Instance& instance, const PaROptions& options);
+
+}  // namespace resched

@@ -1,0 +1,206 @@
+// §V-G reconfigurations scheduling.
+//
+// One reconfiguration task is generated between every pair of consecutive
+// tasks in a region (skipped between same-module neighbours when the
+// module-reuse extension is active). As in the paper, critical
+// reconfigurations (those whose outgoing task is critical) get priority on
+// the single controller, and every delay a reconfiguration induces is
+// propagated over the task graph.
+//
+// Scheduling order: the paper processes reconfigurations by increasing
+// T_MIN and shifts colliding ones "ahead in time", re-propagating delays.
+// Iterating shift-and-propagate literally can churn for a long time when
+// controller-order flips feed back through the task graph, so we use an
+// equivalent correct-by-construction formulation: a reconfiguration R
+// becomes *available* only when every reconfiguration R' whose outgoing
+// task (weakly) precedes R's ingoing task has been scheduled — then R's
+// T_MIN = end(t_in) is final. Among available reconfigurations we pick
+// critical ones first, then lowest T_MIN, and place each in the earliest
+// controller gap at or after its T_MIN, raising the outgoing task's
+// release. The availability relation is acyclic (a cycle would imply a
+// cycle among task dependencies), so this terminates in one pass and the
+// emitted timeline satisfies every §III constraint by construction.
+#include <algorithm>
+
+#include "core/pa_state.hpp"
+
+namespace resched::pa {
+
+namespace {
+
+struct PendingReconf {
+  std::size_t region = 0;
+  TaskId t_in = kInvalidTask;
+  TaskId t_out = kInvalidTask;
+  TimeT exe = 0;
+  bool critical = false;
+};
+
+TimeT EndOf(const PaState& state, TaskId t) {
+  const TimeWindows& win = state.Timing().Windows();
+  return win.earliest_start[static_cast<std::size_t>(t)] +
+         state.Timing().ExecTime(t);
+}
+
+/// Dense reachability over the task graph plus the scheduler's ordering
+/// edges: reach[u] contains u itself and every task a path from u leads to.
+class Reachability {
+ public:
+  explicit Reachability(const PaState& state) {
+    const TaskGraph& graph = state.Inst().graph;
+    const std::size_t n = graph.NumTasks();
+    words_ = (n + 63) / 64;
+    bits_.assign(n * words_, 0);
+
+    // Combined adjacency (graph + ordering edges).
+    std::vector<std::vector<TaskId>> succs(n);
+    for (std::size_t t = 0; t < n; ++t) {
+      succs[t] = graph.Successors(static_cast<TaskId>(t));
+    }
+    for (const OrderingEdge& e : state.Timing().ExtraEdges()) {
+      succs[static_cast<std::size_t>(e.from)].push_back(e.to);
+    }
+
+    const std::vector<TaskId> order =
+        state.Timing().CombinedTopologicalOrder();
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      const auto u = static_cast<std::size_t>(*it);
+      Set(u, u);
+      for (const TaskId v : succs[u]) {
+        OrInto(u, static_cast<std::size_t>(v));
+      }
+    }
+  }
+
+  bool Reaches(TaskId from, TaskId to) const {
+    const auto f = static_cast<std::size_t>(from);
+    const auto t = static_cast<std::size_t>(to);
+    return (bits_[f * words_ + t / 64] >> (t % 64)) & 1;
+  }
+
+ private:
+  void Set(std::size_t row, std::size_t bit) {
+    bits_[row * words_ + bit / 64] |= std::uint64_t{1} << (bit % 64);
+  }
+  void OrInto(std::size_t dst_row, std::size_t src_row) {
+    for (std::size_t w = 0; w < words_; ++w) {
+      bits_[dst_row * words_ + w] |= bits_[src_row * words_ + w];
+    }
+  }
+
+  std::size_t words_ = 0;
+  std::vector<std::uint64_t> bits_;
+};
+
+/// Earliest start >= lo of a `duration`-long gap on controller `c` in the
+/// (start-sorted) timeline.
+TimeT FirstControllerGap(const std::vector<ReconfSlot>& timeline,
+                         std::size_t c, TimeT lo, TimeT duration) {
+  TimeT candidate = lo;
+  for (const ReconfSlot& busy : timeline) {
+    if (busy.controller != c) continue;
+    if (busy.end <= candidate) continue;
+    if (busy.start >= candidate + duration) break;
+    candidate = busy.end;
+  }
+  return candidate;
+}
+
+}  // namespace
+
+std::vector<ReconfSlot> RunReconfigurationScheduling(PaState& state) {
+  // ---- build the reconfiguration task set RT.
+  std::vector<PendingReconf> pending;
+  {
+    const TimeWindows& win = state.Timing().Windows();
+    for (std::size_t s = 0; s < state.Regions().size(); ++s) {
+      const DraftRegion& region = state.Regions()[s];
+      for (std::size_t i = 0; i + 1 < region.tasks.size(); ++i) {
+        const TaskId t_in = region.tasks[i];
+        const TaskId t_out = region.tasks[i + 1];
+        if (state.RegionGap(s, t_in, t_out) == 0) continue;  // module reuse
+        pending.push_back(PendingReconf{
+            s, t_in, t_out, region.reconf_time,
+            win.critical[static_cast<std::size_t>(t_out)]});
+      }
+    }
+  }
+  if (pending.empty()) return {};
+
+  const Reachability reach(state);
+
+  // precedes[i][j]: reconfiguration i must be scheduled before j, because
+  // i's outgoing task weakly precedes j's ingoing task (so scheduling i can
+  // still move j's T_MIN).
+  const std::size_t m = pending.size();
+  std::vector<std::size_t> blockers(m, 0);
+  std::vector<std::vector<std::size_t>> blocks(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      if (i == j) continue;
+      if (reach.Reaches(pending[i].t_out, pending[j].t_in)) {
+        blocks[i].push_back(j);
+        ++blockers[j];
+      }
+    }
+  }
+
+  std::vector<ReconfSlot> timeline;  // sorted by start
+  std::vector<bool> done(m, false);
+  for (std::size_t scheduled = 0; scheduled < m; ++scheduled) {
+    // Pick among available reconfigurations: critical first (paper §V-G),
+    // then lowest (now final) T_MIN, then stable index.
+    std::size_t pick = m;
+    TimeT pick_tmin = 0;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (done[i] || blockers[i] != 0) continue;
+      const TimeT tmin = EndOf(state, pending[i].t_in);
+      const bool better =
+          pick == m ||
+          (pending[i].critical && !pending[pick].critical) ||
+          (pending[i].critical == pending[pick].critical &&
+           tmin < pick_tmin);
+      if (better) {
+        pick = i;
+        pick_tmin = tmin;
+      }
+    }
+    RESCHED_CHECK_MSG(pick < m,
+                      "reconfiguration availability relation has a cycle");
+
+    const PendingReconf& r = pending[pick];
+    // Pick the controller offering the earliest gap (always controller 0
+    // in the paper's single-controller model).
+    const std::size_t controllers =
+        state.Inst().platform.NumReconfigurators();
+    std::size_t best_c = 0;
+    TimeT start = kTimeInfinity;
+    for (std::size_t c = 0; c < controllers; ++c) {
+      const TimeT s = FirstControllerGap(timeline, c, pick_tmin, r.exe);
+      if (s < start) {
+        start = s;
+        best_c = c;
+      }
+    }
+    const TimeT end = start + r.exe;
+    const ReconfSlot slot{r.region, r.t_out, start, end, best_c};
+    const auto pos = std::upper_bound(
+        timeline.begin(), timeline.end(), slot,
+        [](const ReconfSlot& a, const ReconfSlot& b) {
+          return a.start < b.start;
+        });
+    timeline.insert(pos, slot);
+
+    // Delay propagation: the outgoing task cannot start before the
+    // reconfiguration completes; the window recomputation carries the
+    // delay over the task graph.
+    state.Timing().RaiseRelease(r.t_out, end);
+
+    done[pick] = true;
+    for (const std::size_t j : blocks[pick]) --blockers[j];
+  }
+
+  return timeline;
+}
+
+}  // namespace resched::pa

@@ -1,0 +1,145 @@
+// §V-C regions definition.
+//
+// Hardware tasks are processed critical-first and, within each class, by
+// descending efficiency index (Eq. 5) — or in the order selected by
+// PaOptions::ordering for non-critical tasks (the PA-R randomization point,
+// §VI). Critical tasks prefer joining an existing region (lowest-bitstream
+// one whose windows leave room for the reconfiguration), then a fresh
+// region, then fall back to software. Non-critical tasks prefer a fresh
+// region (maximize fabric utilization), then an existing one, then
+// software.
+#include <algorithm>
+
+#include "core/cost_model.hpp"
+#include "core/pa_state.hpp"
+
+namespace resched::pa {
+
+namespace {
+
+/// Picks, among regions that can host (t, impl), the one with the smallest
+/// bitstream (== smallest reconfiguration time); returns -1 when none.
+/// Under the module-reuse extension, regions where the insertion lands
+/// right after a same-module task rank first regardless of bitstream — the
+/// reconfiguration there costs nothing at all.
+int PickSmallestBitstreamRegion(const PaState& state, TaskId t,
+                                std::size_t impl_index,
+                                bool require_reconf_room) {
+  int best = -1;
+  bool best_free = false;
+  double best_bits = 0.0;
+  const auto& device = state.Inst().platform.Device();
+  for (std::size_t s = 0; s < state.Regions().size(); ++s) {
+    if (!state.CanHost(s, t, impl_index, require_reconf_room)) continue;
+    const bool free = state.WouldAvoidReconf(s, t, impl_index);
+    const double bits = device.BitstreamBits(state.Regions()[s].res);
+    const bool better =
+        best < 0 || (free && !best_free) ||
+        (free == best_free && bits < best_bits);
+    if (better) {
+      best = static_cast<int>(s);
+      best_free = free;
+      best_bits = bits;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+void RunRegionsDefinition(PaState& state, Rng& rng) {
+  const TaskGraph& graph = state.Inst().graph;
+  const std::vector<double>& weights = state.Weights();
+
+  // Hardware tasks (per the phase-A selection), split by phase-B
+  // criticality.
+  std::vector<TaskId> critical;
+  std::vector<TaskId> non_critical;
+  for (std::size_t ti = 0; ti < graph.NumTasks(); ++ti) {
+    const auto t = static_cast<TaskId>(ti);
+    if (!state.ChosenIsHardware(t)) continue;
+    (state.WasCritical(t) ? critical : non_critical).push_back(t);
+  }
+
+  auto efficiency_desc = [&](TaskId a, TaskId b) {
+    return EfficiencyIndex(state.ChosenImpl(a), weights) >
+           EfficiencyIndex(state.ChosenImpl(b), weights);
+  };
+  std::stable_sort(critical.begin(), critical.end(), efficiency_desc);
+
+  switch (state.Options().ordering) {
+    case NonCriticalOrder::kEfficiency:
+      std::stable_sort(non_critical.begin(), non_critical.end(),
+                       efficiency_desc);
+      break;
+    case NonCriticalOrder::kRandom:
+      rng.Shuffle(non_critical);
+      break;
+    case NonCriticalOrder::kFastestFirst:
+      std::stable_sort(non_critical.begin(), non_critical.end(),
+                       [&](TaskId a, TaskId b) {
+                         return state.ChosenImpl(a).exec_time <
+                                state.ChosenImpl(b).exec_time;
+                       });
+      break;
+    case NonCriticalOrder::kGraphOrder:
+      break;  // already in task-id order
+    case NonCriticalOrder::kExplicit: {
+      // Position in the caller-supplied permutation; unlisted tasks keep
+      // their efficiency order after all listed ones.
+      std::vector<std::size_t> pos(graph.NumTasks(), SIZE_MAX);
+      for (std::size_t i = 0; i < state.Options().explicit_order.size();
+           ++i) {
+        const TaskId t = state.Options().explicit_order[i];
+        RESCHED_CHECK_MSG(
+            t >= 0 && static_cast<std::size_t>(t) < graph.NumTasks(),
+            "explicit_order contains an unknown task id");
+        pos[static_cast<std::size_t>(t)] = i;
+      }
+      std::stable_sort(non_critical.begin(), non_critical.end(),
+                       efficiency_desc);
+      std::stable_sort(non_critical.begin(), non_critical.end(),
+                       [&pos](TaskId a, TaskId b) {
+                         return pos[static_cast<std::size_t>(a)] <
+                                pos[static_cast<std::size_t>(b)];
+                       });
+      break;
+    }
+  }
+
+  // ---- critical tasks: reuse -> create -> software ----------------------
+  for (const TaskId t : critical) {
+    const std::size_t impl = state.ImplIndex(t);
+    const int reuse =
+        PickSmallestBitstreamRegion(state, t, impl,
+                                    /*require_reconf_room=*/true);
+    if (reuse >= 0) {
+      state.AssignToRegion(static_cast<std::size_t>(reuse), t);
+      continue;
+    }
+    if (state.HasFreeCapacity(state.ChosenImpl(t).res)) {
+      state.CreateRegionFor(t);
+      continue;
+    }
+    state.SwitchToSoftware(t);
+  }
+
+  // ---- non-critical tasks: create -> reuse -> software ------------------
+  for (const TaskId t : non_critical) {
+    if (state.HasFreeCapacity(state.ChosenImpl(t).res)) {
+      state.CreateRegionFor(t);
+      continue;
+    }
+    const std::size_t impl = state.ImplIndex(t);
+    const int reuse =
+        PickSmallestBitstreamRegion(state, t, impl,
+                                    /*require_reconf_room=*/false);
+    if (reuse >= 0) {
+      state.AssignToRegion(static_cast<std::size_t>(reuse), t);
+      continue;
+    }
+    state.SwitchToSoftware(t);
+  }
+}
+
+}  // namespace resched::pa

@@ -1,0 +1,66 @@
+// §V-D software task balancing.
+//
+// After regions definition some tasks were demoted to software; if the
+// schedule now leaves regions idle early on, promote software tasks (in
+// increasing T_MIN order) back to hardware — but only when the task starts
+// late enough (T_MIN > Eq.-(6) total reconfiguration time) that adding its
+// reconfiguration cannot create contention on the controller.
+#include <algorithm>
+
+#include "core/cost_model.hpp"
+#include "core/pa_state.hpp"
+
+namespace resched::pa {
+
+void RunSoftwareTaskBalancing(PaState& state) {
+  const TaskGraph& graph = state.Inst().graph;
+  const ResourceVec& max_res = state.Inst().platform.Device().Capacity();
+
+  // Software tasks that do have hardware alternatives, by increasing T_MIN.
+  std::vector<TaskId> candidates;
+  for (std::size_t ti = 0; ti < graph.NumTasks(); ++ti) {
+    const auto t = static_cast<TaskId>(ti);
+    if (state.ChosenIsHardware(t)) continue;
+    if (graph.HardwareImpls(t).empty()) continue;
+    candidates.push_back(t);
+  }
+  {
+    const TimeWindows& win = state.Timing().Windows();
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [&](TaskId a, TaskId b) {
+                       return win.earliest_start[static_cast<std::size_t>(a)] <
+                              win.earliest_start[static_cast<std::size_t>(b)];
+                     });
+  }
+
+  for (const TaskId t : candidates) {
+    const TimeT tot_rec_time = state.TotalReconfTimeEstimate();
+    const TimeT es_t = state.Timing()
+                           .Windows()
+                           .earliest_start[static_cast<std::size_t>(t)];
+    if (es_t <= tot_rec_time) continue;
+
+    // Find a region able to host t with its lowest-cost fitting HW
+    // implementation.
+    for (std::size_t s = 0; s < state.Regions().size(); ++s) {
+      std::size_t best_impl = graph.GetTask(t).impls.size();
+      double best_cost = 0.0;
+      for (const std::size_t i : graph.HardwareImpls(t)) {
+        if (!state.CanHost(s, t, i, /*require_reconf_room=*/true)) continue;
+        const double cost = ImplementationCost(graph.GetImpl(t, i), max_res,
+                                               state.Weights(), state.MaxT());
+        if (best_impl == graph.GetTask(t).impls.size() || cost < best_cost) {
+          best_impl = i;
+          best_cost = cost;
+        }
+      }
+      if (best_impl == graph.GetTask(t).impls.size()) continue;
+
+      state.SetImpl(t, best_impl);
+      state.AssignToRegion(s, t);
+      break;
+    }
+  }
+}
+
+}  // namespace resched::pa

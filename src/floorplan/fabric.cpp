@@ -1,0 +1,40 @@
+#include "floorplan/fabric.hpp"
+
+namespace resched {
+
+Fabric::Fabric(const FpgaDevice& device)
+    : model_(device.Model()),
+      rows_(device.Geometry().rows),
+      num_columns_(device.Geometry().NumColumns()),
+      capacity_(device.Capacity()) {
+  const std::size_t kinds = model_.NumKinds();
+  prefix_.assign(kinds, std::vector<std::int64_t>(num_columns_ + 1, 0));
+  for (std::size_t c = 0; c < num_columns_; ++c) {
+    const ColumnSpec& col = device.Geometry().columns[c];
+    for (std::size_t k = 0; k < kinds; ++k) {
+      prefix_[k][c + 1] =
+          prefix_[k][c] + (col.kind == k ? col.units_per_cell : 0);
+    }
+  }
+}
+
+ResourceVec Fabric::RowSlice(std::size_t col0, std::size_t width) const {
+  RESCHED_CHECK_MSG(col0 + width <= num_columns_, "column range out of fabric");
+  ResourceVec out(model_.NumKinds());
+  for (std::size_t k = 0; k < out.size(); ++k) {
+    out[k] = prefix_[k][col0 + width] - prefix_[k][col0];
+  }
+  return out;
+}
+
+ResourceVec Fabric::RectResources(std::size_t col0, std::size_t width,
+                                  std::size_t height) const {
+  RESCHED_CHECK_MSG(height <= rows_, "rect taller than fabric");
+  ResourceVec out = RowSlice(col0, width);
+  for (std::size_t k = 0; k < out.size(); ++k) {
+    out[k] *= static_cast<std::int64_t>(height);
+  }
+  return out;
+}
+
+}  // namespace resched

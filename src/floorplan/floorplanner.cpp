@@ -1,0 +1,339 @@
+#include "floorplan/floorplanner.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/timer.hpp"
+
+namespace resched {
+
+namespace {
+
+/// Removes placements that strictly contain another placement of the same
+/// region: the contained one can always replace the container in any
+/// solution, so containers are dominated for a feasibility query.
+void PruneDominated(std::vector<Rect>& placements) {
+  auto contains = [](const Rect& outer, const Rect& inner) {
+    return outer.col0 <= inner.col0 && outer.row0 <= inner.row0 &&
+           outer.col0 + outer.width >= inner.col0 + inner.width &&
+           outer.row0 + outer.height >= inner.row0 + inner.height &&
+           outer.Area() > inner.Area();
+  };
+  std::vector<Rect> kept;
+  kept.reserve(placements.size());
+  for (const Rect& cand : placements) {
+    bool dominated = false;
+    for (const Rect& other : placements) {
+      if (contains(cand, other)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) kept.push_back(cand);
+  }
+  placements.swap(kept);
+}
+
+class Search {
+ public:
+  Search(const Fabric& fabric, std::vector<std::vector<Rect>> candidates,
+         const FloorplanOptions& options)
+      : fabric_(fabric),
+        candidates_(std::move(candidates)),
+        options_(options),
+        deadline_(options.time_budget_seconds) {
+    // Minimum rectangle area (in grid cells) each region can occupy — the
+    // basis of the area-capacity prune that proves infeasibility quickly
+    // at high utilization.
+    min_area_.resize(candidates_.size());
+    for (std::size_t i = 0; i < candidates_.size(); ++i) {
+      std::size_t best = fabric.Columns() * fabric.Rows();
+      for (const Rect& r : candidates_[i]) best = std::min(best, r.Area());
+      min_area_[i] = best;
+    }
+    total_cells_ = fabric.Columns() * fabric.Rows();
+  }
+
+  /// Runs the DFS; fills `solution` (indexed like candidates_) on success.
+  bool Run(std::vector<Rect>& solution, bool& budget_exhausted,
+           std::size_t& nodes) {
+    order_.resize(candidates_.size());
+    std::iota(order_.begin(), order_.end(), std::size_t{0});
+    // MRV: most constrained region (fewest placements) first.
+    std::sort(order_.begin(), order_.end(), [&](std::size_t a, std::size_t b) {
+      return candidates_[a].size() < candidates_[b].size();
+    });
+    chosen_.assign(candidates_.size(), Rect{});
+
+    // Suffix sums of minimum areas in search order: after placing depth d
+    // regions, the rest need at least suffix_min_area_[d] free cells.
+    suffix_min_area_.assign(order_.size() + 1, 0);
+    for (std::size_t d = order_.size(); d-- > 0;) {
+      suffix_min_area_[d] = suffix_min_area_[d + 1] + min_area_[order_[d]];
+    }
+    if (suffix_min_area_[0] > total_cells_) {
+      budget_exhausted = false;  // proven infeasible, not a budget stop
+      nodes = 0;
+      return false;
+    }
+
+    const bool ok = Dfs(0, /*used_cells=*/0);
+    budget_exhausted = budget_exhausted_;
+    nodes = nodes_;
+    if (ok) solution = chosen_;
+    return ok;
+  }
+
+ private:
+  bool Dfs(std::size_t depth, std::size_t used_cells) {
+    if (depth == order_.size()) return true;
+    if (budget_exhausted_) return false;
+    const std::size_t region = order_[depth];
+    for (const Rect& rect : candidates_[region]) {
+      if (++nodes_ % 1024 == 0) {
+        if ((options_.max_nodes != 0 && nodes_ >= options_.max_nodes) ||
+            deadline_.Expired()) {
+          budget_exhausted_ = true;
+          return false;
+        }
+      }
+      // Area-capacity prune: the cells this rectangle takes plus the
+      // minimum possible footprint of every remaining region must fit in
+      // the fabric. (Rectangles never overlap, so cell usage is additive.)
+      if (used_cells + rect.Area() + suffix_min_area_[depth + 1] >
+          total_cells_) {
+        continue;
+      }
+      bool clash = false;
+      for (std::size_t d = 0; d < depth; ++d) {
+        if (rect.Overlaps(chosen_[order_[d]])) {
+          clash = true;
+          break;
+        }
+      }
+      if (clash) continue;
+      chosen_[region] = rect;
+      if (Dfs(depth + 1, used_cells + rect.Area())) return true;
+      if (budget_exhausted_) return false;
+    }
+    return false;
+  }
+
+  const Fabric& fabric_;
+  std::vector<std::vector<Rect>> candidates_;
+  const FloorplanOptions& options_;
+  Deadline deadline_;
+  std::vector<std::size_t> order_;
+  std::vector<Rect> chosen_;
+  std::vector<std::size_t> min_area_;
+  std::vector<std::size_t> suffix_min_area_;
+  std::size_t total_cells_ = 0;
+  std::size_t nodes_ = 0;
+  bool budget_exhausted_ = false;
+};
+
+}  // namespace
+
+FloorplanResult FindFloorplan(const FpgaDevice& device,
+                              const std::vector<ResourceVec>& regions,
+                              const FloorplanOptions& options) {
+  WallTimer timer;
+  FloorplanResult result;
+  if (regions.empty()) {
+    result.feasible = true;
+    result.seconds = timer.ElapsedSeconds();
+    return result;
+  }
+
+  const Fabric fabric(device);
+
+  // Aggregate-capacity pre-check: cheap certain "no".
+  ResourceVec total = device.Model().ZeroVec();
+  for (const ResourceVec& r : regions) total += r;
+  if (!total.FitsWithin(fabric.Capacity())) {
+    result.seconds = timer.ElapsedSeconds();
+    return result;
+  }
+
+  std::vector<std::vector<Rect>> candidates;
+  candidates.reserve(regions.size());
+  for (const ResourceVec& req : regions) {
+    std::vector<Rect> placements = EnumerateFeasiblePlacements(
+        fabric, req, options.max_placements_per_region);
+    if (placements.empty()) {
+      result.seconds = timer.ElapsedSeconds();
+      return result;  // some region fits nowhere: certain "no"
+    }
+    PruneDominated(placements);
+    candidates.push_back(std::move(placements));
+  }
+
+  Search search(fabric, std::move(candidates), options);
+  std::vector<Rect> solution;
+  const bool ok =
+      search.Run(solution, result.budget_exhausted, result.nodes_explored);
+  result.feasible = ok;
+  if (ok) result.rects = std::move(solution);
+  result.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+namespace {
+
+/// Branch-and-bound minimizing total occupied cells. Reuses the candidate
+/// enumeration of the feasibility search; candidates are visited smallest
+/// first so the first full assignment is already good and the suffix
+/// min-area bound prunes aggressively.
+class CompactSearch {
+ public:
+  CompactSearch(std::vector<std::vector<Rect>> candidates,
+                const FloorplanOptions& options)
+      : candidates_(std::move(candidates)),
+        options_(options),
+        deadline_(options.time_budget_seconds) {
+    for (auto& c : candidates_) {
+      std::sort(c.begin(), c.end(), [](const Rect& a, const Rect& b) {
+        return a.Area() < b.Area();
+      });
+    }
+    order_.resize(candidates_.size());
+    std::iota(order_.begin(), order_.end(), std::size_t{0});
+    std::sort(order_.begin(), order_.end(), [&](std::size_t a,
+                                                std::size_t b) {
+      return candidates_[a].size() < candidates_[b].size();
+    });
+    suffix_min_area_.assign(order_.size() + 1, 0);
+    for (std::size_t d = order_.size(); d-- > 0;) {
+      std::size_t min_area = SIZE_MAX;
+      for (const Rect& r : candidates_[order_[d]]) {
+        min_area = std::min(min_area, r.Area());
+      }
+      suffix_min_area_[d] = suffix_min_area_[d + 1] + min_area;
+    }
+    chosen_.assign(candidates_.size(), Rect{});
+  }
+
+  bool Run(std::vector<Rect>& solution, std::size_t& cells,
+           bool& budget_exhausted, std::size_t& nodes) {
+    Dfs(0, 0);
+    budget_exhausted = budget_exhausted_;
+    nodes = nodes_;
+    if (best_cells_ == SIZE_MAX) return false;
+    solution = best_;
+    cells = best_cells_;
+    return true;
+  }
+
+ private:
+  void Dfs(std::size_t depth, std::size_t used_cells) {
+    if (depth == order_.size()) {
+      if (used_cells < best_cells_) {
+        best_cells_ = used_cells;
+        best_ = chosen_;
+      }
+      return;
+    }
+    if (budget_exhausted_) return;
+    const std::size_t region = order_[depth];
+    for (const Rect& rect : candidates_[region]) {
+      if (++nodes_ % 1024 == 0) {
+        if ((options_.max_nodes != 0 && nodes_ >= options_.max_nodes) ||
+            deadline_.Expired()) {
+          budget_exhausted_ = true;
+          return;
+        }
+      }
+      const std::size_t lower =
+          used_cells + rect.Area() + suffix_min_area_[depth + 1];
+      if (lower >= best_cells_) {
+        // Candidates are area-sorted: every later one is at least as big.
+        break;
+      }
+      bool clash = false;
+      for (std::size_t d = 0; d < depth; ++d) {
+        if (rect.Overlaps(chosen_[order_[d]])) {
+          clash = true;
+          break;
+        }
+      }
+      if (clash) continue;
+      chosen_[region] = rect;
+      Dfs(depth + 1, used_cells + rect.Area());
+      if (budget_exhausted_) return;
+    }
+  }
+
+  std::vector<std::vector<Rect>> candidates_;
+  const FloorplanOptions& options_;
+  Deadline deadline_;
+  std::vector<std::size_t> order_;
+  std::vector<std::size_t> suffix_min_area_;
+  std::vector<Rect> chosen_;
+  std::vector<Rect> best_;
+  std::size_t best_cells_ = SIZE_MAX;
+  std::size_t nodes_ = 0;
+  bool budget_exhausted_ = false;
+};
+
+}  // namespace
+
+CompactFloorplanResult FindCompactFloorplan(
+    const FpgaDevice& device, const std::vector<ResourceVec>& regions,
+    const FloorplanOptions& options) {
+  WallTimer timer;
+  CompactFloorplanResult result;
+  if (regions.empty()) {
+    result.feasible = true;
+    result.seconds = timer.ElapsedSeconds();
+    return result;
+  }
+  const Fabric fabric(device);
+  ResourceVec total = device.Model().ZeroVec();
+  for (const ResourceVec& r : regions) total += r;
+  if (!total.FitsWithin(fabric.Capacity())) {
+    result.seconds = timer.ElapsedSeconds();
+    return result;
+  }
+  std::vector<std::vector<Rect>> candidates;
+  for (const ResourceVec& req : regions) {
+    std::vector<Rect> placements = EnumerateFeasiblePlacements(
+        fabric, req, options.max_placements_per_region);
+    if (placements.empty()) {
+      result.seconds = timer.ElapsedSeconds();
+      return result;
+    }
+    PruneDominated(placements);
+    candidates.push_back(std::move(placements));
+  }
+  CompactSearch search(std::move(candidates), options);
+  std::vector<Rect> solution;
+  result.feasible = search.Run(solution, result.occupied_cells,
+                               result.budget_exhausted,
+                               result.nodes_explored);
+  if (result.feasible) result.rects = std::move(solution);
+  result.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+bool IsValidFloorplan(const FpgaDevice& device,
+                      const std::vector<ResourceVec>& regions,
+                      const std::vector<Rect>& rects) {
+  if (regions.size() != rects.size()) return false;
+  const Fabric fabric(device);
+  for (std::size_t i = 0; i < rects.size(); ++i) {
+    const Rect& r = rects[i];
+    if (r.width == 0 || r.height == 0) return false;
+    if (r.col0 + r.width > fabric.Columns()) return false;
+    if (r.row0 + r.height > fabric.Rows()) return false;
+    if (!regions[i].FitsWithin(
+            fabric.RectResources(r.col0, r.width, r.height))) {
+      return false;
+    }
+    for (std::size_t j = i + 1; j < rects.size(); ++j) {
+      if (r.Overlaps(rects[j])) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace resched

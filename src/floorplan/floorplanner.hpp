@@ -1,0 +1,67 @@
+// Floorplan feasibility search (§V-H).
+//
+// Given the reconfigurable regions produced by the scheduler (their resource
+// requirement vectors), decide whether they admit a placement of pairwise
+// non-overlapping rectangles on the device fabric. The paper delegates this
+// to the MILP floorplanner of [Rabozzi FCCM'15] with no objective function —
+// a pure feasibility query. We answer the same query with a complete
+// backtracking search over the enumerated minimal feasible placements:
+// regions are ordered fewest-candidates-first (MRV) and the search prunes on
+// per-kind remaining capacity. A node/time budget bounds the worst case, in
+// which case the result is reported as "not found" (matching how a
+// time-limited MILP behaves).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "floorplan/placement.hpp"
+
+namespace resched {
+
+struct FloorplanOptions {
+  /// Wall-clock budget for one feasibility query; <= 0 disables.
+  double time_budget_seconds = 1.0;
+  /// Backtracking node budget; 0 disables.
+  std::size_t max_nodes = 2'000'000;
+  /// Cap on enumerated placements per region (0 = unlimited).
+  std::size_t max_placements_per_region = 4096;
+};
+
+struct FloorplanResult {
+  bool feasible = false;
+  /// True when the search exhausted its node/time budget before proving
+  /// either feasibility or infeasibility.
+  bool budget_exhausted = false;
+  /// One rectangle per region (same order as the query) when feasible.
+  std::vector<Rect> rects;
+  std::size_t nodes_explored = 0;
+  double seconds = 0.0;
+};
+
+/// Searches for a feasible floorplan of `regions` on `device`'s fabric.
+FloorplanResult FindFloorplan(const FpgaDevice& device,
+                              const std::vector<ResourceVec>& regions,
+                              const FloorplanOptions& options = {});
+
+/// Optimizing variant: among floorplans found within the budget, keeps the
+/// one occupying the fewest grid cells (the compactness objective of the
+/// original MILP floorplanner — less footprint leaves more static logic
+/// room and shrinks partial bitstreams in practice). `feasible` is set as
+/// for FindFloorplan; `budget_exhausted` means the returned plan may not
+/// be the global optimum. Total-cell count of the result is reported in
+/// `nodes_explored`-independent field `occupied_cells`.
+struct CompactFloorplanResult : FloorplanResult {
+  std::size_t occupied_cells = 0;
+};
+CompactFloorplanResult FindCompactFloorplan(
+    const FpgaDevice& device, const std::vector<ResourceVec>& regions,
+    const FloorplanOptions& options = {});
+
+/// Checks that `rects` is a valid floorplan for `regions` (non-overlap,
+/// inside the fabric, resource-sufficient). Used by the validator and tests.
+bool IsValidFloorplan(const FpgaDevice& device,
+                      const std::vector<ResourceVec>& regions,
+                      const std::vector<Rect>& rects);
+
+}  // namespace resched

@@ -1,0 +1,49 @@
+#include "floorplan/placement.hpp"
+
+#include "util/string_util.hpp"
+
+namespace resched {
+
+std::string Rect::ToString() const {
+  return StrFormat("[c%zu..%zu, r%zu..%zu]", col0, col0 + width - 1, row0,
+                   row0 + height - 1);
+}
+
+std::vector<Rect> EnumerateFeasiblePlacements(const Fabric& fabric,
+                                              const ResourceVec& req,
+                                              std::size_t max_placements) {
+  std::vector<Rect> out;
+  const std::size_t cols = fabric.Columns();
+  const std::size_t rows = fabric.Rows();
+
+  for (std::size_t h = 1; h <= rows; ++h) {
+    // For fixed height, the per-row requirement is ceil(req / h) in the
+    // monotone sense: a width is feasible iff h * RowSlice >= req. Slide a
+    // two-pointer window: as col0 advances the minimal feasible width is
+    // non-decreasing in end position, since dropping a column never adds
+    // resources.
+    std::size_t end = 0;  // exclusive end column of the current window
+    for (std::size_t col0 = 0; col0 < cols; ++col0) {
+      if (end < col0) end = col0;
+      bool feasible = false;
+      while (end <= cols) {
+        if (end > col0 &&
+            req.FitsWithin(fabric.RectResources(col0, end - col0, h))) {
+          feasible = true;
+          break;
+        }
+        if (end == cols) break;
+        ++end;
+      }
+      if (!feasible) break;  // no wider window will help for larger col0
+      const std::size_t width = end - col0;
+      for (std::size_t row0 = 0; row0 + h <= rows; ++row0) {
+        out.push_back(Rect{col0, row0, width, h});
+        if (max_placements != 0 && out.size() >= max_placements) return out;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace resched

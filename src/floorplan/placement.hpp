@@ -1,0 +1,41 @@
+// Feasible-placement enumeration — the core idea of the floorplanning
+// approach of Rabozzi et al. (FCCM'15) that the paper invokes for its
+// feasibility check: for every reconfigurable region, enumerate the
+// axis-aligned rectangles of the fabric that satisfy its resource
+// requirements, then search for a pairwise non-overlapping selection.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "floorplan/fabric.hpp"
+
+namespace resched {
+
+/// Axis-aligned rectangle on the fabric grid. `col0/row0` are inclusive
+/// origins; `width/height` are in columns/clock-region rows.
+struct Rect {
+  std::size_t col0 = 0;
+  std::size_t row0 = 0;
+  std::size_t width = 0;
+  std::size_t height = 0;
+
+  bool Overlaps(const Rect& o) const {
+    return col0 < o.col0 + o.width && o.col0 < col0 + width &&
+           row0 < o.row0 + o.height && o.row0 < row0 + height;
+  }
+
+  std::size_t Area() const { return width * height; }
+  std::string ToString() const;
+};
+
+/// All *minimal* feasible placements for requirement `req`: for every
+/// height h (1..rows), row origin and column origin, the narrowest
+/// rectangle starting there that satisfies req (wider rectangles are
+/// dominated: any solution using one can shrink it without creating
+/// overlap). Results are capped at `max_placements` (0 = unlimited).
+std::vector<Rect> EnumerateFeasiblePlacements(const Fabric& fabric,
+                                              const ResourceVec& req,
+                                              std::size_t max_placements = 0);
+
+}  // namespace resched

@@ -1,0 +1,198 @@
+#include "io/instance_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace resched {
+
+namespace {
+
+JsonValue DeviceToJson(const FpgaDevice& device) {
+  JsonArray kinds;
+  for (std::size_t k = 0; k < device.Model().NumKinds(); ++k) {
+    const auto& info = device.Model().Kind(k);
+    kinds.push_back(JsonObject{{"name", info.name},
+                               {"bits_per_unit", info.bits_per_unit}});
+  }
+  JsonArray columns;
+  for (const ColumnSpec& col : device.Geometry().columns) {
+    columns.push_back(
+        JsonObject{{"kind", device.Model().Kind(col.kind).name},
+                   {"units", col.units_per_cell}});
+  }
+  return JsonObject{
+      {"name", device.Name()},
+      {"resource_kinds", std::move(kinds)},
+      {"fabric", JsonObject{{"rows", device.Geometry().rows},
+                            {"columns", std::move(columns)}}}};
+}
+
+FpgaDevice DeviceFromJson(const JsonValue& json) {
+  std::vector<ResourceModel::KindInfo> kinds;
+  for (const JsonValue& k : json.At("resource_kinds").AsArray()) {
+    kinds.push_back(ResourceModel::KindInfo{
+        k.At("name").AsString(), k.At("bits_per_unit").AsDouble()});
+  }
+  ResourceModel model(std::move(kinds));
+
+  const JsonValue& fabric = json.At("fabric");
+  FabricGeometry geom;
+  geom.rows = static_cast<std::size_t>(fabric.At("rows").AsInt());
+  for (const JsonValue& c : fabric.At("columns").AsArray()) {
+    geom.columns.push_back(
+        ColumnSpec{model.KindIndex(c.At("kind").AsString()),
+                   c.At("units").AsInt()});
+  }
+  return FpgaDevice(json.GetString("name", "device"), std::move(model),
+                    std::move(geom));
+}
+
+JsonValue ImplToJson(const Implementation& impl, const ResourceModel& model) {
+  JsonObject obj{{"name", impl.name},
+                 {"kind", impl.IsHardware() ? "hw" : "sw"},
+                 {"time", impl.exec_time}};
+  if (impl.IsHardware()) {
+    JsonObject res;
+    for (std::size_t k = 0; k < impl.res.size(); ++k) {
+      if (impl.res[k] != 0) res.emplace(model.Kind(k).name, impl.res[k]);
+    }
+    obj.emplace("res", std::move(res));
+    if (impl.module_id >= 0) {
+      obj.emplace("module", static_cast<std::int64_t>(impl.module_id));
+    }
+  }
+  return JsonValue(std::move(obj));
+}
+
+Implementation ImplFromJson(const JsonValue& json, const ResourceModel& model) {
+  Implementation impl;
+  impl.name = json.GetString("name", "impl");
+  const std::string kind = json.At("kind").AsString();
+  if (kind == "hw") {
+    impl.kind = ImplKind::kHardware;
+  } else if (kind == "sw") {
+    impl.kind = ImplKind::kSoftware;
+  } else {
+    throw InstanceError("unknown implementation kind: " + kind);
+  }
+  impl.exec_time = json.At("time").AsInt();
+  if (impl.IsHardware()) {
+    impl.res = model.ZeroVec();
+    for (const auto& [name, value] : json.At("res").AsObject()) {
+      impl.res[model.KindIndex(name)] = value.AsInt();
+    }
+    impl.module_id = static_cast<std::int32_t>(json.GetInt("module", -1));
+  }
+  return impl;
+}
+
+}  // namespace
+
+JsonValue InstanceToJson(const Instance& instance) {
+  const ResourceModel& model = instance.platform.Device().Model();
+
+  JsonArray tasks;
+  for (std::size_t t = 0; t < instance.graph.NumTasks(); ++t) {
+    const Task& task = instance.graph.GetTask(static_cast<TaskId>(t));
+    JsonArray impls;
+    for (const Implementation& impl : task.impls) {
+      impls.push_back(ImplToJson(impl, model));
+    }
+    tasks.push_back(JsonObject{{"name", task.name}, {"impls", std::move(impls)}});
+  }
+
+  JsonArray edges;
+  for (std::size_t t = 0; t < instance.graph.NumTasks(); ++t) {
+    for (const TaskId s : instance.graph.Successors(static_cast<TaskId>(t))) {
+      const std::int64_t bytes =
+          instance.graph.EdgeData(static_cast<TaskId>(t), s);
+      JsonArray edge{JsonValue(static_cast<std::int64_t>(t)),
+                     JsonValue(static_cast<std::int64_t>(s))};
+      if (bytes > 0) edge.push_back(JsonValue(bytes));
+      edges.push_back(std::move(edge));
+    }
+  }
+
+  return JsonObject{
+      {"format", "resched-instance"},
+      {"version", 1},
+      {"name", instance.name},
+      {"platform",
+       JsonObject{{"name", instance.platform.Name()},
+                  {"processors", instance.platform.NumProcessors()},
+                  {"reconfigurators", instance.platform.NumReconfigurators()},
+                  {"hw_sw_bandwidth_bytes_per_sec",
+                   instance.platform.HwSwBandwidthBytesPerSec()},
+                  {"recfreq_bits_per_sec", instance.platform.RecFreqBitsPerSec()},
+                  {"device", DeviceToJson(instance.platform.Device())}}},
+      {"tasks", std::move(tasks)},
+      {"edges", std::move(edges)}};
+}
+
+Instance InstanceFromJson(const JsonValue& json) {
+  if (json.GetString("format", "") != "resched-instance") {
+    throw InstanceError("not a resched-instance document");
+  }
+  if (json.GetInt("version", 0) != 1) {
+    throw InstanceError("unsupported instance format version");
+  }
+
+  const JsonValue& pj = json.At("platform");
+  FpgaDevice device = DeviceFromJson(pj.At("device"));
+  const ResourceModel model = device.Model();
+  Platform platform(pj.GetString("name", "platform"),
+                    static_cast<std::size_t>(pj.At("processors").AsInt()),
+                    std::move(device),
+                    pj.At("recfreq_bits_per_sec").AsDouble(),
+                    static_cast<std::size_t>(pj.GetInt("reconfigurators", 1)));
+  platform = platform.WithHwSwBandwidth(
+      pj.GetDouble("hw_sw_bandwidth_bytes_per_sec", 0.0));
+
+  TaskGraph graph;
+  for (const JsonValue& tj : json.At("tasks").AsArray()) {
+    const TaskId id = graph.AddTask(tj.GetString("name", "task"));
+    for (const JsonValue& ij : tj.At("impls").AsArray()) {
+      graph.AddImpl(id, ImplFromJson(ij, model));
+    }
+  }
+  for (const JsonValue& ej : json.At("edges").AsArray()) {
+    const JsonArray& tuple = ej.AsArray();
+    if (tuple.size() != 2 && tuple.size() != 3) {
+      throw InstanceError("edge must be [from, to] or [from, to, bytes]");
+    }
+    const auto from = static_cast<TaskId>(tuple[0].AsInt());
+    const auto to = static_cast<TaskId>(tuple[1].AsInt());
+    graph.AddEdge(from, to);
+    if (tuple.size() == 3) graph.SetEdgeData(from, to, tuple[2].AsInt());
+  }
+
+  Instance instance{json.GetString("name", "instance"), std::move(platform),
+                    std::move(graph)};
+  instance.graph.Validate(instance.platform.Device());
+  return instance;
+}
+
+std::string InstanceToString(const Instance& instance) {
+  return InstanceToJson(instance).Dump(2);
+}
+
+Instance InstanceFromString(const std::string& text) {
+  return InstanceFromJson(JsonValue::Parse(text));
+}
+
+void SaveInstance(const Instance& instance, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw InstanceError("cannot open for writing: " + path);
+  out << InstanceToString(instance) << '\n';
+  if (!out) throw InstanceError("write failed: " + path);
+}
+
+Instance LoadInstance(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw InstanceError("cannot open for reading: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return InstanceFromString(buf.str());
+}
+
+}  // namespace resched

@@ -1,0 +1,185 @@
+#include "io/schedule_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace resched {
+
+namespace {
+
+JsonValue ResToJson(const ResourceVec& res, const ResourceModel& model) {
+  JsonObject obj;
+  for (std::size_t k = 0; k < res.size(); ++k) {
+    if (res[k] != 0) obj.emplace(model.Kind(k).name, res[k]);
+  }
+  return JsonValue(std::move(obj));
+}
+
+ResourceVec ResFromJson(const JsonValue& json, const ResourceModel& model) {
+  ResourceVec res = model.ZeroVec();
+  for (const auto& [name, value] : json.AsObject()) {
+    res[model.KindIndex(name)] = value.AsInt();
+  }
+  return res;
+}
+
+}  // namespace
+
+JsonValue ScheduleToJson(const Instance& instance, const Schedule& schedule) {
+  const ResourceModel& model = instance.platform.Device().Model();
+
+  JsonArray tasks;
+  for (const TaskSlot& slot : schedule.task_slots) {
+    tasks.push_back(JsonObject{
+        {"task", static_cast<std::int64_t>(slot.task)},
+        {"impl", slot.impl_index},
+        {"target", slot.OnFpga() ? "region" : "cpu"},
+        {"index", slot.target_index},
+        {"start", slot.start},
+        {"end", slot.end}});
+  }
+
+  JsonArray regions;
+  for (const RegionInfo& region : schedule.regions) {
+    JsonArray ids;
+    for (const TaskId t : region.tasks) {
+      ids.push_back(JsonValue(static_cast<std::int64_t>(t)));
+    }
+    regions.push_back(JsonObject{{"res", ResToJson(region.res, model)},
+                                 {"reconf_time", region.reconf_time},
+                                 {"tasks", std::move(ids)}});
+  }
+
+  JsonArray reconfs;
+  for (const ReconfSlot& r : schedule.reconfigurations) {
+    reconfs.push_back(JsonObject{
+        {"region", r.region},
+        {"loads", static_cast<std::int64_t>(r.loads_task)},
+        {"start", r.start},
+        {"end", r.end},
+        {"controller", r.controller}});
+  }
+
+  JsonObject doc{{"format", "resched-schedule"},
+                 {"version", 1},
+                 {"instance", instance.name},
+                 {"algorithm", schedule.algorithm},
+                 {"makespan", schedule.makespan},
+                 {"scheduling_seconds", schedule.scheduling_seconds},
+                 {"floorplanning_seconds", schedule.floorplanning_seconds},
+                 {"floorplan_retries", schedule.floorplan_retries},
+                 {"tasks", std::move(tasks)},
+                 {"regions", std::move(regions)},
+                 {"reconfigurations", std::move(reconfs)}};
+  if (!schedule.floorplan.empty()) {
+    JsonArray rects;
+    for (const Rect& r : schedule.floorplan) {
+      rects.push_back(JsonObject{{"col", r.col0},
+                                 {"row", r.row0},
+                                 {"w", r.width},
+                                 {"h", r.height}});
+    }
+    doc.emplace("floorplan", std::move(rects));
+  }
+  return JsonValue(std::move(doc));
+}
+
+Schedule ScheduleFromJson(const Instance& instance, const JsonValue& json) {
+  if (json.GetString("format", "") != "resched-schedule") {
+    throw InstanceError("not a resched-schedule document");
+  }
+  if (json.GetInt("version", 0) != 1) {
+    throw InstanceError("unsupported schedule format version");
+  }
+  const ResourceModel& model = instance.platform.Device().Model();
+
+  Schedule schedule;
+  schedule.algorithm = json.GetString("algorithm", "?");
+  schedule.makespan = json.At("makespan").AsInt();
+  schedule.scheduling_seconds = json.GetDouble("scheduling_seconds", 0.0);
+  schedule.floorplanning_seconds =
+      json.GetDouble("floorplanning_seconds", 0.0);
+  schedule.floorplan_retries = static_cast<std::size_t>(
+      json.GetInt("floorplan_retries", 0));
+
+  for (const JsonValue& tj : json.At("tasks").AsArray()) {
+    TaskSlot slot;
+    slot.task = static_cast<TaskId>(tj.At("task").AsInt());
+    slot.impl_index = static_cast<std::size_t>(tj.At("impl").AsInt());
+    const std::string target = tj.At("target").AsString();
+    if (target == "region") {
+      slot.target = TargetKind::kRegion;
+    } else if (target == "cpu") {
+      slot.target = TargetKind::kProcessor;
+    } else {
+      throw InstanceError("unknown schedule target: " + target);
+    }
+    slot.target_index = static_cast<std::size_t>(tj.At("index").AsInt());
+    slot.start = tj.At("start").AsInt();
+    slot.end = tj.At("end").AsInt();
+    schedule.task_slots.push_back(slot);
+  }
+  if (schedule.task_slots.size() != instance.graph.NumTasks()) {
+    throw InstanceError("schedule task count does not match the instance");
+  }
+
+  for (const JsonValue& rj : json.At("regions").AsArray()) {
+    RegionInfo region;
+    region.res = ResFromJson(rj.At("res"), model);
+    region.reconf_time = rj.At("reconf_time").AsInt();
+    for (const JsonValue& id : rj.At("tasks").AsArray()) {
+      region.tasks.push_back(static_cast<TaskId>(id.AsInt()));
+    }
+    schedule.regions.push_back(std::move(region));
+  }
+
+  for (const JsonValue& rj : json.At("reconfigurations").AsArray()) {
+    ReconfSlot slot;
+    slot.region = static_cast<std::size_t>(rj.At("region").AsInt());
+    slot.loads_task = static_cast<TaskId>(rj.At("loads").AsInt());
+    slot.start = rj.At("start").AsInt();
+    slot.end = rj.At("end").AsInt();
+    slot.controller = static_cast<std::size_t>(rj.GetInt("controller", 0));
+    schedule.reconfigurations.push_back(slot);
+  }
+
+  if (json.Contains("floorplan")) {
+    for (const JsonValue& rj : json.At("floorplan").AsArray()) {
+      schedule.floorplan.push_back(
+          Rect{static_cast<std::size_t>(rj.At("col").AsInt()),
+               static_cast<std::size_t>(rj.At("row").AsInt()),
+               static_cast<std::size_t>(rj.At("w").AsInt()),
+               static_cast<std::size_t>(rj.At("h").AsInt())});
+    }
+    schedule.floorplan_checked = true;
+  }
+  return schedule;
+}
+
+std::string ScheduleToString(const Instance& instance,
+                             const Schedule& schedule) {
+  return ScheduleToJson(instance, schedule).Dump(2);
+}
+
+Schedule ScheduleFromString(const Instance& instance,
+                            const std::string& text) {
+  return ScheduleFromJson(instance, JsonValue::Parse(text));
+}
+
+void SaveSchedule(const Instance& instance, const Schedule& schedule,
+                  const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw InstanceError("cannot open for writing: " + path);
+  out << ScheduleToString(instance, schedule) << '\n';
+  if (!out) throw InstanceError("write failed: " + path);
+}
+
+Schedule LoadSchedule(const Instance& instance, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw InstanceError("cannot open for reading: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ScheduleFromString(instance, buf.str());
+}
+
+}  // namespace resched

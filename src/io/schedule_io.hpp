@@ -1,0 +1,38 @@
+// JSON (de)serialization of schedules.
+//
+// A schedule document references its instance by name and task ids, so a
+// schedule file is only meaningful next to its instance file; FromJson
+// takes the instance to resolve resource-model arity and validate shape.
+//
+// Format:
+// {
+//   "format": "resched-schedule", "version": 1,
+//   "instance": "<instance name>", "algorithm": "PA", "makespan": 123,
+//   "tasks": [{"task": 0, "impl": 1, "target": "region"|"cpu",
+//              "index": 0, "start": 0, "end": 100}, ...],
+//   "regions": [{"res": {"CLB": 100}, "reconf_time": 7,
+//                "tasks": [0, 3]}, ...],
+//   "reconfigurations": [{"region": 0, "loads": 3,
+//                         "start": 100, "end": 107}, ...],
+//   "floorplan": [{"col": 0, "row": 0, "w": 3, "h": 1}, ...]   // optional
+// }
+#pragma once
+
+#include "sched/schedule.hpp"
+#include "util/json.hpp"
+
+namespace resched {
+
+JsonValue ScheduleToJson(const Instance& instance, const Schedule& schedule);
+Schedule ScheduleFromJson(const Instance& instance, const JsonValue& json);
+
+std::string ScheduleToString(const Instance& instance,
+                             const Schedule& schedule);
+Schedule ScheduleFromString(const Instance& instance,
+                            const std::string& text);
+
+void SaveSchedule(const Instance& instance, const Schedule& schedule,
+                  const std::string& path);
+Schedule LoadSchedule(const Instance& instance, const std::string& path);
+
+}  // namespace resched

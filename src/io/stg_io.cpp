@@ -1,0 +1,152 @@
+#include "io/stg_io.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "util/rng.hpp"
+#include "util/string_util.hpp"
+
+namespace resched {
+
+namespace {
+
+struct StgTask {
+  std::int64_t exec = 0;
+  std::vector<std::size_t> preds;
+};
+
+/// Tokenizes the file into whitespace-separated numbers, skipping
+/// everything from '#' to end of line.
+std::vector<std::int64_t> Tokenize(const std::string& text) {
+  std::vector<std::int64_t> tokens;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::int64_t v = 0;
+    while (ls >> v) tokens.push_back(v);
+  }
+  return tokens;
+}
+
+}  // namespace
+
+TaskGraph LoadStgText(const std::string& text, const ResourceModel& model,
+                      const StgOptions& options) {
+  const std::vector<std::int64_t> tok = Tokenize(text);
+  if (tok.empty()) throw InstanceError("empty STG document");
+  std::size_t pos = 0;
+  auto next = [&tok, &pos](const char* what) {
+    if (pos >= tok.size()) {
+      throw InstanceError(std::string("truncated STG document: expected ") +
+                          what);
+    }
+    return tok[pos++];
+  };
+
+  const std::int64_t declared = next("task count");
+  if (declared < 0) throw InstanceError("negative STG task count");
+  // STG counts exclude the dummy source/sink; files list n + 2 records.
+  const std::size_t total = static_cast<std::size_t>(declared) + 2;
+
+  std::vector<StgTask> tasks(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    const std::int64_t id = next("task id");
+    if (id < 0 || static_cast<std::size_t>(id) != i) {
+      throw InstanceError(StrFormat("STG task ids must be dense: got %lld, "
+                                    "expected %zu",
+                                    static_cast<long long>(id), i));
+    }
+    tasks[i].exec = next("exec time");
+    if (tasks[i].exec < 0) throw InstanceError("negative STG exec time");
+    const std::int64_t preds = next("pred count");
+    if (preds < 0) throw InstanceError("negative STG predecessor count");
+    for (std::int64_t p = 0; p < preds; ++p) {
+      const std::int64_t pred = next("pred id");
+      if (pred < 0 || static_cast<std::size_t>(pred) >= i) {
+        throw InstanceError("STG predecessor ids must precede the task");
+      }
+      tasks[i].preds.push_back(static_cast<std::size_t>(pred));
+    }
+  }
+
+  // Mapping to kept task indices (dummies stripped or not).
+  const std::size_t first = options.strip_dummies ? 1 : 0;
+  const std::size_t last = options.strip_dummies ? total - 1 : total;
+  std::vector<int> kept(total, -1);
+
+  Rng rng(options.hw_seed == 0 ? 1 : options.hw_seed);
+  TaskGraph graph;
+  for (std::size_t i = first; i < last; ++i) {
+    const TaskId id = graph.AddTask(StrFormat("stg%zu", i));
+    kept[i] = id;
+
+    // Dummy nodes inside the kept range (exec 0) still need a positive
+    // time; clamp to one tick.
+    const TimeT sw_time = std::max<TimeT>(
+        1, static_cast<TimeT>(std::llround(
+               static_cast<double>(tasks[i].exec) * options.time_scale)));
+    Implementation sw;
+    sw.kind = ImplKind::kSoftware;
+    sw.name = "sw";
+    sw.exec_time = sw_time;
+    graph.AddImpl(id, std::move(sw));
+
+    double time_factor = 1.0;
+    double area_factor = 1.0;
+    for (std::size_t v = 0; v < options.num_hw_impls; ++v) {
+      Implementation hw;
+      hw.kind = ImplKind::kHardware;
+      hw.name = StrFormat("hw%zu", v);
+      hw.exec_time = std::max<TimeT>(
+          1, static_cast<TimeT>(std::llround(static_cast<double>(sw_time) /
+                                             options.speedup *
+                                             time_factor)));
+      hw.res = model.ZeroVec();
+      hw.res[model.KindIndex("CLB")] = std::max<std::int64_t>(
+          1, static_cast<std::int64_t>(
+                 std::ceil(static_cast<double>(options.area_base) *
+                           area_factor)));
+      if (options.hw_seed != 0) {
+        if (model.HasKind("BRAM") && rng.Bernoulli(0.4)) {
+          hw.res[model.KindIndex("BRAM")] = rng.UniformInt(2, 16);
+        }
+        if (model.HasKind("DSP") && rng.Bernoulli(0.4)) {
+          hw.res[model.KindIndex("DSP")] = rng.UniformInt(4, 24);
+        }
+      }
+      graph.AddImpl(id, std::move(hw));
+      time_factor *= options.time_step;
+      area_factor *= options.area_step;
+    }
+  }
+
+  for (std::size_t i = first; i < last; ++i) {
+    for (const std::size_t p : tasks[i].preds) {
+      if (kept[p] < 0) continue;  // edge from a stripped dummy
+      graph.AddEdge(static_cast<TaskId>(kept[p]),
+                    static_cast<TaskId>(kept[i]));
+    }
+  }
+  return graph;
+}
+
+Instance LoadStgInstance(const std::string& path, const Platform& platform,
+                         const StgOptions& options) {
+  std::ifstream in(path);
+  if (!in) throw InstanceError("cannot open for reading: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  Instance instance;
+  instance.name = path;
+  instance.platform = platform;
+  instance.graph =
+      LoadStgText(buf.str(), platform.Device().Model(), options);
+  instance.graph.Validate(platform.Device());
+  return instance;
+}
+
+}  // namespace resched

@@ -1,0 +1,52 @@
+// Import of the Standard Task Graph Set (STG) format (Kasahara Lab) —
+// the benchmark suite most scheduling papers in this area draw on.
+//
+// An STG file is:
+//
+//     <num_tasks>            (excluding the two dummy entry/exit nodes)
+//     <id> <exec_time> <num_preds> <pred ids...>     (one line per task)
+//     ...
+//     # comments / trailer
+//
+// Task 0 is a dummy source and task n+1 a dummy sink (both zero-time);
+// they are stripped by default. STG carries only software execution
+// times, so hardware implementations are *synthesized* from a
+// configurable acceleration model (speedup and area per HLS variant),
+// the way the paper builds its own suite (1 SW + k Pareto HW variants).
+#pragma once
+
+#include <string>
+
+#include "taskgraph/generator.hpp"
+#include "taskgraph/taskgraph.hpp"
+
+namespace resched {
+
+struct StgOptions {
+  /// Drop the zero-time dummy entry/exit tasks (STG convention).
+  bool strip_dummies = true;
+  /// Scale applied to STG's abstract time units to produce ticks (µs).
+  double time_scale = 100.0;
+  /// Hardware synthesis model: variant v (0-based) runs
+  /// `speedup / time_step^v` times faster than software and needs
+  /// `area_base * area_step^v` CLBs (rounded up, plus optional BRAM/DSP
+  /// noise drawn from `hw_seed`).
+  std::size_t num_hw_impls = 3;
+  double speedup = 4.0;
+  double time_step = 1.35;
+  std::int64_t area_base = 1600;
+  double area_step = 0.5;
+  /// Seed for the synthesized heterogeneous BRAM/DSP demands (0 disables
+  /// them: CLB-only implementations).
+  std::uint64_t hw_seed = 1;
+};
+
+/// Parses STG text; throws InstanceError on malformed input.
+TaskGraph LoadStgText(const std::string& text, const ResourceModel& model,
+                      const StgOptions& options = {});
+
+/// Loads an .stg file and wraps it into an instance on `platform`.
+Instance LoadStgInstance(const std::string& path, const Platform& platform,
+                         const StgOptions& options = {});
+
+}  // namespace resched

@@ -1,0 +1,25 @@
+// Communication-overhead model (the paper's §VIII future-work item,
+// implemented as an opt-in extension).
+//
+// An edge (a, b) carrying `bytes` of data costs transfer time only when it
+// crosses the hardware/software boundary — producer and consumer in the
+// same domain communicate through shared memory (SW->SW) or on-fabric
+// buffers (HW->HW) at negligible cost, while PS<->PL movement is priced by
+// the platform's HW<->SW bandwidth. The model is inactive (every gap 0)
+// unless both the platform sets a bandwidth and the graph carries edge
+// payloads, so the paper's original cost model is the default.
+#pragma once
+
+#include "taskgraph/taskgraph.hpp"
+
+namespace resched {
+
+/// Transfer gap for edge (from, to) given the domains the two endpoints
+/// execute in (`*_hw` true = hardware region).
+inline TimeT CommGap(const Platform& platform, const TaskGraph& graph,
+                     TaskId from, TaskId to, bool from_hw, bool to_hw) {
+  if (from_hw == to_hw) return 0;
+  return platform.TransferTicks(graph.EdgeData(from, to));
+}
+
+}  // namespace resched

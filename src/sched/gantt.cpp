@@ -1,0 +1,145 @@
+#include "sched/gantt.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include "util/string_util.hpp"
+
+namespace resched {
+
+namespace {
+
+struct Lane {
+  std::string label;
+  // (start, end, glyph-label)
+  std::vector<std::tuple<TimeT, TimeT, std::string>> bars;
+};
+
+std::vector<Lane> BuildLanes(const Instance& instance,
+                             const Schedule& schedule) {
+  std::vector<Lane> lanes;
+  for (std::size_t p = 0; p < instance.platform.NumProcessors(); ++p) {
+    lanes.push_back(Lane{StrFormat("cpu%zu", p), {}});
+  }
+  const std::size_t region_base = lanes.size();
+  for (std::size_t s = 0; s < schedule.regions.size(); ++s) {
+    lanes.push_back(Lane{StrFormat("rr%zu", s), {}});
+  }
+  lanes.push_back(Lane{"icap", {}});
+
+  for (const TaskSlot& slot : schedule.task_slots) {
+    const std::size_t lane = slot.OnFpga()
+                                 ? region_base + slot.target_index
+                                 : slot.target_index;
+    lanes[lane].bars.emplace_back(
+        slot.start, slot.end,
+        instance.graph.GetTask(slot.task).name);
+  }
+  for (const ReconfSlot& r : schedule.reconfigurations) {
+    lanes.back().bars.emplace_back(
+        r.start, r.end, StrFormat("R(rr%zu<-%s)", r.region,
+                                  instance.graph.GetTask(r.loads_task)
+                                      .name.c_str()));
+  }
+  for (Lane& lane : lanes) {
+    std::sort(lane.bars.begin(), lane.bars.end());
+  }
+  return lanes;
+}
+
+}  // namespace
+
+std::string ScheduleTable(const Instance& instance, const Schedule& schedule) {
+  struct Row {
+    TimeT start;
+    std::string text;
+  };
+  std::vector<Row> rows;
+  for (const TaskSlot& slot : schedule.task_slots) {
+    const Task& task = instance.graph.GetTask(slot.task);
+    const Implementation& impl = task.impls[slot.impl_index];
+    rows.push_back(Row{
+        slot.start,
+        StrFormat("%10lld %10lld  %-12s %-4s %-6s %s",
+                  static_cast<long long>(slot.start),
+                  static_cast<long long>(slot.end), task.name.c_str(),
+                  impl.IsHardware() ? "HW" : "SW",
+                  slot.OnFpga() ? StrFormat("rr%zu", slot.target_index).c_str()
+                                : StrFormat("cpu%zu", slot.target_index)
+                                      .c_str(),
+                  impl.name.c_str())});
+  }
+  for (const ReconfSlot& r : schedule.reconfigurations) {
+    rows.push_back(Row{
+        r.start,
+        StrFormat("%10lld %10lld  %-12s %-4s %-6s loads %s",
+                  static_cast<long long>(r.start),
+                  static_cast<long long>(r.end), "reconf", "--",
+                  StrFormat("rr%zu", r.region).c_str(),
+                  instance.graph.GetTask(r.loads_task).name.c_str())});
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.start < b.start; });
+
+  std::string out = StrFormat("%10s %10s  %-12s %-4s %-6s %s\n", "start",
+                              "end", "task", "kind", "where", "impl");
+  for (const Row& row : rows) out += row.text + "\n";
+  return out;
+}
+
+std::string GanttChart(const Instance& instance, const Schedule& schedule,
+                       std::size_t width) {
+  const TimeT makespan = std::max<TimeT>(schedule.makespan, 1);
+  const std::vector<Lane> lanes = BuildLanes(instance, schedule);
+
+  std::size_t label_width = 0;
+  for (const Lane& lane : lanes) {
+    label_width = std::max(label_width, lane.label.size());
+  }
+
+  auto to_cell = [&](TimeT t) {
+    return static_cast<std::size_t>(
+        static_cast<double>(t) / static_cast<double>(makespan) *
+        static_cast<double>(width - 1));
+  };
+
+  std::string out;
+  for (const Lane& lane : lanes) {
+    std::string row(width, '.');
+    for (const auto& [start, end, label] : lane.bars) {
+      const std::size_t c0 = to_cell(start);
+      const std::size_t c1 = std::max(c0 + 1, to_cell(end));
+      for (std::size_t c = c0; c < c1 && c < width; ++c) row[c] = '#';
+      // Overlay as much of the label as fits inside the bar.
+      for (std::size_t i = 0; i < label.size() && c0 + i < c1 - 0 &&
+                              c0 + i < width;
+           ++i) {
+        row[c0 + i] = label[i];
+      }
+    }
+    out += PadRight(lane.label, label_width) + " |" + row + "|\n";
+  }
+  out += PadRight("", label_width) + "  0" +
+         PadLeft(FormatTicks(makespan), width - 1) + "\n";
+  return out;
+}
+
+std::string ScheduleSummary(const Instance& instance,
+                            const Schedule& schedule) {
+  (void)instance;  // kept for interface symmetry with the other renderers
+  const std::size_t hw = schedule.NumHardwareTasks();
+  const std::size_t total = schedule.task_slots.size();
+  return StrFormat(
+      "%s: makespan %s | %zu/%zu tasks in HW across %zu regions | %zu "
+      "reconfigurations totalling %s | floorplan %s",
+      schedule.algorithm.c_str(), FormatTicks(schedule.makespan).c_str(), hw,
+      total, schedule.regions.size(), schedule.reconfigurations.size(),
+      FormatTicks(schedule.TotalReconfigurationTime()).c_str(),
+      schedule.floorplan_checked
+          ? (schedule.floorplan.empty() && !schedule.regions.empty()
+                 ? "NOT FOUND"
+                 : "valid")
+          : "unchecked");
+}
+
+}  // namespace resched

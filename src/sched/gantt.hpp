@@ -1,0 +1,24 @@
+// Human-readable schedule rendering: a per-resource timeline table plus an
+// ASCII Gantt chart (used by the examples and by debugging sessions).
+#pragma once
+
+#include <string>
+
+#include "sched/schedule.hpp"
+
+namespace resched {
+
+/// Tabular listing: one line per task slot and reconfiguration, sorted by
+/// start time, with target and implementation details.
+std::string ScheduleTable(const Instance& instance, const Schedule& schedule);
+
+/// ASCII Gantt chart with one lane per processor, region and the
+/// reconfiguration controller. `width` is the number of character cells the
+/// makespan is scaled to.
+std::string GanttChart(const Instance& instance, const Schedule& schedule,
+                       std::size_t width = 96);
+
+/// One-paragraph summary (makespan, HW/SW split, reconfiguration load).
+std::string ScheduleSummary(const Instance& instance, const Schedule& schedule);
+
+}  // namespace resched

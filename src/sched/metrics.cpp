@@ -1,0 +1,122 @@
+#include "sched/metrics.hpp"
+
+#include <algorithm>
+
+#include "util/string_util.hpp"
+
+namespace resched {
+
+ScheduleMetrics ComputeMetrics(const Instance& instance,
+                               const Schedule& schedule) {
+  ScheduleMetrics m;
+  m.makespan = schedule.makespan;
+  m.num_tasks = schedule.task_slots.size();
+  m.hw_tasks = schedule.NumHardwareTasks();
+  m.hw_ratio = m.num_tasks == 0
+                   ? 0.0
+                   : static_cast<double>(m.hw_tasks) /
+                         static_cast<double>(m.num_tasks);
+  m.num_regions = schedule.regions.size();
+
+  // Raw capacity claim.
+  const ResourceVec& cap = instance.platform.Device().Capacity();
+  ResourceVec used = instance.platform.Device().Model().ZeroVec();
+  for (const RegionInfo& region : schedule.regions) used += region.res;
+  double claim = 0.0;
+  std::size_t kinds_counted = 0;
+  for (std::size_t k = 0; k < cap.size(); ++k) {
+    if (cap[k] == 0) continue;
+    claim += static_cast<double>(used[k]) / static_cast<double>(cap[k]);
+    ++kinds_counted;
+  }
+  m.capacity_utilization =
+      kinds_counted == 0 ? 0.0 : claim / static_cast<double>(kinds_counted);
+
+  // Time accounting.
+  for (const TaskSlot& slot : schedule.task_slots) {
+    m.total_task_time += slot.end - slot.start;
+  }
+  m.total_reconf_time = schedule.TotalReconfigurationTime();
+  const double mk = static_cast<double>(std::max<TimeT>(1, m.makespan));
+  m.reconf_overhead = static_cast<double>(m.total_reconf_time) / mk;
+
+  // Per-resource-class utilization.
+  const std::size_t cores = instance.platform.NumProcessors();
+  if (cores > 0) {
+    TimeT core_busy = 0;
+    for (const TaskSlot& slot : schedule.task_slots) {
+      if (!slot.OnFpga()) core_busy += slot.end - slot.start;
+    }
+    m.avg_core_utilization =
+        static_cast<double>(core_busy) / (mk * static_cast<double>(cores));
+  }
+  if (!schedule.regions.empty()) {
+    TimeT region_busy = 0;
+    for (const TaskSlot& slot : schedule.task_slots) {
+      if (slot.OnFpga()) region_busy += slot.end - slot.start;
+    }
+    m.avg_region_utilization =
+        static_cast<double>(region_busy) /
+        (mk * static_cast<double>(schedule.regions.size()));
+  }
+  m.controller_utilization =
+      static_cast<double>(m.total_reconf_time) /
+      (mk * static_cast<double>(instance.platform.NumReconfigurators()));
+
+  // Parallelism profile (event sweep).
+  m.avg_parallelism = static_cast<double>(m.total_task_time) / mk;
+  {
+    std::vector<std::pair<TimeT, int>> events;
+    events.reserve(2 * schedule.task_slots.size());
+    for (const TaskSlot& slot : schedule.task_slots) {
+      events.emplace_back(slot.start, +1);
+      events.emplace_back(slot.end, -1);
+    }
+    std::sort(events.begin(), events.end(),
+              [](const auto& a, const auto& b) {
+                // Ends before starts at equal instants (half-open slots).
+                return a.first < b.first ||
+                       (a.first == b.first && a.second < b.second);
+              });
+    int running = 0;
+    for (const auto& [time, delta] : events) {
+      running += delta;
+      m.peak_parallelism =
+          std::max(m.peak_parallelism, static_cast<std::size_t>(
+                                           std::max(0, running)));
+    }
+  }
+
+  // Region gaps.
+  {
+    double gap_total = 0.0;
+    std::size_t gap_count = 0;
+    for (const RegionInfo& region : schedule.regions) {
+      for (std::size_t i = 0; i + 1 < region.tasks.size(); ++i) {
+        const TaskSlot& a =
+            schedule.SlotOf(region.tasks[i]);
+        const TaskSlot& b = schedule.SlotOf(region.tasks[i + 1]);
+        gap_total += static_cast<double>(b.start - a.end);
+        ++gap_count;
+      }
+    }
+    m.avg_region_gap = gap_count == 0
+                           ? 0.0
+                           : gap_total / static_cast<double>(gap_count);
+  }
+  return m;
+}
+
+std::string ScheduleMetrics::ToString() const {
+  return StrFormat(
+      "makespan %s | HW %zu/%zu (%.0f%%) in %zu regions (%.0f%% capacity) | "
+      "reconf overhead %.1f%% | util cores %.0f%% regions %.0f%% icap "
+      "%.0f%% | parallelism avg %.2f peak %zu | region gap avg %s",
+      FormatTicks(makespan).c_str(), hw_tasks, num_tasks, hw_ratio * 100.0,
+      num_regions, capacity_utilization * 100.0, reconf_overhead * 100.0,
+      avg_core_utilization * 100.0, avg_region_utilization * 100.0,
+      controller_utilization * 100.0, avg_parallelism, peak_parallelism,
+      FormatTicks(static_cast<TimeT>(avg_region_gap)).c_str());
+}
+
+}  // namespace resched

@@ -1,0 +1,52 @@
+// Schedule quality metrics beyond the makespan — the numbers a designer
+// inspects to understand *why* one schedule beats another: hardware
+// offload ratio, fabric/controller utilization, reconfiguration overhead,
+// achieved parallelism profile and slack statistics.
+#pragma once
+
+#include <string>
+
+#include "sched/schedule.hpp"
+
+namespace resched {
+
+struct ScheduleMetrics {
+  TimeT makespan = 0;
+
+  // ---- mapping ----------------------------------------------------------
+  std::size_t num_tasks = 0;
+  std::size_t hw_tasks = 0;
+  double hw_ratio = 0.0;  ///< hw_tasks / num_tasks
+  std::size_t num_regions = 0;
+  /// Share of the device capacity claimed by region requirements,
+  /// averaged over resource kinds (raw packing, not footprint).
+  double capacity_utilization = 0.0;
+
+  // ---- time accounting --------------------------------------------------
+  TimeT total_task_time = 0;        ///< sum of task durations
+  TimeT total_reconf_time = 0;      ///< controller busy time
+  double reconf_overhead = 0.0;     ///< total_reconf_time / makespan
+  /// Busy fraction of the cores / regions / controllers, averaged per
+  /// resource class.
+  double avg_core_utilization = 0.0;
+  double avg_region_utilization = 0.0;
+  double controller_utilization = 0.0;
+
+  // ---- concurrency ------------------------------------------------------
+  /// Time-averaged number of simultaneously running tasks
+  /// (total_task_time / makespan).
+  double avg_parallelism = 0.0;
+  /// Maximum number of tasks running at any instant.
+  std::size_t peak_parallelism = 0;
+
+  // ---- slack ------------------------------------------------------------
+  /// Mean idle time between consecutive tasks of the same region.
+  double avg_region_gap = 0.0;
+
+  std::string ToString() const;
+};
+
+ScheduleMetrics ComputeMetrics(const Instance& instance,
+                               const Schedule& schedule);
+
+}  // namespace resched

@@ -1,0 +1,34 @@
+#include "sched/schedule.hpp"
+
+#include <algorithm>
+
+namespace resched {
+
+std::vector<ResourceVec> Schedule::RegionRequirements() const {
+  std::vector<ResourceVec> out;
+  out.reserve(regions.size());
+  for (const RegionInfo& region : regions) out.push_back(region.res);
+  return out;
+}
+
+TimeT Schedule::ComputeMakespan() const {
+  TimeT m = 0;
+  for (const TaskSlot& slot : task_slots) m = std::max(m, slot.end);
+  return m;
+}
+
+std::size_t Schedule::NumHardwareTasks() const {
+  std::size_t n = 0;
+  for (const TaskSlot& slot : task_slots) {
+    if (slot.OnFpga()) ++n;
+  }
+  return n;
+}
+
+TimeT Schedule::TotalReconfigurationTime() const {
+  TimeT total = 0;
+  for (const ReconfSlot& r : reconfigurations) total += r.end - r.start;
+  return total;
+}
+
+}  // namespace resched

@@ -1,0 +1,85 @@
+// The scheduler output model (§III): reconfigurable regions, a task ->
+// (implementation, processor-or-region, time slot) mapping, and the
+// reconfiguration tasks on the single controller.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "floorplan/floorplanner.hpp"
+#include "taskgraph/taskgraph.hpp"
+
+namespace resched {
+
+/// Where a task executes.
+enum class TargetKind : std::uint8_t { kProcessor, kRegion };
+
+/// One scheduled application task.
+struct TaskSlot {
+  TaskId task = kInvalidTask;
+  std::size_t impl_index = 0;  ///< index into the task's implementation list
+  TargetKind target = TargetKind::kProcessor;
+  std::size_t target_index = 0;  ///< processor id or region id
+  TimeT start = 0;
+  TimeT end = 0;  ///< half-open slot [start, end)
+
+  bool OnFpga() const { return target == TargetKind::kRegion; }
+};
+
+/// One reconfigurable region with the tasks it hosts, in execution order.
+struct RegionInfo {
+  ResourceVec res;          ///< res_{s,r}: requirement of the region
+  TimeT reconf_time = 0;    ///< Eq. (2) duration of one reconfiguration
+  std::vector<TaskId> tasks;
+};
+
+/// One reconfiguration task: loads the bitstream of `loads_task`'s
+/// implementation into `region` before that task may run. `controller`
+/// selects the reconfiguration controller (always 0 in the paper's
+/// single-controller model).
+struct ReconfSlot {
+  std::size_t region = 0;
+  TaskId loads_task = kInvalidTask;
+  TimeT start = 0;
+  TimeT end = 0;
+  std::size_t controller = 0;
+};
+
+/// Complete schedule plus solver metadata.
+struct Schedule {
+  /// Indexed by TaskId (same order as the task graph).
+  std::vector<TaskSlot> task_slots;
+  std::vector<RegionInfo> regions;
+  /// Sorted by start time.
+  std::vector<ReconfSlot> reconfigurations;
+  TimeT makespan = 0;
+
+  // ---- metadata ----
+  std::string algorithm;
+  double scheduling_seconds = 0.0;
+  double floorplanning_seconds = 0.0;
+  /// Times the scheduler restarted with shrunk resources (§V-H loop).
+  std::size_t floorplan_retries = 0;
+  /// One rectangle per region when a floorplan was found.
+  std::vector<Rect> floorplan;
+  bool floorplan_checked = false;
+
+  const TaskSlot& SlotOf(TaskId t) const {
+    return task_slots.at(static_cast<std::size_t>(t));
+  }
+
+  /// Region requirement vectors in region order (floorplanner input).
+  std::vector<ResourceVec> RegionRequirements() const;
+
+  /// Recomputes the makespan from the task slots.
+  TimeT ComputeMakespan() const;
+
+  /// Count of tasks mapped to hardware.
+  std::size_t NumHardwareTasks() const;
+
+  /// Total time the reconfiguration controller is busy.
+  TimeT TotalReconfigurationTime() const;
+};
+
+}  // namespace resched

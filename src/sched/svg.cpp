@@ -1,0 +1,176 @@
+#include "sched/svg.hpp"
+
+#include <algorithm>
+
+#include "util/string_util.hpp"
+
+namespace resched {
+
+namespace {
+
+// Color-blind-safe categorical palette (Okabe-Ito), cycled per task.
+const char* const kPalette[] = {"#0072B2", "#E69F00", "#009E73", "#CC79A7",
+                                "#56B4E9", "#D55E00", "#F0E442", "#999999"};
+constexpr std::size_t kPaletteSize = sizeof(kPalette) / sizeof(kPalette[0]);
+
+std::string EscapeXml(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string GanttSvg(const Instance& instance, const Schedule& schedule,
+                     const SvgOptions& options) {
+  const std::size_t cores = instance.platform.NumProcessors();
+  const std::size_t lanes = cores + schedule.regions.size() + 1;
+  const std::size_t label_w = 64;
+  const std::size_t chart_w = options.width_px - label_w;
+  const std::size_t lane_h = options.lane_height_px;
+  const std::size_t height = lanes * lane_h + 30;
+  const TimeT makespan = std::max<TimeT>(schedule.makespan, 1);
+
+  auto x_of = [&](TimeT t) {
+    return static_cast<double>(label_w) +
+           static_cast<double>(t) / static_cast<double>(makespan) *
+               static_cast<double>(chart_w);
+  };
+  auto lane_of_slot = [&](const TaskSlot& slot) {
+    return slot.OnFpga() ? cores + slot.target_index : slot.target_index;
+  };
+
+  std::string svg = StrFormat(
+      "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%zu\" "
+      "height=\"%zu\" font-family=\"sans-serif\" font-size=\"11\">\n",
+      options.width_px, height);
+
+  // Lane backgrounds and labels.
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    std::string label;
+    if (lane < cores) {
+      label = StrFormat("cpu%zu", lane);
+    } else if (lane < cores + schedule.regions.size()) {
+      label = StrFormat("rr%zu", lane - cores);
+    } else {
+      label = "icap";
+    }
+    const std::size_t y = lane * lane_h;
+    svg += StrFormat(
+        "<rect x=\"%zu\" y=\"%zu\" width=\"%zu\" height=\"%zu\" "
+        "fill=\"%s\"/>\n",
+        label_w, y, chart_w, lane_h, lane % 2 == 0 ? "#f7f7f7" : "#efefef");
+    svg += StrFormat(
+        "<text x=\"4\" y=\"%zu\" dominant-baseline=\"middle\">%s</text>\n",
+        y + lane_h / 2, label.c_str());
+  }
+
+  // Task bars.
+  for (const TaskSlot& slot : schedule.task_slots) {
+    const std::size_t lane = lane_of_slot(slot);
+    const double x0 = x_of(slot.start);
+    const double x1 = x_of(slot.end);
+    const std::size_t y = lane * lane_h + 3;
+    const char* color =
+        kPalette[static_cast<std::size_t>(slot.task) % kPaletteSize];
+    const std::string name =
+        EscapeXml(instance.graph.GetTask(slot.task).name);
+    svg += StrFormat(
+        "<rect x=\"%.1f\" y=\"%zu\" width=\"%.1f\" height=\"%zu\" "
+        "fill=\"%s\" rx=\"2\"><title>%s [%lld, %lld)</title></rect>\n",
+        x0, y, std::max(1.0, x1 - x0), lane_h - 6, color, name.c_str(),
+        static_cast<long long>(slot.start),
+        static_cast<long long>(slot.end));
+    if (options.include_labels && x1 - x0 > 24) {
+      svg += StrFormat(
+          "<text x=\"%.1f\" y=\"%zu\" dominant-baseline=\"middle\" "
+          "fill=\"white\">%s</text>\n",
+          x0 + 3, lane * lane_h + lane_h / 2, name.c_str());
+    }
+  }
+
+  // Reconfiguration bars (hatched look via opacity).
+  for (const ReconfSlot& r : schedule.reconfigurations) {
+    const std::size_t lane = lanes - 1;
+    const double x0 = x_of(r.start);
+    const double x1 = x_of(r.end);
+    svg += StrFormat(
+        "<rect x=\"%.1f\" y=\"%zu\" width=\"%.1f\" height=\"%zu\" "
+        "fill=\"#444\" opacity=\"0.8\" rx=\"2\"><title>reconf rr%zu &lt;- "
+        "%s</title></rect>\n",
+        x0, lane * lane_h + 3, std::max(1.0, x1 - x0), lane_h - 6, r.region,
+        EscapeXml(instance.graph.GetTask(r.loads_task).name).c_str());
+  }
+
+  // Time axis.
+  const std::size_t axis_y = lanes * lane_h + 14;
+  svg += StrFormat(
+      "<text x=\"%zu\" y=\"%zu\">0</text>"
+      "<text x=\"%zu\" y=\"%zu\" text-anchor=\"end\">%s</text>\n",
+      label_w, axis_y, options.width_px - 4, axis_y,
+      FormatTicks(makespan).c_str());
+
+  svg += "</svg>\n";
+  return svg;
+}
+
+std::string FloorplanSvg(const Instance& instance, const Schedule& schedule,
+                         const SvgOptions& options) {
+  const FabricGeometry& geom = instance.platform.Device().Geometry();
+  const ResourceModel& model = instance.platform.Device().Model();
+  const std::size_t cols = geom.NumColumns();
+  const std::size_t rows = geom.rows;
+  const double cell_w =
+      static_cast<double>(options.width_px - 20) / static_cast<double>(cols);
+  const double cell_h = 48.0;
+  const std::size_t height = static_cast<std::size_t>(
+      cell_h * static_cast<double>(rows)) + 40;
+
+  std::string svg = StrFormat(
+      "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%zu\" "
+      "height=\"%zu\" font-family=\"sans-serif\" font-size=\"10\">\n",
+      options.width_px, height);
+
+  // Column background tinted by resource kind.
+  const char* const kind_colors[] = {"#dce9f5", "#f5e9dc", "#e0f5dc",
+                                     "#f0dcf5"};
+  for (std::size_t c = 0; c < cols; ++c) {
+    const char* color = kind_colors[geom.columns[c].kind % 4];
+    svg += StrFormat(
+        "<rect x=\"%.1f\" y=\"10\" width=\"%.1f\" height=\"%.1f\" "
+        "fill=\"%s\" stroke=\"#ccc\" stroke-width=\"0.3\"><title>%s "
+        "col %zu</title></rect>\n",
+        10 + cell_w * static_cast<double>(c), cell_w,
+        cell_h * static_cast<double>(rows), color,
+        model.Kind(geom.columns[c].kind).name.c_str(), c);
+  }
+
+  // Region rectangles.
+  for (std::size_t i = 0; i < schedule.floorplan.size(); ++i) {
+    const Rect& r = schedule.floorplan[i];
+    const char* color = kPalette[i % kPaletteSize];
+    svg += StrFormat(
+        "<rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\" "
+        "fill=\"%s\" opacity=\"0.55\" stroke=\"%s\" stroke-width=\"1.5\"/>"
+        "<text x=\"%.1f\" y=\"%.1f\" font-weight=\"bold\">rr%zu</text>\n",
+        10 + cell_w * static_cast<double>(r.col0),
+        10 + cell_h * static_cast<double>(r.row0),
+        cell_w * static_cast<double>(r.width),
+        cell_h * static_cast<double>(r.height), color, color,
+        12 + cell_w * static_cast<double>(r.col0),
+        24 + cell_h * static_cast<double>(r.row0), i);
+  }
+
+  svg += "</svg>\n";
+  return svg;
+}
+
+}  // namespace resched

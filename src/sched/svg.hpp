@@ -1,0 +1,27 @@
+// SVG rendering of schedules: a publication-quality Gantt chart (one lane
+// per core, region and the reconfiguration controller) and a floorplan
+// view of the region rectangles on the fabric.
+#pragma once
+
+#include <string>
+
+#include "sched/schedule.hpp"
+
+namespace resched {
+
+struct SvgOptions {
+  std::size_t width_px = 960;
+  std::size_t lane_height_px = 26;
+  bool include_labels = true;
+};
+
+/// Gantt chart as a complete standalone SVG document.
+std::string GanttSvg(const Instance& instance, const Schedule& schedule,
+                     const SvgOptions& options = {});
+
+/// Floorplan view (requires schedule.floorplan to be non-empty or the
+/// schedule to have no regions).
+std::string FloorplanSvg(const Instance& instance, const Schedule& schedule,
+                         const SvgOptions& options = {});
+
+}  // namespace resched

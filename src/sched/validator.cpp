@@ -1,0 +1,295 @@
+#include "sched/validator.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "sched/comm.hpp"
+#include "util/string_util.hpp"
+
+namespace resched {
+
+namespace {
+
+void CheckNoOverlap(const std::vector<const TaskSlot*>& slots,
+                    const std::string& what,
+                    std::vector<std::string>& violations) {
+  std::vector<const TaskSlot*> sorted = slots;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const TaskSlot* a, const TaskSlot* b) {
+              return a->start < b->start;
+            });
+  for (std::size_t i = 0; i + 1 < sorted.size(); ++i) {
+    if (sorted[i]->end > sorted[i + 1]->start) {
+      violations.push_back(StrFormat(
+          "%s: task %d [%lld,%lld) overlaps task %d [%lld,%lld)",
+          what.c_str(), sorted[i]->task,
+          static_cast<long long>(sorted[i]->start),
+          static_cast<long long>(sorted[i]->end), sorted[i + 1]->task,
+          static_cast<long long>(sorted[i + 1]->start),
+          static_cast<long long>(sorted[i + 1]->end)));
+    }
+  }
+}
+
+}  // namespace
+
+std::string ValidationResult::Summary() const {
+  if (ok()) return "valid";
+  std::string out =
+      StrFormat("%zu violation(s):", violations.size());
+  for (const std::string& v : violations) {
+    out += "\n  - " + v;
+  }
+  return out;
+}
+
+ValidationResult ValidateSchedule(const Instance& instance,
+                                  const Schedule& schedule,
+                                  const ValidationOptions& options) {
+  ValidationResult result;
+  auto fail = [&result](std::string msg) {
+    result.violations.push_back(std::move(msg));
+  };
+
+  const TaskGraph& graph = instance.graph;
+  const Platform& platform = instance.platform;
+  const std::size_t n = graph.NumTasks();
+
+  // ---- V1: slot table shape.
+  if (schedule.task_slots.size() != n) {
+    fail(StrFormat("expected %zu task slots, got %zu", n,
+                   schedule.task_slots.size()));
+    return result;  // everything below indexes by TaskId
+  }
+  for (std::size_t t = 0; t < n; ++t) {
+    const TaskSlot& slot = schedule.task_slots[t];
+    const Task& task = graph.GetTask(static_cast<TaskId>(t));
+    if (slot.task != static_cast<TaskId>(t)) {
+      fail(StrFormat("slot %zu holds task %d", t, slot.task));
+      continue;
+    }
+    if (slot.impl_index >= task.impls.size()) {
+      fail(StrFormat("task %zu: impl index %zu out of range", t,
+                     slot.impl_index));
+      continue;
+    }
+    const Implementation& impl = task.impls[slot.impl_index];
+    if (slot.end - slot.start != impl.exec_time) {
+      fail(StrFormat("task %zu: slot length %lld != impl time %lld", t,
+                     static_cast<long long>(slot.end - slot.start),
+                     static_cast<long long>(impl.exec_time)));
+    }
+    if (slot.start < 0) {
+      fail(StrFormat("task %zu starts before time 0", t));
+    }
+    // ---- V2: target consistency.
+    if (slot.OnFpga()) {
+      if (!impl.IsHardware()) {
+        fail(StrFormat("task %zu runs in a region with a SW impl", t));
+      } else if (slot.target_index >= schedule.regions.size()) {
+        fail(StrFormat("task %zu assigned to unknown region %zu", t,
+                       slot.target_index));
+      } else if (!impl.res.FitsWithin(
+                     schedule.regions[slot.target_index].res)) {
+        fail(StrFormat("task %zu: impl needs %s > region %zu provides %s", t,
+                       impl.res.ToString().c_str(), slot.target_index,
+                       schedule.regions[slot.target_index].res.ToString()
+                           .c_str()));
+      }
+    } else {
+      if (!impl.IsSoftware()) {
+        fail(StrFormat("task %zu runs on a core with a HW impl", t));
+      }
+      if (slot.target_index >= platform.NumProcessors()) {
+        fail(StrFormat("task %zu assigned to unknown processor %zu", t,
+                       slot.target_index));
+      }
+    }
+  }
+
+  // ---- V3: precedence (plus the HW<->SW transfer gap when the
+  // communication-overhead extension is active; CommGap is 0 otherwise).
+  for (std::size_t t = 0; t < n; ++t) {
+    const TaskSlot& slot_t = schedule.task_slots[t];
+    for (const TaskId s : graph.Successors(static_cast<TaskId>(t))) {
+      const TaskSlot& slot_s = schedule.SlotOf(s);
+      const TimeT gap =
+          CommGap(platform, graph, static_cast<TaskId>(t), s,
+                  slot_t.OnFpga(), slot_s.OnFpga());
+      if (slot_s.start < slot_t.end + gap) {
+        fail(StrFormat(
+            "dependency %zu -> %d violated (%lld < %lld + comm gap %lld)", t,
+            s, static_cast<long long>(slot_s.start),
+            static_cast<long long>(slot_t.end), static_cast<long long>(gap)));
+      }
+    }
+  }
+
+  // ---- V4: processor exclusivity.
+  for (std::size_t p = 0; p < platform.NumProcessors(); ++p) {
+    std::vector<const TaskSlot*> on_core;
+    for (const TaskSlot& slot : schedule.task_slots) {
+      if (!slot.OnFpga() && slot.target_index == p) on_core.push_back(&slot);
+    }
+    CheckNoOverlap(on_core, StrFormat("processor %zu", p), result.violations);
+  }
+
+  // ---- V5 + region membership consistency.
+  for (std::size_t s = 0; s < schedule.regions.size(); ++s) {
+    std::vector<const TaskSlot*> in_region;
+    for (const TaskSlot& slot : schedule.task_slots) {
+      if (slot.OnFpga() && slot.target_index == s) in_region.push_back(&slot);
+    }
+    CheckNoOverlap(in_region, StrFormat("region %zu", s), result.violations);
+
+    // The region's recorded task list must match the slots assigned to it.
+    std::vector<TaskId> from_slots;
+    for (const TaskSlot* slot : in_region) from_slots.push_back(slot->task);
+    std::vector<TaskId> recorded = schedule.regions[s].tasks;
+    std::sort(from_slots.begin(), from_slots.end());
+    std::sort(recorded.begin(), recorded.end());
+    if (from_slots != recorded) {
+      fail(StrFormat("region %zu task list does not match slot assignments",
+                     s));
+    }
+  }
+
+  // ---- V6: reconfigurations between consecutive region tasks.
+  const ValidationOptions& opt = options;
+  for (std::size_t s = 0; s < schedule.regions.size(); ++s) {
+    const RegionInfo& region = schedule.regions[s];
+    const TimeT expected_reconf = platform.ReconfTicks(region.res);
+    if (region.reconf_time != expected_reconf) {
+      fail(StrFormat("region %zu reconf time %lld != Eq.(2) value %lld", s,
+                     static_cast<long long>(region.reconf_time),
+                     static_cast<long long>(expected_reconf)));
+    }
+
+    std::vector<const TaskSlot*> in_region;
+    for (const TaskSlot& slot : schedule.task_slots) {
+      if (slot.OnFpga() && slot.target_index == s) in_region.push_back(&slot);
+    }
+    std::sort(in_region.begin(), in_region.end(),
+              [](const TaskSlot* a, const TaskSlot* b) {
+                return a->start < b->start;
+              });
+    for (std::size_t i = 0; i + 1 < in_region.size(); ++i) {
+      const TaskSlot* tin = in_region[i];
+      const TaskSlot* tout = in_region[i + 1];
+      // Guard against impl indices already reported as invalid by V1.
+      if (tin->impl_index >= graph.GetTask(tin->task).impls.size() ||
+          tout->impl_index >= graph.GetTask(tout->task).impls.size()) {
+        continue;
+      }
+      const Implementation& impl_in =
+          graph.GetImpl(tin->task, tin->impl_index);
+      const Implementation& impl_out =
+          graph.GetImpl(tout->task, tout->impl_index);
+      const bool same_module = impl_in.module_id >= 0 &&
+                               impl_in.module_id == impl_out.module_id;
+      // Find the reconfiguration that loads tout in region s.
+      const ReconfSlot* found = nullptr;
+      for (const ReconfSlot& r : schedule.reconfigurations) {
+        if (r.region == s && r.loads_task == tout->task) {
+          if (found != nullptr) {
+            fail(StrFormat("duplicate reconfiguration for task %d in region "
+                           "%zu",
+                           tout->task, s));
+          }
+          found = &r;
+        }
+      }
+      if (found == nullptr) {
+        if (!(opt.allow_module_reuse && same_module)) {
+          fail(StrFormat(
+              "missing reconfiguration before task %d in region %zu",
+              tout->task, s));
+        }
+        continue;
+      }
+      if (found->start < tin->end) {
+        fail(StrFormat("reconfiguration for task %d starts before task %d "
+                       "ends",
+                       tout->task, tin->task));
+      }
+      if (found->end > tout->start) {
+        fail(StrFormat("reconfiguration for task %d ends after its start",
+                       tout->task));
+      }
+      if (found->end - found->start != region.reconf_time) {
+        fail(StrFormat("reconfiguration for task %d lasts %lld != region "
+                       "reconf time %lld",
+                       tout->task,
+                       static_cast<long long>(found->end - found->start),
+                       static_cast<long long>(region.reconf_time)));
+      }
+    }
+  }
+
+  // Every reconfiguration must correspond to a region it belongs to.
+  for (const ReconfSlot& r : schedule.reconfigurations) {
+    if (r.region >= schedule.regions.size()) {
+      fail(StrFormat("reconfiguration references unknown region %zu",
+                     r.region));
+    }
+  }
+
+  // ---- V7: controller exclusivity (per controller; the paper's model
+  // has exactly one).
+  for (std::size_t c = 0; c < platform.NumReconfigurators(); ++c) {
+    std::vector<const ReconfSlot*> sorted;
+    for (const ReconfSlot& r : schedule.reconfigurations) {
+      if (r.controller == c) sorted.push_back(&r);
+    }
+    std::sort(sorted.begin(), sorted.end(),
+              [](const ReconfSlot* a, const ReconfSlot* b) {
+                return a->start < b->start;
+              });
+    for (std::size_t i = 0; i + 1 < sorted.size(); ++i) {
+      if (sorted[i]->end > sorted[i + 1]->start) {
+        fail(StrFormat("reconfigurations overlap on controller %zu "
+                       "([%lld,%lld) vs [%lld,%lld))",
+                       c, static_cast<long long>(sorted[i]->start),
+                       static_cast<long long>(sorted[i]->end),
+                       static_cast<long long>(sorted[i + 1]->start),
+                       static_cast<long long>(sorted[i + 1]->end)));
+      }
+    }
+  }
+  for (const ReconfSlot& r : schedule.reconfigurations) {
+    if (r.controller >= platform.NumReconfigurators()) {
+      fail(StrFormat("reconfiguration on unknown controller %zu",
+                     r.controller));
+    }
+  }
+
+  // ---- V8: capacity.
+  {
+    ResourceVec total = platform.Device().Model().ZeroVec();
+    for (const RegionInfo& region : schedule.regions) total += region.res;
+    if (!total.FitsWithin(platform.Device().Capacity())) {
+      fail(StrFormat("summed region requirements %s exceed device capacity %s",
+                     total.ToString().c_str(),
+                     platform.Device().Capacity().ToString().c_str()));
+    }
+  }
+
+  // ---- V9: makespan.
+  if (schedule.makespan != schedule.ComputeMakespan()) {
+    fail(StrFormat("recorded makespan %lld != computed %lld",
+                   static_cast<long long>(schedule.makespan),
+                   static_cast<long long>(schedule.ComputeMakespan())));
+  }
+
+  // ---- V10: floorplan.
+  if (!schedule.floorplan.empty() || options.require_floorplan) {
+    if (!IsValidFloorplan(platform.Device(), schedule.RegionRequirements(),
+                          schedule.floorplan)) {
+      fail("attached floorplan is not valid for the region set");
+    }
+  }
+
+  return result;
+}
+
+}  // namespace resched

@@ -1,0 +1,48 @@
+// Independent schedule validator.
+//
+// Re-checks, from scratch and with no shared code paths with the
+// schedulers, every constraint of §III:
+//   V1  every task has exactly one slot, a valid implementation index, and
+//       slot length equal to the implementation's execution time;
+//   V2  hardware tasks sit in regions whose requirement covers their
+//       implementation; software tasks sit on existing processors;
+//   V3  data dependencies: succ.start >= pred.end for every DAG edge;
+//   V4  processor exclusivity: slots on one core never overlap;
+//   V5  region exclusivity: slots in one region never overlap;
+//   V6  reconfigurations: between consecutive tasks of a region (unless
+//       both use the same module and reuse is allowed) there is exactly one
+//       reconfiguration slot that loads the outgoing task, starts no
+//       earlier than the ingoing task's end, finishes no later than the
+//       outgoing task's start, and lasts exactly the region's Eq.-(2) time;
+//   V7  controller exclusivity: reconfiguration slots never overlap;
+//   V8  capacity: the summed region requirements fit the device;
+//   V9  makespan equals the latest task end;
+//   V10 (when the schedule carries one) the floorplan is geometrically
+//       valid for the region set.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sched/schedule.hpp"
+
+namespace resched {
+
+struct ValidationOptions {
+  /// Accept skipped reconfigurations between consecutive same-module tasks.
+  bool allow_module_reuse = true;
+  /// Require a geometrically valid floorplan to be attached.
+  bool require_floorplan = false;
+};
+
+struct ValidationResult {
+  std::vector<std::string> violations;
+  bool ok() const { return violations.empty(); }
+  std::string Summary() const;
+};
+
+ValidationResult ValidateSchedule(const Instance& instance,
+                                  const Schedule& schedule,
+                                  const ValidationOptions& options = {});
+
+}  // namespace resched

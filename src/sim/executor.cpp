@@ -1,0 +1,232 @@
+#include "sim/executor.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "sched/comm.hpp"
+#include "util/string_util.hpp"
+
+namespace resched::sim {
+
+namespace {
+
+/// Node ids in the event graph: tasks are [0, n), reconfigurations are
+/// [n, n + m).
+struct EventGraph {
+  std::vector<std::vector<std::size_t>> succs;
+  std::vector<std::size_t> indegree;
+
+  explicit EventGraph(std::size_t nodes)
+      : succs(nodes), indegree(nodes, 0) {}
+
+  void AddEdge(std::size_t from, std::size_t to) {
+    succs[from].push_back(to);
+    ++indegree[to];
+  }
+};
+
+TimeT Jittered(TimeT nominal, double jitter, Rng& rng) {
+  if (jitter <= 0.0) return nominal;
+  const double factor = rng.UniformDouble(1.0 - jitter, 1.0 + jitter);
+  return std::max<TimeT>(
+      1, static_cast<TimeT>(std::llround(static_cast<double>(nominal) *
+                                         factor)));
+}
+
+}  // namespace
+
+SimResult Simulate(const Instance& instance, const Schedule& schedule,
+                   const SimOptions& options) {
+  const TaskGraph& graph = instance.graph;
+  const std::size_t n = graph.NumTasks();
+  const std::size_t m = schedule.reconfigurations.size();
+  RESCHED_CHECK_MSG(schedule.task_slots.size() == n,
+                    "schedule does not match instance");
+
+  Rng rng(options.seed);
+
+  // ---- jittered durations (drawn in a fixed order for determinism).
+  std::vector<TimeT> task_dur(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    const TaskSlot& slot = schedule.task_slots[t];
+    const TimeT nominal =
+        graph.GetImpl(slot.task, slot.impl_index).exec_time;
+    task_dur[t] = Jittered(nominal, options.task_jitter, rng);
+  }
+  std::vector<TimeT> reconf_dur(m);
+  for (std::size_t r = 0; r < m; ++r) {
+    const ReconfSlot& slot = schedule.reconfigurations[r];
+    RESCHED_CHECK_MSG(slot.region < schedule.regions.size(),
+                      "reconfiguration references unknown region");
+    reconf_dur[r] = Jittered(schedule.regions[slot.region].reconf_time,
+                             options.reconf_jitter, rng);
+  }
+
+  // ---- event graph.
+  EventGraph events(n + m);
+
+  // Data dependencies (comm gaps are applied at relaxation time).
+  for (std::size_t t = 0; t < n; ++t) {
+    for (const TaskId s : graph.Successors(static_cast<TaskId>(t))) {
+      events.AddEdge(t, static_cast<std::size_t>(s));
+    }
+  }
+
+  // Per-core ordering (by scheduled start).
+  for (std::size_t core = 0; core < instance.platform.NumProcessors();
+       ++core) {
+    std::vector<std::size_t> on_core;
+    for (std::size_t t = 0; t < n; ++t) {
+      const TaskSlot& slot = schedule.task_slots[t];
+      if (!slot.OnFpga() && slot.target_index == core) on_core.push_back(t);
+    }
+    std::sort(on_core.begin(), on_core.end(), [&](std::size_t a,
+                                                  std::size_t b) {
+      return schedule.task_slots[a].start < schedule.task_slots[b].start;
+    });
+    for (std::size_t i = 0; i + 1 < on_core.size(); ++i) {
+      events.AddEdge(on_core[i], on_core[i + 1]);
+    }
+  }
+
+  // Per-region ordering and reconfiguration hooks.
+  // reconf_of_task[t] = reconf index that loads t, or SIZE_MAX.
+  std::vector<std::size_t> reconf_of_task(n, SIZE_MAX);
+  for (std::size_t r = 0; r < m; ++r) {
+    const ReconfSlot& slot = schedule.reconfigurations[r];
+    const auto ti = static_cast<std::size_t>(slot.loads_task);
+    RESCHED_CHECK_MSG(ti < n, "reconfiguration loads unknown task");
+    RESCHED_CHECK_MSG(reconf_of_task[ti] == SIZE_MAX,
+                      "task loaded by two reconfigurations");
+    reconf_of_task[ti] = r;
+  }
+  for (std::size_t s = 0; s < schedule.regions.size(); ++s) {
+    const RegionInfo& region = schedule.regions[s];
+    for (std::size_t i = 0; i < region.tasks.size(); ++i) {
+      const auto ti = static_cast<std::size_t>(region.tasks[i]);
+      RESCHED_CHECK_MSG(schedule.task_slots[ti].OnFpga() &&
+                            schedule.task_slots[ti].target_index == s,
+                        "region task list inconsistent with slots");
+      const std::size_t reconf = reconf_of_task[ti];
+      if (reconf != SIZE_MAX) {
+        RESCHED_CHECK_MSG(schedule.reconfigurations[reconf].region == s,
+                          "reconfiguration region mismatch");
+        // reconf -> task it loads.
+        events.AddEdge(n + reconf, ti);
+        if (i > 0) {
+          // previous region task -> reconf.
+          events.AddEdge(static_cast<std::size_t>(region.tasks[i - 1]),
+                         n + reconf);
+        }
+      } else if (i > 0) {
+        // Module reuse (or first task): direct region ordering.
+        events.AddEdge(static_cast<std::size_t>(region.tasks[i - 1]), ti);
+      }
+    }
+  }
+
+  // Per-controller ordering of reconfigurations (by scheduled start).
+  for (std::size_t c = 0; c < instance.platform.NumReconfigurators(); ++c) {
+    std::vector<std::size_t> on_controller;
+    for (std::size_t r = 0; r < m; ++r) {
+      if (schedule.reconfigurations[r].controller == c) {
+        on_controller.push_back(r);
+      }
+    }
+    std::sort(on_controller.begin(), on_controller.end(),
+              [&](std::size_t a, std::size_t b) {
+                return schedule.reconfigurations[a].start <
+                       schedule.reconfigurations[b].start;
+              });
+    for (std::size_t i = 0; i + 1 < on_controller.size(); ++i) {
+      events.AddEdge(n + on_controller[i], n + on_controller[i + 1]);
+    }
+  }
+
+  // ---- earliest-start relaxation in topological order.
+  std::vector<TimeT> start(n + m, 0);
+  std::vector<TimeT> end(n + m, 0);
+  std::deque<std::size_t> ready;
+  std::vector<std::size_t> indegree = events.indegree;
+  for (std::size_t v = 0; v < n + m; ++v) {
+    if (indegree[v] == 0) ready.push_back(v);
+  }
+  std::size_t processed = 0;
+  while (!ready.empty()) {
+    const std::size_t v = ready.front();
+    ready.pop_front();
+    ++processed;
+    const TimeT dur = v < n ? task_dur[v] : reconf_dur[v - n];
+    end[v] = start[v] + dur;
+    for (const std::size_t w : events.succs[v]) {
+      // Communication gap applies only on task->task data edges.
+      TimeT gap = 0;
+      if (v < n && w < n &&
+          graph.HasEdge(static_cast<TaskId>(v), static_cast<TaskId>(w))) {
+        gap = CommGap(instance.platform, graph, static_cast<TaskId>(v),
+                      static_cast<TaskId>(w),
+                      schedule.task_slots[v].OnFpga(),
+                      schedule.task_slots[w].OnFpga());
+      }
+      start[w] = std::max(start[w], end[v] + gap);
+      if (--indegree[w] == 0) ready.push_back(w);
+    }
+  }
+  RESCHED_CHECK_MSG(processed == n + m,
+                    "schedule decision structure contains a cycle");
+
+  // ---- results.
+  SimResult result;
+  result.task_start.assign(n, 0);
+  result.task_end.assign(n, 0);
+  for (std::size_t t = 0; t < n; ++t) {
+    result.task_start[t] = start[t];
+    result.task_end[t] = end[t];
+    result.makespan = std::max(result.makespan, end[t]);
+  }
+  result.stretch = schedule.makespan > 0
+                       ? static_cast<double>(result.makespan) /
+                             static_cast<double>(schedule.makespan)
+                       : 0.0;
+
+  // Utilization per core / region / controller.
+  for (std::size_t core = 0; core < instance.platform.NumProcessors();
+       ++core) {
+    ResourceUsage usage;
+    usage.name = StrFormat("cpu%zu", core);
+    for (std::size_t t = 0; t < n; ++t) {
+      const TaskSlot& slot = schedule.task_slots[t];
+      if (!slot.OnFpga() && slot.target_index == core) {
+        usage.busy += task_dur[t];
+      }
+    }
+    result.usage.push_back(usage);
+  }
+  for (std::size_t s = 0; s < schedule.regions.size(); ++s) {
+    ResourceUsage usage;
+    usage.name = StrFormat("rr%zu", s);
+    for (const TaskId t : schedule.regions[s].tasks) {
+      usage.busy += task_dur[static_cast<std::size_t>(t)];
+    }
+    result.usage.push_back(usage);
+  }
+  for (std::size_t c = 0; c < instance.platform.NumReconfigurators(); ++c) {
+    ResourceUsage usage;
+    usage.name = StrFormat("icap%zu", c);
+    for (std::size_t r = 0; r < m; ++r) {
+      if (schedule.reconfigurations[r].controller == c) {
+        usage.busy += reconf_dur[r];
+      }
+    }
+    result.usage.push_back(usage);
+  }
+  for (ResourceUsage& usage : result.usage) {
+    usage.utilization = result.makespan > 0
+                            ? static_cast<double>(usage.busy) /
+                                  static_cast<double>(result.makespan)
+                            : 0.0;
+  }
+  return result;
+}
+
+}  // namespace resched::sim

@@ -1,0 +1,54 @@
+// Discrete-event execution simulator.
+//
+// Replays a schedule's *decisions* (implementation selection, mapping,
+// per-resource task orders, reconfiguration-controller assignment order)
+// under perturbed execution times, the way the static schedule would
+// actually unfold on the SoC: every task starts as soon as its
+// predecessors (plus HW<->SW transfer gaps), its resource (previous
+// occupant) and — for hardware tasks — its reconfiguration are done;
+// every reconfiguration starts as soon as the region's previous task ends
+// and its controller (in the recorded per-controller order) is free.
+//
+// With zero jitter the simulated times can only be earlier than the static
+// schedule (all orderings are kept, all waits are earliest-start), which
+// doubles as a strong cross-check of schedule consistency. With jitter it
+// measures the *robustness* of a scheduler's decisions: how much a
+// schedule degrades when execution times deviate from their estimates.
+#pragma once
+
+#include "sched/schedule.hpp"
+#include "util/rng.hpp"
+
+namespace resched::sim {
+
+struct SimOptions {
+  /// Multiplicative task-duration noise: actual = nominal * U[1-j, 1+j].
+  double task_jitter = 0.0;
+  /// Same for reconfiguration durations.
+  double reconf_jitter = 0.0;
+  std::uint64_t seed = 1;
+};
+
+struct ResourceUsage {
+  std::string name;
+  TimeT busy = 0;
+  double utilization = 0.0;  ///< busy / makespan
+};
+
+struct SimResult {
+  TimeT makespan = 0;
+  std::vector<TimeT> task_start;
+  std::vector<TimeT> task_end;
+  std::vector<ResourceUsage> usage;  ///< cores, regions, controllers
+
+  /// makespan / schedule.makespan — the degradation factor.
+  double stretch = 0.0;
+};
+
+/// Simulates `schedule` on `instance`. Throws InternalError if the
+/// schedule's decision structure is inconsistent (e.g. a hardware task in
+/// a region that never hosts it).
+SimResult Simulate(const Instance& instance, const Schedule& schedule,
+                   const SimOptions& options = {});
+
+}  // namespace resched::sim

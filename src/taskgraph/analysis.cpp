@@ -1,0 +1,151 @@
+#include "taskgraph/analysis.hpp"
+
+#include <algorithm>
+
+#include "util/string_util.hpp"
+
+namespace resched {
+
+namespace {
+
+/// Dense reachability via reverse-topological bitset accumulation.
+class ReachMatrix {
+ public:
+  explicit ReachMatrix(const TaskGraph& graph) {
+    const std::size_t n = graph.NumTasks();
+    words_ = (n + 63) / 64;
+    bits_.assign(n * words_, 0);
+    const std::vector<TaskId> order = graph.TopologicalOrder();
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      const auto u = static_cast<std::size_t>(*it);
+      for (const TaskId v : graph.Successors(*it)) {
+        const auto vi = static_cast<std::size_t>(v);
+        bits_[u * words_ + vi / 64] |= std::uint64_t{1} << (vi % 64);
+        for (std::size_t w = 0; w < words_; ++w) {
+          bits_[u * words_ + w] |= bits_[vi * words_ + w];
+        }
+      }
+    }
+  }
+
+  bool Reaches(TaskId from, TaskId to) const {
+    const auto f = static_cast<std::size_t>(from);
+    const auto t = static_cast<std::size_t>(to);
+    return (bits_[f * words_ + t / 64] >> (t % 64)) & 1;
+  }
+
+ private:
+  std::size_t words_ = 0;
+  std::vector<std::uint64_t> bits_;
+};
+
+}  // namespace
+
+std::vector<std::size_t> ComputeLevels(const TaskGraph& graph) {
+  std::vector<std::size_t> level(graph.NumTasks(), 0);
+  for (const TaskId t : graph.TopologicalOrder()) {
+    for (const TaskId p : graph.Predecessors(t)) {
+      level[static_cast<std::size_t>(t)] =
+          std::max(level[static_cast<std::size_t>(t)],
+                   level[static_cast<std::size_t>(p)] + 1);
+    }
+  }
+  return level;
+}
+
+GraphStats AnalyzeGraph(const TaskGraph& graph) {
+  GraphStats stats;
+  stats.num_tasks = graph.NumTasks();
+  stats.num_edges = graph.NumEdges();
+  if (stats.num_tasks == 0) return stats;
+
+  for (std::size_t t = 0; t < graph.NumTasks(); ++t) {
+    if (graph.Predecessors(static_cast<TaskId>(t)).empty()) {
+      ++stats.num_sources;
+    }
+    if (graph.Successors(static_cast<TaskId>(t)).empty()) {
+      ++stats.num_sinks;
+    }
+  }
+
+  const std::vector<std::size_t> levels = ComputeLevels(graph);
+  const std::size_t max_level =
+      *std::max_element(levels.begin(), levels.end());
+  stats.depth = max_level + 1;
+  stats.width_profile.assign(stats.depth, 0);
+  for (const std::size_t l : levels) ++stats.width_profile[l];
+  stats.max_width =
+      *std::max_element(stats.width_profile.begin(),
+                        stats.width_profile.end());
+  stats.avg_width = static_cast<double>(stats.num_tasks) /
+                    static_cast<double>(stats.depth);
+
+  const double n = static_cast<double>(stats.num_tasks);
+  const double max_edges = n * (n - 1.0) / 2.0;
+  stats.density = max_edges > 0.0
+                      ? static_cast<double>(stats.num_edges) / max_edges
+                      : 0.0;
+  stats.redundancy =
+      stats.num_edges == 0
+          ? 0.0
+          : static_cast<double>(TransitivelyRedundantEdges(graph).size()) /
+                static_cast<double>(stats.num_edges);
+  return stats;
+}
+
+std::vector<std::pair<TaskId, TaskId>> TransitivelyRedundantEdges(
+    const TaskGraph& graph) {
+  const ReachMatrix reach(graph);
+  std::vector<std::pair<TaskId, TaskId>> redundant;
+  for (std::size_t ti = 0; ti < graph.NumTasks(); ++ti) {
+    const auto a = static_cast<TaskId>(ti);
+    for (const TaskId b : graph.Successors(a)) {
+      // (a, b) is redundant iff some other successor of a reaches b.
+      for (const TaskId mid : graph.Successors(a)) {
+        if (mid == b) continue;
+        if (reach.Reaches(mid, b)) {
+          redundant.emplace_back(a, b);
+          break;
+        }
+      }
+    }
+  }
+  return redundant;
+}
+
+TaskGraph TransitiveReduction(const TaskGraph& graph) {
+  const auto redundant = TransitivelyRedundantEdges(graph);
+  auto is_redundant = [&redundant](TaskId a, TaskId b) {
+    return std::find(redundant.begin(), redundant.end(),
+                     std::make_pair(a, b)) != redundant.end();
+  };
+
+  TaskGraph reduced;
+  for (std::size_t t = 0; t < graph.NumTasks(); ++t) {
+    const Task& task = graph.GetTask(static_cast<TaskId>(t));
+    const TaskId id = reduced.AddTask(task.name);
+    for (const Implementation& impl : task.impls) {
+      reduced.AddImpl(id, impl);
+    }
+  }
+  for (std::size_t ti = 0; ti < graph.NumTasks(); ++ti) {
+    const auto a = static_cast<TaskId>(ti);
+    for (const TaskId b : graph.Successors(a)) {
+      if (is_redundant(a, b)) continue;
+      reduced.AddEdge(a, b);
+      const std::int64_t bytes = graph.EdgeData(a, b);
+      if (bytes > 0) reduced.SetEdgeData(a, b, bytes);
+    }
+  }
+  return reduced;
+}
+
+std::string GraphStats::ToString() const {
+  return StrFormat(
+      "%zu tasks, %zu edges (density %.3f, redundancy %.2f) | depth %zu, "
+      "width max %zu avg %.2f | %zu sources, %zu sinks",
+      num_tasks, num_edges, density, redundancy, depth, max_width,
+      avg_width, num_sources, num_sinks);
+}
+
+}  // namespace resched

@@ -1,0 +1,48 @@
+// Structural analysis of task graphs: level decomposition, width/depth
+// profile, density, and transitive reduction. Used by the generator tests
+// to pin suite shape, by examples to describe workloads, and by users to
+// understand how much parallelism an application exposes (the paper notes
+// PA-R's gains shrink at both parallelism extremes).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "taskgraph/taskgraph.hpp"
+
+namespace resched {
+
+struct GraphStats {
+  std::size_t num_tasks = 0;
+  std::size_t num_edges = 0;
+  std::size_t num_sources = 0;  ///< tasks with no predecessors
+  std::size_t num_sinks = 0;    ///< tasks with no successors
+  /// Longest path length in hops (1 for an edgeless graph).
+  std::size_t depth = 0;
+  /// Tasks per level (level = longest hop-distance from any source).
+  std::vector<std::size_t> width_profile;
+  std::size_t max_width = 0;
+  double avg_width = 0.0;
+  /// Edges / edges of a complete DAG on the same topological order.
+  double density = 0.0;
+  /// Fraction of edges that are transitively redundant.
+  double redundancy = 0.0;
+
+  std::string ToString() const;
+};
+
+/// Longest-hop-distance level per task (sources at level 0).
+std::vector<std::size_t> ComputeLevels(const TaskGraph& graph);
+
+GraphStats AnalyzeGraph(const TaskGraph& graph);
+
+/// Edges implied by longer paths. An edge (a, b) is redundant iff a
+/// reaches b through some other path.
+std::vector<std::pair<TaskId, TaskId>> TransitivelyRedundantEdges(
+    const TaskGraph& graph);
+
+/// Copy of `graph` without transitively redundant edges (implementations,
+/// names and edge payloads of kept edges are preserved).
+TaskGraph TransitiveReduction(const TaskGraph& graph);
+
+}  // namespace resched

@@ -1,0 +1,28 @@
+#include "taskgraph/dot.hpp"
+
+#include "util/string_util.hpp"
+
+namespace resched {
+
+std::string ToDot(const TaskGraph& graph, const std::string& graph_name) {
+  std::string out = "digraph " + graph_name + " {\n  rankdir=TB;\n";
+  for (std::size_t t = 0; t < graph.NumTasks(); ++t) {
+    const Task& task = graph.GetTask(static_cast<TaskId>(t));
+    std::string label = task.name;
+    for (const Implementation& impl : task.impls) {
+      label += StrFormat("\\n%s %s: %lld us",
+                         impl.IsHardware() ? "HW" : "SW", impl.name.c_str(),
+                         static_cast<long long>(impl.exec_time));
+    }
+    out += StrFormat("  n%zu [shape=box,label=\"%s\"];\n", t, label.c_str());
+  }
+  for (std::size_t t = 0; t < graph.NumTasks(); ++t) {
+    for (const TaskId s : graph.Successors(static_cast<TaskId>(t))) {
+      out += StrFormat("  n%zu -> n%d;\n", t, s);
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace resched

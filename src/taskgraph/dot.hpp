@@ -1,0 +1,13 @@
+// Graphviz DOT export of task graphs (debugging / documentation aid).
+#pragma once
+
+#include <string>
+
+#include "taskgraph/taskgraph.hpp"
+
+namespace resched {
+
+/// Renders the DAG with per-task implementation summaries as node labels.
+std::string ToDot(const TaskGraph& graph, const std::string& graph_name = "tg");
+
+}  // namespace resched

@@ -1,0 +1,248 @@
+#include "taskgraph/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/string_util.hpp"
+
+namespace resched {
+
+namespace {
+
+/// One reusable hardware library entry: the Pareto set of HW
+/// implementations plus the matching software time.
+struct ModuleLibraryEntry {
+  std::vector<Implementation> hw_impls;
+  TimeT sw_time = 0;
+};
+
+ModuleLibraryEntry MakeModuleEntry(const ResourceModel& model,
+                                   const GeneratorOptions& opt, Rng& rng,
+                                   std::int32_t* next_module_id) {
+  ModuleLibraryEntry entry;
+  const TimeT fast_time = rng.UniformInt(opt.hw_fast_time_lo, opt.hw_fast_time_hi);
+
+  ResourceVec fast_res = model.ZeroVec();
+  fast_res[model.KindIndex("CLB")] = rng.UniformInt(opt.clb_lo, opt.clb_hi);
+  if (model.HasKind("BRAM") && rng.Bernoulli(opt.bram_prob)) {
+    fast_res[model.KindIndex("BRAM")] = rng.UniformInt(opt.bram_lo, opt.bram_hi);
+  }
+  if (model.HasKind("DSP") && rng.Bernoulli(opt.dsp_prob)) {
+    fast_res[model.KindIndex("DSP")] = rng.UniformInt(opt.dsp_lo, opt.dsp_hi);
+  }
+
+  double time_factor = 1.0;
+  double area_factor = 1.0;
+  for (std::size_t v = 0; v < opt.num_hw_impls; ++v) {
+    Implementation impl;
+    impl.kind = ImplKind::kHardware;
+    impl.name = StrFormat("hw%zu", v);
+    impl.exec_time = std::max<TimeT>(
+        1, static_cast<TimeT>(std::llround(
+               static_cast<double>(fast_time) * time_factor)));
+    impl.res = model.ZeroVec();
+    for (std::size_t k = 0; k < model.NumKinds(); ++k) {
+      impl.res[k] = static_cast<std::int64_t>(
+          std::ceil(static_cast<double>(fast_res[k]) * area_factor));
+    }
+    // Resource vectors must stay non-zero for hardware implementations.
+    if (impl.res.IsZero()) impl.res[model.KindIndex("CLB")] = 1;
+    impl.module_id = (*next_module_id)++;
+    entry.hw_impls.push_back(std::move(impl));
+    time_factor *= opt.time_step;
+    area_factor *= opt.area_step;
+  }
+
+  const double slowdown = rng.UniformDouble(opt.sw_slowdown_lo, opt.sw_slowdown_hi);
+  entry.sw_time = std::max<TimeT>(
+      1, static_cast<TimeT>(std::llround(static_cast<double>(fast_time) * slowdown)));
+  return entry;
+}
+
+}  // namespace
+
+TaskGraph GenerateTaskGraph(const ResourceModel& model,
+                            const GeneratorOptions& opt, Rng& rng) {
+  RESCHED_CHECK_MSG(opt.num_tasks >= 1, "generator needs at least one task");
+  RESCHED_CHECK_MSG(opt.max_width >= 1, "max_width must be >= 1");
+  RESCHED_CHECK_MSG(opt.num_hw_impls >= 1, "need at least one HW impl");
+  RESCHED_CHECK_MSG(opt.time_step >= 1.0, "time_step must be >= 1");
+  RESCHED_CHECK_MSG(opt.area_step > 0.0 && opt.area_step <= 1.0,
+                    "area_step must be in (0,1]");
+
+  TaskGraph graph;
+
+  // ---- 1. Layered DAG skeleton.
+  std::vector<std::vector<TaskId>> layers;
+  std::size_t created = 0;
+  while (created < opt.num_tasks) {
+    const std::size_t width = static_cast<std::size_t>(rng.UniformInt(
+        1, static_cast<std::int64_t>(
+               std::min(opt.max_width, opt.num_tasks - created))));
+    layers.emplace_back();
+    for (std::size_t i = 0; i < width; ++i) {
+      const TaskId id =
+          graph.AddTask(StrFormat("t%zu", created));
+      layers.back().push_back(id);
+      ++created;
+    }
+  }
+
+  // ---- 2. Connectivity: every non-root task gets 1..max_parents parents
+  // from the previous layer; every task in a non-final layer feeds at
+  // least one child (guaranteed by the parent draws plus a fix-up pass).
+  for (std::size_t l = 1; l < layers.size(); ++l) {
+    const auto& prev = layers[l - 1];
+    for (const TaskId t : layers[l]) {
+      const std::size_t parents = static_cast<std::size_t>(rng.UniformInt(
+          1, static_cast<std::int64_t>(
+                 std::min(opt.max_parents, prev.size()))));
+      std::vector<TaskId> pool = prev;
+      rng.Shuffle(pool);
+      for (std::size_t p = 0; p < parents; ++p) {
+        graph.AddEdge(pool[p], t);
+      }
+    }
+    // Fix-up: parent-layer tasks with no child yet get one at random.
+    for (const TaskId p : prev) {
+      if (graph.Successors(p).empty()) {
+        const auto pick = static_cast<std::size_t>(rng.UniformInt(
+            0, static_cast<std::int64_t>(layers[l].size()) - 1));
+        graph.AddEdge(p, layers[l][pick]);
+      }
+    }
+  }
+
+  // ---- 3. Long-range extra edges for irregularity.
+  if (layers.size() > 2 && opt.extra_edge_prob > 0.0) {
+    for (std::size_t l = 0; l + 2 < layers.size(); ++l) {
+      for (const TaskId a : layers[l]) {
+        for (std::size_t m = l + 2; m < layers.size(); ++m) {
+          for (const TaskId b : layers[m]) {
+            if (rng.Bernoulli(opt.extra_edge_prob /
+                              static_cast<double>(layers.size()))) {
+              graph.AddEdge(a, b);
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // ---- 4. Edge payloads (communication-overhead extension).
+  if (opt.comm_bytes_hi > 0) {
+    RESCHED_CHECK_MSG(opt.comm_bytes_lo >= 0 &&
+                          opt.comm_bytes_lo <= opt.comm_bytes_hi,
+                      "comm payload range invalid");
+    for (std::size_t t = 0; t < graph.NumTasks(); ++t) {
+      for (const TaskId s : graph.Successors(static_cast<TaskId>(t))) {
+        graph.SetEdgeData(static_cast<TaskId>(t), s,
+                          rng.UniformInt(opt.comm_bytes_lo,
+                                         opt.comm_bytes_hi));
+      }
+    }
+  }
+
+  // ---- 5. Implementations: fresh module entries, occasionally shared.
+  std::vector<ModuleLibraryEntry> library;
+  std::int32_t next_module_id = 0;
+  for (std::size_t t = 0; t < graph.NumTasks(); ++t) {
+    const ModuleLibraryEntry* entry = nullptr;
+    if (!library.empty() && rng.Bernoulli(opt.share_prob)) {
+      const auto pick = static_cast<std::size_t>(
+          rng.UniformInt(0, static_cast<std::int64_t>(library.size()) - 1));
+      entry = &library[pick];
+    } else {
+      library.push_back(MakeModuleEntry(model, opt, rng, &next_module_id));
+      entry = &library.back();
+    }
+
+    double jitter_factor = 1.0;
+    if (opt.jitter > 0.0) {
+      jitter_factor = rng.UniformDouble(1.0 - opt.jitter, 1.0 + opt.jitter);
+    }
+
+    Implementation sw;
+    sw.kind = ImplKind::kSoftware;
+    sw.name = "sw";
+    sw.exec_time = std::max<TimeT>(
+        1, static_cast<TimeT>(std::llround(
+               static_cast<double>(entry->sw_time) * jitter_factor)));
+    graph.AddImpl(static_cast<TaskId>(t), std::move(sw));
+
+    for (const Implementation& hw : entry->hw_impls) {
+      Implementation copy = hw;
+      copy.exec_time = std::max<TimeT>(
+          1, static_cast<TimeT>(std::llround(
+                 static_cast<double>(hw.exec_time) * jitter_factor)));
+      graph.AddImpl(static_cast<TaskId>(t), std::move(copy));
+    }
+  }
+
+  return graph;
+}
+
+Instance GenerateInstance(const Platform& platform,
+                          const GeneratorOptions& options, std::uint64_t seed,
+                          std::string name) {
+  Rng rng(seed);
+  TaskGraph graph = GenerateTaskGraph(platform.Device().Model(), options, rng);
+
+  // Clamp any implementation that would not fit the whole device (possible
+  // with aggressive option sets on small devices).
+  const ResourceVec& cap = platform.Device().Capacity();
+  TaskGraph clamped;
+  bool needs_clamp = false;
+  for (std::size_t t = 0; t < graph.NumTasks(); ++t) {
+    for (const Implementation& impl : graph.GetTask(static_cast<TaskId>(t)).impls) {
+      if (impl.IsHardware() && !impl.res.FitsWithin(cap)) needs_clamp = true;
+    }
+  }
+  if (needs_clamp) {
+    for (std::size_t t = 0; t < graph.NumTasks(); ++t) {
+      const Task& task = graph.GetTask(static_cast<TaskId>(t));
+      const TaskId id = clamped.AddTask(task.name);
+      for (Implementation impl : task.impls) {
+        if (impl.IsHardware()) {
+          for (std::size_t k = 0; k < impl.res.size(); ++k) {
+            impl.res[k] = std::min(impl.res[k], cap[k]);
+          }
+          if (impl.res.IsZero()) impl.res[0] = 1;
+        }
+        clamped.AddImpl(id, std::move(impl));
+      }
+    }
+    for (std::size_t t = 0; t < graph.NumTasks(); ++t) {
+      for (const TaskId s : graph.Successors(static_cast<TaskId>(t))) {
+        clamped.AddEdge(static_cast<TaskId>(t), s);
+        const std::int64_t bytes = graph.EdgeData(static_cast<TaskId>(t), s);
+        if (bytes > 0) clamped.SetEdgeData(static_cast<TaskId>(t), s, bytes);
+      }
+    }
+    graph = std::move(clamped);
+  }
+
+  graph.Validate(platform.Device());
+  return Instance{std::move(name), platform, std::move(graph)};
+}
+
+std::vector<Instance> GenerateSuiteGroup(const Platform& platform,
+                                         const SuiteSpec& spec,
+                                         std::size_t num_tasks) {
+  RESCHED_CHECK_MSG(num_tasks >= spec.min_tasks && num_tasks <= spec.max_tasks,
+                    "group size outside the suite range");
+  std::vector<Instance> group;
+  group.reserve(spec.graphs_per_group);
+  GeneratorOptions opt = spec.options;
+  opt.num_tasks = num_tasks;
+  for (std::size_t i = 0; i < spec.graphs_per_group; ++i) {
+    const std::uint64_t seed =
+        HashCombine(spec.base_seed, HashCombine(num_tasks, i));
+    group.push_back(GenerateInstance(
+        platform, opt, seed,
+        StrFormat("tg_n%zu_i%zu", num_tasks, i)));
+  }
+  return group;
+}
+
+}  // namespace resched

@@ -1,0 +1,99 @@
+// Synthetic task-graph generator reproducing the paper's benchmark suite
+// (§VII-A): pseudo-random layered DAGs where every task has one software
+// implementation and `num_hw_impls` hardware implementations forming a
+// Pareto trade-off between execution time and (heterogeneous CLB/BRAM/DSP)
+// resource requirements; a fraction of tasks share a common hardware module
+// library entry so that module reuse is possible.
+//
+// Generation is fully deterministic given (options, seed).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "taskgraph/taskgraph.hpp"
+#include "util/rng.hpp"
+
+namespace resched {
+
+struct GeneratorOptions {
+  std::size_t num_tasks = 40;
+
+  // --- DAG shape ------------------------------------------------------
+  /// Maximum tasks per layer; actual widths are drawn uniformly in
+  /// [1, max_width]. Controls the parallelism the graph exposes.
+  std::size_t max_width = 10;
+  /// Probability of an extra edge between any (earlier, later)-layer pair
+  /// beyond the connectivity baseline.
+  double extra_edge_prob = 0.08;
+  /// Maximum number of parents drawn from the previous layer.
+  std::size_t max_parents = 2;
+
+  // --- Implementations -------------------------------------------------
+  std::size_t num_hw_impls = 3;
+  /// Fastest-HW-implementation execution time range, in ticks (µs).
+  TimeT hw_fast_time_lo = 800;
+  TimeT hw_fast_time_hi = 8000;
+  /// Successive HW implementations are `time_step` x slower and
+  /// `area_step` x smaller than the previous one (Pareto frontier).
+  double time_step = 1.35;
+  double area_step = 0.5;
+  /// Software slowdown relative to the fastest HW implementation.
+  double sw_slowdown_lo = 2.0;
+  double sw_slowdown_hi = 4.0;
+
+  // --- Resource requirements of the fastest HW implementation ----------
+  std::int64_t clb_lo = 600;
+  std::int64_t clb_hi = 2400;
+  double bram_prob = 0.55;  ///< probability the module uses BRAM at all
+  std::int64_t bram_lo = 2;
+  std::int64_t bram_hi = 24;
+  double dsp_prob = 0.55;
+  std::int64_t dsp_lo = 4;
+  std::int64_t dsp_hi = 40;
+
+  /// Probability that a task reuses a previously generated hardware module
+  /// library entry (same module ids -> module reuse possible, §VII-A).
+  double share_prob = 0.15;
+
+  /// Communication-overhead extension: when comm_bytes_hi > 0, every edge
+  /// receives a payload drawn uniformly from [comm_bytes_lo,
+  /// comm_bytes_hi] (bytes). Only priced when the platform also sets a
+  /// HW<->SW bandwidth. Default off (matches the paper's model).
+  std::int64_t comm_bytes_lo = 0;
+  std::int64_t comm_bytes_hi = 0;
+
+  /// Per-task random time jitter applied multiplicatively in
+  /// [1-jitter, 1+jitter] to decorrelate shared-module instances' software
+  /// times from each other (0 disables).
+  double jitter = 0.0;
+};
+
+/// Generates the task graph only (resource vectors sized for `model`).
+TaskGraph GenerateTaskGraph(const ResourceModel& model,
+                            const GeneratorOptions& options, Rng& rng);
+
+/// Generates a full instance on `platform`. The graph is validated against
+/// the platform device before returning; implementations that would exceed
+/// the whole device are clamped to fit.
+Instance GenerateInstance(const Platform& platform,
+                          const GeneratorOptions& options, std::uint64_t seed,
+                          std::string name);
+
+/// The paper's suite: `graphs_per_group` instances for every task count in
+/// {10, 20, ..., max_tasks}; instance (g, i) is seeded deterministically
+/// from `base_seed`.
+struct SuiteSpec {
+  std::size_t min_tasks = 10;
+  std::size_t max_tasks = 100;
+  std::size_t step = 10;
+  std::size_t graphs_per_group = 10;
+  std::uint64_t base_seed = 0xC0FFEE;
+  GeneratorOptions options;  ///< num_tasks is overridden per group
+};
+
+std::vector<Instance> GenerateSuiteGroup(const Platform& platform,
+                                         const SuiteSpec& spec,
+                                         std::size_t num_tasks);
+
+}  // namespace resched

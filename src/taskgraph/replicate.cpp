@@ -1,0 +1,90 @@
+#include "taskgraph/replicate.hpp"
+
+#include "util/string_util.hpp"
+
+namespace resched {
+
+TaskGraph UnrollPeriodic(const TaskGraph& graph,
+                         const UnrollOptions& options) {
+  RESCHED_CHECK_MSG(options.frames >= 1, "need at least one frame");
+  const std::size_t n = graph.NumTasks();
+
+  // Synthetic module ids for implementations lacking one: start above any
+  // existing id so we never collide.
+  std::int32_t next_module = 0;
+  for (std::size_t t = 0; t < n; ++t) {
+    for (const Implementation& impl : graph.GetTask(static_cast<TaskId>(t))
+                                          .impls) {
+      next_module = std::max(next_module, impl.module_id + 1);
+    }
+  }
+
+  // Per (task, impl index): the module id all copies will share.
+  std::vector<std::vector<std::int32_t>> module_of(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    const Task& task = graph.GetTask(static_cast<TaskId>(t));
+    module_of[t].resize(task.impls.size());
+    for (std::size_t i = 0; i < task.impls.size(); ++i) {
+      std::int32_t id = task.impls[i].module_id;
+      if (id < 0 && options.share_modules_across_frames &&
+          task.impls[i].IsHardware()) {
+        id = next_module++;
+      }
+      module_of[t][i] = id;
+    }
+  }
+
+  TaskGraph unrolled;
+  for (std::size_t frame = 0; frame < options.frames; ++frame) {
+    for (std::size_t t = 0; t < n; ++t) {
+      const Task& task = graph.GetTask(static_cast<TaskId>(t));
+      const TaskId id = unrolled.AddTask(
+          StrFormat("%s@%zu", task.name.c_str(), frame));
+      RESCHED_CHECK(static_cast<std::size_t>(id) == frame * n + t);
+      for (std::size_t i = 0; i < task.impls.size(); ++i) {
+        Implementation impl = task.impls[i];
+        impl.module_id = module_of[t][i];
+        unrolled.AddImpl(id, std::move(impl));
+      }
+    }
+  }
+
+  for (std::size_t frame = 0; frame < options.frames; ++frame) {
+    const auto base = static_cast<TaskId>(frame * n);
+    // Intra-frame dependencies.
+    for (std::size_t t = 0; t < n; ++t) {
+      for (const TaskId s : graph.Successors(static_cast<TaskId>(t))) {
+        const TaskId from = base + static_cast<TaskId>(t);
+        const TaskId to = base + s;
+        unrolled.AddEdge(from, to);
+        const std::int64_t bytes = graph.EdgeData(static_cast<TaskId>(t), s);
+        if (bytes > 0) unrolled.SetEdgeData(from, to, bytes);
+      }
+    }
+    // Inter-frame serialization of each stage.
+    if (frame + 1 < options.frames) {
+      for (std::size_t t = 0; t < n; ++t) {
+        unrolled.AddEdge(base + static_cast<TaskId>(t),
+                         base + static_cast<TaskId>(n + t));
+      }
+    }
+  }
+  return unrolled;
+}
+
+Instance UnrollPeriodic(const Instance& instance,
+                        const UnrollOptions& options) {
+  Instance out;
+  out.name = StrFormat("%s_x%zu", instance.name.c_str(), options.frames);
+  out.platform = instance.platform;
+  out.graph = UnrollPeriodic(instance.graph, options);
+  out.graph.Validate(out.platform.Device());
+  return out;
+}
+
+double ThroughputInterval(TimeT makespan, std::size_t frames) {
+  RESCHED_CHECK_MSG(frames >= 1, "need at least one frame");
+  return static_cast<double>(makespan) / static_cast<double>(frames);
+}
+
+}  // namespace resched

@@ -1,0 +1,43 @@
+// Periodic (multi-frame) unrolling.
+//
+// Streaming applications run the same task graph once per input frame.
+// Scheduling a single frame optimizes latency; unrolling K frames into one
+// DAG and scheduling that optimizes *throughput* (software-pipelining
+// style): different frames' stages overlap on the fabric, and consecutive
+// instances of the same stage can share a region with zero
+// reconfigurations (they are literally the same module).
+//
+// The unrolled graph contains one copy of every task per frame with:
+//   * the original intra-frame dependencies (payloads preserved),
+//   * an inter-frame edge t(k) -> t(k+1) per task, serializing successive
+//     instances of a stage (frame k+1's input for that stage arrives when
+//     frame k's instance finished — the standard initiation constraint).
+#pragma once
+
+#include "taskgraph/taskgraph.hpp"
+
+namespace resched {
+
+struct UnrollOptions {
+  std::size_t frames = 2;
+  /// Give implementations that have no module id (-1) a synthetic shared
+  /// id so the K copies of a task count as the same bitstream and can
+  /// reuse a region across frames. Copies of an implementation always
+  /// share whatever id results.
+  bool share_modules_across_frames = true;
+};
+
+/// Unrolls `graph` per the options; task `t` of frame `k` is named
+/// "<name>@<k>" and has id t + k * NumTasks().
+TaskGraph UnrollPeriodic(const TaskGraph& graph,
+                         const UnrollOptions& options);
+
+/// Convenience wrapper at instance level (same platform, suffixed name).
+Instance UnrollPeriodic(const Instance& instance,
+                        const UnrollOptions& options);
+
+/// Average per-frame initiation interval of a schedule of an unrolled
+/// instance: makespan / frames. Lower is better throughput.
+double ThroughputInterval(TimeT makespan, std::size_t frames);
+
+}  // namespace resched

@@ -1,0 +1,121 @@
+// Application model: a DAG of tasks, each with one or more hardware and
+// software implementations (§III of the paper).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "arch/platform.hpp"
+#include "arch/resource.hpp"
+#include "util/common.hpp"
+
+namespace resched {
+
+using TaskId = std::int32_t;
+inline constexpr TaskId kInvalidTask = -1;
+
+enum class ImplKind : std::uint8_t { kSoftware, kHardware };
+
+/// One implementation of a task.
+///
+/// `module_id` identifies the synthesized module: two implementations (of
+/// the same or different tasks) with equal non-negative module_id are the
+/// *same* bitstream, so a reconfiguration between them can be skipped
+/// (module reuse — exploited by the IS-k baseline, and by PA only when the
+/// module-reuse extension is enabled). A module_id of -1 means "unique".
+struct Implementation {
+  std::string name;
+  ImplKind kind = ImplKind::kSoftware;
+  TimeT exec_time = 0;
+  ResourceVec res;       ///< empty (arity 0) for software implementations
+  std::int32_t module_id = -1;
+
+  bool IsHardware() const { return kind == ImplKind::kHardware; }
+  bool IsSoftware() const { return kind == ImplKind::kSoftware; }
+};
+
+/// A task node: name plus its implementation alternatives.
+struct Task {
+  TaskId id = kInvalidTask;
+  std::string name;
+  std::vector<Implementation> impls;
+};
+
+/// Directed acyclic task graph with per-task implementation lists.
+///
+/// Construction is additive (AddTask/AddImpl/AddEdge); Validate() checks the
+/// structural preconditions the schedulers rely on and is called by every
+/// scheduler entry point.
+class TaskGraph {
+ public:
+  /// Adds a task with no implementations yet; returns its id (dense, 0-based).
+  TaskId AddTask(std::string name);
+
+  /// Adds an implementation alternative; returns its index within the task.
+  std::size_t AddImpl(TaskId task, Implementation impl);
+
+  /// Adds a data dependency `from -> to`. Duplicate edges are ignored.
+  void AddEdge(TaskId from, TaskId to);
+
+  /// Communication-overhead extension (paper future work): attaches a data
+  /// payload to an existing edge. The payload only costs time when the
+  /// producer and consumer run in different domains (hardware region vs
+  /// processor) on a platform with a finite HW<->SW bandwidth; see
+  /// sched/comm.hpp.
+  void SetEdgeData(TaskId from, TaskId to, std::int64_t bytes);
+  /// Payload of an edge (0 when never set). Requires the edge to exist.
+  std::int64_t EdgeData(TaskId from, TaskId to) const;
+  /// True when any edge carries a payload.
+  bool HasEdgeData() const { return !edge_data_.empty(); }
+
+  std::size_t NumTasks() const { return tasks_.size(); }
+  std::size_t NumEdges() const { return num_edges_; }
+
+  const Task& GetTask(TaskId t) const;
+  const Implementation& GetImpl(TaskId t, std::size_t impl_index) const;
+
+  const std::vector<TaskId>& Successors(TaskId t) const;
+  const std::vector<TaskId>& Predecessors(TaskId t) const;
+  bool HasEdge(TaskId from, TaskId to) const;
+
+  /// Kahn topological order; throws InstanceError when the graph is cyclic.
+  std::vector<TaskId> TopologicalOrder() const;
+
+  /// Checks: non-empty, acyclic, every task has >= 1 software
+  /// implementation (paper assumption), hardware requirement vectors match
+  /// the model arity and fit the device capacity, positive execution times.
+  void Validate(const FpgaDevice& device) const;
+
+  /// Index of the fastest software implementation of `t` (paper guarantees
+  /// one exists; throws InstanceError otherwise).
+  std::size_t FastestSoftwareImpl(TaskId t) const;
+
+  /// Indices of all hardware implementations of `t`.
+  std::vector<std::size_t> HardwareImpls(TaskId t) const;
+
+  /// Sum over tasks of their minimum implementation time — the maxT
+  /// normalizer of Eq. (4).
+  TimeT SerialLowerBoundTime() const;
+
+ private:
+  void CheckTask(TaskId t) const;
+
+  std::vector<Task> tasks_;
+  std::vector<std::vector<TaskId>> succs_;
+  std::vector<std::vector<TaskId>> preds_;
+  std::map<std::pair<TaskId, TaskId>, std::int64_t> edge_data_;
+  std::size_t num_edges_ = 0;
+};
+
+/// A complete problem instance: platform + application.
+struct Instance {
+  std::string name;
+  Platform platform;
+  TaskGraph graph;
+};
+
+}  // namespace resched

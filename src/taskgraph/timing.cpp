@@ -1,0 +1,157 @@
+#include "taskgraph/timing.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace resched {
+
+TimingContext::TimingContext(const TaskGraph& graph)
+    : graph_(&graph),
+      exec_(graph.NumTasks(), 0),
+      release_(graph.NumTasks(), 0),
+      extra_out_(graph.NumTasks()),
+      extra_in_(graph.NumTasks()) {}
+
+void TimingContext::SetExecTime(TaskId t, TimeT exec) {
+  RESCHED_CHECK_MSG(exec > 0, "execution time must be positive");
+  exec_.at(static_cast<std::size_t>(t)) = exec;
+  dirty_ = true;
+}
+
+TimeT TimingContext::ExecTime(TaskId t) const {
+  return exec_.at(static_cast<std::size_t>(t));
+}
+
+void TimingContext::AddOrderingEdge(TaskId from, TaskId to, TimeT gap) {
+  RESCHED_CHECK_MSG(gap >= 0, "negative ordering gap");
+  RESCHED_CHECK_MSG(from != to, "self ordering edge");
+  const std::size_t index = extra_.size();
+  extra_.push_back(OrderingEdge{from, to, gap});
+  extra_out_[static_cast<std::size_t>(from)].push_back(index);
+  extra_in_[static_cast<std::size_t>(to)].push_back(index);
+  dirty_ = true;
+  // Cycle check: recompute will throw via CombinedTopologicalOrder.
+  (void)CombinedTopologicalOrder();
+}
+
+void TimingContext::RaiseRelease(TaskId t, TimeT release) {
+  auto& r = release_.at(static_cast<std::size_t>(t));
+  if (release > r) {
+    r = release;
+    dirty_ = true;
+  }
+}
+
+TimeT TimingContext::Release(TaskId t) const {
+  return release_.at(static_cast<std::size_t>(t));
+}
+
+void TimingContext::SetBaseEdgeGap(TaskId from, TaskId to, TimeT gap) {
+  RESCHED_CHECK_MSG(gap >= 0, "negative base edge gap");
+  RESCHED_CHECK_MSG(graph_->HasEdge(from, to),
+                    "SetBaseEdgeGap on a missing edge");
+  if (gap == 0) {
+    base_gaps_.erase({from, to});
+  } else {
+    base_gaps_[{from, to}] = gap;
+  }
+  dirty_ = true;
+}
+
+TimeT TimingContext::BaseEdgeGap(TaskId from, TaskId to) const {
+  const auto it = base_gaps_.find({from, to});
+  return it == base_gaps_.end() ? 0 : it->second;
+}
+
+std::vector<TaskId> TimingContext::CombinedTopologicalOrder() const {
+  const std::size_t n = exec_.size();
+  std::vector<std::size_t> indegree(n, 0);
+  for (std::size_t t = 0; t < n; ++t) {
+    indegree[t] = graph_->Predecessors(static_cast<TaskId>(t)).size() +
+                  extra_in_[t].size();
+  }
+  std::deque<TaskId> ready;
+  for (std::size_t t = 0; t < n; ++t) {
+    if (indegree[t] == 0) ready.push_back(static_cast<TaskId>(t));
+  }
+  std::vector<TaskId> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    const TaskId t = ready.front();
+    ready.pop_front();
+    order.push_back(t);
+    for (const TaskId s : graph_->Successors(t)) {
+      if (--indegree[static_cast<std::size_t>(s)] == 0) ready.push_back(s);
+    }
+    for (const std::size_t e : extra_out_[static_cast<std::size_t>(t)]) {
+      const TaskId s = extra_[e].to;
+      if (--indegree[static_cast<std::size_t>(s)] == 0) ready.push_back(s);
+    }
+  }
+  RESCHED_CHECK_MSG(order.size() == n,
+                    "ordering edges introduced a cycle (scheduler bug)");
+  return order;
+}
+
+const TimeWindows& TimingContext::Windows() const {
+  if (dirty_) Recompute();
+  return windows_;
+}
+
+void TimingContext::Recompute() const {
+  const std::size_t n = exec_.size();
+  for (std::size_t t = 0; t < n; ++t) {
+    RESCHED_CHECK_MSG(exec_[t] > 0,
+                      "Windows() before all execution times were set");
+  }
+  const std::vector<TaskId> order = CombinedTopologicalOrder();
+
+  windows_.earliest_start.assign(n, 0);
+  windows_.latest_finish.assign(n, 0);
+  windows_.critical.assign(n, false);
+
+  // Forward sweep: T_MIN.
+  auto& es = windows_.earliest_start;
+  for (const TaskId t : order) {
+    const auto ti = static_cast<std::size_t>(t);
+    TimeT start = release_[ti];
+    for (const TaskId p : graph_->Predecessors(t)) {
+      const auto pi = static_cast<std::size_t>(p);
+      start = std::max(start, es[pi] + exec_[pi] + BaseEdgeGap(p, t));
+    }
+    for (const std::size_t e : extra_in_[ti]) {
+      const auto pi = static_cast<std::size_t>(extra_[e].from);
+      start = std::max(start, es[pi] + exec_[pi] + extra_[e].gap);
+    }
+    es[ti] = start;
+  }
+
+  TimeT makespan = 0;
+  for (std::size_t t = 0; t < n; ++t) {
+    makespan = std::max(makespan, es[t] + exec_[t]);
+  }
+  windows_.makespan = makespan;
+
+  // Backward sweep: T_MAX.
+  auto& lf = windows_.latest_finish;
+  lf.assign(n, makespan);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const TaskId t = *it;
+    const auto ti = static_cast<std::size_t>(t);
+    for (const TaskId s : graph_->Successors(t)) {
+      const auto si = static_cast<std::size_t>(s);
+      lf[ti] = std::min(lf[ti], lf[si] - exec_[si] - BaseEdgeGap(t, s));
+    }
+    for (const std::size_t e : extra_out_[ti]) {
+      const auto si = static_cast<std::size_t>(extra_[e].to);
+      lf[ti] = std::min(lf[ti], lf[si] - exec_[si] - extra_[e].gap);
+    }
+  }
+
+  for (std::size_t t = 0; t < n; ++t) {
+    windows_.critical[t] = (lf[t] - es[t] == exec_[t]);
+  }
+  dirty_ = false;
+}
+
+}  // namespace resched

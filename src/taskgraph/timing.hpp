@@ -1,0 +1,104 @@
+// Critical Path Method engine (§V-B) over the task graph plus the ordering
+// edges the scheduler adds while building a solution.
+//
+// The paper manipulates three timing notions:
+//   * a time window w_t = [T_MIN_t, T_MAX_t] per task (earliest start,
+//     latest delay-free finish) recomputed "with respect to the current
+//     tasks dependencies" whenever implementations or orderings change;
+//   * extra dependencies inserted to serialize tasks sharing a
+//     reconfigurable region or a processor;
+//   * delay propagation when a task is forced to finish after T_MAX.
+//
+// TimingContext models all three: ordering edges carry a *gap* weight (the
+// reconfiguration time that must elapse between two consecutive tasks in
+// the same region — zero for processor ordering), and per-task release
+// times encode externally imposed delays (reconfigurator contention). One
+// forward/backward longest-path sweep then yields T_MIN/T_MAX, the
+// makespan and task criticality in O(V + E).
+#pragma once
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "taskgraph/taskgraph.hpp"
+
+namespace resched {
+
+/// Ordering edge with a minimum time gap between from's end and to's start.
+struct OrderingEdge {
+  TaskId from = kInvalidTask;
+  TaskId to = kInvalidTask;
+  TimeT gap = 0;
+};
+
+/// CPM result. Windows follow the paper's convention: `earliest_start` is
+/// T_MIN (earliest start instant) and `latest_finish` is T_MAX (latest
+/// completion that does not delay the schedule).
+struct TimeWindows {
+  std::vector<TimeT> earliest_start;
+  std::vector<TimeT> latest_finish;
+  std::vector<bool> critical;
+  TimeT makespan = 0;
+
+  TimeT WindowLength(TaskId t) const {
+    return latest_finish[static_cast<std::size_t>(t)] -
+           earliest_start[static_cast<std::size_t>(t)];
+  }
+};
+
+class TimingContext {
+ public:
+  /// Captures the graph topology; execution times start at 0 and must be
+  /// set for every task before the first Windows() call.
+  explicit TimingContext(const TaskGraph& graph);
+
+  std::size_t NumTasks() const { return exec_.size(); }
+
+  void SetExecTime(TaskId t, TimeT exec);
+  TimeT ExecTime(TaskId t) const;
+
+  /// Serializes `from` before `to` with a minimum gap (reconfiguration
+  /// time) between from's end and to's start. Throws InternalError if the
+  /// edge would close a cycle.
+  void AddOrderingEdge(TaskId from, TaskId to, TimeT gap);
+
+  /// Raises the earliest admissible start of `t` (reconfigurator-contention
+  /// delays); never lowers it.
+  void RaiseRelease(TaskId t, TimeT release);
+  TimeT Release(TaskId t) const;
+
+  /// Communication-overhead extension: sets the minimum gap between the
+  /// end of `from` and the start of `to` along the *base* graph edge
+  /// (from, to). Unlike releases this may be lowered again — the gap
+  /// depends on the endpoints' current HW/SW domains, which the scheduler
+  /// revises. Requires the base edge to exist.
+  void SetBaseEdgeGap(TaskId from, TaskId to, TimeT gap);
+  TimeT BaseEdgeGap(TaskId from, TaskId to) const;
+
+  const std::vector<OrderingEdge>& ExtraEdges() const { return extra_; }
+
+  /// Recomputes (lazily, cached) the CPM windows over base + extra edges.
+  const TimeWindows& Windows() const;
+  TimeT Makespan() const { return Windows().makespan; }
+
+  /// Topological order over base + extra edges.
+  std::vector<TaskId> CombinedTopologicalOrder() const;
+
+ private:
+  void Recompute() const;
+
+  const TaskGraph* graph_;
+  std::vector<TimeT> exec_;
+  std::vector<TimeT> release_;
+  std::map<std::pair<TaskId, TaskId>, TimeT> base_gaps_;
+  std::vector<OrderingEdge> extra_;
+  // Extra-edge adjacency for fast sweeps.
+  std::vector<std::vector<std::size_t>> extra_out_;
+  std::vector<std::vector<std::size_t>> extra_in_;
+
+  mutable TimeWindows windows_;
+  mutable bool dirty_ = true;
+};
+
+}  // namespace resched

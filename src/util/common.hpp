@@ -1,0 +1,66 @@
+// Common scalar types and error-checking macros shared by every resched module.
+//
+// Time is modelled as signed 64-bit integer ticks. By convention one tick is a
+// microsecond, but nothing in the library depends on the physical unit: every
+// quantity (task execution times, reconfiguration throughput, schedule slots)
+// is expressed in the same tick domain. All intervals are half-open
+// [start, end) so that back-to-back slots touch without overlapping.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace resched {
+
+/// Scheduling time in integer ticks (conventionally microseconds).
+using TimeT = std::int64_t;
+
+/// Sentinel for "unbounded" latest-finish windows.
+inline constexpr TimeT kTimeInfinity = std::numeric_limits<TimeT>::max() / 4;
+
+/// Error thrown when an input instance violates a structural precondition
+/// (cycles in the task graph, missing software implementation, ...).
+class InstanceError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Error thrown when an internal invariant is violated; indicates a bug in
+/// the library rather than in user input.
+class InternalError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void CheckFailed(const char* kind, const char* expr,
+                                     const std::string& msg,
+                                     const std::source_location& loc) {
+  std::string what = std::string(kind) + " failed: " + expr + " at " +
+                     loc.file_name() + ":" + std::to_string(loc.line());
+  if (!msg.empty()) what += " — " + msg;
+  throw InternalError(what);
+}
+}  // namespace detail
+
+}  // namespace resched
+
+/// Always-on invariant check (used on non-hot paths and in validators).
+#define RESCHED_CHECK(expr)                                                  \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      ::resched::detail::CheckFailed("RESCHED_CHECK", #expr, "",             \
+                                     std::source_location::current());       \
+    }                                                                        \
+  } while (false)
+
+#define RESCHED_CHECK_MSG(expr, msg)                                         \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      ::resched::detail::CheckFailed("RESCHED_CHECK", #expr, (msg),          \
+                                     std::source_location::current());       \
+    }                                                                        \
+  } while (false)

@@ -1,0 +1,41 @@
+#include "util/csv.hpp"
+
+#include <cstdio>
+
+namespace resched {
+
+void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) out_ << ',';
+    out_ << Escape(fields[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::WriteRow(std::initializer_list<std::string> fields) {
+  WriteRow(std::vector<std::string>(fields));
+}
+
+std::string CsvWriter::Field(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+std::string CsvWriter::Field(std::int64_t v) { return std::to_string(v); }
+std::string CsvWriter::Field(std::size_t v) { return std::to_string(v); }
+
+std::string CsvWriter::Escape(const std::string& f) {
+  const bool needs_quote =
+      f.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return f;
+  std::string out = "\"";
+  for (char c : f) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace resched

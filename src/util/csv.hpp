@@ -1,0 +1,29 @@
+// Tiny CSV writer used by the benchmark harness to dump table/figure data.
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace resched {
+
+/// Escapes/joins rows per RFC 4180 (quotes fields containing , " or newline).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  void WriteRow(const std::vector<std::string>& fields);
+  void WriteRow(std::initializer_list<std::string> fields);
+
+  /// Convenience: formats doubles with 6 significant digits.
+  static std::string Field(double v);
+  static std::string Field(std::int64_t v);
+  static std::string Field(std::size_t v);
+
+ private:
+  static std::string Escape(const std::string& f);
+  std::ostream& out_;
+};
+
+}  // namespace resched

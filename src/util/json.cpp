@@ -1,0 +1,429 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace resched {
+
+bool JsonValue::AsBool() const {
+  if (!IsBool()) throw JsonError("JSON value is not a bool");
+  return std::get<bool>(value_);
+}
+
+std::int64_t JsonValue::AsInt() const {
+  if (IsInt()) return std::get<std::int64_t>(value_);
+  if (IsDouble()) {
+    const double d = std::get<double>(value_);
+    if (std::nearbyint(d) == d) return static_cast<std::int64_t>(d);
+  }
+  throw JsonError("JSON value is not an integer");
+}
+
+double JsonValue::AsDouble() const {
+  if (IsInt()) return static_cast<double>(std::get<std::int64_t>(value_));
+  if (IsDouble()) return std::get<double>(value_);
+  throw JsonError("JSON value is not a number");
+}
+
+const std::string& JsonValue::AsString() const {
+  if (!IsString()) throw JsonError("JSON value is not a string");
+  return std::get<std::string>(value_);
+}
+
+const JsonArray& JsonValue::AsArray() const {
+  if (!IsArray()) throw JsonError("JSON value is not an array");
+  return std::get<JsonArray>(value_);
+}
+
+JsonArray& JsonValue::AsArray() {
+  if (!IsArray()) throw JsonError("JSON value is not an array");
+  return std::get<JsonArray>(value_);
+}
+
+const JsonObject& JsonValue::AsObject() const {
+  if (!IsObject()) throw JsonError("JSON value is not an object");
+  return std::get<JsonObject>(value_);
+}
+
+JsonObject& JsonValue::AsObject() {
+  if (!IsObject()) throw JsonError("JSON value is not an object");
+  return std::get<JsonObject>(value_);
+}
+
+const JsonValue& JsonValue::At(const std::string& key) const {
+  const auto& obj = AsObject();
+  const auto it = obj.find(key);
+  if (it == obj.end()) throw JsonError("missing JSON key: " + key);
+  return it->second;
+}
+
+bool JsonValue::Contains(const std::string& key) const {
+  return IsObject() && AsObject().count(key) > 0;
+}
+
+std::int64_t JsonValue::GetInt(const std::string& key,
+                               std::int64_t fallback) const {
+  return Contains(key) ? At(key).AsInt() : fallback;
+}
+
+double JsonValue::GetDouble(const std::string& key, double fallback) const {
+  return Contains(key) ? At(key).AsDouble() : fallback;
+}
+
+std::string JsonValue::GetString(const std::string& key,
+                                 std::string fallback) const {
+  return Contains(key) ? At(key).AsString() : std::move(fallback);
+}
+
+bool JsonValue::GetBool(const std::string& key, bool fallback) const {
+  return Contains(key) ? At(key).AsBool() : fallback;
+}
+
+// ---------------------------------------------------------------- writing
+
+namespace {
+
+void AppendEscaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char raw : s) {
+    const auto c = static_cast<unsigned char>(raw);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  out += '"';
+}
+
+void AppendNewlineIndent(std::string& out, int indent, int depth) {
+  if (indent < 0) return;
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent) * static_cast<std::size_t>(depth),
+             ' ');
+}
+
+}  // namespace
+
+std::string JsonValue::Dump(int indent) const {
+  std::string out;
+  DumpTo(out, indent, 0);
+  return out;
+}
+
+void JsonValue::DumpTo(std::string& out, int indent, int depth) const {
+  if (IsNull()) {
+    out += "null";
+  } else if (IsBool()) {
+    out += std::get<bool>(value_) ? "true" : "false";
+  } else if (IsInt()) {
+    out += std::to_string(std::get<std::int64_t>(value_));
+  } else if (IsDouble()) {
+    const double d = std::get<double>(value_);
+    if (!std::isfinite(d)) throw JsonError("cannot serialize non-finite number");
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", d);
+    out += buf;
+    // Keep the value a double through a round-trip: "34" would parse back
+    // as an integer.
+    if (out.find_first_of(".eE", out.size() - std::strlen(buf)) ==
+        std::string::npos) {
+      out += ".0";
+    }
+  } else if (IsString()) {
+    AppendEscaped(out, std::get<std::string>(value_));
+  } else if (IsArray()) {
+    const auto& arr = std::get<JsonArray>(value_);
+    if (arr.empty()) {
+      out += "[]";
+      return;
+    }
+    out += '[';
+    for (std::size_t i = 0; i < arr.size(); ++i) {
+      if (i != 0) out += ',';
+      AppendNewlineIndent(out, indent, depth + 1);
+      arr[i].DumpTo(out, indent, depth + 1);
+    }
+    AppendNewlineIndent(out, indent, depth);
+    out += ']';
+  } else {
+    const auto& obj = std::get<JsonObject>(value_);
+    if (obj.empty()) {
+      out += "{}";
+      return;
+    }
+    out += '{';
+    bool first = true;
+    for (const auto& [k, v] : obj) {
+      if (!first) out += ',';
+      first = false;
+      AppendNewlineIndent(out, indent, depth + 1);
+      AppendEscaped(out, k);
+      out += indent < 0 ? ":" : ": ";
+      v.DumpTo(out, indent, depth + 1);
+    }
+    AppendNewlineIndent(out, indent, depth);
+    out += '}';
+  }
+}
+
+// ---------------------------------------------------------------- parsing
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  JsonValue ParseDocument() {
+    JsonValue v = ParseValue();
+    SkipWhitespace();
+    if (pos_ != text_.size()) Fail("trailing characters after JSON document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void Fail(const std::string& msg) {
+    throw JsonError("JSON parse error at offset " + std::to_string(pos_) +
+                    ": " + msg);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char Peek() {
+    if (pos_ >= text_.size()) Fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void Expect(char c) {
+    if (Peek() != c) Fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool ConsumeLiteral(const char* lit) {
+    const std::size_t n = std::strlen(lit);
+    if (text_.compare(pos_, n, lit) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue ParseValue() {
+    SkipWhitespace();
+    const char c = Peek();
+    switch (c) {
+      case '{': return ParseObject();
+      case '[': return ParseArray();
+      case '"': return JsonValue(ParseString());
+      case 't':
+        if (!ConsumeLiteral("true")) Fail("invalid literal");
+        return JsonValue(true);
+      case 'f':
+        if (!ConsumeLiteral("false")) Fail("invalid literal");
+        return JsonValue(false);
+      case 'n':
+        if (!ConsumeLiteral("null")) Fail("invalid literal");
+        return JsonValue(nullptr);
+      default: return ParseNumber();
+    }
+  }
+
+  JsonValue ParseObject() {
+    Expect('{');
+    JsonObject obj;
+    SkipWhitespace();
+    if (Peek() == '}') {
+      ++pos_;
+      return JsonValue(std::move(obj));
+    }
+    for (;;) {
+      SkipWhitespace();
+      std::string key = ParseString();
+      SkipWhitespace();
+      Expect(':');
+      obj.emplace(std::move(key), ParseValue());
+      SkipWhitespace();
+      const char c = Peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == '}') {
+        ++pos_;
+        return JsonValue(std::move(obj));
+      }
+      Fail("expected ',' or '}' in object");
+    }
+  }
+
+  JsonValue ParseArray() {
+    Expect('[');
+    JsonArray arr;
+    SkipWhitespace();
+    if (Peek() == ']') {
+      ++pos_;
+      return JsonValue(std::move(arr));
+    }
+    for (;;) {
+      arr.push_back(ParseValue());
+      SkipWhitespace();
+      const char c = Peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == ']') {
+        ++pos_;
+        return JsonValue(std::move(arr));
+      }
+      Fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string ParseString() {
+    Expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) Fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) Fail("unterminated escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': AppendUnicodeEscape(out); break;
+          default: Fail("invalid escape character");
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        Fail("raw control character in string");
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  unsigned ParseHex4() {
+    if (pos_ + 4 > text_.size()) Fail("truncated \\u escape");
+    unsigned v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      v <<= 4;
+      if (c >= '0' && c <= '9') v |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') v |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') v |= static_cast<unsigned>(c - 'A' + 10);
+      else Fail("invalid hex digit in \\u escape");
+    }
+    return v;
+  }
+
+  void AppendUnicodeEscape(std::string& out) {
+    unsigned cp = ParseHex4();
+    if (cp >= 0xD800 && cp <= 0xDBFF) {  // high surrogate: need a low one
+      if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+          text_[pos_ + 1] != 'u') {
+        Fail("unpaired surrogate");
+      }
+      pos_ += 2;
+      const unsigned lo = ParseHex4();
+      if (lo < 0xDC00 || lo > 0xDFFF) Fail("invalid low surrogate");
+      cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+    } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+      Fail("unpaired low surrogate");
+    }
+    // UTF-8 encode.
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  JsonValue ParseNumber() {
+    const std::size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    bool integral = true;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      integral = false;
+      ++pos_;
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      integral = false;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+    if (pos_ == start || (pos_ == start + 1 && text_[start] == '-')) {
+      Fail("invalid number");
+    }
+    const std::string_view token(text_.data() + start, pos_ - start);
+    if (integral) {
+      std::int64_t iv = 0;
+      const auto [ptr, ec] =
+          std::from_chars(token.data(), token.data() + token.size(), iv);
+      if (ec == std::errc() && ptr == token.data() + token.size()) {
+        return JsonValue(iv);
+      }
+      // Integer overflow: fall through to double.
+    }
+    double dv = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), dv);
+    if (ec != std::errc() || ptr != token.data() + token.size()) {
+      Fail("invalid number");
+    }
+    return JsonValue(dv);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue JsonValue::Parse(const std::string& text) {
+  return Parser(text).ParseDocument();
+}
+
+}  // namespace resched

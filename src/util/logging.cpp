@@ -1,0 +1,55 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+
+namespace resched {
+
+namespace {
+
+LogLevel LevelFromEnv() {
+  const char* env = std::getenv("RESCHED_LOG");
+  if (env == nullptr) return LogLevel::kWarn;
+  const std::string v(env);
+  if (v == "debug") return LogLevel::kDebug;
+  if (v == "info") return LogLevel::kInfo;
+  if (v == "warn") return LogLevel::kWarn;
+  if (v == "error") return LogLevel::kError;
+  if (v == "off") return LogLevel::kOff;
+  return LogLevel::kWarn;
+}
+
+std::atomic<LogLevel>& LevelSlot() {
+  static std::atomic<LogLevel> level{LevelFromEnv()};
+  return level;
+}
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel GetLogLevel() { return LevelSlot().load(std::memory_order_relaxed); }
+
+void SetLogLevel(LogLevel level) {
+  LevelSlot().store(level, std::memory_order_relaxed);
+}
+
+void LogMessage(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(GetLogLevel())) return;
+  static std::mutex mutex;
+  std::lock_guard lock(mutex);
+  std::cerr << "[resched:" << LevelName(level) << "] " << message << '\n';
+}
+
+}  // namespace resched

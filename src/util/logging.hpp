@@ -1,0 +1,54 @@
+// Lightweight leveled logging to stderr.
+//
+// The schedulers are pure functions and never log on their own; logging is
+// used by the CLI-facing layers (benches, examples, floorplan retries) to
+// narrate progress. Thread-safe: each message is formatted into a single
+// string and written with one ostream call.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace resched {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level (default kWarn; RESCHED_LOG env var overrides:
+/// "debug" | "info" | "warn" | "error" | "off").
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+void LogMessage(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { LogMessage(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace resched
+
+#define RESCHED_LOG(level)                                      \
+  if (static_cast<int>(level) < static_cast<int>(::resched::GetLogLevel())) \
+    ;                                                           \
+  else                                                          \
+    ::resched::detail::LogLine(level)
+
+#define RESCHED_LOG_DEBUG RESCHED_LOG(::resched::LogLevel::kDebug)
+#define RESCHED_LOG_INFO RESCHED_LOG(::resched::LogLevel::kInfo)
+#define RESCHED_LOG_WARN RESCHED_LOG(::resched::LogLevel::kWarn)
+#define RESCHED_LOG_ERROR RESCHED_LOG(::resched::LogLevel::kError)

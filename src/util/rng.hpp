@@ -1,0 +1,74 @@
+// Deterministic, splittable pseudo-random number generation.
+//
+// The whole library is seeded explicitly: the same (instance, options, seed)
+// triple always produces the same schedule, regardless of thread count. The
+// generator is xoshiro256** (Blackman & Vigna) seeded through SplitMix64,
+// which gives high-quality streams from arbitrary 64-bit seeds and supports
+// cheap derivation of independent child streams for parallel restarts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace resched {
+
+/// xoshiro256** PRNG. Satisfies std::uniform_random_bit_generator so it can
+/// be used with <random> distributions, but the member helpers below are
+/// preferred: they are reproducible across standard-library implementations.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four 64-bit words of state via SplitMix64(seed).
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  /// Next raw 64-bit value.
+  std::uint64_t Next();
+  result_type operator()() { return Next(); }
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// Bernoulli draw with probability p of returning true.
+  bool Bernoulli(double p);
+
+  /// Fisher-Yates shuffle, reproducible across platforms.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          UniformInt(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Picks an index in [0, weights.size()) proportionally to weights.
+  /// Requires a non-empty vector with non-negative weights, not all zero.
+  std::size_t WeightedIndex(const std::vector<double>& weights);
+
+  /// Derives an independent child generator; child streams produced from
+  /// distinct calls are statistically independent of the parent and of each
+  /// other (used to give every parallel restart its own stream).
+  Rng Split();
+
+ private:
+  std::uint64_t state_[4];
+};
+
+/// SplitMix64 step — also useful on its own for hashing seeds together.
+std::uint64_t SplitMix64(std::uint64_t& state);
+
+/// Hash-combines two 64-bit values (for deriving per-index seeds).
+std::uint64_t HashCombine(std::uint64_t a, std::uint64_t b);
+
+}  // namespace resched

@@ -1,0 +1,60 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/common.hpp"
+
+namespace resched {
+
+void RunningStat::Add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::Mean() const { return n_ == 0 ? 0.0 : mean_; }
+
+double RunningStat::StdDev() const {
+  if (n_ < 2) return 0.0;
+  return std::sqrt(m2_ / static_cast<double>(n_ - 1));
+}
+
+double RunningStat::Min() const { return n_ == 0 ? 0.0 : min_; }
+double RunningStat::Max() const { return n_ == 0 ? 0.0 : max_; }
+
+double Mean(const std::vector<double>& xs) {
+  RunningStat s;
+  for (double x : xs) s.Add(x);
+  return s.Mean();
+}
+
+double StdDev(const std::vector<double>& xs) {
+  RunningStat s;
+  for (double x : xs) s.Add(x);
+  return s.StdDev();
+}
+
+double Percentile(std::vector<double> xs, double p) {
+  RESCHED_CHECK_MSG(!xs.empty(), "Percentile of empty sample");
+  RESCHED_CHECK_MSG(p >= 0.0 && p <= 100.0, "percentile out of range");
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs.front();
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] + (xs[hi] - xs[lo]) * frac;
+}
+
+double Median(std::vector<double> xs) { return Percentile(std::move(xs), 50.0); }
+
+}  // namespace resched

@@ -1,0 +1,40 @@
+// Streaming and batch statistics used by the benchmark harness to report the
+// mean/standard-deviation series shown in the paper's Figures 2-5.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace resched {
+
+/// Welford online accumulator: numerically stable mean / variance.
+class RunningStat {
+ public:
+  void Add(double x);
+
+  std::size_t Count() const { return n_; }
+  double Mean() const;
+  /// Sample standard deviation (n-1 denominator); 0 for n < 2.
+  double StdDev() const;
+  double Min() const;
+  double Max() const;
+  double Sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Batch helpers over a sample vector.
+double Mean(const std::vector<double>& xs);
+double StdDev(const std::vector<double>& xs);
+/// Linear-interpolated percentile, p in [0, 100]. Requires non-empty input.
+double Percentile(std::vector<double> xs, double p);
+/// Median (50th percentile).
+double Median(std::vector<double> xs);
+
+}  // namespace resched

@@ -1,0 +1,25 @@
+// Small string helpers shared by the I/O and reporting layers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace resched {
+
+/// Splits on a single character; keeps empty fields.
+std::vector<std::string> Split(const std::string& s, char sep);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string Trim(const std::string& s);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Left-pads/truncates to a fixed-width column (for text tables).
+std::string PadLeft(const std::string& s, std::size_t width);
+std::string PadRight(const std::string& s, std::size_t width);
+
+/// Formats ticks (µs) as a human-readable duration, e.g. "12.34 ms".
+std::string FormatTicks(std::int64_t ticks);
+
+}  // namespace resched

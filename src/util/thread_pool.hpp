@@ -1,0 +1,56 @@
+// Minimal fixed-size thread pool with a blocking work queue plus a
+// parallel-for helper. Used for PA-R parallel restarts and benchmark sweeps.
+//
+// Design notes (CP.* core guidelines): tasks are type-erased move-only
+// callables; the pool joins in its destructor so lifetimes are scoped; no
+// detached threads. Exceptions thrown by a task are captured and rethrown on
+// Wait()/ParallelFor() in the caller's thread (first one wins).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace resched {
+
+class ThreadPool {
+ public:
+  /// threads == 0 selects std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t ThreadCount() const { return workers_.size(); }
+
+  /// Enqueues a task. Must not be called after destruction has begun.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished; rethrows the first
+  /// captured task exception, if any.
+  void Wait();
+
+  /// Runs fn(i) for i in [0, n) across the pool and blocks until done.
+  /// fn must be safe to invoke concurrently for distinct i.
+  void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace resched

@@ -1,0 +1,104 @@
+// Tests for the task-graph analysis utilities.
+#include <gtest/gtest.h>
+
+#include "taskgraph/analysis.hpp"
+#include "taskgraph/generator.hpp"
+#include "test_helpers.hpp"
+
+namespace resched {
+namespace {
+
+TEST(AnalysisTest, ChainLevels) {
+  const TaskGraph g = testing::MakeChain(4);
+  EXPECT_EQ(ComputeLevels(g), (std::vector<std::size_t>{0, 1, 2, 3}));
+  const GraphStats stats = AnalyzeGraph(g);
+  EXPECT_EQ(stats.depth, 4u);
+  EXPECT_EQ(stats.max_width, 1u);
+  EXPECT_EQ(stats.num_sources, 1u);
+  EXPECT_EQ(stats.num_sinks, 1u);
+  EXPECT_DOUBLE_EQ(stats.avg_width, 1.0);
+  EXPECT_DOUBLE_EQ(stats.redundancy, 0.0);
+}
+
+TEST(AnalysisTest, DiamondLevels) {
+  const TaskGraph g = testing::MakeDiamond();
+  EXPECT_EQ(ComputeLevels(g), (std::vector<std::size_t>{0, 1, 1, 2}));
+  const GraphStats stats = AnalyzeGraph(g);
+  EXPECT_EQ(stats.depth, 3u);
+  EXPECT_EQ(stats.max_width, 2u);
+  EXPECT_EQ(stats.width_profile, (std::vector<std::size_t>{1, 2, 1}));
+}
+
+TEST(AnalysisTest, IndependentTasksAreOneLevel) {
+  const TaskGraph g = testing::MakeIndependent(5);
+  const GraphStats stats = AnalyzeGraph(g);
+  EXPECT_EQ(stats.depth, 1u);
+  EXPECT_EQ(stats.max_width, 5u);
+  EXPECT_EQ(stats.num_sources, 5u);
+  EXPECT_EQ(stats.num_sinks, 5u);
+  EXPECT_DOUBLE_EQ(stats.density, 0.0);
+}
+
+TEST(AnalysisTest, RedundantEdgeDetected) {
+  // a -> b -> c plus the shortcut a -> c.
+  TaskGraph g = testing::MakeChain(3);
+  g.AddEdge(0, 2);
+  const auto redundant = TransitivelyRedundantEdges(g);
+  ASSERT_EQ(redundant.size(), 1u);
+  EXPECT_EQ(redundant[0], std::make_pair(TaskId{0}, TaskId{2}));
+  EXPECT_GT(AnalyzeGraph(g).redundancy, 0.0);
+}
+
+TEST(AnalysisTest, TransitiveReductionRemovesOnlyShortcuts) {
+  TaskGraph g = testing::MakeChain(4);
+  g.AddEdge(0, 2);
+  g.AddEdge(1, 3);
+  g.AddEdge(0, 3);
+  g.SetEdgeData(0, 1, 777);  // payload on a kept edge survives
+  const TaskGraph reduced = TransitiveReduction(g);
+  EXPECT_EQ(reduced.NumEdges(), 3u);  // the pure chain
+  EXPECT_TRUE(reduced.HasEdge(0, 1));
+  EXPECT_TRUE(reduced.HasEdge(1, 2));
+  EXPECT_TRUE(reduced.HasEdge(2, 3));
+  EXPECT_FALSE(reduced.HasEdge(0, 2));
+  EXPECT_EQ(reduced.EdgeData(0, 1), 777);
+  // Implementations preserved.
+  EXPECT_EQ(reduced.GetTask(0).impls.size(), g.GetTask(0).impls.size());
+}
+
+TEST(AnalysisTest, ReductionPreservesReachability) {
+  GeneratorOptions gen;
+  gen.num_tasks = 30;
+  gen.extra_edge_prob = 0.3;  // force shortcuts
+  const Instance inst =
+      GenerateInstance(MakeZedBoard(), gen, 5, "red");
+  const TaskGraph reduced = TransitiveReduction(inst.graph);
+  EXPECT_LE(reduced.NumEdges(), inst.graph.NumEdges());
+  // Same levels => same longest-path structure.
+  EXPECT_EQ(ComputeLevels(reduced), ComputeLevels(inst.graph));
+  // And reduction is idempotent.
+  const TaskGraph twice = TransitiveReduction(reduced);
+  EXPECT_EQ(twice.NumEdges(), reduced.NumEdges());
+}
+
+TEST(AnalysisTest, GeneratorRespectsWidthCap) {
+  GeneratorOptions gen;
+  gen.num_tasks = 60;
+  gen.max_width = 6;
+  const Instance inst = GenerateInstance(MakeZedBoard(), gen, 9, "w");
+  const GraphStats stats = AnalyzeGraph(inst.graph);
+  // Level widths can exceed the per-layer cap slightly because long-range
+  // extra edges shift levels, but not wildly.
+  EXPECT_LE(stats.max_width, 2 * gen.max_width);
+  EXPECT_GE(stats.depth, 60u / gen.max_width / 2);
+}
+
+TEST(AnalysisTest, ToStringMentionsShape) {
+  const GraphStats stats = AnalyzeGraph(testing::MakeDiamond());
+  const std::string text = stats.ToString();
+  EXPECT_NE(text.find("4 tasks"), std::string::npos);
+  EXPECT_NE(text.find("depth 3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace resched

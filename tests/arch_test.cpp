@@ -1,0 +1,193 @@
+// Unit tests for the architecture model: resource vectors, resource model,
+// fabric construction, devices and platforms.
+#include <gtest/gtest.h>
+
+#include "arch/zynq.hpp"
+#include "test_helpers.hpp"
+
+namespace resched {
+namespace {
+
+// ---------------------------------------------------------------- ResourceVec
+
+TEST(ResourceVecTest, ArithmeticAndComparison) {
+  const ResourceVec a({10, 2, 3});
+  const ResourceVec b({5, 1, 0});
+  EXPECT_EQ(a + b, ResourceVec({15, 3, 3}));
+  EXPECT_EQ(a - b, ResourceVec({5, 1, 3}));
+  EXPECT_TRUE(b.FitsWithin(a));
+  EXPECT_FALSE(a.FitsWithin(b));
+  EXPECT_TRUE(a.FitsWithin(a));
+}
+
+TEST(ResourceVecTest, FitsWithinIsComponentWise) {
+  const ResourceVec a({10, 0, 0});
+  const ResourceVec b({5, 5, 0});
+  // Neither dominates the other.
+  EXPECT_FALSE(a.FitsWithin(b));
+  EXPECT_FALSE(b.FitsWithin(a));
+}
+
+TEST(ResourceVecTest, TotalAndZero) {
+  EXPECT_EQ(ResourceVec({10, 2, 3}).Total(), 15);
+  EXPECT_TRUE(ResourceVec({0, 0, 0}).IsZero());
+  EXPECT_FALSE(ResourceVec({0, 1, 0}).IsZero());
+  EXPECT_TRUE(ResourceVec(3).IsZero());
+}
+
+TEST(ResourceVecTest, MaxIsComponentWise) {
+  EXPECT_EQ(ResourceVec::Max(ResourceVec({1, 5, 2}), ResourceVec({3, 1, 2})),
+            ResourceVec({3, 5, 2}));
+}
+
+TEST(ResourceVecTest, ScaledDownFloors) {
+  const ResourceVec a({10, 5, 1});
+  EXPECT_EQ(a.ScaledDown(0.9), ResourceVec({9, 4, 0}));
+  EXPECT_EQ(a.ScaledDown(0.0), ResourceVec({0, 0, 0}));
+  EXPECT_EQ(a.ScaledDown(1.0), a);
+  EXPECT_THROW((void)a.ScaledDown(1.5), InternalError);
+}
+
+TEST(ResourceVecTest, ArityMismatchThrows) {
+  ResourceVec a({1, 2});
+  const ResourceVec b({1, 2, 3});
+  EXPECT_THROW(a += b, InternalError);
+  EXPECT_THROW((void)a.FitsWithin(b), InternalError);
+}
+
+TEST(ResourceVecTest, IndexOutOfRangeThrows) {
+  const ResourceVec a({1, 2});
+  EXPECT_THROW((void)a[2], InternalError);
+}
+
+// ---------------------------------------------------------------- ResourceModel
+
+TEST(ResourceModelTest, KindLookup) {
+  const ResourceModel model = MakeClbBramDspModel();
+  EXPECT_EQ(model.NumKinds(), 3u);
+  EXPECT_EQ(model.KindIndex("CLB"), 0u);
+  EXPECT_EQ(model.KindIndex("BRAM"), 1u);
+  EXPECT_EQ(model.KindIndex("DSP"), 2u);
+  EXPECT_TRUE(model.HasKind("DSP"));
+  EXPECT_FALSE(model.HasKind("URAM"));
+  EXPECT_THROW((void)model.KindIndex("URAM"), InstanceError);
+}
+
+TEST(ResourceModelTest, BitstreamBitsIsLinear) {
+  const ResourceModel model = MakeClbBramDspModel();
+  const ResourceVec res({100, 10, 5});
+  const double bits = model.BitstreamBits(res);
+  EXPECT_NEAR(bits, 100 * 2327.0 + 10 * 9049.6 + 5 * 4524.8, 1e-6);
+  EXPECT_DOUBLE_EQ(model.BitstreamBits(model.ZeroVec()), 0.0);
+}
+
+// ---------------------------------------------------------------- fabric/device
+
+TEST(DeviceTest, InterleavedFabricHitsTargets) {
+  const ResourceModel model = MakeClbBramDspModel();
+  const ResourceVec target({13300, 140, 220});
+  const FabricGeometry geom =
+      BuildInterleavedFabric(model, target, {100, 10, 20}, 4);
+  const FpgaDevice device("d", model, geom);
+  // Totals within the column quantum of the request: a fabric can only
+  // hit targets to the granularity of one column's contribution.
+  const std::vector<std::int64_t> units_per_cell{100, 10, 20};
+  for (std::size_t k = 0; k < 3; ++k) {
+    const double quantum = static_cast<double>(units_per_cell[k]) * 4.0;
+    const double tolerance =
+        std::max(0.10 * static_cast<double>(target[k]), 0.5 * quantum);
+    EXPECT_NEAR(static_cast<double>(device.Capacity()[k]),
+                static_cast<double>(target[k]), tolerance)
+        << "kind " << k;
+  }
+}
+
+TEST(DeviceTest, InterleavedFabricSpreadsKinds) {
+  const ResourceModel model = MakeClbBramDspModel();
+  const FabricGeometry geom = BuildInterleavedFabric(
+      model, ResourceVec({4000, 80, 80}), {100, 10, 20}, 4);
+  // BRAM columns must not be contiguous at one end: check that both halves
+  // of the die contain at least one BRAM column.
+  const std::size_t half = geom.columns.size() / 2;
+  auto count_kind = [&](std::size_t from, std::size_t to, ResourceKind kind) {
+    std::size_t c = 0;
+    for (std::size_t i = from; i < to; ++i) {
+      if (geom.columns[i].kind == kind) ++c;
+    }
+    return c;
+  };
+  EXPECT_GT(count_kind(0, half, 1), 0u);
+  EXPECT_GT(count_kind(half, geom.columns.size(), 1), 0u);
+}
+
+TEST(DeviceTest, CapacityDerivedFromGeometry) {
+  const FpgaDevice device = testing::MakeSmallDevice();
+  ResourceVec sum = device.Model().ZeroVec();
+  for (const ColumnSpec& col : device.Geometry().columns) {
+    sum[col.kind] += col.units_per_cell *
+                     static_cast<std::int64_t>(device.Geometry().rows);
+  }
+  EXPECT_EQ(sum, device.Capacity());
+}
+
+TEST(DeviceTest, Xc7z020Preset) {
+  const FpgaDevice device = MakeXc7z020();
+  EXPECT_EQ(device.Name(), "XC7Z020");
+  EXPECT_EQ(device.Geometry().rows, 4u);
+  EXPECT_NEAR(static_cast<double>(device.Capacity()[0]), 13300.0, 1400.0);
+  EXPECT_NEAR(static_cast<double>(device.Capacity()[1]), 140.0, 25.0);
+  EXPECT_NEAR(static_cast<double>(device.Capacity()[2]), 220.0, 30.0);
+}
+
+TEST(DeviceTest, ScaledZynqScales) {
+  const FpgaDevice half = MakeScaledZynq(0.5);
+  const FpgaDevice full = MakeXc7z020();
+  EXPECT_NEAR(static_cast<double>(half.Capacity()[0]),
+              0.5 * static_cast<double>(full.Capacity()[0]),
+              0.15 * static_cast<double>(full.Capacity()[0]));
+  EXPECT_THROW((void)MakeScaledZynq(0.01), InternalError);
+}
+
+// ---------------------------------------------------------------- platform
+
+TEST(PlatformTest, ReconfTicksMatchesEq2) {
+  const Platform platform = testing::MakeSmallPlatform(2, 1e6);  // 1e6 b/s
+  const ResourceVec res({100, 0, 0});
+  // bits = 100 * 2327 = 232700; at 1e6 bits/s -> 0.2327 s = 232700 us.
+  EXPECT_EQ(platform.ReconfTicks(res), 232700);
+}
+
+TEST(PlatformTest, ReconfTicksRoundsUp) {
+  const Platform platform = testing::MakeSmallPlatform(2, 3e6);
+  const ResourceVec res({1, 0, 0});  // 2327 bits / 3e6 b/s = 775.67 us
+  EXPECT_EQ(platform.ReconfTicks(res), 776);
+}
+
+TEST(PlatformTest, ZeroVectorReconfiguresInstantly) {
+  const Platform platform = testing::MakeSmallPlatform();
+  EXPECT_EQ(platform.ReconfTicks(platform.Device().Model().ZeroVec()), 0);
+}
+
+TEST(PlatformTest, RequiresCoreAndThroughput) {
+  EXPECT_THROW(Platform("p", 0, testing::MakeSmallDevice(), 1e6),
+               InternalError);
+  EXPECT_THROW(Platform("p", 1, testing::MakeSmallDevice(), 0.0),
+               InternalError);
+}
+
+TEST(PlatformTest, WithProcessorsCopies) {
+  const Platform base = MakeZedBoard();
+  const Platform quad = base.WithProcessors(4);
+  EXPECT_EQ(quad.NumProcessors(), 4u);
+  EXPECT_EQ(base.NumProcessors(), 2u);
+  EXPECT_EQ(quad.Device().Name(), base.Device().Name());
+}
+
+TEST(PlatformTest, ZedBoardDefaults) {
+  const Platform z = MakeZedBoard();
+  EXPECT_EQ(z.NumProcessors(), 2u);
+  EXPECT_DOUBLE_EQ(z.RecFreqBitsPerSec(), 2.56e8);
+}
+
+}  // namespace
+}  // namespace resched

@@ -1,0 +1,82 @@
+// Tests for the optimizing (compact) floorplanner.
+#include <gtest/gtest.h>
+
+#include "floorplan/floorplanner.hpp"
+#include "test_helpers.hpp"
+
+namespace resched {
+namespace {
+
+using testing::MakeSmallDevice;
+
+TEST(CompactFloorplanTest, EmptyIsFeasible) {
+  const auto result = FindCompactFloorplan(MakeSmallDevice(), {});
+  EXPECT_TRUE(result.feasible);
+  EXPECT_EQ(result.occupied_cells, 0u);
+}
+
+TEST(CompactFloorplanTest, AgreesWithFeasibilityOnYesInstances) {
+  const FpgaDevice device = MakeSmallDevice();
+  const std::vector<ResourceVec> regions{ResourceVec({400, 4, 0}),
+                                         ResourceVec({600, 0, 10}),
+                                         ResourceVec({300, 0, 0})};
+  const auto feas = FindFloorplan(device, regions);
+  const auto compact = FindCompactFloorplan(device, regions);
+  ASSERT_TRUE(feas.feasible);
+  ASSERT_TRUE(compact.feasible);
+  EXPECT_TRUE(IsValidFloorplan(device, regions, compact.rects));
+}
+
+TEST(CompactFloorplanTest, NeverWorseThanFeasibilitySolution) {
+  const FpgaDevice device = MakeSmallDevice();
+  const std::vector<ResourceVec> regions{ResourceVec({500, 0, 0}),
+                                         ResourceVec({700, 6, 8}),
+                                         ResourceVec({200, 2, 0}),
+                                         ResourceVec({400, 0, 12})};
+  const auto feas = FindFloorplan(device, regions);
+  ASSERT_TRUE(feas.feasible);
+  std::size_t feas_cells = 0;
+  for (const Rect& r : feas.rects) feas_cells += r.Area();
+
+  const auto compact = FindCompactFloorplan(device, regions);
+  ASSERT_TRUE(compact.feasible);
+  EXPECT_LE(compact.occupied_cells, feas_cells);
+
+  std::size_t recount = 0;
+  for (const Rect& r : compact.rects) recount += r.Area();
+  EXPECT_EQ(recount, compact.occupied_cells);
+}
+
+TEST(CompactFloorplanTest, FindsMinimalSingleRegion) {
+  // One 100-CLB region on the small device: a single CLB column cell (100
+  // units) suffices, so the optimum occupies exactly 1 cell.
+  const FpgaDevice device = MakeSmallDevice();
+  const auto result =
+      FindCompactFloorplan(device, {ResourceVec({100, 0, 0})});
+  ASSERT_TRUE(result.feasible);
+  EXPECT_FALSE(result.budget_exhausted);
+  EXPECT_EQ(result.occupied_cells, 1u);
+}
+
+TEST(CompactFloorplanTest, InfeasibleStaysInfeasible) {
+  const FpgaDevice device = MakeSmallDevice();
+  std::vector<ResourceVec> regions(3, device.Capacity());
+  const auto result = FindCompactFloorplan(device, regions);
+  EXPECT_FALSE(result.feasible);
+}
+
+TEST(CompactFloorplanTest, BudgetExhaustionReported) {
+  const FpgaDevice device = MakeXc7z020();
+  std::vector<ResourceVec> regions(7, ResourceVec({1500, 12, 20}));
+  FloorplanOptions options;
+  options.max_nodes = 2000;  // too small to prove optimality
+  const auto result = FindCompactFloorplan(device, regions, options);
+  if (result.feasible) {
+    EXPECT_TRUE(IsValidFloorplan(device, regions, result.rects));
+  }
+  // With such a small budget the search cannot certify the optimum.
+  EXPECT_TRUE(result.budget_exhausted || !result.feasible);
+}
+
+}  // namespace
+}  // namespace resched

@@ -1,0 +1,117 @@
+// Tests for the paper's Eq. (3)-(5) cost metrics.
+#include <gtest/gtest.h>
+
+#include "core/cost_model.hpp"
+#include "test_helpers.hpp"
+
+namespace resched {
+namespace {
+
+using testing::HwImpl;
+
+TEST(CostModelTest, WeightsPenalizeScarceKinds) {
+  const ResourceVec max_res({13300, 140, 220});
+  const auto w = ComputeResourceWeights(max_res);
+  ASSERT_EQ(w.size(), 3u);
+  // Eq. (4): weight = 1 - share.
+  const double total = 13300.0 + 140.0 + 220.0;
+  EXPECT_NEAR(w[0], 1.0 - 13300.0 / total, 1e-12);
+  EXPECT_NEAR(w[1], 1.0 - 140.0 / total, 1e-12);
+  EXPECT_NEAR(w[2], 1.0 - 220.0 / total, 1e-12);
+  // Scarce kinds weigh more.
+  EXPECT_GT(w[1], w[0]);
+  EXPECT_GT(w[2], w[0]);
+}
+
+TEST(CostModelTest, WeightedResourcesIsLinear) {
+  const std::vector<double> w{0.5, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(WeightedResources(ResourceVec({2, 3, 4}), w),
+                   1.0 + 3.0 + 8.0);
+  EXPECT_DOUBLE_EQ(WeightedResources(ResourceVec({0, 0, 0}), w), 0.0);
+}
+
+TEST(CostModelTest, CostMatchesEq3ByHand) {
+  const ResourceVec max_res({1000, 100, 0});
+  const auto w = ComputeResourceWeights(max_res);
+  const Implementation impl = HwImpl(/*time=*/50, /*clb=*/100, /*bram=*/10);
+  const TimeT max_t = 500;
+  const double num = w[0] * 100 + w[1] * 10;
+  const double den = w[0] * 1000 + w[1] * 100;
+  const double expected = num / den + 50.0 / 500.0;
+  EXPECT_NEAR(ImplementationCost(impl, max_res, w, max_t), expected, 1e-12);
+}
+
+TEST(CostModelTest, CostGrowsWithTimeAndResources) {
+  const ResourceVec max_res({1000, 100, 100});
+  const auto w = ComputeResourceWeights(max_res);
+  const TimeT max_t = 1000;
+  const double base =
+      ImplementationCost(HwImpl(100, 100, 10, 0), max_res, w, max_t);
+  EXPECT_GT(ImplementationCost(HwImpl(200, 100, 10, 0), max_res, w, max_t),
+            base);
+  EXPECT_GT(ImplementationCost(HwImpl(100, 200, 10, 0), max_res, w, max_t),
+            base);
+  EXPECT_GT(ImplementationCost(HwImpl(100, 100, 20, 0), max_res, w, max_t),
+            base);
+}
+
+TEST(CostModelTest, ScarceResourceCostsMoreThanAbundant) {
+  const ResourceVec max_res({10000, 100, 100});
+  const auto w = ComputeResourceWeights(max_res);
+  const TimeT max_t = 1000;
+  // Same "share" of the respective resource: 10% of CLB vs 10% of BRAM.
+  const double clb_cost =
+      ImplementationCost(HwImpl(100, 1000, 0, 0), max_res, w, max_t);
+  const double bram_cost =
+      ImplementationCost(HwImpl(100, 0, 10, 0), max_res, w, max_t);
+  EXPECT_GT(clb_cost, 0.0);
+  EXPECT_GT(bram_cost, 0.0);
+  // 1000 CLB at weight ~0.02 ≈ 20; 10 BRAM at weight ~0.99 ≈ 10.
+  // The exact relation depends on Eq. (4); just pin both are comparable
+  // and neither is ignored.
+  EXPECT_LT(std::abs(std::log(clb_cost / bram_cost)), 3.0);
+}
+
+TEST(CostModelTest, EfficiencyIndexMatchesEq5) {
+  const ResourceVec max_res({1000, 100, 0});
+  const auto w = ComputeResourceWeights(max_res);
+  const Implementation impl = HwImpl(/*time=*/300, /*clb=*/100, /*bram=*/5);
+  const double denom = w[0] * 100 + w[1] * 5;
+  EXPECT_NEAR(EfficiencyIndex(impl, w), 300.0 / denom, 1e-9);
+}
+
+TEST(CostModelTest, EfficiencyPrefersSlowSmallImpls) {
+  const ResourceVec max_res({1000, 100, 100});
+  const auto w = ComputeResourceWeights(max_res);
+  // Slow-but-small has the higher efficiency index (the paper's notion of
+  // resource-efficient implementation).
+  const double small_slow = EfficiencyIndex(HwImpl(400, 100, 2, 0), w);
+  const double big_fast = EfficiencyIndex(HwImpl(100, 400, 8, 0), w);
+  EXPECT_GT(small_slow, big_fast);
+}
+
+TEST(CostModelTest, EfficiencyFiniteForZeroWeightedFootprint) {
+  // A CLB-only impl on a single-kind device has weight 0 -> guarded.
+  const ResourceModel model({{"CLB", 1.0}});
+  const ResourceVec max_res({1000});
+  const auto w = ComputeResourceWeights(max_res);
+  Implementation impl;
+  impl.kind = ImplKind::kHardware;
+  impl.exec_time = 100;
+  impl.res = ResourceVec({10});
+  const double eff = EfficiencyIndex(impl, w);
+  EXPECT_TRUE(std::isfinite(eff));
+  EXPECT_GT(eff, 0.0);
+}
+
+TEST(CostModelTest, CostRejectsSoftwareImpl) {
+  const ResourceVec max_res({1000, 100, 100});
+  const auto w = ComputeResourceWeights(max_res);
+  EXPECT_THROW(
+      (void)ImplementationCost(testing::SwImpl(10), max_res, w, 100),
+      InternalError);
+  EXPECT_THROW((void)EfficiencyIndex(testing::SwImpl(10), w), InternalError);
+}
+
+}  // namespace
+}  // namespace resched

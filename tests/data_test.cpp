@@ -1,0 +1,65 @@
+// Tests over the instances committed under data/instances/: the on-disk
+// format stays loadable and every scheduler handles the shipped files.
+#include <gtest/gtest.h>
+
+#include "baseline/isk_scheduler.hpp"
+#include "core/pa_scheduler.hpp"
+#include "io/instance_io.hpp"
+#include "sched/validator.hpp"
+#include "test_helpers.hpp"
+
+#ifndef RESCHED_TEST_DATA_DIR
+#error "RESCHED_TEST_DATA_DIR must be defined by the build"
+#endif
+
+namespace resched {
+namespace {
+
+std::string DataPath(const std::string& name) {
+  return std::string(RESCHED_TEST_DATA_DIR) + "/instances/" + name;
+}
+
+TEST(DataTest, ShippedInstancesLoad) {
+  for (const char* name :
+       {"small_12.json", "medium_40.json", "large_100.json"}) {
+    const Instance inst = LoadInstance(DataPath(name));
+    EXPECT_NO_THROW(inst.graph.Validate(inst.platform.Device())) << name;
+    EXPECT_GT(inst.graph.NumTasks(), 0u);
+  }
+}
+
+TEST(DataTest, ShippedInstancesHaveExpectedShape) {
+  const Instance small = LoadInstance(DataPath("small_12.json"));
+  EXPECT_EQ(small.graph.NumTasks(), 12u);
+  EXPECT_EQ(small.platform.NumProcessors(), 2u);
+  const Instance large = LoadInstance(DataPath("large_100.json"));
+  EXPECT_EQ(large.graph.NumTasks(), 100u);
+}
+
+TEST(DataTest, PaSchedulesShippedInstances) {
+  for (const char* name : {"small_12.json", "medium_40.json"}) {
+    const Instance inst = LoadInstance(DataPath(name));
+    const Schedule s = SchedulePa(inst);
+    const ValidationResult r = ValidateSchedule(inst, s);
+    EXPECT_TRUE(r.ok()) << name << ": " << r.Summary();
+  }
+}
+
+TEST(DataTest, IskSchedulesShippedSmallInstance) {
+  const Instance inst = LoadInstance(DataPath("small_12.json"));
+  IskOptions opt;
+  opt.k = 3;
+  opt.node_budget = 20000;
+  const Schedule s = ScheduleIsk(inst, opt);
+  EXPECT_TRUE(ValidateSchedule(inst, s).ok());
+}
+
+TEST(DataTest, RoundTripIsStable) {
+  const Instance inst = LoadInstance(DataPath("medium_40.json"));
+  const std::string once = InstanceToString(inst);
+  const std::string twice = InstanceToString(InstanceFromString(once));
+  EXPECT_EQ(once, twice);
+}
+
+}  // namespace
+}  // namespace resched

@@ -1,0 +1,352 @@
+// Tests for the three extensions beyond the paper's base model:
+//   * the fixed-grid baseline (equal-size regions, related work [13]),
+//   * multiple reconfiguration controllers (related work [8]),
+//   * communication overhead across the HW<->SW boundary (paper §VIII
+//     future work).
+#include <gtest/gtest.h>
+
+#include "baseline/fixed_grid.hpp"
+#include "baseline/isk_scheduler.hpp"
+#include "core/pa_scheduler.hpp"
+#include "io/instance_io.hpp"
+#include "sched/comm.hpp"
+#include "taskgraph/timing.hpp"
+#include "sched/validator.hpp"
+#include "taskgraph/generator.hpp"
+#include "test_helpers.hpp"
+
+namespace resched {
+namespace {
+
+using testing::HwImpl;
+using testing::MakeSmallPlatform;
+using testing::SwImpl;
+
+Instance MakeInstance(std::size_t n, std::uint64_t seed,
+                      const Platform& platform = MakeZedBoard()) {
+  GeneratorOptions gen;
+  gen.num_tasks = n;
+  return GenerateInstance(platform, gen, seed, "ext");
+}
+
+// ---------------------------------------------------------------- fixed grid
+
+TEST(FixedGridTest, ProducesValidSchedules) {
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    const Instance inst = MakeInstance(25, seed);
+    const Schedule s = ScheduleFixedGrid(inst);
+    const ValidationResult r = ValidateSchedule(inst, s);
+    EXPECT_TRUE(r.ok()) << r.Summary();
+  }
+}
+
+TEST(FixedGridTest, ExplicitSlotCount) {
+  const Instance inst = MakeInstance(20, 5);
+  FixedGridOptions opt;
+  opt.num_slots = 3;
+  const Schedule s = ScheduleFixedGrid(inst, opt);
+  EXPECT_TRUE(ValidateSchedule(inst, s).ok());
+  EXPECT_LE(s.regions.size(), 3u);
+  EXPECT_EQ(s.algorithm, "fixed-grid-3");
+  // All used slots have identical (equal-split) size.
+  for (const RegionInfo& region : s.regions) {
+    EXPECT_EQ(region.res, s.regions.front().res);
+  }
+}
+
+TEST(FixedGridTest, AutoModePicksBestGranularity) {
+  const Instance inst = MakeInstance(25, 7);
+  FixedGridOptions fixed1;
+  fixed1.num_slots = 1;
+  const Schedule one = ScheduleFixedGrid(inst, fixed1);
+  const Schedule best = ScheduleFixedGrid(inst);  // auto
+  EXPECT_LE(best.makespan, one.makespan);
+}
+
+TEST(FixedGridTest, PaBeatsFixedGridOnAverage) {
+  // The §II claim: equal-dimension regions limit the solution space. PA's
+  // demand-sized regions should win on average over a suite slice.
+  double pa_total = 0.0;
+  double grid_total = 0.0;
+  for (const std::uint64_t seed : {11u, 12u, 13u, 14u, 15u}) {
+    const Instance inst = MakeInstance(30, seed);
+    pa_total += static_cast<double>(SchedulePa(inst).makespan);
+    grid_total += static_cast<double>(ScheduleFixedGrid(inst).makespan);
+  }
+  EXPECT_LT(pa_total, grid_total);
+}
+
+TEST(FixedGridTest, FirstLoadIntoSlotCostsReconfiguration) {
+  // One HW task on a 1-slot grid: the slot boots empty, so exactly one
+  // reconfiguration precedes the task.
+  TaskGraph g;
+  const TaskId t = g.AddTask("t");
+  g.AddImpl(t, SwImpl(100000));
+  g.AddImpl(t, HwImpl(1000, 500));
+  Instance inst{"boot", MakeSmallPlatform(), std::move(g)};
+  FixedGridOptions opt;
+  opt.num_slots = 1;
+  const Schedule s = ScheduleFixedGrid(inst, opt);
+  ASSERT_EQ(s.NumHardwareTasks(), 1u);
+  EXPECT_EQ(s.reconfigurations.size(), 1u);
+  EXPECT_GE(s.task_slots[0].start, s.reconfigurations[0].end);
+}
+
+// ---------------------------------------------------------------- controllers
+
+TEST(MultiControllerTest, PlatformPlumbing) {
+  const Platform p = MakeZedBoard().WithReconfigurators(3);
+  EXPECT_EQ(p.NumReconfigurators(), 3u);
+  EXPECT_EQ(p.WithProcessors(4).NumReconfigurators(), 3u);
+  EXPECT_THROW(MakeZedBoard().WithReconfigurators(0), InternalError);
+}
+
+TEST(MultiControllerTest, PaValidWithTwoControllers) {
+  const Instance inst =
+      MakeInstance(30, 21, MakeZedBoard().WithReconfigurators(2));
+  const Schedule s = SchedulePa(inst);
+  const ValidationResult r = ValidateSchedule(inst, s);
+  EXPECT_TRUE(r.ok()) << r.Summary();
+}
+
+TEST(MultiControllerTest, SecondControllerUsedUnderContention) {
+  // Chain forced into region sharing -> many reconfigurations; with two
+  // controllers at least one reconfiguration should land on controller 1
+  // when the single-controller timeline is saturated.
+  TaskGraph g = testing::MakeChain(10, 3000, 1400, 60000);
+  Instance inst{"contended", MakeSmallPlatform(2).WithReconfigurators(2),
+                std::move(g)};
+  const Schedule s = SchedulePa(inst);
+  ASSERT_TRUE(ValidateSchedule(inst, s).ok());
+  // Chain reconfigurations are inherently serial (each waits for the
+  // previous task), so contention is limited; just check validity and
+  // controller indices are in range.
+  for (const ReconfSlot& r : s.reconfigurations) {
+    EXPECT_LT(r.controller, 2u);
+  }
+}
+
+TEST(MultiControllerTest, TwoControllersNeverHurtMaterially) {
+  const Instance one = MakeInstance(40, 23);
+  const Instance two =
+      MakeInstance(40, 23, MakeZedBoard().WithReconfigurators(2));
+  const TimeT mk1 = SchedulePa(one).makespan;
+  const TimeT mk2 = SchedulePa(two).makespan;
+  EXPECT_LE(static_cast<double>(mk2), 1.05 * static_cast<double>(mk1));
+}
+
+TEST(MultiControllerTest, IskValidWithTwoControllers) {
+  const Instance inst =
+      MakeInstance(25, 29, MakeZedBoard().WithReconfigurators(2));
+  IskOptions opt;
+  opt.k = 2;
+  opt.node_budget = 5000;
+  const Schedule s = ScheduleIsk(inst, opt);
+  EXPECT_TRUE(ValidateSchedule(inst, s).ok());
+}
+
+TEST(MultiControllerTest, ValidatorRejectsUnknownController) {
+  const Instance inst = MakeInstance(20, 31);
+  Schedule s = SchedulePa(inst);
+  ASSERT_FALSE(s.reconfigurations.empty());
+  s.reconfigurations[0].controller = 5;
+  EXPECT_FALSE(ValidateSchedule(inst, s).ok());
+}
+
+TEST(MultiControllerTest, ValidatorAllowsParallelReconfsOnDistinctControllers) {
+  // Hand-build: two reconfigurations overlapping in time but on different
+  // controllers must pass V7 on a 2-controller platform and fail on 1.
+  TaskGraph g;
+  const TaskId a = g.AddTask("a");
+  const TaskId b = g.AddTask("b");
+  const TaskId c = g.AddTask("c");
+  const TaskId d = g.AddTask("d");
+  for (const TaskId t : {a, b, c, d}) {
+    g.AddImpl(t, SwImpl(90000));
+    g.AddImpl(t, HwImpl(1000, 400, 0, 0, static_cast<std::int32_t>(t)));
+  }
+  // Two independent chains: a->b and c->d.
+  g.AddEdge(a, b);
+  g.AddEdge(c, d);
+
+  const Platform two = MakeSmallPlatform(2).WithReconfigurators(2);
+  Instance inst{"parallel", two, std::move(g)};
+  const TimeT reconf =
+      inst.platform.ReconfTicks(ResourceVec({400, 0, 0}));
+
+  Schedule s;
+  s.task_slots.resize(4);
+  s.task_slots[0] = TaskSlot{a, 1, TargetKind::kRegion, 0, 0, 1000};
+  s.task_slots[2] = TaskSlot{c, 1, TargetKind::kRegion, 1, 0, 1000};
+  s.task_slots[1] = TaskSlot{b, 1, TargetKind::kRegion, 0, 1000 + reconf,
+                             2000 + reconf};
+  s.task_slots[3] = TaskSlot{d, 1, TargetKind::kRegion, 1, 1000 + reconf,
+                             2000 + reconf};
+  for (int i = 0; i < 2; ++i) {
+    RegionInfo region;
+    region.res = ResourceVec({400, 0, 0});
+    region.reconf_time = reconf;
+    region.tasks = i == 0 ? std::vector<TaskId>{a, b}
+                          : std::vector<TaskId>{c, d};
+    s.regions.push_back(region);
+  }
+  s.reconfigurations.push_back(ReconfSlot{0, b, 1000, 1000 + reconf, 0});
+  s.reconfigurations.push_back(ReconfSlot{1, d, 1000, 1000 + reconf, 1});
+  s.makespan = 2000 + reconf;
+  s.algorithm = "hand";
+
+  EXPECT_TRUE(ValidateSchedule(inst, s).ok())
+      << ValidateSchedule(inst, s).Summary();
+
+  // Same schedule on a single-controller platform: V7 must fire.
+  Instance inst1{"parallel1", MakeSmallPlatform(2), inst.graph};
+  EXPECT_FALSE(ValidateSchedule(inst1, s).ok());
+}
+
+// ---------------------------------------------------------------- comm model
+
+TEST(CommModelTest, GapOnlyAcrossDomains) {
+  TaskGraph g = testing::MakeChain(2);
+  g.SetEdgeData(0, 1, 1'000'000);  // 1 MB
+  const Platform p = MakeSmallPlatform().WithHwSwBandwidth(100e6);  // 100 MB/s
+  // 1 MB at 100 MB/s = 10 ms = 10000 ticks.
+  EXPECT_EQ(CommGap(p, g, 0, 1, true, false), 10000);
+  EXPECT_EQ(CommGap(p, g, 0, 1, false, true), 10000);
+  EXPECT_EQ(CommGap(p, g, 0, 1, true, true), 0);
+  EXPECT_EQ(CommGap(p, g, 0, 1, false, false), 0);
+}
+
+TEST(CommModelTest, DisabledWithoutBandwidth) {
+  TaskGraph g = testing::MakeChain(2);
+  g.SetEdgeData(0, 1, 1'000'000);
+  const Platform p = MakeSmallPlatform();  // bandwidth 0
+  EXPECT_EQ(CommGap(p, g, 0, 1, true, false), 0);
+}
+
+TEST(CommModelTest, EdgeDataAccessors) {
+  TaskGraph g = testing::MakeChain(3);
+  EXPECT_FALSE(g.HasEdgeData());
+  g.SetEdgeData(0, 1, 500);
+  EXPECT_TRUE(g.HasEdgeData());
+  EXPECT_EQ(g.EdgeData(0, 1), 500);
+  EXPECT_EQ(g.EdgeData(1, 2), 0);
+  g.SetEdgeData(0, 1, 0);
+  EXPECT_FALSE(g.HasEdgeData());
+  EXPECT_THROW(g.SetEdgeData(1, 0, 5), InternalError);  // no such edge
+  EXPECT_THROW((void)g.EdgeData(1, 0), InternalError);
+}
+
+TEST(CommModelTest, TimingRespectsBaseEdgeGaps) {
+  const TaskGraph g0 = testing::MakeChain(2);
+  TaskGraph g = g0;
+  TimingContext timing(g);
+  timing.SetExecTime(0, 10);
+  timing.SetExecTime(1, 10);
+  EXPECT_EQ(timing.Windows().makespan, 20);
+  timing.SetBaseEdgeGap(0, 1, 7);
+  EXPECT_EQ(timing.Windows().earliest_start[1], 17);
+  EXPECT_EQ(timing.Windows().makespan, 27);
+  timing.SetBaseEdgeGap(0, 1, 0);  // gaps may be lowered again
+  EXPECT_EQ(timing.Windows().makespan, 20);
+}
+
+TEST(CommModelTest, ValidatorEnforcesTransferGap) {
+  // HW producer -> SW consumer back-to-back without the transfer gap must
+  // be rejected.
+  TaskGraph g;
+  const TaskId a = g.AddTask("a");
+  const TaskId b = g.AddTask("b");
+  g.AddEdge(a, b);
+  g.AddImpl(a, SwImpl(90000));
+  g.AddImpl(a, HwImpl(1000, 400));
+  g.AddImpl(b, SwImpl(500));
+  g.SetEdgeData(a, b, 1'000'000);
+  const Platform p = MakeSmallPlatform().WithHwSwBandwidth(100e6);
+  Instance inst{"comm", p, std::move(g)};
+
+  Schedule s;
+  s.task_slots.resize(2);
+  s.task_slots[0] = TaskSlot{a, 1, TargetKind::kRegion, 0, 0, 1000};
+  s.task_slots[1] = TaskSlot{b, 0, TargetKind::kProcessor, 0, 1000, 1500};
+  RegionInfo region;
+  region.res = ResourceVec({400, 0, 0});
+  region.reconf_time = inst.platform.ReconfTicks(region.res);
+  region.tasks = {a};
+  s.regions.push_back(region);
+  s.makespan = 1500;
+  s.algorithm = "hand";
+  EXPECT_FALSE(ValidateSchedule(inst, s).ok());
+
+  // With the 10 ms gap respected the schedule is valid.
+  s.task_slots[1].start = 11000;
+  s.task_slots[1].end = 11500;
+  s.makespan = 11500;
+  EXPECT_TRUE(ValidateSchedule(inst, s).ok())
+      << ValidateSchedule(inst, s).Summary();
+}
+
+class CommSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CommSweep, AllSchedulersValidWithCommEnabled) {
+  GeneratorOptions gen;
+  gen.num_tasks = 25;
+  gen.comm_bytes_lo = 10'000;
+  gen.comm_bytes_hi = 2'000'000;
+  const Platform p = MakeZedBoard().WithHwSwBandwidth(200e6);
+  const Instance inst = GenerateInstance(p, gen, GetParam(), "comm");
+  ASSERT_TRUE(inst.graph.HasEdgeData());
+
+  const Schedule pa = SchedulePa(inst);
+  EXPECT_TRUE(ValidateSchedule(inst, pa).ok())
+      << ValidateSchedule(inst, pa).Summary();
+
+  IskOptions isk;
+  isk.k = 2;
+  isk.node_budget = 5000;
+  const Schedule is = ScheduleIsk(inst, isk);
+  EXPECT_TRUE(ValidateSchedule(inst, is).ok())
+      << ValidateSchedule(inst, is).Summary();
+
+  const Schedule grid = ScheduleFixedGrid(inst);
+  EXPECT_TRUE(ValidateSchedule(inst, grid).ok())
+      << ValidateSchedule(inst, grid).Summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CommSweep,
+                         ::testing::Range<std::uint64_t>(40, 48));
+
+TEST(CommModelTest, CommPayloadsSurviveInstanceIo) {
+  GeneratorOptions gen;
+  gen.num_tasks = 12;
+  gen.comm_bytes_lo = 100;
+  gen.comm_bytes_hi = 5000;
+  const Platform p = MakeZedBoard().WithHwSwBandwidth(150e6);
+  const Instance inst = GenerateInstance(p, gen, 3, "commio");
+  const Instance back = InstanceFromString(InstanceToString(inst));
+  EXPECT_DOUBLE_EQ(back.platform.HwSwBandwidthBytesPerSec(), 150e6);
+  for (std::size_t t = 0; t < inst.graph.NumTasks(); ++t) {
+    for (const TaskId s : inst.graph.Successors(static_cast<TaskId>(t))) {
+      EXPECT_EQ(inst.graph.EdgeData(static_cast<TaskId>(t), s),
+                back.graph.EdgeData(static_cast<TaskId>(t), s));
+    }
+  }
+}
+
+TEST(CommModelTest, CommMakesHwLessAttractive) {
+  // With brutal transfer costs, PA should keep more of the pipeline in one
+  // domain; at minimum the makespan grows vs the free-communication case.
+  GeneratorOptions gen;
+  gen.num_tasks = 30;
+  gen.comm_bytes_lo = 4'000'000;
+  gen.comm_bytes_hi = 16'000'000;
+  const Instance free_comm =
+      GenerateInstance(MakeZedBoard(), gen, 9, "free");
+  const Instance costly = GenerateInstance(
+      MakeZedBoard().WithHwSwBandwidth(50e6), gen, 9, "costly");
+  const TimeT mk_free = SchedulePa(free_comm).makespan;
+  const TimeT mk_costly = SchedulePa(costly).makespan;
+  EXPECT_GE(mk_costly, mk_free);
+}
+
+}  // namespace
+}  // namespace resched

@@ -1,0 +1,92 @@
+// Tests for the command-line flag parser.
+#include <gtest/gtest.h>
+
+#include "util/flags.hpp"
+
+namespace resched {
+namespace {
+
+Flags ParseArgs(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return Flags::Parse(static_cast<int>(args.size()), args.data());
+}
+
+TEST(FlagsTest, ParsesSpaceSeparatedValues) {
+  const Flags f = ParseArgs({"--tasks", "30", "--algo", "pa"});
+  EXPECT_EQ(f.GetInt("tasks", 0), 30);
+  EXPECT_EQ(f.GetString("algo", ""), "pa");
+}
+
+TEST(FlagsTest, ParsesEqualsSyntax) {
+  const Flags f = ParseArgs({"--tasks=30", "--ratio=0.5"});
+  EXPECT_EQ(f.GetInt("tasks", 0), 30);
+  EXPECT_DOUBLE_EQ(f.GetDouble("ratio", 0.0), 0.5);
+}
+
+TEST(FlagsTest, BareFlagIsBooleanTrue) {
+  const Flags f = ParseArgs({"--verbose", "--tasks", "5"});
+  EXPECT_TRUE(f.GetBool("verbose", false));
+  EXPECT_EQ(f.GetInt("tasks", 0), 5);
+}
+
+TEST(FlagsTest, TrailingBareFlag) {
+  const Flags f = ParseArgs({"--tasks", "5", "--verbose"});
+  EXPECT_TRUE(f.GetBool("verbose", false));
+}
+
+TEST(FlagsTest, PositionalArguments) {
+  const Flags f = ParseArgs({"run", "--n", "3", "fast"});
+  ASSERT_EQ(f.Positional().size(), 2u);
+  EXPECT_EQ(f.Positional()[0], "run");
+  EXPECT_EQ(f.Positional()[1], "fast");
+}
+
+TEST(FlagsTest, FallbacksWhenAbsent) {
+  const Flags f = ParseArgs({});
+  EXPECT_EQ(f.GetInt("n", 42), 42);
+  EXPECT_EQ(f.GetString("s", "dflt"), "dflt");
+  EXPECT_DOUBLE_EQ(f.GetDouble("d", 1.5), 1.5);
+  EXPECT_TRUE(f.GetBool("b", true));
+  EXPECT_FALSE(f.Has("n"));
+}
+
+TEST(FlagsTest, BooleanSpellings) {
+  EXPECT_TRUE(ParseArgs({"--x", "yes"}).GetBool("x", false));
+  EXPECT_TRUE(ParseArgs({"--x", "on"}).GetBool("x", false));
+  EXPECT_TRUE(ParseArgs({"--x", "1"}).GetBool("x", false));
+  EXPECT_FALSE(ParseArgs({"--x", "no"}).GetBool("x", true));
+  EXPECT_FALSE(ParseArgs({"--x", "off"}).GetBool("x", true));
+  EXPECT_FALSE(ParseArgs({"--x", "0"}).GetBool("x", true));
+}
+
+TEST(FlagsTest, TypeErrorsThrow) {
+  const Flags f = ParseArgs({"--n", "abc", "--b", "maybe"});
+  EXPECT_THROW((void)f.GetInt("n", 0), FlagError);
+  EXPECT_THROW((void)f.GetDouble("n", 0.0), FlagError);
+  EXPECT_THROW((void)f.GetBool("b", false), FlagError);
+}
+
+TEST(FlagsTest, MalformedFlagsThrow) {
+  EXPECT_THROW(ParseArgs({"--"}), FlagError);
+  EXPECT_THROW(ParseArgs({"--=v"}), FlagError);
+}
+
+TEST(FlagsTest, NegativeNumbersAsValues) {
+  const Flags f = ParseArgs({"--n", "-5"});
+  EXPECT_EQ(f.GetInt("n", 0), -5);
+}
+
+TEST(FlagsTest, UnknownFlagDetection) {
+  const Flags f = ParseArgs({"--tasks", "5", "--typo", "x"});
+  const auto unknown = f.UnknownFlags({"tasks", "algo"});
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "typo");
+}
+
+TEST(FlagsTest, LastValueWins) {
+  const Flags f = ParseArgs({"--n", "1", "--n", "2"});
+  EXPECT_EQ(f.GetInt("n", 0), 2);
+}
+
+}  // namespace
+}  // namespace resched

@@ -1,0 +1,236 @@
+// Tests for the floorplanning substrate: fabric queries, placement
+// enumeration and the feasibility search.
+#include <gtest/gtest.h>
+
+#include "floorplan/floorplanner.hpp"
+#include "test_helpers.hpp"
+
+namespace resched {
+namespace {
+
+using testing::MakeSmallDevice;
+
+FpgaDevice MakeTinyDevice() {
+  // 6 columns x 2 rows: CLB CLB BRAM CLB CLB DSP (explicit layout).
+  const ResourceModel model = MakeClbBramDspModel();
+  FabricGeometry geom;
+  geom.rows = 2;
+  geom.columns = {
+      ColumnSpec{0, 100}, ColumnSpec{0, 100}, ColumnSpec{1, 10},
+      ColumnSpec{0, 100}, ColumnSpec{0, 100}, ColumnSpec{2, 20},
+  };
+  return FpgaDevice("tiny", model, std::move(geom));
+}
+
+// ---------------------------------------------------------------- fabric
+
+TEST(FabricTest, RowSlicePrefixSums) {
+  const Fabric fabric(MakeTinyDevice());
+  EXPECT_EQ(fabric.Columns(), 6u);
+  EXPECT_EQ(fabric.Rows(), 2u);
+  EXPECT_EQ(fabric.RowSlice(0, 2), ResourceVec({200, 0, 0}));
+  EXPECT_EQ(fabric.RowSlice(0, 3), ResourceVec({200, 10, 0}));
+  EXPECT_EQ(fabric.RowSlice(2, 4), ResourceVec({200, 10, 20}));
+  EXPECT_EQ(fabric.RowSlice(0, 6), ResourceVec({400, 10, 20}));
+  EXPECT_EQ(fabric.RowSlice(3, 0), ResourceVec({0, 0, 0}));
+}
+
+TEST(FabricTest, RectScalesByHeight) {
+  const Fabric fabric(MakeTinyDevice());
+  EXPECT_EQ(fabric.RectResources(0, 3, 2), ResourceVec({400, 20, 0}));
+}
+
+TEST(FabricTest, CapacityMatchesDevice) {
+  const FpgaDevice device = MakeTinyDevice();
+  const Fabric fabric(device);
+  EXPECT_EQ(fabric.Capacity(), device.Capacity());
+  EXPECT_EQ(fabric.Capacity(), ResourceVec({800, 20, 40}));
+}
+
+TEST(FabricTest, OutOfRangeQueriesThrow) {
+  const Fabric fabric(MakeTinyDevice());
+  EXPECT_THROW((void)fabric.RowSlice(5, 3), InternalError);
+  EXPECT_THROW((void)fabric.RectResources(0, 2, 5), InternalError);
+}
+
+// ---------------------------------------------------------------- Rect
+
+TEST(RectTest, OverlapSemantics) {
+  const Rect a{0, 0, 2, 2};
+  EXPECT_TRUE(a.Overlaps(Rect{1, 1, 2, 2}));
+  EXPECT_FALSE(a.Overlaps(Rect{2, 0, 2, 2}));  // touching edges do not overlap
+  EXPECT_FALSE(a.Overlaps(Rect{0, 2, 2, 2}));
+  EXPECT_TRUE(a.Overlaps(a));
+}
+
+// ---------------------------------------------------------------- placements
+
+TEST(PlacementTest, FindsMinimalWidths) {
+  const Fabric fabric(MakeTinyDevice());
+  // 150 CLB at height 1 needs 2 CLB columns from col 0.
+  const auto placements =
+      EnumerateFeasiblePlacements(fabric, ResourceVec({150, 0, 0}));
+  ASSERT_FALSE(placements.empty());
+  for (const Rect& r : placements) {
+    // Every returned placement must actually satisfy the requirement.
+    EXPECT_TRUE(ResourceVec({150, 0, 0})
+                    .FitsWithin(fabric.RectResources(r.col0, r.width,
+                                                     r.height)));
+  }
+  // The minimal one: col0=0, width 2, height 1.
+  bool found_minimal = false;
+  for (const Rect& r : placements) {
+    if (r.col0 == 0 && r.width == 2 && r.height == 1) found_minimal = true;
+  }
+  EXPECT_TRUE(found_minimal);
+}
+
+TEST(PlacementTest, BramRequirementForcesBramColumn) {
+  const Fabric fabric(MakeTinyDevice());
+  const auto placements =
+      EnumerateFeasiblePlacements(fabric, ResourceVec({0, 5, 0}));
+  ASSERT_FALSE(placements.empty());
+  for (const Rect& r : placements) {
+    // Must span column 2 (the only BRAM column).
+    EXPECT_LE(r.col0, 2u);
+    EXPECT_GT(r.col0 + r.width, 2u);
+  }
+}
+
+TEST(PlacementTest, ImpossibleRequirementYieldsNothing) {
+  const Fabric fabric(MakeTinyDevice());
+  EXPECT_TRUE(
+      EnumerateFeasiblePlacements(fabric, ResourceVec({10000, 0, 0})).empty());
+  EXPECT_TRUE(
+      EnumerateFeasiblePlacements(fabric, ResourceVec({0, 100, 0})).empty());
+}
+
+TEST(PlacementTest, WholeFabricRequirementHasOnePlacement) {
+  const Fabric fabric(MakeTinyDevice());
+  const auto placements =
+      EnumerateFeasiblePlacements(fabric, ResourceVec({800, 20, 40}));
+  ASSERT_EQ(placements.size(), 1u);
+  EXPECT_EQ(placements[0].width, 6u);
+  EXPECT_EQ(placements[0].height, 2u);
+}
+
+TEST(PlacementTest, CapIsRespected) {
+  const Fabric fabric(MakeSmallDevice());
+  const auto placements =
+      EnumerateFeasiblePlacements(fabric, ResourceVec({100, 0, 0}), 5);
+  EXPECT_EQ(placements.size(), 5u);
+}
+
+// ---------------------------------------------------------------- floorplanner
+
+TEST(FloorplannerTest, EmptyRegionSetIsFeasible) {
+  const auto result = FindFloorplan(MakeTinyDevice(), {});
+  EXPECT_TRUE(result.feasible);
+  EXPECT_TRUE(result.rects.empty());
+}
+
+TEST(FloorplannerTest, SingleRegionFeasible) {
+  const FpgaDevice device = MakeTinyDevice();
+  const auto result = FindFloorplan(device, {ResourceVec({150, 0, 0})});
+  ASSERT_TRUE(result.feasible);
+  EXPECT_TRUE(
+      IsValidFloorplan(device, {ResourceVec({150, 0, 0})}, result.rects));
+}
+
+TEST(FloorplannerTest, TwoRegionsSideBySide) {
+  const FpgaDevice device = MakeTinyDevice();
+  const std::vector<ResourceVec> regions{ResourceVec({300, 0, 0}),
+                                         ResourceVec({300, 0, 0})};
+  const auto result = FindFloorplan(device, regions);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_TRUE(IsValidFloorplan(device, regions, result.rects));
+  EXPECT_FALSE(result.rects[0].Overlaps(result.rects[1]));
+}
+
+TEST(FloorplannerTest, AggregateOverflowIsInfeasible) {
+  const FpgaDevice device = MakeTinyDevice();
+  const std::vector<ResourceVec> regions{ResourceVec({500, 0, 0}),
+                                         ResourceVec({500, 0, 0})};
+  const auto result = FindFloorplan(device, regions);
+  EXPECT_FALSE(result.feasible);
+  EXPECT_FALSE(result.budget_exhausted);  // certain "no", not a timeout
+}
+
+TEST(FloorplannerTest, GeometricContentionDetected) {
+  // Two regions that each need BRAM: the tiny device has ONE BRAM column
+  // with 2 rows, so both must stack vertically over column 2 — each with
+  // height 1. Each also needs 150 CLB which a 1-row slice around column 2
+  // can provide (cols 0..4 at h=1 = 400 CLB). So this IS feasible.
+  const FpgaDevice device = MakeTinyDevice();
+  const std::vector<ResourceVec> both_bram{ResourceVec({150, 5, 0}),
+                                           ResourceVec({150, 5, 0})};
+  const auto ok = FindFloorplan(device, both_bram);
+  ASSERT_TRUE(ok.feasible);
+  EXPECT_TRUE(IsValidFloorplan(device, both_bram, ok.rects));
+
+  // Three BRAM regions cannot fit over a 2-row single BRAM column even
+  // though aggregate BRAM (15 <= 20) would allow it.
+  const std::vector<ResourceVec> three{ResourceVec({100, 5, 0}),
+                                       ResourceVec({100, 5, 0}),
+                                       ResourceVec({100, 5, 0})};
+  const auto bad = FindFloorplan(device, three);
+  EXPECT_FALSE(bad.feasible);
+}
+
+TEST(FloorplannerTest, ManySmallRegionsOnZynq) {
+  const FpgaDevice device = MakeXc7z020();
+  std::vector<ResourceVec> regions(8, ResourceVec({800, 0, 0}));
+  const auto result = FindFloorplan(device, regions);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_TRUE(IsValidFloorplan(device, regions, result.rects));
+}
+
+TEST(FloorplannerTest, NodeBudgetReportsExhaustion) {
+  const FpgaDevice device = MakeXc7z020();
+  // Nearly fill the device so the search has to work, with a 1-node budget.
+  std::vector<ResourceVec> regions(6, ResourceVec({2100, 20, 30}));
+  FloorplanOptions options;
+  options.max_nodes = 1;
+  const auto result = FindFloorplan(device, regions, options);
+  if (!result.feasible) {
+    EXPECT_TRUE(result.budget_exhausted);
+  }
+}
+
+TEST(FloorplannerTest, IsValidFloorplanRejectsBadInputs) {
+  const FpgaDevice device = MakeTinyDevice();
+  const std::vector<ResourceVec> regions{ResourceVec({150, 0, 0})};
+  // Wrong count.
+  EXPECT_FALSE(IsValidFloorplan(device, regions, {}));
+  // Out of fabric.
+  EXPECT_FALSE(
+      IsValidFloorplan(device, regions, {Rect{5, 0, 3, 1}}));
+  // Insufficient resources.
+  EXPECT_FALSE(IsValidFloorplan(device, regions, {Rect{0, 0, 1, 1}}));
+  // Degenerate rect.
+  EXPECT_FALSE(IsValidFloorplan(device, regions, {Rect{0, 0, 0, 1}}));
+  // Overlap between two rects.
+  const std::vector<ResourceVec> two{ResourceVec({100, 0, 0}),
+                                     ResourceVec({100, 0, 0})};
+  EXPECT_FALSE(IsValidFloorplan(device, two,
+                                {Rect{0, 0, 2, 1}, Rect{1, 0, 2, 1}}));
+}
+
+TEST(FloorplannerTest, ResultRectsMatchRegionOrder) {
+  const FpgaDevice device = MakeTinyDevice();
+  // One DSP-needing region, one BRAM-needing region: rects must cover the
+  // right columns in the right order.
+  const std::vector<ResourceVec> regions{ResourceVec({0, 0, 10}),
+                                         ResourceVec({0, 5, 0})};
+  const auto result = FindFloorplan(device, regions);
+  ASSERT_TRUE(result.feasible);
+  ASSERT_EQ(result.rects.size(), 2u);
+  const Fabric fabric(device);
+  EXPECT_TRUE(regions[0].FitsWithin(fabric.RectResources(
+      result.rects[0].col0, result.rects[0].width, result.rects[0].height)));
+  EXPECT_TRUE(regions[1].FitsWithin(fabric.RectResources(
+      result.rects[1].col0, result.rects[1].width, result.rects[1].height)));
+}
+
+}  // namespace
+}  // namespace resched

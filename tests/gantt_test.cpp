@@ -1,0 +1,120 @@
+// Unit tests for the text renderers (table, Gantt, summary).
+#include <gtest/gtest.h>
+
+#include "core/pa_scheduler.hpp"
+#include "sched/gantt.hpp"
+#include "sched/validator.hpp"
+#include "test_helpers.hpp"
+
+namespace resched {
+namespace {
+
+using testing::HwImpl;
+using testing::MakeSmallPlatform;
+using testing::SwImpl;
+
+struct Fixture {
+  Instance instance;
+  Schedule schedule;
+
+  Fixture() {
+    TaskGraph g;
+    const TaskId a = g.AddTask("alpha");
+    const TaskId b = g.AddTask("beta");
+    g.AddEdge(a, b);
+    g.AddImpl(a, SwImpl(9000));
+    g.AddImpl(a, HwImpl(1000, 400));
+    g.AddImpl(b, SwImpl(800));
+    instance = Instance{"fx", MakeSmallPlatform(), std::move(g)};
+    schedule = SchedulePa(instance);
+    RESCHED_CHECK(ValidateSchedule(instance, schedule).ok());
+  }
+};
+
+TEST(GanttTest, TableHasHeaderAndOneRowPerSlot) {
+  const Fixture f;
+  const std::string table = ScheduleTable(f.instance, f.schedule);
+  // Header.
+  EXPECT_NE(table.find("start"), std::string::npos);
+  EXPECT_NE(table.find("where"), std::string::npos);
+  // One line per task plus header (no reconfigurations here).
+  const auto lines = Split(table, '\n');
+  EXPECT_EQ(lines.size(),
+            1 + f.schedule.task_slots.size() +
+                f.schedule.reconfigurations.size() + 1);  // trailing ""
+  EXPECT_NE(table.find("alpha"), std::string::npos);
+  EXPECT_NE(table.find("beta"), std::string::npos);
+}
+
+TEST(GanttTest, TableListsReconfigurations) {
+  TaskGraph g = testing::MakeChain(5, 3000, 1500, 60000);
+  Instance inst{"r", MakeSmallPlatform(), std::move(g)};
+  const Schedule s = SchedulePa(inst);
+  ASSERT_FALSE(s.reconfigurations.empty());
+  const std::string table = ScheduleTable(inst, s);
+  EXPECT_NE(table.find("reconf"), std::string::npos);
+  EXPECT_NE(table.find("loads"), std::string::npos);
+}
+
+TEST(GanttTest, ChartHasOneLanePerResource) {
+  const Fixture f;
+  const std::string chart = GanttChart(f.instance, f.schedule, 60);
+  const auto lines = Split(chart, '\n');
+  // cores + regions + icap + axis + trailing "".
+  EXPECT_EQ(lines.size(), f.instance.platform.NumProcessors() +
+                              f.schedule.regions.size() + 1 + 1 + 1);
+  EXPECT_NE(chart.find("cpu0"), std::string::npos);
+  EXPECT_NE(chart.find("cpu1"), std::string::npos);
+  EXPECT_NE(chart.find("icap"), std::string::npos);
+}
+
+TEST(GanttTest, ChartRowsHaveRequestedWidth) {
+  const Fixture f;
+  const std::size_t width = 48;
+  const std::string chart = GanttChart(f.instance, f.schedule, width);
+  for (const std::string& line : Split(chart, '\n')) {
+    const auto bar_start = line.find('|');
+    if (bar_start == std::string::npos) continue;
+    const auto bar_end = line.rfind('|');
+    ASSERT_NE(bar_end, bar_start);
+    EXPECT_EQ(bar_end - bar_start - 1, width);
+  }
+}
+
+TEST(GanttTest, ChartShowsAxisEndingAtMakespan) {
+  const Fixture f;
+  const std::string chart = GanttChart(f.instance, f.schedule, 60);
+  EXPECT_NE(chart.find(FormatTicks(f.schedule.makespan)),
+            std::string::npos);
+}
+
+TEST(GanttTest, SummaryForUncheckedFloorplan) {
+  Fixture f;
+  f.schedule.floorplan_checked = false;
+  const std::string summary = ScheduleSummary(f.instance, f.schedule);
+  EXPECT_NE(summary.find("unchecked"), std::string::npos);
+}
+
+TEST(GanttTest, SummaryForMissingFloorplan) {
+  Fixture f;
+  ASSERT_FALSE(f.schedule.regions.empty());
+  f.schedule.floorplan.clear();
+  f.schedule.floorplan_checked = true;
+  const std::string summary = ScheduleSummary(f.instance, f.schedule);
+  EXPECT_NE(summary.find("NOT FOUND"), std::string::npos);
+}
+
+TEST(GanttTest, ZeroMakespanDoesNotDivideByZero) {
+  // Degenerate schedule object (empty) — renderers must not crash.
+  Instance inst{"empty", MakeSmallPlatform(), testing::MakeChain(1)};
+  Schedule s;
+  s.task_slots.resize(1);
+  s.task_slots[0] = TaskSlot{0, 0, TargetKind::kProcessor, 0, 0, 4000};
+  s.makespan = 4000;
+  s.algorithm = "hand";
+  EXPECT_NO_THROW((void)GanttChart(inst, s, 40));
+  EXPECT_NO_THROW((void)ScheduleTable(inst, s));
+}
+
+}  // namespace
+}  // namespace resched

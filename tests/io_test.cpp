@@ -1,0 +1,150 @@
+// Tests for instance JSON serialization.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "io/instance_io.hpp"
+#include "taskgraph/generator.hpp"
+#include "test_helpers.hpp"
+
+namespace resched {
+namespace {
+
+bool InstancesEqual(const Instance& a, const Instance& b) {
+  if (a.name != b.name) return false;
+  if (a.platform.NumProcessors() != b.platform.NumProcessors()) return false;
+  if (a.platform.RecFreqBitsPerSec() != b.platform.RecFreqBitsPerSec()) {
+    return false;
+  }
+  if (a.platform.Device().Capacity() != b.platform.Device().Capacity()) {
+    return false;
+  }
+  if (a.graph.NumTasks() != b.graph.NumTasks()) return false;
+  if (a.graph.NumEdges() != b.graph.NumEdges()) return false;
+  for (std::size_t t = 0; t < a.graph.NumTasks(); ++t) {
+    const Task& ta = a.graph.GetTask(static_cast<TaskId>(t));
+    const Task& tb = b.graph.GetTask(static_cast<TaskId>(t));
+    if (ta.name != tb.name || ta.impls.size() != tb.impls.size()) return false;
+    for (std::size_t i = 0; i < ta.impls.size(); ++i) {
+      if (ta.impls[i].kind != tb.impls[i].kind) return false;
+      if (ta.impls[i].exec_time != tb.impls[i].exec_time) return false;
+      if (ta.impls[i].module_id != tb.impls[i].module_id) return false;
+      if (ta.impls[i].IsHardware() && !(ta.impls[i].res == tb.impls[i].res)) {
+        return false;
+      }
+    }
+    if (a.graph.Successors(static_cast<TaskId>(t)) !=
+        b.graph.Successors(static_cast<TaskId>(t))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(InstanceIoTest, RoundTripGeneratedInstance) {
+  const Instance inst =
+      GenerateInstance(MakeZedBoard(), GeneratorOptions{}, 42, "roundtrip");
+  const std::string text = InstanceToString(inst);
+  const Instance back = InstanceFromString(text);
+  EXPECT_TRUE(InstancesEqual(inst, back));
+}
+
+TEST(InstanceIoTest, RoundTripHandCraftedInstance) {
+  TaskGraph g = testing::MakeDiamond();
+  Instance inst{"hand", testing::MakeSmallPlatform(), std::move(g)};
+  const Instance back = InstanceFromString(InstanceToString(inst));
+  EXPECT_TRUE(InstancesEqual(inst, back));
+}
+
+TEST(InstanceIoTest, SerializationIsStable) {
+  const Instance inst =
+      GenerateInstance(MakeZedBoard(), GeneratorOptions{}, 42, "stable");
+  EXPECT_EQ(InstanceToString(inst), InstanceToString(inst));
+}
+
+TEST(InstanceIoTest, FileRoundTrip) {
+  const Instance inst =
+      GenerateInstance(MakeZedBoard(), GeneratorOptions{}, 11, "file");
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "resched_io_test.json")
+          .string();
+  SaveInstance(inst, path);
+  const Instance back = LoadInstance(path);
+  EXPECT_TRUE(InstancesEqual(inst, back));
+  std::remove(path.c_str());
+}
+
+TEST(InstanceIoTest, LoadMissingFileThrows) {
+  EXPECT_THROW((void)LoadInstance("/nonexistent/nope.json"), InstanceError);
+}
+
+TEST(InstanceIoTest, RejectsWrongFormatMarker) {
+  EXPECT_THROW((void)InstanceFromString(R"({"format": "other"})"),
+               InstanceError);
+}
+
+TEST(InstanceIoTest, RejectsWrongVersion) {
+  const Instance inst =
+      GenerateInstance(MakeZedBoard(), GeneratorOptions{}, 1, "v");
+  JsonValue json = InstanceToJson(inst);
+  json.AsObject()["version"] = JsonValue(2);
+  EXPECT_THROW((void)InstanceFromJson(json), InstanceError);
+}
+
+TEST(InstanceIoTest, RejectsMalformedEdge) {
+  const Instance inst =
+      GenerateInstance(MakeZedBoard(), GeneratorOptions{}, 1, "e");
+  JsonValue json = InstanceToJson(inst);
+  json.AsObject()["edges"] =
+      JsonValue(JsonArray{JsonValue(JsonArray{JsonValue(0)})});
+  EXPECT_THROW((void)InstanceFromJson(json), InstanceError);
+}
+
+TEST(InstanceIoTest, RejectsUnknownResourceKindInImpl) {
+  const std::string text = R"({
+    "format": "resched-instance", "version": 1, "name": "x",
+    "platform": {"name": "p", "processors": 1,
+      "recfreq_bits_per_sec": 1e8,
+      "device": {"name": "d",
+        "resource_kinds": [{"name": "CLB", "bits_per_unit": 10.0}],
+        "fabric": {"rows": 1, "columns": [{"kind": "CLB", "units": 100}]}}},
+    "tasks": [{"name": "t", "impls": [
+      {"name": "sw", "kind": "sw", "time": 10},
+      {"name": "hw", "kind": "hw", "time": 5, "res": {"URAM": 1}}]}],
+    "edges": []
+  })";
+  EXPECT_THROW((void)InstanceFromString(text), InstanceError);
+}
+
+TEST(InstanceIoTest, ParsesMinimalInstance) {
+  const std::string text = R"({
+    "format": "resched-instance", "version": 1, "name": "mini",
+    "platform": {"name": "p", "processors": 1,
+      "recfreq_bits_per_sec": 1e8,
+      "device": {"name": "d",
+        "resource_kinds": [{"name": "CLB", "bits_per_unit": 10.0}],
+        "fabric": {"rows": 2, "columns": [{"kind": "CLB", "units": 100}]}}},
+    "tasks": [{"name": "t0", "impls": [
+      {"name": "sw", "kind": "sw", "time": 10},
+      {"name": "hw", "kind": "hw", "time": 5, "res": {"CLB": 50}}]}],
+    "edges": []
+  })";
+  const Instance inst = InstanceFromString(text);
+  EXPECT_EQ(inst.name, "mini");
+  EXPECT_EQ(inst.graph.NumTasks(), 1u);
+  EXPECT_EQ(inst.platform.Device().Capacity()[0], 200);
+  EXPECT_EQ(inst.graph.GetImpl(0, 1).res[0], 50);
+}
+
+TEST(InstanceIoTest, UnknownImplKindRejected) {
+  const Instance inst =
+      GenerateInstance(MakeZedBoard(), GeneratorOptions{}, 1, "k");
+  JsonValue json = InstanceToJson(inst);
+  json.AsObject()["tasks"].AsArray()[0].AsObject()["impls"].AsArray()[0]
+      .AsObject()["kind"] = JsonValue("fpga");
+  EXPECT_THROW((void)InstanceFromJson(json), InstanceError);
+}
+
+}  // namespace
+}  // namespace resched

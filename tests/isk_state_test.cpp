@@ -1,0 +1,179 @@
+// White-box tests for the IS-k placement state: controller gap search,
+// placement semantics (prefetch, module reuse, region creation), capacity
+// accounting and the fixed-region extension.
+#include <gtest/gtest.h>
+
+#include "baseline/isk_state.hpp"
+#include "test_helpers.hpp"
+
+namespace resched {
+namespace {
+
+using isk::IskState;
+using isk::PlacementOutcome;
+using testing::HwImpl;
+using testing::MakeSmallPlatform;
+using testing::SwImpl;
+
+Instance TwoTaskInstance() {
+  TaskGraph g;
+  const TaskId a = g.AddTask("a");
+  const TaskId b = g.AddTask("b");
+  g.AddEdge(a, b);
+  for (const TaskId t : {a, b}) {
+    g.AddImpl(t, SwImpl(9000));
+    g.AddImpl(t, HwImpl(1000, 500, 0, 0, static_cast<std::int32_t>(t)));
+  }
+  return Instance{"two", MakeSmallPlatform(), std::move(g)};
+}
+
+TEST(IskStateTest, PlaceOnCoreAdvancesFreeTime) {
+  const Instance inst = TwoTaskInstance();
+  IskState state(inst, inst.platform.Device().Capacity());
+  const Implementation& sw = inst.graph.GetImpl(0, 0);
+  const PlacementOutcome first = state.PlaceOnCore(0, sw, 0, 0);
+  EXPECT_EQ(first.start, 0);
+  EXPECT_EQ(first.end, 9000);
+  EXPECT_EQ(state.CoreFree(0), 9000);
+  // Second placement on the same core waits.
+  const PlacementOutcome second = state.PlaceOnCore(1, sw, 0, 0);
+  EXPECT_EQ(second.start, 9000);
+  // Other core unaffected.
+  EXPECT_EQ(state.CoreFree(1), 0);
+}
+
+TEST(IskStateTest, NewRegionHasFreeInitialConfiguration) {
+  const Instance inst = TwoTaskInstance();
+  IskState state(inst, inst.platform.Device().Capacity());
+  const Implementation& hw = inst.graph.GetImpl(0, 1);
+  const PlacementOutcome out = state.PlaceInNewRegion(0, hw, 500);
+  EXPECT_EQ(out.start, 500);  // starts at ready time: no reconfiguration
+  EXPECT_FALSE(out.reconf.has_value());
+  ASSERT_EQ(state.Regions().size(), 1u);
+  EXPECT_EQ(state.Regions()[0].loaded_module, hw.module_id);
+  EXPECT_EQ(state.UsedCap()[0], 500);
+}
+
+TEST(IskStateTest, RegionReuseEmitsReconfiguration) {
+  const Instance inst = TwoTaskInstance();
+  IskState state(inst, inst.platform.Device().Capacity());
+  const Implementation& hw_a = inst.graph.GetImpl(0, 1);
+  const Implementation& hw_b = inst.graph.GetImpl(1, 1);
+  state.PlaceInNewRegion(0, hw_a, 0);  // ends at 1000
+  const PlacementOutcome out =
+      state.PlaceInRegion(1, hw_b, 0, /*ready=*/1000, /*module_reuse=*/true);
+  ASSERT_TRUE(out.reconf.has_value());
+  const TimeT reconf = state.Regions()[0].reconf_time;
+  EXPECT_EQ(out.reconf->start, 1000);  // region frees at 1000
+  EXPECT_EQ(out.reconf->end, 1000 + reconf);
+  EXPECT_EQ(out.start, 1000 + reconf);
+  EXPECT_EQ(state.ControllerTimeline().size(), 1u);
+}
+
+TEST(IskStateTest, ModuleReuseSkipsReconfiguration) {
+  TaskGraph g;
+  const TaskId a = g.AddTask("a");
+  const TaskId b = g.AddTask("b");
+  g.AddEdge(a, b);
+  for (const TaskId t : {a, b}) {
+    g.AddImpl(t, SwImpl(9000));
+    g.AddImpl(t, HwImpl(1000, 500, 0, 0, /*module=*/7));
+  }
+  Instance inst{"shared", MakeSmallPlatform(), std::move(g)};
+  IskState state(inst, inst.platform.Device().Capacity());
+  state.PlaceInNewRegion(a, inst.graph.GetImpl(a, 1), 0);
+  const PlacementOutcome out = state.PlaceInRegion(
+      b, inst.graph.GetImpl(b, 1), 0, 1000, /*module_reuse=*/true);
+  EXPECT_FALSE(out.reconf.has_value());
+  EXPECT_EQ(out.start, 1000);
+
+  // Without reuse permission, the reconfiguration happens even for the
+  // same module.
+  IskState strict(inst, inst.platform.Device().Capacity());
+  strict.PlaceInNewRegion(a, inst.graph.GetImpl(a, 1), 0);
+  const PlacementOutcome out2 = strict.PlaceInRegion(
+      b, inst.graph.GetImpl(b, 1), 0, 1000, /*module_reuse=*/false);
+  EXPECT_TRUE(out2.reconf.has_value());
+}
+
+TEST(IskStateTest, ReconfigurationPrefetchesIntoGap) {
+  // Region frees at 1000 but the task is only ready at 50000: the
+  // reconfiguration is prefetched right at 1000, long before the start.
+  const Instance inst = TwoTaskInstance();
+  IskState state(inst, inst.platform.Device().Capacity());
+  state.PlaceInNewRegion(0, inst.graph.GetImpl(0, 1), 0);
+  const PlacementOutcome out = state.PlaceInRegion(
+      1, inst.graph.GetImpl(1, 1), 0, /*ready=*/50000, true);
+  ASSERT_TRUE(out.reconf.has_value());
+  EXPECT_EQ(out.reconf->start, 1000);
+  EXPECT_EQ(out.start, 50000);
+}
+
+TEST(IskStateTest, ControllerGapSearch) {
+  const Instance inst = TwoTaskInstance();
+  IskState state(inst, inst.platform.Device().Capacity());
+  // Occupy [1000, 1000+r) via a real placement.
+  state.PlaceInNewRegion(0, inst.graph.GetImpl(0, 1), 0);
+  state.PlaceInRegion(1, inst.graph.GetImpl(1, 1), 0, 1000, true);
+  const TimeT r = state.Regions()[0].reconf_time;
+  // A gap search for a duration-r window at lo=0 must fit before 1000
+  // only if r <= 1000.
+  const TimeT got = state.EarliestControllerGap(0, 0, r);
+  if (r <= 1000) {
+    EXPECT_EQ(got, 0);
+  } else {
+    EXPECT_EQ(got, 1000 + r);
+  }
+  // Request starting inside the busy window lands after it.
+  EXPECT_EQ(state.EarliestControllerGap(0, 1000 + r / 2, r), 1000 + r);
+}
+
+TEST(IskStateTest, BestControllerGapPrefersIdleController) {
+  const Instance inst{
+      "multi", MakeSmallPlatform(2).WithReconfigurators(2),
+      TwoTaskInstance().graph};
+  IskState state(inst, inst.platform.Device().Capacity());
+  state.PlaceInNewRegion(0, inst.graph.GetImpl(0, 1), 0);
+  // First reuse reconf goes to some controller at time 1000.
+  state.PlaceInRegion(1, inst.graph.GetImpl(1, 1), 0, 1000, true);
+  const TimeT r = state.Regions()[0].reconf_time;
+  // A second request overlapping that window gets the other controller.
+  const auto [controller, start] = state.BestControllerGap(1000, r);
+  EXPECT_EQ(start, 1000);
+  EXPECT_EQ(controller, 1u);
+}
+
+TEST(IskStateTest, CapacityEnforced) {
+  const Instance inst = TwoTaskInstance();
+  IskState state(inst, ResourceVec({600, 40, 60}));
+  state.PlaceInNewRegion(0, inst.graph.GetImpl(0, 1), 0);
+  EXPECT_FALSE(state.HasFreeCapacity(inst.graph.GetImpl(1, 1).res));
+  EXPECT_THROW(state.PlaceInNewRegion(1, inst.graph.GetImpl(1, 1), 0),
+               InternalError);
+}
+
+TEST(IskStateTest, AddEmptyRegionBootsUnconfigured) {
+  const Instance inst = TwoTaskInstance();
+  IskState state(inst, inst.platform.Device().Capacity());
+  state.AddEmptyRegion(ResourceVec({800, 0, 0}));
+  ASSERT_EQ(state.Regions().size(), 1u);
+  EXPECT_EQ(state.Regions()[0].loaded_module, -1);
+  // First placement into the empty slot costs a reconfiguration.
+  const PlacementOutcome out = state.PlaceInRegion(
+      0, inst.graph.GetImpl(0, 1), 0, 0, /*module_reuse=*/true);
+  EXPECT_TRUE(out.reconf.has_value());
+}
+
+TEST(IskStateTest, PlacementPreconditionsChecked) {
+  const Instance inst = TwoTaskInstance();
+  IskState state(inst, inst.platform.Device().Capacity());
+  const Implementation& sw = inst.graph.GetImpl(0, 0);
+  const Implementation& hw = inst.graph.GetImpl(0, 1);
+  EXPECT_THROW((void)state.PlaceOnCore(0, hw, 0, 0), InternalError);
+  EXPECT_THROW((void)state.PlaceInNewRegion(0, sw, 0), InternalError);
+  EXPECT_THROW((void)state.PlaceInRegion(0, hw, 0, 0, true), InternalError);
+  EXPECT_THROW((void)state.PlaceOnCore(0, sw, 9, 0), InternalError);
+}
+
+}  // namespace
+}  // namespace resched

@@ -1,0 +1,90 @@
+// Tests for the schedule quality metrics.
+#include <gtest/gtest.h>
+
+#include "core/pa_scheduler.hpp"
+#include "sched/metrics.hpp"
+#include "sched/validator.hpp"
+#include "taskgraph/generator.hpp"
+#include "test_helpers.hpp"
+
+namespace resched {
+namespace {
+
+using testing::HwImpl;
+using testing::MakeSmallPlatform;
+using testing::SwImpl;
+
+TEST(MetricsTest, SingleSoftwareTask) {
+  TaskGraph g;
+  const TaskId t = g.AddTask("t");
+  g.AddImpl(t, SwImpl(1000));
+  Instance inst{"m", MakeSmallPlatform(2), std::move(g)};
+  const Schedule s = SchedulePa(inst);
+  const ScheduleMetrics m = ComputeMetrics(inst, s);
+  EXPECT_EQ(m.makespan, 1000);
+  EXPECT_EQ(m.num_tasks, 1u);
+  EXPECT_EQ(m.hw_tasks, 0u);
+  EXPECT_DOUBLE_EQ(m.hw_ratio, 0.0);
+  EXPECT_EQ(m.num_regions, 0u);
+  EXPECT_EQ(m.total_task_time, 1000);
+  EXPECT_EQ(m.total_reconf_time, 0);
+  // One of two cores busy the whole time.
+  EXPECT_NEAR(m.avg_core_utilization, 0.5, 1e-9);
+  EXPECT_DOUBLE_EQ(m.avg_parallelism, 1.0);
+  EXPECT_EQ(m.peak_parallelism, 1u);
+}
+
+TEST(MetricsTest, ParallelHardwarePair) {
+  TaskGraph g = testing::MakeIndependent(2, 1000, 500, 9000);
+  Instance inst{"p", MakeSmallPlatform(), std::move(g)};
+  const Schedule s = SchedulePa(inst);
+  ASSERT_EQ(s.NumHardwareTasks(), 2u);
+  const ScheduleMetrics m = ComputeMetrics(inst, s);
+  EXPECT_EQ(m.makespan, 1000);
+  EXPECT_DOUBLE_EQ(m.hw_ratio, 1.0);
+  EXPECT_EQ(m.peak_parallelism, 2u);
+  EXPECT_DOUBLE_EQ(m.avg_parallelism, 2.0);
+  // Both regions fully busy.
+  EXPECT_NEAR(m.avg_region_utilization, 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(m.reconf_overhead, 0.0);
+}
+
+TEST(MetricsTest, ChainWithReconfigurationsAccountsGaps) {
+  TaskGraph g = testing::MakeChain(6, 3000, 1400, 60000);
+  Instance inst{"c", MakeSmallPlatform(), std::move(g)};
+  const Schedule s = SchedulePa(inst);
+  ASSERT_FALSE(s.reconfigurations.empty());
+  const ScheduleMetrics m = ComputeMetrics(inst, s);
+  EXPECT_GT(m.total_reconf_time, 0);
+  EXPECT_GT(m.reconf_overhead, 0.0);
+  EXPECT_LT(m.reconf_overhead, 1.0);
+  EXPECT_GT(m.controller_utilization, 0.0);
+  // Consecutive region tasks are separated at least by the reconf time.
+  EXPECT_GT(m.avg_region_gap, 0.0);
+}
+
+TEST(MetricsTest, CapacityUtilizationBounded) {
+  GeneratorOptions gen;
+  gen.num_tasks = 30;
+  const Instance inst = GenerateInstance(MakeZedBoard(), gen, 3, "cap");
+  const Schedule s = SchedulePa(inst);
+  const ScheduleMetrics m = ComputeMetrics(inst, s);
+  EXPECT_GE(m.capacity_utilization, 0.0);
+  EXPECT_LE(m.capacity_utilization, 1.0);
+  EXPECT_GE(m.avg_parallelism, 1.0);
+  EXPECT_GE(static_cast<double>(m.peak_parallelism), m.avg_parallelism - 1.0);
+}
+
+TEST(MetricsTest, ToStringMentionsKeyNumbers) {
+  GeneratorOptions gen;
+  gen.num_tasks = 15;
+  const Instance inst = GenerateInstance(MakeZedBoard(), gen, 5, "str");
+  const Schedule s = SchedulePa(inst);
+  const std::string text = ComputeMetrics(inst, s).ToString();
+  EXPECT_NE(text.find("makespan"), std::string::npos);
+  EXPECT_NE(text.find("regions"), std::string::npos);
+  EXPECT_NE(text.find("parallelism"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace resched

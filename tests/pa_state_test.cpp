@@ -1,0 +1,181 @@
+// White-box tests for the PA working state: implementation switching,
+// region creation/assignment rules (slot-based CanHost semantics,
+// serialization edges, reconfiguration gaps), capacity accounting and the
+// Eq.-(6) estimate.
+#include <gtest/gtest.h>
+
+#include "core/pa_state.hpp"
+#include "test_helpers.hpp"
+
+namespace resched {
+namespace {
+
+using pa::PaState;
+using testing::HwImpl;
+using testing::MakeSmallPlatform;
+using testing::SwImpl;
+
+struct Fixture {
+  Instance instance;
+  PaOptions options;
+
+  Fixture() {
+    TaskGraph g;
+    // Chain a -> b, plus an independent c.
+    const TaskId a = g.AddTask("a");
+    const TaskId b = g.AddTask("b");
+    const TaskId c = g.AddTask("c");
+    g.AddEdge(a, b);
+    for (const TaskId t : {a, b, c}) {
+      g.AddImpl(t, SwImpl(20000));
+      g.AddImpl(t, HwImpl(1000, 600, 0, 0, static_cast<std::int32_t>(t)));
+    }
+    instance = Instance{"fix", MakeSmallPlatform(), std::move(g)};
+  }
+
+  PaState MakeState() {
+    PaState state(instance, instance.platform.Device().Capacity(), options);
+    for (TaskId t = 0; t < 3; ++t) state.SetImpl(t, 1);  // all HW
+    return state;
+  }
+};
+
+TEST(PaStateTest, SetImplUpdatesTiming) {
+  Fixture f;
+  PaState state = f.MakeState();
+  EXPECT_EQ(state.Timing().ExecTime(0), 1000);
+  state.SetImpl(0, 0);  // software
+  EXPECT_EQ(state.Timing().ExecTime(0), 20000);
+  EXPECT_FALSE(state.ChosenIsHardware(0));
+}
+
+TEST(PaStateTest, CreateRegionTracksCapacity) {
+  Fixture f;
+  PaState state = f.MakeState();
+  EXPECT_TRUE(state.UsedCap().IsZero());
+  const std::size_t r = state.CreateRegionFor(0);
+  EXPECT_EQ(r, 0u);
+  EXPECT_EQ(state.RegionOf(0), 0);
+  EXPECT_EQ(state.UsedCap()[0], 600);
+  EXPECT_EQ(state.Regions()[0].res[0], 600);
+  EXPECT_GT(state.Regions()[0].reconf_time, 0);
+}
+
+TEST(PaStateTest, HasFreeCapacityAgainstAvail) {
+  Fixture f;
+  // Artificially small available capacity: only one 600-CLB region fits.
+  PaState state(f.instance, ResourceVec({700, 40, 60}), f.options);
+  for (TaskId t = 0; t < 3; ++t) state.SetImpl(t, 1);
+  EXPECT_TRUE(state.HasFreeCapacity(state.ChosenImpl(0).res));
+  state.CreateRegionFor(0);
+  EXPECT_FALSE(state.HasFreeCapacity(state.ChosenImpl(1).res));
+}
+
+TEST(PaStateTest, CanHostRequiresResourceFit) {
+  Fixture f;
+  f.instance.graph = TaskGraph();
+  const TaskId a = f.instance.graph.AddTask("a");
+  const TaskId b = f.instance.graph.AddTask("b");
+  f.instance.graph.AddEdge(a, b);
+  f.instance.graph.AddImpl(a, SwImpl(20000));
+  f.instance.graph.AddImpl(a, HwImpl(1000, 400));
+  f.instance.graph.AddImpl(b, SwImpl(20000));
+  f.instance.graph.AddImpl(b, HwImpl(1000, 900));  // larger than a's region
+  PaState state(f.instance, f.instance.platform.Device().Capacity(),
+                f.options);
+  state.SetImpl(a, 1);
+  state.SetImpl(b, 1);
+  state.CreateRegionFor(a);
+  EXPECT_FALSE(state.CanHost(0, b, 1, false));
+}
+
+TEST(PaStateTest, CanHostChecksSlotDisjointness) {
+  Fixture f;
+  PaState state = f.MakeState();
+  state.CreateRegionFor(0);  // a occupies [0, 1000)
+  // b (chain successor, slot [1000, 2000)) is slot-disjoint from a.
+  EXPECT_TRUE(state.CanHost(0, 1, 1, /*require_reconf_room=*/false));
+  // c (independent, slot [0, 1000)) overlaps a's slot.
+  EXPECT_FALSE(state.CanHost(0, 2, 1, /*require_reconf_room=*/false));
+}
+
+TEST(PaStateTest, ReconfRoomRequirementIsStricter) {
+  Fixture f;
+  PaState state = f.MakeState();
+  state.CreateRegionFor(0);
+  // b starts exactly when a ends: no room for a reconfiguration between.
+  EXPECT_TRUE(state.CanHost(0, 1, 1, false));
+  EXPECT_FALSE(state.CanHost(0, 1, 1, true));
+}
+
+TEST(PaStateTest, AssignToRegionSerializesWithGap) {
+  Fixture f;
+  PaState state = f.MakeState();
+  state.CreateRegionFor(0);
+  const TimeT reconf = state.Regions()[0].reconf_time;
+  state.AssignToRegion(0, 1);  // b joins a's region
+  EXPECT_EQ(state.RegionOf(1), 0);
+  ASSERT_EQ(state.Regions()[0].tasks.size(), 2u);
+  EXPECT_EQ(state.Regions()[0].tasks[0], 0);
+  EXPECT_EQ(state.Regions()[0].tasks[1], 1);
+  // The ordering edge reserves the reconfiguration gap: b now starts at
+  // end(a) + reconf.
+  const TimeWindows& win = state.Timing().Windows();
+  EXPECT_EQ(win.earliest_start[1], 1000 + reconf);
+}
+
+TEST(PaStateTest, ModuleReuseRemovesGap) {
+  Fixture f;
+  f.options.module_reuse = true;
+  // Give a and b the same module id.
+  f.instance.graph = TaskGraph();
+  const TaskId a = f.instance.graph.AddTask("a");
+  const TaskId b = f.instance.graph.AddTask("b");
+  f.instance.graph.AddEdge(a, b);
+  for (const TaskId t : {a, b}) {
+    f.instance.graph.AddImpl(t, SwImpl(20000));
+    f.instance.graph.AddImpl(t, HwImpl(1000, 600, 0, 0, /*module=*/9));
+  }
+  PaState state(f.instance, f.instance.platform.Device().Capacity(),
+                f.options);
+  state.SetImpl(a, 1);
+  state.SetImpl(b, 1);
+  state.CreateRegionFor(a);
+  EXPECT_EQ(state.RegionGap(0, a, b), 0);
+  state.AssignToRegion(0, b);
+  EXPECT_EQ(state.Timing().Windows().earliest_start[1], 1000);
+}
+
+TEST(PaStateTest, TotalReconfTimeEstimateMatchesEq6) {
+  Fixture f;
+  PaState state = f.MakeState();
+  state.CreateRegionFor(0);
+  EXPECT_EQ(state.TotalReconfTimeEstimate(), 0);  // |T_s| - 1 == 0
+  state.AssignToRegion(0, 1);
+  EXPECT_EQ(state.TotalReconfTimeEstimate(), state.Regions()[0].reconf_time);
+}
+
+TEST(PaStateTest, SwitchToSoftwareForbiddenAfterAssignment) {
+  Fixture f;
+  PaState state = f.MakeState();
+  state.CreateRegionFor(0);
+  EXPECT_THROW(state.SwitchToSoftware(0), InternalError);
+  EXPECT_NO_THROW(state.SwitchToSoftware(2));
+  EXPECT_FALSE(state.ChosenIsHardware(2));
+}
+
+TEST(PaStateTest, SnapshotCriticalityIsStable) {
+  Fixture f;
+  PaState state = f.MakeState();
+  state.SnapshotCriticality();
+  // a and b form the critical chain (2000 > 1000 of c).
+  EXPECT_TRUE(state.WasCritical(0));
+  EXPECT_TRUE(state.WasCritical(1));
+  EXPECT_FALSE(state.WasCritical(2));
+  // Later implementation changes do not disturb the snapshot.
+  state.SetImpl(2, 0);  // c becomes a 20 ms software task (now critical)
+  EXPECT_FALSE(state.WasCritical(2));
+}
+
+}  // namespace
+}  // namespace resched

@@ -1,0 +1,186 @@
+// Tests for periodic unrolling and new device presets.
+#include <gtest/gtest.h>
+
+#include "core/pa_scheduler.hpp"
+#include "sched/validator.hpp"
+#include "taskgraph/generator.hpp"
+#include "taskgraph/replicate.hpp"
+#include "test_helpers.hpp"
+
+namespace resched {
+namespace {
+
+using testing::HwImpl;
+using testing::SwImpl;
+
+// ---------------------------------------------------------------- presets
+
+TEST(DevicePresetTest, NewPresetsHaveSaneCapacities) {
+  const FpgaDevice z010 = MakeXc7z010();
+  const FpgaDevice z020 = MakeXc7z020();
+  const FpgaDevice k160 = MakeKintex7_160();
+  const FpgaDevice zu9 = MakeZu9eg();
+  EXPECT_LT(z010.Capacity()[0], z020.Capacity()[0]);
+  EXPECT_LT(z020.Capacity()[0], k160.Capacity()[0]);
+  EXPECT_LT(k160.Capacity()[0], zu9.Capacity()[0]);
+  EXPECT_EQ(MakePynqZ1().NumProcessors(), 2u);
+  EXPECT_EQ(MakeZcu102().NumProcessors(), 4u);
+  EXPECT_EQ(MakeKintexPlatform().NumProcessors(), 4u);
+}
+
+TEST(DevicePresetTest, PaWorksOnEveryPreset) {
+  GeneratorOptions gen;
+  gen.num_tasks = 20;
+  for (const Platform& p :
+       {MakePynqZ1(), MakeZedBoard(), MakeKintexPlatform(), MakeZcu102()}) {
+    const Instance inst = GenerateInstance(p, gen, 7, "preset");
+    const Schedule s = SchedulePa(inst);
+    EXPECT_TRUE(ValidateSchedule(inst, s).ok()) << p.Name();
+  }
+}
+
+TEST(DevicePresetTest, BiggerFabricHostsMoreHardware) {
+  GeneratorOptions gen;
+  gen.num_tasks = 40;
+  const Instance small = GenerateInstance(MakePynqZ1(), gen, 9, "s");
+  const Instance big = GenerateInstance(MakeZcu102(), gen, 9, "b");
+  const Schedule on_small = SchedulePa(small);
+  const Schedule on_big = SchedulePa(big);
+  EXPECT_GE(on_big.NumHardwareTasks(), on_small.NumHardwareTasks());
+}
+
+// ---------------------------------------------------------------- unroll
+
+TaskGraph MakeStagePair() {
+  TaskGraph g;
+  const TaskId a = g.AddTask("a");
+  const TaskId b = g.AddTask("b");
+  g.AddEdge(a, b);
+  g.SetEdgeData(a, b, 4096);
+  g.AddImpl(a, SwImpl(5000));
+  g.AddImpl(a, HwImpl(1000, 400));
+  g.AddImpl(b, SwImpl(5000));
+  g.AddImpl(b, HwImpl(1000, 300));
+  return g;
+}
+
+TEST(UnrollTest, StructureOfUnrolledGraph) {
+  const TaskGraph g = MakeStagePair();
+  UnrollOptions opt;
+  opt.frames = 3;
+  const TaskGraph u = UnrollPeriodic(g, opt);
+  ASSERT_EQ(u.NumTasks(), 6u);
+  // Names carry the frame index.
+  EXPECT_EQ(u.GetTask(0).name, "a@0");
+  EXPECT_EQ(u.GetTask(3).name, "b@1");
+  // Intra-frame edges with payloads.
+  EXPECT_TRUE(u.HasEdge(0, 1));
+  EXPECT_EQ(u.EdgeData(0, 1), 4096);
+  EXPECT_TRUE(u.HasEdge(2, 3));
+  // Inter-frame stage serialization a@0 -> a@1 -> a@2.
+  EXPECT_TRUE(u.HasEdge(0, 2));
+  EXPECT_TRUE(u.HasEdge(2, 4));
+  EXPECT_FALSE(u.HasEdge(0, 4));  // only consecutive frames
+  // No cross-frame data edges.
+  EXPECT_FALSE(u.HasEdge(0, 3));
+}
+
+TEST(UnrollTest, CopiesShareModules) {
+  const TaskGraph g = MakeStagePair();  // module_id == -1 originally
+  UnrollOptions opt;
+  opt.frames = 2;
+  const TaskGraph u = UnrollPeriodic(g, opt);
+  const Implementation& a0 = u.GetImpl(0, 1);
+  const Implementation& a1 = u.GetImpl(2, 1);
+  EXPECT_GE(a0.module_id, 0);
+  EXPECT_EQ(a0.module_id, a1.module_id);
+  // Different stages get different modules.
+  EXPECT_NE(u.GetImpl(0, 1).module_id, u.GetImpl(1, 1).module_id);
+}
+
+TEST(UnrollTest, SharingCanBeDisabled) {
+  UnrollOptions opt;
+  opt.frames = 2;
+  opt.share_modules_across_frames = false;
+  const TaskGraph u = UnrollPeriodic(MakeStagePair(), opt);
+  EXPECT_EQ(u.GetImpl(0, 1).module_id, -1);
+}
+
+TEST(UnrollTest, ExistingModuleIdsPreserved) {
+  TaskGraph g;
+  const TaskId a = g.AddTask("a");
+  g.AddImpl(a, SwImpl(100));
+  g.AddImpl(a, HwImpl(50, 100, 0, 0, /*module=*/42));
+  UnrollOptions opt;
+  opt.frames = 2;
+  const TaskGraph u = UnrollPeriodic(g, opt);
+  EXPECT_EQ(u.GetImpl(0, 1).module_id, 42);
+  EXPECT_EQ(u.GetImpl(1, 1).module_id, 42);
+}
+
+TEST(UnrollTest, SingleFrameIsIsomorphic) {
+  const TaskGraph g = MakeStagePair();
+  UnrollOptions opt;
+  opt.frames = 1;
+  const TaskGraph u = UnrollPeriodic(g, opt);
+  EXPECT_EQ(u.NumTasks(), g.NumTasks());
+  EXPECT_EQ(u.NumEdges(), g.NumEdges());
+}
+
+TEST(UnrollTest, UnrolledInstanceSchedulesValidly) {
+  GeneratorOptions gen;
+  gen.num_tasks = 15;
+  const Instance base = GenerateInstance(MakeZedBoard(), gen, 21, "frame");
+  UnrollOptions opt;
+  opt.frames = 4;
+  const Instance unrolled = UnrollPeriodic(base, opt);
+  EXPECT_EQ(unrolled.graph.NumTasks(), 60u);
+  const Schedule s = SchedulePa(unrolled);
+  const ValidationResult r = ValidateSchedule(unrolled, s);
+  EXPECT_TRUE(r.ok()) << r.Summary();
+}
+
+TEST(UnrollTest, PipeliningImprovesThroughput) {
+  // Per-frame initiation interval with 4 overlapped frames must beat
+  // 1-frame latency (frames can overlap across regions/cores).
+  GeneratorOptions gen;
+  gen.num_tasks = 12;
+  const Instance base = GenerateInstance(MakeZedBoard(), gen, 33, "tp");
+  const Schedule single = SchedulePa(base);
+
+  UnrollOptions opt;
+  opt.frames = 4;
+  const Instance unrolled = UnrollPeriodic(base, opt);
+  PaOptions pa;
+  pa.module_reuse = true;  // consecutive frames share bitstreams
+  const Schedule pipelined = SchedulePa(unrolled, pa);
+  ASSERT_TRUE(ValidateSchedule(unrolled, pipelined).ok());
+
+  const double interval =
+      ThroughputInterval(pipelined.makespan, opt.frames);
+  EXPECT_LT(interval, static_cast<double>(single.makespan));
+}
+
+TEST(UnrollTest, ModuleReuseHelpsAcrossFrames) {
+  GeneratorOptions gen;
+  gen.num_tasks = 10;
+  gen.clb_lo = 1500;  // big modules -> region sharing across frames matters
+  gen.clb_hi = 3000;
+  const Instance base = GenerateInstance(MakeZedBoard(), gen, 44, "mr");
+  UnrollOptions opt;
+  opt.frames = 3;
+  const Instance unrolled = UnrollPeriodic(base, opt);
+
+  PaOptions with;
+  with.module_reuse = true;
+  PaOptions without;
+  without.module_reuse = false;
+  const Schedule a = SchedulePa(unrolled, with);
+  const Schedule b = SchedulePa(unrolled, without);
+  ASSERT_TRUE(ValidateSchedule(unrolled, a).ok());
+  ASSERT_TRUE(ValidateSchedule(unrolled, b).ok());
+  EXPECT_LE(a.reconfigurations.size(), b.reconfigurations.size());
+}
+
+}  // namespace
+}  // namespace resched

@@ -1,0 +1,161 @@
+// Tests for schedule JSON serialization and the SVG renderers.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/pa_scheduler.hpp"
+#include "io/schedule_io.hpp"
+#include "sched/svg.hpp"
+#include "sched/validator.hpp"
+#include "taskgraph/generator.hpp"
+#include "test_helpers.hpp"
+
+namespace resched {
+namespace {
+
+Instance MakeInstance(std::uint64_t seed = 7) {
+  GeneratorOptions gen;
+  gen.num_tasks = 18;
+  return GenerateInstance(MakeZedBoard(), gen, seed, "sio");
+}
+
+bool SchedulesEqual(const Schedule& a, const Schedule& b) {
+  if (a.makespan != b.makespan) return false;
+  if (a.task_slots.size() != b.task_slots.size()) return false;
+  for (std::size_t t = 0; t < a.task_slots.size(); ++t) {
+    const TaskSlot& x = a.task_slots[t];
+    const TaskSlot& y = b.task_slots[t];
+    if (x.task != y.task || x.impl_index != y.impl_index ||
+        x.target != y.target || x.target_index != y.target_index ||
+        x.start != y.start || x.end != y.end) {
+      return false;
+    }
+  }
+  if (a.regions.size() != b.regions.size()) return false;
+  for (std::size_t s = 0; s < a.regions.size(); ++s) {
+    if (!(a.regions[s].res == b.regions[s].res)) return false;
+    if (a.regions[s].reconf_time != b.regions[s].reconf_time) return false;
+    if (a.regions[s].tasks != b.regions[s].tasks) return false;
+  }
+  if (a.reconfigurations.size() != b.reconfigurations.size()) return false;
+  for (std::size_t i = 0; i < a.reconfigurations.size(); ++i) {
+    const ReconfSlot& x = a.reconfigurations[i];
+    const ReconfSlot& y = b.reconfigurations[i];
+    if (x.region != y.region || x.loads_task != y.loads_task ||
+        x.start != y.start || x.end != y.end) {
+      return false;
+    }
+  }
+  return a.floorplan.size() == b.floorplan.size();
+}
+
+TEST(ScheduleIoTest, RoundTripPaSchedule) {
+  const Instance inst = MakeInstance();
+  const Schedule s = SchedulePa(inst);
+  const Schedule back = ScheduleFromString(inst, ScheduleToString(inst, s));
+  EXPECT_TRUE(SchedulesEqual(s, back));
+  // The deserialized schedule still validates (including the floorplan).
+  ValidationOptions opt;
+  opt.require_floorplan = true;
+  EXPECT_TRUE(ValidateSchedule(inst, back, opt).ok());
+}
+
+TEST(ScheduleIoTest, FileRoundTrip) {
+  const Instance inst = MakeInstance(9);
+  const Schedule s = SchedulePa(inst);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "resched_sched_test.json")
+          .string();
+  SaveSchedule(inst, s, path);
+  const Schedule back = LoadSchedule(inst, path);
+  EXPECT_TRUE(SchedulesEqual(s, back));
+  std::remove(path.c_str());
+}
+
+TEST(ScheduleIoTest, RejectsWrongFormat) {
+  const Instance inst = MakeInstance();
+  EXPECT_THROW((void)ScheduleFromString(inst, R"({"format": "x"})"),
+               InstanceError);
+}
+
+TEST(ScheduleIoTest, RejectsTaskCountMismatch) {
+  const Instance inst = MakeInstance();
+  const Schedule s = SchedulePa(inst);
+  JsonValue json = ScheduleToJson(inst, s);
+  json.AsObject()["tasks"].AsArray().pop_back();
+  EXPECT_THROW((void)ScheduleFromJson(inst, json), InstanceError);
+}
+
+TEST(ScheduleIoTest, RejectsUnknownTarget) {
+  const Instance inst = MakeInstance();
+  const Schedule s = SchedulePa(inst);
+  JsonValue json = ScheduleToJson(inst, s);
+  json.AsObject()["tasks"].AsArray()[0].AsObject()["target"] =
+      JsonValue("gpu");
+  EXPECT_THROW((void)ScheduleFromJson(inst, json), InstanceError);
+}
+
+TEST(ScheduleIoTest, TamperedScheduleFailsValidation) {
+  // The full pipeline catches manual edits that break constraints.
+  const Instance inst = MakeInstance();
+  const Schedule s = SchedulePa(inst);
+  JsonValue json = ScheduleToJson(inst, s);
+  auto& slot0 = json.AsObject()["tasks"].AsArray()[0].AsObject();
+  slot0["start"] = JsonValue(slot0.at("start").AsInt() + 1);
+  const Schedule tampered = ScheduleFromJson(inst, json);
+  EXPECT_FALSE(ValidateSchedule(inst, tampered).ok());
+}
+
+// ---------------------------------------------------------------- svg
+
+TEST(SvgTest, GanttSvgIsWellFormedish) {
+  const Instance inst = MakeInstance();
+  const Schedule s = SchedulePa(inst);
+  const std::string svg = GanttSvg(inst, s);
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  // One bar per task slot at least.
+  std::size_t rects = 0;
+  for (std::size_t pos = 0; (pos = svg.find("<rect", pos)) != std::string::npos;
+       ++pos) {
+    ++rects;
+  }
+  EXPECT_GE(rects, inst.graph.NumTasks());
+  // Task names appear as titles.
+  EXPECT_NE(svg.find(inst.graph.GetTask(0).name), std::string::npos);
+}
+
+TEST(SvgTest, GanttSvgEscapesXml) {
+  TaskGraph g;
+  const TaskId t = g.AddTask("a<b>&\"c");
+  g.AddImpl(t, testing::SwImpl(100));
+  Instance inst{"esc", testing::MakeSmallPlatform(), std::move(g)};
+  const Schedule s = SchedulePa(inst);
+  const std::string svg = GanttSvg(inst, s);
+  EXPECT_EQ(svg.find("a<b>"), std::string::npos);
+  EXPECT_NE(svg.find("a&lt;b&gt;&amp;&quot;c"), std::string::npos);
+}
+
+TEST(SvgTest, FloorplanSvgShowsRegions) {
+  const Instance inst = MakeInstance();
+  const Schedule s = SchedulePa(inst);
+  ASSERT_FALSE(s.floorplan.empty());
+  const std::string svg = FloorplanSvg(inst, s);
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+  EXPECT_NE(svg.find("rr0"), std::string::npos);
+  EXPECT_NE(svg.find("CLB"), std::string::npos);
+}
+
+TEST(SvgTest, EmptyScheduleStillRenders) {
+  TaskGraph g;
+  const TaskId t = g.AddTask("only");
+  g.AddImpl(t, testing::SwImpl(10));
+  Instance inst{"empty", testing::MakeSmallPlatform(), std::move(g)};
+  const Schedule s = SchedulePa(inst);
+  EXPECT_NE(GanttSvg(inst, s).find("</svg>"), std::string::npos);
+  EXPECT_NE(FloorplanSvg(inst, s).find("</svg>"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace resched

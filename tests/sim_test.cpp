@@ -1,0 +1,160 @@
+// Tests for the discrete-event execution simulator.
+#include <gtest/gtest.h>
+
+#include "baseline/isk_scheduler.hpp"
+#include "core/pa_scheduler.hpp"
+#include "sched/comm.hpp"
+#include "sim/executor.hpp"
+#include "taskgraph/generator.hpp"
+#include "test_helpers.hpp"
+
+namespace resched {
+namespace {
+
+using sim::SimOptions;
+using sim::SimResult;
+using sim::Simulate;
+
+Instance MakeInstance(std::size_t n, std::uint64_t seed) {
+  GeneratorOptions gen;
+  gen.num_tasks = n;
+  return GenerateInstance(MakeZedBoard(), gen, seed, "sim");
+}
+
+TEST(SimulatorTest, ZeroJitterNeverLater) {
+  // With nominal durations the event-driven replay can only compact the
+  // schedule: every task starts no later than statically planned.
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    const Instance inst = MakeInstance(30, seed);
+    const Schedule s = SchedulePa(inst);
+    const SimResult r = Simulate(inst, s);
+    EXPECT_LE(r.makespan, s.makespan);
+    for (std::size_t t = 0; t < inst.graph.NumTasks(); ++t) {
+      EXPECT_LE(r.task_start[t], s.task_slots[t].start) << "task " << t;
+      EXPECT_LE(r.task_end[t], s.task_slots[t].end) << "task " << t;
+    }
+    EXPECT_LE(r.stretch, 1.0);
+  }
+}
+
+TEST(SimulatorTest, ZeroJitterPreservesDataDependencies) {
+  const Instance inst = MakeInstance(25, 5);
+  const Schedule s = SchedulePa(inst);
+  const SimResult r = Simulate(inst, s);
+  for (std::size_t t = 0; t < inst.graph.NumTasks(); ++t) {
+    for (const TaskId succ : inst.graph.Successors(static_cast<TaskId>(t))) {
+      EXPECT_GE(r.task_start[static_cast<std::size_t>(succ)],
+                r.task_end[t]);
+    }
+  }
+}
+
+TEST(SimulatorTest, DeterministicForSeed) {
+  const Instance inst = MakeInstance(20, 7);
+  const Schedule s = SchedulePa(inst);
+  SimOptions opt;
+  opt.task_jitter = 0.3;
+  opt.reconf_jitter = 0.2;
+  opt.seed = 42;
+  const SimResult a = Simulate(inst, s, opt);
+  const SimResult b = Simulate(inst, s, opt);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.task_start, b.task_start);
+}
+
+TEST(SimulatorTest, JitterChangesOutcome) {
+  const Instance inst = MakeInstance(20, 7);
+  const Schedule s = SchedulePa(inst);
+  SimOptions opt;
+  opt.task_jitter = 0.3;
+  opt.seed = 1;
+  const SimResult jittered = Simulate(inst, s, opt);
+  const SimResult nominal = Simulate(inst, s);
+  EXPECT_NE(jittered.makespan, nominal.makespan);
+}
+
+TEST(SimulatorTest, StretchReportsDegradation) {
+  // Average stretch over seeds grows with jitter amplitude.
+  const Instance inst = MakeInstance(30, 11);
+  const Schedule s = SchedulePa(inst);
+  auto avg_stretch = [&](double jitter) {
+    double total = 0.0;
+    for (std::uint64_t seed = 0; seed < 20; ++seed) {
+      SimOptions opt;
+      opt.task_jitter = jitter;
+      opt.reconf_jitter = jitter;
+      opt.seed = seed;
+      total += Simulate(inst, s, opt).stretch;
+    }
+    return total / 20.0;
+  };
+  const double low = avg_stretch(0.05);
+  const double high = avg_stretch(0.40);
+  EXPECT_GT(high, low);
+}
+
+TEST(SimulatorTest, UtilizationIsSane) {
+  const Instance inst = MakeInstance(25, 13);
+  const Schedule s = SchedulePa(inst);
+  const SimResult r = Simulate(inst, s);
+  ASSERT_EQ(r.usage.size(), inst.platform.NumProcessors() +
+                                s.regions.size() +
+                                inst.platform.NumReconfigurators());
+  for (const sim::ResourceUsage& usage : r.usage) {
+    EXPECT_GE(usage.utilization, 0.0);
+    EXPECT_LE(usage.utilization, 1.0 + 1e-9) << usage.name;
+  }
+  // Region busy time equals the sum of its tasks' durations: with zero
+  // jitter it matches the static schedule's occupancy.
+  for (std::size_t s_idx = 0; s_idx < s.regions.size(); ++s_idx) {
+    TimeT expected = 0;
+    for (const TaskId t : s.regions[s_idx].tasks) {
+      expected += s.task_slots[static_cast<std::size_t>(t)].end -
+                  s.task_slots[static_cast<std::size_t>(t)].start;
+    }
+    EXPECT_EQ(r.usage[inst.platform.NumProcessors() + s_idx].busy, expected);
+  }
+}
+
+TEST(SimulatorTest, WorksOnIskSchedules) {
+  const Instance inst = MakeInstance(25, 17);
+  IskOptions opt;
+  opt.k = 2;
+  opt.node_budget = 5000;
+  const Schedule s = ScheduleIsk(inst, opt);
+  const SimResult r = Simulate(inst, s);
+  EXPECT_LE(r.makespan, s.makespan);
+}
+
+TEST(SimulatorTest, RejectsMismatchedSchedule) {
+  const Instance a = MakeInstance(10, 19);
+  const Instance b = MakeInstance(12, 19);
+  const Schedule s = SchedulePa(a);
+  EXPECT_THROW((void)Simulate(b, s), InternalError);
+}
+
+TEST(SimulatorTest, HandlesCommGaps) {
+  GeneratorOptions gen;
+  gen.num_tasks = 20;
+  gen.comm_bytes_lo = 100'000;
+  gen.comm_bytes_hi = 3'000'000;
+  const Instance inst = GenerateInstance(
+      MakeZedBoard().WithHwSwBandwidth(100e6), gen, 23, "simcomm");
+  const Schedule s = SchedulePa(inst);
+  const SimResult r = Simulate(inst, s);
+  EXPECT_LE(r.makespan, s.makespan);
+  // Transfer gaps respected in the replay.
+  for (std::size_t t = 0; t < inst.graph.NumTasks(); ++t) {
+    for (const TaskId succ : inst.graph.Successors(static_cast<TaskId>(t))) {
+      const TimeT gap = CommGap(
+          inst.platform, inst.graph, static_cast<TaskId>(t), succ,
+          s.task_slots[t].OnFpga(),
+          s.SlotOf(succ).OnFpga());
+      EXPECT_GE(r.task_start[static_cast<std::size_t>(succ)],
+                r.task_end[t] + gap);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace resched

@@ -1,0 +1,139 @@
+// Tests for the STG (Standard Task Graph Set) importer.
+#include <gtest/gtest.h>
+
+#include "core/pa_scheduler.hpp"
+#include "io/stg_io.hpp"
+#include "sched/validator.hpp"
+#include "test_helpers.hpp"
+
+namespace resched {
+namespace {
+
+// A 4-task fork-join with STG's dummy source (0) and sink (5):
+//   1 <- 0; 2,3 <- 1; 4 <- 2,3; 5 <- 4.
+const char* kForkJoin = R"(
+4
+0 0 0
+1 10 1 0
+2 20 1 1
+3 30 1 1
+4 5  2 2 3
+5 0  1 4
+# trailer comment
+)";
+
+TEST(StgTest, ParsesForkJoinStrippingDummies) {
+  const ResourceModel model = MakeClbBramDspModel();
+  const TaskGraph g = LoadStgText(kForkJoin, model);
+  ASSERT_EQ(g.NumTasks(), 4u);  // dummies stripped
+  // stg1 -> {stg2, stg3} -> stg4.
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(0, 2));
+  EXPECT_TRUE(g.HasEdge(1, 3));
+  EXPECT_TRUE(g.HasEdge(2, 3));
+  EXPECT_EQ(g.NumEdges(), 4u);
+  // Software times scaled by 100 (default).
+  EXPECT_EQ(g.GetImpl(0, 0).exec_time, 1000);
+  EXPECT_EQ(g.GetImpl(2, 0).exec_time, 3000);
+}
+
+TEST(StgTest, KeepsDummiesWhenAsked) {
+  const ResourceModel model = MakeClbBramDspModel();
+  StgOptions opt;
+  opt.strip_dummies = false;
+  const TaskGraph g = LoadStgText(kForkJoin, model, opt);
+  ASSERT_EQ(g.NumTasks(), 6u);
+  // Dummy exec 0 clamps to 1 tick.
+  EXPECT_EQ(g.GetImpl(0, 0).exec_time, 1);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(4, 5));
+}
+
+TEST(StgTest, SynthesizesHardwarePareto) {
+  const ResourceModel model = MakeClbBramDspModel();
+  StgOptions opt;
+  opt.num_hw_impls = 3;
+  opt.speedup = 4.0;
+  const TaskGraph g = LoadStgText(kForkJoin, model, opt);
+  const Task& t = g.GetTask(0);  // stg1: sw 1000
+  ASSERT_EQ(t.impls.size(), 4u);
+  EXPECT_EQ(t.impls[1].exec_time, 250);  // 1000 / 4
+  // Pareto: slower but smaller down the list.
+  for (std::size_t i = 2; i < t.impls.size(); ++i) {
+    EXPECT_GT(t.impls[i].exec_time, t.impls[i - 1].exec_time);
+    EXPECT_LE(t.impls[i].res[0], t.impls[i - 1].res[0]);
+  }
+}
+
+TEST(StgTest, CLBOnlyWhenHwSeedZero) {
+  const ResourceModel model = MakeClbBramDspModel();
+  StgOptions opt;
+  opt.hw_seed = 0;
+  const TaskGraph g = LoadStgText(kForkJoin, model, opt);
+  for (std::size_t t = 0; t < g.NumTasks(); ++t) {
+    for (const std::size_t i : g.HardwareImpls(static_cast<TaskId>(t))) {
+      EXPECT_EQ(g.GetImpl(static_cast<TaskId>(t), i).res[1], 0);
+      EXPECT_EQ(g.GetImpl(static_cast<TaskId>(t), i).res[2], 0);
+    }
+  }
+}
+
+TEST(StgTest, ImportIsDeterministic) {
+  const ResourceModel model = MakeClbBramDspModel();
+  const TaskGraph a = LoadStgText(kForkJoin, model);
+  const TaskGraph b = LoadStgText(kForkJoin, model);
+  for (std::size_t t = 0; t < a.NumTasks(); ++t) {
+    for (std::size_t i = 0; i < a.GetTask(static_cast<TaskId>(t)).impls.size();
+         ++i) {
+      EXPECT_EQ(a.GetImpl(static_cast<TaskId>(t), i).exec_time,
+                b.GetImpl(static_cast<TaskId>(t), i).exec_time);
+      EXPECT_TRUE(a.GetImpl(static_cast<TaskId>(t), i).res ==
+                  b.GetImpl(static_cast<TaskId>(t), i).res);
+    }
+  }
+}
+
+TEST(StgTest, ImportedGraphSchedulesValidly) {
+  const Platform platform = testing::MakeSmallPlatform();
+  TaskGraph g = LoadStgText(kForkJoin, platform.Device().Model());
+  Instance inst{"stg", platform, std::move(g)};
+  inst.graph.Validate(platform.Device());
+  const Schedule s = SchedulePa(inst);
+  EXPECT_TRUE(ValidateSchedule(inst, s).ok());
+}
+
+TEST(StgTest, RejectsMalformedInput) {
+  const ResourceModel model = MakeClbBramDspModel();
+  EXPECT_THROW((void)LoadStgText("", model), InstanceError);
+  EXPECT_THROW((void)LoadStgText("2\n0 0 0\n", model), InstanceError);
+  // Non-dense ids.
+  EXPECT_THROW((void)LoadStgText("1\n0 0 0\n2 5 0\n9 0 0\n", model),
+               InstanceError);
+  // Forward-referencing predecessor.
+  EXPECT_THROW(
+      (void)LoadStgText("1\n0 0 1 2\n1 5 0\n2 0 0\n", model),
+      InstanceError);
+  // Negative time.
+  EXPECT_THROW(
+      (void)LoadStgText("1\n0 0 0\n1 -5 0\n2 0 1 1\n", model),
+      InstanceError);
+}
+
+TEST(StgTest, LargerSyntheticStgRoundTrip) {
+  // Build STG text for a 20-task chain programmatically, import, schedule.
+  std::string text = "20\n0 0 0\n";
+  for (int i = 1; i <= 20; ++i) {
+    text += StrFormat("%d %d 1 %d\n", i, 7 + i, i - 1);
+  }
+  text += "21 0 1 20\n";
+  const Platform platform = MakeZedBoard();
+  TaskGraph g = LoadStgText(text, platform.Device().Model());
+  EXPECT_EQ(g.NumTasks(), 20u);
+  EXPECT_EQ(g.NumEdges(), 19u);
+  Instance inst{"chain20", platform, std::move(g)};
+  const Schedule s = SchedulePa(inst);
+  EXPECT_TRUE(ValidateSchedule(inst, s).ok());
+}
+
+}  // namespace
+}  // namespace resched

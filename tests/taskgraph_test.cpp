@@ -1,0 +1,173 @@
+// Unit tests for the task-graph data structure and its validation rules.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "test_helpers.hpp"
+
+namespace resched {
+namespace {
+
+using testing::HwImpl;
+using testing::MakeChain;
+using testing::MakeDiamond;
+using testing::MakeSmallDevice;
+using testing::SwImpl;
+
+TEST(TaskGraphTest, AddTaskAssignsDenseIds) {
+  TaskGraph g;
+  EXPECT_EQ(g.AddTask("a"), 0);
+  EXPECT_EQ(g.AddTask("b"), 1);
+  EXPECT_EQ(g.NumTasks(), 2u);
+  EXPECT_EQ(g.GetTask(0).name, "a");
+}
+
+TEST(TaskGraphTest, EdgesAndAdjacency) {
+  TaskGraph g = MakeDiamond();
+  EXPECT_EQ(g.NumEdges(), 4u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_FALSE(g.HasEdge(1, 0));
+  EXPECT_EQ(g.Successors(0).size(), 2u);
+  EXPECT_EQ(g.Predecessors(3).size(), 2u);
+}
+
+TEST(TaskGraphTest, DuplicateEdgeIgnored) {
+  TaskGraph g = MakeChain(2);
+  const std::size_t before = g.NumEdges();
+  g.AddEdge(0, 1);
+  EXPECT_EQ(g.NumEdges(), before);
+}
+
+TEST(TaskGraphTest, SelfEdgeRejected) {
+  TaskGraph g = MakeChain(2);
+  EXPECT_THROW(g.AddEdge(0, 0), InternalError);
+}
+
+TEST(TaskGraphTest, OutOfRangeAccessRejected) {
+  TaskGraph g = MakeChain(2);
+  EXPECT_THROW((void)g.GetTask(5), InternalError);
+  EXPECT_THROW(g.AddEdge(0, 7), InternalError);
+  EXPECT_THROW((void)g.GetImpl(0, 99), InternalError);
+}
+
+TEST(TaskGraphTest, TopologicalOrderRespectsEdges) {
+  TaskGraph g = MakeDiamond();
+  const std::vector<TaskId> order = g.TopologicalOrder();
+  ASSERT_EQ(order.size(), 4u);
+  auto pos = [&](TaskId t) {
+    return std::find(order.begin(), order.end(), t) - order.begin();
+  };
+  EXPECT_LT(pos(0), pos(1));
+  EXPECT_LT(pos(0), pos(2));
+  EXPECT_LT(pos(1), pos(3));
+  EXPECT_LT(pos(2), pos(3));
+}
+
+TEST(TaskGraphTest, CycleDetected) {
+  TaskGraph g;
+  const TaskId a = g.AddTask("a");
+  const TaskId b = g.AddTask("b");
+  const TaskId c = g.AddTask("c");
+  g.AddEdge(a, b);
+  g.AddEdge(b, c);
+  g.AddEdge(c, a);
+  EXPECT_THROW((void)g.TopologicalOrder(), InstanceError);
+}
+
+TEST(TaskGraphTest, ValidateAcceptsWellFormedGraph) {
+  TaskGraph g = MakeDiamond();
+  EXPECT_NO_THROW(g.Validate(MakeSmallDevice()));
+}
+
+TEST(TaskGraphTest, ValidateRejectsEmptyGraph) {
+  TaskGraph g;
+  EXPECT_THROW(g.Validate(MakeSmallDevice()), InstanceError);
+}
+
+TEST(TaskGraphTest, ValidateRejectsTaskWithoutImpls) {
+  TaskGraph g;
+  g.AddTask("a");
+  EXPECT_THROW(g.Validate(MakeSmallDevice()), InstanceError);
+}
+
+TEST(TaskGraphTest, ValidateRejectsMissingSoftwareImpl) {
+  TaskGraph g;
+  const TaskId a = g.AddTask("a");
+  g.AddImpl(a, HwImpl(100, 50));
+  EXPECT_THROW(g.Validate(MakeSmallDevice()), InstanceError);
+}
+
+TEST(TaskGraphTest, ValidateRejectsOversizedHardwareImpl) {
+  TaskGraph g;
+  const TaskId a = g.AddTask("a");
+  g.AddImpl(a, SwImpl(100));
+  g.AddImpl(a, HwImpl(50, 1'000'000));  // larger than the whole device
+  EXPECT_THROW(g.Validate(MakeSmallDevice()), InstanceError);
+}
+
+TEST(TaskGraphTest, ValidateRejectsWrongArityResources) {
+  TaskGraph g;
+  const TaskId a = g.AddTask("a");
+  g.AddImpl(a, SwImpl(100));
+  Implementation bad;
+  bad.kind = ImplKind::kHardware;
+  bad.exec_time = 10;
+  bad.res = ResourceVec({5});  // 1 kind instead of 3
+  g.AddImpl(a, std::move(bad));
+  EXPECT_THROW(g.Validate(MakeSmallDevice()), InstanceError);
+}
+
+TEST(TaskGraphTest, AddImplRejectsNonPositiveTime) {
+  TaskGraph g;
+  const TaskId a = g.AddTask("a");
+  Implementation impl = SwImpl(1);
+  impl.exec_time = 0;
+  EXPECT_THROW(g.AddImpl(a, impl), InternalError);
+}
+
+TEST(TaskGraphTest, SoftwareImplMustNotUseResources) {
+  TaskGraph g;
+  const TaskId a = g.AddTask("a");
+  Implementation impl = SwImpl(10);
+  impl.res = ResourceVec({1, 0, 0});
+  EXPECT_THROW(g.AddImpl(a, impl), InternalError);
+}
+
+TEST(TaskGraphTest, FastestSoftwareImpl) {
+  TaskGraph g;
+  const TaskId a = g.AddTask("a");
+  g.AddImpl(a, SwImpl(500, "slow"));
+  g.AddImpl(a, HwImpl(10, 50));
+  g.AddImpl(a, SwImpl(200, "fast"));
+  EXPECT_EQ(g.FastestSoftwareImpl(a), 2u);
+}
+
+TEST(TaskGraphTest, FastestSoftwareImplThrowsWhenAbsent) {
+  TaskGraph g;
+  const TaskId a = g.AddTask("a");
+  g.AddImpl(a, HwImpl(10, 50));
+  EXPECT_THROW((void)g.FastestSoftwareImpl(a), InstanceError);
+}
+
+TEST(TaskGraphTest, HardwareImpls) {
+  TaskGraph g;
+  const TaskId a = g.AddTask("a");
+  g.AddImpl(a, SwImpl(500));
+  g.AddImpl(a, HwImpl(10, 50));
+  g.AddImpl(a, HwImpl(20, 25));
+  const auto hw = g.HardwareImpls(a);
+  EXPECT_EQ(hw, (std::vector<std::size_t>{1, 2}));
+}
+
+TEST(TaskGraphTest, SerialLowerBoundSumsMinTimes) {
+  TaskGraph g;
+  const TaskId a = g.AddTask("a");
+  g.AddImpl(a, SwImpl(500));
+  g.AddImpl(a, HwImpl(100, 10));
+  const TaskId b = g.AddTask("b");
+  g.AddImpl(b, SwImpl(300));
+  EXPECT_EQ(g.SerialLowerBoundTime(), 400);
+}
+
+}  // namespace
+}  // namespace resched

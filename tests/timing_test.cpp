@@ -1,0 +1,156 @@
+// Unit tests for the CPM engine: windows, criticality, ordering edges with
+// gaps, release times, delay propagation.
+#include <gtest/gtest.h>
+
+#include "taskgraph/timing.hpp"
+#include "test_helpers.hpp"
+
+namespace resched {
+namespace {
+
+using testing::MakeChain;
+using testing::MakeDiamond;
+
+TimingContext MakeTiming(const TaskGraph& g,
+                         const std::vector<TimeT>& exec) {
+  TimingContext timing(g);
+  for (std::size_t t = 0; t < exec.size(); ++t) {
+    timing.SetExecTime(static_cast<TaskId>(t), exec[t]);
+  }
+  return timing;
+}
+
+TEST(TimingTest, ChainWindows) {
+  const TaskGraph g = MakeChain(3);
+  TimingContext timing = MakeTiming(g, {10, 20, 30});
+  const TimeWindows& win = timing.Windows();
+  EXPECT_EQ(win.makespan, 60);
+  EXPECT_EQ(win.earliest_start, (std::vector<TimeT>{0, 10, 30}));
+  EXPECT_EQ(win.latest_finish, (std::vector<TimeT>{10, 30, 60}));
+  // Every chain task is critical.
+  EXPECT_TRUE(win.critical[0]);
+  EXPECT_TRUE(win.critical[1]);
+  EXPECT_TRUE(win.critical[2]);
+}
+
+TEST(TimingTest, DiamondSlackAndCriticality) {
+  const TaskGraph g = MakeDiamond();
+  // a=10, b=50 (critical branch), c=20 (slack 30), d=10.
+  TimingContext timing = MakeTiming(g, {10, 50, 20, 10});
+  const TimeWindows& win = timing.Windows();
+  EXPECT_EQ(win.makespan, 70);
+  EXPECT_TRUE(win.critical[0]);
+  EXPECT_TRUE(win.critical[1]);
+  EXPECT_FALSE(win.critical[2]);
+  EXPECT_TRUE(win.critical[3]);
+  EXPECT_EQ(win.earliest_start[2], 10);
+  EXPECT_EQ(win.latest_finish[2], 60);
+  EXPECT_EQ(win.WindowLength(2), 50);
+}
+
+TEST(TimingTest, WindowsRequireAllExecTimes) {
+  const TaskGraph g = MakeChain(2);
+  TimingContext timing(g);
+  timing.SetExecTime(0, 5);
+  EXPECT_THROW((void)timing.Windows(), InternalError);
+}
+
+TEST(TimingTest, OrderingEdgeSerializes) {
+  const TaskGraph g = testing::MakeIndependent(2);
+  TimingContext timing = MakeTiming(g, {10, 10});
+  EXPECT_EQ(timing.Windows().makespan, 10);
+  timing.AddOrderingEdge(0, 1, /*gap=*/0);
+  const TimeWindows& win = timing.Windows();
+  EXPECT_EQ(win.makespan, 20);
+  EXPECT_EQ(win.earliest_start[1], 10);
+}
+
+TEST(TimingTest, OrderingEdgeGapReservesTime) {
+  const TaskGraph g = testing::MakeIndependent(2);
+  TimingContext timing = MakeTiming(g, {10, 10});
+  timing.AddOrderingEdge(0, 1, /*gap=*/7);
+  EXPECT_EQ(timing.Windows().earliest_start[1], 17);
+  EXPECT_EQ(timing.Windows().makespan, 27);
+}
+
+TEST(TimingTest, OrderingCycleDetected) {
+  const TaskGraph g = testing::MakeIndependent(2);
+  TimingContext timing = MakeTiming(g, {10, 10});
+  timing.AddOrderingEdge(0, 1, 0);
+  EXPECT_THROW(timing.AddOrderingEdge(1, 0, 0), InternalError);
+}
+
+TEST(TimingTest, OrderingEdgeAgainstGraphEdgeCycleDetected) {
+  const TaskGraph g = MakeChain(2);  // 0 -> 1
+  TimingContext timing = MakeTiming(g, {10, 10});
+  EXPECT_THROW(timing.AddOrderingEdge(1, 0, 0), InternalError);
+}
+
+TEST(TimingTest, ReleaseRaisesEarliestStart) {
+  const TaskGraph g = MakeChain(2);
+  TimingContext timing = MakeTiming(g, {10, 10});
+  timing.RaiseRelease(1, 25);
+  const TimeWindows& win = timing.Windows();
+  EXPECT_EQ(win.earliest_start[1], 25);
+  EXPECT_EQ(win.makespan, 35);
+}
+
+TEST(TimingTest, ReleaseNeverLowers) {
+  const TaskGraph g = MakeChain(2);
+  TimingContext timing = MakeTiming(g, {10, 10});
+  timing.RaiseRelease(1, 25);
+  timing.RaiseRelease(1, 5);  // no-op
+  EXPECT_EQ(timing.Release(1), 25);
+  EXPECT_EQ(timing.Windows().earliest_start[1], 25);
+}
+
+TEST(TimingTest, DelayPropagatesDownstream) {
+  const TaskGraph g = MakeChain(3);
+  TimingContext timing = MakeTiming(g, {10, 10, 10});
+  timing.RaiseRelease(0, 100);
+  const TimeWindows& win = timing.Windows();
+  EXPECT_EQ(win.earliest_start, (std::vector<TimeT>{100, 110, 120}));
+  EXPECT_EQ(win.makespan, 130);
+}
+
+TEST(TimingTest, ExecTimeChangeRecomputesWindows) {
+  const TaskGraph g = MakeChain(2);
+  TimingContext timing = MakeTiming(g, {10, 10});
+  EXPECT_EQ(timing.Windows().makespan, 20);
+  timing.SetExecTime(0, 50);
+  EXPECT_EQ(timing.Windows().makespan, 60);
+}
+
+TEST(TimingTest, CombinedTopologicalOrderIncludesExtraEdges) {
+  const TaskGraph g = testing::MakeIndependent(3);
+  TimingContext timing = MakeTiming(g, {1, 1, 1});
+  timing.AddOrderingEdge(2, 0, 0);
+  timing.AddOrderingEdge(0, 1, 0);
+  const auto order = timing.CombinedTopologicalOrder();
+  auto pos = [&](TaskId t) {
+    return std::find(order.begin(), order.end(), t) - order.begin();
+  };
+  EXPECT_LT(pos(2), pos(0));
+  EXPECT_LT(pos(0), pos(1));
+}
+
+TEST(TimingTest, ParallelBranchesIndependentWindows) {
+  const TaskGraph g = testing::MakeIndependent(3);
+  TimingContext timing = MakeTiming(g, {5, 9, 3});
+  const TimeWindows& win = timing.Windows();
+  EXPECT_EQ(win.makespan, 9);
+  // Only the longest task is critical; others have slack.
+  EXPECT_FALSE(win.critical[0]);
+  EXPECT_TRUE(win.critical[1]);
+  EXPECT_FALSE(win.critical[2]);
+  EXPECT_EQ(win.latest_finish[0], 9);
+}
+
+TEST(TimingTest, NegativeGapRejected) {
+  const TaskGraph g = testing::MakeIndependent(2);
+  TimingContext timing = MakeTiming(g, {1, 1});
+  EXPECT_THROW(timing.AddOrderingEdge(0, 1, -1), InternalError);
+}
+
+}  // namespace
+}  // namespace resched

@@ -1,0 +1,372 @@
+// Unit tests for the utility substrate: RNG, statistics, JSON, CSV,
+// strings, thread pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+
+#include "util/csv.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/string_util.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace resched {
+namespace {
+
+// ---------------------------------------------------------------- Rng
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const std::int64_t v = rng.UniformInt(-5, 17);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 17);
+  }
+}
+
+TEST(RngTest, UniformIntSingleton) {
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(rng.UniformInt(3, 3), 3);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.UniformInt(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, UniformIntRejectsBadRange) {
+  Rng rng(1);
+  EXPECT_THROW((void)rng.UniformInt(5, 4), InternalError);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(13);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = rng.UniformDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(23);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = v;
+  rng.Shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(RngTest, ShuffleChangesOrderEventually) {
+  Rng rng(23);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  bool changed = false;
+  for (int i = 0; i < 10 && !changed; ++i) {
+    std::vector<int> s = v;
+    rng.Shuffle(s);
+    changed = s != v;
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(RngTest, WeightedIndexRespectsWeights) {
+  Rng rng(29);
+  std::vector<double> weights{1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 40000; ++i) {
+    ++counts[rng.WeightedIndex(weights)];
+  }
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.3);
+}
+
+TEST(RngTest, WeightedIndexRejectsDegenerate) {
+  Rng rng(1);
+  std::vector<double> empty;
+  EXPECT_THROW((void)rng.WeightedIndex(empty), InternalError);
+  std::vector<double> zeros{0.0, 0.0};
+  EXPECT_THROW((void)rng.WeightedIndex(zeros), InternalError);
+}
+
+TEST(RngTest, SplitStreamsAreIndependent) {
+  Rng parent(31);
+  Rng child1 = parent.Split();
+  Rng child2 = parent.Split();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child1.Next() == child2.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+// ---------------------------------------------------------------- stats
+
+TEST(StatsTest, RunningStatBasics) {
+  RunningStat s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.Count(), 8u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 5.0);
+  EXPECT_NEAR(s.StdDev(), 2.138, 1e-3);
+  EXPECT_DOUBLE_EQ(s.Min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.Sum(), 40.0);
+}
+
+TEST(StatsTest, EmptyStatIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.Count(), 0u);
+  EXPECT_EQ(s.Mean(), 0.0);
+  EXPECT_EQ(s.StdDev(), 0.0);
+}
+
+TEST(StatsTest, SingleSampleHasZeroStdDev) {
+  RunningStat s;
+  s.Add(3.5);
+  EXPECT_EQ(s.StdDev(), 0.0);
+}
+
+TEST(StatsTest, BatchHelpersMatchRunning) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Mean(xs), 2.5);
+  EXPECT_NEAR(StdDev(xs), std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  std::vector<double> xs{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 50.0), 25.0);
+  EXPECT_DOUBLE_EQ(Median(xs), 25.0);
+}
+
+TEST(StatsTest, PercentileRejectsEmpty) {
+  EXPECT_THROW((void)Percentile({}, 50.0), InternalError);
+}
+
+// ---------------------------------------------------------------- json
+
+TEST(JsonTest, ParsesScalars) {
+  EXPECT_TRUE(JsonValue::Parse("null").IsNull());
+  EXPECT_EQ(JsonValue::Parse("true").AsBool(), true);
+  EXPECT_EQ(JsonValue::Parse("false").AsBool(), false);
+  EXPECT_EQ(JsonValue::Parse("42").AsInt(), 42);
+  EXPECT_EQ(JsonValue::Parse("-17").AsInt(), -17);
+  EXPECT_DOUBLE_EQ(JsonValue::Parse("2.5").AsDouble(), 2.5);
+  EXPECT_DOUBLE_EQ(JsonValue::Parse("1e3").AsDouble(), 1000.0);
+  EXPECT_EQ(JsonValue::Parse("\"hi\"").AsString(), "hi");
+}
+
+TEST(JsonTest, IntegersRoundTripExactly) {
+  const std::int64_t big = 123456789012345678LL;
+  const JsonValue v = JsonValue::Parse(std::to_string(big));
+  EXPECT_TRUE(v.IsInt());
+  EXPECT_EQ(v.AsInt(), big);
+  EXPECT_EQ(JsonValue::Parse(v.Dump(-1)).AsInt(), big);
+}
+
+TEST(JsonTest, ParsesNestedStructure) {
+  const JsonValue v = JsonValue::Parse(
+      R"({"a": [1, 2, {"b": true}], "c": {"d": null}})");
+  EXPECT_EQ(v.At("a").AsArray().size(), 3u);
+  EXPECT_TRUE(v.At("a").AsArray()[2].At("b").AsBool());
+  EXPECT_TRUE(v.At("c").At("d").IsNull());
+}
+
+TEST(JsonTest, StringEscapes) {
+  const JsonValue v = JsonValue::Parse(R"("a\"b\\c\nd\tA")");
+  EXPECT_EQ(v.AsString(), "a\"b\\c\nd\tA");
+}
+
+TEST(JsonTest, UnicodeSurrogatePair) {
+  const JsonValue v = JsonValue::Parse(R"("😀")");
+  EXPECT_EQ(v.AsString(), "\xF0\x9F\x98\x80");  // U+1F600
+}
+
+TEST(JsonTest, DumpParseRoundTrip) {
+  JsonObject obj;
+  obj.emplace("name", "x\"y");
+  obj.emplace("n", 7);
+  obj.emplace("pi", 3.25);
+  obj.emplace("list", JsonArray{JsonValue(1), JsonValue(false)});
+  const JsonValue v(std::move(obj));
+  for (const int indent : {-1, 0, 2}) {
+    const JsonValue round = JsonValue::Parse(v.Dump(indent));
+    EXPECT_EQ(round, v) << "indent=" << indent;
+  }
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  for (const char* bad :
+       {"", "{", "[1,", "tru", "\"unterminated", "{\"a\" 1}", "01x", "[1] x",
+        "\"\\u12\"", "{\"a\":}", "nul"}) {
+    EXPECT_THROW((void)JsonValue::Parse(bad), JsonError) << bad;
+  }
+}
+
+TEST(JsonTest, TypeMismatchThrows) {
+  const JsonValue v = JsonValue::Parse("[1]");
+  EXPECT_THROW((void)v.AsObject(), JsonError);
+  EXPECT_THROW((void)v.AsString(), JsonError);
+  EXPECT_THROW((void)v.At("x"), JsonError);
+}
+
+TEST(JsonTest, GetWithFallback) {
+  const JsonValue v = JsonValue::Parse(R"({"a": 5})");
+  EXPECT_EQ(v.GetInt("a", -1), 5);
+  EXPECT_EQ(v.GetInt("b", -1), -1);
+  EXPECT_EQ(v.GetString("b", "dflt"), "dflt");
+  EXPECT_TRUE(v.Contains("a"));
+  EXPECT_FALSE(v.Contains("b"));
+}
+
+// ---------------------------------------------------------------- csv
+
+TEST(CsvTest, EscapesSpecialFields) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.WriteRow({"plain", "with,comma", "with\"quote", "with\nnewline"});
+  EXPECT_EQ(out.str(),
+            "plain,\"with,comma\",\"with\"\"quote\",\"with\nnewline\"\n");
+}
+
+TEST(CsvTest, NumericFormatting) {
+  EXPECT_EQ(CsvWriter::Field(static_cast<std::int64_t>(-42)), "-42");
+  EXPECT_EQ(CsvWriter::Field(1.5), "1.5");
+}
+
+// ---------------------------------------------------------------- strings
+
+TEST(StringTest, SplitKeepsEmptyFields) {
+  const auto parts = Split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringTest, Trim) {
+  EXPECT_EQ(Trim("  x y \n"), "x y");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim(" \t "), "");
+}
+
+TEST(StringTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 5, "x"), "5-x");
+  EXPECT_EQ(StrFormat("%05.1f", 2.25), "002.2");
+}
+
+TEST(StringTest, Padding) {
+  EXPECT_EQ(PadLeft("ab", 4), "  ab");
+  EXPECT_EQ(PadRight("ab", 4), "ab  ");
+  EXPECT_EQ(PadLeft("abcde", 3), "abcde");
+}
+
+TEST(StringTest, FormatTicks) {
+  EXPECT_EQ(FormatTicks(500), "500 us");
+  EXPECT_EQ(FormatTicks(12340), "12.34 ms");
+  EXPECT_EQ(FormatTicks(2500000), "2.500 s");
+}
+
+// ---------------------------------------------------------------- pool
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversIndices) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(50);
+  pool.ParallelFor(50, [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForZeroIsNoop) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [](std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPoolTest, PropagatesTaskException) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, UsableAfterException) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  std::atomic<int> count{0};
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1);
+}
+
+// ---------------------------------------------------------------- timer
+
+TEST(TimerTest, DeadlineSemantics) {
+  const Deadline no_deadline(0.0);
+  EXPECT_FALSE(no_deadline.Expired());
+  EXPECT_GT(no_deadline.RemainingSeconds(), 1e9);
+
+  const Deadline tight(1e-9);
+  // A nanosecond deadline expires essentially immediately.
+  WallTimer w;
+  while (w.ElapsedSeconds() < 1e-4) {
+  }
+  EXPECT_TRUE(tight.Expired());
+}
+
+TEST(TimerTest, ElapsedIsMonotone) {
+  WallTimer t;
+  const double a = t.ElapsedSeconds();
+  const double b = t.ElapsedSeconds();
+  EXPECT_LE(a, b);
+}
+
+}  // namespace
+}  // namespace resched

@@ -1,0 +1,307 @@
+// resched_cli — command-line front end for the whole library.
+//
+//   resched_cli gen      --tasks N [--seed S] [--cores C] [--recfreq-mbps M]
+//                        [--share-prob P] [--out instance.json]
+//   resched_cli schedule --instance f.json
+//                        --algo pa|par|pals|is1|is5|grid|allsw
+//                        [--budget SECONDS] [--threads T] [--seed S]
+//                        [--frames K] [--slots N (grid)] [--module-reuse]
+//                        [--no-balancing]
+//                        [--no-floorplan] [--metrics]
+//                        [--format summary|table|gantt|json|svg]
+//                        [--out schedule.json] [--svg-out chart.svg]
+//                        [--floorplan-svg-out fp.svg]
+//   resched_cli import-stg --stg f.stg [--cores C] [--recfreq-mbps M]
+//                        [--speedup S] [--hw-impls K] [--out instance.json]
+//   resched_cli validate --instance f.json --schedule s.json
+//   resched_cli info     --instance f.json
+//   resched_cli dot      --instance f.json
+//
+// Exit status: 0 on success (and, for validate, a valid schedule), 1 on a
+// validation failure, 2 on usage errors.
+#include <fstream>
+#include <iostream>
+
+#include "arch/zynq.hpp"
+#include "baseline/fixed_grid.hpp"
+#include "baseline/isk_scheduler.hpp"
+#include "baseline/reference.hpp"
+#include "core/local_search.hpp"
+#include "core/pa_scheduler.hpp"
+#include "core/randomized.hpp"
+#include "io/instance_io.hpp"
+#include "io/schedule_io.hpp"
+#include "io/stg_io.hpp"
+#include "sched/gantt.hpp"
+#include "sched/svg.hpp"
+#include "sched/metrics.hpp"
+#include "sched/validator.hpp"
+#include "taskgraph/analysis.hpp"
+#include "taskgraph/dot.hpp"
+#include "taskgraph/replicate.hpp"
+#include "taskgraph/generator.hpp"
+#include "util/flags.hpp"
+#include "util/string_util.hpp"
+
+namespace resched::cli {
+namespace {
+
+int Usage() {
+  std::cerr <<
+      "usage:\n"
+      "  resched_cli gen      --tasks N [--seed S] [--cores C]\n"
+      "                       [--recfreq-mbps M] [--share-prob P]\n"
+      "                       [--out instance.json]\n"
+      "  resched_cli schedule --instance f.json --algo "
+      "pa|par|pals|is1|is5|grid|allsw\n"
+      "                       [--frames K] [--metrics]\n"
+      "                       [--budget SEC] [--threads T] [--seed S]\n"
+      "                       [--module-reuse] [--no-balancing]\n"
+      "                       [--no-floorplan]\n"
+      "                       [--format summary|table|gantt|json|svg]\n"
+      "                       [--out schedule.json] [--svg-out f.svg]\n"
+      "                       [--floorplan-svg-out f.svg]\n"
+      "  resched_cli import-stg --stg f.stg [--cores C]\n"
+      "                       [--recfreq-mbps M] [--speedup S]\n"
+      "                       [--hw-impls K] [--out instance.json]\n"
+      "  resched_cli validate --instance f.json --schedule s.json\n"
+      "  resched_cli info     --instance f.json\n"
+      "  resched_cli dot      --instance f.json\n";
+  return 2;
+}
+
+Instance LoadInstanceFlag(const Flags& flags) {
+  const std::string path = flags.GetString("instance", "");
+  if (path.empty()) throw FlagError("--instance is required");
+  return LoadInstance(path);
+}
+
+int CmdGen(const Flags& flags) {
+  GeneratorOptions gen;
+  gen.num_tasks = static_cast<std::size_t>(flags.GetInt("tasks", 20));
+  gen.share_prob = flags.GetDouble("share-prob", gen.share_prob);
+  const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 1));
+  const auto cores = static_cast<std::size_t>(flags.GetInt("cores", 2));
+  const double mbps = flags.GetDouble("recfreq-mbps", 32.0);
+
+  const Platform platform =
+      MakeZedBoard(mbps * 8e6).WithProcessors(cores);
+  const Instance instance = GenerateInstance(
+      platform, gen, seed, StrFormat("gen_n%zu_s%llu", gen.num_tasks,
+                                     static_cast<unsigned long long>(seed)));
+
+  const std::string out = flags.GetString("out", "");
+  if (out.empty()) {
+    std::cout << InstanceToString(instance) << "\n";
+  } else {
+    SaveInstance(instance, out);
+    std::cout << "wrote " << out << " (" << instance.graph.NumTasks()
+              << " tasks, " << instance.graph.NumEdges() << " edges)\n";
+  }
+  return 0;
+}
+
+int CmdSchedule(const Flags& flags) {
+  Instance instance = LoadInstanceFlag(flags);
+  const auto frames =
+      static_cast<std::size_t>(flags.GetInt("frames", 1));
+  if (frames > 1) {
+    UnrollOptions unroll;
+    unroll.frames = frames;
+    instance = UnrollPeriodic(instance, unroll);
+    std::cerr << "unrolled to " << frames << " frames ("
+              << instance.graph.NumTasks() << " tasks)\n";
+  }
+  const std::string algo = flags.GetString("algo", "pa");
+  const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 1));
+
+  PaOptions pa_options;
+  pa_options.module_reuse = flags.GetBool("module-reuse", false);
+  pa_options.sw_balancing = !flags.GetBool("no-balancing", false);
+  pa_options.run_floorplan = !flags.GetBool("no-floorplan", false);
+  pa_options.seed = seed;
+
+  Schedule schedule;
+  if (algo == "pa") {
+    schedule = SchedulePa(instance, pa_options);
+  } else if (algo == "par") {
+    PaROptions par_options;
+    par_options.base = pa_options;
+    par_options.time_budget_seconds = flags.GetDouble("budget", 1.0);
+    par_options.threads =
+        static_cast<std::size_t>(flags.GetInt("threads", 1));
+    par_options.seed = seed;
+    const PaRResult result = SchedulePaR(instance, par_options);
+    schedule = result.best;
+    std::cerr << "PA-R: " << result.iterations << " iterations in "
+              << StrFormat("%.3f", result.seconds) << " s\n";
+  } else if (algo == "pals") {
+    PaLsOptions ls_options;
+    ls_options.base = pa_options;
+    ls_options.time_budget_seconds = flags.GetDouble("budget", 1.0);
+    ls_options.seed = seed;
+    const PaRResult result = SchedulePaLs(instance, ls_options);
+    schedule = result.best;
+    std::cerr << "PA-LS: " << result.iterations << " iterations in "
+              << StrFormat("%.3f", result.seconds) << " s\n";
+  } else if (algo == "grid") {
+    FixedGridOptions grid;
+    grid.num_slots = static_cast<std::size_t>(flags.GetInt("slots", 0));
+    grid.run_floorplan = !flags.GetBool("no-floorplan", false);
+    schedule = ScheduleFixedGrid(instance, grid);
+  } else if (algo == "is1" || algo == "is5") {
+    IskOptions isk;
+    isk.k = algo == "is1" ? 1 : 5;
+    isk.module_reuse = flags.GetBool("module-reuse", true);
+    isk.run_floorplan = !flags.GetBool("no-floorplan", false);
+    isk.time_budget_seconds = flags.GetDouble("budget", 0.0);
+    schedule = ScheduleIsk(instance, isk);
+  } else if (algo == "allsw") {
+    schedule = ScheduleAllSoftware(instance);
+  } else {
+    throw FlagError("unknown --algo: " + algo);
+  }
+
+  const ValidationResult check = ValidateSchedule(instance, schedule);
+  if (!check.ok()) {
+    std::cerr << "INTERNAL ERROR — scheduler emitted an invalid schedule:\n"
+              << check.Summary() << "\n";
+    return 1;
+  }
+
+  if (flags.GetBool("metrics", false)) {
+    std::cerr << ComputeMetrics(instance, schedule).ToString() << "\n";
+  }
+  if (frames > 1) {
+    std::cerr << StrFormat(
+        "throughput: %.1f us/frame over %zu frames\n",
+        ThroughputInterval(schedule.makespan, frames), frames);
+  }
+
+  const std::string format = flags.GetString("format", "summary");
+  if (format == "summary") {
+    std::cout << ScheduleSummary(instance, schedule) << "\n";
+  } else if (format == "table") {
+    std::cout << ScheduleTable(instance, schedule);
+  } else if (format == "gantt") {
+    std::cout << ScheduleSummary(instance, schedule) << "\n"
+              << GanttChart(instance, schedule);
+  } else if (format == "json") {
+    std::cout << ScheduleToString(instance, schedule) << "\n";
+  } else if (format == "svg") {
+    std::cout << GanttSvg(instance, schedule);
+  } else {
+    throw FlagError("unknown --format: " + format);
+  }
+
+  const std::string out = flags.GetString("out", "");
+  if (!out.empty()) {
+    SaveSchedule(instance, schedule, out);
+    std::cerr << "wrote " << out << "\n";
+  }
+  const std::string svg_out = flags.GetString("svg-out", "");
+  if (!svg_out.empty()) {
+    std::ofstream f(svg_out);
+    f << GanttSvg(instance, schedule);
+    std::cerr << "wrote " << svg_out << "\n";
+  }
+  const std::string fp_out = flags.GetString("floorplan-svg-out", "");
+  if (!fp_out.empty()) {
+    std::ofstream f(fp_out);
+    f << FloorplanSvg(instance, schedule);
+    std::cerr << "wrote " << fp_out << "\n";
+  }
+  return 0;
+}
+
+int CmdValidate(const Flags& flags) {
+  const Instance instance = LoadInstanceFlag(flags);
+  const std::string path = flags.GetString("schedule", "");
+  if (path.empty()) throw FlagError("--schedule is required");
+  const Schedule schedule = LoadSchedule(instance, path);
+  const ValidationResult check = ValidateSchedule(instance, schedule);
+  std::cout << check.Summary() << "\n";
+  return check.ok() ? 0 : 1;
+}
+
+int CmdImportStg(const Flags& flags) {
+  const std::string path = flags.GetString("stg", "");
+  if (path.empty()) throw FlagError("--stg is required");
+  const auto cores = static_cast<std::size_t>(flags.GetInt("cores", 2));
+  const double mbps = flags.GetDouble("recfreq-mbps", 32.0);
+  const Platform platform =
+      MakeZedBoard(mbps * 8e6).WithProcessors(cores);
+  StgOptions stg;
+  stg.speedup = flags.GetDouble("speedup", stg.speedup);
+  stg.num_hw_impls =
+      static_cast<std::size_t>(flags.GetInt("hw-impls",
+                                            static_cast<std::int64_t>(
+                                                stg.num_hw_impls)));
+  const Instance instance = LoadStgInstance(path, platform, stg);
+  const std::string out = flags.GetString("out", "");
+  if (out.empty()) {
+    std::cout << InstanceToString(instance) << "\n";
+  } else {
+    SaveInstance(instance, out);
+    std::cout << "wrote " << out << " (" << instance.graph.NumTasks()
+              << " tasks, " << instance.graph.NumEdges() << " edges)\n";
+  }
+  return 0;
+}
+
+int CmdInfo(const Flags& flags) {
+  const Instance instance = LoadInstanceFlag(flags);
+  const Platform& p = instance.platform;
+  std::cout << "instance: " << instance.name << "\n";
+  std::cout << "platform: " << p.Name() << " — " << p.NumProcessors()
+            << " cores, " << p.NumReconfigurators()
+            << " reconfigurator(s), recFreq "
+            << StrFormat("%.0f", p.RecFreqBitsPerSec() / 8e6) << " MB/s";
+  if (p.HwSwBandwidthBytesPerSec() > 0) {
+    std::cout << ", HW<->SW "
+              << StrFormat("%.0f", p.HwSwBandwidthBytesPerSec() / 1e6)
+              << " MB/s";
+  }
+  std::cout << "\n";
+  std::cout << "device:   " << p.Device().Name() << " capacity "
+            << p.Device().Capacity().ToString() << " over "
+            << p.Device().Geometry().rows << "x"
+            << p.Device().Geometry().NumColumns() << " grid\n";
+  std::cout << "graph:    " << AnalyzeGraph(instance.graph).ToString()
+            << "\n";
+  return 0;
+}
+
+int CmdDot(const Flags& flags) {
+  const Instance instance = LoadInstanceFlag(flags);
+  std::cout << ToDot(instance.graph, "tg");
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const Flags flags = Flags::Parse(argc - 1, argv + 1);
+  if (command == "gen") return CmdGen(flags);
+  if (command == "schedule") return CmdSchedule(flags);
+  if (command == "import-stg") return CmdImportStg(flags);
+  if (command == "validate") return CmdValidate(flags);
+  if (command == "info") return CmdInfo(flags);
+  if (command == "dot") return CmdDot(flags);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace resched::cli
+
+int main(int argc, char** argv) {
+  try {
+    return resched::cli::Main(argc, argv);
+  } catch (const resched::FlagError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
