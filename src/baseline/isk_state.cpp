@@ -44,6 +44,7 @@ PlacementOutcome IskState::PlaceOnCore(TaskId t, const Implementation& impl,
                                        std::size_t core, TimeT ready) {
   RESCHED_CHECK_MSG(impl.IsSoftware(), "PlaceOnCore with HW implementation");
   RESCHED_CHECK_MSG(core < core_free_.size(), "core out of range");
+  RESCHED_DCHECK_MSG(ready >= 0, "negative ready time");
   PlacementOutcome out;
   out.start = std::max(ready, core_free_[core]);
   out.end = out.start + impl.exec_time;
@@ -78,6 +79,10 @@ PlacementOutcome IskState::PlaceInRegion(TaskId t, const Implementation& impl,
     out.start = std::max(ready, reconf_end);
   }
   out.end = out.start + impl.exec_time;
+  // Region exclusivity: IS-k builds left-to-right, so a task may never start
+  // before the previous task in the same region has finished.
+  RESCHED_DCHECK_MSG(out.start >= region.free_at,
+                     "task overlaps its region's previous task");
   region.free_at = out.end;
   region.loaded_module = impl.module_id;
   region.tasks.push_back(t);
@@ -97,6 +102,8 @@ PlacementOutcome IskState::PlaceInNewRegion(TaskId t,
   region.free_at = 0;
   regions_.push_back(std::move(region));
   used_cap_ += impl.res;
+  RESCHED_DCHECK_MSG(used_cap_.FitsWithin(avail_cap_),
+                     "FPGA capacity invariant broken by region creation");
 
   PlacementOutcome out;
   out.start = ready;  // initial configuration is free (§III convention)
@@ -119,10 +126,29 @@ void IskState::AddEmptyRegion(const ResourceVec& res) {
 }
 
 void IskState::InsertControllerSlot(const ReconfSlot& slot) {
+  RESCHED_DCHECK_MSG(slot.start >= 0 && slot.end > slot.start,
+                     "degenerate reconfiguration slot");
   const auto pos = std::upper_bound(
       controller_.begin(), controller_.end(), slot,
       [](const ReconfSlot& a, const ReconfSlot& b) { return a.start < b.start; });
   controller_.insert(pos, slot);
+#if RESCHED_DCHECK_IS_ON
+  // Reconfigurator exclusivity: the timeline must stay sorted by start and
+  // slots sharing a controller must not overlap. Checked-build only — O(n)
+  // per insertion.
+  TimeT prev_start = 0;
+  std::vector<TimeT> busy_until(instance_->platform.NumReconfigurators(), 0);
+  for (const ReconfSlot& r : controller_) {
+    RESCHED_DCHECK_MSG(r.start >= prev_start,
+                       "controller timeline lost start ordering");
+    prev_start = r.start;
+    RESCHED_DCHECK_MSG(r.controller < busy_until.size(),
+                       "reconfiguration on unknown controller");
+    RESCHED_DCHECK_MSG(r.start >= busy_until[r.controller],
+                       "reconfigurations overlap on one controller");
+    busy_until[r.controller] = r.end;
+  }
+#endif
 }
 
 }  // namespace resched::isk

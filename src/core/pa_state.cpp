@@ -26,6 +26,9 @@ PaState::PaState(const Instance& instance, const ResourceVec& avail_cap,
 }
 
 void PaState::SetImpl(TaskId t, std::size_t impl_index) {
+  RESCHED_DCHECK_MSG(
+      t >= 0 && static_cast<std::size_t>(t) < impl_of_.size(),
+      "task id out of range");
   const Task& task = Inst().graph.GetTask(t);
   RESCHED_CHECK_MSG(impl_index < task.impls.size(), "impl index out of range");
   impl_of_[static_cast<std::size_t>(t)] = impl_index;
@@ -146,6 +149,8 @@ std::size_t PaState::CreateRegionFor(TaskId t) {
   region.tasks.push_back(t);
   regions_.push_back(std::move(region));
   used_cap_ += impl.res;
+  RESCHED_DCHECK_MSG(used_cap_.FitsWithin(avail_cap_),
+                     "FPGA capacity invariant broken by region creation");
   region_of_[static_cast<std::size_t>(t)] =
       static_cast<int>(regions_.size() - 1);
   return regions_.size() - 1;
@@ -177,6 +182,18 @@ void PaState::AssignToRegion(std::size_t region, TaskId t) {
   }
   r.tasks.insert(r.tasks.begin() + static_cast<std::ptrdiff_t>(pos), t);
   region_of_[static_cast<std::size_t>(t)] = static_cast<int>(region);
+  // Region exclusivity invariant: insertion kept the serialization order
+  // aligned with the earliest-start order on both sides.
+  RESCHED_DCHECK_MSG(
+      pos == 0 ||
+          win.earliest_start[static_cast<std::size_t>(r.tasks[pos - 1])] <=
+              es_t,
+      "region serialization order broken on the left neighbour");
+  RESCHED_DCHECK_MSG(
+      pos + 1 >= r.tasks.size() ||
+          es_t <=
+              win.earliest_start[static_cast<std::size_t>(r.tasks[pos + 1])],
+      "region serialization order broken on the right neighbour");
 
   // Serialization edges with reconfiguration gaps. Stale prev->next edges
   // from earlier insertions remain in the timing context but are dominated

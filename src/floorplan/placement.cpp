@@ -1,5 +1,6 @@
 #include "floorplan/placement.hpp"
 
+#include "util/check.hpp"
 #include "util/string_util.hpp"
 
 namespace resched {
@@ -37,7 +38,17 @@ std::vector<Rect> EnumerateFeasiblePlacements(const Fabric& fabric,
       }
       if (!feasible) break;  // no wider window will help for larger col0
       const std::size_t width = end - col0;
+      // Floorplan feasibility invariants: every emitted placement must lie
+      // inside the fabric and actually satisfy the requirement it was
+      // enumerated for (the two-pointer window must never under-approximate).
+      RESCHED_DCHECK_MSG(col0 + width <= cols,
+                         "placement extends past the fabric columns");
+      RESCHED_DCHECK_MSG(
+          req.FitsWithin(fabric.RectResources(col0, width, h)),
+          "enumerated placement does not satisfy the requirement");
       for (std::size_t row0 = 0; row0 + h <= rows; ++row0) {
+        RESCHED_DCHECK_MSG(row0 + h <= rows,
+                           "placement extends past the fabric rows");
         out.push_back(Rect{col0, row0, width, h});
         if (max_placements != 0 && out.size() >= max_placements) return out;
       }

@@ -4,6 +4,7 @@
 #include <map>
 
 #include "sched/comm.hpp"
+#include "util/check.hpp"
 #include "util/string_util.hpp"
 
 namespace resched {
@@ -19,6 +20,8 @@ void CheckNoOverlap(const std::vector<const TaskSlot*>& slots,
               return a->start < b->start;
             });
   for (std::size_t i = 0; i + 1 < sorted.size(); ++i) {
+    RESCHED_DCHECK_MSG(sorted[i]->start <= sorted[i + 1]->start,
+                       "overlap scan lost its start ordering");
     if (sorted[i]->end > sorted[i + 1]->start) {
       violations.push_back(StrFormat(
           "%s: task %d [%lld,%lld) overlaps task %d [%lld,%lld)",

@@ -1,0 +1,118 @@
+// Contract-check macro family shared by every resched module.
+//
+// Two tiers:
+//
+//  * RESCHED_CHECK / RESCHED_CHECK_MSG — always on, in every build type.
+//    Used on API boundaries, input validation and non-hot paths. Failure
+//    throws InternalError so callers (and tests) can observe the message.
+//
+//  * RESCHED_DCHECK / RESCHED_DCHECK_MSG — heavier internal invariants on
+//    hot paths (scheduler state machines, floorplan placement). Enabled in
+//    Debug builds (no NDEBUG) and whenever the build is configured with
+//    -DRESCHED_CHECKED_BUILD=ON (which defines RESCHED_ENABLE_DCHECKS);
+//    compiled out otherwise, with the expression left unevaluated. Failure
+//    prints expression, location and message to stderr and aborts, so state
+//    corruption stops the process at the point of detection instead of
+//    surfacing later as a plausible-but-wrong schedule. The gtest death
+//    tests latch onto the "RESCHED_DCHECK failed" stderr line.
+//
+// Both tiers capture the failing expression text and the source location;
+// the _MSG variants add a human-readable explanation.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace resched {
+
+/// Error thrown when an internal invariant is violated; indicates a bug in
+/// the library rather than in user input.
+class InternalError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+
+[[noreturn]] inline void CheckFailed(const char* kind, const char* expr,
+                                     const std::string& msg,
+                                     const std::source_location& loc) {
+  std::string what = std::string(kind) + " failed: " + expr + " at " +
+                     loc.file_name() + ":" + std::to_string(loc.line());
+  if (!msg.empty()) what += " — " + msg;
+  throw InternalError(what);
+}
+
+[[noreturn]] inline void DcheckFailed(const char* expr, const std::string& msg,
+                                      const std::source_location& loc) {
+  std::fprintf(stderr, "RESCHED_DCHECK failed: %s at %s:%u%s%s\n", expr,
+               loc.file_name(), static_cast<unsigned>(loc.line()),
+               msg.empty() ? "" : " — ", msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace detail
+}  // namespace resched
+
+/// Always-on invariant check (used on non-hot paths and in validators).
+#define RESCHED_CHECK(expr)                                                  \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      ::resched::detail::CheckFailed("RESCHED_CHECK", #expr, "",             \
+                                     std::source_location::current());       \
+    }                                                                        \
+  } while (false)
+
+#define RESCHED_CHECK_MSG(expr, msg)                                         \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      ::resched::detail::CheckFailed("RESCHED_CHECK", #expr, (msg),          \
+                                     std::source_location::current());       \
+    }                                                                        \
+  } while (false)
+
+#if !defined(NDEBUG) || defined(RESCHED_ENABLE_DCHECKS)
+#define RESCHED_DCHECK_IS_ON 1
+#else
+#define RESCHED_DCHECK_IS_ON 0
+#endif
+
+#if RESCHED_DCHECK_IS_ON
+
+/// Debug/checked-build invariant; aborts with context on failure.
+#define RESCHED_DCHECK(expr)                                                 \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      ::resched::detail::DcheckFailed(#expr, "",                             \
+                                      std::source_location::current());      \
+    }                                                                        \
+  } while (false)
+
+#define RESCHED_DCHECK_MSG(expr, msg)                                        \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      ::resched::detail::DcheckFailed(#expr, (msg),                          \
+                                      std::source_location::current());      \
+    }                                                                        \
+  } while (false)
+
+#else
+
+// Compiled out: the expression is syntax-checked via sizeof but never
+// evaluated, so DCHECK operands cannot trigger unused-variable warnings.
+#define RESCHED_DCHECK(expr) \
+  do {                       \
+    (void)sizeof((expr));    \
+  } while (false)
+
+#define RESCHED_DCHECK_MSG(expr, msg) \
+  do {                                \
+    (void)sizeof((expr));             \
+    (void)sizeof((msg));              \
+  } while (false)
+
+#endif  // RESCHED_DCHECK_IS_ON

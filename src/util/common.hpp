@@ -1,4 +1,5 @@
-// Common scalar types and error-checking macros shared by every resched module.
+// Common scalar types shared by every resched module. The RESCHED_CHECK /
+// RESCHED_DCHECK contract macros live in util/check.hpp (re-exported here).
 //
 // Time is modelled as signed 64-bit integer ticks. By convention one tick is a
 // microsecond, but nothing in the library depends on the physical unit: every
@@ -9,9 +10,9 @@
 
 #include <cstdint>
 #include <limits>
-#include <source_location>
 #include <stdexcept>
-#include <string>
+
+#include "util/check.hpp"
 
 namespace resched {
 
@@ -28,39 +29,4 @@ class InstanceError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
-/// Error thrown when an internal invariant is violated; indicates a bug in
-/// the library rather than in user input.
-class InternalError : public std::logic_error {
- public:
-  using std::logic_error::logic_error;
-};
-
-namespace detail {
-[[noreturn]] inline void CheckFailed(const char* kind, const char* expr,
-                                     const std::string& msg,
-                                     const std::source_location& loc) {
-  std::string what = std::string(kind) + " failed: " + expr + " at " +
-                     loc.file_name() + ":" + std::to_string(loc.line());
-  if (!msg.empty()) what += " — " + msg;
-  throw InternalError(what);
-}
-}  // namespace detail
-
 }  // namespace resched
-
-/// Always-on invariant check (used on non-hot paths and in validators).
-#define RESCHED_CHECK(expr)                                                  \
-  do {                                                                       \
-    if (!(expr)) {                                                           \
-      ::resched::detail::CheckFailed("RESCHED_CHECK", #expr, "",             \
-                                     std::source_location::current());       \
-    }                                                                        \
-  } while (false)
-
-#define RESCHED_CHECK_MSG(expr, msg)                                         \
-  do {                                                                       \
-    if (!(expr)) {                                                           \
-      ::resched::detail::CheckFailed("RESCHED_CHECK", #expr, (msg),          \
-                                     std::source_location::current());       \
-    }                                                                        \
-  } while (false)

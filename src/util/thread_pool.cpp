@@ -17,6 +17,11 @@ ThreadPool::ThreadPool(std::size_t threads) {
 }
 
 ThreadPool::~ThreadPool() {
+  // Shutdown ordering: stop_ is set under the same mutex that guards the
+  // queue, so a worker can never observe stop_ without also observing every
+  // task enqueued before it — queued work is drained, not dropped (workers
+  // only exit on stop_ AND an empty queue). Submit() racing destruction is
+  // a caller bug and trips the "Submit after shutdown" check.
   {
     std::lock_guard lock(mutex_);
     stop_ = true;

@@ -1,0 +1,138 @@
+// Death tests for the RESCHED_CHECK / RESCHED_DCHECK contract macros: a
+// deliberately corrupted scheduler state must kill the process (or throw
+// InternalError) at the point of corruption, not surface many phases later
+// as a plausible-but-wrong schedule.
+//
+// RESCHED_CHECK throws InternalError in every build; the death tests run the
+// corrupting statement behind DieOnInternalError so the child process aborts
+// with the check message on stderr. RESCHED_DCHECK aborts directly, but only
+// in Debug or RESCHED_CHECKED_BUILD=ON builds — those tests skip themselves
+// in plain Release builds where DCHECKs compile out.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "baseline/isk_state.hpp"
+#include "core/pa_state.hpp"
+#include "test_helpers.hpp"
+#include "util/check.hpp"
+
+namespace resched {
+namespace {
+
+using testing::HwImpl;
+using testing::MakeChain;
+using testing::MakeSmallPlatform;
+
+/// Runs `fn` in a death-test child: an InternalError is converted into the
+/// abort EXPECT_DEATH looks for (message on stderr); if no check fires, the
+/// child exits cleanly and the death test fails.
+template <typename Fn>
+void DieOnInternalError(Fn fn) {
+  try {
+    fn();
+  } catch (const InternalError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    std::fflush(stderr);
+    std::abort();
+  }
+  std::_Exit(0);
+}
+
+Instance MakeInstance() {
+  return Instance{"check-test", MakeSmallPlatform(), MakeChain(3)};
+}
+
+TEST(CheckDeathTest, CorruptedPaStateImplIndexDies) {
+  const Instance inst = MakeInstance();
+  const PaOptions options;
+  pa::PaState state(inst, inst.platform.Device().Capacity(), options);
+  // Implementation index beyond the task's implementation list.
+  EXPECT_DEATH(DieOnInternalError([&] { state.SetImpl(0, 99); }),
+               "RESCHED_CHECK failed.*impl index out of range");
+}
+
+TEST(CheckDeathTest, CorruptedPaStateDoubleAssignmentDies) {
+  const Instance inst = MakeInstance();
+  const PaOptions options;
+  pa::PaState state(inst, inst.platform.Device().Capacity(), options);
+  state.SetImpl(0, 1);  // hardware implementation
+  const std::size_t region = state.CreateRegionFor(0);
+  // Assigning the same task to its region again corrupts region membership.
+  EXPECT_DEATH(DieOnInternalError([&] { state.AssignToRegion(region, 0); }),
+               "RESCHED_CHECK failed.*already assigned");
+}
+
+TEST(CheckDeathTest, CorruptedIskStateRegionIndexDies) {
+  const Instance inst = MakeInstance();
+  isk::IskState state(inst, inst.platform.Device().Capacity());
+  const Implementation hw = HwImpl(1000, 400);
+  // Region 5 does not exist.
+  EXPECT_DEATH(
+      DieOnInternalError([&] {
+        (void)state.PlaceInRegion(0, hw, 5, 0, /*module_reuse=*/false);
+      }),
+      "RESCHED_CHECK failed.*region out of range");
+}
+
+TEST(CheckDeathTest, CorruptedIskStateOversizedImplDies) {
+  const Instance inst = MakeInstance();
+  isk::IskState state(inst, inst.platform.Device().Capacity());
+  (void)state.PlaceInNewRegion(0, HwImpl(1000, 400), 0);
+  // An implementation larger than the region it is placed into.
+  const Implementation huge = HwImpl(1000, 2000);
+  EXPECT_DEATH(
+      DieOnInternalError([&] {
+        (void)state.PlaceInRegion(1, huge, 0, 0, /*module_reuse=*/false);
+      }),
+      "RESCHED_CHECK failed.*does not fit region");
+}
+
+#if RESCHED_DCHECK_IS_ON
+
+TEST(DcheckDeathTest, MacroAbortsWithContext) {
+  EXPECT_DEATH(RESCHED_DCHECK_MSG(1 == 2, "deliberately false"),
+               "RESCHED_DCHECK failed: 1 == 2.*deliberately false");
+}
+
+TEST(DcheckDeathTest, CorruptedPaStateTaskIdAborts) {
+  const Instance inst = MakeInstance();
+  const PaOptions options;
+  pa::PaState state(inst, inst.platform.Device().Capacity(), options);
+  // Task id outside the instance: the DCHECK fires before any container is
+  // touched, so the corruption cannot propagate.
+  EXPECT_DEATH(state.SetImpl(99, 0),
+               "RESCHED_DCHECK failed.*task id out of range");
+}
+
+TEST(DcheckDeathTest, CorruptedIskStateNegativeReadyAborts) {
+  const Instance inst = MakeInstance();
+  isk::IskState state(inst, inst.platform.Device().Capacity());
+  const Implementation sw = testing::SwImpl(500);
+  EXPECT_DEATH((void)state.PlaceOnCore(0, sw, 0, -5),
+               "RESCHED_DCHECK failed.*negative ready time");
+}
+
+#else
+
+TEST(DcheckDeathTest, SkippedInReleaseBuilds) {
+  GTEST_SKIP() << "RESCHED_DCHECK compiles out without RESCHED_CHECKED_BUILD "
+                  "or a Debug build type";
+}
+
+// DCHECK operands must stay syntactically valid but unevaluated when
+// compiled out.
+TEST(DcheckTest, CompiledOutExpressionIsNotEvaluated) {
+  bool evaluated = false;
+  RESCHED_DCHECK(([&] {
+    evaluated = true;
+    return true;
+  }()));
+  EXPECT_FALSE(evaluated);
+}
+
+#endif  // RESCHED_DCHECK_IS_ON
+
+}  // namespace
+}  // namespace resched

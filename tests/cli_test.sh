@@ -88,6 +88,36 @@ if [ -f "$STG_SAMPLE" ]; then
       > /dev/null || fail "stg schedule"
 fi
 
+# --- determinism: same seed => bit-for-bit identical output -------------------
+# This is the regression guard behind the resched_lint determinism rules
+# (no-std-rand, no-wall-clock-seed, no-argless-random-device,
+# no-unordered-in-output): every output path must be a pure function of the
+# instance and the seed.
+"$CLI" gen --tasks 20 --seed 7 --out "$TMP/d1.json"
+"$CLI" gen --tasks 20 --seed 7 --out "$TMP/d2.json"
+cmp "$TMP/d1.json" "$TMP/d2.json" || fail "gen output differs for equal seeds"
+
+for det_algo in pa is5 grid; do
+  for fmt in table gantt svg summary; do
+    "$CLI" schedule --instance "$TMP/d1.json" --algo "$det_algo" \
+        --format "$fmt" > "$TMP/r1.txt" 2>/dev/null
+    "$CLI" schedule --instance "$TMP/d1.json" --algo "$det_algo" \
+        --format "$fmt" > "$TMP/r2.txt" 2>/dev/null
+    cmp "$TMP/r1.txt" "$TMP/r2.txt" \
+        || fail "$det_algo $fmt output differs across identical runs"
+  done
+done
+
+# The JSON schedule embeds wall-clock solver timings (*_seconds); every other
+# byte must be identical.
+"$CLI" schedule --instance "$TMP/d1.json" --algo pa --format json \
+    --out "$TMP/j1.json" > /dev/null
+"$CLI" schedule --instance "$TMP/d1.json" --algo pa --format json \
+    --out "$TMP/j2.json" > /dev/null
+grep -v '_seconds' "$TMP/j1.json" > "$TMP/j1.flt"
+grep -v '_seconds' "$TMP/j2.json" > "$TMP/j2.flt"
+cmp "$TMP/j1.flt" "$TMP/j2.flt" || fail "pa json output differs beyond timings"
+
 # --- error handling -----------------------------------------------------------
 "$CLI" schedule --instance "$TMP/i.json" --algo bogus > /dev/null 2>&1 \
     && fail "bogus algo accepted"

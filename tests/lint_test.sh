@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Self-test for tools/resched_lint.py, run by ctest:
+#  1. the real repo must lint clean (this is the CI gate), and
+#  2. every rule must demonstrably fire on a seeded violation, so the lint
+#     cannot silently rot into a no-op.
+# Usage: lint_test.sh <python3> <resched_lint.py> <repo-root>
+set -euo pipefail
+
+PYTHON=$1
+LINT=$2
+ROOT=$3
+
+fail() { echo "FAIL: $1" >&2; exit 1; }
+
+# --- the repo itself is clean ------------------------------------------------
+"$PYTHON" "$LINT" --root "$ROOT" || fail "repo does not lint clean"
+
+# --- seeded violations are caught -------------------------------------------
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+mkdir -p "$TMP/src/core" "$TMP/src/io"
+
+cat > "$TMP/src/core/bad.cpp" <<'EOF'
+#include <cstdlib>
+int f() {
+  int* p = new int(3);
+  delete p;
+  srand(static_cast<unsigned>(time(nullptr)));
+  std::random_device rd;
+  return std::rand();
+}
+EOF
+cat > "$TMP/src/core/cycle_a.hpp" <<'EOF'
+#include "core/cycle_b.hpp"
+EOF
+cat > "$TMP/src/core/cycle_b.hpp" <<'EOF'
+#pragma once
+#include "core/cycle_a.hpp"
+EOF
+cat > "$TMP/src/io/emit.cpp" <<'EOF'
+#include <unordered_map>
+void emit(const std::unordered_map<int, int>& m) { (void)m; }
+EOF
+
+out=$("$PYTHON" "$LINT" --root "$TMP") && fail "seeded violations not detected"
+for rule in no-std-rand no-wall-clock-seed no-argless-random-device \
+    no-unordered-in-output pragma-once include-cycle no-naked-new; do
+  echo "$out" | grep -q "\[$rule\]" || fail "rule $rule did not fire"
+done
+
+# --- inline suppression works ------------------------------------------------
+CLEAN=$(mktemp -d)
+trap 'rm -rf "$TMP" "$CLEAN"' EXIT
+mkdir -p "$CLEAN/src/core"
+cat > "$CLEAN/src/core/suppressed.cpp" <<'EOF'
+int g() {
+  std::random_device rd;  // resched-lint: allow(no-argless-random-device)
+  return 0;
+}
+EOF
+"$PYTHON" "$LINT" --root "$CLEAN" || fail "suppression ignored"
+
+# --- token rules must not fire inside comments or string literals ------------
+cat > "$CLEAN/src/core/prose.cpp" <<'EOF'
+// creates a new region; never calls std::rand
+const char* kDoc = "time(nullptr) is banned";
+int h() { return 0; }
+EOF
+"$PYTHON" "$LINT" --root "$CLEAN" \
+    || fail "lint fired inside comments/strings"
+
+echo "lint_test OK"

@@ -5,6 +5,7 @@
 #include <atomic>
 #include <cmath>
 #include <set>
+#include <thread>
 
 #include "util/csv.hpp"
 #include "util/json.hpp"
@@ -344,6 +345,40 @@ TEST(ThreadPoolTest, UsableAfterException) {
   pool.Submit([&count] { count.fetch_add(1); });
   pool.Wait();
   EXPECT_EQ(count.load(), 1);
+}
+
+// Shutdown/enqueue ordering contract: tasks already queued when the
+// destructor runs are drained, not dropped — the destructor only stops the
+// workers once the queue is empty. Guards the ordering TSan watches between
+// Submit's enqueue and the shutdown flag.
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([&count] { count.fetch_add(1); });
+    }
+    // No Wait(): destruction races the queue drain on purpose.
+  }
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPoolTest, ConcurrentSubmittersAreSerialized) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  {
+    std::vector<std::thread> submitters;
+    for (int s = 0; s < 4; ++s) {
+      submitters.emplace_back([&pool, &count] {
+        for (int i = 0; i < 25; ++i) {
+          pool.Submit([&count] { count.fetch_add(1); });
+        }
+      });
+    }
+    for (auto& t : submitters) t.join();
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
 }
 
 // ---------------------------------------------------------------- timer

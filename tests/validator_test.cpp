@@ -246,6 +246,60 @@ TEST(ValidatorTest, DetectsControllerOverlap) {
   EXPECT_NE(r.Summary().find("overlap"), std::string::npos);
 }
 
+TEST(ValidatorTest, DetectsRegionExclusivityViolation) {
+  Fixture f;
+  // Slide b left so it overlaps a inside region 0 (slot length preserved, so
+  // only the exclusivity/precedence constraints break).
+  const TimeT len =
+      f.schedule.task_slots[1].end - f.schedule.task_slots[1].start;
+  f.schedule.task_slots[1].start = f.schedule.task_slots[0].start + 100;
+  f.schedule.task_slots[1].end = f.schedule.task_slots[1].start + len;
+  f.schedule.makespan = f.schedule.ComputeMakespan();
+  const auto r = ValidateSchedule(f.instance, f.schedule);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.Summary().find("region 0"), std::string::npos);
+  EXPECT_NE(r.Summary().find("overlaps"), std::string::npos);
+}
+
+TEST(ValidatorTest, DetectsReconfigurationOverlapAcrossRegions) {
+  Fixture f;
+  // Second region hosting an independent HW task d; its (gratuitous, but
+  // structurally plausible) reconfiguration collides with region 0's slot on
+  // the single controller.
+  TaskGraph g2;
+  const TaskId a = g2.AddTask("a");
+  const TaskId b = g2.AddTask("b");
+  const TaskId c = g2.AddTask("c");
+  const TaskId d = g2.AddTask("d");
+  g2.AddEdge(a, b);
+  g2.AddEdge(b, c);
+  g2.AddImpl(a, SwImpl(9000));
+  g2.AddImpl(a, HwImpl(1000, 400, 0, 0, /*module=*/1));
+  g2.AddImpl(b, SwImpl(9000));
+  g2.AddImpl(b, HwImpl(1000, 400, 0, 0, /*module=*/2));
+  g2.AddImpl(c, SwImpl(500));
+  g2.AddImpl(d, SwImpl(9000));
+  g2.AddImpl(d, HwImpl(1000, 400, 0, 0, /*module=*/3));
+  f.instance.graph = std::move(g2);
+
+  RegionInfo second;
+  second.res = ResourceVec({400, 0, 0});
+  second.reconf_time = f.schedule.regions[0].reconf_time;
+  second.tasks = {3};
+  f.schedule.regions.push_back(second);
+  f.schedule.task_slots.push_back(
+      TaskSlot{3, 1, TargetKind::kRegion, 1, 5000, 6000});
+  const ReconfSlot& first = f.schedule.reconfigurations[0];
+  f.schedule.reconfigurations.push_back(ReconfSlot{
+      /*region=*/1, /*loads_task=*/3, first.start + 5, first.end + 5,
+      /*controller=*/first.controller});
+  f.schedule.makespan = f.schedule.ComputeMakespan();
+  const auto r = ValidateSchedule(f.instance, f.schedule);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.Summary().find("overlap"), std::string::npos);
+  EXPECT_NE(r.Summary().find("controller"), std::string::npos);
+}
+
 TEST(ValidatorTest, DetectsCapacityOverflow) {
   Fixture f;
   RegionInfo huge;

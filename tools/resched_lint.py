@@ -1,0 +1,357 @@
+#!/usr/bin/env python3
+"""resched_lint: repo-specific correctness lint for the resched codebase.
+
+The compiler cannot see two properties this project depends on:
+
+ * Determinism — every scheduler run with the same seed must produce
+   bit-for-bit identical output (the CLI regression test diffs two runs).
+   Wall-clock seeds, the global C PRNG and hardware entropy sources break
+   that silently, as does emitting anything in the iteration order of an
+   unordered container.
+ * Include/ownership hygiene — header cycles and naked new/delete outside
+   src/util/ tend to creep in through refactors and only hurt much later.
+
+Rules:
+  no-std-rand               std::rand/srand use hidden global state and are
+                            not reproducible across libcs; use util/rng.hpp.
+  no-wall-clock-seed        time(nullptr)/time(NULL)/time(0) as a seed makes
+                            runs unreproducible; take seeds from options.
+  no-argless-random-device  a default-constructed std::random_device pulls
+                            hardware entropy; seeds must come from flags.
+  no-unordered-in-output    IO/report paths must not touch unordered
+                            containers: iteration order is unspecified, so
+                            emitted files stop being diffable.
+  pragma-once               every header must carry #pragma once.
+  include-cycle             the repo-relative include graph must be acyclic.
+  no-naked-new              naked new/delete outside src/util/; use
+                            containers or smart pointers.
+
+Suppress a finding by appending to the offending line:
+    // resched-lint: allow(<rule-id>)
+
+Exit status: 0 when clean, 1 when any finding is reported, 2 on usage error.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+SOURCE_DIRS = ("src", "tools", "tests", "bench", "examples")
+SOURCE_EXTS = (".cpp", ".hpp", ".cc", ".h")
+
+# Paths (relative, '/'-separated) whose job is emitting human- or
+# machine-readable output; iteration order leaks straight into files here.
+OUTPUT_PATH_PREFIXES = ("src/io/", "tools/")
+OUTPUT_PATH_FILES = (
+    "src/sched/gantt.cpp",
+    "src/sched/gantt.hpp",
+    "src/sched/svg.cpp",
+    "src/sched/svg.hpp",
+    "src/sched/metrics.cpp",
+    "src/sched/metrics.hpp",
+    "src/util/csv.cpp",
+    "src/util/csv.hpp",
+    "src/util/json.cpp",
+    "src/util/json.hpp",
+)
+
+SUPPRESS_RE = re.compile(r"//\s*resched-lint:\s*allow\(([a-zA-Z0-9_,\s-]+)\)")
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"]+)"')
+PRAGMA_ONCE_RE = re.compile(r"^\s*#\s*pragma\s+once\b")
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text):
+    """Replaces comments, string and char literals with spaces, preserving
+    line structure, so token rules cannot fire inside prose or literals."""
+    out = []
+    i = 0
+    n = len(text)
+    state = "code"
+    raw_delim = None
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+            elif c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+            elif c == '"' and re.search(r'R"[^(]*\($', text[max(0, i - 16):i + 1]):
+                m = re.search(r'R"([^(]*)\($', text[max(0, i - 16):i + 1])
+                raw_delim = ')' + m.group(1) + '"'
+                state = "raw_string"
+                out.append('"')
+                i += 1
+            elif c == '"':
+                state = "string"
+                out.append('"')
+                i += 1
+            elif c == "'":
+                state = "char"
+                out.append("'")
+                i += 1
+            else:
+                out.append(c)
+                i += 1
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+            i += 1
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+            else:
+                out.append("\n" if c == "\n" else " ")
+                i += 1
+        elif state == "string":
+            if c == "\\":
+                out.append("  ")
+                i += 2
+            elif c == '"':
+                state = "code"
+                out.append('"')
+                i += 1
+            else:
+                out.append("\n" if c == "\n" else " ")
+                i += 1
+        elif state == "char":
+            if c == "\\":
+                out.append("  ")
+                i += 2
+            elif c == "'":
+                state = "code"
+                out.append("'")
+                i += 1
+            else:
+                out.append(" ")
+                i += 1
+        elif state == "raw_string":
+            if text.startswith(raw_delim, i):
+                out.append('"' + " " * (len(raw_delim) - 1))
+                i += len(raw_delim)
+                state = "code"
+                raw_delim = None
+            else:
+                out.append("\n" if c == "\n" else " ")
+                i += 1
+    return "".join(out)
+
+
+# (rule, compiled regex, message). Applied per stripped line.
+TOKEN_RULES = [
+    (
+        "no-std-rand",
+        re.compile(r"\bstd\s*::\s*rand\b|(?<![\w:])srand\s*\("),
+        "std::rand/srand break seeded reproducibility; use resched::Rng "
+        "(util/rng.hpp)",
+    ),
+    (
+        "no-wall-clock-seed",
+        re.compile(r"(?<![\w:])time\s*\(\s*(nullptr|NULL|0)\s*\)"),
+        "wall-clock seeding makes runs unreproducible; thread the seed "
+        "through options/flags",
+    ),
+    (
+        "no-argless-random-device",
+        re.compile(r"\bstd\s*::\s*random_device\b(?!\s*[({]\s*\")"),
+        "default-constructed std::random_device draws hardware entropy; "
+        "seeds must be explicit",
+    ),
+]
+
+UNORDERED_RE = re.compile(
+    r"\bunordered_(map|set|multimap|multiset)\b")
+
+NAKED_NEW_RE = re.compile(r"(?<![\w.:])new\b(?!\s*\()")
+NAKED_DELETE_RE = re.compile(r"(?<![\w.:])delete\b(?!\s*[;)\]],?)")
+DELETED_FN_RE = re.compile(r"=\s*delete\b")
+
+
+def rel(path, root):
+    return os.path.relpath(path, root).replace(os.sep, "/")
+
+
+def iter_source_files(root):
+    for top in SOURCE_DIRS:
+        base = os.path.join(root, top)
+        if not os.path.isdir(base):
+            continue
+        for dirpath, dirnames, filenames in os.walk(base):
+            dirnames[:] = sorted(d for d in dirnames if not d.startswith("."))
+            for name in sorted(filenames):
+                if name.endswith(SOURCE_EXTS):
+                    yield os.path.join(dirpath, name)
+
+
+def suppressions(raw_lines):
+    """Maps line number (1-based) -> set of allowed rule ids."""
+    allowed = {}
+    for i, line in enumerate(raw_lines, start=1):
+        m = SUPPRESS_RE.search(line)
+        if m:
+            allowed[i] = {r.strip() for r in m.group(1).split(",")}
+    return allowed
+
+
+def is_output_path(relpath):
+    return relpath.startswith(OUTPUT_PATH_PREFIXES) or \
+        relpath in OUTPUT_PATH_FILES
+
+
+def lint_file(path, root, findings):
+    relpath = rel(path, root)
+    try:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            raw = f.read()
+    except OSError as e:
+        findings.append(Finding(relpath, 0, "io-error", str(e)))
+        return
+    raw_lines = raw.splitlines()
+    allowed = suppressions(raw_lines)
+    stripped_lines = strip_comments_and_strings(raw).splitlines()
+
+    def report(lineno, rule, message):
+        if rule not in allowed.get(lineno, ()):  # suppressed?
+            findings.append(Finding(relpath, lineno, rule, message))
+
+    for lineno, line in enumerate(stripped_lines, start=1):
+        for rule, regex, message in TOKEN_RULES:
+            if regex.search(line):
+                report(lineno, rule, message)
+        if is_output_path(relpath) and UNORDERED_RE.search(line):
+            report(
+                lineno, "no-unordered-in-output",
+                "unordered containers have unspecified iteration order; "
+                "output paths must use std::map/std::set or sort first")
+        if relpath.startswith("src/") and \
+                not relpath.startswith("src/util/"):
+            if NAKED_NEW_RE.search(line):
+                report(
+                    lineno, "no-naked-new",
+                    "naked `new` outside src/util/; use containers or "
+                    "std::make_unique")
+            if NAKED_DELETE_RE.search(line) and \
+                    not DELETED_FN_RE.search(line):
+                report(
+                    lineno, "no-naked-new",
+                    "naked `delete` outside src/util/; use RAII owners")
+
+    if relpath.endswith((".hpp", ".h")):
+        if not any(PRAGMA_ONCE_RE.match(l) for l in raw_lines):
+            report(1, "pragma-once", "header is missing #pragma once")
+
+
+def lint_include_cycles(root, findings):
+    """Builds the repo-relative include graph over src/ (includes are written
+    relative to src/, e.g. "core/options.hpp") and rejects cycles."""
+    src = os.path.join(root, "src")
+    graph = {}
+    if not os.path.isdir(src):
+        return
+    for dirpath, _, filenames in os.walk(src):
+        for name in sorted(filenames):
+            if not name.endswith(SOURCE_EXTS):
+                continue
+            path = os.path.join(dirpath, name)
+            node = rel(path, src)
+            edges = []
+            try:
+                with open(path, encoding="utf-8", errors="replace") as f:
+                    for line in f:
+                        m = INCLUDE_RE.match(line)
+                        if m and os.path.isfile(os.path.join(src, m.group(1))):
+                            edges.append(m.group(1))
+            except OSError:
+                continue
+            graph[node] = edges
+
+    WHITE, GREY, BLACK = 0, 1, 2
+    color = {node: WHITE for node in graph}
+    stack = []
+
+    def dfs(node):
+        color[node] = GREY
+        stack.append(node)
+        for dep in graph.get(node, ()):
+            if color.get(dep, WHITE) == GREY:
+                cycle = stack[stack.index(dep):] + [dep]
+                findings.append(Finding(
+                    "src/" + dep, 1, "include-cycle",
+                    "include cycle: " + " -> ".join(cycle)))
+            elif color.get(dep, WHITE) == WHITE and dep in graph:
+                dfs(dep)
+        stack.pop()
+        color[node] = BLACK
+
+    for node in sorted(graph):
+        if color[node] == WHITE:
+            dfs(node)
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        prog="resched_lint",
+        description="repo-specific determinism and hygiene lint")
+    parser.add_argument(
+        "--root",
+        default=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        help="repository root to scan (default: this script's repo)")
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print rule ids and exit")
+    parser.add_argument(
+        "files", nargs="*",
+        help="limit the per-file rules to these files (include-cycle still "
+        "scans the whole graph)")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule, _, _ in TOKEN_RULES:
+            print(rule)
+        for rule in ("no-unordered-in-output", "pragma-once",
+                     "include-cycle", "no-naked-new"):
+            print(rule)
+        return 0
+
+    root = os.path.abspath(args.root)
+    if not os.path.isdir(root):
+        print(f"resched_lint: no such directory: {root}", file=sys.stderr)
+        return 2
+
+    findings = []
+    files = [os.path.abspath(f) for f in args.files] or \
+        list(iter_source_files(root))
+    for path in files:
+        lint_file(path, root, findings)
+    lint_include_cycles(root, findings)
+
+    for finding in sorted(findings, key=lambda f: (f.path, f.line, f.rule)):
+        print(finding)
+    if findings:
+        print(f"resched_lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
