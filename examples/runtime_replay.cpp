@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
       sim::SimOptions opt;
       opt.task_jitter = jitter;
       opt.reconf_jitter = jitter;
-      opt.seed = HashCombine(seed, i);
+      opt.seed = DeriveSeed(kJitterSeedStream ^ seed, i);
       const sim::SimResult r = sim::Simulate(instance, schedule, opt);
       makespan_ms.Add(static_cast<double>(r.makespan) / 1e3);
       stretches.push_back(r.stretch);

@@ -1,0 +1,34 @@
+// JSON (de)serialization of fault scenarios (sim/faults.hpp).
+//
+// A scenario file is meaningful only next to the schedule it was written
+// against: event indices reference that schedule's reconfiguration /
+// region / task numbering.
+//
+// Format:
+// {
+//   "format": "resched-faults", "version": 1,
+//   "events": [{"kind": "reconf_failure", "index": 2, "count": 1},
+//              {"kind": "transient_region_fault", "index": 0,
+//               "at": 120, "window": 40},
+//              {"kind": "permanent_region_loss", "index": 1, "at": 300},
+//              {"kind": "task_crash", "index": 7, "count": 2},
+//              {"kind": "task_overrun", "index": 9, "factor": 2.0}, ...]
+// }
+#pragma once
+
+#include "sim/faults.hpp"
+#include "util/json.hpp"
+
+namespace resched {
+
+JsonValue FaultScenarioToJson(const sim::FaultScenario& scenario);
+sim::FaultScenario FaultScenarioFromJson(const JsonValue& json);
+
+std::string FaultScenarioToString(const sim::FaultScenario& scenario);
+sim::FaultScenario FaultScenarioFromString(const std::string& text);
+
+void SaveFaultScenario(const sim::FaultScenario& scenario,
+                       const std::string& path);
+sim::FaultScenario LoadFaultScenario(const std::string& path);
+
+}  // namespace resched

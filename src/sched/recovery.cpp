@@ -1,0 +1,160 @@
+#include "sched/recovery.hpp"
+
+#include <algorithm>
+
+#include "util/string_util.hpp"
+
+namespace resched {
+
+const char* ToString(RecoveryPolicy policy) {
+  switch (policy) {
+    case RecoveryPolicy::kRetry: return "retry";
+    case RecoveryPolicy::kSoftwareFallback: return "swfallback";
+    case RecoveryPolicy::kSuffixReschedule: return "suffix";
+  }
+  return "?";
+}
+
+RecoveryPolicy ParseRecoveryPolicy(const std::string& name) {
+  if (name == "retry") return RecoveryPolicy::kRetry;
+  if (name == "swfallback") return RecoveryPolicy::kSoftwareFallback;
+  if (name == "suffix") return RecoveryPolicy::kSuffixReschedule;
+  throw InstanceError("unknown recovery policy: " + name +
+                      " (expected retry|swfallback|suffix)");
+}
+
+TimeT RetryBackoff(const RecoveryOptions& options, TimeT reconf_time,
+                   std::size_t attempt) {
+  RESCHED_CHECK_MSG(attempt >= 1, "backoff attempts are 1-based");
+  const TimeT base =
+      options.backoff_base > 0 ? options.backoff_base
+                               : std::max<TimeT>(1, reconf_time);
+  const TimeT cap =
+      options.backoff_cap > 0 ? options.backoff_cap : 8 * base;
+  TimeT delay = base;
+  for (std::size_t k = 1; k < attempt && delay < cap; ++k) {
+    delay *= 2;
+  }
+  return std::min(delay, cap);
+}
+
+namespace {
+
+/// Index of the least-loaded core (ties -> lowest index).
+std::size_t LeastLoadedCore(const std::vector<TimeT>& core_load) {
+  RESCHED_CHECK_MSG(!core_load.empty(),
+                    "recovery planning requires at least one processor");
+  std::size_t best = 0;
+  for (std::size_t c = 1; c < core_load.size(); ++c) {
+    if (core_load[c] < core_load[best]) best = c;
+  }
+  return best;
+}
+
+std::size_t RequireSoftwareImpl(const TaskGraph& graph, TaskId task) {
+  const Task& t = graph.GetTask(task);
+  for (std::size_t i = 0; i < t.impls.size(); ++i) {
+    if (t.impls[i].IsSoftware()) return graph.FastestSoftwareImpl(task);
+  }
+  throw InstanceError(StrFormat(
+      "recovery deadlock: task %d (%s) lost its hardware home and has no "
+      "software implementation to fall back to",
+      task, t.name.c_str()));
+}
+
+RecoveryDecision PlaceOnCore(const TaskGraph& graph, TaskId task,
+                             RecoveryContext& context) {
+  RecoveryDecision d;
+  d.task = task;
+  d.to_region = false;
+  d.impl_index = RequireSoftwareImpl(graph, task);
+  d.target = LeastLoadedCore(context.core_load);
+  const TimeT exec = graph.GetImpl(task, d.impl_index).exec_time;
+  context.core_load[d.target] =
+      std::max(context.core_load[d.target], context.now) + exec;
+  return d;
+}
+
+}  // namespace
+
+std::vector<RecoveryDecision> PlanSoftwareFallback(
+    const TaskGraph& graph, const std::vector<TaskId>& orphans,
+    RecoveryContext& context) {
+  std::vector<RecoveryDecision> plan;
+  plan.reserve(orphans.size());
+  for (const TaskId task : orphans) {
+    plan.push_back(PlaceOnCore(graph, task, context));
+  }
+  return plan;
+}
+
+std::vector<RecoveryDecision> PlanSuffixRepair(
+    const TaskGraph& graph, const std::vector<TaskId>& orphans,
+    RecoveryContext& context) {
+  std::vector<RecoveryDecision> plan;
+  plan.reserve(orphans.size());
+  for (const TaskId task : orphans) {
+    // Software candidate (may not exist; guarded below).
+    bool has_sw = false;
+    std::size_t sw_impl = 0;
+    for (std::size_t i = 0; i < graph.GetTask(task).impls.size(); ++i) {
+      if (graph.GetTask(task).impls[i].IsSoftware()) {
+        has_sw = true;
+        sw_impl = graph.FastestSoftwareImpl(task);
+        break;
+      }
+    }
+    TimeT best_finish = kTimeInfinity;
+    RecoveryDecision best;
+    best.task = task;
+    if (has_sw) {
+      const std::size_t core = LeastLoadedCore(context.core_load);
+      best.to_region = false;
+      best.target = core;
+      best.impl_index = sw_impl;
+      best_finish = std::max(context.core_load[core], context.now) +
+                    graph.GetImpl(task, sw_impl).exec_time;
+    }
+    // Hardware candidates: surviving regions whose frozen capacity covers
+    // one of the orphan's hardware implementations. A strictly earlier
+    // finish wins; ties keep the software/lower-index candidate.
+    for (std::size_t s = 0; s < context.regions.size(); ++s) {
+      const RecoveryContext::RegionState& region = context.regions[s];
+      if (!region.usable) continue;
+      for (const std::size_t i : graph.HardwareImpls(task)) {
+        const Implementation& impl = graph.GetImpl(task, i);
+        if (!impl.res.FitsWithin(region.res)) continue;
+        const TimeT finish = std::max(region.load, context.now) +
+                             region.reconf_time + impl.exec_time;
+        if (finish < best_finish) {
+          best_finish = finish;
+          best.to_region = true;
+          best.target = s;
+          best.impl_index = i;
+        }
+      }
+    }
+    if (best_finish == kTimeInfinity) {
+      // Neither a region nor a core can host the orphan.
+      (void)RequireSoftwareImpl(graph, task);  // throws the deadlock guard
+    }
+    if (best.to_region) {
+      best.controller = LeastLoadedCore(context.controller_load);
+      RecoveryContext::RegionState& region = context.regions[best.target];
+      const TimeT start = std::max(region.load, context.now);
+      region.load = start + region.reconf_time +
+                    graph.GetImpl(task, best.impl_index).exec_time;
+      context.controller_load[best.controller] =
+          std::max(context.controller_load[best.controller], start) +
+          region.reconf_time;
+    } else {
+      const TimeT exec = graph.GetImpl(task, best.impl_index).exec_time;
+      context.core_load[best.target] =
+          std::max(context.core_load[best.target], context.now) + exec;
+    }
+    plan.push_back(best);
+  }
+  return plan;
+}
+
+}  // namespace resched

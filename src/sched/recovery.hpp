@@ -1,0 +1,114 @@
+// Online schedule recovery: what the runtime does when the fabric
+// misbehaves (failed reconfigurations, transient region faults, permanent
+// region loss, task crashes).
+//
+// Three pluggable policies:
+//
+//  * kRetry — re-run the failed operation in place. Failed
+//    reconfigurations retry on the controller with capped exponential
+//    backoff; transiently-faulted regions wait out their repair window.
+//    Software fallback happens only when forced (a permanently lost
+//    region, or a reconfiguration that exhausted its attempt budget).
+//  * kSoftwareFallback — migrate eagerly: any task whose hardware home
+//    becomes unavailable (killed by a fault, orphaned by a dead region,
+//    or starved by an abandoned reconfiguration) moves to its software
+//    implementation on the least-loaded core, preserving precedence.
+//  * kSuffixReschedule — re-plan the unstarted suffix of a dead region
+//    with all started decisions pinned: each orphan is re-mapped to the
+//    finish-time-minimizing option among the surviving regions (paying a
+//    fresh reconfiguration) and the cores. The floorplan is frozen at
+//    runtime — regions cannot be reshaped on a live FPGA — so this is
+//    PA's mapping/ordering reasoning applied to the suffix, not a full
+//    re-floorplan.
+//
+// Guarantee: as long as every task keeps at least one software
+// implementation, every policy can always make progress (the cores are
+// never lost), so simulation under any fault scenario terminates. The
+// planners throw InstanceError when that precondition is violated — the
+// "no-SW-implementation deadlock guard".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sched/schedule.hpp"
+
+namespace resched {
+
+enum class RecoveryPolicy : std::uint8_t {
+  kRetry,
+  kSoftwareFallback,
+  kSuffixReschedule,
+};
+
+const char* ToString(RecoveryPolicy policy);
+/// Parses "retry" | "swfallback" | "suffix"; throws InstanceError otherwise.
+RecoveryPolicy ParseRecoveryPolicy(const std::string& name);
+
+struct RecoveryOptions {
+  RecoveryPolicy policy = RecoveryPolicy::kRetry;
+  /// A reconfiguration is abandoned (its task migrates) after this many
+  /// failed attempts.
+  std::size_t max_reconf_attempts = 4;
+  /// Backoff before retry k (1-based) is
+  ///   min(backoff_base * 2^(k-1), backoff_cap)
+  /// ticks. 0 selects the defaults: base = the region's reconfiguration
+  /// time, cap = 8x base — the controller is the scarce resource, so the
+  /// delay is denominated in units of the work it would redo.
+  TimeT backoff_base = 0;
+  TimeT backoff_cap = 0;
+};
+
+/// Backoff delay before retry `attempt` (1-based) of a reconfiguration
+/// whose nominal duration is `reconf_time`.
+TimeT RetryBackoff(const RecoveryOptions& options, TimeT reconf_time,
+                   std::size_t attempt);
+
+/// Live-resource snapshot the planners bid against. `load` values are
+/// projected availability times (now + committed work); the planners add
+/// their own placements so consecutive decisions stay spread out.
+struct RecoveryContext {
+  TimeT now = 0;
+  /// Projected availability per processor.
+  std::vector<TimeT> core_load;
+  struct RegionState {
+    TimeT load = 0;          ///< projected availability
+    bool usable = false;     ///< alive (not dead, not the faulted region)
+    ResourceVec res;         ///< frozen capacity of the region
+    TimeT reconf_time = 0;   ///< Eq. (2) reconfiguration duration
+  };
+  std::vector<RegionState> regions;
+  /// Projected availability per reconfiguration controller.
+  std::vector<TimeT> controller_load;
+};
+
+/// One re-placement decision for an orphaned task.
+struct RecoveryDecision {
+  TaskId task = kInvalidTask;
+  bool to_region = false;
+  std::size_t target = 0;      ///< processor id, or region id
+  std::size_t impl_index = 0;
+  /// Controller that runs the fresh reconfiguration (regions only).
+  std::size_t controller = 0;
+};
+
+/// kSoftwareFallback planner: each orphan (callers pass them in
+/// topological order) goes to its fastest software implementation on the
+/// least-loaded core. Throws InstanceError when an orphan has no software
+/// implementation (the deadlock guard). Mutates `context` loads.
+std::vector<RecoveryDecision> PlanSoftwareFallback(
+    const TaskGraph& graph, const std::vector<TaskId>& orphans,
+    RecoveryContext& context);
+
+/// kSuffixReschedule planner: each orphan is placed on the candidate with
+/// the earliest estimated finish — a usable region whose capacity covers
+/// one of the orphan's hardware implementations (cost: availability +
+/// reconfiguration + execution) or a core running the fastest software
+/// implementation. Ties prefer the software option, then the lower index,
+/// keeping the plan deterministic. Throws InstanceError when an orphan has
+/// neither a feasible region nor a software implementation.
+std::vector<RecoveryDecision> PlanSuffixRepair(
+    const TaskGraph& graph, const std::vector<TaskId>& orphans,
+    RecoveryContext& context);
+
+}  // namespace resched

@@ -77,10 +77,13 @@ ValidationResult ValidateSchedule(const Instance& instance,
       continue;
     }
     const Implementation& impl = task.impls[slot.impl_index];
-    if (slot.end - slot.start != impl.exec_time) {
+    if (!options.executed && slot.end - slot.start != impl.exec_time) {
       fail(StrFormat("task %zu: slot length %lld != impl time %lld", t,
                      static_cast<long long>(slot.end - slot.start),
                      static_cast<long long>(impl.exec_time)));
+    }
+    if (options.executed && slot.end <= slot.start) {
+      fail(StrFormat("task %zu: executed slot is empty", t));
     }
     if (slot.start < 0) {
       fail(StrFormat("task %zu starts before time 0", t));
@@ -219,7 +222,8 @@ ValidationResult ValidateSchedule(const Instance& instance,
         fail(StrFormat("reconfiguration for task %d ends after its start",
                        tout->task));
       }
-      if (found->end - found->start != region.reconf_time) {
+      if (!opt.executed &&
+          found->end - found->start != region.reconf_time) {
         fail(StrFormat("reconfiguration for task %d lasts %lld != region "
                        "reconf time %lld",
                        tout->task,
@@ -282,6 +286,36 @@ ValidationResult ValidateSchedule(const Instance& instance,
     fail(StrFormat("recorded makespan %lld != computed %lld",
                    static_cast<long long>(schedule.makespan),
                    static_cast<long long>(schedule.ComputeMakespan())));
+  }
+
+  // ---- V11: region fault windows. Slots are half-open, so touching a
+  // window boundary is legal; any true overlap is not.
+  for (const RegionOutage& outage : options.outages) {
+    if (outage.region >= schedule.regions.size()) continue;
+    for (const TaskSlot& slot : schedule.task_slots) {
+      if (!slot.OnFpga() || slot.target_index != outage.region) continue;
+      if (slot.start < outage.end && outage.start < slot.end) {
+        fail(StrFormat(
+            "task %d [%lld,%lld) overlaps fault window [%lld,%lld) on "
+            "region %zu",
+            slot.task, static_cast<long long>(slot.start),
+            static_cast<long long>(slot.end),
+            static_cast<long long>(outage.start),
+            static_cast<long long>(outage.end), outage.region));
+      }
+    }
+    for (const ReconfSlot& r : schedule.reconfigurations) {
+      if (r.region != outage.region) continue;
+      if (r.start < outage.end && outage.start < r.end) {
+        fail(StrFormat(
+            "reconfiguration for task %d [%lld,%lld) overlaps fault window "
+            "[%lld,%lld) on region %zu",
+            r.loads_task, static_cast<long long>(r.start),
+            static_cast<long long>(r.end),
+            static_cast<long long>(outage.start),
+            static_cast<long long>(outage.end), outage.region));
+      }
+    }
   }
 
   // ---- V10: floorplan.

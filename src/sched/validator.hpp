@@ -18,7 +18,9 @@
 //   V8  capacity: the summed region requirements fit the device;
 //   V9  makespan equals the latest task end;
 //   V10 (when the schedule carries one) the floorplan is geometrically
-//       valid for the region set.
+//       valid for the region set;
+//   V11 (when the options carry fault windows) nothing is scheduled on a
+//       region while it is faulted — see RegionOutage below.
 #pragma once
 
 #include <string>
@@ -28,11 +30,29 @@
 
 namespace resched {
 
+/// One region fault window: the region is unavailable during
+/// [start, end). `end == kTimeInfinity` encodes permanent loss.
+struct RegionOutage {
+  std::size_t region = 0;
+  TimeT start = 0;
+  TimeT end = kTimeInfinity;
+};
+
 struct ValidationOptions {
   /// Accept skipped reconfigurations between consecutive same-module tasks.
   bool allow_module_reuse = true;
   /// Require a geometrically valid floorplan to be attached.
   bool require_floorplan = false;
+  /// Validate an as-executed (simulated/recovered) schedule: slot lengths
+  /// may deviate from nominal implementation times (jitter, overruns) and
+  /// reconfiguration durations are not checked against Eq. (2). Structural
+  /// constraints — targets, precedence, exclusivity, makespan — still
+  /// apply, which is what makes a recovered schedule checkable at all
+  /// (e.g. a migrated task must run a software implementation on a core).
+  bool executed = false;
+  /// Region fault windows: no task slot or reconfiguration may overlap
+  /// [start, end) on the named region (V11).
+  std::vector<RegionOutage> outages;
 };
 
 struct ValidationResult {

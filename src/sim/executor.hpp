@@ -14,9 +14,20 @@
 // doubles as a strong cross-check of schedule consistency. With jitter it
 // measures the *robustness* of a scheduler's decisions: how much a
 // schedule degrades when execution times deviate from their estimates.
+//
+// With a non-empty FaultScenario the replay switches to a time-ordered
+// event engine that injects the scenario's faults and recovers online per
+// the configured policy (sim/faults.hpp, sched/recovery.hpp): failed
+// reconfigurations retry with capped exponential backoff, transiently
+// faulted regions go offline for their repair window, permanently lost
+// regions hand their unstarted tasks to the recovery planner. An empty
+// scenario takes the original relaxation path, so nominal results are
+// bit-identical to the pre-fault executor.
 #pragma once
 
+#include "sched/recovery.hpp"
 #include "sched/schedule.hpp"
+#include "sim/faults.hpp"
 #include "util/rng.hpp"
 
 namespace resched::sim {
@@ -27,6 +38,10 @@ struct SimOptions {
   /// Same for reconfiguration durations.
   double reconf_jitter = 0.0;
   std::uint64_t seed = 1;
+  /// Fault events to inject; empty = nominal replay.
+  FaultScenario faults;
+  /// Recovery policy and retry knobs (consulted only under faults).
+  RecoveryOptions recovery;
 };
 
 struct ResourceUsage {
@@ -35,19 +50,41 @@ struct ResourceUsage {
   double utilization = 0.0;  ///< busy / makespan
 };
 
+/// Telemetry of the online-recovery machinery (all zero under an empty
+/// scenario).
+struct RecoveryStats {
+  std::size_t reconf_retries = 0;    ///< failed reconfiguration attempts
+  std::size_t task_restarts = 0;     ///< crash/kill re-executions
+  std::size_t migrations = 0;        ///< tasks moved to a software fallback
+  std::size_t rescheduled_tasks = 0; ///< tasks re-placed by suffix repair
+  std::size_t abandoned_regions = 0; ///< regions permanently lost
+  bool survived = true;              ///< every task completed
+};
+
 struct SimResult {
   TimeT makespan = 0;
   std::vector<TimeT> task_start;
   std::vector<TimeT> task_end;
   std::vector<ResourceUsage> usage;  ///< cores, regions, controllers
 
-  /// makespan / schedule.makespan — the degradation factor.
+  /// makespan / schedule.makespan — the degradation factor (under faults:
+  /// the degraded stretch).
   double stretch = 0.0;
+
+  RecoveryStats recovery;
+
+  /// The as-executed schedule: final targets/implementations (reflecting
+  /// any recovery migrations) with simulated times and only the successful
+  /// reconfiguration attempts. Passes ValidateSchedule with
+  /// ValidationOptions{.executed = true, .outages = OutagesFromScenario(...)}.
+  Schedule executed;
 };
 
 /// Simulates `schedule` on `instance`. Throws InternalError if the
 /// schedule's decision structure is inconsistent (e.g. a hardware task in
-/// a region that never hosts it).
+/// a region that never hosts it) and InstanceError if recovery would
+/// deadlock (a task lost its hardware home and has no software
+/// implementation).
 SimResult Simulate(const Instance& instance, const Schedule& schedule,
                    const SimOptions& options = {});
 

@@ -1,0 +1,103 @@
+#include "sim/faults.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace resched::sim {
+
+const char* ToString(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kReconfFailure: return "reconf_failure";
+    case FaultKind::kTransientRegionFault: return "transient_region_fault";
+    case FaultKind::kPermanentRegionLoss: return "permanent_region_loss";
+    case FaultKind::kTaskCrash: return "task_crash";
+    case FaultKind::kTaskOverrun: return "task_overrun";
+  }
+  return "?";
+}
+
+FaultRates UniformFaultRates(double rate) {
+  FaultRates rates;
+  rates.reconf_failure_prob = rate;
+  rates.transient_region_prob = rate;
+  rates.permanent_region_prob = rate / 4.0;
+  rates.task_crash_prob = rate / 2.0;
+  rates.task_overrun_prob = rate;
+  return rates;
+}
+
+FaultScenario GenerateFaultScenario(const Schedule& schedule,
+                                    const FaultRates& rates,
+                                    std::uint64_t seed) {
+  FaultScenario scenario;
+  Rng rng(seed);
+  const TimeT horizon = std::max<TimeT>(1, schedule.makespan);
+  const TimeT window = std::max<TimeT>(
+      1, static_cast<TimeT>(static_cast<double>(horizon) *
+                            rates.repair_window_frac));
+
+  // Fixed visit order keeps the event list a pure function of
+  // (schedule shape, rates, seed): reconfigurations, regions, tasks.
+  for (std::size_t r = 0; r < schedule.reconfigurations.size(); ++r) {
+    if (!rng.Bernoulli(rates.reconf_failure_prob)) continue;
+    FaultEvent event;
+    event.kind = FaultKind::kReconfFailure;
+    event.index = r;
+    event.count = 1;
+    while (event.count < 3 && rng.Bernoulli(rates.reconf_failure_prob)) {
+      ++event.count;
+    }
+    scenario.events.push_back(event);
+  }
+  for (std::size_t s = 0; s < schedule.regions.size(); ++s) {
+    if (rng.Bernoulli(rates.permanent_region_prob)) {
+      FaultEvent event;
+      event.kind = FaultKind::kPermanentRegionLoss;
+      event.index = s;
+      event.at = rng.UniformInt(0, horizon - 1);
+      scenario.events.push_back(event);
+      continue;  // a lost region draws no transient fault
+    }
+    if (rng.Bernoulli(rates.transient_region_prob)) {
+      FaultEvent event;
+      event.kind = FaultKind::kTransientRegionFault;
+      event.index = s;
+      event.at = rng.UniformInt(0, horizon - 1);
+      event.window = window;
+      scenario.events.push_back(event);
+    }
+  }
+  for (std::size_t t = 0; t < schedule.task_slots.size(); ++t) {
+    if (rng.Bernoulli(rates.task_crash_prob)) {
+      FaultEvent event;
+      event.kind = FaultKind::kTaskCrash;
+      event.index = t;
+      event.count = 1;
+      scenario.events.push_back(event);
+    }
+    if (rng.Bernoulli(rates.task_overrun_prob)) {
+      FaultEvent event;
+      event.kind = FaultKind::kTaskOverrun;
+      event.index = t;
+      event.factor = rates.overrun_factor;
+      scenario.events.push_back(event);
+    }
+  }
+  return scenario;
+}
+
+std::vector<RegionOutage> OutagesFromScenario(const FaultScenario& scenario) {
+  std::vector<RegionOutage> outages;
+  for (const FaultEvent& event : scenario.events) {
+    if (event.kind == FaultKind::kTransientRegionFault) {
+      outages.push_back(RegionOutage{event.index, event.at,
+                                     event.at + event.window});
+    } else if (event.kind == FaultKind::kPermanentRegionLoss) {
+      outages.push_back(RegionOutage{event.index, event.at, kTimeInfinity});
+    }
+  }
+  return outages;
+}
+
+}  // namespace resched::sim

@@ -1,0 +1,105 @@
+// Deterministic fault scenarios for the execution simulator.
+//
+// A FaultScenario is an explicit, replayable list of fault events against
+// one schedule: which reconfiguration attempts fail, which regions suffer
+// transient faults (offline for a repair window) or permanent loss, which
+// tasks crash or overrun. Scenarios are either written by hand (and
+// round-tripped through src/io/fault_io) or generated from per-class
+// rates with a seed — the same (schedule, rates, seed) triple always
+// yields the same event list, so every faulted run is reproducible.
+#pragma once
+
+#include "sched/schedule.hpp"
+#include "sched/validator.hpp"
+
+namespace resched::sim {
+
+enum class FaultKind : std::uint8_t {
+  /// Attempts of reconfiguration `index` fail `count` times before
+  /// succeeding; each failed attempt occupies the controller for the full
+  /// duration and retries after capped exponential backoff.
+  kReconfFailure,
+  /// Region `index` goes offline at time `at` for `window` ticks (an SEU
+  /// whose repair window covers scrubbing); a task or reconfiguration in
+  /// flight on the region is killed and re-run.
+  kTransientRegionFault,
+  /// Region `index` dies at time `at` and never comes back; its unstarted
+  /// tasks are recovered per policy (sched/recovery.hpp).
+  kPermanentRegionLoss,
+  /// Task `index` crashes `count` times: each attempt runs to completion,
+  /// is discarded, and the task re-runs.
+  kTaskCrash,
+  /// Task `index` runs `factor` x longer than its (jittered) estimate.
+  kTaskOverrun,
+};
+
+const char* ToString(FaultKind kind);
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kReconfFailure;
+  /// Reconfiguration index, region index, or task id — per `kind`.
+  std::size_t index = 0;
+  /// Onset time (region faults only).
+  TimeT at = 0;
+  /// Repair window (transient region faults only).
+  TimeT window = 0;
+  /// Failed attempts (reconfiguration failures, crashes).
+  std::size_t count = 1;
+  /// Duration multiplier (overruns).
+  double factor = 1.0;
+
+  friend bool operator==(const FaultEvent& a, const FaultEvent& b) {
+    return a.kind == b.kind && a.index == b.index && a.at == b.at &&
+           a.window == b.window && a.count == b.count && a.factor == b.factor;
+  }
+};
+
+struct FaultScenario {
+  std::vector<FaultEvent> events;
+  bool Empty() const { return events.empty(); }
+
+  friend bool operator==(const FaultScenario& a, const FaultScenario& b) {
+    return a.events == b.events;
+  }
+};
+
+/// Per-class fault rates for seeded scenario generation. Probabilities are
+/// per entity (per reconfiguration / region / task); onset times are drawn
+/// uniformly over the schedule's nominal makespan.
+struct FaultRates {
+  /// P(a reconfiguration suffers >= 1 failed attempt); extra consecutive
+  /// failures follow Bernoulli(p) draws, capped at 3.
+  double reconf_failure_prob = 0.0;
+  /// P(a region suffers one transient fault).
+  double transient_region_prob = 0.0;
+  /// P(a region is permanently lost). Drawn before the transient fault; a
+  /// lost region draws no transient.
+  double permanent_region_prob = 0.0;
+  double task_crash_prob = 0.0;
+  double task_overrun_prob = 0.0;
+  /// Overrun multiplier applied to affected tasks.
+  double overrun_factor = 2.0;
+  /// Transient repair window as a fraction of the nominal makespan
+  /// (>= 1 tick).
+  double repair_window_frac = 0.05;
+};
+
+/// Spreads one scalar fault rate over the event classes: reconfiguration
+/// failures, transient region faults and overruns at `rate`, crashes at
+/// half of it, permanent region loss at a quarter (losing fabric for good
+/// is the rare catastrophic case). The single-knob sweep used by
+/// `resched_cli simulate --fault-rate` and bench/ext_robustness.
+FaultRates UniformFaultRates(double rate);
+
+/// Generates the deterministic scenario for (schedule, rates, seed).
+/// Entities are visited in a fixed order (reconfigurations, regions,
+/// tasks, each ascending), so the event list is stable across platforms.
+FaultScenario GenerateFaultScenario(const Schedule& schedule,
+                                    const FaultRates& rates,
+                                    std::uint64_t seed);
+
+/// Region fault windows of a scenario in validator form (permanent losses
+/// become windows open until kTimeInfinity). See ValidationOptions::outages.
+std::vector<RegionOutage> OutagesFromScenario(const FaultScenario& scenario);
+
+}  // namespace resched::sim

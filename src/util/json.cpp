@@ -199,8 +199,21 @@ class Parser {
 
  private:
   [[noreturn]] void Fail(const std::string& msg) {
-    throw JsonError("JSON parse error at offset " + std::to_string(pos_) +
-                    ": " + msg);
+    // Report line:column (both 1-based) rather than a raw byte offset:
+    // instance and fault-scenario files are hand-edited, and editors
+    // navigate by line. The scan is O(n) but only runs on the error path.
+    std::size_t line = 1;
+    std::size_t column = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+    throw JsonError("JSON parse error at line " + std::to_string(line) +
+                    ":" + std::to_string(column) + ": " + msg);
   }
 
   void SkipWhitespace() {

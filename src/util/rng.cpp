@@ -82,6 +82,14 @@ std::size_t Rng::WeightedIndex(const std::vector<double>& weights) {
   return weights.size() - 1;  // numerical edge: fall back to last index
 }
 
+std::uint64_t DeriveSeed(std::uint64_t stream, std::uint64_t index) {
+  // Diffuse the stream tag before mixing in the index so that streams
+  // differing in a single bit do not produce correlated per-index seeds.
+  std::uint64_t s = stream;
+  const std::uint64_t diffused = SplitMix64(s);
+  return HashCombine(diffused, SplitMix64(s) ^ index);
+}
+
 Rng Rng::Split() {
   const std::uint64_t child_seed = HashCombine(Next(), Next());
   return Rng(child_seed);

@@ -71,4 +71,17 @@ std::uint64_t SplitMix64(std::uint64_t& state);
 /// Hash-combines two 64-bit values (for deriving per-index seeds).
 std::uint64_t HashCombine(std::uint64_t a, std::uint64_t b);
 
+/// Derives the seed of trial `index` within the named `stream`. Distinct
+/// streams (jitter trials, fault-scenario generation, ...) stay
+/// decorrelated even for equal indices, and nearby indices within one
+/// stream yield statistically independent generators. This is the one
+/// sanctioned way to derive per-trial seeds; ad-hoc `HashCombine(tag, i)`
+/// call sites should migrate here so stream separation is auditable.
+std::uint64_t DeriveSeed(std::uint64_t stream, std::uint64_t index);
+
+/// Well-known stream tags for DeriveSeed. Any 64-bit value works; these
+/// exist so independent subsystems cannot collide by accident.
+inline constexpr std::uint64_t kJitterSeedStream = 0x5EED'0000'0000'0001ULL;
+inline constexpr std::uint64_t kFaultSeedStream = 0x5EED'0000'0000'0002ULL;
+
 }  // namespace resched

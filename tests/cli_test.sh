@@ -118,6 +118,42 @@ grep -v '_seconds' "$TMP/j1.json" > "$TMP/j1.flt"
 grep -v '_seconds' "$TMP/j2.json" > "$TMP/j2.flt"
 cmp "$TMP/j1.flt" "$TMP/j2.flt" || fail "pa json output differs beyond timings"
 
+# --- faulted simulation -------------------------------------------------------
+# Nominal replay of a valid schedule must survive with stretch <= 1.
+out=$("$CLI" simulate --instance "$TMP/i.json" --schedule "$TMP/s.json")
+echo "$out" | grep -q "survival: 100.0%" || fail "nominal simulate survival"
+
+# Scenario round-trip: generate a seeded scenario, then replay it twice
+# from the file — the runs must be bit-for-bit identical, and the replay
+# must match the generating run's summary.
+"$CLI" simulate --instance "$TMP/i.json" --schedule "$TMP/s.json" \
+    --fault-rate 0.3 --seed 5 --jitter 0.2 --policy suffix \
+    --scenario-out "$TMP/fs.json" > "$TMP/sim0.txt" \
+    || fail "fault-rate simulate"
+grep -q '"resched-faults"' "$TMP/fs.json" || fail "scenario format marker"
+"$CLI" simulate --instance "$TMP/i.json" --schedule "$TMP/s.json" \
+    --faults "$TMP/fs.json" --seed 5 --jitter 0.2 --policy suffix \
+    > "$TMP/sim1.txt" || fail "scenario replay"
+"$CLI" simulate --instance "$TMP/i.json" --schedule "$TMP/s.json" \
+    --faults "$TMP/fs.json" --seed 5 --jitter 0.2 --policy suffix \
+    > "$TMP/sim2.txt" || fail "scenario replay (second run)"
+cmp "$TMP/sim1.txt" "$TMP/sim2.txt" \
+    || fail "faulted replay differs across identical runs"
+cmp "$TMP/sim0.txt" "$TMP/sim1.txt" \
+    || fail "scenario file replay differs from generating run"
+
+# Every recovery policy survives the same scenario.
+for policy in retry swfallback suffix; do
+  "$CLI" simulate --instance "$TMP/i.json" --schedule "$TMP/s.json" \
+      --faults "$TMP/fs.json" --policy "$policy" > /dev/null \
+      || fail "policy $policy did not survive"
+done
+
+# --faults and --fault-rate are mutually exclusive.
+"$CLI" simulate --instance "$TMP/i.json" --schedule "$TMP/s.json" \
+    --faults "$TMP/fs.json" --fault-rate 0.1 > /dev/null 2>&1 \
+    && fail "conflicting fault flags accepted"
+
 # --- error handling -----------------------------------------------------------
 "$CLI" schedule --instance "$TMP/i.json" --algo bogus > /dev/null 2>&1 \
     && fail "bogus algo accepted"

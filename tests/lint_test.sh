@@ -41,10 +41,20 @@ cat > "$TMP/src/io/emit.cpp" <<'EOF'
 #include <unordered_map>
 void emit(const std::unordered_map<int, int>& m) { (void)m; }
 EOF
+cat > "$TMP/src/core/swallow.cpp" <<'EOF'
+void risky();
+void quiet() {
+  try {
+    risky();
+  } catch (...) {
+  }
+}
+EOF
 
 out=$("$PYTHON" "$LINT" --root "$TMP") && fail "seeded violations not detected"
 for rule in no-std-rand no-wall-clock-seed no-argless-random-device \
-    no-unordered-in-output pragma-once include-cycle no-naked-new; do
+    no-unordered-in-output pragma-once include-cycle no-naked-new \
+    no-silent-catch; do
   echo "$out" | grep -q "\[$rule\]" || fail "rule $rule did not fire"
 done
 
@@ -68,5 +78,24 @@ int h() { return 0; }
 EOF
 "$PYTHON" "$LINT" --root "$CLEAN" \
     || fail "lint fired inside comments/strings"
+
+# --- catch-alls that rethrow, capture, or log are acceptable ------------------
+cat > "$CLEAN/src/core/handled.cpp" <<'EOF'
+#include <cstdio>
+#include <exception>
+void risky();
+void rethrows() {
+  try { risky(); } catch (...) { throw; }
+}
+void captures() {
+  std::exception_ptr p;
+  try { risky(); } catch (...) { p = std::current_exception(); }
+}
+void logs() {
+  try { risky(); } catch (...) { std::fprintf(stderr, "risky failed\n"); }
+}
+EOF
+"$PYTHON" "$LINT" --root "$CLEAN" \
+    || fail "no-silent-catch fired on a handled catch-all"
 
 echo "lint_test OK"

@@ -13,6 +13,8 @@
 #include "core/pa_scheduler.hpp"
 #include "floorplan/floorplanner.hpp"
 #include "sched/validator.hpp"
+#include "sim/executor.hpp"
+#include "sim/faults.hpp"
 #include "taskgraph/generator.hpp"
 #include "taskgraph/timing.hpp"
 #include "test_helpers.hpp"
@@ -355,6 +357,59 @@ TEST_P(SchedulerInvariantSweep, PaInvariantsOnRandomShapes) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerInvariantSweep,
                          ::testing::Range<std::uint64_t>(400, 420));
+
+// ----------------------------------------------------------------- simulator
+
+class SimulatorPropertySweep
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimulatorPropertySweep, ZeroJitterZeroFaultNeverStretches) {
+  // With nominal durations and no faults the replay can only compact
+  // schedule slack, and the explicitly-empty scenario must reproduce the
+  // default (pre-fault) executor bit for bit.
+  GeneratorOptions gen;
+  gen.num_tasks = 25 + GetParam() % 20;
+  const Instance inst =
+      GenerateInstance(MakeZedBoard(), gen, GetParam(), "simprop");
+  const Schedule s = SchedulePa(inst);
+  const sim::SimResult base = sim::Simulate(inst, s);
+  EXPECT_LE(base.stretch, 1.0);
+  EXPECT_LE(base.makespan, s.makespan);
+
+  sim::SimOptions empty_scenario;
+  empty_scenario.faults = sim::FaultScenario{};
+  const sim::SimResult same = sim::Simulate(inst, s, empty_scenario);
+  EXPECT_EQ(base.makespan, same.makespan);
+  EXPECT_EQ(base.task_start, same.task_start);
+  EXPECT_EQ(base.task_end, same.task_end);
+}
+
+TEST_P(SimulatorPropertySweep, FaultedReplaySurvivesRandomShapes) {
+  Rng rng(GetParam() ^ 0xFA017);
+  GeneratorOptions gen;
+  gen.num_tasks = static_cast<std::size_t>(rng.UniformInt(5, 45));
+  gen.max_width = static_cast<std::size_t>(rng.UniformInt(1, 10));
+  const Instance inst =
+      GenerateInstance(MakeZedBoard(), gen, GetParam() * 104729, "simshape");
+  const Schedule s = SchedulePa(inst);
+  sim::SimOptions opt;
+  opt.task_jitter = 0.3;
+  opt.reconf_jitter = 0.3;
+  opt.seed = DeriveSeed(kJitterSeedStream, GetParam());
+  opt.faults = sim::GenerateFaultScenario(
+      s, sim::UniformFaultRates(0.35), DeriveSeed(kFaultSeedStream, GetParam()));
+  opt.recovery.policy = static_cast<RecoveryPolicy>(GetParam() % 3);
+  const sim::SimResult r = sim::Simulate(inst, s, opt);
+  EXPECT_TRUE(r.recovery.survived);
+  ValidationOptions vopt;
+  vopt.executed = true;
+  vopt.outages = sim::OutagesFromScenario(opt.faults);
+  const ValidationResult v = ValidateSchedule(inst, r.executed, vopt);
+  EXPECT_TRUE(v.ok()) << v.Summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimulatorPropertySweep,
+                         ::testing::Range<std::uint64_t>(500, 515));
 
 }  // namespace
 }  // namespace resched

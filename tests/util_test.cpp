@@ -138,6 +138,24 @@ TEST(RngTest, SplitStreamsAreIndependent) {
   EXPECT_LT(equal, 4);
 }
 
+TEST(RngTest, DeriveSeedIsDeterministic) {
+  EXPECT_EQ(DeriveSeed(kJitterSeedStream, 7), DeriveSeed(kJitterSeedStream, 7));
+  EXPECT_NE(DeriveSeed(kJitterSeedStream, 7), DeriveSeed(kJitterSeedStream, 8));
+}
+
+TEST(RngTest, DeriveSeedSeparatesStreams) {
+  // The same trial index in different streams must yield unrelated seeds —
+  // this is what keeps jitter draws and fault draws uncorrelated.
+  EXPECT_NE(DeriveSeed(kJitterSeedStream, 0), DeriveSeed(kFaultSeedStream, 0));
+  int equal = 0;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    if (DeriveSeed(kJitterSeedStream, i) == DeriveSeed(kFaultSeedStream, i)) {
+      ++equal;
+    }
+  }
+  EXPECT_EQ(equal, 0);
+}
+
 // ---------------------------------------------------------------- stats
 
 TEST(StatsTest, RunningStatBasics) {

@@ -14,10 +14,15 @@
 //   resched_cli import-stg --stg f.stg [--cores C] [--recfreq-mbps M]
 //                        [--speedup S] [--hw-impls K] [--out instance.json]
 //   resched_cli validate --instance f.json --schedule s.json
+//   resched_cli simulate --instance f.json --schedule s.json
+//                        [--faults fs.json | --fault-rate R]
+//                        [--trials N] [--policy retry|swfallback|suffix]
+//                        [--seed S] [--jitter J] [--scenario-out fs.json]
 //   resched_cli info     --instance f.json
 //   resched_cli dot      --instance f.json
 //
-// Exit status: 0 on success (and, for validate, a valid schedule), 1 on a
+// Exit status: 0 on success (and, for validate, a valid schedule; for
+// simulate, all trials surviving with valid executed schedules), 1 on a
 // validation failure, 2 on usage errors.
 #include <fstream>
 #include <iostream>
@@ -29,6 +34,7 @@
 #include "core/local_search.hpp"
 #include "core/pa_scheduler.hpp"
 #include "core/randomized.hpp"
+#include "io/fault_io.hpp"
 #include "io/instance_io.hpp"
 #include "io/schedule_io.hpp"
 #include "io/stg_io.hpp"
@@ -36,11 +42,13 @@
 #include "sched/svg.hpp"
 #include "sched/metrics.hpp"
 #include "sched/validator.hpp"
+#include "sim/executor.hpp"
 #include "taskgraph/analysis.hpp"
 #include "taskgraph/dot.hpp"
 #include "taskgraph/replicate.hpp"
 #include "taskgraph/generator.hpp"
 #include "util/flags.hpp"
+#include "util/stats.hpp"
 #include "util/string_util.hpp"
 
 namespace resched::cli {
@@ -65,6 +73,11 @@ int Usage() {
       "                       [--recfreq-mbps M] [--speedup S]\n"
       "                       [--hw-impls K] [--out instance.json]\n"
       "  resched_cli validate --instance f.json --schedule s.json\n"
+      "  resched_cli simulate --instance f.json --schedule s.json\n"
+      "                       [--faults fs.json | --fault-rate R]\n"
+      "                       [--trials N] [--policy retry|swfallback|suffix]\n"
+      "                       [--seed S] [--jitter J]\n"
+      "                       [--scenario-out fs.json]\n"
       "  resched_cli info     --instance f.json\n"
       "  resched_cli dot      --instance f.json\n";
   return 2;
@@ -224,6 +237,100 @@ int CmdValidate(const Flags& flags) {
   return check.ok() ? 0 : 1;
 }
 
+int CmdSimulate(const Flags& flags) {
+  const Instance instance = LoadInstanceFlag(flags);
+  const std::string schedule_path = flags.GetString("schedule", "");
+  if (schedule_path.empty()) throw FlagError("--schedule is required");
+  const Schedule schedule = LoadSchedule(instance, schedule_path);
+
+  const std::string faults_path = flags.GetString("faults", "");
+  const double fault_rate = flags.GetDouble("fault-rate", -1.0);
+  if (!faults_path.empty() && fault_rate >= 0.0) {
+    throw FlagError("--faults and --fault-rate are mutually exclusive");
+  }
+  const auto trials =
+      static_cast<std::size_t>(flags.GetInt("trials", 1));
+  if (trials == 0) throw FlagError("--trials must be positive");
+  const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 1));
+  const double jitter = flags.GetDouble("jitter", 0.0);
+
+  sim::SimOptions options;
+  options.task_jitter = jitter;
+  options.reconf_jitter = jitter;
+  options.recovery.policy =
+      ParseRecoveryPolicy(flags.GetString("policy", "retry"));
+
+  sim::FaultScenario fixed_scenario;
+  if (!faults_path.empty()) fixed_scenario = LoadFaultScenario(faults_path);
+
+  std::size_t survived = 0;
+  std::size_t invalid = 0;
+  std::vector<double> stretches;
+  sim::RecoveryStats totals;
+  const std::string scenario_out = flags.GetString("scenario-out", "");
+  for (std::size_t i = 0; i < trials; ++i) {
+    sim::FaultScenario scenario = fixed_scenario;
+    if (fault_rate >= 0.0) {
+      scenario = sim::GenerateFaultScenario(
+          schedule, sim::UniformFaultRates(fault_rate),
+          DeriveSeed(kFaultSeedStream ^ seed, i));
+    }
+    if (i == 0 && !scenario_out.empty()) {
+      SaveFaultScenario(scenario, scenario_out);
+      std::cerr << "wrote " << scenario_out << "\n";
+    }
+    options.faults = scenario;
+    options.seed = DeriveSeed(kJitterSeedStream ^ seed, i);
+    try {
+      const sim::SimResult r = sim::Simulate(instance, schedule, options);
+      ValidationOptions vopt;
+      vopt.executed = true;
+      vopt.outages = sim::OutagesFromScenario(scenario);
+      const ValidationResult check =
+          ValidateSchedule(instance, r.executed, vopt);
+      if (!check.ok()) {
+        ++invalid;
+        std::cerr << "trial " << i << ": executed schedule invalid:\n"
+                  << check.Summary() << "\n";
+        continue;
+      }
+      ++survived;
+      stretches.push_back(r.stretch);
+      totals.reconf_retries += r.recovery.reconf_retries;
+      totals.task_restarts += r.recovery.task_restarts;
+      totals.migrations += r.recovery.migrations;
+      totals.rescheduled_tasks += r.recovery.rescheduled_tasks;
+      totals.abandoned_regions += r.recovery.abandoned_regions;
+    } catch (const InstanceError& e) {
+      // Recovery deadlock (no software fallback left) — the trial is lost.
+      std::cerr << "trial " << i << ": " << e.what() << "\n";
+    }
+  }
+
+  std::cout << StrFormat(
+      "simulate: %s schedule, %zu trial(s), policy %s, jitter %.2f\n",
+      schedule.algorithm.c_str(), trials,
+      ToString(options.recovery.policy), jitter);
+  std::cout << StrFormat("survival: %.1f%% (%zu/%zu)\n",
+                         100.0 * static_cast<double>(survived) /
+                             static_cast<double>(trials),
+                         survived, trials);
+  if (!stretches.empty()) {
+    double sum = 0.0;
+    for (const double s : stretches) sum += s;
+    std::cout << StrFormat(
+        "stretch:  mean %.3f  p95 %.3f\n",
+        sum / static_cast<double>(stretches.size()),
+        Percentile(stretches, 95.0));
+  }
+  std::cout << StrFormat(
+      "recovery: retries %zu  restarts %zu  migrations %zu  "
+      "rescheduled %zu  regions-lost %zu\n",
+      totals.reconf_retries, totals.task_restarts, totals.migrations,
+      totals.rescheduled_tasks, totals.abandoned_regions);
+  return survived == trials && invalid == 0 ? 0 : 1;
+}
+
 int CmdImportStg(const Flags& flags) {
   const std::string path = flags.GetString("stg", "");
   if (path.empty()) throw FlagError("--stg is required");
@@ -286,6 +393,7 @@ int Main(int argc, char** argv) {
   if (command == "schedule") return CmdSchedule(flags);
   if (command == "import-stg") return CmdImportStg(flags);
   if (command == "validate") return CmdValidate(flags);
+  if (command == "simulate") return CmdSimulate(flags);
   if (command == "info") return CmdInfo(flags);
   if (command == "dot") return CmdDot(flags);
   return Usage();

@@ -25,6 +25,10 @@ Rules:
   include-cycle             the repo-relative include graph must be acyclic.
   no-naked-new              naked new/delete outside src/util/; use
                             containers or smart pointers.
+  no-silent-catch           a `catch (...)` that neither rethrows nor logs
+                            swallows failures the fault-injection layer is
+                            supposed to surface; rethrow, log, or narrow
+                            the handler.
 
 Suppress a finding by appending to the offending line:
     // resched-lint: allow(<rule-id>)
@@ -187,6 +191,45 @@ NAKED_NEW_RE = re.compile(r"(?<![\w.:])new\b(?!\s*\()")
 NAKED_DELETE_RE = re.compile(r"(?<![\w.:])delete\b(?!\s*[;)\]],?)")
 DELETED_FN_RE = re.compile(r"=\s*delete\b")
 
+CATCH_ALL_RE = re.compile(r"\bcatch\s*\(\s*\.\.\.\s*\)")
+# Tokens that make a catch-all handler acceptable: it propagates the
+# failure (throw / rethrow_exception), captures it for someone else
+# (current_exception), reports it (cerr / Log* / fprintf / printf), or
+# dies loudly (abort).
+CATCH_HANDLED_RE = re.compile(
+    r"\bthrow\b|\brethrow_exception\b|\bcurrent_exception\b|\bcerr\b"
+    r"|\bLog\w*\s*\(|\bfprintf\s*\(|\bprintf\s*\(|\babort\s*\(")
+
+
+def lint_silent_catches(relpath, stripped, report):
+    """Flags `catch (...)` blocks whose body neither rethrows, captures,
+    logs, nor aborts. Operates on comment/string-stripped text so literals
+    cannot satisfy (or trigger) the rule."""
+    for m in CATCH_ALL_RE.finditer(stripped):
+        open_brace = stripped.find("{", m.end())
+        if open_brace < 0:
+            continue
+        # Nothing but whitespace may sit between the ) and the {.
+        if stripped[m.end():open_brace].strip():
+            continue
+        depth = 0
+        pos = open_brace
+        while pos < len(stripped):
+            if stripped[pos] == "{":
+                depth += 1
+            elif stripped[pos] == "}":
+                depth -= 1
+                if depth == 0:
+                    break
+            pos += 1
+        body = stripped[open_brace:pos + 1]
+        if not CATCH_HANDLED_RE.search(body):
+            lineno = stripped.count("\n", 0, m.start()) + 1
+            report(
+                lineno, "no-silent-catch",
+                "catch (...) that neither rethrows nor logs swallows "
+                "failures silently; rethrow, log, or narrow the handler")
+
 
 def rel(path, root):
     return os.path.relpath(path, root).replace(os.sep, "/")
@@ -229,7 +272,8 @@ def lint_file(path, root, findings):
         return
     raw_lines = raw.splitlines()
     allowed = suppressions(raw_lines)
-    stripped_lines = strip_comments_and_strings(raw).splitlines()
+    stripped = strip_comments_and_strings(raw)
+    stripped_lines = stripped.splitlines()
 
     def report(lineno, rule, message):
         if rule not in allowed.get(lineno, ()):  # suppressed?
@@ -256,6 +300,8 @@ def lint_file(path, root, findings):
                 report(
                     lineno, "no-naked-new",
                     "naked `delete` outside src/util/; use RAII owners")
+
+    lint_silent_catches(relpath, stripped, report)
 
     if relpath.endswith((".hpp", ".h")):
         if not any(PRAGMA_ONCE_RE.match(l) for l in raw_lines):
@@ -329,7 +375,7 @@ def main(argv):
         for rule, _, _ in TOKEN_RULES:
             print(rule)
         for rule in ("no-unordered-in-output", "pragma-once",
-                     "include-cycle", "no-naked-new"):
+                     "include-cycle", "no-naked-new", "no-silent-catch"):
             print(rule)
         return 0
 
