@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Convert bench CSV dumps into BENCH_<name>.json result files.
+
+Every bench binary writes ``<out_dir>/<name>.csv`` (see
+bench/common/bench_common.cpp). This script re-emits each CSV as
+``BENCH_<name>.json`` — a machine-readable artifact for CI trend tracking
+and for diffing runs without a CSV parser:
+
+    {
+      "name": "micro_restart",
+      "source_csv": "bench_results/micro_restart.csv",
+      "num_rows": 18,
+      "columns": ["instance", "mode", ...],
+      "rows": [{"instance": "tg_n20_i0", "mode": "legacy", ...}, ...]
+    }
+
+Cell values are coerced to int or float when they parse as one, so
+downstream tooling can compare numerically.
+
+Usage:
+    bench_to_json.py [--out-dir DIR] [csv-or-dir ...]
+
+With no positional arguments, converts every ``*.csv`` under
+``bench_results/``. JSON files land next to each CSV unless --out-dir is
+given. Stdlib only.
+"""
+
+import argparse
+import csv
+import json
+import sys
+from pathlib import Path
+
+
+def coerce(cell: str):
+    """Returns cell as int, then float, then unchanged string."""
+    for parse in (int, float):
+        try:
+            return parse(cell)
+        except ValueError:
+            continue
+    return cell
+
+
+def convert(csv_path: Path, out_dir: Path | None) -> Path:
+    with csv_path.open(newline="") as fh:
+        reader = csv.reader(fh)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ValueError(f"{csv_path}: empty CSV")
+        rows = []
+        for lineno, raw in enumerate(reader, start=2):
+            if len(raw) != len(header):
+                raise ValueError(
+                    f"{csv_path}:{lineno}: expected {len(header)} cells, "
+                    f"got {len(raw)}"
+                )
+            rows.append({key: coerce(cell) for key, cell in zip(header, raw)})
+
+    payload = {
+        "name": csv_path.stem,
+        "source_csv": str(csv_path),
+        "num_rows": len(rows),
+        "columns": header,
+        "rows": rows,
+    }
+    target_dir = out_dir if out_dir is not None else csv_path.parent
+    target_dir.mkdir(parents=True, exist_ok=True)
+    out_path = target_dir / f"BENCH_{csv_path.stem}.json"
+    with out_path.open("w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    return out_path
+
+
+def gather(arguments: list[str]) -> list[Path]:
+    if not arguments:
+        arguments = ["bench_results"]
+    csvs: list[Path] = []
+    for arg in arguments:
+        path = Path(arg)
+        if path.is_dir():
+            found = sorted(path.glob("*.csv"))
+            if not found:
+                print(f"warning: no CSV files under {path}", file=sys.stderr)
+            csvs.extend(found)
+        elif path.is_file():
+            csvs.append(path)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    return csvs
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="Emit BENCH_<name>.json files from bench CSV dumps."
+    )
+    parser.add_argument(
+        "inputs",
+        nargs="*",
+        help="CSV files or directories of CSVs (default: bench_results/)",
+    )
+    parser.add_argument(
+        "--out-dir",
+        type=Path,
+        default=None,
+        help="directory for the JSON files (default: next to each CSV)",
+    )
+    args = parser.parse_args()
+
+    try:
+        csvs = gather(args.inputs)
+    except FileNotFoundError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    if not csvs:
+        print("error: nothing to convert", file=sys.stderr)
+        return 2
+
+    status = 0
+    for csv_path in csvs:
+        try:
+            out_path = convert(csv_path, args.out_dir)
+        except ValueError as err:
+            print(f"error: {err}", file=sys.stderr)
+            status = 1
+            continue
+        print(out_path)
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

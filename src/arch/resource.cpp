@@ -37,6 +37,14 @@ bool operator==(const ResourceVec& a, const ResourceVec& b) {
                     b.v_.begin());
 }
 
+bool LexicographicallyBefore(const ResourceVec& a, const ResourceVec& b) {
+  if (a.size_ != b.size_) return a.size_ < b.size_;
+  for (std::size_t i = 0; i < a.size_; ++i) {
+    if (a.v_[i] != b.v_[i]) return a.v_[i] < b.v_[i];
+  }
+  return false;
+}
+
 bool ResourceVec::FitsWithin(const ResourceVec& o) const {
   CheckSameArity(o);
   for (std::size_t i = 0; i < size_; ++i) {

@@ -57,6 +57,12 @@ class ResourceVec {
   /// Component-wise a <= b (this fits within capacity `o`).
   bool FitsWithin(const ResourceVec& o) const;
 
+  /// Strict total order: arity first, then components lexicographically.
+  /// This is a canonicalization order for caches and dedup — NOT a
+  /// capacity relation (use FitsWithin for that).
+  friend bool LexicographicallyBefore(const ResourceVec& a,
+                                      const ResourceVec& b);
+
   /// True when every component is zero.
   bool IsZero() const;
 

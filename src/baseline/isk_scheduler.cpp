@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "baseline/isk_state.hpp"
+#include "floorplan/floorplan_cache.hpp"
 #include "sched/comm.hpp"
 #include "baseline/priority.hpp"
 #include "util/logging.hpp"
@@ -325,6 +326,11 @@ Schedule ScheduleIsk(const Instance& instance, const IskOptions& options) {
   double scheduling_seconds = 0.0;
   double floorplanning_seconds = 0.0;
 
+  std::optional<FloorplanCache> cache;
+  if (options.floorplan_cache && options.run_floorplan) {
+    cache.emplace(instance.platform.Device());
+  }
+
   ResourceVec avail_cap = instance.platform.Device().Capacity();
   Schedule schedule;
   for (std::size_t round = 0; round <= options.max_shrink_rounds; ++round) {
@@ -339,8 +345,10 @@ Schedule ScheduleIsk(const Instance& instance, const IskOptions& options) {
     if (!options.run_floorplan) break;
 
     const FloorplanResult fp =
-        FindFloorplan(instance.platform.Device(),
-                      schedule.RegionRequirements(), options.floorplan);
+        cache ? cache->Query(schedule.RegionRequirements(), options.floorplan)
+              : FindFloorplan(instance.platform.Device(),
+                              schedule.RegionRequirements(),
+                              options.floorplan);
     floorplanning_seconds += fp.seconds;
     if (fp.feasible) {
       schedule.floorplan = fp.rects;
@@ -354,6 +362,7 @@ Schedule ScheduleIsk(const Instance& instance, const IskOptions& options) {
 
   schedule.scheduling_seconds = scheduling_seconds;
   schedule.floorplanning_seconds = floorplanning_seconds;
+  if (cache) schedule.floorplan_cache = cache->Stats();
   return schedule;
 }
 

@@ -37,6 +37,9 @@ struct IskOptions {
   double shrink_factor = 0.9;
   std::size_t max_shrink_rounds = 12;
   FloorplanOptions floorplan;
+  /// Memoize floorplan queries across shrink rounds (bit-identical results;
+  /// off exists for benchmarking and debugging — see PaOptions).
+  bool floorplan_cache = true;
 };
 
 /// Runs IS-k to completion (including the floorplan feasibility loop when

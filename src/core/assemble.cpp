@@ -2,24 +2,32 @@
 // end computation, applied to the *final* windows after every delay
 // propagation) and double-checks the reconfiguration timeline invariants
 // that phase G establishes by construction.
+//
+// The output Schedule is fully overwritten in place so a restart loop can
+// reuse one candidate object (its vectors keep their capacity).
 #include <algorithm>
-#include <map>
 
 #include "core/pa_state.hpp"
 
 namespace resched::pa {
 
-Schedule AssembleSchedule(PaState& state, std::vector<ReconfSlot> reconfs) {
-  const TaskGraph& graph = state.Inst().graph;
-  const TimeWindows& win = state.Timing().Windows();
+void AssembleSchedule(const PaContext& ctx, PaScratch& s, Schedule& out) {
+  const TaskGraph& graph = ctx.Inst().graph;
+  const TimeWindows& win = s.Timing().Windows();
+  StageBuffers& buf = s.Buffers();
+  const std::vector<ReconfSlot>& reconfs = buf.timeline;
 
   // Ingoing task per reconfiguration (the region task preceding the loaded
-  // one), for the invariant sweep below.
-  std::map<std::pair<std::size_t, TaskId>, TaskId> ingoing;
-  for (std::size_t s = 0; s < state.Regions().size(); ++s) {
-    const DraftRegion& region = state.Regions()[s];
+  // one), for the invariant sweep below. A task lives in at most one
+  // region and appears there once, so indexing by the loaded task is
+  // unambiguous.
+  std::vector<TaskId>& ingoing = buf.ingoing_of;
+  ingoing.assign(graph.NumTasks(), kInvalidTask);
+  for (std::size_t r = 0; r < s.NumRegions(); ++r) {
+    const DraftRegion& region = s.Region(r);
     for (std::size_t i = 0; i + 1 < region.tasks.size(); ++i) {
-      ingoing[{s, region.tasks[i + 1]}] = region.tasks[i];
+      ingoing[static_cast<std::size_t>(region.tasks[i + 1])] =
+          region.tasks[i];
     }
   }
 
@@ -28,24 +36,25 @@ Schedule AssembleSchedule(PaState& state, std::vector<ReconfSlot> reconfs) {
   // starts, and the controller timeline must be overlap-free. Phase G
   // guarantees all three; this is cheap insurance against regressions.
   {
-    std::vector<ReconfSlot> sorted = reconfs;
+    std::vector<ReconfSlot>& sorted = buf.sorted_reconfs;
+    sorted.assign(reconfs.begin(), reconfs.end());
     std::sort(sorted.begin(), sorted.end(),
               [](const ReconfSlot& a, const ReconfSlot& b) {
                 return a.start < b.start;
               });
-    std::vector<TimeT> last_end(
-        state.Inst().platform.NumReconfigurators(), 0);
+    std::vector<TimeT>& last_end = buf.controller_last_end;
+    last_end.assign(ctx.Inst().platform.NumReconfigurators(), 0);
     for (const ReconfSlot& slot : sorted) {
-      const auto it = ingoing.find({slot.region, slot.loads_task});
-      RESCHED_CHECK_MSG(it != ingoing.end(),
+      const TaskId in_task =
+          ingoing[static_cast<std::size_t>(slot.loads_task)];
+      RESCHED_CHECK_MSG(in_task != kInvalidTask,
                         "reconfiguration without an ingoing task");
-      const auto in = static_cast<std::size_t>(it->second);
-      const auto out = static_cast<std::size_t>(slot.loads_task);
+      const auto in = static_cast<std::size_t>(in_task);
+      const auto out_t = static_cast<std::size_t>(slot.loads_task);
       RESCHED_CHECK_MSG(
-          slot.start >= win.earliest_start[in] +
-                            state.Timing().ExecTime(it->second),
+          slot.start >= win.earliest_start[in] + s.Timing().ExecTime(in_task),
           "reconfiguration starts before its ingoing task ends");
-      RESCHED_CHECK_MSG(slot.end <= win.earliest_start[out],
+      RESCHED_CHECK_MSG(slot.end <= win.earliest_start[out_t],
                         "reconfiguration ends after its outgoing task starts");
       RESCHED_CHECK_MSG(slot.start >= last_end.at(slot.controller),
                         "reconfigurations overlap on a controller");
@@ -53,47 +62,53 @@ Schedule AssembleSchedule(PaState& state, std::vector<ReconfSlot> reconfs) {
     }
   }
 
-  // ---- freeze the schedule (§V-E on the final windows).
-  Schedule schedule;
-  schedule.task_slots.resize(graph.NumTasks());
+  // ---- freeze the schedule (§V-E on the final windows). Every field of
+  // `out` is overwritten; vector assignments reuse capacity.
+  out.task_slots.resize(graph.NumTasks());
   for (std::size_t ti = 0; ti < graph.NumTasks(); ++ti) {
     const auto t = static_cast<TaskId>(ti);
-    TaskSlot& slot = schedule.task_slots[ti];
+    TaskSlot& slot = out.task_slots[ti];
     slot.task = t;
-    slot.impl_index = state.ImplIndex(t);
+    slot.impl_index = s.ImplIndex(t);
     slot.start = win.earliest_start[ti];
-    slot.end = slot.start + state.Timing().ExecTime(t);
-    if (state.RegionOf(t) >= 0) {
+    slot.end = slot.start + s.Timing().ExecTime(t);
+    if (s.RegionOf(t) >= 0) {
       slot.target = TargetKind::kRegion;
-      slot.target_index = static_cast<std::size_t>(state.RegionOf(t));
+      slot.target_index = static_cast<std::size_t>(s.RegionOf(t));
     } else {
-      RESCHED_CHECK_MSG(state.ProcessorOf(t) >= 0,
+      RESCHED_CHECK_MSG(s.ProcessorOf(t) >= 0,
                         "software task was never mapped to a core");
       slot.target = TargetKind::kProcessor;
-      slot.target_index = static_cast<std::size_t>(state.ProcessorOf(t));
+      slot.target_index = static_cast<std::size_t>(s.ProcessorOf(t));
     }
   }
 
-  schedule.regions.reserve(state.Regions().size());
-  for (const DraftRegion& draft : state.Regions()) {
-    RegionInfo info;
+  out.regions.resize(s.NumRegions());
+  for (std::size_t r = 0; r < s.NumRegions(); ++r) {
+    const DraftRegion& draft = s.Region(r);
+    RegionInfo& info = out.regions[r];
     info.res = draft.res;
     info.reconf_time = draft.reconf_time;
-    info.tasks = draft.tasks;
+    info.tasks.assign(draft.tasks.begin(), draft.tasks.end());
     std::sort(info.tasks.begin(), info.tasks.end(),
-              [&schedule](TaskId a, TaskId b) {
-                return schedule.SlotOf(a).start < schedule.SlotOf(b).start;
+              [&out](TaskId a, TaskId b) {
+                return out.SlotOf(a).start < out.SlotOf(b).start;
               });
-    schedule.regions.push_back(std::move(info));
   }
 
-  std::sort(reconfs.begin(), reconfs.end(),
-            [](const ReconfSlot& a, const ReconfSlot& b) {
-              return a.start < b.start;
-            });
-  schedule.reconfigurations = std::move(reconfs);
-  schedule.makespan = schedule.ComputeMakespan();
-  return schedule;
+  out.reconfigurations.assign(buf.sorted_reconfs.begin(),
+                              buf.sorted_reconfs.end());
+  out.makespan = out.ComputeMakespan();
+
+  // Solver metadata: reset to a freshly-scheduled state; the drivers fill
+  // these in.
+  out.algorithm.clear();
+  out.scheduling_seconds = 0.0;
+  out.floorplanning_seconds = 0.0;
+  out.floorplan_retries = 0;
+  out.floorplan.clear();
+  out.floorplan_checked = false;
+  out.floorplan_cache = {};
 }
 
 }  // namespace resched::pa

@@ -1,50 +1,24 @@
 // §V-A implementation selection and §V-B critical path extraction.
-#include "core/cost_model.hpp"
+//
+// Both phases are independent of the virtually available capacity, so the
+// actual Eq.-(3) selection and the criticality snapshot are precomputed
+// once in PaContext (pa_context.cpp); per restart the stages reduce to
+// bulk installs into the scratch.
 #include "core/pa_state.hpp"
 
 namespace resched::pa {
 
-void RunImplementationSelection(PaState& state) {
-  const TaskGraph& graph = state.Inst().graph;
-  const ResourceVec& max_res = state.Inst().platform.Device().Capacity();
-  const std::vector<double>& weights = state.Weights();
-  const TimeT max_t = state.MaxT();
-
-  for (std::size_t ti = 0; ti < graph.NumTasks(); ++ti) {
-    const auto t = static_cast<TaskId>(ti);
-    const Task& task = graph.GetTask(t);
-
-    // Lowest-cost hardware implementation (Eq. 3)...
-    std::size_t best_hw = task.impls.size();
-    double best_hw_cost = 0.0;
-    for (std::size_t i = 0; i < task.impls.size(); ++i) {
-      if (!task.impls[i].IsHardware()) continue;
-      const double cost =
-          ImplementationCost(task.impls[i], max_res, weights, max_t);
-      if (best_hw == task.impls.size() || cost < best_hw_cost) {
-        best_hw = i;
-        best_hw_cost = cost;
-      }
-    }
-
-    // ... versus the fastest software implementation; the faster of the two
-    // wins (ties go to hardware: an accelerator at equal speed frees a
-    // core).
-    const std::size_t best_sw = graph.FastestSoftwareImpl(t);
-    std::size_t chosen = best_sw;
-    if (best_hw != task.impls.size() &&
-        task.impls[best_hw].exec_time <= task.impls[best_sw].exec_time) {
-      chosen = best_hw;
-    }
-    state.SetImpl(t, chosen);
-  }
+void RunImplementationSelection(const PaContext& ctx, PaScratch& s) {
+  (void)ctx;
+  s.AdoptInitialImplementations();
 }
 
-void RunCriticalPathExtraction(PaState& state) {
+void RunCriticalPathExtraction(const PaContext& ctx, PaScratch& s) {
   // The CPM sweep itself lives in TimingContext (recomputed on demand);
   // here we pin the criticality labels that drive the phase-C processing
   // order, as the paper fixes them once after the initial schedule.
-  state.SnapshotCriticality();
+  (void)ctx;
+  s.AdoptInitialCriticality();
 }
 
 }  // namespace resched::pa

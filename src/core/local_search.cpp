@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <numeric>
+#include <optional>
 
 #include "core/cost_model.hpp"
+#include "core/pa_state.hpp"
+#include "floorplan/floorplan_cache.hpp"
 #include "util/timer.hpp"
 
 namespace resched {
@@ -51,6 +54,11 @@ PaRResult SchedulePaLs(const Instance& instance,
   Rng rng(options.seed);
   const ResourceVec full_cap = instance.platform.Device().Capacity();
 
+  std::optional<FloorplanCache> cache;
+  if (options.base.floorplan_cache) {
+    cache.emplace(instance.platform.Device());
+  }
+
   PaRResult result;
   TimeT best_makespan = kTimeInfinity;
   // Walk state initialized from the warm start: its shrink loop tells us
@@ -65,7 +73,7 @@ PaRResult SchedulePaLs(const Instance& instance,
     det.ordering = NonCriticalOrder::kEfficiency;
     det.explicit_order.clear();
     det.run_floorplan = true;
-    Schedule warm = SchedulePa(instance, det);
+    Schedule warm = SchedulePa(instance, det, cache ? &*cache : nullptr);
     warm.algorithm = "PA-LS";
     best_makespan = warm.makespan;
     current_makespan = warm.makespan;
@@ -106,6 +114,13 @@ PaRResult SchedulePaLs(const Instance& instance,
   inner.ordering = NonCriticalOrder::kExplicit;
   inner.run_floorplan = false;
 
+  // Build-once hot path: `inner` outlives the context, which reads
+  // `explicit_order` through its options pointer on every restart — the
+  // per-iteration assignment below is all the walk has to do.
+  const pa::PaContext ctx(instance, inner);
+  pa::PaScratch scratch(ctx);
+  Schedule schedule;
+
   std::size_t stall = 0;
   std::size_t iterations = 0;
   while (!deadline.Expired() &&
@@ -126,9 +141,9 @@ PaRResult SchedulePaLs(const Instance& instance,
     }
 
     inner.explicit_order = candidate_order;
-    Rng scratch = rng.Split();
-    Schedule schedule = RunPaCore(
-        instance, inner, full_cap.ScaledDown(candidate_factor), scratch);
+    Rng scratch_rng = rng.Split();
+    RunPaCore(ctx, scratch, full_cap.ScaledDown(candidate_factor),
+              scratch_rng, schedule);
 
     if (schedule.makespan < current_makespan) {
       current = std::move(candidate_order);
@@ -141,8 +156,9 @@ PaRResult SchedulePaLs(const Instance& instance,
 
     if (schedule.makespan >= best_makespan) continue;
     const FloorplanResult fp =
-        FindFloorplan(instance.platform.Device(),
-                      schedule.RegionRequirements(), inner.floorplan);
+        cache ? cache->Query(schedule.RegionRequirements(), inner.floorplan)
+              : FindFloorplan(instance.platform.Device(),
+                              schedule.RegionRequirements(), inner.floorplan);
     if (!fp.feasible) continue;
     best_makespan = schedule.makespan;
     schedule.floorplan = fp.rects;
@@ -158,6 +174,10 @@ PaRResult SchedulePaLs(const Instance& instance,
 
   result.iterations = iterations;
   result.seconds = deadline.ElapsedSeconds();
+  if (cache) {
+    result.floorplan_cache = cache->Stats();
+    if (result.found) result.best.floorplan_cache = result.floorplan_cache;
+  }
   if (result.found) result.best.scheduling_seconds = result.seconds;
   return result;
 }

@@ -48,6 +48,11 @@ struct PaOptions {
   double shrink_factor = 0.9;
   std::size_t max_shrink_rounds = 12;
   FloorplanOptions floorplan;
+
+  /// Memoize floorplan feasibility queries (placement catalog + verdict
+  /// cache) across shrink rounds / restarts. Results are bit-identical
+  /// either way; off exists for benchmarking and debugging.
+  bool floorplan_cache = true;
 };
 
 }  // namespace resched

@@ -1,32 +1,58 @@
 #include "core/pa_scheduler.hpp"
 
+#include <optional>
+
 #include "core/pa_state.hpp"
+#include "floorplan/floorplan_cache.hpp"
 #include "util/logging.hpp"
 #include "util/timer.hpp"
 
 namespace resched {
 
+void RunPaCore(const pa::PaContext& ctx, pa::PaScratch& scratch,
+               const ResourceVec& avail_cap, Rng& rng, Schedule& out) {
+  scratch.Reset(avail_cap);
+  pa::RunImplementationSelection(ctx, scratch);
+  pa::RunCriticalPathExtraction(ctx, scratch);
+  pa::RunRegionsDefinition(ctx, scratch, rng);
+  if (ctx.Options().sw_balancing) pa::RunSoftwareTaskBalancing(ctx, scratch);
+  pa::RunSoftwareTaskMapping(ctx, scratch);
+  pa::RunReconfigurationScheduling(ctx, scratch);
+  pa::AssembleSchedule(ctx, scratch, out);
+  out.algorithm = ctx.Options().ordering == NonCriticalOrder::kRandom
+                      ? "PA-R(inner)"
+                      : "PA";
+}
+
 Schedule RunPaCore(const Instance& instance, const PaOptions& options,
                    const ResourceVec& avail_cap, Rng& rng) {
-  pa::PaState state(instance, avail_cap, options);
-  pa::RunImplementationSelection(state);
-  pa::RunCriticalPathExtraction(state);
-  pa::RunRegionsDefinition(state, rng);
-  if (options.sw_balancing) pa::RunSoftwareTaskBalancing(state);
-  pa::RunSoftwareTaskMapping(state);
-  std::vector<ReconfSlot> reconfs = pa::RunReconfigurationScheduling(state);
-  Schedule schedule = pa::AssembleSchedule(state, std::move(reconfs));
-  schedule.algorithm =
-      options.ordering == NonCriticalOrder::kRandom ? "PA-R(inner)" : "PA";
+  pa::PaContext ctx(instance, options);
+  pa::PaScratch scratch(ctx);
+  Schedule schedule;
+  RunPaCore(ctx, scratch, avail_cap, rng, schedule);
   return schedule;
 }
 
-Schedule SchedulePa(const Instance& instance, const PaOptions& options) {
+Schedule SchedulePa(const Instance& instance, const PaOptions& options,
+                    FloorplanCache* cache) {
   instance.graph.Validate(instance.platform.Device());
   Rng rng(options.seed);
 
   double scheduling_seconds = 0.0;
   double floorplanning_seconds = 0.0;
+
+  // Build-once hot path: one context and one scratch span every shrink
+  // round; only the virtual capacity changes between rounds.
+  pa::PaContext ctx(instance, options);
+  pa::PaScratch scratch(ctx);
+
+  std::optional<FloorplanCache> own_cache;
+  if (cache == nullptr && options.floorplan_cache && options.run_floorplan) {
+    own_cache.emplace(instance.platform.Device());
+  }
+  FloorplanCache* fp_cache = cache != nullptr ? cache : (own_cache ? &*own_cache : nullptr);
+  const FloorplanCacheStats stats_before =
+      fp_cache != nullptr ? fp_cache->Stats() : FloorplanCacheStats{};
 
   ResourceVec avail_cap = instance.platform.Device().Capacity();
   Schedule schedule;
@@ -39,15 +65,18 @@ Schedule SchedulePa(const Instance& instance, const PaOptions& options) {
     }
 
     WallTimer sched_timer;
-    schedule = RunPaCore(instance, options, avail_cap, rng);
+    RunPaCore(ctx, scratch, avail_cap, rng, schedule);
     scheduling_seconds += sched_timer.ElapsedSeconds();
     schedule.floorplan_retries = round;
 
     if (!options.run_floorplan) break;
 
-    const FloorplanResult fp = FindFloorplan(
-        instance.platform.Device(), schedule.RegionRequirements(),
-        options.floorplan);
+    const FloorplanResult fp =
+        fp_cache != nullptr
+            ? fp_cache->Query(schedule.RegionRequirements(),
+                              options.floorplan)
+            : FindFloorplan(instance.platform.Device(),
+                            schedule.RegionRequirements(), options.floorplan);
     floorplanning_seconds += fp.seconds;
     if (fp.feasible) {
       schedule.floorplan = fp.rects;
@@ -64,6 +93,9 @@ Schedule SchedulePa(const Instance& instance, const PaOptions& options) {
   schedule.algorithm = "PA";
   schedule.scheduling_seconds = scheduling_seconds;
   schedule.floorplanning_seconds = floorplanning_seconds;
+  if (fp_cache != nullptr) {
+    schedule.floorplan_cache = fp_cache->Stats().Since(stats_before);
+  }
   return schedule;
 }
 

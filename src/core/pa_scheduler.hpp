@@ -8,6 +8,13 @@
 
 namespace resched {
 
+class FloorplanCache;
+
+namespace pa {
+class PaContext;
+class PaScratch;
+}  // namespace pa
+
 /// Runs the full PA pipeline: the eight phases of §V including the
 /// feasibility-check loop of §V-H (floorplan; on failure shrink the
 /// virtually available resources by options.shrink_factor and restart).
@@ -15,12 +22,24 @@ namespace resched {
 /// found within options.max_shrink_rounds, the final round runs with zero
 /// virtual FPGA capacity, i.e. an all-software schedule, which is trivially
 /// feasible.
-Schedule SchedulePa(const Instance& instance, const PaOptions& options = {});
+///
+/// `cache`: optional shared floorplan-feasibility cache. When null and
+/// options.floorplan_cache is set, a private cache spans the shrink rounds
+/// of this call. Results are bit-identical with or without a cache.
+Schedule SchedulePa(const Instance& instance, const PaOptions& options = {},
+                    FloorplanCache* cache = nullptr);
 
 /// One pass of the phases of §V-A..§V-G (no floorplanning) against a given
-/// virtually available capacity. This is the doSchedule() of Algorithm 1;
-/// PA-R calls it directly. `rng` is consulted only when
-/// options.ordering == NonCriticalOrder::kRandom.
+/// virtually available capacity: the doSchedule() of Algorithm 1, in the
+/// hot-path form. The scratch is Reset() internally; `out` is fully
+/// overwritten (buffers reused). Zero heap allocation in steady state.
+/// `rng` is consulted only when the context's ordering == kRandom.
+void RunPaCore(const pa::PaContext& ctx, pa::PaScratch& scratch,
+               const ResourceVec& avail_cap, Rng& rng, Schedule& out);
+
+/// Convenience wrapper that rebuilds the context and scratch per call —
+/// the pre-PR-4 entry point, kept for one-shot callers and as the
+/// "rebuild everything" baseline in bench/micro_restart.
 Schedule RunPaCore(const Instance& instance, const PaOptions& options,
                    const ResourceVec& avail_cap, Rng& rng);
 

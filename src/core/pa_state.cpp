@@ -7,25 +7,31 @@
 
 namespace resched::pa {
 
-PaState::PaState(const Instance& instance, const ResourceVec& avail_cap,
-                 const PaOptions& options)
-    : instance_(&instance),
-      options_(&options),
-      avail_cap_(avail_cap),
-      weights_(ComputeResourceWeights(instance.platform.Device().Capacity())),
-      max_t_(instance.graph.SerialLowerBoundTime()),
-      impl_of_(instance.graph.NumTasks(), 0),
-      timing_(instance.graph),
-      critical0_(instance.graph.NumTasks(), false),
-      region_of_(instance.graph.NumTasks(), -1),
-      used_cap_(instance.platform.Device().Model().ZeroVec()),
-      processor_of_(instance.graph.NumTasks(), -1) {
-  // Note: the weights of Eq. (4) are defined against the *device* capacity,
-  // not the (possibly shrunk) virtually available capacity — shrinking is a
-  // packing restriction, not a change of the device.
+PaScratch::PaScratch(const PaContext& ctx)
+    : ctx_(&ctx),
+      avail_cap_(ctx.Inst().platform.Device().Capacity()),
+      impl_of_(ctx.NumTasks(), 0),
+      timing_(ctx.Inst().graph),
+      critical0_(ctx.NumTasks(), false),
+      region_of_(ctx.NumTasks(), -1),
+      used_cap_(ctx.Inst().platform.Device().Model().ZeroVec()),
+      processor_of_(ctx.NumTasks(), -1) {}
+
+void PaScratch::Reset(const ResourceVec& avail_cap) {
+  avail_cap_ = avail_cap;
+  std::fill(impl_of_.begin(), impl_of_.end(), std::size_t{0});
+  timing_.Reset();
+  std::fill(critical0_.begin(), critical0_.end(), false);
+  for (std::size_t s = 0; s < num_regions_; ++s) {
+    regions_[s].tasks.clear();  // keeps capacity
+  }
+  num_regions_ = 0;
+  std::fill(region_of_.begin(), region_of_.end(), -1);
+  used_cap_ = Inst().platform.Device().Model().ZeroVec();
+  std::fill(processor_of_.begin(), processor_of_.end(), -1);
 }
 
-void PaState::SetImpl(TaskId t, std::size_t impl_index) {
+void PaScratch::SetImpl(TaskId t, std::size_t impl_index) {
   RESCHED_DCHECK_MSG(
       t >= 0 && static_cast<std::size_t>(t) < impl_of_.size(),
       "task id out of range");
@@ -55,30 +61,43 @@ void PaState::SetImpl(TaskId t, std::size_t impl_index) {
   }
 }
 
-const Implementation& PaState::ChosenImpl(TaskId t) const {
+const Implementation& PaScratch::ChosenImpl(TaskId t) const {
   return Inst().graph.GetImpl(t, impl_of_.at(static_cast<std::size_t>(t)));
 }
 
-void PaState::SwitchToSoftware(TaskId t) {
+void PaScratch::SwitchToSoftware(TaskId t) {
   RESCHED_CHECK_MSG(RegionOf(t) < 0,
                     "cannot switch a region-assigned task to software");
-  SetImpl(t, Inst().graph.FastestSoftwareImpl(t));
+  SetImpl(t, ctx_->FastestSoftwareImpl(t));
 }
 
-void PaState::SnapshotCriticality() {
+void PaScratch::AdoptInitialImplementations() {
+  impl_of_ = ctx_->InitialImpls();
+  const std::vector<TimeT>& exec = ctx_->InitialExecTimes();
+  for (std::size_t ti = 0; ti < exec.size(); ++ti) {
+    timing_.SetExecTime(static_cast<TaskId>(ti), exec[ti]);
+  }
+  timing_.AssignBaseEdgeGaps(ctx_->InitialEdgeGaps());
+}
+
+void PaScratch::AdoptInitialCriticality() {
+  critical0_ = ctx_->InitialCriticalMask();
+}
+
+void PaScratch::SnapshotCriticality() {
   const TimeWindows& win = timing_.Windows();
   for (std::size_t t = 0; t < critical0_.size(); ++t) {
     critical0_[t] = win.critical[t];
   }
 }
 
-bool PaState::HasFreeCapacity(const ResourceVec& res) const {
+bool PaScratch::HasFreeCapacity(const ResourceVec& res) const {
   return (used_cap_ + res).FitsWithin(avail_cap_);
 }
 
-bool PaState::CanHost(std::size_t region, TaskId t, std::size_t impl_index,
-                      bool require_reconf_room) const {
-  RESCHED_CHECK_MSG(region < regions_.size(), "region out of range");
+bool PaScratch::CanHost(std::size_t region, TaskId t, std::size_t impl_index,
+                        bool require_reconf_room) const {
+  RESCHED_CHECK_MSG(region < num_regions_, "region out of range");
   const DraftRegion& r = regions_[region];
   const Implementation& impl = Inst().graph.GetImpl(t, impl_index);
   RESCHED_CHECK_MSG(impl.IsHardware(), "CanHost with software implementation");
@@ -120,10 +139,10 @@ bool PaState::CanHost(std::size_t region, TaskId t, std::size_t impl_index,
   return true;
 }
 
-bool PaState::WouldAvoidReconf(std::size_t region, TaskId t,
-                               std::size_t impl_index) const {
+bool PaScratch::WouldAvoidReconf(std::size_t region, TaskId t,
+                                 std::size_t impl_index) const {
   if (!Options().module_reuse) return false;
-  const DraftRegion& r = regions_.at(region);
+  const DraftRegion& r = Region(region);
   const Implementation& impl = Inst().graph.GetImpl(t, impl_index);
   if (impl.module_id < 0) return false;
 
@@ -139,35 +158,39 @@ bool PaState::WouldAvoidReconf(std::size_t region, TaskId t,
   return ChosenImpl(r.tasks[pos - 1]).module_id == impl.module_id;
 }
 
-std::size_t PaState::CreateRegionFor(TaskId t) {
+std::size_t PaScratch::CreateRegionFor(TaskId t) {
   const Implementation& impl = ChosenImpl(t);
   RESCHED_CHECK_MSG(impl.IsHardware(), "region for a software implementation");
   RESCHED_CHECK_MSG(HasFreeCapacity(impl.res), "no capacity for new region");
-  DraftRegion region;
+  if (num_regions_ == regions_.size()) {
+    regions_.emplace_back();  // pool growth (rare after warm-up)
+  }
+  DraftRegion& region = regions_[num_regions_];
   region.res = impl.res;
   region.reconf_time = Inst().platform.ReconfTicks(region.res);
+  region.tasks.clear();
   region.tasks.push_back(t);
-  regions_.push_back(std::move(region));
+  ++num_regions_;
   used_cap_ += impl.res;
   RESCHED_DCHECK_MSG(used_cap_.FitsWithin(avail_cap_),
                      "FPGA capacity invariant broken by region creation");
   region_of_[static_cast<std::size_t>(t)] =
-      static_cast<int>(regions_.size() - 1);
-  return regions_.size() - 1;
+      static_cast<int>(num_regions_ - 1);
+  return num_regions_ - 1;
 }
 
-TimeT PaState::RegionGap(std::size_t region, TaskId before,
-                         TaskId after) const {
+TimeT PaScratch::RegionGap(std::size_t region, TaskId before,
+                           TaskId after) const {
   if (Options().module_reuse) {
     const Implementation& a = ChosenImpl(before);
     const Implementation& b = ChosenImpl(after);
     if (a.module_id >= 0 && a.module_id == b.module_id) return 0;
   }
-  return regions_.at(region).reconf_time;
+  return Region(region).reconf_time;
 }
 
-void PaState::AssignToRegion(std::size_t region, TaskId t) {
-  RESCHED_CHECK_MSG(region < regions_.size(), "region out of range");
+void PaScratch::AssignToRegion(std::size_t region, TaskId t) {
+  RESCHED_CHECK_MSG(region < num_regions_, "region out of range");
   RESCHED_CHECK_MSG(RegionOf(t) < 0, "task already assigned to a region");
   DraftRegion& r = regions_[region];
   const TimeWindows& win = timing_.Windows();
@@ -208,9 +231,10 @@ void PaState::AssignToRegion(std::size_t region, TaskId t) {
   }
 }
 
-TimeT PaState::TotalReconfTimeEstimate() const {
+TimeT PaScratch::TotalReconfTimeEstimate() const {
   TimeT total = 0;
-  for (const DraftRegion& r : regions_) {
+  for (std::size_t s = 0; s < num_regions_; ++s) {
+    const DraftRegion& r = regions_[s];
     if (r.tasks.size() > 1) {
       total += r.reconf_time * static_cast<TimeT>(r.tasks.size() - 1);
     }

@@ -1,15 +1,24 @@
-// Shared working state threaded through the PA phases (§V-A..§V-G).
+// Per-worker reusable working state threaded through the PA phases
+// (§V-A..§V-G).
 //
-// Phase functions mutate this state in sequence; the driver in
-// pa_scheduler.cpp owns the phase order. The state wraps a TimingContext so
-// that every implementation switch, region-ordering edge or release bump
-// transparently re-derives the paper's time windows (T_MIN/T_MAX), the
-// makespan and task criticality.
+// Phase functions mutate a PaScratch in sequence; the driver in
+// pa_scheduler.cpp owns the phase order. The scratch wraps a TimingContext
+// so that every implementation switch, region-ordering edge or release
+// bump transparently re-derives the paper's time windows (T_MIN/T_MAX),
+// the makespan and task criticality.
+//
+// Hot-path contract (DESIGN.md §8): a PaScratch is constructed once per
+// worker against a shared immutable PaContext and Reset() between
+// restarts. Reset never frees — every vector (including the DraftRegion
+// pool and the per-stage buffers) keeps its capacity, so a restart in
+// steady state performs no heap allocation. A PaScratch borrows its
+// PaContext, which must outlive it; scratches are never shared across
+// threads.
 #pragma once
 
 #include <vector>
 
-#include "core/options.hpp"
+#include "core/pa_context.hpp"
 #include "sched/schedule.hpp"
 #include "taskgraph/timing.hpp"
 #include "util/rng.hpp"
@@ -24,16 +33,61 @@ struct DraftRegion {
   std::vector<TaskId> tasks;
 };
 
-class PaState {
- public:
-  PaState(const Instance& instance, const ResourceVec& avail_cap,
-          const PaOptions& options);
+/// Cross-restart buffers owned by the pipeline stages (see each stage's
+/// .cpp for the usage). Stages fully overwrite what they use; nothing here
+/// carries meaning across a Reset().
+struct StageBuffers {
+  // §V-C regions definition.
+  std::vector<TaskId> critical;
+  std::vector<TaskId> non_critical;
+  std::vector<std::size_t> explicit_pos;
 
-  const Instance& Inst() const { return *instance_; }
-  const PaOptions& Options() const { return *options_; }
+  // §V-D software task balancing.
+  std::vector<TaskId> balance_candidates;
+
+  // §V-F software task mapping.
+  std::vector<TaskId> sw_tasks;
+  std::vector<TaskId> last_on_core;
+
+  // §V-G reconfigurations scheduling.
+  struct PendingReconf {
+    std::size_t region = 0;
+    TaskId t_in = kInvalidTask;
+    TaskId t_out = kInvalidTask;
+    TimeT exe = 0;
+    bool critical = false;
+  };
+  std::vector<PendingReconf> pending;
+  std::vector<std::size_t> blockers;
+  std::vector<std::vector<std::size_t>> blocks;
+  std::vector<char> done;
+  std::vector<std::uint64_t> reach_bits;
+  std::vector<std::vector<TaskId>> combined_succs;
+  /// Controller timeline produced by §V-G, consumed by the assembly.
+  std::vector<ReconfSlot> timeline;
+
+  // Final assembly.
+  std::vector<TaskId> ingoing_of;
+  std::vector<ReconfSlot> sorted_reconfs;
+  std::vector<TimeT> controller_last_end;
+};
+
+class PaScratch {
+ public:
+  /// Sizes every buffer for the context's instance and Reset()s against
+  /// the full device capacity.
+  explicit PaScratch(const PaContext& ctx);
+
+  /// Restart reset: forgets the previous solution, installs the virtually
+  /// available capacity for the next one. Keeps all buffer capacity.
+  void Reset(const ResourceVec& avail_cap);
+
+  const PaContext& Ctx() const { return *ctx_; }
+  const Instance& Inst() const { return ctx_->Inst(); }
+  const PaOptions& Options() const { return ctx_->Options(); }
   const ResourceVec& AvailCap() const { return avail_cap_; }
-  const std::vector<double>& Weights() const { return weights_; }
-  TimeT MaxT() const { return max_t_; }
+  const std::vector<double>& Weights() const { return ctx_->Weights(); }
+  TimeT MaxT() const { return ctx_->MaxT(); }
 
   TimingContext& Timing() { return timing_; }
   const TimingContext& Timing() const { return timing_; }
@@ -53,16 +107,25 @@ class PaState {
   /// Switches `t` to its fastest software implementation (§V-C fallback).
   void SwitchToSoftware(TaskId t);
 
+  /// §V-A bulk install: adopts the context's precomputed implementation
+  /// selection (impl indices, execution times, communication gaps).
+  void AdoptInitialImplementations();
+
   // ---- criticality snapshot --------------------------------------------
-  /// Captures the phase-B criticality labels used for the regions-definition
-  /// processing order.
+  /// §V-B bulk install: adopts the context's precomputed phase-B labels.
+  void AdoptInitialCriticality();
+  /// Recaptures the labels from the *current* windows (white-box tests).
   void SnapshotCriticality();
   bool WasCritical(TaskId t) const {
     return critical0_.at(static_cast<std::size_t>(t));
   }
 
   // ---- regions -----------------------------------------------------------
-  const std::vector<DraftRegion>& Regions() const { return regions_; }
+  std::size_t NumRegions() const { return num_regions_; }
+  const DraftRegion& Region(std::size_t s) const {
+    RESCHED_CHECK_MSG(s < num_regions_, "region out of range");
+    return regions_[s];
+  }
   /// Region index of `t` or -1 when t runs in software.
   int RegionOf(TaskId t) const {
     return region_of_.at(static_cast<std::size_t>(t));
@@ -115,51 +178,56 @@ class PaState {
     processor_of_.at(static_cast<std::size_t>(t)) = static_cast<int>(p);
   }
 
+  StageBuffers& Buffers() { return buffers_; }
+
  private:
-  const Instance* instance_;
-  const PaOptions* options_;
+  const PaContext* ctx_;
   ResourceVec avail_cap_;
-  std::vector<double> weights_;
-  TimeT max_t_ = 0;
 
   std::vector<std::size_t> impl_of_;
   TimingContext timing_;
   std::vector<bool> critical0_;
 
+  /// Region pool: only the first num_regions_ entries are live; dead
+  /// entries keep their task-vector capacity for reuse.
   std::vector<DraftRegion> regions_;
+  std::size_t num_regions_ = 0;
   std::vector<int> region_of_;
   ResourceVec used_cap_;
 
   std::vector<int> processor_of_;
+
+  StageBuffers buffers_;
 };
 
 // ---- phase entry points (called in order by the driver) -------------------
 
-/// §V-A: assigns every task its initial implementation via Eq. (3).
-void RunImplementationSelection(PaState& state);
+/// §V-A: installs the context's precomputed Eq.-(3) selection.
+void RunImplementationSelection(const PaContext& ctx, PaScratch& s);
 
 /// §V-B is implicit: the TimingContext already yields CPM windows; this
-/// merely snapshots criticality for the phase-C processing order.
-void RunCriticalPathExtraction(PaState& state);
+/// merely installs the precomputed criticality labels driving the phase-C
+/// processing order.
+void RunCriticalPathExtraction(const PaContext& ctx, PaScratch& s);
 
 /// §V-C: defines the reconfigurable regions and maps hardware tasks to
 /// them. `rng` is consulted only for NonCriticalOrder::kRandom.
-void RunRegionsDefinition(PaState& state, Rng& rng);
+void RunRegionsDefinition(const PaContext& ctx, PaScratch& s, Rng& rng);
 
 /// §V-D: moves eligible software tasks back to underutilized regions.
-void RunSoftwareTaskBalancing(PaState& state);
+void RunSoftwareTaskBalancing(const PaContext& ctx, PaScratch& s);
 
 /// §V-F: binds software tasks to processors (Eq. 8/9).
-void RunSoftwareTaskMapping(PaState& state);
+void RunSoftwareTaskMapping(const PaContext& ctx, PaScratch& s);
 
 /// §V-G: schedules the reconfiguration tasks on the single controller;
-/// returns the controller timeline.
-std::vector<ReconfSlot> RunReconfigurationScheduling(PaState& state);
+/// leaves the controller timeline in s.Buffers().timeline.
+void RunReconfigurationScheduling(const PaContext& ctx, PaScratch& s);
 
 /// Final assembly: repairs any residual reconfiguration/slot inconsistency
-/// introduced by late delay propagation, then freezes starts/ends into a
-/// Schedule (§V-E start/end computation happens here, on the final
-/// windows).
-Schedule AssembleSchedule(PaState& state, std::vector<ReconfSlot> reconfs);
+/// introduced by late delay propagation, then freezes starts/ends into
+/// `out` (§V-E start/end computation happens here, on the final windows).
+/// Fully overwrites `out`, reusing its buffers.
+void AssembleSchedule(const PaContext& ctx, PaScratch& s, Schedule& out);
 
 }  // namespace resched::pa

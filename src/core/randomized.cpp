@@ -1,9 +1,13 @@
 #include "core/randomized.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <mutex>
+#include <optional>
 #include <thread>
 
+#include "core/pa_state.hpp"
+#include "floorplan/floorplan_cache.hpp"
 #include "util/timer.hpp"
 
 namespace resched {
@@ -25,6 +29,14 @@ PaRResult SchedulePaR(const Instance& instance, const PaROptions& options) {
 
   const ResourceVec full_cap = instance.platform.Device().Capacity();
 
+  // Shared read-only context + shared concurrent feasibility cache: the
+  // build-once half of the PR-4 hot path.
+  const pa::PaContext ctx(instance, inner);
+  std::optional<FloorplanCache> cache;
+  if (options.base.floorplan_cache) {
+    cache.emplace(instance.platform.Device());
+  }
+
   PaRResult result;
   std::mutex best_mutex;
   TimeT best_makespan = kTimeInfinity;
@@ -33,7 +45,8 @@ PaRResult SchedulePaR(const Instance& instance, const PaROptions& options) {
     PaOptions det = options.base;
     det.ordering = NonCriticalOrder::kEfficiency;
     det.run_floorplan = true;
-    Schedule warm = SchedulePa(instance, det);
+    Schedule warm =
+        SchedulePa(instance, det, cache ? &*cache : nullptr);
     warm.algorithm = "PA-R";
     best_makespan = warm.makespan;
     result.best = std::move(warm);
@@ -51,18 +64,31 @@ PaRResult SchedulePaR(const Instance& instance, const PaROptions& options) {
   std::atomic<std::size_t> tickets{0};
   std::atomic<std::size_t> completed{0};
 
-  auto worker = [&](std::uint64_t worker_seed) {
-    Rng rng(worker_seed);
+  auto worker = [&]() {
+    // Steady-state reuse: one scratch and one candidate per worker, both
+    // recycled across every restart this worker executes.
+    std::optional<pa::PaScratch> scratch;
+    if (options.reuse_scratch) scratch.emplace(ctx);
+    Schedule candidate;
+
     for (;;) {
       if (deadline.Expired()) break;
       const std::size_t iter = tickets.fetch_add(1) + 1;
       if (options.max_iterations != 0 && iter > options.max_iterations) break;
 
+      // Per-iteration stream: candidate `iter` is the same schedule no
+      // matter which worker draws the ticket, making the candidate set —
+      // and the best makespan — independent of the thread count.
+      Rng rng(DeriveSeed(kParSeedStream ^ options.seed, iter));
       const double factor = rng.UniformDouble(options.capacity_factor_lo,
                                               options.capacity_factor_hi);
       const ResourceVec avail_cap = full_cap.ScaledDown(factor);
-      Schedule candidate = RunPaCore(instance, inner, avail_cap, rng);
-      completed.fetch_add(1);
+      if (options.reuse_scratch) {
+        RunPaCore(ctx, *scratch, avail_cap, rng, candidate);
+      } else {
+        candidate = RunPaCore(instance, inner, avail_cap, rng);
+      }
+      const std::size_t done_now = completed.fetch_add(1) + 1;
 
       // Fast path: not an improvement, skip the floorplanner entirely.
       {
@@ -72,8 +98,11 @@ PaRResult SchedulePaR(const Instance& instance, const PaROptions& options) {
 
       // Potential improvement: validate on the fabric (outside the lock).
       const FloorplanResult fp =
-          FindFloorplan(instance.platform.Device(),
-                        candidate.RegionRequirements(), inner.floorplan);
+          cache ? cache->Query(candidate.RegionRequirements(),
+                               inner.floorplan)
+                : FindFloorplan(instance.platform.Device(),
+                                candidate.RegionRequirements(),
+                                inner.floorplan);
       if (!fp.feasible) continue;
 
       std::lock_guard lock(best_mutex);
@@ -86,24 +115,36 @@ PaRResult SchedulePaR(const Instance& instance, const PaROptions& options) {
       result.found = true;
       if (options.record_trace) {
         result.trace.push_back(
-            TracePoint{deadline.ElapsedSeconds(), best_makespan, iter});
+            TracePoint{deadline.ElapsedSeconds(), best_makespan, done_now});
       }
     }
   };
 
   if (options.threads <= 1) {
-    worker(options.seed);
+    worker();
   } else {
     std::vector<std::thread> threads;
     threads.reserve(options.threads);
     for (std::size_t w = 0; w < options.threads; ++w) {
-      threads.emplace_back(worker, HashCombine(options.seed, w));
+      threads.emplace_back(worker);
     }
     for (auto& t : threads) t.join();
   }
 
+  // Workers append improvements in acceptance order, which under
+  // contention is not elapsed-time order; Fig. 6 wants a time-monotone
+  // staircase.
+  std::stable_sort(result.trace.begin(), result.trace.end(),
+                   [](const TracePoint& a, const TracePoint& b) {
+                     return a.seconds < b.seconds;
+                   });
+
   result.iterations = completed.load();
   result.seconds = deadline.ElapsedSeconds();
+  if (cache) {
+    result.floorplan_cache = cache->Stats();
+    if (result.found) result.best.floorplan_cache = result.floorplan_cache;
+  }
   if (result.found) {
     result.best.scheduling_seconds = result.seconds;
   }

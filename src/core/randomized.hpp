@@ -7,9 +7,15 @@
 // candidates are simply discarded (no resource-shrinking restart).
 //
 // As an extension over the paper, restarts can be fanned out over a thread
-// pool: every worker draws iterations from its own deterministic RNG
-// stream, so results are reproducible for a fixed (seed, max_iterations,
-// threads=1) configuration, and statistically equivalent when parallel.
+// pool. Every *iteration* (ticket) draws its own deterministic RNG stream
+// (DeriveSeed(kParSeedStream ^ seed, iteration)), so for a fixed (seed,
+// max_iterations) configuration the set of candidates — and hence the best
+// makespan — is identical at any thread count; only which worker executes
+// an iteration varies.
+//
+// Hot path (PR 4): all workers share one immutable PaContext and one
+// concurrent FloorplanCache; each worker reuses a private PaScratch, so a
+// restart in steady state allocates nothing.
 #pragma once
 
 #include <vector>
@@ -28,7 +34,8 @@ struct PaROptions {
   std::size_t threads = 1;
   std::uint64_t seed = 1;
   /// Options for the inner doSchedule() calls; `ordering` is forced to
-  /// kRandom and `run_floorplan` to false internally.
+  /// kRandom and `run_floorplan` to false internally. `base.floorplan_cache`
+  /// controls the shared feasibility cache (on by default).
   PaOptions base;
 
   /// Per-iteration virtually-available capacity factor, drawn uniformly in
@@ -54,11 +61,20 @@ struct PaROptions {
   bool seed_with_deterministic = true;
   /// Record (elapsed seconds, best makespan) improvement points (Fig. 6).
   bool record_trace = false;
+
+  /// Reuse one PaScratch per worker across restarts (the PR-4 hot path).
+  /// `false` rebuilds the full per-iteration state every restart — the
+  /// pre-PR-4 behaviour, kept as the baseline leg of bench/micro_restart.
+  /// Results are bit-identical either way.
+  bool reuse_scratch = true;
 };
 
 struct TracePoint {
   double seconds = 0.0;
   TimeT makespan = 0;
+  /// Restarts *completed* (across all workers) when this improvement was
+  /// accepted — a monotone x-axis for Fig. 6, unlike the ticket counter,
+  /// which also counts restarts still in flight.
   std::size_t iteration = 0;
 };
 
@@ -67,7 +83,11 @@ struct PaRResult {
   bool found = false;
   std::size_t iterations = 0;
   double seconds = 0.0;
+  /// Sorted by `seconds`.
   std::vector<TracePoint> trace;
+  /// Shared floorplan-cache counters for the whole run (zeros when the
+  /// cache was disabled).
+  FloorplanCacheStats floorplan_cache;
 };
 
 PaRResult SchedulePaR(const Instance& instance, const PaROptions& options);

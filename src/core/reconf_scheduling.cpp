@@ -28,41 +28,39 @@ namespace resched::pa {
 
 namespace {
 
-struct PendingReconf {
-  std::size_t region = 0;
-  TaskId t_in = kInvalidTask;
-  TaskId t_out = kInvalidTask;
-  TimeT exe = 0;
-  bool critical = false;
-};
+using PendingReconf = StageBuffers::PendingReconf;
 
-TimeT EndOf(const PaState& state, TaskId t) {
-  const TimeWindows& win = state.Timing().Windows();
+TimeT EndOf(const PaScratch& s, TaskId t) {
+  const TimeWindows& win = s.Timing().Windows();
   return win.earliest_start[static_cast<std::size_t>(t)] +
-         state.Timing().ExecTime(t);
+         s.Timing().ExecTime(t);
 }
 
 /// Dense reachability over the task graph plus the scheduler's ordering
-/// edges: reach[u] contains u itself and every task a path from u leads to.
+/// edges: reach[u] contains u itself and every task a path from u leads
+/// to. The bitset and adjacency storage live in the scratch buffers.
 class Reachability {
  public:
-  explicit Reachability(const PaState& state) {
-    const TaskGraph& graph = state.Inst().graph;
+  Reachability(const PaScratch& s, StageBuffers& buf)
+      : bits_(buf.reach_bits) {
+    const TaskGraph& graph = s.Inst().graph;
     const std::size_t n = graph.NumTasks();
     words_ = (n + 63) / 64;
     bits_.assign(n * words_, 0);
 
     // Combined adjacency (graph + ordering edges).
-    std::vector<std::vector<TaskId>> succs(n);
+    std::vector<std::vector<TaskId>>& succs = buf.combined_succs;
+    if (succs.size() < n) succs.resize(n);
     for (std::size_t t = 0; t < n; ++t) {
-      succs[t] = graph.Successors(static_cast<TaskId>(t));
+      const std::vector<TaskId>& base = graph.Successors(static_cast<TaskId>(t));
+      succs[t].assign(base.begin(), base.end());
     }
-    for (const OrderingEdge& e : state.Timing().ExtraEdges()) {
+    for (const OrderingEdge& e : s.Timing().ExtraEdges()) {
       succs[static_cast<std::size_t>(e.from)].push_back(e.to);
     }
 
-    const std::vector<TaskId> order =
-        state.Timing().CombinedTopologicalOrder();
+    const std::vector<TaskId>& order =
+        s.Timing().CombinedTopologicalOrderRef();
     for (auto it = order.rbegin(); it != order.rend(); ++it) {
       const auto u = static_cast<std::size_t>(*it);
       Set(u, u);
@@ -89,7 +87,7 @@ class Reachability {
   }
 
   std::size_t words_ = 0;
-  std::vector<std::uint64_t> bits_;
+  std::vector<std::uint64_t>& bits_;
 };
 
 /// Earliest start >= lo of a `duration`-long gap on controller `c` in the
@@ -108,33 +106,42 @@ TimeT FirstControllerGap(const std::vector<ReconfSlot>& timeline,
 
 }  // namespace
 
-std::vector<ReconfSlot> RunReconfigurationScheduling(PaState& state) {
+void RunReconfigurationScheduling(const PaContext& ctx, PaScratch& s) {
+  (void)ctx;
+  StageBuffers& buf = s.Buffers();
+  std::vector<ReconfSlot>& timeline = buf.timeline;  // sorted by start
+  timeline.clear();
+
   // ---- build the reconfiguration task set RT.
-  std::vector<PendingReconf> pending;
+  std::vector<PendingReconf>& pending = buf.pending;
+  pending.clear();
   {
-    const TimeWindows& win = state.Timing().Windows();
-    for (std::size_t s = 0; s < state.Regions().size(); ++s) {
-      const DraftRegion& region = state.Regions()[s];
+    const TimeWindows& win = s.Timing().Windows();
+    for (std::size_t r = 0; r < s.NumRegions(); ++r) {
+      const DraftRegion& region = s.Region(r);
       for (std::size_t i = 0; i + 1 < region.tasks.size(); ++i) {
         const TaskId t_in = region.tasks[i];
         const TaskId t_out = region.tasks[i + 1];
-        if (state.RegionGap(s, t_in, t_out) == 0) continue;  // module reuse
+        if (s.RegionGap(r, t_in, t_out) == 0) continue;  // module reuse
         pending.push_back(PendingReconf{
-            s, t_in, t_out, region.reconf_time,
+            r, t_in, t_out, region.reconf_time,
             win.critical[static_cast<std::size_t>(t_out)]});
       }
     }
   }
-  if (pending.empty()) return {};
+  if (pending.empty()) return;
 
-  const Reachability reach(state);
+  const Reachability reach(s, buf);
 
   // precedes[i][j]: reconfiguration i must be scheduled before j, because
   // i's outgoing task weakly precedes j's ingoing task (so scheduling i can
   // still move j's T_MIN).
   const std::size_t m = pending.size();
-  std::vector<std::size_t> blockers(m, 0);
-  std::vector<std::vector<std::size_t>> blocks(m);
+  std::vector<std::size_t>& blockers = buf.blockers;
+  blockers.assign(m, 0);
+  std::vector<std::vector<std::size_t>>& blocks = buf.blocks;
+  if (blocks.size() < m) blocks.resize(m);
+  for (std::size_t i = 0; i < m; ++i) blocks[i].clear();
   for (std::size_t i = 0; i < m; ++i) {
     for (std::size_t j = 0; j < m; ++j) {
       if (i == j) continue;
@@ -145,8 +152,8 @@ std::vector<ReconfSlot> RunReconfigurationScheduling(PaState& state) {
     }
   }
 
-  std::vector<ReconfSlot> timeline;  // sorted by start
-  std::vector<bool> done(m, false);
+  std::vector<char>& done = buf.done;
+  done.assign(m, 0);
   for (std::size_t scheduled = 0; scheduled < m; ++scheduled) {
     // Pick among available reconfigurations: critical first (paper §V-G),
     // then lowest (now final) T_MIN, then stable index.
@@ -154,7 +161,7 @@ std::vector<ReconfSlot> RunReconfigurationScheduling(PaState& state) {
     TimeT pick_tmin = 0;
     for (std::size_t i = 0; i < m; ++i) {
       if (done[i] || blockers[i] != 0) continue;
-      const TimeT tmin = EndOf(state, pending[i].t_in);
+      const TimeT tmin = EndOf(s, pending[i].t_in);
       const bool better =
           pick == m ||
           (pending[i].critical && !pending[pick].critical) ||
@@ -172,13 +179,13 @@ std::vector<ReconfSlot> RunReconfigurationScheduling(PaState& state) {
     // Pick the controller offering the earliest gap (always controller 0
     // in the paper's single-controller model).
     const std::size_t controllers =
-        state.Inst().platform.NumReconfigurators();
+        s.Inst().platform.NumReconfigurators();
     std::size_t best_c = 0;
     TimeT start = kTimeInfinity;
     for (std::size_t c = 0; c < controllers; ++c) {
-      const TimeT s = FirstControllerGap(timeline, c, pick_tmin, r.exe);
-      if (s < start) {
-        start = s;
+      const TimeT gap_start = FirstControllerGap(timeline, c, pick_tmin, r.exe);
+      if (gap_start < start) {
+        start = gap_start;
         best_c = c;
       }
     }
@@ -194,13 +201,11 @@ std::vector<ReconfSlot> RunReconfigurationScheduling(PaState& state) {
     // Delay propagation: the outgoing task cannot start before the
     // reconfiguration completes; the window recomputation carries the
     // delay over the task graph.
-    state.Timing().RaiseRelease(r.t_out, end);
+    s.Timing().RaiseRelease(r.t_out, end);
 
-    done[pick] = true;
+    done[pick] = 1;
     for (const std::size_t j : blocks[pick]) --blockers[j];
   }
-
-  return timeline;
 }
 
 }  // namespace resched::pa

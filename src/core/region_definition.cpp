@@ -8,6 +8,10 @@
 // region, then fall back to software. Non-critical tasks prefer a fresh
 // region (maximize fabric utilization), then an existing one, then
 // software.
+//
+// The class split and the base orders are precomputed in PaContext (they
+// depend only on the phase-A selection); this stage copies the order that
+// the active policy asks for into scratch buffers and applies it.
 #include <algorithm>
 
 #include "core/cost_model.hpp"
@@ -22,22 +26,22 @@ namespace {
 /// Under the module-reuse extension, regions where the insertion lands
 /// right after a same-module task rank first regardless of bitstream — the
 /// reconfiguration there costs nothing at all.
-int PickSmallestBitstreamRegion(const PaState& state, TaskId t,
+int PickSmallestBitstreamRegion(const PaScratch& s, TaskId t,
                                 std::size_t impl_index,
                                 bool require_reconf_room) {
   int best = -1;
   bool best_free = false;
   double best_bits = 0.0;
-  const auto& device = state.Inst().platform.Device();
-  for (std::size_t s = 0; s < state.Regions().size(); ++s) {
-    if (!state.CanHost(s, t, impl_index, require_reconf_room)) continue;
-    const bool free = state.WouldAvoidReconf(s, t, impl_index);
-    const double bits = device.BitstreamBits(state.Regions()[s].res);
+  const auto& device = s.Inst().platform.Device();
+  for (std::size_t r = 0; r < s.NumRegions(); ++r) {
+    if (!s.CanHost(r, t, impl_index, require_reconf_room)) continue;
+    const bool free = s.WouldAvoidReconf(r, t, impl_index);
+    const double bits = device.BitstreamBits(s.Region(r).res);
     const bool better =
         best < 0 || (free && !best_free) ||
         (free == best_free && bits < best_bits);
     if (better) {
-      best = static_cast<int>(s);
+      best = static_cast<int>(r);
       best_free = free;
       best_bits = bits;
     }
@@ -47,57 +51,50 @@ int PickSmallestBitstreamRegion(const PaState& state, TaskId t,
 
 }  // namespace
 
-void RunRegionsDefinition(PaState& state, Rng& rng) {
-  const TaskGraph& graph = state.Inst().graph;
-  const std::vector<double>& weights = state.Weights();
+void RunRegionsDefinition(const PaContext& ctx, PaScratch& s, Rng& rng) {
+  StageBuffers& buf = s.Buffers();
 
-  // Hardware tasks (per the phase-A selection), split by phase-B
-  // criticality.
-  std::vector<TaskId> critical;
-  std::vector<TaskId> non_critical;
-  for (std::size_t ti = 0; ti < graph.NumTasks(); ++ti) {
-    const auto t = static_cast<TaskId>(ti);
-    if (!state.ChosenIsHardware(t)) continue;
-    (state.WasCritical(t) ? critical : non_critical).push_back(t);
-  }
+  // Critical tasks always go by descending efficiency, as in the paper.
+  std::vector<TaskId>& critical = buf.critical;
+  critical.assign(ctx.CriticalByEfficiency().begin(),
+                  ctx.CriticalByEfficiency().end());
 
-  auto efficiency_desc = [&](TaskId a, TaskId b) {
-    return EfficiencyIndex(state.ChosenImpl(a), weights) >
-           EfficiencyIndex(state.ChosenImpl(b), weights);
-  };
-  std::stable_sort(critical.begin(), critical.end(), efficiency_desc);
-
-  switch (state.Options().ordering) {
+  std::vector<TaskId>& non_critical = buf.non_critical;
+  switch (s.Options().ordering) {
     case NonCriticalOrder::kEfficiency:
-      std::stable_sort(non_critical.begin(), non_critical.end(),
-                       efficiency_desc);
+      non_critical.assign(ctx.NonCriticalByEfficiency().begin(),
+                          ctx.NonCriticalByEfficiency().end());
       break;
     case NonCriticalOrder::kRandom:
+      // The shuffle starts from the id-ordered list, matching the
+      // pre-context behavior bit for bit.
+      non_critical.assign(ctx.NonCriticalById().begin(),
+                          ctx.NonCriticalById().end());
       rng.Shuffle(non_critical);
       break;
     case NonCriticalOrder::kFastestFirst:
-      std::stable_sort(non_critical.begin(), non_critical.end(),
-                       [&](TaskId a, TaskId b) {
-                         return state.ChosenImpl(a).exec_time <
-                                state.ChosenImpl(b).exec_time;
-                       });
+      non_critical.assign(ctx.NonCriticalByExecTime().begin(),
+                          ctx.NonCriticalByExecTime().end());
       break;
     case NonCriticalOrder::kGraphOrder:
-      break;  // already in task-id order
+      non_critical.assign(ctx.NonCriticalById().begin(),
+                          ctx.NonCriticalById().end());
+      break;
     case NonCriticalOrder::kExplicit: {
       // Position in the caller-supplied permutation; unlisted tasks keep
-      // their efficiency order after all listed ones.
-      std::vector<std::size_t> pos(graph.NumTasks(), SIZE_MAX);
-      for (std::size_t i = 0; i < state.Options().explicit_order.size();
-           ++i) {
-        const TaskId t = state.Options().explicit_order[i];
-        RESCHED_CHECK_MSG(
-            t >= 0 && static_cast<std::size_t>(t) < graph.NumTasks(),
-            "explicit_order contains an unknown task id");
+      // their efficiency order after all listed ones. The permutation is
+      // re-read from the options every restart — PA-LS mutates it.
+      const std::size_t n = ctx.NumTasks();
+      std::vector<std::size_t>& pos = buf.explicit_pos;
+      pos.assign(n, SIZE_MAX);
+      for (std::size_t i = 0; i < s.Options().explicit_order.size(); ++i) {
+        const TaskId t = s.Options().explicit_order[i];
+        RESCHED_CHECK_MSG(t >= 0 && static_cast<std::size_t>(t) < n,
+                          "explicit_order contains an unknown task id");
         pos[static_cast<std::size_t>(t)] = i;
       }
-      std::stable_sort(non_critical.begin(), non_critical.end(),
-                       efficiency_desc);
+      non_critical.assign(ctx.NonCriticalByEfficiency().begin(),
+                          ctx.NonCriticalByEfficiency().end());
       std::stable_sort(non_critical.begin(), non_critical.end(),
                        [&pos](TaskId a, TaskId b) {
                          return pos[static_cast<std::size_t>(a)] <
@@ -109,36 +106,36 @@ void RunRegionsDefinition(PaState& state, Rng& rng) {
 
   // ---- critical tasks: reuse -> create -> software ----------------------
   for (const TaskId t : critical) {
-    const std::size_t impl = state.ImplIndex(t);
+    const std::size_t impl = s.ImplIndex(t);
     const int reuse =
-        PickSmallestBitstreamRegion(state, t, impl,
+        PickSmallestBitstreamRegion(s, t, impl,
                                     /*require_reconf_room=*/true);
     if (reuse >= 0) {
-      state.AssignToRegion(static_cast<std::size_t>(reuse), t);
+      s.AssignToRegion(static_cast<std::size_t>(reuse), t);
       continue;
     }
-    if (state.HasFreeCapacity(state.ChosenImpl(t).res)) {
-      state.CreateRegionFor(t);
+    if (s.HasFreeCapacity(s.ChosenImpl(t).res)) {
+      s.CreateRegionFor(t);
       continue;
     }
-    state.SwitchToSoftware(t);
+    s.SwitchToSoftware(t);
   }
 
   // ---- non-critical tasks: create -> reuse -> software ------------------
   for (const TaskId t : non_critical) {
-    if (state.HasFreeCapacity(state.ChosenImpl(t).res)) {
-      state.CreateRegionFor(t);
+    if (s.HasFreeCapacity(s.ChosenImpl(t).res)) {
+      s.CreateRegionFor(t);
       continue;
     }
-    const std::size_t impl = state.ImplIndex(t);
+    const std::size_t impl = s.ImplIndex(t);
     const int reuse =
-        PickSmallestBitstreamRegion(state, t, impl,
+        PickSmallestBitstreamRegion(s, t, impl,
                                     /*require_reconf_room=*/false);
     if (reuse >= 0) {
-      state.AssignToRegion(static_cast<std::size_t>(reuse), t);
+      s.AssignToRegion(static_cast<std::size_t>(reuse), t);
       continue;
     }
-    state.SwitchToSoftware(t);
+    s.SwitchToSoftware(t);
   }
 }
 

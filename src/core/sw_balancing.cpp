@@ -7,25 +7,24 @@
 // reconfiguration cannot create contention on the controller.
 #include <algorithm>
 
-#include "core/cost_model.hpp"
 #include "core/pa_state.hpp"
 
 namespace resched::pa {
 
-void RunSoftwareTaskBalancing(PaState& state) {
-  const TaskGraph& graph = state.Inst().graph;
-  const ResourceVec& max_res = state.Inst().platform.Device().Capacity();
+void RunSoftwareTaskBalancing(const PaContext& ctx, PaScratch& s) {
+  const TaskGraph& graph = s.Inst().graph;
 
   // Software tasks that do have hardware alternatives, by increasing T_MIN.
-  std::vector<TaskId> candidates;
+  std::vector<TaskId>& candidates = s.Buffers().balance_candidates;
+  candidates.clear();
   for (std::size_t ti = 0; ti < graph.NumTasks(); ++ti) {
     const auto t = static_cast<TaskId>(ti);
-    if (state.ChosenIsHardware(t)) continue;
-    if (graph.HardwareImpls(t).empty()) continue;
+    if (s.ChosenIsHardware(t)) continue;
+    if (ctx.NumHwImpls(t) == 0) continue;
     candidates.push_back(t);
   }
   {
-    const TimeWindows& win = state.Timing().Windows();
+    const TimeWindows& win = s.Timing().Windows();
     std::stable_sort(candidates.begin(), candidates.end(),
                      [&](TaskId a, TaskId b) {
                        return win.earliest_start[static_cast<std::size_t>(a)] <
@@ -34,30 +33,30 @@ void RunSoftwareTaskBalancing(PaState& state) {
   }
 
   for (const TaskId t : candidates) {
-    const TimeT tot_rec_time = state.TotalReconfTimeEstimate();
-    const TimeT es_t = state.Timing()
-                           .Windows()
-                           .earliest_start[static_cast<std::size_t>(t)];
+    const TimeT tot_rec_time = s.TotalReconfTimeEstimate();
+    const TimeT es_t =
+        s.Timing().Windows().earliest_start[static_cast<std::size_t>(t)];
     if (es_t <= tot_rec_time) continue;
 
     // Find a region able to host t with its lowest-cost fitting HW
-    // implementation.
-    for (std::size_t s = 0; s < state.Regions().size(); ++s) {
-      std::size_t best_impl = graph.GetTask(t).impls.size();
+    // implementation (Eq.-(3) costs precomputed in the context tables).
+    const std::size_t num_impls = graph.GetTask(t).impls.size();
+    for (std::size_t r = 0; r < s.NumRegions(); ++r) {
+      std::size_t best_impl = num_impls;
       double best_cost = 0.0;
-      for (const std::size_t i : graph.HardwareImpls(t)) {
-        if (!state.CanHost(s, t, i, /*require_reconf_room=*/true)) continue;
-        const double cost = ImplementationCost(graph.GetImpl(t, i), max_res,
-                                               state.Weights(), state.MaxT());
-        if (best_impl == graph.GetTask(t).impls.size() || cost < best_cost) {
-          best_impl = i;
+      for (std::size_t i = 0; i < ctx.NumHwImpls(t); ++i) {
+        const std::size_t impl = ctx.HwImplIndex(t, i);
+        if (!s.CanHost(r, t, impl, /*require_reconf_room=*/true)) continue;
+        const double cost = ctx.HwImplCost(t, i);
+        if (best_impl == num_impls || cost < best_cost) {
+          best_impl = impl;
           best_cost = cost;
         }
       }
-      if (best_impl == graph.GetTask(t).impls.size()) continue;
+      if (best_impl == num_impls) continue;
 
-      state.SetImpl(t, best_impl);
-      state.AssignToRegion(s, t);
+      s.SetImpl(t, best_impl);
+      s.AssignToRegion(r, t);
       break;
     }
   }

@@ -11,17 +11,19 @@
 
 namespace resched::pa {
 
-void RunSoftwareTaskMapping(PaState& state) {
-  const TaskGraph& graph = state.Inst().graph;
-  const std::size_t cores = state.Inst().platform.NumProcessors();
+void RunSoftwareTaskMapping(const PaContext& ctx, PaScratch& s) {
+  (void)ctx;
+  const TaskGraph& graph = s.Inst().graph;
+  const std::size_t cores = s.Inst().platform.NumProcessors();
 
-  std::vector<TaskId> sw_tasks;
+  std::vector<TaskId>& sw_tasks = s.Buffers().sw_tasks;
+  sw_tasks.clear();
   for (std::size_t ti = 0; ti < graph.NumTasks(); ++ti) {
     const auto t = static_cast<TaskId>(ti);
-    if (!state.ChosenIsHardware(t)) sw_tasks.push_back(t);
+    if (!s.ChosenIsHardware(t)) sw_tasks.push_back(t);
   }
   {
-    const TimeWindows& win = state.Timing().Windows();
+    const TimeWindows& win = s.Timing().Windows();
     std::stable_sort(sw_tasks.begin(), sw_tasks.end(),
                      [&](TaskId a, TaskId b) {
                        return win.earliest_start[static_cast<std::size_t>(a)] <
@@ -30,10 +32,11 @@ void RunSoftwareTaskMapping(PaState& state) {
   }
 
   // Latest-ending task per core, maintained incrementally.
-  std::vector<TaskId> last_on_core(cores, kInvalidTask);
+  std::vector<TaskId>& last_on_core = s.Buffers().last_on_core;
+  last_on_core.assign(cores, kInvalidTask);
 
   for (const TaskId t : sw_tasks) {
-    const TimeWindows& win = state.Timing().Windows();
+    const TimeWindows& win = s.Timing().Windows();
     const TimeT es_t = win.earliest_start[static_cast<std::size_t>(t)];
 
     // Eq. (8): lambda_p = max{0, max_{t2 in T_p}(T_END_t2 - T_MIN_t)}. With
@@ -46,7 +49,7 @@ void RunSoftwareTaskMapping(PaState& state) {
       if (last_on_core[p] != kInvalidTask) {
         const auto li = static_cast<std::size_t>(last_on_core[p]);
         const TimeT end_last =
-            win.earliest_start[li] + state.Timing().ExecTime(last_on_core[p]);
+            win.earliest_start[li] + s.Timing().ExecTime(last_on_core[p]);
         delay = std::max<TimeT>(0, end_last - es_t);
       }
       if (p == 0 || delay < best_delay) {
@@ -62,11 +65,11 @@ void RunSoftwareTaskMapping(PaState& state) {
       }
     }
 
-    state.SetProcessor(t, best_core);
+    s.SetProcessor(t, best_core);
     if (last_on_core[best_core] != kInvalidTask) {
       // Eq. (9) + step 4: the ordering edge makes T_START = T_MIN +
       // lambda_p and propagates any delay through the window recomputation.
-      state.Timing().AddOrderingEdge(last_on_core[best_core], t, /*gap=*/0);
+      s.Timing().AddOrderingEdge(last_on_core[best_core], t, /*gap=*/0);
     }
     last_on_core[best_core] = t;
   }

@@ -36,10 +36,10 @@ void PruneDominated(std::vector<Rect>& placements) {
 
 class Search {
  public:
-  Search(const Fabric& fabric, std::vector<std::vector<Rect>> candidates,
+  Search(const Fabric& fabric,
+         const std::vector<const std::vector<Rect>*>& candidates,
          const FloorplanOptions& options)
-      : fabric_(fabric),
-        candidates_(std::move(candidates)),
+      : candidates_(candidates),
         options_(options),
         deadline_(options.time_budget_seconds) {
     // Minimum rectangle area (in grid cells) each region can occupy — the
@@ -48,7 +48,7 @@ class Search {
     min_area_.resize(candidates_.size());
     for (std::size_t i = 0; i < candidates_.size(); ++i) {
       std::size_t best = fabric.Columns() * fabric.Rows();
-      for (const Rect& r : candidates_[i]) best = std::min(best, r.Area());
+      for (const Rect& r : *candidates_[i]) best = std::min(best, r.Area());
       min_area_[i] = best;
     }
     total_cells_ = fabric.Columns() * fabric.Rows();
@@ -59,10 +59,13 @@ class Search {
            std::size_t& nodes) {
     order_.resize(candidates_.size());
     std::iota(order_.begin(), order_.end(), std::size_t{0});
-    // MRV: most constrained region (fewest placements) first.
-    std::sort(order_.begin(), order_.end(), [&](std::size_t a, std::size_t b) {
-      return candidates_[a].size() < candidates_[b].size();
-    });
+    // MRV: most constrained region (fewest placements) first. Stable, so
+    // the search tree is a pure function of the candidate-list sequence
+    // (the canonicalization contract of the header).
+    std::stable_sort(order_.begin(), order_.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return candidates_[a]->size() < candidates_[b]->size();
+                     });
     chosen_.assign(candidates_.size(), Rect{});
 
     // Suffix sums of minimum areas in search order: after placing depth d
@@ -89,7 +92,7 @@ class Search {
     if (depth == order_.size()) return true;
     if (budget_exhausted_) return false;
     const std::size_t region = order_[depth];
-    for (const Rect& rect : candidates_[region]) {
+    for (const Rect& rect : *candidates_[region]) {
       if (++nodes_ % 1024 == 0) {
         if ((options_.max_nodes != 0 && nodes_ >= options_.max_nodes) ||
             deadline_.Expired()) {
@@ -119,8 +122,7 @@ class Search {
     return false;
   }
 
-  const Fabric& fabric_;
-  std::vector<std::vector<Rect>> candidates_;
+  const std::vector<const std::vector<Rect>*>& candidates_;
   const FloorplanOptions& options_;
   Deadline deadline_;
   std::vector<std::size_t> order_;
@@ -133,6 +135,40 @@ class Search {
 };
 
 }  // namespace
+
+std::vector<std::size_t> CanonicalRegionOrder(
+    const std::vector<ResourceVec>& regions) {
+  std::vector<std::size_t> order(regions.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return LexicographicallyBefore(regions[a], regions[b]);
+                   });
+  return order;
+}
+
+std::vector<Rect> EnumeratePrunedPlacements(const Fabric& fabric,
+                                            const ResourceVec& req,
+                                            std::size_t max_placements) {
+  std::vector<Rect> placements =
+      EnumerateFeasiblePlacements(fabric, req, max_placements);
+  PruneDominated(placements);
+  return placements;
+}
+
+FloorplanResult SolveFloorplanFeasibility(
+    const Fabric& fabric,
+    const std::vector<const std::vector<Rect>*>& candidates,
+    const FloorplanOptions& options) {
+  FloorplanResult result;
+  Search search(fabric, candidates, options);
+  std::vector<Rect> solution;
+  const bool ok =
+      search.Run(solution, result.budget_exhausted, result.nodes_explored);
+  result.feasible = ok;
+  if (ok) result.rects = std::move(solution);
+  return result;
+}
 
 FloorplanResult FindFloorplan(const FpgaDevice& device,
                               const std::vector<ResourceVec>& regions,
@@ -155,25 +191,37 @@ FloorplanResult FindFloorplan(const FpgaDevice& device,
     return result;
   }
 
-  std::vector<std::vector<Rect>> candidates;
-  candidates.reserve(regions.size());
-  for (const ResourceVec& req : regions) {
-    std::vector<Rect> placements = EnumerateFeasiblePlacements(
-        fabric, req, options.max_placements_per_region);
+  // Canonical order: the search result becomes a pure function of the
+  // requirement multiset, so cached answers can be replayed bit-for-bit
+  // against any permutation of the same regions.
+  const std::vector<std::size_t> order = CanonicalRegionOrder(regions);
+
+  std::vector<std::vector<Rect>> owned;
+  owned.reserve(regions.size());
+  for (const std::size_t i : order) {
+    std::vector<Rect> placements = EnumeratePrunedPlacements(
+        fabric, regions[i], options.max_placements_per_region);
     if (placements.empty()) {
       result.seconds = timer.ElapsedSeconds();
       return result;  // some region fits nowhere: certain "no"
     }
-    PruneDominated(placements);
-    candidates.push_back(std::move(placements));
+    owned.push_back(std::move(placements));
   }
+  std::vector<const std::vector<Rect>*> candidates;
+  candidates.reserve(owned.size());
+  for (const std::vector<Rect>& c : owned) candidates.push_back(&c);
 
-  Search search(fabric, std::move(candidates), options);
-  std::vector<Rect> solution;
-  const bool ok =
-      search.Run(solution, result.budget_exhausted, result.nodes_explored);
-  result.feasible = ok;
-  if (ok) result.rects = std::move(solution);
+  FloorplanResult canonical =
+      SolveFloorplanFeasibility(fabric, candidates, options);
+  result.feasible = canonical.feasible;
+  result.budget_exhausted = canonical.budget_exhausted;
+  result.nodes_explored = canonical.nodes_explored;
+  if (canonical.feasible) {
+    result.rects.resize(regions.size());
+    for (std::size_t k = 0; k < order.size(); ++k) {
+      result.rects[order[k]] = canonical.rects[k];
+    }
+  }
   result.seconds = timer.ElapsedSeconds();
   return result;
 }
@@ -296,13 +344,12 @@ CompactFloorplanResult FindCompactFloorplan(
   }
   std::vector<std::vector<Rect>> candidates;
   for (const ResourceVec& req : regions) {
-    std::vector<Rect> placements = EnumerateFeasiblePlacements(
+    std::vector<Rect> placements = EnumeratePrunedPlacements(
         fabric, req, options.max_placements_per_region);
     if (placements.empty()) {
       result.seconds = timer.ElapsedSeconds();
       return result;
     }
-    PruneDominated(placements);
     candidates.push_back(std::move(placements));
   }
   CompactSearch search(std::move(candidates), options);

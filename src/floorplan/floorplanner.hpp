@@ -10,8 +10,15 @@
 // per-kind remaining capacity. A node/time budget bounds the worst case, in
 // which case the result is reported as "not found" (matching how a
 // time-limited MILP behaves).
+//
+// Canonicalization contract: FindFloorplan internally reorders the regions
+// into the canonical order of CanonicalRegionOrder() before searching and
+// maps the rectangles back, so the result is a pure function of the region
+// requirement *multiset* (plus the budget options). That property is what
+// lets FloorplanCache serve permuted queries from one entry bit-for-bit.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -39,10 +46,64 @@ struct FloorplanResult {
   double seconds = 0.0;
 };
 
+/// Hit/miss/eviction counters of a FloorplanCache (snapshot; see
+/// floorplan/floorplan_cache.hpp). Lives here so Schedule/PaRResult can
+/// embed it without pulling in the cache itself.
+struct FloorplanCacheStats {
+  std::uint64_t queries = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t catalog_hits = 0;
+  std::uint64_t catalog_misses = 0;
+
+  double HitRate() const {
+    return queries == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(queries);
+  }
+
+  /// Counter delta since an `earlier` snapshot of the same cache — how a
+  /// driver attributes activity on a shared cache to one schedule.
+  FloorplanCacheStats Since(const FloorplanCacheStats& earlier) const {
+    FloorplanCacheStats d;
+    d.queries = queries - earlier.queries;
+    d.hits = hits - earlier.hits;
+    d.misses = misses - earlier.misses;
+    d.evictions = evictions - earlier.evictions;
+    d.catalog_hits = catalog_hits - earlier.catalog_hits;
+    d.catalog_misses = catalog_misses - earlier.catalog_misses;
+    return d;
+  }
+};
+
 /// Searches for a feasible floorplan of `regions` on `device`'s fabric.
 FloorplanResult FindFloorplan(const FpgaDevice& device,
                               const std::vector<ResourceVec>& regions,
                               const FloorplanOptions& options = {});
+
+/// Canonical processing order of a region-requirement list: indices of
+/// `regions` stably sorted by LexicographicallyBefore. Two permutations of
+/// the same multiset map to the same canonical sequence.
+std::vector<std::size_t> CanonicalRegionOrder(
+    const std::vector<ResourceVec>& regions);
+
+/// Candidate enumeration + dominance pruning for one requirement — the
+/// unit the PlacementCatalog memoizes.
+std::vector<Rect> EnumeratePrunedPlacements(const Fabric& fabric,
+                                            const ResourceVec& req,
+                                            std::size_t max_placements);
+
+/// Backtracking engine under FindFloorplan and FloorplanCache: solves the
+/// pairwise non-overlap selection over externally owned per-region
+/// candidate lists (one pointer per region, all non-null and non-empty).
+/// `result.rects` is indexed like `candidates`. Deterministic: depends
+/// only on the candidate lists, their order and the budget options — not
+/// on wall-clock time unless the time budget fires.
+FloorplanResult SolveFloorplanFeasibility(
+    const Fabric& fabric,
+    const std::vector<const std::vector<Rect>*>& candidates,
+    const FloorplanOptions& options);
 
 /// Optimizing variant: among floorplans found within the budget, keeps the
 /// one occupying the fewest grid cells (the compactness objective of the

@@ -64,6 +64,9 @@ struct Schedule {
   /// One rectangle per region when a floorplan was found.
   std::vector<Rect> floorplan;
   bool floorplan_checked = false;
+  /// Floorplan-cache counters accumulated while producing this schedule
+  /// (all zero when the cache was disabled or never consulted).
+  FloorplanCacheStats floorplan_cache;
 
   const TaskSlot& SlotOf(TaskId t) const {
     return task_slots.at(static_cast<std::size_t>(t));

@@ -1,16 +1,36 @@
 #include "taskgraph/timing.hpp"
 
 #include <algorithm>
-#include <deque>
 
 namespace resched {
+
+namespace {
+
+/// Ordering for the sparse base-gap table.
+bool GapKeyLess(const std::pair<std::pair<TaskId, TaskId>, TimeT>& entry,
+                const std::pair<TaskId, TaskId>& key) {
+  return entry.first < key;
+}
+
+}  // namespace
 
 TimingContext::TimingContext(const TaskGraph& graph)
     : graph_(&graph),
       exec_(graph.NumTasks(), 0),
       release_(graph.NumTasks(), 0),
       extra_out_(graph.NumTasks()),
-      extra_in_(graph.NumTasks()) {}
+      extra_in_(graph.NumTasks()),
+      visit_stamp_(graph.NumTasks(), 0) {}
+
+void TimingContext::Reset() {
+  std::fill(exec_.begin(), exec_.end(), TimeT{0});
+  std::fill(release_.begin(), release_.end(), TimeT{0});
+  base_gaps_.clear();
+  extra_.clear();
+  for (auto& out : extra_out_) out.clear();
+  for (auto& in : extra_in_) in.clear();
+  dirty_ = true;
+}
 
 void TimingContext::SetExecTime(TaskId t, TimeT exec) {
   RESCHED_CHECK_MSG(exec > 0, "execution time must be positive");
@@ -22,16 +42,52 @@ TimeT TimingContext::ExecTime(TaskId t) const {
   return exec_.at(static_cast<std::size_t>(t));
 }
 
+bool TimingContext::Reaches(TaskId from, TaskId to) const {
+  if (from == to) return true;
+  // Epoch-stamped iterative DFS — no per-call allocation after warm-up.
+  if (++stamp_ == 0) {  // stamp wrapped: invalidate everything once
+    std::fill(visit_stamp_.begin(), visit_stamp_.end(), 0u);
+    stamp_ = 1;
+  }
+  dfs_stack_.clear();
+  dfs_stack_.push_back(from);
+  visit_stamp_[static_cast<std::size_t>(from)] = stamp_;
+  while (!dfs_stack_.empty()) {
+    const TaskId u = dfs_stack_.back();
+    dfs_stack_.pop_back();
+    for (const TaskId v : graph_->Successors(u)) {
+      if (v == to) return true;
+      auto& seen = visit_stamp_[static_cast<std::size_t>(v)];
+      if (seen != stamp_) {
+        seen = stamp_;
+        dfs_stack_.push_back(v);
+      }
+    }
+    for (const std::size_t e : extra_out_[static_cast<std::size_t>(u)]) {
+      const TaskId v = extra_[e].to;
+      if (v == to) return true;
+      auto& seen = visit_stamp_[static_cast<std::size_t>(v)];
+      if (seen != stamp_) {
+        seen = stamp_;
+        dfs_stack_.push_back(v);
+      }
+    }
+  }
+  return false;
+}
+
 void TimingContext::AddOrderingEdge(TaskId from, TaskId to, TimeT gap) {
   RESCHED_CHECK_MSG(gap >= 0, "negative ordering gap");
   RESCHED_CHECK_MSG(from != to, "self ordering edge");
+  // Eager cycle check *before* inserting: the edge closes a cycle exactly
+  // when `to` already reaches `from`.
+  RESCHED_CHECK_MSG(!Reaches(to, from),
+                    "ordering edges introduced a cycle (scheduler bug)");
   const std::size_t index = extra_.size();
   extra_.push_back(OrderingEdge{from, to, gap});
   extra_out_[static_cast<std::size_t>(from)].push_back(index);
   extra_in_[static_cast<std::size_t>(to)].push_back(index);
   dirty_ = true;
-  // Cycle check: recompute will throw via CombinedTopologicalOrder.
-  (void)CombinedTopologicalOrder();
 }
 
 void TimingContext::RaiseRelease(TaskId t, TimeT release) {
@@ -50,47 +106,73 @@ void TimingContext::SetBaseEdgeGap(TaskId from, TaskId to, TimeT gap) {
   RESCHED_CHECK_MSG(gap >= 0, "negative base edge gap");
   RESCHED_CHECK_MSG(graph_->HasEdge(from, to),
                     "SetBaseEdgeGap on a missing edge");
+  const std::pair<TaskId, TaskId> key{from, to};
+  const auto it =
+      std::lower_bound(base_gaps_.begin(), base_gaps_.end(), key, GapKeyLess);
+  const bool present = it != base_gaps_.end() && it->first == key;
   if (gap == 0) {
-    base_gaps_.erase({from, to});
+    if (present) base_gaps_.erase(it);
+  } else if (present) {
+    it->second = gap;
   } else {
-    base_gaps_[{from, to}] = gap;
+    base_gaps_.insert(it, {key, gap});
   }
   dirty_ = true;
 }
 
 TimeT TimingContext::BaseEdgeGap(TaskId from, TaskId to) const {
-  const auto it = base_gaps_.find({from, to});
-  return it == base_gaps_.end() ? 0 : it->second;
+  if (base_gaps_.empty()) return 0;  // the common case, checked first
+  const std::pair<TaskId, TaskId> key{from, to};
+  const auto it =
+      std::lower_bound(base_gaps_.begin(), base_gaps_.end(), key, GapKeyLess);
+  return it != base_gaps_.end() && it->first == key ? it->second : 0;
 }
 
-std::vector<TaskId> TimingContext::CombinedTopologicalOrder() const {
+void TimingContext::AssignBaseEdgeGaps(
+    const std::vector<std::pair<std::pair<TaskId, TaskId>, TimeT>>& gaps) {
+  base_gaps_.assign(gaps.begin(), gaps.end());
+  std::sort(base_gaps_.begin(), base_gaps_.end());
+  for (const auto& [key, gap] : base_gaps_) {
+    RESCHED_CHECK_MSG(gap >= 0, "negative base edge gap");
+    RESCHED_CHECK_MSG(graph_->HasEdge(key.first, key.second),
+                      "AssignBaseEdgeGaps on a missing edge");
+  }
+  dirty_ = true;
+}
+
+const std::vector<TaskId>& TimingContext::CombinedTopologicalOrderRef() const {
   const std::size_t n = exec_.size();
-  std::vector<std::size_t> indegree(n, 0);
+  kahn_indegree_.resize(n);
   for (std::size_t t = 0; t < n; ++t) {
-    indegree[t] = graph_->Predecessors(static_cast<TaskId>(t)).size() +
-                  extra_in_[t].size();
+    kahn_indegree_[t] = graph_->Predecessors(static_cast<TaskId>(t)).size() +
+                        extra_in_[t].size();
   }
-  std::deque<TaskId> ready;
+  // Kahn's algorithm with the order vector doubling as the FIFO queue.
+  kahn_order_.clear();
   for (std::size_t t = 0; t < n; ++t) {
-    if (indegree[t] == 0) ready.push_back(static_cast<TaskId>(t));
+    if (kahn_indegree_[t] == 0) kahn_order_.push_back(static_cast<TaskId>(t));
   }
-  std::vector<TaskId> order;
-  order.reserve(n);
-  while (!ready.empty()) {
-    const TaskId t = ready.front();
-    ready.pop_front();
-    order.push_back(t);
+  for (std::size_t head = 0; head < kahn_order_.size(); ++head) {
+    const TaskId t = kahn_order_[head];
     for (const TaskId s : graph_->Successors(t)) {
-      if (--indegree[static_cast<std::size_t>(s)] == 0) ready.push_back(s);
+      if (--kahn_indegree_[static_cast<std::size_t>(s)] == 0) {
+        kahn_order_.push_back(s);
+      }
     }
     for (const std::size_t e : extra_out_[static_cast<std::size_t>(t)]) {
       const TaskId s = extra_[e].to;
-      if (--indegree[static_cast<std::size_t>(s)] == 0) ready.push_back(s);
+      if (--kahn_indegree_[static_cast<std::size_t>(s)] == 0) {
+        kahn_order_.push_back(s);
+      }
     }
   }
-  RESCHED_CHECK_MSG(order.size() == n,
+  RESCHED_CHECK_MSG(kahn_order_.size() == n,
                     "ordering edges introduced a cycle (scheduler bug)");
-  return order;
+  return kahn_order_;
+}
+
+std::vector<TaskId> TimingContext::CombinedTopologicalOrder() const {
+  return CombinedTopologicalOrderRef();
 }
 
 const TimeWindows& TimingContext::Windows() const {
@@ -104,7 +186,7 @@ void TimingContext::Recompute() const {
     RESCHED_CHECK_MSG(exec_[t] > 0,
                       "Windows() before all execution times were set");
   }
-  const std::vector<TaskId> order = CombinedTopologicalOrder();
+  const std::vector<TaskId>& order = CombinedTopologicalOrderRef();
 
   windows_.earliest_start.assign(n, 0);
   windows_.latest_finish.assign(n, 0);

@@ -15,9 +15,12 @@
 // times encode externally imposed delays (reconfigurator contention). One
 // forward/backward longest-path sweep then yields T_MIN/T_MAX, the
 // makespan and task criticality in O(V + E).
+//
+// Hot-path note: a TimingContext sits inside every PaScratch and is Reset()
+// once per PA-R restart, so all mutators and the sweep reuse member
+// buffers — after warm-up, no call here allocates (see DESIGN.md §8).
 #pragma once
 
-#include <map>
 #include <utility>
 #include <vector>
 
@@ -55,6 +58,11 @@ class TimingContext {
 
   std::size_t NumTasks() const { return exec_.size(); }
 
+  /// Returns to the just-constructed state (no extra edges, zero releases,
+  /// no base-edge gaps, execution times unset) while keeping every buffer's
+  /// capacity — the restart-loop reset.
+  void Reset();
+
   void SetExecTime(TaskId t, TimeT exec);
   TimeT ExecTime(TaskId t) const;
 
@@ -76,26 +84,48 @@ class TimingContext {
   void SetBaseEdgeGap(TaskId from, TaskId to, TimeT gap);
   TimeT BaseEdgeGap(TaskId from, TaskId to) const;
 
+  /// Bulk variant: replaces the whole base-gap table with `gaps` (sorted or
+  /// not; entries must reference existing edges and non-negative gaps).
+  /// Used to install a precomputed phase-A gap state in one assignment.
+  void AssignBaseEdgeGaps(
+      const std::vector<std::pair<std::pair<TaskId, TaskId>, TimeT>>& gaps);
+
   const std::vector<OrderingEdge>& ExtraEdges() const { return extra_; }
 
   /// Recomputes (lazily, cached) the CPM windows over base + extra edges.
   const TimeWindows& Windows() const;
   TimeT Makespan() const { return Windows().makespan; }
 
-  /// Topological order over base + extra edges.
+  /// Topological order over base + extra edges (by value; see
+  /// CombinedTopologicalOrderRef for the allocation-free variant).
   std::vector<TaskId> CombinedTopologicalOrder() const;
+
+  /// Allocation-free variant: the returned reference stays valid until the
+  /// next mutation of this context.
+  const std::vector<TaskId>& CombinedTopologicalOrderRef() const;
 
  private:
   void Recompute() const;
+  /// True when a path `from` ~> `to` exists over base + extra edges.
+  bool Reaches(TaskId from, TaskId to) const;
 
   const TaskGraph* graph_;
   std::vector<TimeT> exec_;
   std::vector<TimeT> release_;
-  std::map<std::pair<TaskId, TaskId>, TimeT> base_gaps_;
+  /// Sparse base-edge gap table, sorted by (from, to); nearly always empty
+  /// (only the communication-overhead extension populates it).
+  std::vector<std::pair<std::pair<TaskId, TaskId>, TimeT>> base_gaps_;
   std::vector<OrderingEdge> extra_;
   // Extra-edge adjacency for fast sweeps.
   std::vector<std::vector<std::size_t>> extra_out_;
   std::vector<std::vector<std::size_t>> extra_in_;
+
+  // Reusable sweep/DFS scratch (sized once to NumTasks()).
+  mutable std::vector<std::size_t> kahn_indegree_;
+  mutable std::vector<TaskId> kahn_order_;
+  mutable std::vector<std::uint32_t> visit_stamp_;
+  mutable std::uint32_t stamp_ = 0;
+  mutable std::vector<TaskId> dfs_stack_;
 
   mutable TimeWindows windows_;
   mutable bool dirty_ = true;

@@ -1,0 +1,149 @@
+// Small sharded concurrent memo map with bounded memory.
+//
+// Built for the floorplan-feasibility cache: many threads memoize the
+// answers of a pure, expensive function (query -> verdict) and a stale or
+// evicted entry is never wrong, only re-computed. That contract allows a
+// much simpler structure than a general concurrent hash map:
+//
+//   * fixed capacity, open addressing with a short linear probe window;
+//   * a full probe window evicts deterministically (the slot the incoming
+//     key hashes to) instead of resizing — memoization tolerates loss;
+//   * values are handed out as shared_ptr<const Value>, so a reader can
+//     keep using an entry that a concurrent insert evicts;
+//   * one mutex per shard; every slot access happens under its shard lock,
+//     which keeps the structure trivially TSan-clean (counters are
+//     relaxed atomics — they are monitoring data, not synchronization).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace resched {
+
+template <typename Key, typename Value, typename Hash,
+          typename KeyEqual = std::equal_to<Key>>
+class ConcurrentMemoMap {
+ public:
+  struct Counters {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  /// `capacity` is the approximate total number of cached entries; it is
+  /// rounded up to a power of two per shard.
+  explicit ConcurrentMemoMap(std::size_t capacity) {
+    std::size_t per_shard = 1;
+    while (per_shard * kShards < capacity) per_shard *= 2;
+    if (per_shard < kProbeWindow) per_shard = kProbeWindow;
+    for (Shard& shard : shards_) shard.slots.resize(per_shard);
+  }
+
+  ConcurrentMemoMap(const ConcurrentMemoMap&) = delete;
+  ConcurrentMemoMap& operator=(const ConcurrentMemoMap&) = delete;
+
+  /// Returns the cached value for `key`, or nullptr on a miss.
+  std::shared_ptr<const Value> Find(const Key& key) const {
+    const std::uint64_t h = Mix(hash_(key));
+    const Shard& shard = shards_[ShardOf(h)];
+    const std::size_t mask = shard.slots.size() - 1;
+    const std::size_t base = SlotOf(h, mask);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (std::size_t p = 0; p < kProbeWindow; ++p) {
+      const Slot& slot = shard.slots[(base + p) & mask];
+      if (slot.value && slot.hash == h && eq_(slot.key, key)) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return slot.value;
+      }
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+
+  /// Inserts (or overwrites) the value for `key` and returns the stored
+  /// pointer. When the probe window is full of other keys, the base slot
+  /// is evicted — deterministic, and harmless for memoized pure functions.
+  std::shared_ptr<const Value> Insert(const Key& key, Value value) {
+    auto stored = std::make_shared<const Value>(std::move(value));
+    const std::uint64_t h = Mix(hash_(key));
+    Shard& shard = shards_[ShardOf(h)];
+    const std::size_t mask = shard.slots.size() - 1;
+    const std::size_t base = SlotOf(h, mask);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    std::size_t victim = base;
+    for (std::size_t p = 0; p < kProbeWindow; ++p) {
+      Slot& slot = shard.slots[(base + p) & mask];
+      if (!slot.value) {  // free slot: plain insert
+        slot.hash = h;
+        slot.key = key;
+        slot.value = stored;
+        return stored;
+      }
+      if (slot.hash == h && eq_(slot.key, key)) {  // refresh in place
+        slot.value = stored;
+        return stored;
+      }
+    }
+    Slot& slot = shard.slots[victim];
+    slot.hash = h;
+    slot.key = key;
+    slot.value = stored;
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    return stored;
+  }
+
+  Counters Snapshot() const {
+    Counters c;
+    c.hits = hits_.load(std::memory_order_relaxed);
+    c.misses = misses_.load(std::memory_order_relaxed);
+    c.evictions = evictions_.load(std::memory_order_relaxed);
+    return c;
+  }
+
+  std::size_t Capacity() const { return shards_[0].slots.size() * kShards; }
+
+ private:
+  static constexpr std::size_t kShards = 16;  // power of two
+  static constexpr std::size_t kProbeWindow = 8;
+
+  struct Slot {
+    std::uint64_t hash = 0;
+    Key key{};
+    std::shared_ptr<const Value> value;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::vector<Slot> slots;
+  };
+
+  /// Finalizer bijection so weak user hashes still spread over shards and
+  /// slots (splitmix64 output stage).
+  static std::uint64_t Mix(std::uint64_t h) {
+    h ^= h >> 30;
+    h *= 0xBF58476D1CE4E5B9ULL;
+    h ^= h >> 27;
+    h *= 0x94D049BB133111EBULL;
+    h ^= h >> 31;
+    return h;
+  }
+  static std::size_t ShardOf(std::uint64_t h) {
+    return static_cast<std::size_t>(h & (kShards - 1));
+  }
+  static std::size_t SlotOf(std::uint64_t h, std::size_t mask) {
+    return static_cast<std::size_t>(h >> 4) & mask;
+  }
+
+  std::array<Shard, kShards> shards_;
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+  mutable std::atomic<std::uint64_t> evictions_{0};
+  Hash hash_;
+  KeyEqual eq_;
+};
+
+}  // namespace resched

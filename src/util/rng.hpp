@@ -83,5 +83,9 @@ std::uint64_t DeriveSeed(std::uint64_t stream, std::uint64_t index);
 /// exist so independent subsystems cannot collide by accident.
 inline constexpr std::uint64_t kJitterSeedStream = 0x5EED'0000'0000'0001ULL;
 inline constexpr std::uint64_t kFaultSeedStream = 0x5EED'0000'0000'0002ULL;
+/// PA-R restart iterations: iteration k draws its generator from
+/// DeriveSeed(kParSeedStream ^ user_seed, k), making the candidate produced
+/// by iteration k independent of which worker thread runs it.
+inline constexpr std::uint64_t kParSeedStream = 0x5EED'0000'0000'0003ULL;
 
 }  // namespace resched

@@ -47,7 +47,8 @@ Instance MakeInstance() {
 TEST(CheckDeathTest, CorruptedPaStateImplIndexDies) {
   const Instance inst = MakeInstance();
   const PaOptions options;
-  pa::PaState state(inst, inst.platform.Device().Capacity(), options);
+  const pa::PaContext ctx(inst, options);
+  pa::PaScratch state(ctx);
   // Implementation index beyond the task's implementation list.
   EXPECT_DEATH(DieOnInternalError([&] { state.SetImpl(0, 99); }),
                "RESCHED_CHECK failed.*impl index out of range");
@@ -56,7 +57,8 @@ TEST(CheckDeathTest, CorruptedPaStateImplIndexDies) {
 TEST(CheckDeathTest, CorruptedPaStateDoubleAssignmentDies) {
   const Instance inst = MakeInstance();
   const PaOptions options;
-  pa::PaState state(inst, inst.platform.Device().Capacity(), options);
+  const pa::PaContext ctx(inst, options);
+  pa::PaScratch state(ctx);
   state.SetImpl(0, 1);  // hardware implementation
   const std::size_t region = state.CreateRegionFor(0);
   // Assigning the same task to its region again corrupts region membership.
@@ -99,7 +101,8 @@ TEST(DcheckDeathTest, MacroAbortsWithContext) {
 TEST(DcheckDeathTest, CorruptedPaStateTaskIdAborts) {
   const Instance inst = MakeInstance();
   const PaOptions options;
-  pa::PaState state(inst, inst.platform.Device().Capacity(), options);
+  const pa::PaContext ctx(inst, options);
+  pa::PaScratch state(ctx);
   // Task id outside the instance: the DCHECK fires before any container is
   // touched, so the corruption cannot propagate.
   EXPECT_DEATH(state.SetImpl(99, 0),

@@ -50,13 +50,33 @@ void quiet() {
   }
 }
 EOF
+cat > "$TMP/src/core/adhoc_seed.cpp" <<'EOF'
+#include "util/rng.hpp"
+unsigned long long worker_stream(unsigned long long seed, unsigned long long w) {
+  return resched::HashCombine(seed, w);
+}
+EOF
 
 out=$("$PYTHON" "$LINT" --root "$TMP") && fail "seeded violations not detected"
 for rule in no-std-rand no-wall-clock-seed no-argless-random-device \
     no-unordered-in-output pragma-once include-cycle no-naked-new \
-    no-silent-catch; do
+    no-silent-catch no-adhoc-seed-derivation; do
   echo "$out" | grep -q "\[$rule\]" || fail "rule $rule did not fire"
 done
+
+# --- HashCombine on non-seed data is fine; so is DeriveSeed ------------------
+mkdir -p "$TMP/ok/src/core" "$TMP/ok/src/util"
+cat > "$TMP/ok/src/core/hashing.cpp" <<'EOF'
+#include "util/rng.hpp"
+unsigned long long key(unsigned long long a, unsigned long long b) {
+  return resched::HashCombine(a, b);  // container hashing, not seeding
+}
+unsigned long long trial(unsigned long long seed, unsigned long long i) {
+  return resched::DeriveSeed(0x5EEDULL ^ seed, i);
+}
+EOF
+"$PYTHON" "$LINT" --root "$TMP/ok" \
+    || fail "no-adhoc-seed-derivation fired on sanctioned usage"
 
 # --- inline suppression works ------------------------------------------------
 CLEAN=$(mktemp -d)

@@ -1,8 +1,10 @@
 // White-box tests for the PA working state: implementation switching,
 // region creation/assignment rules (slot-based CanHost semantics,
 // serialization edges, reconfiguration gaps), capacity accounting and the
-// Eq.-(6) estimate.
+// Eq.-(6) estimate — all against the PR-4 PaContext/PaScratch split.
 #include <gtest/gtest.h>
+
+#include <optional>
 
 #include "core/pa_state.hpp"
 #include "test_helpers.hpp"
@@ -10,7 +12,8 @@
 namespace resched {
 namespace {
 
-using pa::PaState;
+using pa::PaContext;
+using pa::PaScratch;
 using testing::HwImpl;
 using testing::MakeSmallPlatform;
 using testing::SwImpl;
@@ -18,6 +21,8 @@ using testing::SwImpl;
 struct Fixture {
   Instance instance;
   PaOptions options;
+  std::optional<PaContext> ctx;
+  std::optional<PaScratch> scratch;
 
   Fixture() {
     TaskGraph g;
@@ -33,16 +38,26 @@ struct Fixture {
     instance = Instance{"fix", MakeSmallPlatform(), std::move(g)};
   }
 
-  PaState MakeState() {
-    PaState state(instance, instance.platform.Device().Capacity(), options);
-    for (TaskId t = 0; t < 3; ++t) state.SetImpl(t, 1);  // all HW
-    return state;
+  /// Builds the context/scratch pair against `cap` and switches every task
+  /// to its hardware implementation (index 1).
+  PaScratch& MakeState(const ResourceVec& cap) {
+    ctx.emplace(instance, options);
+    scratch.emplace(*ctx);
+    scratch->Reset(cap);
+    for (std::size_t t = 0; t < instance.graph.NumTasks(); ++t) {
+      scratch->SetImpl(static_cast<TaskId>(t), 1);
+    }
+    return *scratch;
+  }
+
+  PaScratch& MakeState() {
+    return MakeState(instance.platform.Device().Capacity());
   }
 };
 
 TEST(PaStateTest, SetImplUpdatesTiming) {
   Fixture f;
-  PaState state = f.MakeState();
+  PaScratch& state = f.MakeState();
   EXPECT_EQ(state.Timing().ExecTime(0), 1000);
   state.SetImpl(0, 0);  // software
   EXPECT_EQ(state.Timing().ExecTime(0), 20000);
@@ -51,24 +66,44 @@ TEST(PaStateTest, SetImplUpdatesTiming) {
 
 TEST(PaStateTest, CreateRegionTracksCapacity) {
   Fixture f;
-  PaState state = f.MakeState();
+  PaScratch& state = f.MakeState();
   EXPECT_TRUE(state.UsedCap().IsZero());
   const std::size_t r = state.CreateRegionFor(0);
   EXPECT_EQ(r, 0u);
   EXPECT_EQ(state.RegionOf(0), 0);
   EXPECT_EQ(state.UsedCap()[0], 600);
-  EXPECT_EQ(state.Regions()[0].res[0], 600);
-  EXPECT_GT(state.Regions()[0].reconf_time, 0);
+  EXPECT_EQ(state.Region(0).res[0], 600);
+  EXPECT_GT(state.Region(0).reconf_time, 0);
 }
 
 TEST(PaStateTest, HasFreeCapacityAgainstAvail) {
   Fixture f;
   // Artificially small available capacity: only one 600-CLB region fits.
-  PaState state(f.instance, ResourceVec({700, 40, 60}), f.options);
-  for (TaskId t = 0; t < 3; ++t) state.SetImpl(t, 1);
+  PaScratch& state = f.MakeState(ResourceVec({700, 40, 60}));
   EXPECT_TRUE(state.HasFreeCapacity(state.ChosenImpl(0).res));
   state.CreateRegionFor(0);
   EXPECT_FALSE(state.HasFreeCapacity(state.ChosenImpl(1).res));
+}
+
+TEST(PaStateTest, ResetForgetsRegionsAndKeepsWorking) {
+  Fixture f;
+  PaScratch& state = f.MakeState();
+  state.CreateRegionFor(0);
+  state.AssignToRegion(0, 1);
+  ASSERT_EQ(state.NumRegions(), 1u);
+
+  // A restart must see a pristine scratch...
+  state.Reset(f.instance.platform.Device().Capacity());
+  EXPECT_EQ(state.NumRegions(), 0u);
+  EXPECT_TRUE(state.UsedCap().IsZero());
+  EXPECT_EQ(state.RegionOf(0), -1);
+  EXPECT_EQ(state.ImplIndex(0), 0u);
+
+  // ...and the second build must behave exactly like the first.
+  for (TaskId t = 0; t < 3; ++t) state.SetImpl(t, 1);
+  state.CreateRegionFor(0);
+  EXPECT_EQ(state.RegionOf(0), 0);
+  EXPECT_EQ(state.UsedCap()[0], 600);
 }
 
 TEST(PaStateTest, CanHostRequiresResourceFit) {
@@ -81,8 +116,9 @@ TEST(PaStateTest, CanHostRequiresResourceFit) {
   f.instance.graph.AddImpl(a, HwImpl(1000, 400));
   f.instance.graph.AddImpl(b, SwImpl(20000));
   f.instance.graph.AddImpl(b, HwImpl(1000, 900));  // larger than a's region
-  PaState state(f.instance, f.instance.platform.Device().Capacity(),
-                f.options);
+  f.ctx.emplace(f.instance, f.options);
+  f.scratch.emplace(*f.ctx);
+  PaScratch& state = *f.scratch;
   state.SetImpl(a, 1);
   state.SetImpl(b, 1);
   state.CreateRegionFor(a);
@@ -91,7 +127,7 @@ TEST(PaStateTest, CanHostRequiresResourceFit) {
 
 TEST(PaStateTest, CanHostChecksSlotDisjointness) {
   Fixture f;
-  PaState state = f.MakeState();
+  PaScratch& state = f.MakeState();
   state.CreateRegionFor(0);  // a occupies [0, 1000)
   // b (chain successor, slot [1000, 2000)) is slot-disjoint from a.
   EXPECT_TRUE(state.CanHost(0, 1, 1, /*require_reconf_room=*/false));
@@ -101,7 +137,7 @@ TEST(PaStateTest, CanHostChecksSlotDisjointness) {
 
 TEST(PaStateTest, ReconfRoomRequirementIsStricter) {
   Fixture f;
-  PaState state = f.MakeState();
+  PaScratch& state = f.MakeState();
   state.CreateRegionFor(0);
   // b starts exactly when a ends: no room for a reconfiguration between.
   EXPECT_TRUE(state.CanHost(0, 1, 1, false));
@@ -110,14 +146,14 @@ TEST(PaStateTest, ReconfRoomRequirementIsStricter) {
 
 TEST(PaStateTest, AssignToRegionSerializesWithGap) {
   Fixture f;
-  PaState state = f.MakeState();
+  PaScratch& state = f.MakeState();
   state.CreateRegionFor(0);
-  const TimeT reconf = state.Regions()[0].reconf_time;
+  const TimeT reconf = state.Region(0).reconf_time;
   state.AssignToRegion(0, 1);  // b joins a's region
   EXPECT_EQ(state.RegionOf(1), 0);
-  ASSERT_EQ(state.Regions()[0].tasks.size(), 2u);
-  EXPECT_EQ(state.Regions()[0].tasks[0], 0);
-  EXPECT_EQ(state.Regions()[0].tasks[1], 1);
+  ASSERT_EQ(state.Region(0).tasks.size(), 2u);
+  EXPECT_EQ(state.Region(0).tasks[0], 0);
+  EXPECT_EQ(state.Region(0).tasks[1], 1);
   // The ordering edge reserves the reconfiguration gap: b now starts at
   // end(a) + reconf.
   const TimeWindows& win = state.Timing().Windows();
@@ -136,8 +172,9 @@ TEST(PaStateTest, ModuleReuseRemovesGap) {
     f.instance.graph.AddImpl(t, SwImpl(20000));
     f.instance.graph.AddImpl(t, HwImpl(1000, 600, 0, 0, /*module=*/9));
   }
-  PaState state(f.instance, f.instance.platform.Device().Capacity(),
-                f.options);
+  f.ctx.emplace(f.instance, f.options);
+  f.scratch.emplace(*f.ctx);
+  PaScratch& state = *f.scratch;
   state.SetImpl(a, 1);
   state.SetImpl(b, 1);
   state.CreateRegionFor(a);
@@ -148,16 +185,16 @@ TEST(PaStateTest, ModuleReuseRemovesGap) {
 
 TEST(PaStateTest, TotalReconfTimeEstimateMatchesEq6) {
   Fixture f;
-  PaState state = f.MakeState();
+  PaScratch& state = f.MakeState();
   state.CreateRegionFor(0);
   EXPECT_EQ(state.TotalReconfTimeEstimate(), 0);  // |T_s| - 1 == 0
   state.AssignToRegion(0, 1);
-  EXPECT_EQ(state.TotalReconfTimeEstimate(), state.Regions()[0].reconf_time);
+  EXPECT_EQ(state.TotalReconfTimeEstimate(), state.Region(0).reconf_time);
 }
 
 TEST(PaStateTest, SwitchToSoftwareForbiddenAfterAssignment) {
   Fixture f;
-  PaState state = f.MakeState();
+  PaScratch& state = f.MakeState();
   state.CreateRegionFor(0);
   EXPECT_THROW(state.SwitchToSoftware(0), InternalError);
   EXPECT_NO_THROW(state.SwitchToSoftware(2));
@@ -166,7 +203,7 @@ TEST(PaStateTest, SwitchToSoftwareForbiddenAfterAssignment) {
 
 TEST(PaStateTest, SnapshotCriticalityIsStable) {
   Fixture f;
-  PaState state = f.MakeState();
+  PaScratch& state = f.MakeState();
   state.SnapshotCriticality();
   // a and b form the critical chain (2000 > 1000 of c).
   EXPECT_TRUE(state.WasCritical(0));
@@ -175,6 +212,23 @@ TEST(PaStateTest, SnapshotCriticalityIsStable) {
   // Later implementation changes do not disturb the snapshot.
   state.SetImpl(2, 0);  // c becomes a 20 ms software task (now critical)
   EXPECT_FALSE(state.WasCritical(2));
+}
+
+TEST(PaStateTest, AdoptedPrecomputeMatchesContext) {
+  Fixture f;
+  PaScratch& state = f.MakeState(f.instance.platform.Device().Capacity());
+  state.Reset(f.instance.platform.Device().Capacity());
+  state.AdoptInitialImplementations();
+  state.AdoptInitialCriticality();
+  const PaContext& ctx = *f.ctx;
+  for (std::size_t t = 0; t < f.instance.graph.NumTasks(); ++t) {
+    EXPECT_EQ(state.ImplIndex(static_cast<TaskId>(t)),
+              ctx.InitialImpls()[t]);
+    EXPECT_EQ(state.Timing().ExecTime(static_cast<TaskId>(t)),
+              ctx.InitialExecTimes()[t]);
+    EXPECT_EQ(state.WasCritical(static_cast<TaskId>(t)),
+              ctx.InitialCriticalMask()[t]);
+  }
 }
 
 }  // namespace

@@ -149,6 +149,69 @@ TEST(PaRTest, LiteralAlgorithm1ModeRuns) {
   }
 }
 
+TEST(PaRTest, BestMakespanIndependentOfThreadCount) {
+  // Per-iteration RNG streams (DeriveSeed on the ticket number) make the
+  // candidate set a function of (seed, max_iterations) only — the thread
+  // count decides who runs an iteration, never what it computes.
+  const Instance inst = MakeInstance(25, 37);
+  PaROptions opt;
+  opt.max_iterations = 40;
+  opt.time_budget_seconds = 0.0;
+  opt.seed = 12;
+  PaRResult reference;
+  for (const std::size_t threads : {1u, 4u, 8u}) {
+    opt.threads = threads;
+    const PaRResult result = SchedulePaR(inst, opt);
+    ASSERT_TRUE(result.found) << "threads=" << threads;
+    EXPECT_EQ(result.iterations, 40u);
+    if (threads == 1) {
+      reference = result;
+    } else {
+      EXPECT_EQ(result.best.makespan, reference.best.makespan)
+          << "threads=" << threads;
+    }
+  }
+}
+
+TEST(PaRTest, ScratchReuseIsBitIdentical) {
+  // The reusable-PaScratch hot path must be an optimization only: same
+  // candidates, same best schedule as the rebuild-everything baseline.
+  const Instance inst = MakeInstance(25, 41);
+  PaROptions opt;
+  opt.max_iterations = 30;
+  opt.time_budget_seconds = 0.0;
+  opt.seed = 6;
+  opt.threads = 2;
+  opt.reuse_scratch = true;
+  const PaRResult fast = SchedulePaR(inst, opt);
+  opt.reuse_scratch = false;
+  const PaRResult slow = SchedulePaR(inst, opt);
+  ASSERT_TRUE(fast.found);
+  ASSERT_TRUE(slow.found);
+  EXPECT_EQ(fast.best.makespan, slow.best.makespan);
+  EXPECT_EQ(fast.best.floorplan.size(), slow.best.floorplan.size());
+}
+
+TEST(PaRTest, FloorplanCacheOnOffBitIdentical) {
+  // Cache hits replay the recorded solve bit-for-bit, so disabling the
+  // cache must not change the outcome — only the work done.
+  const Instance inst = MakeInstance(25, 43);
+  PaROptions opt;
+  opt.max_iterations = 30;
+  opt.time_budget_seconds = 0.0;
+  opt.seed = 8;
+  opt.threads = 2;
+  opt.base.floorplan_cache = true;
+  const PaRResult cached = SchedulePaR(inst, opt);
+  opt.base.floorplan_cache = false;
+  const PaRResult uncached = SchedulePaR(inst, opt);
+  ASSERT_TRUE(cached.found);
+  ASSERT_TRUE(uncached.found);
+  EXPECT_EQ(cached.best.makespan, uncached.best.makespan);
+  EXPECT_GT(cached.floorplan_cache.queries, 0u);
+  EXPECT_EQ(uncached.floorplan_cache.queries, 0u);
+}
+
 TEST(PaRTest, ImprovesOverIterationsOnAverage) {
   // More iterations => final makespan no worse (same seed, nested budget).
   const Instance inst = MakeInstance(30, 31);

@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Perf smoke for the PA-R restart hot path, run by ctest in Release builds:
+# executes bench/micro_restart with a small fixed iteration cap and fails
+# when the reuse+cache restart rate at 8 threads regresses more than 30%
+# below the committed floor (tests/perf_baseline.txt). micro_restart itself
+# aborts on any cross-mode makespan mismatch, so this gate also re-proves
+# bit-identity on every CI run.
+#
+# Usage: perf_smoke.sh <micro_restart-binary> <baseline-file> [config]
+#   RESCHED_PERF_BASELINE  overrides the baseline file (per-machine floors)
+#   RESCHED_PERF_SCALE     overrides the bench scale (default 0.34)
+set -euo pipefail
+
+BIN=$1
+BASELINE=${RESCHED_PERF_BASELINE:-$2}
+CONFIG=${3:-Release}
+
+if [[ "$CONFIG" != "Release" ]]; then
+  echo "perf_smoke: skipped ($CONFIG build — floors are for Release)"
+  exit 77
+fi
+[[ -x "$BIN" ]] || { echo "perf_smoke: missing binary $BIN" >&2; exit 1; }
+[[ -f "$BASELINE" ]] || { echo "perf_smoke: missing baseline $BASELINE" >&2; exit 1; }
+
+OUT=$(mktemp -d)
+trap 'rm -rf "$OUT"' EXIT
+
+RESCHED_BENCH_SCALE=${RESCHED_PERF_SCALE:-0.34} RESCHED_BENCH_OUT="$OUT" \
+    "$BIN" > "$OUT/log.txt" || {
+  echo "perf_smoke: micro_restart failed (makespan mismatch or no schedule):" >&2
+  cat "$OUT/log.txt" >&2
+  exit 1
+}
+
+python3 - "$OUT/micro_restart.csv" "$BASELINE" <<'EOF'
+import csv
+import sys
+
+csv_path, baseline_path = sys.argv[1], sys.argv[2]
+
+floors = {}
+with open(baseline_path) as fh:
+    for line in fh:
+        line = line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        instance, rate = line.split()
+        floors[instance] = float(rate)
+
+measured = {}
+with open(csv_path) as fh:
+    for row in csv.DictReader(fh):
+        if row["mode"] == "reuse+cache" and row["threads"] == "8":
+            measured[row["instance"]] = float(row["restarts_per_sec"])
+
+status = 0
+for instance, floor in sorted(floors.items()):
+    rate = measured.get(instance)
+    if rate is None:
+        print(f"perf_smoke: FAIL {instance}: no measurement in {csv_path}")
+        status = 1
+        continue
+    threshold = 0.7 * floor  # 30% regression allowance below the floor
+    verdict = "ok" if rate >= threshold else "FAIL"
+    print(f"perf_smoke: {verdict} {instance}: {rate:.1f} restarts/s "
+          f"(floor {floor:.0f}, threshold {threshold:.1f})")
+    if rate < threshold:
+        status = 1
+sys.exit(status)
+EOF
+
+echo "perf_smoke OK"

@@ -29,6 +29,13 @@ Rules:
                             swallows failures the fault-injection layer is
                             supposed to surface; rethrow, log, or narrow
                             the handler.
+  no-adhoc-seed-derivation  HashCombine on seed values outside src/util/
+                            recreates the per-trial seeding scheme ad hoc;
+                            use DeriveSeed(stream, index) with a named
+                            stream tag (util/rng.hpp) so stream separation
+                            stays auditable. (Found the hard way: PA-R
+                            seeded workers with HashCombine(seed, w), tying
+                            results to the thread count.)
 
 Suppress a finding by appending to the offending line:
     // resched-lint: allow(<rule-id>)
@@ -191,6 +198,12 @@ NAKED_NEW_RE = re.compile(r"(?<![\w.:])new\b(?!\s*\()")
 NAKED_DELETE_RE = re.compile(r"(?<![\w.:])delete\b(?!\s*[;)\]],?)")
 DELETED_FN_RE = re.compile(r"=\s*delete\b")
 
+# Ad-hoc seed derivation: HashCombine applied to something seed-like. The
+# sanctioned derivation lives in src/util/rng.* (DeriveSeed + stream tags),
+# so the rule skips src/util/.
+ADHOC_SEED_RE = re.compile(r"\bHashCombine\s*\(")
+SEEDISH_RE = re.compile(r"seed", re.IGNORECASE)
+
 CATCH_ALL_RE = re.compile(r"\bcatch\s*\(\s*\.\.\.\s*\)")
 # Tokens that make a catch-all handler acceptable: it propagates the
 # failure (throw / rethrow_exception), captures it for someone else
@@ -288,6 +301,13 @@ def lint_file(path, root, findings):
                 lineno, "no-unordered-in-output",
                 "unordered containers have unspecified iteration order; "
                 "output paths must use std::map/std::set or sort first")
+        if not relpath.startswith("src/util/") and \
+                ADHOC_SEED_RE.search(line) and SEEDISH_RE.search(line):
+            report(
+                lineno, "no-adhoc-seed-derivation",
+                "ad-hoc HashCombine seed derivation; use "
+                "DeriveSeed(stream, index) with a named stream tag "
+                "(util/rng.hpp)")
         if relpath.startswith("src/") and \
                 not relpath.startswith("src/util/"):
             if NAKED_NEW_RE.search(line):
@@ -375,7 +395,8 @@ def main(argv):
         for rule, _, _ in TOKEN_RULES:
             print(rule)
         for rule in ("no-unordered-in-output", "pragma-once",
-                     "include-cycle", "no-naked-new", "no-silent-catch"):
+                     "include-cycle", "no-naked-new", "no-silent-catch",
+                     "no-adhoc-seed-derivation"):
             print(rule)
         return 0
 
