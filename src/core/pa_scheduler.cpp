@@ -34,17 +34,24 @@ Schedule RunPaCore(const Instance& instance, const PaOptions& options,
 }
 
 Schedule SchedulePa(const Instance& instance, const PaOptions& options,
-                    FloorplanCache* cache) {
+                    FloorplanCache* cache, const CancelToken* cancel) {
   instance.graph.Validate(instance.platform.Device());
-  Rng rng(options.seed);
-
-  double scheduling_seconds = 0.0;
-  double floorplanning_seconds = 0.0;
 
   // Build-once hot path: one context and one scratch span every shrink
   // round; only the virtual capacity changes between rounds.
   pa::PaContext ctx(instance, options);
   pa::PaScratch scratch(ctx);
+  return SchedulePaWarm(ctx, scratch, cache, cancel);
+}
+
+Schedule SchedulePaWarm(const pa::PaContext& ctx, pa::PaScratch& scratch,
+                        FloorplanCache* cache, const CancelToken* cancel) {
+  const Instance& instance = ctx.Inst();
+  const PaOptions& options = ctx.Options();
+  Rng rng(options.seed);
+
+  double scheduling_seconds = 0.0;
+  double floorplanning_seconds = 0.0;
 
   std::optional<FloorplanCache> own_cache;
   if (cache == nullptr && options.floorplan_cache && options.run_floorplan) {
@@ -57,6 +64,7 @@ Schedule SchedulePa(const Instance& instance, const PaOptions& options,
   ResourceVec avail_cap = instance.platform.Device().Capacity();
   Schedule schedule;
   for (std::size_t round = 0; round <= options.max_shrink_rounds; ++round) {
+    if (cancel != nullptr) cancel->ThrowIfCancelled();
     const bool last_round = round == options.max_shrink_rounds;
     if (last_round) {
       // Fallback: zero virtual capacity forces an all-software schedule,

@@ -4,6 +4,7 @@
 
 #include "core/options.hpp"
 #include "sched/schedule.hpp"
+#include "util/cancel.hpp"
 #include "util/rng.hpp"
 
 namespace resched {
@@ -26,8 +27,25 @@ class PaScratch;
 /// `cache`: optional shared floorplan-feasibility cache. When null and
 /// options.floorplan_cache is set, a private cache spans the shrink rounds
 /// of this call. Results are bit-identical with or without a cache.
+///
+/// `cancel`: optional cooperative cancellation token, polled at the top of
+/// every shrink round; when it fires, CancelledError is thrown (the
+/// reschedd per-request deadline path). Cancellation lives outside
+/// PaOptions deliberately: PaContext borrows its options across requests
+/// (warm reuse), while a token is strictly per-call.
 Schedule SchedulePa(const Instance& instance, const PaOptions& options = {},
-                    FloorplanCache* cache = nullptr);
+                    FloorplanCache* cache = nullptr,
+                    const CancelToken* cancel = nullptr);
+
+/// Warm-path variant of SchedulePa: runs the full §V pipeline including the
+/// §V-H shrink loop against an existing context and scratch, so a caller
+/// serving many requests over the same (instance, options) pair — the
+/// reschedd worker — skips the per-call precompute entirely. The caller
+/// must have validated the instance (PaContext construction assumes it).
+/// Bit-identical to SchedulePa for the same (instance, options).
+Schedule SchedulePaWarm(const pa::PaContext& ctx, pa::PaScratch& scratch,
+                        FloorplanCache* cache = nullptr,
+                        const CancelToken* cancel = nullptr);
 
 /// One pass of the phases of §V-A..§V-G (no floorplanning) against a given
 /// virtually available capacity: the doSchedule() of Algorithm 1, in the

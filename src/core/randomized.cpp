@@ -12,7 +12,8 @@
 
 namespace resched {
 
-PaRResult SchedulePaR(const Instance& instance, const PaROptions& options) {
+PaRResult SchedulePaR(const Instance& instance, const PaROptions& options,
+                      FloorplanCache* cache) {
   RESCHED_CHECK_MSG(
       options.time_budget_seconds > 0.0 || options.max_iterations > 0,
       "PA-R needs a time budget or an iteration cap");
@@ -30,12 +31,18 @@ PaRResult SchedulePaR(const Instance& instance, const PaROptions& options) {
   const ResourceVec full_cap = instance.platform.Device().Capacity();
 
   // Shared read-only context + shared concurrent feasibility cache: the
-  // build-once half of the PR-4 hot path.
+  // build-once half of the PR-4 hot path. An externally-owned cache (the
+  // reschedd worker pool shares one per device across requests) takes
+  // precedence over the per-call private one.
   const pa::PaContext ctx(instance, inner);
-  std::optional<FloorplanCache> cache;
-  if (options.base.floorplan_cache) {
-    cache.emplace(instance.platform.Device());
+  std::optional<FloorplanCache> own_cache;
+  if (cache == nullptr && options.base.floorplan_cache) {
+    own_cache.emplace(instance.platform.Device());
+    cache = &*own_cache;
   }
+
+  const FloorplanCacheStats stats_before =
+      cache != nullptr ? cache->Stats() : FloorplanCacheStats{};
 
   PaRResult result;
   std::mutex best_mutex;
@@ -45,8 +52,7 @@ PaRResult SchedulePaR(const Instance& instance, const PaROptions& options) {
     PaOptions det = options.base;
     det.ordering = NonCriticalOrder::kEfficiency;
     det.run_floorplan = true;
-    Schedule warm =
-        SchedulePa(instance, det, cache ? &*cache : nullptr);
+    Schedule warm = SchedulePa(instance, det, cache, options.cancel);
     warm.algorithm = "PA-R";
     best_makespan = warm.makespan;
     result.best = std::move(warm);
@@ -73,6 +79,10 @@ PaRResult SchedulePaR(const Instance& instance, const PaROptions& options) {
 
     for (;;) {
       if (deadline.Expired()) break;
+      // Cooperative cancellation: drain quietly here; the calling thread
+      // turns the fired token into a CancelledError after the join (an
+      // exception must not escape a worker thread).
+      if (options.cancel != nullptr && options.cancel->Cancelled()) break;
       const std::size_t iter = tickets.fetch_add(1) + 1;
       if (options.max_iterations != 0 && iter > options.max_iterations) break;
 
@@ -98,11 +108,11 @@ PaRResult SchedulePaR(const Instance& instance, const PaROptions& options) {
 
       // Potential improvement: validate on the fabric (outside the lock).
       const FloorplanResult fp =
-          cache ? cache->Query(candidate.RegionRequirements(),
-                               inner.floorplan)
-                : FindFloorplan(instance.platform.Device(),
-                                candidate.RegionRequirements(),
-                                inner.floorplan);
+          cache != nullptr ? cache->Query(candidate.RegionRequirements(),
+                                          inner.floorplan)
+                           : FindFloorplan(instance.platform.Device(),
+                                           candidate.RegionRequirements(),
+                                           inner.floorplan);
       if (!fp.feasible) continue;
 
       std::lock_guard lock(best_mutex);
@@ -131,6 +141,10 @@ PaRResult SchedulePaR(const Instance& instance, const PaROptions& options) {
     for (auto& t : threads) t.join();
   }
 
+  // Surface a fired token as CancelledError only from the calling thread,
+  // after every worker has drained.
+  if (options.cancel != nullptr) options.cancel->ThrowIfCancelled();
+
   // Workers append improvements in acceptance order, which under
   // contention is not elapsed-time order; Fig. 6 wants a time-monotone
   // staircase.
@@ -141,8 +155,10 @@ PaRResult SchedulePaR(const Instance& instance, const PaROptions& options) {
 
   result.iterations = completed.load();
   result.seconds = deadline.ElapsedSeconds();
-  if (cache) {
-    result.floorplan_cache = cache->Stats();
+  if (cache != nullptr) {
+    // Delta, not totals: an externally-shared cache carries counters from
+    // other requests.
+    result.floorplan_cache = cache->Stats().Since(stats_before);
     if (result.found) result.best.floorplan_cache = result.floorplan_cache;
   }
   if (result.found) {

@@ -67,6 +67,12 @@ struct PaROptions {
   /// pre-PR-4 behaviour, kept as the baseline leg of bench/micro_restart.
   /// Results are bit-identical either way.
   bool reuse_scratch = true;
+
+  /// Optional cooperative cancellation (reschedd per-request deadlines):
+  /// polled once per restart ticket by every worker and during the
+  /// deterministic warm start. When it fires, the workers drain and
+  /// SchedulePaR throws CancelledError from the calling thread.
+  const CancelToken* cancel = nullptr;
 };
 
 struct TracePoint {
@@ -90,6 +96,11 @@ struct PaRResult {
   FloorplanCacheStats floorplan_cache;
 };
 
-PaRResult SchedulePaR(const Instance& instance, const PaROptions& options);
+/// `cache`: optional externally-owned floorplan-feasibility cache shared
+/// across calls (the reschedd worker pool passes one per device); when
+/// null and options.base.floorplan_cache is set, a private cache spans
+/// this call, as before. Results are bit-identical either way.
+PaRResult SchedulePaR(const Instance& instance, const PaROptions& options,
+                      FloorplanCache* cache = nullptr);
 
 }  // namespace resched

@@ -1,0 +1,49 @@
+// Canonical content hashing of problem instances (and other canonical
+// JSON texts) for the reschedd result cache and journal.
+//
+// Canonicalization rides on the existing serialization invariants:
+// InstanceToJson emits objects through std::map (deterministic key order)
+// and Dump(-1) is a pure function of the value, so two semantically
+// identical instances — however their source documents were formatted —
+// produce the same compact text and hence the same digest. The digest is
+// 128 bits (two independent 64-bit FNV-1a streams), wide enough that the
+// result cache can treat digest equality as instance equality.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "taskgraph/taskgraph.hpp"
+
+namespace resched {
+
+struct Digest128 {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  /// 32 lowercase hex characters (hi then lo).
+  std::string ToHex() const;
+
+  friend bool operator==(const Digest128& a, const Digest128& b) {
+    return a.hi == b.hi && a.lo == b.lo;
+  }
+  friend bool operator!=(const Digest128& a, const Digest128& b) {
+    return !(a == b);
+  }
+};
+
+/// FNV-1a over `text` with a caller-chosen offset basis (64-bit stream).
+std::uint64_t Fnv1a64(std::string_view text, std::uint64_t basis);
+
+/// 128-bit digest of an arbitrary canonical text.
+Digest128 HashCanonicalText(std::string_view text);
+
+/// Canonical compact single-line JSON form of an instance — the text the
+/// digest is defined over (also the journal's instance representation).
+std::string CanonicalInstanceText(const Instance& instance);
+
+/// Digest of CanonicalInstanceText(instance).
+Digest128 HashInstance(const Instance& instance);
+
+}  // namespace resched

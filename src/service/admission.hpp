@@ -1,0 +1,79 @@
+// Bounded admission queue for the reschedd request pipeline.
+//
+// Admission control is the service's backpressure mechanism: the reader
+// thread *tries* to enqueue and, when the queue is at capacity, rejects the
+// request immediately with an `overloaded` error instead of blocking — a
+// blocked reader would stop serving cancel/stats verbs, and an unbounded
+// queue would hide overload until memory runs out. Workers block on Pop().
+//
+// Close() flips the queue into drain mode: no further pushes are accepted,
+// blocked Pop() calls keep returning the items already admitted, and once
+// the queue is empty Pop() returns false — which is exactly the graceful-
+// shutdown contract ("never lose an accepted request").
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace resched::service {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Non-blocking admission: false when the queue is full or closed (the
+  /// caller turns that into an `overloaded` / `shutting down` rejection).
+  bool TryPush(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed *and*
+  /// drained; false only in the latter case.
+  bool Pop(T& out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  /// Stops admission and wakes every blocked Pop(); already-admitted items
+  /// are still handed out (drain semantics). Idempotent.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  std::size_t Size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  std::size_t Capacity() const { return capacity_; }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace resched::service

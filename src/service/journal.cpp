@@ -1,0 +1,157 @@
+#include "service/journal.hpp"
+
+#include <map>
+#include <thread>
+#include <utility>
+
+#include "service/server.hpp"
+#include "service/transport.hpp"
+#include "util/build_info.hpp"
+#include "util/common.hpp"
+#include "util/json.hpp"
+
+namespace resched::service {
+
+Journal::Journal(const std::string& path)
+    : out_(path, std::ios::out | std::ios::app) {
+  if (!out_) {
+    throw InstanceError("cannot open journal for appending: " + path);
+  }
+  const BuildInfo& build_info = GetBuildInfo();
+  JsonObject build;
+  build["version"] = build_info.version;
+  build["git"] = build_info.git;
+  build["build_type"] = build_info.build_type;
+  build["sanitizers"] = build_info.sanitizers;
+  JsonObject meta;
+  meta["journal"] = "meta";
+  meta["protocol"] = kProtocolVersion;
+  meta["build"] = JsonValue(std::move(build));
+  AppendLine(JsonValue(std::move(meta)).Dump(-1));
+}
+
+void Journal::AppendRequest(const std::string& id,
+                            const std::string& raw_line) {
+  JsonObject record;
+  record["journal"] = "request";
+  record["id"] = id;
+  record["line"] = raw_line;
+  AppendLine(JsonValue(std::move(record)).Dump(-1));
+}
+
+void Journal::AppendResponse(const std::string& id,
+                             const std::string& response_line) {
+  JsonObject record;
+  record["journal"] = "response";
+  record["id"] = id;
+  record["line"] = response_line;
+  AppendLine(JsonValue(std::move(record)).Dump(-1));
+}
+
+void Journal::AppendLine(const std::string& line) {
+  std::lock_guard<std::mutex> lock(mu_);
+  out_ << line << '\n';
+  out_.flush();
+}
+
+namespace {
+
+/// True when the journal record pair (request, response) is in the
+/// replayable class: deterministic scheduling work whose original response
+/// was ok. Everything else legitimately depends on timing or server state.
+bool Replayable(const Request& request, const JsonValue& original_response) {
+  if (request.verb != Verb::kSchedule && request.verb != Verb::kSimulate) {
+    return false;
+  }
+  if (!request.Deterministic()) return false;
+  return original_response.GetBool("ok", false);
+}
+
+}  // namespace
+
+ReplayOutcome ReplayJournal(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw InstanceError("cannot open journal: " + path);
+
+  std::vector<std::pair<std::string, std::string>> requests;  // (id, raw)
+  std::map<std::string, std::string> responses;               // id -> line
+  bool saw_meta = false;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const JsonValue record = JsonValue::Parse(line);
+    const std::string kind = record.GetString("journal", "");
+    if (kind == "meta") {
+      saw_meta = true;
+    } else if (kind == "request") {
+      requests.emplace_back(record.GetString("id", ""),
+                            record.At("line").AsString());
+    } else if (kind == "response") {
+      responses[record.GetString("id", "")] = record.At("line").AsString();
+    } else {
+      throw InstanceError("not a reschedd journal record: " + line);
+    }
+  }
+  if (!saw_meta) throw InstanceError("journal has no meta record: " + path);
+
+  ReplayOutcome outcome;
+  outcome.requests = requests.size();
+
+  // A fresh single-worker in-process server; requests are replayed
+  // serially (submit, then wait), so admission never rejects and ordering
+  // is reproducible.
+  PipeTransport pipe;
+  ServerOptions server_options;
+  server_options.workers = 1;
+  server_options.queue_capacity = 2;
+  RescheddServer server(pipe, server_options);
+  std::thread serve_thread([&server] { server.Serve(); });
+  std::string reply;
+  (void)pipe.Receive(reply);  // handshake greeting
+
+  for (const auto& [id, raw] : requests) {
+    const auto found = responses.find(id);
+    if (found == responses.end()) {
+      ++outcome.skipped;  // session died before responding
+      continue;
+    }
+    Request request;
+    try {
+      request = ParseRequest(raw);
+    } catch (const ProtocolError&) {
+      ++outcome.skipped;
+      continue;
+    }
+    const std::string& original = found->second;
+    if (!Replayable(request, JsonValue::Parse(original))) {
+      ++outcome.skipped;
+      continue;
+    }
+
+    // Pin the originally-assigned id and strip the wall-clock deadline —
+    // neither is part of the deterministic result.
+    JsonValue doc = JsonValue::Parse(raw, RequestParseLimits());
+    JsonObject fields = doc.AsObject();
+    fields["id"] = id;
+    fields.erase("deadline_ms");
+    pipe.Send(JsonValue(std::move(fields)).Dump(-1));
+    if (!pipe.Receive(reply)) break;  // server gone
+    ++outcome.replayed;
+    if (reply == original) {
+      ++outcome.matched;
+    } else {
+      ++outcome.mismatched;
+      outcome.mismatched_ids.push_back(id);
+    }
+  }
+
+  pipe.Send("{\"verb\":\"shutdown\"}");
+  while (pipe.Receive(reply)) {
+    // Drain the shutdown acknowledgment (and anything else in flight).
+    if (reply.find("\"verb\":\"shutdown\"") != std::string::npos) break;
+  }
+  serve_thread.join();
+  return outcome;
+}
+
+}  // namespace resched::service

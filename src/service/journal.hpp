@@ -1,0 +1,58 @@
+// Append-only JSONL request journal + offline replay.
+//
+// Every accepted line and every emitted response is recorded, making a
+// serving session reproducible after the fact:
+//
+//   {"journal":"meta","protocol":1,"build":{...}}          // once, on open
+//   {"journal":"request","id":"r1","line":"<raw request>"}
+//   {"journal":"response","id":"r1","line":"<response line>"}
+//
+// Replay re-submits every *deterministic* schedule/simulate request whose
+// original response was ok to a fresh single-worker in-process server
+// (original ids pinned, deadlines stripped — wall-clock concerns do not
+// replay) and byte-compares the responses. Budgeted (nondeterministic)
+// requests, control verbs and rejected/cancelled requests are skipped:
+// their responses legitimately depend on timing and server state.
+#pragma once
+
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace resched::service {
+
+class Journal {
+ public:
+  /// Opens `path` for appending; throws InstanceError on failure.
+  explicit Journal(const std::string& path);
+
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  void AppendRequest(const std::string& id, const std::string& raw_line);
+  void AppendResponse(const std::string& id, const std::string& response_line);
+
+ private:
+  void AppendLine(const std::string& line);
+
+  std::mutex mu_;
+  std::ofstream out_;
+};
+
+struct ReplayOutcome {
+  std::size_t requests = 0;    ///< request records in the journal
+  std::size_t replayed = 0;    ///< re-executed and compared
+  std::size_t matched = 0;     ///< byte-identical responses
+  std::size_t mismatched = 0;
+  std::size_t skipped = 0;     ///< nondeterministic / control / errored
+  std::vector<std::string> mismatched_ids;
+
+  bool ok() const { return mismatched == 0; }
+};
+
+/// Replays the journal at `path`; throws InstanceError when the file is
+/// unreadable or not a journal.
+ReplayOutcome ReplayJournal(const std::string& path);
+
+}  // namespace resched::service

@@ -1,0 +1,241 @@
+#include "service/protocol.hpp"
+
+#include <utility>
+
+#include "io/instance_io.hpp"
+#include "sched/recovery.hpp"
+#include "util/build_info.hpp"
+#include "util/check.hpp"
+
+namespace resched::service {
+namespace {
+
+/// Validated field extraction for the post-id phase: every shape error from
+/// here on is the client's fault and carries the request id.
+std::uint64_t GetSeed(const JsonValue& doc) {
+  const std::int64_t raw = doc.GetInt("seed", 1);
+  return static_cast<std::uint64_t>(raw);
+}
+
+ScheduleParams ParseScheduleParams(const JsonValue& doc,
+                                   const std::string& id) {
+  ScheduleParams p;
+  p.algo = doc.GetString("algo", "pa");
+  if (p.algo != "pa" && p.algo != "par" && p.algo != "allsw") {
+    throw ProtocolError(kErrBadRequest, "unknown algo: " + p.algo, id);
+  }
+  p.seed = GetSeed(doc);
+  p.budget_seconds = doc.GetDouble("budget", 0.0);
+  if (p.budget_seconds < 0.0) {
+    throw ProtocolError(kErrBadRequest, "budget must be >= 0", id);
+  }
+  // Without a wall-clock budget PA-R needs an iteration cap; 32 restarts is
+  // the deterministic default. With a budget the cap defaults to unbounded.
+  const std::int64_t iterations =
+      doc.GetInt("iterations", p.budget_seconds > 0.0 ? 0 : 32);
+  if (iterations < 0) {
+    throw ProtocolError(kErrBadRequest, "iterations must be >= 0", id);
+  }
+  p.iterations = static_cast<std::size_t>(iterations);
+  if (p.algo == "par" && p.budget_seconds <= 0.0 && p.iterations == 0) {
+    throw ProtocolError(kErrBadRequest,
+                        "par needs iterations > 0 or budget > 0", id);
+  }
+  p.module_reuse = doc.GetBool("module_reuse", false);
+  p.sw_balancing = !doc.GetBool("no_balancing", false);
+  p.run_floorplan = !doc.GetBool("no_floorplan", false);
+  p.use_cache = doc.GetBool("cache", true);
+  return p;
+}
+
+SimulateParams ParseSimulateParams(const JsonValue& doc,
+                                   const std::string& id) {
+  SimulateParams p;
+  p.fault_rate = doc.GetDouble("fault_rate", 0.0);
+  if (p.fault_rate < 0.0 || p.fault_rate > 1.0) {
+    throw ProtocolError(kErrBadRequest, "fault_rate must be in [0, 1]", id);
+  }
+  const std::int64_t trials = doc.GetInt("trials", 1);
+  if (trials <= 0) {
+    throw ProtocolError(kErrBadRequest, "trials must be positive", id);
+  }
+  p.trials = static_cast<std::size_t>(trials);
+  p.policy = doc.GetString("policy", "retry");
+  try {
+    (void)ParseRecoveryPolicy(p.policy);
+  } catch (const InstanceError& e) {
+    throw ProtocolError(kErrBadRequest, e.what(), id);
+  }
+  p.jitter = doc.GetDouble("jitter", 0.0);
+  if (p.jitter < 0.0 || p.jitter >= 1.0) {
+    throw ProtocolError(kErrBadRequest, "jitter must be in [0, 1)", id);
+  }
+  return p;
+}
+
+void ParseInstancePayload(const JsonValue& doc, Request& req) {
+  if (!doc.Contains("instance") || !doc.At("instance").IsObject()) {
+    throw ProtocolError(kErrBadRequest,
+                        "an inline \"instance\" object is required", req.id);
+  }
+  try {
+    req.instance =
+        std::make_shared<const Instance>(InstanceFromJson(doc.At("instance")));
+    req.instance->graph.Validate(req.instance->platform.Device());
+  } catch (const InstanceError& e) {
+    throw ProtocolError(kErrBadRequest, e.what(), req.id);
+  }
+  // One canonical serialization feeds both digests: the full-instance
+  // digest keys the result cache, the platform digest keys the shared
+  // floorplan-cache pool (identical fabrics share one cache).
+  const JsonValue canonical = InstanceToJson(*req.instance);
+  req.instance_digest = HashCanonicalText(canonical.Dump(-1));
+  req.platform_digest =
+      HashCanonicalText(canonical.At("platform").Dump(-1));
+}
+
+}  // namespace
+
+const char* ToString(Verb verb) {
+  switch (verb) {
+    case Verb::kSchedule: return "schedule";
+    case Verb::kSimulate: return "simulate";
+    case Verb::kCancel: return "cancel";
+    case Verb::kStats: return "stats";
+    case Verb::kShutdown: return "shutdown";
+  }
+  return "unknown";
+}
+
+JsonParseLimits RequestParseLimits() {
+  JsonParseLimits limits;
+  limits.max_depth = 32;
+  limits.max_bytes = 4u << 20;  // 4 MiB per request line
+  return limits;
+}
+
+Request ParseRequest(const std::string& line) {
+  JsonValue doc;
+  try {
+    doc = JsonValue::Parse(line, RequestParseLimits());
+  } catch (const JsonError& e) {
+    throw ProtocolError(kErrParse, e.what());
+  }
+  if (!doc.IsObject()) {
+    throw ProtocolError(kErrParse, "request must be a JSON object");
+  }
+
+  Request req;
+  if (doc.Contains("id")) {
+    const JsonValue& id = doc.At("id");
+    if (!id.IsString() || id.AsString().empty()) {
+      throw ProtocolError(kErrBadRequest, "id must be a non-empty string");
+    }
+    req.id = id.AsString();
+    req.had_id = true;
+  }
+
+  try {
+    const std::string verb = doc.GetString("verb", "");
+    if (verb == "schedule") {
+      req.verb = Verb::kSchedule;
+    } else if (verb == "simulate") {
+      req.verb = Verb::kSimulate;
+    } else if (verb == "cancel") {
+      req.verb = Verb::kCancel;
+    } else if (verb == "stats") {
+      req.verb = Verb::kStats;
+    } else if (verb == "shutdown") {
+      req.verb = Verb::kShutdown;
+    } else if (verb.empty()) {
+      throw ProtocolError(kErrBadRequest, "\"verb\" is required", req.id);
+    } else {
+      throw ProtocolError(kErrBadRequest, "unknown verb: " + verb, req.id);
+    }
+
+    req.deadline_ms = doc.GetDouble("deadline_ms", 0.0);
+    if (req.deadline_ms < 0.0) {
+      throw ProtocolError(kErrBadRequest, "deadline_ms must be >= 0", req.id);
+    }
+
+    if (req.verb == Verb::kSchedule || req.verb == Verb::kSimulate) {
+      ParseInstancePayload(doc, req);
+      req.sched = ParseScheduleParams(doc, req.id);
+      if (req.verb == Verb::kSimulate) {
+        req.sim = ParseSimulateParams(doc, req.id);
+      }
+    } else if (req.verb == Verb::kCancel) {
+      req.cancel_target = doc.GetString("target", "");
+      if (req.cancel_target.empty()) {
+        throw ProtocolError(kErrBadRequest,
+                            "cancel needs a \"target\" request id", req.id);
+      }
+    }
+  } catch (const JsonError& e) {
+    // Wrong field type inside an otherwise-parsable document.
+    throw ProtocolError(kErrBadRequest, e.what(), req.id);
+  }
+  return req;
+}
+
+std::string RequestKeyText(const Request& request) {
+  JsonObject key;
+  key["verb"] = ToString(request.verb);
+  key["instance"] = request.instance_digest.ToHex();
+  key["algo"] = request.sched.algo;
+  key["seed"] = std::to_string(request.sched.seed);
+  key["iterations"] = request.sched.iterations;
+  key["budget"] = request.sched.budget_seconds;
+  key["module_reuse"] = request.sched.module_reuse;
+  key["sw_balancing"] = request.sched.sw_balancing;
+  key["run_floorplan"] = request.sched.run_floorplan;
+  if (request.verb == Verb::kSimulate) {
+    key["fault_rate"] = request.sim.fault_rate;
+    key["trials"] = request.sim.trials;
+    key["policy"] = request.sim.policy;
+    key["jitter"] = request.sim.jitter;
+  }
+  return JsonValue(std::move(key)).Dump(-1);
+}
+
+std::string OkBody(JsonObject fields) {
+  fields["ok"] = true;
+  return JsonValue(std::move(fields)).Dump(-1);
+}
+
+std::string ErrorBody(const std::string& code, const std::string& message) {
+  JsonObject error;
+  error["code"] = code;
+  error["message"] = message;
+  JsonObject body;
+  body["ok"] = false;
+  body["error"] = JsonValue(std::move(error));
+  return JsonValue(std::move(body)).Dump(-1);
+}
+
+std::string WithId(const std::string& id, const std::string& body) {
+  RESCHED_CHECK_MSG(body.size() > 2 && body.front() == '{' &&
+                        body.back() == '}',
+                    "response body must be a non-empty JSON object");
+  // JsonValue(id).Dump escapes any quotes/control characters a hostile
+  // client put into its id.
+  const std::string id_json =
+      id.empty() ? std::string("null") : JsonValue(id).Dump(-1);
+  return "{\"id\":" + id_json + "," + body.substr(1);
+}
+
+std::string HandshakeLine() {
+  const BuildInfo& build = GetBuildInfo();
+  JsonObject info;
+  info["version"] = build.version;
+  info["git"] = build.git;
+  info["build_type"] = build.build_type;
+  info["sanitizers"] = build.sanitizers;
+  info["compiler"] = build.compiler;
+  JsonObject hs;
+  hs["reschedd"] = JsonValue(std::move(info));
+  hs["protocol"] = kProtocolVersion;
+  return JsonValue(std::move(hs)).Dump(-1);
+}
+
+}  // namespace resched::service

@@ -1,0 +1,453 @@
+#include "service/server.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "baseline/reference.hpp"
+#include "core/pa_scheduler.hpp"
+#include "core/pa_state.hpp"
+#include "core/randomized.hpp"
+#include "floorplan/floorplan_cache.hpp"
+#include "io/schedule_io.hpp"
+#include "sched/validator.hpp"
+#include "sim/executor.hpp"
+#include "util/build_info.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+
+namespace resched::service {
+namespace {
+
+std::int64_t AsInt64(std::uint64_t v) { return static_cast<std::int64_t>(v); }
+
+}  // namespace
+
+RescheddServer::WarmSlot::WarmSlot() = default;
+RescheddServer::WarmSlot::~WarmSlot() = default;
+
+RescheddServer::RescheddServer(Transport& transport, ServerOptions options)
+    : transport_(transport),
+      options_(options),
+      queue_(options.queue_capacity) {
+  RESCHED_CHECK_MSG(options_.workers > 0, "reschedd needs at least 1 worker");
+  RESCHED_CHECK_MSG(options_.queue_capacity > 0,
+                    "admission queue capacity must be positive");
+  if (options_.result_cache) {
+    result_cache_ = std::make_unique<
+        ConcurrentMemoMap<Digest128, std::string, DigestHash>>(
+        options_.result_cache_capacity);
+  }
+  if (!options_.journal_path.empty()) {
+    journal_ = std::make_unique<Journal>(options_.journal_path);
+  }
+}
+
+RescheddServer::~RescheddServer() { queue_.Close(); }
+
+void RescheddServer::Serve() {
+  transport_.SetGreeting(HandshakeLine());
+
+  // Destruction order matters: `closer` runs before `pool`'s destructor,
+  // so even when ReadLoop throws (transport failure) the queue closes
+  // first and the workers drain and exit instead of blocking in Pop().
+  ThreadPool pool(options_.workers);
+  struct QueueCloser {
+    BoundedQueue<Pending>& queue;
+    ~QueueCloser() { queue.Close(); }
+  } closer{queue_};
+
+  for (std::size_t w = 0; w < options_.workers; ++w) {
+    pool.Submit([this] { WorkerLoop(); });
+  }
+
+  const bool shutdown_requested = ReadLoop();
+
+  queue_.Close();
+  pool.Wait();  // drain: every accepted request has been answered
+
+  if (shutdown_requested) {
+    JsonObject body;
+    body["verb"] = "shutdown";
+    body["drained"] = true;
+    Respond(shutdown_id_, OkBody(std::move(body)));
+  }
+}
+
+bool RescheddServer::ReadLoop() {
+  std::string line;
+  while (transport_.ReadLine(line)) {
+    if (line.empty()) continue;
+    received_.fetch_add(1, std::memory_order_relaxed);
+
+    Request request;
+    try {
+      request = ParseRequest(line);
+    } catch (const ProtocolError& e) {
+      rejected_invalid_.fetch_add(1, std::memory_order_relaxed);
+      Respond(e.id(), ErrorBody(e.code(), e.what()));
+      continue;
+    }
+    if (!request.had_id) request.id = NextId();
+    if (journal_) journal_->AppendRequest(request.id, line);
+
+    switch (request.verb) {
+      case Verb::kStats:
+        Respond(request.id, StatsBody());
+        break;
+      case Verb::kCancel: {
+        JsonObject body;
+        body["verb"] = "cancel";
+        body["target"] = request.cancel_target;
+        body["cancelled"] = CancelTarget(request.cancel_target);
+        Respond(request.id, OkBody(std::move(body)));
+        break;
+      }
+      case Verb::kShutdown:
+        shutdown_id_ = request.id;
+        return true;
+      case Verb::kSchedule:
+      case Verb::kSimulate:
+        Admit(std::move(request));
+        break;
+    }
+  }
+  return false;
+}
+
+std::string RescheddServer::NextId() {
+  std::string id = "r";
+  id += std::to_string(next_id_.fetch_add(1) + 1);
+  return id;
+}
+
+void RescheddServer::Admit(Request request) {
+  const std::string id = request.id;
+  auto token = std::make_shared<CancelToken>(
+      request.deadline_ms > 0.0 ? request.deadline_ms / 1000.0 : 0.0);
+  {
+    // Registered before the push so a cancel verb racing the worker can
+    // always find the token.
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    registry_[id] = token;
+  }
+  Pending item;
+  item.request = std::move(request);
+  item.token = std::move(token);
+  if (queue_.TryPush(std::move(item))) {
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    registry_.erase(id);
+  }
+  rejected_overloaded_.fetch_add(1, std::memory_order_relaxed);
+  Respond(id, ErrorBody(kErrOverloaded, "admission queue is full"));
+}
+
+bool RescheddServer::CancelTarget(const std::string& target) {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  auto it = registry_.find(target);
+  if (it == registry_.end()) return false;
+  it->second->Cancel();
+  return true;
+}
+
+void RescheddServer::WorkerLoop() {
+  WarmSlot warm;
+  Pending item;
+  while (queue_.Pop(item)) {
+    Process(item, warm);
+    item = Pending{};  // release the instance/token before blocking again
+  }
+}
+
+void RescheddServer::Process(Pending& item, WarmSlot& warm) {
+  const Request& request = item.request;
+  const bool cacheable = result_cache_ != nullptr && request.Deterministic() &&
+                         request.sched.use_cache;
+  Digest128 key;
+  std::string body;
+  bool ok = false;
+  bool from_cache = false;
+
+  if (cacheable) {
+    key = HashCanonicalText(RequestKeyText(request));
+    if (std::shared_ptr<const std::string> hit = result_cache_->Find(key)) {
+      body = *hit;
+      ok = true;
+      from_cache = true;
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  if (!from_cache) {
+    try {
+      // A request can spend its whole deadline queued; charge that too.
+      item.token->ThrowIfCancelled();
+      body = Execute(request, *item.token, warm);
+      ok = true;
+    } catch (const CancelledError&) {
+      if (item.token->ExplicitlyCancelled()) {
+        cancelled_.fetch_add(1, std::memory_order_relaxed);
+        body = ErrorBody(kErrCancelled, "request cancelled");
+      } else {
+        deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+        body = ErrorBody(kErrDeadline, "deadline exceeded");
+      }
+    } catch (const std::exception& e) {
+      failed_.fetch_add(1, std::memory_order_relaxed);
+      body = ErrorBody(kErrInternal, e.what());
+    }
+  }
+
+  if (ok) {
+    completed_ok_.fetch_add(1, std::memory_order_relaxed);
+    if (cacheable && !from_cache) result_cache_->Insert(key, body);
+  }
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    registry_.erase(request.id);
+  }
+  Respond(request.id, body);
+}
+
+std::string RescheddServer::Execute(const Request& request,
+                                    const CancelToken& token, WarmSlot& warm) {
+  return request.verb == Verb::kSimulate
+             ? ExecuteSimulate(request, token, warm)
+             : ExecuteSchedule(request, token, warm);
+}
+
+FloorplanCache* RescheddServer::PoolFor(const Request& request) {
+  if (!options_.floorplan_cache) return nullptr;
+  const std::string key = request.platform_digest.ToHex();
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  auto it = floorplan_pool_.find(key);
+  if (it == floorplan_pool_.end()) {
+    PlatformCacheEntry entry;
+    entry.anchor = request.instance;
+    entry.cache = std::make_unique<FloorplanCache>(
+        request.instance->platform.Device());
+    it = floorplan_pool_.emplace(key, std::move(entry)).first;
+  }
+  return it->second.cache.get();
+}
+
+Schedule RescheddServer::ComputeSchedule(const Request& request,
+                                         const CancelToken& token,
+                                         WarmSlot& warm,
+                                         std::size_t& iterations) {
+  iterations = 0;
+  PaOptions pa_options;
+  pa_options.module_reuse = request.sched.module_reuse;
+  pa_options.sw_balancing = request.sched.sw_balancing;
+  pa_options.run_floorplan = request.sched.run_floorplan;
+  pa_options.seed = request.sched.seed;
+
+  FloorplanCache* fp_cache = PoolFor(request);
+
+  if (request.sched.algo == "allsw") {
+    return ScheduleAllSoftware(*request.instance);
+  }
+  if (request.sched.algo == "par") {
+    PaROptions par;
+    par.base = pa_options;
+    par.time_budget_seconds = request.sched.budget_seconds;
+    par.max_iterations = request.sched.iterations;
+    // Single-threaded on purpose: equal-makespan tie acceptance depends on
+    // worker timing at threads > 1, and the service promises bit-identical
+    // bodies for identical deterministic requests.
+    par.threads = 1;
+    par.seed = request.sched.seed;
+    par.cancel = &token;
+    const PaRResult result = SchedulePaR(*request.instance, par, fp_cache);
+    iterations = result.iterations;
+    return result.best;
+  }
+
+  // Deterministic PA through the per-worker warm slot: consecutive
+  // requests for the same (instance, options) reuse the context/scratch.
+  const std::string fingerprint =
+      request.instance_digest.ToHex() + "|" + RequestKeyText(request);
+  if (warm.fingerprint != fingerprint) {
+    warm.fingerprint.clear();  // stay invalid if a rebuild throws
+    warm.instance = request.instance;
+    warm.options = std::make_unique<PaOptions>(pa_options);
+    warm.ctx = std::make_unique<pa::PaContext>(*warm.instance, *warm.options);
+    warm.scratch = std::make_unique<pa::PaScratch>(*warm.ctx);
+    warm.fingerprint = fingerprint;
+  }
+  return SchedulePaWarm(*warm.ctx, *warm.scratch, fp_cache, &token);
+}
+
+std::string RescheddServer::ExecuteSchedule(const Request& request,
+                                            const CancelToken& token,
+                                            WarmSlot& warm) {
+  const Instance& instance = *request.instance;
+  std::size_t iterations = 0;
+  Schedule schedule = ComputeSchedule(request, token, warm, iterations);
+
+  const ValidationResult check = ValidateSchedule(instance, schedule);
+  RESCHED_CHECK_MSG(check.ok(), "scheduler emitted an invalid schedule");
+
+  JsonValue schedule_json = ScheduleToJson(instance, schedule);
+  // Wall-clock fields would break the bit-identical response contract.
+  schedule_json.AsObject().erase("scheduling_seconds");
+  schedule_json.AsObject().erase("floorplanning_seconds");
+
+  JsonObject body;
+  body["verb"] = "schedule";
+  body["algo"] = request.sched.algo;
+  body["instance_digest"] = request.instance_digest.ToHex();
+  body["makespan"] = schedule.makespan;
+  if (request.sched.algo == "par" && request.Deterministic()) {
+    body["iterations"] = iterations;
+  }
+  body["schedule"] = std::move(schedule_json);
+  return OkBody(std::move(body));
+}
+
+std::string RescheddServer::ExecuteSimulate(const Request& request,
+                                            const CancelToken& token,
+                                            WarmSlot& warm) {
+  const Instance& instance = *request.instance;
+  std::size_t iterations = 0;
+  const Schedule schedule = ComputeSchedule(request, token, warm, iterations);
+
+  sim::SimOptions sim_options;
+  sim_options.task_jitter = request.sim.jitter;
+  sim_options.reconf_jitter = request.sim.jitter;
+  sim_options.recovery.policy = ParseRecoveryPolicy(request.sim.policy);
+
+  std::size_t survived = 0;
+  std::size_t invalid = 0;
+  std::size_t lost = 0;
+  std::vector<double> stretches;
+  sim::RecoveryStats totals;
+  for (std::size_t i = 0; i < request.sim.trials; ++i) {
+    token.ThrowIfCancelled();
+    const sim::FaultScenario scenario = sim::GenerateFaultScenario(
+        schedule, sim::UniformFaultRates(request.sim.fault_rate),
+        DeriveSeed(kFaultSeedStream ^ request.sched.seed, i));
+    sim_options.faults = scenario;
+    sim_options.seed = DeriveSeed(kJitterSeedStream ^ request.sched.seed, i);
+    try {
+      const sim::SimResult result =
+          sim::Simulate(instance, schedule, sim_options);
+      ValidationOptions vopt;
+      vopt.executed = true;
+      vopt.outages = sim::OutagesFromScenario(scenario);
+      if (!ValidateSchedule(instance, result.executed, vopt).ok()) {
+        ++invalid;
+        continue;
+      }
+      ++survived;
+      stretches.push_back(result.stretch);
+      totals.reconf_retries += result.recovery.reconf_retries;
+      totals.task_restarts += result.recovery.task_restarts;
+      totals.migrations += result.recovery.migrations;
+      totals.rescheduled_tasks += result.recovery.rescheduled_tasks;
+      totals.abandoned_regions += result.recovery.abandoned_regions;
+    } catch (const InstanceError&) {
+      // Recovery deadlock (no software fallback left): the trial is lost.
+      ++lost;
+    }
+  }
+
+  JsonObject recovery;
+  recovery["reconf_retries"] = totals.reconf_retries;
+  recovery["task_restarts"] = totals.task_restarts;
+  recovery["migrations"] = totals.migrations;
+  recovery["rescheduled_tasks"] = totals.rescheduled_tasks;
+  recovery["abandoned_regions"] = totals.abandoned_regions;
+
+  JsonObject body;
+  body["verb"] = "simulate";
+  body["algo"] = request.sched.algo;
+  body["instance_digest"] = request.instance_digest.ToHex();
+  body["makespan"] = schedule.makespan;
+  body["trials"] = request.sim.trials;
+  body["survived"] = survived;
+  body["invalid"] = invalid;
+  body["lost"] = lost;
+  if (!stretches.empty()) {
+    double sum = 0.0;
+    for (const double s : stretches) sum += s;
+    body["mean_stretch"] = sum / static_cast<double>(stretches.size());
+    body["p95_stretch"] = Percentile(stretches, 95.0);
+  }
+  body["recovery"] = JsonValue(std::move(recovery));
+  return OkBody(std::move(body));
+}
+
+std::string RescheddServer::StatsBody() {
+  JsonObject counters;
+  counters["received"] = AsInt64(received_.load(std::memory_order_relaxed));
+  counters["accepted"] = AsInt64(accepted_.load(std::memory_order_relaxed));
+  counters["rejected_overloaded"] =
+      AsInt64(rejected_overloaded_.load(std::memory_order_relaxed));
+  counters["rejected_invalid"] =
+      AsInt64(rejected_invalid_.load(std::memory_order_relaxed));
+  counters["completed_ok"] =
+      AsInt64(completed_ok_.load(std::memory_order_relaxed));
+  counters["failed"] = AsInt64(failed_.load(std::memory_order_relaxed));
+  counters["cancelled"] = AsInt64(cancelled_.load(std::memory_order_relaxed));
+  counters["deadline_expired"] =
+      AsInt64(deadline_expired_.load(std::memory_order_relaxed));
+  counters["cache_hits"] =
+      AsInt64(cache_hits_.load(std::memory_order_relaxed));
+
+  const BuildInfo& build_info = GetBuildInfo();
+  JsonObject build;
+  build["version"] = build_info.version;
+  build["git"] = build_info.git;
+  build["build_type"] = build_info.build_type;
+  build["sanitizers"] = build_info.sanitizers;
+
+  JsonObject body;
+  body["verb"] = "stats";
+  body["protocol"] = kProtocolVersion;
+  body["workers"] = options_.workers;
+  body["queue_capacity"] = options_.queue_capacity;
+  body["queue_depth"] = queue_.Size();
+  body["build"] = JsonValue(std::move(build));
+  body["counters"] = JsonValue(std::move(counters));
+  if (result_cache_) {
+    const auto cache_counters = result_cache_->Snapshot();
+    JsonObject cache;
+    cache["hits"] = AsInt64(cache_counters.hits);
+    cache["misses"] = AsInt64(cache_counters.misses);
+    cache["evictions"] = AsInt64(cache_counters.evictions);
+    cache["capacity"] = result_cache_->Capacity();
+    body["result_cache"] = JsonValue(std::move(cache));
+  }
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    body["floorplan_caches"] = floorplan_pool_.size();
+  }
+  return OkBody(std::move(body));
+}
+
+void RescheddServer::Respond(const std::string& id, const std::string& body) {
+  const std::string line = WithId(id, body);
+  std::lock_guard<std::mutex> lock(write_mu_);
+  (void)transport_.WriteLine(line);
+  if (journal_) journal_->AppendResponse(id, line);
+}
+
+ServiceCounters RescheddServer::Counters() const {
+  ServiceCounters c;
+  c.received = received_.load(std::memory_order_relaxed);
+  c.accepted = accepted_.load(std::memory_order_relaxed);
+  c.rejected_overloaded = rejected_overloaded_.load(std::memory_order_relaxed);
+  c.rejected_invalid = rejected_invalid_.load(std::memory_order_relaxed);
+  c.completed_ok = completed_ok_.load(std::memory_order_relaxed);
+  c.failed = failed_.load(std::memory_order_relaxed);
+  c.cancelled = cancelled_.load(std::memory_order_relaxed);
+  c.deadline_expired = deadline_expired_.load(std::memory_order_relaxed);
+  c.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  return c;
+}
+
+}  // namespace resched::service

@@ -1,0 +1,162 @@
+// reschedd — the batch scheduling service core.
+//
+// One reader thread (the caller of Serve()) parses request lines, answers
+// control verbs (stats/cancel) inline, and admits scheduling work into a
+// BoundedQueue; a util/thread_pool worker pool drains the queue. Each
+// worker keeps a warm (PaContext, PaScratch) slot that is reused across
+// consecutive requests for the same instance+options, and all workers
+// share one FloorplanCache per distinct platform plus one result cache
+// keyed on the canonical request digest — an identical submission is
+// served bit-identically from the cache without touching the scheduler.
+//
+// Lifecycle guarantees:
+//   * admission is non-blocking: a full queue rejects with `overloaded`;
+//   * every accepted request gets exactly one response, even across a
+//     shutdown (the queue drains before Serve() returns);
+//   * the shutdown verb's own response is written last;
+//   * deadlines and cancel verbs unwind cooperatively through the PA/PA-R
+//     cancellation hooks — a worker is never killed mid-flight.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "service/admission.hpp"
+#include "service/journal.hpp"
+#include "service/protocol.hpp"
+#include "service/transport.hpp"
+#include "util/cancel.hpp"
+#include "util/memo_map.hpp"
+
+namespace resched {
+class FloorplanCache;
+struct Schedule;
+struct PaOptions;
+namespace pa {
+class PaContext;
+class PaScratch;
+}  // namespace pa
+}  // namespace resched
+
+namespace resched::service {
+
+struct ServerOptions {
+  std::size_t workers = 2;
+  /// Admission-queue capacity; requests beyond it are rejected with
+  /// `overloaded` (backpressure, not buffering).
+  std::size_t queue_capacity = 64;
+  /// Serve identical deterministic submissions from a response cache.
+  bool result_cache = true;
+  std::size_t result_cache_capacity = 512;
+  /// Share one floorplan-feasibility cache per distinct platform across
+  /// requests and workers.
+  bool floorplan_cache = true;
+  /// JSONL request journal (empty = disabled).
+  std::string journal_path;
+};
+
+struct ServiceCounters {
+  std::uint64_t received = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected_overloaded = 0;
+  std::uint64_t rejected_invalid = 0;  ///< parse/validation rejections
+  std::uint64_t completed_ok = 0;
+  std::uint64_t failed = 0;            ///< internal errors
+  std::uint64_t cancelled = 0;
+  std::uint64_t deadline_expired = 0;
+  std::uint64_t cache_hits = 0;
+};
+
+class RescheddServer {
+ public:
+  explicit RescheddServer(Transport& transport, ServerOptions options = {});
+  ~RescheddServer();
+
+  /// Runs the full serving loop; returns after a shutdown verb (drained)
+  /// or transport end-of-stream. Call at most once.
+  void Serve();
+
+  ServiceCounters Counters() const;
+
+ private:
+  struct Pending {
+    Request request;
+    std::shared_ptr<CancelToken> token;
+  };
+
+  /// Per-worker warm slot: the (context, scratch) pair is rebuilt only
+  /// when the instance digest or scheduling options change between
+  /// consecutive requests on this worker.
+  struct WarmSlot {
+    std::string fingerprint;
+    std::shared_ptr<const Instance> instance;
+    std::unique_ptr<PaOptions> options;
+    std::unique_ptr<pa::PaContext> ctx;
+    std::unique_ptr<pa::PaScratch> scratch;
+
+    WarmSlot();
+    ~WarmSlot();
+  };
+
+  struct PlatformCacheEntry {
+    std::unique_ptr<FloorplanCache> cache;
+    /// Keeps the device the cache was built from alive.
+    std::shared_ptr<const Instance> anchor;
+  };
+
+  struct DigestHash {
+    std::uint64_t operator()(const Digest128& d) const { return d.lo; }
+  };
+
+  bool ReadLoop();
+  void Admit(Request request);
+  bool CancelTarget(const std::string& target);
+  void WorkerLoop();
+  void Process(Pending& item, WarmSlot& warm);
+  std::string Execute(const Request& request, const CancelToken& token,
+                      WarmSlot& warm);
+  std::string ExecuteSchedule(const Request& request, const CancelToken& token,
+                              WarmSlot& warm);
+  std::string ExecuteSimulate(const Request& request, const CancelToken& token,
+                              WarmSlot& warm);
+  Schedule ComputeSchedule(const Request& request, const CancelToken& token,
+                           WarmSlot& warm, std::size_t& iterations);
+  std::string StatsBody();
+  FloorplanCache* PoolFor(const Request& request);
+  void Respond(const std::string& id, const std::string& body);
+  std::string NextId();
+
+  Transport& transport_;
+  ServerOptions options_;
+
+  BoundedQueue<Pending> queue_;
+  std::unique_ptr<ConcurrentMemoMap<Digest128, std::string, DigestHash>>
+      result_cache_;
+  std::unique_ptr<Journal> journal_;
+
+  std::mutex write_mu_;  ///< serializes transport writes + journal order
+
+  std::mutex registry_mu_;
+  std::map<std::string, std::shared_ptr<CancelToken>> registry_;
+
+  std::mutex pool_mu_;
+  std::map<std::string, PlatformCacheEntry> floorplan_pool_;
+
+  std::atomic<std::uint64_t> next_id_{0};
+  std::string shutdown_id_;
+
+  std::atomic<std::uint64_t> received_{0};
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> rejected_overloaded_{0};
+  std::atomic<std::uint64_t> rejected_invalid_{0};
+  std::atomic<std::uint64_t> completed_ok_{0};
+  std::atomic<std::uint64_t> failed_{0};
+  std::atomic<std::uint64_t> cancelled_{0};
+  std::atomic<std::uint64_t> deadline_expired_{0};
+  std::atomic<std::uint64_t> cache_hits_{0};
+};
+
+}  // namespace resched::service

@@ -1,0 +1,107 @@
+#include "service/transport.hpp"
+
+#include <iostream>
+#include <utility>
+
+namespace resched::service {
+
+// ---------------------------------------------------------------- Stdio --
+
+bool StdioTransport::ReadLine(std::string& line) {
+  return static_cast<bool>(std::getline(std::cin, line));
+}
+
+bool StdioTransport::WriteLine(const std::string& line) {
+  std::cout << line << '\n' << std::flush;
+  return static_cast<bool>(std::cout);
+}
+
+// ----------------------------------------------------------------- Pipe --
+
+void PipeTransport::LineChannel::Push(std::string line) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return;  // late line after close: dropped, like a dead pipe
+    lines_.push_back(std::move(line));
+  }
+  cv_.notify_one();
+}
+
+bool PipeTransport::LineChannel::Pop(std::string& line) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return closed_ || !lines_.empty(); });
+  if (lines_.empty()) return false;
+  line = std::move(lines_.front());
+  lines_.pop_front();
+  return true;
+}
+
+void PipeTransport::LineChannel::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool PipeTransport::ReadLine(std::string& line) {
+  return requests_.Pop(line);
+}
+
+bool PipeTransport::WriteLine(const std::string& line) {
+  responses_.Push(line);
+  return true;
+}
+
+void PipeTransport::Send(std::string line) {
+  requests_.Push(std::move(line));
+}
+
+bool PipeTransport::Receive(std::string& line) {
+  return responses_.Pop(line);
+}
+
+void PipeTransport::CloseRequests() { requests_.Close(); }
+
+void PipeTransport::CloseResponses() { responses_.Close(); }
+
+// --------------------------------------------------------------- Socket --
+
+UnixSocketServerTransport::UnixSocketServerTransport(const std::string& path)
+    : listener_(path) {}
+
+bool UnixSocketServerTransport::ReadLine(std::string& line) {
+  for (;;) {
+    if (!client_) {
+      std::optional<UnixSocket> accepted = listener_.Accept();
+      if (!accepted) return false;  // listener closed
+      std::lock_guard<std::mutex> lock(mu_);
+      client_.emplace(std::move(*accepted));
+      reader_.emplace(*client_);
+      if (!greeting_.empty()) {
+        (void)client_->SendAll(greeting_ + "\n");
+      }
+    }
+    if (reader_->ReadLine(line)) return true;
+    // Client hung up: drop the connection and accept the next one.
+    std::lock_guard<std::mutex> lock(mu_);
+    reader_.reset();
+    client_.reset();
+  }
+}
+
+bool UnixSocketServerTransport::WriteLine(const std::string& line) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!client_) return false;
+  return client_->SendAll(line + "\n");
+}
+
+void UnixSocketServerTransport::SetGreeting(const std::string& line) {
+  std::lock_guard<std::mutex> lock(mu_);
+  greeting_ = line;
+  if (client_) (void)client_->SendAll(greeting_ + "\n");
+}
+
+void UnixSocketServerTransport::Close() { listener_.Close(); }
+
+}  // namespace resched::service

@@ -1,0 +1,125 @@
+// Line transports for the reschedd protocol.
+//
+// The server speaks to exactly one Transport; the three implementations
+// trade deployment for determinism:
+//
+//   * UnixSocketServerTransport — the production daemon path: one client
+//     connection at a time over a Unix-domain socket, re-accepting after a
+//     disconnect, greeting each connection with the handshake line.
+//   * StdioTransport — `reschedd --stdio`: requests on stdin, responses on
+//     stdout. Lets CI drive a full server lifecycle through a plain pipe
+//     with no filesystem socket and no cleanup.
+//   * PipeTransport — in-process channels for tests, benches and journal
+//     replay: the client half (Send/Receive) runs in the test thread while
+//     the server half (ReadLine/WriteLine) runs in a server thread, with
+//     no serialization loss and no OS dependency.
+//
+// Thread contract: ReadLine is called by the server's reader thread only;
+// WriteLine may be called from any worker (the server serializes writes
+// with its own mutex — transports need not).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "util/socket.hpp"
+
+namespace resched::service {
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  Transport() = default;
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+
+  /// Blocks for the next request line; false on end of stream (client
+  /// closed stdin / pipe closed / listener shut down).
+  virtual bool ReadLine(std::string& line) = 0;
+
+  /// Writes one response line; false when the peer is gone (the response
+  /// is dropped — the server counts but does not retry).
+  virtual bool WriteLine(const std::string& line) = 0;
+
+  /// Installs the per-connection greeting. Single-connection transports
+  /// emit it immediately; the socket transport replays it on every accept.
+  virtual void SetGreeting(const std::string& line) { (void)WriteLine(line); }
+};
+
+/// Requests on stdin, responses on stdout (flushed per line).
+class StdioTransport : public Transport {
+ public:
+  bool ReadLine(std::string& line) override;
+  bool WriteLine(const std::string& line) override;
+};
+
+/// In-process pair of blocking line channels. The Transport interface is
+/// the server half; Send/Receive/CloseRequests are the client half.
+class PipeTransport : public Transport {
+ public:
+  // Server half.
+  bool ReadLine(std::string& line) override;
+  bool WriteLine(const std::string& line) override;
+
+  // Client half.
+  void Send(std::string line);
+  /// Blocks for the next response line; false once the server is gone and
+  /// every pending response was consumed.
+  bool Receive(std::string& line);
+  /// Client-side end-of-stream: the server's ReadLine starts returning
+  /// false once the admitted lines drain (like closing stdin).
+  void CloseRequests();
+  /// Server-side close of the response stream (called on Serve() exit so a
+  /// blocked Receive() unsticks).
+  void CloseResponses();
+
+ private:
+  class LineChannel {
+   public:
+    void Push(std::string line);
+    bool Pop(std::string& line);
+    void Close();
+
+   private:
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::deque<std::string> lines_;
+    bool closed_ = false;
+  };
+
+  LineChannel requests_;
+  LineChannel responses_;
+};
+
+/// Unix-domain socket server endpoint: accepts one client at a time and
+/// re-accepts after a disconnect. Serve() keeps running until a shutdown
+/// verb arrives or Close() is called from another thread.
+class UnixSocketServerTransport : public Transport {
+ public:
+  explicit UnixSocketServerTransport(const std::string& path);
+
+  bool ReadLine(std::string& line) override;
+  bool WriteLine(const std::string& line) override;
+  void SetGreeting(const std::string& line) override;
+
+  /// Stops accepting; a blocked ReadLine returns false.
+  void Close();
+
+  const std::string& Path() const { return listener_.Path(); }
+
+ private:
+  UnixListener listener_;
+  /// Guards client_/reader_ swaps (reader thread) against concurrent
+  /// worker writes; the blocking recv itself runs unlocked (reads and
+  /// writes travel opposite directions on the same fd).
+  std::mutex mu_;
+  std::optional<UnixSocket> client_;
+  std::optional<SocketLineReader> reader_;
+  std::string greeting_;
+};
+
+}  // namespace resched::service

@@ -1,0 +1,47 @@
+#include "util/build_info.hpp"
+
+namespace resched {
+
+namespace {
+
+#ifndef RESCHED_VERSION_STR
+#define RESCHED_VERSION_STR "0.0.0"
+#endif
+#ifndef RESCHED_GIT_DESCRIBE
+#define RESCHED_GIT_DESCRIBE "unknown"
+#endif
+#ifndef RESCHED_BUILD_TYPE_STR
+#define RESCHED_BUILD_TYPE_STR "unspecified"
+#endif
+#ifndef RESCHED_SANITIZE_STR
+#define RESCHED_SANITIZE_STR ""
+#endif
+#ifndef RESCHED_COMPILER_STR
+#define RESCHED_COMPILER_STR "unknown"
+#endif
+
+BuildInfo MakeBuildInfo() {
+  BuildInfo info;
+  info.version = RESCHED_VERSION_STR;
+  info.git = RESCHED_GIT_DESCRIBE;
+  info.build_type = RESCHED_BUILD_TYPE_STR;
+  info.sanitizers = RESCHED_SANITIZE_STR;
+  if (info.sanitizers.empty()) info.sanitizers = "none";
+  info.compiler = RESCHED_COMPILER_STR;
+  return info;
+}
+
+}  // namespace
+
+const BuildInfo& GetBuildInfo() {
+  static const BuildInfo info = MakeBuildInfo();
+  return info;
+}
+
+std::string BuildInfoLine() {
+  const BuildInfo& b = GetBuildInfo();
+  return "resched " + b.version + " (" + b.git + ", " + b.build_type +
+         ", sanitizers: " + b.sanitizers + ", " + b.compiler + ")";
+}
+
+}  // namespace resched

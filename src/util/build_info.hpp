@@ -1,0 +1,29 @@
+// Build provenance stamped at configure/compile time.
+//
+// Every artifact a serving session or a benchmark run leaves behind
+// (journals, stats responses, bench CSV/JSON) should record exactly what
+// produced it. CMake passes the git describe output, the build type and
+// the sanitizer list as compile definitions on build_info.cpp only, so
+// touching the git state never rebuilds more than one TU.
+#pragma once
+
+#include <string>
+
+namespace resched {
+
+struct BuildInfo {
+  std::string version;     ///< project version (CMake PROJECT_VERSION)
+  std::string git;         ///< `git describe --always --dirty`, or "unknown"
+  std::string build_type;  ///< CMAKE_BUILD_TYPE, or "unspecified"
+  std::string sanitizers;  ///< RESCHED_SANITIZE list, or "none"
+  std::string compiler;    ///< compiler id + version
+};
+
+/// The build info of this binary (static storage, thread-safe).
+const BuildInfo& GetBuildInfo();
+
+/// One-line human-readable form:
+///   "resched 1.0.0 (abc1234, Release, sanitizers: none, GNU 12.2.0)"
+std::string BuildInfoLine();
+
+}  // namespace resched

@@ -1,0 +1,67 @@
+// Cooperative cancellation for long-running scheduler calls.
+//
+// A CancelToken combines an explicit cancellation flag (set by another
+// thread, e.g. the service control plane handling a `cancel` verb) with an
+// optional wall-clock deadline armed at construction. Work loops poll
+// Cancelled() at natural checkpoints — the PA §V-H shrink rounds and the
+// PA-R restart tickets — and unwind by throwing CancelledError from the
+// top-level entry point, never from inside a worker thread.
+//
+// The token is shared between the requester and the worker via
+// shared_ptr<CancelToken>; it is not copyable (it owns an atomic).
+#pragma once
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+
+#include "util/timer.hpp"
+
+namespace resched {
+
+/// Thrown by scheduler entry points when their CancelToken fires.
+class CancelledError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class CancelToken {
+ public:
+  /// No deadline; cancellable only via Cancel().
+  CancelToken() : deadline_(0.0) {}
+  /// Arms a wall-clock deadline; <= 0 means no deadline.
+  explicit CancelToken(double deadline_seconds) : deadline_(deadline_seconds) {}
+
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Requests cancellation; idempotent and safe from any thread.
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+
+  /// True once Cancel() was called or the deadline elapsed.
+  bool Cancelled() const {
+    return cancelled_.load(std::memory_order_acquire) || deadline_.Expired();
+  }
+
+  /// True only for an explicit Cancel() (distinguishes a client-driven
+  /// cancellation from a deadline expiry in error reporting).
+  bool ExplicitlyCancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  bool DeadlineExpired() const { return deadline_.Expired(); }
+
+  void ThrowIfCancelled() const {
+    if (Cancelled()) {
+      throw CancelledError(ExplicitlyCancelled()
+                               ? std::string("operation cancelled")
+                               : std::string("deadline exceeded"));
+    }
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  Deadline deadline_;
+};
+
+}  // namespace resched

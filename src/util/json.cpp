@@ -188,9 +188,15 @@ namespace {
 
 class Parser {
  public:
-  explicit Parser(const std::string& text) : text_(text) {}
+  Parser(const std::string& text, const JsonParseLimits& limits)
+      : text_(text), limits_(limits) {}
 
   JsonValue ParseDocument() {
+    if (text_.size() > limits_.max_bytes) {
+      throw JsonError("JSON document exceeds the size limit (" +
+                      std::to_string(text_.size()) + " > " +
+                      std::to_string(limits_.max_bytes) + " bytes)");
+    }
     JsonValue v = ParseValue();
     SkipWhitespace();
     if (pos_ != text_.size()) Fail("trailing characters after JSON document");
@@ -263,7 +269,28 @@ class Parser {
     }
   }
 
+  /// RAII depth guard: ParseObject/ParseArray recurse through ParseValue,
+  /// so the container nesting depth bounds the C++ stack depth. Enforcing
+  /// limits_.max_depth turns a hostile "[[[[..." document into a JsonError
+  /// instead of a stack overflow.
+  class DepthGuard {
+   public:
+    explicit DepthGuard(Parser& p) : parser_(p) {
+      if (++parser_.depth_ > parser_.limits_.max_depth) {
+        parser_.Fail("nesting depth exceeds the limit (" +
+                     std::to_string(parser_.limits_.max_depth) + ")");
+      }
+    }
+    ~DepthGuard() { --parser_.depth_; }
+    DepthGuard(const DepthGuard&) = delete;
+    DepthGuard& operator=(const DepthGuard&) = delete;
+
+   private:
+    Parser& parser_;
+  };
+
   JsonValue ParseObject() {
+    const DepthGuard guard(*this);
     Expect('{');
     JsonObject obj;
     SkipWhitespace();
@@ -292,6 +319,7 @@ class Parser {
   }
 
   JsonValue ParseArray() {
+    const DepthGuard guard(*this);
     Expect('[');
     JsonArray arr;
     SkipWhitespace();
@@ -430,13 +458,20 @@ class Parser {
   }
 
   const std::string& text_;
+  const JsonParseLimits& limits_;
   std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
 };
 
 }  // namespace
 
 JsonValue JsonValue::Parse(const std::string& text) {
-  return Parser(text).ParseDocument();
+  return Parse(text, JsonParseLimits{});
+}
+
+JsonValue JsonValue::Parse(const std::string& text,
+                           const JsonParseLimits& limits) {
+  return Parser(text, limits).ParseDocument();
 }
 
 }  // namespace resched

@@ -30,6 +30,18 @@ class JsonError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Limits enforced while parsing. The defaults are generous for trusted
+/// on-disk files; callers parsing untrusted input (the reschedd request
+/// path) should tighten them. A violated limit raises JsonError — the
+/// parser never recurses past max_depth, so a hostile deeply-nested
+/// document cannot overflow the stack.
+struct JsonParseLimits {
+  /// Maximum container nesting depth (objects + arrays).
+  std::size_t max_depth = 96;
+  /// Maximum document size in bytes.
+  std::size_t max_bytes = 256u << 20;  // 256 MiB
+};
+
 class JsonValue {
  public:
   JsonValue() : value_(nullptr) {}
@@ -76,8 +88,12 @@ class JsonValue {
   std::string Dump(int indent = 2) const;
 
   /// Parses a complete JSON document (throws JsonError on any syntax error
-  /// or trailing garbage).
+  /// or trailing garbage) under the default JsonParseLimits.
   static JsonValue Parse(const std::string& text);
+
+  /// As above with explicit limits (untrusted-input path).
+  static JsonValue Parse(const std::string& text,
+                         const JsonParseLimits& limits);
 
   friend bool operator==(const JsonValue& a, const JsonValue& b) {
     return a.value_ == b.value_;

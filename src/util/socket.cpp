@@ -1,0 +1,185 @@
+#include "util/socket.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace resched {
+
+namespace {
+
+[[noreturn]] void ThrowErrno(const std::string& what) {
+  throw SocketError(what + ": " + std::strerror(errno));
+}
+
+sockaddr_un MakeAddress(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    throw SocketError("unix socket path empty or too long (" +
+                      std::to_string(path.size()) + " bytes): " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- UnixSocket
+
+UnixSocket::~UnixSocket() {
+  if (fd_ >= 0) {
+    // Best effort in a destructor: nothing useful can be done with a close
+    // failure during unwinding.
+    (void)::close(fd_);
+    fd_ = -1;
+  }
+}
+
+UnixSocket::UnixSocket(UnixSocket&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)) {}
+
+UnixSocket& UnixSocket::operator=(UnixSocket&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) (void)::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+UnixSocket UnixSocket::Connect(const std::string& path) {
+  const sockaddr_un addr = MakeAddress(path);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) ThrowErrno("socket");
+  UnixSocket s(fd);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ThrowErrno("connect to " + path);
+  }
+  return s;
+}
+
+bool UnixSocket::SendAll(std::string_view data) {
+  if (fd_ < 0) throw SocketError("SendAll on a closed socket");
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd_, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EPIPE || errno == ECONNRESET) return false;
+      ThrowErrno("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool UnixSocket::RecvSome(std::string& buffer) {
+  if (fd_ < 0) throw SocketError("RecvSome on a closed socket");
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ThrowErrno("recv");
+    }
+    if (n == 0) return false;  // orderly EOF
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    return true;
+  }
+}
+
+void UnixSocket::Close() {
+  if (fd_ < 0) return;
+  const int fd = std::exchange(fd_, -1);
+  if (::close(fd) != 0) ThrowErrno("close");
+}
+
+// --------------------------------------------------------------- UnixListener
+
+UnixListener::UnixListener(const std::string& path) : path_(path) {
+  const sockaddr_un addr = MakeAddress(path);
+  // A stale socket file from a crashed daemon would make bind fail with
+  // EADDRINUSE even though nobody is listening; remove it first. ENOENT is
+  // the expected case.
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    ThrowErrno("unlink stale socket " + path);
+  }
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) ThrowErrno("socket");
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int saved = errno;
+    (void)::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    ThrowErrno("bind " + path);
+  }
+  if (::listen(fd_, SOMAXCONN) != 0) {
+    const int saved = errno;
+    (void)::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    ThrowErrno("listen on " + path);
+  }
+}
+
+UnixListener::~UnixListener() {
+  if (fd_ >= 0) {
+    (void)::close(fd_);
+    fd_ = -1;
+  }
+  if (!path_.empty()) {
+    (void)::unlink(path_.c_str());
+  }
+}
+
+std::optional<UnixSocket> UnixListener::Accept() {
+  for (;;) {
+    const int fd = fd_;
+    if (fd < 0) return std::nullopt;
+    const int client = ::accept(fd, nullptr, nullptr);
+    if (client >= 0) return UnixSocket(client);
+    if (errno == EINTR) continue;
+    // Close() from another thread closes the fd under us; accept then
+    // reports EBADF (or ECONNABORTED/EINVAL depending on timing). All mean
+    // "listener is gone", which is the orderly-shutdown signal.
+    if (errno == EBADF || errno == EINVAL || errno == ECONNABORTED) {
+      return std::nullopt;
+    }
+    ThrowErrno("accept on " + path_);
+  }
+}
+
+void UnixListener::Close() {
+  if (fd_ < 0) return;
+  const int fd = std::exchange(fd_, -1);
+  if (::close(fd) != 0) ThrowErrno("close listener");
+}
+
+// ----------------------------------------------------------- SocketLineReader
+
+bool SocketLineReader::ReadLine(std::string& line) {
+  for (;;) {
+    const std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      line.assign(buffer_, 0, nl);
+      buffer_.erase(0, nl + 1);
+      return true;
+    }
+    if (eof_) {
+      if (buffer_.empty()) return false;
+      line = std::move(buffer_);  // unterminated trailing line
+      buffer_.clear();
+      return true;
+    }
+    if (!socket_->RecvSome(buffer_)) eof_ = true;
+  }
+}
+
+}  // namespace resched

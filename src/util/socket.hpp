@@ -1,0 +1,97 @@
+// Minimal Unix-domain stream socket wrappers for the reschedd service.
+//
+// Deliberately tiny: blocking I/O only, SOCK_STREAM only, line-oriented
+// framing left to the caller (service/transport.hpp buffers and splits).
+// Every syscall return value is checked; failures surface as SocketError
+// with errno context instead of being silently dropped — the
+// no-unchecked-syscall-return lint rule enforces the same discipline over
+// the service layer built on top of this.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace resched {
+
+class SocketError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A connected Unix-domain stream socket (owns the fd; move-only).
+class UnixSocket {
+ public:
+  UnixSocket() = default;
+  explicit UnixSocket(int fd) : fd_(fd) {}
+  ~UnixSocket();
+
+  UnixSocket(UnixSocket&& other) noexcept;
+  UnixSocket& operator=(UnixSocket&& other) noexcept;
+  UnixSocket(const UnixSocket&) = delete;
+  UnixSocket& operator=(const UnixSocket&) = delete;
+
+  /// Connects to the listener at `path`; throws SocketError on failure.
+  static UnixSocket Connect(const std::string& path);
+
+  bool Valid() const { return fd_ >= 0; }
+
+  /// Writes the whole buffer (SIGPIPE suppressed). Returns false when the
+  /// peer is gone (EPIPE/ECONNRESET); throws SocketError on other errors.
+  bool SendAll(std::string_view data);
+
+  /// Appends up to a chunk of received bytes to `buffer`. Returns false on
+  /// orderly EOF; throws SocketError on failure.
+  bool RecvSome(std::string& buffer);
+
+  /// Closes the fd (idempotent). Close errors are swallowed by the
+  /// destructor but reported here.
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// A bound + listening Unix-domain socket. Unlinks a stale socket file on
+/// bind and removes its own on destruction.
+class UnixListener {
+ public:
+  /// Binds and listens on `path`; throws SocketError on failure (including
+  /// paths longer than sockaddr_un allows, ~107 bytes).
+  explicit UnixListener(const std::string& path);
+  ~UnixListener();
+
+  UnixListener(const UnixListener&) = delete;
+  UnixListener& operator=(const UnixListener&) = delete;
+
+  /// Blocks for the next connection. Returns nullopt once the listener was
+  /// closed (concurrently or before the call); throws SocketError on other
+  /// accept failures.
+  std::optional<UnixSocket> Accept();
+
+  /// Closes the listening fd, waking a blocked Accept() with nullopt.
+  void Close();
+
+  const std::string& Path() const { return path_; }
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+};
+
+/// Buffered line reader over a UnixSocket: splits on '\n' (the terminator
+/// is not included in `line`). Returns false on EOF with no buffered data.
+class SocketLineReader {
+ public:
+  explicit SocketLineReader(UnixSocket& socket) : socket_(&socket) {}
+
+  bool ReadLine(std::string& line);
+
+ private:
+  UnixSocket* socket_;
+  std::string buffer_;
+  bool eof_ = false;
+};
+
+}  // namespace resched

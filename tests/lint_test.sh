@@ -18,7 +18,7 @@ fail() { echo "FAIL: $1" >&2; exit 1; }
 # --- seeded violations are caught -------------------------------------------
 TMP=$(mktemp -d)
 trap 'rm -rf "$TMP"' EXIT
-mkdir -p "$TMP/src/core" "$TMP/src/io"
+mkdir -p "$TMP/src/core" "$TMP/src/io" "$TMP/src/service"
 
 cat > "$TMP/src/core/bad.cpp" <<'EOF'
 #include <cstdlib>
@@ -56,11 +56,18 @@ unsigned long long worker_stream(unsigned long long seed, unsigned long long w) 
   return resched::HashCombine(seed, w);
 }
 EOF
+cat > "$TMP/src/service/leaky_close.cpp" <<'EOF'
+#include <unistd.h>
+void drop(int fd) {
+  close(fd);
+}
+EOF
 
 out=$("$PYTHON" "$LINT" --root "$TMP") && fail "seeded violations not detected"
 for rule in no-std-rand no-wall-clock-seed no-argless-random-device \
     no-unordered-in-output pragma-once include-cycle no-naked-new \
-    no-silent-catch no-adhoc-seed-derivation; do
+    no-silent-catch no-adhoc-seed-derivation \
+    no-unchecked-syscall-return; do
   echo "$out" | grep -q "\[$rule\]" || fail "rule $rule did not fire"
 done
 
@@ -117,5 +124,33 @@ void logs() {
 EOF
 "$PYTHON" "$LINT" --root "$CLEAN" \
     || fail "no-silent-catch fired on a handled catch-all"
+
+# --- checked / deliberately-voided syscalls are acceptable --------------------
+# Also: the rule is scoped to the service layer, so statement-position
+# syscalls elsewhere (src/core/) are not flagged.
+mkdir -p "$CLEAN/src/service"
+cat > "$CLEAN/src/service/careful_close.cpp" <<'EOF'
+#include <unistd.h>
+#include <stdexcept>
+void drop(int fd) {
+  (void)::close(fd);
+}
+void strict(int fd) {
+  if (::close(fd) != 0) throw std::runtime_error("close failed");
+}
+void assigned(int fd, const char* buf, unsigned long n) {
+  long sent =
+      ::write(fd, buf, n);
+  (void)sent;
+}
+EOF
+cat > "$CLEAN/src/core/not_service.cpp" <<'EOF'
+#include <unistd.h>
+void elsewhere(int fd) {
+  close(fd);
+}
+EOF
+"$PYTHON" "$LINT" --root "$CLEAN" \
+    || fail "no-unchecked-syscall-return fired on sanctioned usage"
 
 echo "lint_test OK"

@@ -1,0 +1,601 @@
+// Lifecycle tests for the reschedd service: protocol parsing, admission
+// backpressure, result-cache bit-identity, deadlines and cancellation,
+// graceful shutdown, journal replay, and both in-process transports.
+//
+// Timing discipline: the only wall-clock dependences are *lower* bounds
+// (a budgeted PA-R request is guaranteed to still be running when the
+// next line is admitted), which hold under sanitizers too — slow builds
+// only make the slow request slower.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "io/instance_hash.hpp"
+#include "io/instance_io.hpp"
+#include "io/schedule_io.hpp"
+#include "service/admission.hpp"
+#include "service/journal.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+#include "service/transport.hpp"
+#include "test_helpers.hpp"
+#include "util/cancel.hpp"
+#include "util/socket.hpp"
+
+namespace resched {
+namespace {
+
+using service::BoundedQueue;
+using service::PipeTransport;
+using service::RescheddServer;
+using service::ServerOptions;
+
+Instance ServiceInstance(std::size_t tasks = 6) {
+  Instance instance;
+  instance.name = "svc-test";
+  instance.platform = testing::MakeSmallPlatform();
+  instance.graph = testing::MakeChain(tasks);
+  return instance;
+}
+
+std::string MakeRequest(const std::string& verb, const Instance& instance,
+                        JsonObject extra = {}) {
+  JsonObject request;
+  request["verb"] = verb;
+  request["instance"] = InstanceToJson(instance);
+  for (auto& [key, value] : extra) request[key] = std::move(value);
+  return JsonValue(std::move(request)).Dump(-1);
+}
+
+/// Body of a response line with the spliced id prefix removed — the part
+/// the bit-identity contract is about.
+std::string StripId(const std::string& line) {
+  const std::size_t comma = line.find(',');
+  EXPECT_NE(comma, std::string::npos) << line;
+  std::string body = "{";
+  body += line.substr(comma + 1);
+  return body;
+}
+
+std::string ErrorCode(const std::string& line) {
+  const JsonValue v = JsonValue::Parse(line);
+  if (v.GetBool("ok", true)) return "";
+  return v.At("error").GetString("code", "");
+}
+
+std::string IdOf(const std::string& line) {
+  return JsonValue::Parse(line).GetString("id", "");
+}
+
+/// A server on an in-process pipe, serving from a background thread.
+class PipeServer {
+ public:
+  explicit PipeServer(ServerOptions options)
+      : server_(pipe_, options), thread_([this] { server_.Serve(); }) {
+    EXPECT_TRUE(pipe_.Receive(handshake_));
+  }
+
+  ~PipeServer() { Shutdown(); }
+
+  void Send(const std::string& line) { pipe_.Send(line); }
+
+  std::string Receive() {
+    std::string line;
+    EXPECT_TRUE(pipe_.Receive(line));
+    return line;
+  }
+
+  std::string SubmitAndWait(const std::string& line) {
+    Send(line);
+    return Receive();
+  }
+
+  /// Sends a shutdown verb and drains responses until its ack; idempotent.
+  void Shutdown() {
+    if (stopped_) return;
+    stopped_ = true;
+    pipe_.Send(R"({"verb":"shutdown","id":"__stop"})");
+    std::string line;
+    while (pipe_.Receive(line)) {
+      if (IdOf(line) == "__stop") break;
+    }
+    thread_.join();
+  }
+
+  /// For tests that issue their own shutdown and drain manually.
+  void MarkStopped() {
+    stopped_ = true;
+    thread_.join();
+  }
+
+  const std::string& Handshake() const { return handshake_; }
+  service::ServiceCounters Counters() const { return server_.Counters(); }
+  PipeTransport& Pipe() { return pipe_; }
+
+ private:
+  PipeTransport pipe_;
+  RescheddServer server_;
+  std::string handshake_;
+  std::thread thread_;
+  bool stopped_ = false;
+};
+
+// ------------------------------------------------------------ admission --
+
+TEST(BoundedQueueTest, RejectsWhenFullAndDrainsOnClose) {
+  BoundedQueue<int> queue(2);
+  EXPECT_TRUE(queue.TryPush(1));
+  EXPECT_TRUE(queue.TryPush(2));
+  EXPECT_FALSE(queue.TryPush(3));  // full: backpressure, not blocking
+  EXPECT_EQ(queue.Size(), 2u);
+
+  queue.Close();
+  EXPECT_FALSE(queue.TryPush(4));  // closed: no new admissions
+
+  int out = 0;
+  EXPECT_TRUE(queue.Pop(out));  // admitted items still drain
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(queue.Pop(out));
+  EXPECT_EQ(out, 2);
+  EXPECT_FALSE(queue.Pop(out));  // drained + closed
+}
+
+TEST(BoundedQueueTest, CloseWakesBlockedPop) {
+  BoundedQueue<int> queue(1);
+  std::thread popper([&queue] {
+    int out = 0;
+    EXPECT_FALSE(queue.Pop(out));
+  });
+  queue.Close();
+  popper.join();
+}
+
+// --------------------------------------------------------- cancellation --
+
+TEST(CancelTokenTest, ExplicitCancelAndDeadline) {
+  CancelToken token;
+  EXPECT_FALSE(token.Cancelled());
+  EXPECT_NO_THROW(token.ThrowIfCancelled());
+  token.Cancel();
+  EXPECT_TRUE(token.Cancelled());
+  EXPECT_TRUE(token.ExplicitlyCancelled());
+  EXPECT_THROW(token.ThrowIfCancelled(), CancelledError);
+
+  CancelToken expired(1e-9);
+  EXPECT_TRUE(expired.Cancelled());
+  EXPECT_FALSE(expired.ExplicitlyCancelled());
+  EXPECT_TRUE(expired.DeadlineExpired());
+
+  CancelToken unarmed(0.0);  // <= 0 means no deadline
+  EXPECT_FALSE(unarmed.Cancelled());
+}
+
+// -------------------------------------------------------------- protocol --
+
+TEST(ProtocolTest, RejectsMalformedAndInvalidRequests) {
+  struct Case {
+    const char* line;
+    const char* code;
+  };
+  const Case cases[] = {
+      {"not json", service::kErrParse},
+      {"[1,2]", service::kErrParse},
+      {R"({"verb":"schedule"})", service::kErrBadRequest},  // no instance
+      {R"({"verb":"warp"})", service::kErrBadRequest},
+      {R"({"id":"","verb":"stats"})", service::kErrBadRequest},
+      {R"({"id":7,"verb":"stats"})", service::kErrBadRequest},
+      {R"({"verb":"cancel"})", service::kErrBadRequest},  // no target
+      {R"({"verb":"stats","deadline_ms":-1})", service::kErrBadRequest},
+  };
+  for (const Case& c : cases) {
+    try {
+      (void)service::ParseRequest(c.line);
+      FAIL() << "accepted: " << c.line;
+    } catch (const service::ProtocolError& e) {
+      EXPECT_EQ(e.code(), c.code) << c.line;
+    }
+  }
+}
+
+TEST(ProtocolTest, ParseErrorsCarryTheIdWhenReadable) {
+  try {
+    (void)service::ParseRequest(R"({"id":"x9","verb":"nope"})");
+    FAIL();
+  } catch (const service::ProtocolError& e) {
+    EXPECT_EQ(e.id(), "x9");
+  }
+}
+
+TEST(ProtocolTest, HostileLinesAreRejectedNotCrashed) {
+  // Nesting far past the request limit (32) and an oversized line (4 MiB).
+  std::string deep = R"({"verb":"stats","x":)";
+  deep += std::string(1000, '[');
+  EXPECT_THROW((void)service::ParseRequest(deep), service::ProtocolError);
+
+  std::string big = R"({"verb":"stats","x":")";
+  big += std::string(5u << 20, 'a');
+  big += "\"}";
+  EXPECT_THROW((void)service::ParseRequest(big), service::ProtocolError);
+}
+
+TEST(ProtocolTest, KeyTextIgnoresIdAndDeadline) {
+  const Instance instance = ServiceInstance();
+  JsonObject extra_a;
+  extra_a["id"] = "a";
+  extra_a["deadline_ms"] = 5000;
+  const service::Request a =
+      service::ParseRequest(MakeRequest("schedule", instance, std::move(extra_a)));
+  JsonObject extra_b;
+  extra_b["id"] = "b";
+  const service::Request b =
+      service::ParseRequest(MakeRequest("schedule", instance, std::move(extra_b)));
+  EXPECT_EQ(service::RequestKeyText(a), service::RequestKeyText(b));
+
+  JsonObject extra_c;
+  extra_c["seed"] = 99;
+  const service::Request c =
+      service::ParseRequest(MakeRequest("schedule", instance, std::move(extra_c)));
+  EXPECT_NE(service::RequestKeyText(a), service::RequestKeyText(c));
+}
+
+TEST(ProtocolTest, WithIdEscapesHostileIds) {
+  const std::string line =
+      service::WithId("a\"b", service::OkBody(JsonObject{}));
+  const JsonValue parsed = JsonValue::Parse(line);
+  EXPECT_EQ(parsed.GetString("id", ""), "a\"b");
+  EXPECT_TRUE(parsed.GetBool("ok", false));
+}
+
+// --------------------------------------------------------- canonical hash --
+
+TEST(InstanceHashTest, FormattingDoesNotChangeTheDigest) {
+  const Instance instance = ServiceInstance();
+  const Digest128 digest = HashInstance(instance);
+
+  // Pretty-print and re-parse: semantically the same instance, textually
+  // very different.
+  const std::string pretty = InstanceToJson(instance).Dump(2);
+  const Instance reparsed = InstanceFromString(pretty);
+  EXPECT_EQ(HashInstance(reparsed), digest);
+
+  Instance different = ServiceInstance(/*tasks=*/7);
+  EXPECT_NE(HashInstance(different), digest);
+
+  EXPECT_EQ(digest.ToHex().size(), 32u);
+}
+
+// ---------------------------------------------------------------- server --
+
+TEST(RescheddServerTest, HandshakeCarriesBuildInfo) {
+  ServerOptions options;
+  options.workers = 1;
+  PipeServer server(options);
+  const JsonValue handshake = JsonValue::Parse(server.Handshake());
+  EXPECT_EQ(handshake.GetInt("protocol", -1), service::kProtocolVersion);
+  const JsonValue& build = handshake.At("reschedd");
+  EXPECT_FALSE(build.GetString("version", "").empty());
+  EXPECT_FALSE(build.GetString("git", "").empty());
+  EXPECT_FALSE(build.GetString("build_type", "").empty());
+}
+
+TEST(RescheddServerTest, ScheduleRoundTripIsValidatedJson) {
+  ServerOptions options;
+  options.workers = 2;
+  PipeServer server(options);
+  const Instance instance = ServiceInstance();
+  const std::string reply =
+      server.SubmitAndWait(MakeRequest("schedule", instance));
+  const JsonValue response = JsonValue::Parse(reply);
+  ASSERT_TRUE(response.GetBool("ok", false)) << reply;
+  EXPECT_EQ(response.GetString("id", ""), "r1");
+  EXPECT_GT(response.GetInt("makespan", 0), 0);
+  // The embedded schedule document round-trips through schedule_io.
+  const Schedule schedule =
+      ScheduleFromJson(instance, response.At("schedule"));
+  EXPECT_EQ(schedule.makespan, response.GetInt("makespan", -1));
+  // Wall-clock fields are stripped for bit-identity.
+  EXPECT_FALSE(response.At("schedule").Contains("scheduling_seconds"));
+  EXPECT_FALSE(response.At("schedule").Contains("floorplanning_seconds"));
+}
+
+TEST(RescheddServerTest, DuplicateSubmissionIsServedBitIdentically) {
+  ServerOptions cached;
+  cached.workers = 2;
+  PipeServer server(cached);
+  const Instance instance = ServiceInstance();
+
+  JsonObject id1;
+  id1["id"] = "a1";
+  JsonObject id2;
+  id2["id"] = "a2";
+  const std::string first =
+      server.SubmitAndWait(MakeRequest("schedule", instance, std::move(id1)));
+  const std::string second =
+      server.SubmitAndWait(MakeRequest("schedule", instance, std::move(id2)));
+  EXPECT_EQ(StripId(first), StripId(second));
+  EXPECT_EQ(server.Counters().cache_hits, 1u);
+
+  // And the cache is not *inventing* the bytes: a cache-disabled server
+  // recomputes the same body.
+  ServerOptions uncached;
+  uncached.workers = 1;
+  uncached.result_cache = false;
+  PipeServer plain(uncached);
+  const std::string recomputed =
+      plain.SubmitAndWait(MakeRequest("schedule", instance));
+  EXPECT_EQ(StripId(recomputed), StripId(first));
+  EXPECT_EQ(plain.Counters().cache_hits, 0u);
+}
+
+TEST(RescheddServerTest, ResponsesAreIdenticalAcrossWorkerCounts) {
+  const Instance instance = ServiceInstance();
+  // Distinct deterministic requests (different seeds); cache off so every
+  // worker actually computes.
+  std::vector<std::string> requests;
+  for (int seed = 1; seed <= 6; ++seed) {
+    JsonObject extra;
+    extra["seed"] = seed;
+    std::string id = "s";
+    id += std::to_string(seed);
+    extra["id"] = std::move(id);
+    requests.push_back(MakeRequest("schedule", instance, std::move(extra)));
+  }
+
+  auto run = [&requests](std::size_t workers) {
+    ServerOptions options;
+    options.workers = workers;
+    options.result_cache = false;
+    PipeServer server(options);
+    for (const std::string& r : requests) server.Send(r);
+    std::vector<std::string> bodies;
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      bodies.push_back(server.Receive());
+    }
+    std::sort(bodies.begin(), bodies.end());
+    return bodies;
+  };
+
+  EXPECT_EQ(run(1), run(4));
+}
+
+TEST(RescheddServerTest, FullQueueRejectsWithOverloaded) {
+  ServerOptions options;
+  options.workers = 1;
+  options.queue_capacity = 1;
+  PipeServer server(options);
+  const Instance instance = ServiceInstance();
+
+  // One budgeted (slow) request occupies the single worker for ~1s...
+  JsonObject slow;
+  slow["id"] = "slow";
+  slow["algo"] = "par";
+  slow["budget"] = 1.0;
+  server.Send(MakeRequest("schedule", instance, std::move(slow)));
+  // ...then a burst that must overflow the depth-1 queue.
+  const int kBurst = 4;
+  for (int i = 0; i < kBurst; ++i) {
+    JsonObject extra;
+    extra["id"] = "burst" + std::to_string(i);
+    server.Send(MakeRequest("schedule", instance, std::move(extra)));
+  }
+
+  std::map<std::string, std::string> responses;
+  for (int i = 0; i < kBurst + 1; ++i) {
+    const std::string line = server.Receive();
+    EXPECT_TRUE(responses.emplace(IdOf(line), line).second)
+        << "duplicate response: " << line;
+  }
+  // Exactly one response per submission, nothing lost.
+  ASSERT_EQ(responses.size(), static_cast<std::size_t>(kBurst) + 1);
+  EXPECT_EQ(ErrorCode(responses.at("slow")), "");  // the slow one completed
+
+  int overloaded = 0;
+  int ok = 0;
+  for (int i = 0; i < kBurst; ++i) {
+    const std::string& line = responses.at("burst" + std::to_string(i));
+    const std::string code = ErrorCode(line);
+    if (code == service::kErrOverloaded) {
+      ++overloaded;
+    } else {
+      EXPECT_EQ(code, "") << line;
+      ++ok;
+    }
+  }
+  EXPECT_GE(overloaded, 1);
+  EXPECT_EQ(overloaded + ok, kBurst);
+  EXPECT_EQ(server.Counters().rejected_overloaded,
+            static_cast<std::uint64_t>(overloaded));
+}
+
+TEST(RescheddServerTest, DeadlineExpiryIsAWellFormedError) {
+  ServerOptions options;
+  options.workers = 1;
+  PipeServer server(options);
+  const Instance instance = ServiceInstance();
+
+  JsonObject extra;
+  extra["id"] = "late";
+  extra["algo"] = "par";
+  extra["budget"] = 30.0;  // would run far past the deadline
+  extra["deadline_ms"] = 100;
+  const std::string reply =
+      server.SubmitAndWait(MakeRequest("schedule", instance, std::move(extra)));
+  EXPECT_EQ(ErrorCode(reply), service::kErrDeadline) << reply;
+  EXPECT_EQ(IdOf(reply), "late");
+  EXPECT_EQ(server.Counters().deadline_expired, 1u);
+}
+
+TEST(RescheddServerTest, CancelUnwindsQueuedAndRunningRequests) {
+  ServerOptions options;
+  options.workers = 1;
+  PipeServer server(options);
+  const Instance instance = ServiceInstance();
+
+  JsonObject running;
+  running["id"] = "running";
+  running["algo"] = "par";
+  running["budget"] = 30.0;
+  server.Send(MakeRequest("schedule", instance, std::move(running)));
+  JsonObject queued;
+  queued["id"] = "queued";
+  server.Send(MakeRequest("schedule", instance, std::move(queued)));
+
+  // Cancel the queued request first, then the running one; the control
+  // plane answers inline while the worker is busy.
+  const std::string ack1 = server.SubmitAndWait(
+      R"({"verb":"cancel","id":"c1","target":"queued"})");
+  EXPECT_TRUE(JsonValue::Parse(ack1).GetBool("cancelled", false)) << ack1;
+  const std::string ack2 = server.SubmitAndWait(
+      R"({"verb":"cancel","id":"c2","target":"running"})");
+  EXPECT_TRUE(JsonValue::Parse(ack2).GetBool("cancelled", false)) << ack2;
+  const std::string ack3 = server.SubmitAndWait(
+      R"({"verb":"cancel","id":"c3","target":"nonexistent"})");
+  EXPECT_FALSE(JsonValue::Parse(ack3).GetBool("cancelled", true)) << ack3;
+
+  std::map<std::string, std::string> responses;
+  for (int i = 0; i < 2; ++i) {
+    const std::string line = server.Receive();
+    responses.emplace(IdOf(line), line);
+  }
+  ASSERT_EQ(responses.size(), 2u);
+  EXPECT_EQ(ErrorCode(responses.at("running")), service::kErrCancelled);
+  EXPECT_EQ(ErrorCode(responses.at("queued")), service::kErrCancelled);
+  EXPECT_EQ(server.Counters().cancelled, 2u);
+}
+
+TEST(RescheddServerTest, GracefulShutdownDrainsAcceptedWork) {
+  ServerOptions options;
+  options.workers = 2;
+  options.queue_capacity = 16;
+  PipeServer server(options);
+  const Instance instance = ServiceInstance();
+
+  const int kJobs = 5;
+  for (int i = 0; i < kJobs; ++i) {
+    JsonObject extra;
+    extra["id"] = "j" + std::to_string(i);
+    extra["seed"] = i + 1;
+    server.Send(MakeRequest("schedule", instance, std::move(extra)));
+  }
+  server.Send(R"({"verb":"shutdown","id":"bye"})");
+
+  std::vector<std::string> lines;
+  for (;;) {
+    std::string line;
+    ASSERT_TRUE(server.Pipe().Receive(line));
+    lines.push_back(line);
+    if (IdOf(line) == "bye") break;
+  }
+  server.MarkStopped();
+
+  // Every accepted request was answered ok, and the shutdown ack came last.
+  ASSERT_EQ(lines.size(), static_cast<std::size_t>(kJobs) + 1);
+  std::map<std::string, std::string> by_id;
+  for (const std::string& line : lines) by_id.emplace(IdOf(line), line);
+  for (int i = 0; i < kJobs; ++i) {
+    const std::string id = "j" + std::to_string(i);
+    ASSERT_TRUE(by_id.count(id)) << "lost response for " << id;
+    EXPECT_EQ(ErrorCode(by_id.at(id)), "") << by_id.at(id);
+  }
+  EXPECT_EQ(IdOf(lines.back()), "bye");
+  EXPECT_TRUE(JsonValue::Parse(lines.back()).GetBool("drained", false));
+}
+
+TEST(RescheddServerTest, StatsReportCountersAndBuild) {
+  ServerOptions options;
+  options.workers = 1;
+  PipeServer server(options);
+  const Instance instance = ServiceInstance();
+  (void)server.SubmitAndWait(MakeRequest("schedule", instance));
+  const std::string reply =
+      server.SubmitAndWait(R"({"verb":"stats","id":"st"})");
+  const JsonValue stats = JsonValue::Parse(reply);
+  ASSERT_TRUE(stats.GetBool("ok", false)) << reply;
+  EXPECT_EQ(stats.At("counters").GetInt("accepted", -1), 1);
+  EXPECT_EQ(stats.At("counters").GetInt("completed_ok", -1), 1);
+  EXPECT_FALSE(stats.At("build").GetString("version", "").empty());
+  EXPECT_EQ(stats.GetInt("workers", -1), 1);
+  EXPECT_TRUE(stats.Contains("result_cache"));
+}
+
+// ---------------------------------------------------------------- journal --
+
+TEST(JournalTest, ReplayReproducesResponsesByteForByte) {
+  const std::string path =
+      ::testing::TempDir() + "resched_journal_test.jsonl";
+  (void)::unlink(path.c_str());
+
+  {
+    ServerOptions options;
+    options.workers = 2;
+    options.journal_path = path;
+    PipeServer server(options);
+    const Instance instance = ServiceInstance();
+    // Three deterministic requests (one a cache-hit duplicate), one
+    // budgeted request and a stats probe; only the first three replay.
+    JsonObject s1;
+    s1["seed"] = 1;
+    (void)server.SubmitAndWait(MakeRequest("schedule", instance, std::move(s1)));
+    JsonObject s2;
+    s2["seed"] = 1;
+    (void)server.SubmitAndWait(MakeRequest("schedule", instance, std::move(s2)));
+    JsonObject sim;
+    sim["fault_rate"] = 0.05;
+    sim["trials"] = 2;
+    (void)server.SubmitAndWait(MakeRequest("simulate", instance, std::move(sim)));
+    JsonObject budgeted;
+    budgeted["algo"] = "par";
+    budgeted["budget"] = 0.05;
+    (void)server.SubmitAndWait(
+        MakeRequest("schedule", instance, std::move(budgeted)));
+    (void)server.SubmitAndWait(R"({"verb":"stats"})");
+  }
+
+  const service::ReplayOutcome outcome = service::ReplayJournal(path);
+  EXPECT_EQ(outcome.requests, 6u);  // 5 + the fixture's shutdown
+  EXPECT_EQ(outcome.replayed, 3u);
+  EXPECT_EQ(outcome.matched, 3u);
+  EXPECT_EQ(outcome.mismatched, 0u);
+  EXPECT_TRUE(outcome.ok());
+  (void)::unlink(path.c_str());
+}
+
+// -------------------------------------------------------- socket transport --
+
+TEST(SocketTransportTest, EndToEndOverAUnixSocket) {
+  const std::string path =
+      "/tmp/resched_svc_test_" + std::to_string(::getpid()) + ".sock";
+
+  service::UnixSocketServerTransport transport(path);
+  ServerOptions options;
+  options.workers = 1;
+  RescheddServer server(transport, options);
+  std::thread serve([&server] { server.Serve(); });
+
+  UnixSocket client = UnixSocket::Connect(path);
+  SocketLineReader reader(client);
+  std::string line;
+  ASSERT_TRUE(reader.ReadLine(line));  // handshake greeting
+  EXPECT_EQ(JsonValue::Parse(line).GetInt("protocol", -1),
+            service::kProtocolVersion);
+
+  const Instance instance = ServiceInstance();
+  ASSERT_TRUE(client.SendAll(MakeRequest("schedule", instance) + "\n"));
+  ASSERT_TRUE(reader.ReadLine(line));
+  EXPECT_TRUE(JsonValue::Parse(line).GetBool("ok", false)) << line;
+
+  ASSERT_TRUE(client.SendAll(R"({"verb":"shutdown"})" "\n"));
+  ASSERT_TRUE(reader.ReadLine(line));
+  EXPECT_EQ(JsonValue::Parse(line).GetString("verb", ""), "shutdown");
+  serve.join();
+  client.Close();
+}
+
+}  // namespace
+}  // namespace resched

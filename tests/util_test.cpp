@@ -276,6 +276,51 @@ TEST(JsonTest, GetWithFallback) {
   EXPECT_FALSE(v.Contains("b"));
 }
 
+// Untrusted-input hardening: the parser must reject hostile documents with
+// a JsonError instead of recursing to a stack overflow or buffering
+// without bound (the reschedd request path).
+
+TEST(JsonTest, DeepNestingIsRejectedNotCrashed) {
+  // ~100k unclosed arrays: a naive recursive-descent parser would blow the
+  // stack long before reporting the missing brackets.
+  const std::string hostile(100000, '[');
+  EXPECT_THROW((void)JsonValue::Parse(hostile), JsonError);
+
+  // The same applies to balanced-but-deep documents and object nesting.
+  std::string deep;
+  for (int i = 0; i < 5000; ++i) deep += "{\"a\":[";
+  deep += "1";
+  for (int i = 0; i < 5000; ++i) deep += "]}";
+  EXPECT_THROW((void)JsonValue::Parse(deep), JsonError);
+}
+
+TEST(JsonTest, NestingAtTheLimitStillParses) {
+  JsonParseLimits limits;
+  limits.max_depth = 8;
+  const std::string at_limit = "[[[[[[[[1]]]]]]]]";    // depth 8
+  const std::string over_limit = "[[[[[[[[[1]]]]]]]]]";  // depth 9
+  EXPECT_NO_THROW((void)JsonValue::Parse(at_limit, limits));
+  EXPECT_THROW((void)JsonValue::Parse(over_limit, limits), JsonError);
+}
+
+TEST(JsonTest, OversizedDocumentIsRejectedUpFront) {
+  JsonParseLimits limits;
+  limits.max_bytes = 64;
+  const std::string small = R"({"ok": true})";
+  EXPECT_NO_THROW((void)JsonValue::Parse(small, limits));
+  const std::string big = "\"" + std::string(200, 'x') + "\"";
+  EXPECT_THROW((void)JsonValue::Parse(big, limits), JsonError);
+}
+
+TEST(JsonTest, DefaultLimitsAcceptRealisticDocuments) {
+  // Depth ~60 is deeper than any resched document but within the default
+  // limit of 96.
+  std::string doc(60, '[');
+  doc += "0";
+  doc += std::string(60, ']');
+  EXPECT_NO_THROW((void)JsonValue::Parse(doc));
+}
+
 // ---------------------------------------------------------------- csv
 
 TEST(CsvTest, EscapesSpecialFields) {

@@ -20,9 +20,20 @@
 //                        [--seed S] [--jitter J] [--scenario-out fs.json]
 //   resched_cli info     --instance f.json
 //   resched_cli dot      --instance f.json
+//   resched_cli serve    (--socket PATH | --stdio) [--workers N] [--queue N]
+//                        [--no-result-cache] [--no-floorplan-cache]
+//                        [--journal f.jsonl]
+//   resched_cli submit   (--print | --socket PATH) [--verb V] [--id ID]
+//                        [--instance f.json] [--algo A] [--seed S]
+//                        [--iterations N] [--budget SEC] [--deadline-ms MS]
+//                        [--no-cache] [--trials N] [--fault-rate R]
+//                        [--policy P] [--jitter J] [--target ID]
+//   resched_cli replay   --journal f.jsonl
+//   resched_cli --version
 //
 // Exit status: 0 on success (and, for validate, a valid schedule; for
-// simulate, all trials surviving with valid executed schedules), 1 on a
+// simulate, all trials surviving with valid executed schedules; for
+// submit, an ok response; for replay, zero mismatches), 1 on a
 // validation failure, 2 on usage errors.
 #include <fstream>
 #include <iostream>
@@ -42,12 +53,17 @@
 #include "sched/svg.hpp"
 #include "sched/metrics.hpp"
 #include "sched/validator.hpp"
+#include "service/journal.hpp"
+#include "service/server.hpp"
+#include "service/transport.hpp"
 #include "sim/executor.hpp"
 #include "taskgraph/analysis.hpp"
 #include "taskgraph/dot.hpp"
 #include "taskgraph/replicate.hpp"
 #include "taskgraph/generator.hpp"
+#include "util/build_info.hpp"
 #include "util/flags.hpp"
+#include "util/socket.hpp"
 #include "util/stats.hpp"
 #include "util/string_util.hpp"
 
@@ -79,7 +95,18 @@ int Usage() {
       "                       [--seed S] [--jitter J]\n"
       "                       [--scenario-out fs.json]\n"
       "  resched_cli info     --instance f.json\n"
-      "  resched_cli dot      --instance f.json\n";
+      "  resched_cli dot      --instance f.json\n"
+      "  resched_cli serve    (--socket PATH | --stdio) [--workers N]\n"
+      "                       [--queue N] [--no-result-cache]\n"
+      "                       [--no-floorplan-cache] [--journal f.jsonl]\n"
+      "  resched_cli submit   (--print | --socket PATH) [--verb V] [--id ID]\n"
+      "                       [--instance f.json] [--algo A] [--seed S]\n"
+      "                       [--iterations N] [--budget SEC]\n"
+      "                       [--deadline-ms MS] [--no-cache] [--trials N]\n"
+      "                       [--fault-rate R] [--policy P] [--jitter J]\n"
+      "                       [--target ID]\n"
+      "  resched_cli replay   --journal f.jsonl\n"
+      "  resched_cli --version\n";
   return 2;
 }
 
@@ -385,9 +412,137 @@ int CmdDot(const Flags& flags) {
   return 0;
 }
 
+int CmdServe(const Flags& flags) {
+  service::ServerOptions options;
+  options.workers = static_cast<std::size_t>(flags.GetInt("workers", 2));
+  options.queue_capacity =
+      static_cast<std::size_t>(flags.GetInt("queue", 64));
+  options.result_cache = !flags.GetBool("no-result-cache", false);
+  options.floorplan_cache = !flags.GetBool("no-floorplan-cache", false);
+  options.journal_path = flags.GetString("journal", "");
+
+  const std::string socket_path = flags.GetString("socket", "");
+  const bool stdio = flags.GetBool("stdio", false);
+  if (socket_path.empty() == !stdio) {
+    throw FlagError("serve needs exactly one of --socket PATH or --stdio");
+  }
+
+  if (stdio) {
+    service::StdioTransport transport;
+    service::RescheddServer server(transport, options);
+    server.Serve();
+    const service::ServiceCounters c = server.Counters();
+    std::cerr << "reschedd: " << c.received << " request(s), " << c.accepted
+              << " accepted, " << c.rejected_overloaded << " overloaded, "
+              << c.cache_hits << " cache hit(s)\n";
+    return 0;
+  }
+  service::UnixSocketServerTransport transport(socket_path);
+  std::cerr << "reschedd: listening on " << transport.Path() << "\n";
+  service::RescheddServer server(transport, options);
+  server.Serve();
+  const service::ServiceCounters c = server.Counters();
+  std::cerr << "reschedd: " << c.received << " request(s), " << c.accepted
+            << " accepted, " << c.rejected_overloaded << " overloaded, "
+            << c.cache_hits << " cache hit(s)\n";
+  return 0;
+}
+
+/// Builds one protocol request line from flags (shared by --print and the
+/// socket client path).
+std::string BuildRequestLine(const Flags& flags) {
+  const std::string verb = flags.GetString("verb", "schedule");
+  JsonObject request;
+  request["verb"] = verb;
+  const std::string id = flags.GetString("id", "");
+  if (!id.empty()) request["id"] = id;
+  const double deadline_ms = flags.GetDouble("deadline-ms", 0.0);
+  if (deadline_ms > 0.0) request["deadline_ms"] = deadline_ms;
+
+  if (verb == "schedule" || verb == "simulate") {
+    const Instance instance = LoadInstanceFlag(flags);
+    request["instance"] = InstanceToJson(instance);
+    request["algo"] = flags.GetString("algo", "pa");
+    request["seed"] = flags.GetInt("seed", 1);
+    if (flags.Has("iterations")) {
+      request["iterations"] = flags.GetInt("iterations", 32);
+    }
+    if (flags.Has("budget")) {
+      request["budget"] = flags.GetDouble("budget", 0.0);
+    }
+    if (flags.GetBool("module-reuse", false)) request["module_reuse"] = true;
+    if (flags.GetBool("no-balancing", false)) request["no_balancing"] = true;
+    if (flags.GetBool("no-floorplan", false)) request["no_floorplan"] = true;
+    if (flags.GetBool("no-cache", false)) request["cache"] = false;
+    if (verb == "simulate") {
+      request["trials"] = flags.GetInt("trials", 1);
+      request["fault_rate"] = flags.GetDouble("fault-rate", 0.0);
+      request["policy"] = flags.GetString("policy", "retry");
+      if (flags.Has("jitter")) {
+        request["jitter"] = flags.GetDouble("jitter", 0.0);
+      }
+    }
+  } else if (verb == "cancel") {
+    request["target"] = flags.GetString("target", "");
+  } else if (verb != "stats" && verb != "shutdown") {
+    throw FlagError("unknown --verb: " + verb);
+  }
+  return JsonValue(std::move(request)).Dump(-1);
+}
+
+int CmdSubmit(const Flags& flags) {
+  const std::string line = BuildRequestLine(flags);
+  if (flags.GetBool("print", false)) {
+    std::cout << line << "\n";
+    return 0;
+  }
+  const std::string socket_path = flags.GetString("socket", "");
+  if (socket_path.empty()) {
+    throw FlagError("submit needs --print or --socket PATH");
+  }
+
+  UnixSocket socket = UnixSocket::Connect(socket_path);
+  SocketLineReader reader(socket);
+  std::string handshake;
+  if (!reader.ReadLine(handshake)) {
+    std::cerr << "error: server closed before handshake\n";
+    return 1;
+  }
+  std::cerr << handshake << "\n";
+  if (!socket.SendAll(line + "\n")) {
+    std::cerr << "error: server closed while sending\n";
+    return 1;
+  }
+  std::string response;
+  if (!reader.ReadLine(response)) {
+    std::cerr << "error: server closed before responding\n";
+    return 1;
+  }
+  std::cout << response << "\n";
+  return JsonValue::Parse(response).GetBool("ok", false) ? 0 : 1;
+}
+
+int CmdReplay(const Flags& flags) {
+  const std::string journal = flags.GetString("journal", "");
+  if (journal.empty()) throw FlagError("--journal is required");
+  const service::ReplayOutcome outcome = service::ReplayJournal(journal);
+  std::cout << "replay: " << outcome.requests << " request(s), "
+            << outcome.replayed << " replayed, " << outcome.matched
+            << " matched, " << outcome.mismatched << " mismatched, "
+            << outcome.skipped << " skipped\n";
+  for (const std::string& id : outcome.mismatched_ids) {
+    std::cerr << "mismatch: " << id << "\n";
+  }
+  return outcome.ok() ? 0 : 1;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
+  if (command == "--version" || command == "-V") {
+    std::cout << BuildInfoLine() << "\n";
+    return 0;
+  }
   const Flags flags = Flags::Parse(argc - 1, argv + 1);
   if (command == "gen") return CmdGen(flags);
   if (command == "schedule") return CmdSchedule(flags);
@@ -396,6 +551,9 @@ int Main(int argc, char** argv) {
   if (command == "simulate") return CmdSimulate(flags);
   if (command == "info") return CmdInfo(flags);
   if (command == "dot") return CmdDot(flags);
+  if (command == "serve") return CmdServe(flags);
+  if (command == "submit") return CmdSubmit(flags);
+  if (command == "replay") return CmdReplay(flags);
   return Usage();
 }
 

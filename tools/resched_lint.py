@@ -36,6 +36,12 @@ Rules:
                             stays auditable. (Found the hard way: PA-R
                             seeded workers with HashCombine(seed, w), tying
                             results to the thread count.)
+  no-unchecked-syscall-return
+                            in the service/transport layer (src/service/,
+                            src/util/socket.*) a POSIX call whose result is
+                            discarded at statement position hides partial
+                            writes and failed closes from the daemon; check
+                            the return or cast to (void) deliberately.
 
 Suppress a finding by appending to the offending line:
     // resched-lint: allow(<rule-id>)
@@ -204,6 +210,17 @@ DELETED_FN_RE = re.compile(r"=\s*delete\b")
 ADHOC_SEED_RE = re.compile(r"\bHashCombine\s*\(")
 SEEDISH_RE = re.compile(r"seed", re.IGNORECASE)
 
+# POSIX calls in statement position (preceded by ; { or } modulo
+# whitespace) discard their return value. `(void)::close(fd)` and
+# `if (::bind(...) != 0)` do not match; a continuation line of an
+# assignment does not match either (the preceding char is not a
+# statement delimiter). Scoped to the service/transport layer.
+SYSCALL_STMT_RE = re.compile(
+    r"(?<=[;{}])\s*(::\s*)?"
+    r"(close|write|read|unlink|bind|listen|accept|connect|send|recv"
+    r"|setsockopt|fsync|ftruncate|chmod)\s*\(")
+SYSCALL_SCOPE_PREFIXES = ("src/service/", "src/util/socket")
+
 CATCH_ALL_RE = re.compile(r"\bcatch\s*\(\s*\.\.\.\s*\)")
 # Tokens that make a catch-all handler acceptable: it propagates the
 # failure (throw / rethrow_exception), captures it for someone else
@@ -212,6 +229,18 @@ CATCH_ALL_RE = re.compile(r"\bcatch\s*\(\s*\.\.\.\s*\)")
 CATCH_HANDLED_RE = re.compile(
     r"\bthrow\b|\brethrow_exception\b|\bcurrent_exception\b|\bcerr\b"
     r"|\bLog\w*\s*\(|\bfprintf\s*\(|\bprintf\s*\(|\babort\s*\(")
+
+
+def lint_unchecked_syscalls(stripped, report):
+    """Flags POSIX calls whose return value is discarded at statement
+    position. Works on the full stripped text so multi-line statements
+    (continuation lines of an assignment) cannot false-positive."""
+    for m in SYSCALL_STMT_RE.finditer(stripped):
+        lineno = stripped.count("\n", 0, m.start(2)) + 1
+        report(
+            lineno, "no-unchecked-syscall-return",
+            f"return value of {m.group(2)}() is discarded; handle the "
+            "failure or cast to (void) deliberately")
 
 
 def lint_silent_catches(relpath, stripped, report):
@@ -322,6 +351,8 @@ def lint_file(path, root, findings):
                     "naked `delete` outside src/util/; use RAII owners")
 
     lint_silent_catches(relpath, stripped, report)
+    if relpath.startswith(SYSCALL_SCOPE_PREFIXES):
+        lint_unchecked_syscalls(stripped, report)
 
     if relpath.endswith((".hpp", ".h")):
         if not any(PRAGMA_ONCE_RE.match(l) for l in raw_lines):
@@ -396,7 +427,8 @@ def main(argv):
             print(rule)
         for rule in ("no-unordered-in-output", "pragma-once",
                      "include-cycle", "no-naked-new", "no-silent-catch",
-                     "no-adhoc-seed-derivation"):
+                     "no-adhoc-seed-derivation",
+                     "no-unchecked-syscall-return"):
             print(rule)
         return 0
 
