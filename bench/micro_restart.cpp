@@ -79,7 +79,7 @@ int main() {
   std::vector<std::vector<std::string>> csv_rows;
   double speedup_product_8t = 1.0;
   std::size_t speedup_count_8t = 0;
-  for (const std::size_t n : {20u, 40u, 80u}) {
+  for (const std::size_t n : {20u, 40u, 80u, 100u}) {
     const Instance instance = Group(config, n).front();
     std::cout << "\n-- " << instance.name << " (" << n << " tasks) --\n";
     PrintRow({"mode", "threads", "restarts/s", "allocs/iter", "hit rate",

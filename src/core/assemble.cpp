@@ -15,13 +15,13 @@ void AssembleSchedule(const PaContext& ctx, PaScratch& s, Schedule& out) {
   const TaskGraph& graph = ctx.Inst().graph;
   const TimeWindows& win = s.Timing().Windows();
   StageBuffers& buf = s.Buffers();
-  const std::vector<ReconfSlot>& reconfs = buf.timeline;
+  const ArenaVec<ReconfSlot>& reconfs = buf.timeline;
 
   // Ingoing task per reconfiguration (the region task preceding the loaded
   // one), for the invariant sweep below. A task lives in at most one
   // region and appears there once, so indexing by the loaded task is
   // unambiguous.
-  std::vector<TaskId>& ingoing = buf.ingoing_of;
+  ArenaVec<TaskId>& ingoing = buf.ingoing_of;
   ingoing.assign(graph.NumTasks(), kInvalidTask);
   for (std::size_t r = 0; r < s.NumRegions(); ++r) {
     const DraftRegion& region = s.Region(r);
@@ -36,13 +36,13 @@ void AssembleSchedule(const PaContext& ctx, PaScratch& s, Schedule& out) {
   // starts, and the controller timeline must be overlap-free. Phase G
   // guarantees all three; this is cheap insurance against regressions.
   {
-    std::vector<ReconfSlot>& sorted = buf.sorted_reconfs;
+    ArenaVec<ReconfSlot>& sorted = buf.sorted_reconfs;
     sorted.assign(reconfs.begin(), reconfs.end());
     std::sort(sorted.begin(), sorted.end(),
               [](const ReconfSlot& a, const ReconfSlot& b) {
                 return a.start < b.start;
               });
-    std::vector<TimeT>& last_end = buf.controller_last_end;
+    ArenaVec<TimeT>& last_end = buf.controller_last_end;
     last_end.assign(ctx.Inst().platform.NumReconfigurators(), 0);
     for (const ReconfSlot& slot : sorted) {
       const TaskId in_task =

@@ -167,7 +167,8 @@ PaRResult SchedulePaLs(const Instance& instance,
     result.best = std::move(schedule);
     result.found = true;
     if (options.record_trace) {
-      result.trace.push_back(
+      // Grows only on improvements — cold by definition.
+      result.trace.push_back(  // resched-lint: allow(reserve-before-push-hot)
           TracePoint{deadline.ElapsedSeconds(), best_makespan, iterations});
     }
   }

@@ -85,6 +85,7 @@ PaContext::PaContext(const Instance& instance, const PaOptions& options)
   // Communication-overhead extension: transfer gaps on base edges under
   // the phase-A HW/SW domains.
   if (graph.HasEdgeData() && instance.platform.HwSwBandwidthBytesPerSec() > 0.0) {
+    initial_edge_gaps_.reserve(graph.NumEdges());
     for (std::size_t ti = 0; ti < n; ++ti) {
       const auto t = static_cast<TaskId>(ti);
       const bool t_hw = graph.GetImpl(t, initial_impl_[ti]).IsHardware();
@@ -105,7 +106,11 @@ PaContext::PaContext(const Instance& instance, const PaOptions& options)
       timing.SetExecTime(static_cast<TaskId>(ti), initial_exec_[ti]);
     }
     timing.AssignBaseEdgeGaps(initial_edge_gaps_);
-    initial_critical_ = timing.Windows().critical;
+    const TimeWindows& win = timing.Windows();
+    initial_critical_.assign(n, 0);
+    for (std::size_t ti = 0; ti < n; ++ti) {
+      initial_critical_[ti] = win.critical[ti] ? 1 : 0;
+    }
   }
 
   // ---- §V-C processing orders -------------------------------------------

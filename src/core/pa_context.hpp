@@ -53,7 +53,9 @@ class PaContext {
   InitialEdgeGaps() const {
     return initial_edge_gaps_;
   }
-  const std::vector<bool>& InitialCriticalMask() const {
+  /// Byte mask (1 = critical) — not vector<bool>: hot-path code indexes
+  /// it per task and the byte form avoids the proxy/bit-extract cost.
+  const std::vector<char>& InitialCriticalMask() const {
     return initial_critical_;
   }
 
@@ -104,7 +106,7 @@ class PaContext {
   std::vector<std::size_t> initial_impl_;
   std::vector<TimeT> initial_exec_;
   std::vector<std::pair<std::pair<TaskId, TaskId>, TimeT>> initial_edge_gaps_;
-  std::vector<bool> initial_critical_;
+  std::vector<char> initial_critical_;
 
   std::vector<TaskId> critical_eff_;
   std::vector<TaskId> non_critical_ids_;

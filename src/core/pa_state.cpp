@@ -12,16 +12,23 @@ PaScratch::PaScratch(const PaContext& ctx)
       avail_cap_(ctx.Inst().platform.Device().Capacity()),
       impl_of_(ctx.NumTasks(), 0),
       timing_(ctx.Inst().graph),
-      critical0_(ctx.NumTasks(), false),
+      critical0_(ctx.NumTasks(), 0),
       region_of_(ctx.NumTasks(), -1),
       used_cap_(ctx.Inst().platform.Device().Model().ZeroVec()),
-      processor_of_(ctx.NumTasks(), -1) {}
+      processor_of_(ctx.NumTasks(), -1),
+      buffers_(arena_) {
+  // CanHost prefilter resolution: bucket the [0, MaxT] axis into at most
+  // ~1024 bits so a region's occupancy image stays a few words wide.
+  const auto maxt = static_cast<std::uint64_t>(ctx.MaxT());
+  while ((maxt >> tl_shift_) >= 1024) ++tl_shift_;
+  tl_bits_ = static_cast<std::size_t>(maxt >> tl_shift_) + 2;
+}
 
 void PaScratch::Reset(const ResourceVec& avail_cap) {
   avail_cap_ = avail_cap;
   std::fill(impl_of_.begin(), impl_of_.end(), std::size_t{0});
   timing_.Reset();
-  std::fill(critical0_.begin(), critical0_.end(), false);
+  std::fill(critical0_.begin(), critical0_.end(), char{0});
   for (std::size_t s = 0; s < num_regions_; ++s) {
     regions_[s].tasks.clear();  // keeps capacity
   }
@@ -87,7 +94,7 @@ void PaScratch::AdoptInitialCriticality() {
 void PaScratch::SnapshotCriticality() {
   const TimeWindows& win = timing_.Windows();
   for (std::size_t t = 0; t < critical0_.size(); ++t) {
-    critical0_[t] = win.critical[t];
+    critical0_[t] = win.critical[t] ? 1 : 0;
   }
 }
 
@@ -117,6 +124,12 @@ bool PaScratch::CanHost(std::size_t region, TaskId t, std::size_t impl_index,
   const TimeT end_t = start_t + timing_.ExecTime(t);
   const TimeT room = require_reconf_room ? r.reconf_time : 0;
 
+  // Bucketed-timeline prefilter: when the outward-rounded query range is
+  // clear, every pairwise check below would pass (pair_room <= room), so
+  // accept without the scan. A clash proves nothing — fall through to the
+  // exact loop. Either way the decision matches the scalar code exactly.
+  if (TimelineClear(region, r, start_t, end_t, room)) return true;
+
   for (const TaskId u : r.tasks) {
     const auto ui = static_cast<std::size_t>(u);
     const TimeT start_u = win.earliest_start[ui];
@@ -137,6 +150,29 @@ bool PaScratch::CanHost(std::size_t region, TaskId t, std::size_t impl_index,
     if (!u_before_t && !t_before_u) return false;
   }
   return true;
+}
+
+bool PaScratch::TimelineClear(std::size_t region, const DraftRegion& r,
+                              TimeT start_t, TimeT end_t, TimeT room) const {
+  if (r.tasks.empty()) return true;
+  const TimeWindows& win = timing_.Windows();
+  const std::uint64_t version = timing_.WindowsVersion();
+  if (region_tl_.size() < num_regions_) region_tl_.resize(num_regions_);
+  RegionTimeline& tl = region_tl_[region];
+  if (tl.version != version || tl.ntasks != r.tasks.size()) {
+    tl.words.assign(timeline::WordsFor(tl_bits_), 0);  // keeps capacity
+    for (const TaskId u : r.tasks) {
+      const auto ui = static_cast<std::size_t>(u);
+      const TimeT s = win.earliest_start[ui];
+      timeline::RangeSet(tl.words.data(), BucketLo(s),
+                         BucketHi(s + timing_.ExecTime(u)));
+    }
+    tl.version = version;
+    tl.ntasks = r.tasks.size();
+  }
+  const TimeT qs = start_t > room ? start_t - room : 0;
+  const TimeT qe = end_t + room;
+  return !timeline::RangeAny(tl.words.data(), BucketLo(qs), BucketHi(qe));
 }
 
 bool PaScratch::WouldAvoidReconf(std::size_t region, TaskId t,
@@ -163,7 +199,7 @@ std::size_t PaScratch::CreateRegionFor(TaskId t) {
   RESCHED_CHECK_MSG(impl.IsHardware(), "region for a software implementation");
   RESCHED_CHECK_MSG(HasFreeCapacity(impl.res), "no capacity for new region");
   if (num_regions_ == regions_.size()) {
-    regions_.emplace_back();  // pool growth (rare after warm-up)
+    regions_.emplace_back(arena_);  // pool growth (rare after warm-up)
   }
   DraftRegion& region = regions_[num_regions_];
   region.res = impl.res;

@@ -21,33 +21,47 @@
 #include "core/pa_context.hpp"
 #include "sched/schedule.hpp"
 #include "taskgraph/timing.hpp"
+#include "util/arena.hpp"
 #include "util/rng.hpp"
+#include "util/timeline.hpp"
 
 namespace resched::pa {
 
 /// A reconfigurable region under construction. `tasks` is kept in the
-/// serialization order enforced by the ordering edges.
+/// serialization order enforced by the ordering edges. Task storage is
+/// carved from the owning scratch's arena.
 struct DraftRegion {
+  explicit DraftRegion(MonotonicArena& arena)
+      : tasks(ArenaAllocator<TaskId>(arena)) {}
+
   ResourceVec res;
   TimeT reconf_time = 0;
-  std::vector<TaskId> tasks;
+  ArenaVec<TaskId> tasks;
 };
 
 /// Cross-restart buffers owned by the pipeline stages (see each stage's
 /// .cpp for the usage). Stages fully overwrite what they use; nothing here
-/// carries meaning across a Reset().
+/// carries meaning across a Reset(). Every buffer bump-allocates from the
+/// owning PaScratch's arena (DESIGN.md §10), so the working set of one
+/// worker lives in one slab chain.
 struct StageBuffers {
-  // §V-C regions definition.
-  std::vector<TaskId> critical;
-  std::vector<TaskId> non_critical;
-  std::vector<std::size_t> explicit_pos;
-
-  // §V-D software task balancing.
-  std::vector<TaskId> balance_candidates;
-
-  // §V-F software task mapping.
-  std::vector<TaskId> sw_tasks;
-  std::vector<TaskId> last_on_core;
+  explicit StageBuffers(MonotonicArena& arena)
+      : critical(ArenaAllocator<TaskId>(arena)),
+        non_critical(ArenaAllocator<TaskId>(arena)),
+        explicit_pos(ArenaAllocator<std::size_t>(arena)),
+        balance_candidates(ArenaAllocator<TaskId>(arena)),
+        sw_tasks(ArenaAllocator<TaskId>(arena)),
+        last_on_core(ArenaAllocator<TaskId>(arena)),
+        pending(ArenaAllocator<PendingReconf>(arena)),
+        blockers(ArenaAllocator<std::size_t>(arena)),
+        blocks(ArenaAllocator<std::vector<std::size_t>>(arena)),
+        done(ArenaAllocator<char>(arena)),
+        reach_bits(ArenaAllocator<std::uint64_t>(arena)),
+        combined_succs(ArenaAllocator<std::vector<TaskId>>(arena)),
+        timeline(ArenaAllocator<ReconfSlot>(arena)),
+        ingoing_of(ArenaAllocator<TaskId>(arena)),
+        sorted_reconfs(ArenaAllocator<ReconfSlot>(arena)),
+        controller_last_end(ArenaAllocator<TimeT>(arena)) {}
 
   // §V-G reconfigurations scheduling.
   struct PendingReconf {
@@ -57,19 +71,35 @@ struct StageBuffers {
     TimeT exe = 0;
     bool critical = false;
   };
-  std::vector<PendingReconf> pending;
-  std::vector<std::size_t> blockers;
-  std::vector<std::vector<std::size_t>> blocks;
-  std::vector<char> done;
-  std::vector<std::uint64_t> reach_bits;
-  std::vector<std::vector<TaskId>> combined_succs;
+
+  // §V-C regions definition.
+  ArenaVec<TaskId> critical;
+  ArenaVec<TaskId> non_critical;
+  ArenaVec<std::size_t> explicit_pos;
+
+  // §V-D software task balancing.
+  ArenaVec<TaskId> balance_candidates;
+
+  // §V-F software task mapping.
+  ArenaVec<TaskId> sw_tasks;
+  ArenaVec<TaskId> last_on_core;
+
+  // §V-G reconfigurations scheduling. The inner vectors of `blocks` and
+  // `combined_succs` stay heap-backed: their element counts vary per
+  // restart and re-binding nested allocators would defeat the pool reuse.
+  ArenaVec<PendingReconf> pending;
+  ArenaVec<std::size_t> blockers;
+  ArenaVec<std::vector<std::size_t>> blocks;
+  ArenaVec<char> done;
+  ArenaVec<std::uint64_t> reach_bits;
+  ArenaVec<std::vector<TaskId>> combined_succs;
   /// Controller timeline produced by §V-G, consumed by the assembly.
-  std::vector<ReconfSlot> timeline;
+  ArenaVec<ReconfSlot> timeline;
 
   // Final assembly.
-  std::vector<TaskId> ingoing_of;
-  std::vector<ReconfSlot> sorted_reconfs;
-  std::vector<TimeT> controller_last_end;
+  ArenaVec<TaskId> ingoing_of;
+  ArenaVec<ReconfSlot> sorted_reconfs;
+  ArenaVec<TimeT> controller_last_end;
 };
 
 class PaScratch {
@@ -181,12 +211,42 @@ class PaScratch {
   StageBuffers& Buffers() { return buffers_; }
 
  private:
+  /// Coarse per-region occupancy image over bucketed time: bit b covers
+  /// ticks [b << tl_shift_, (b + 1) << tl_shift_), outward-rounded on
+  /// store and on query, so all-clear proves slot disjointness and CanHost
+  /// can accept without the pairwise scan. A clash only falls back to the
+  /// exact loop — decisions are bit-identical either way.
+  struct RegionTimeline {
+    std::uint64_t version = 0;
+    std::size_t ntasks = static_cast<std::size_t>(-1);
+    std::vector<std::uint64_t> words;
+  };
+
+  /// True when the bucketed image proves [start_t - room, end_t + room)
+  /// is disjoint from every slot already in region `r` (rebuilds the
+  /// image lazily when windows or membership changed).
+  bool TimelineClear(std::size_t region, const DraftRegion& r, TimeT start_t,
+                     TimeT end_t, TimeT room) const;
+
+  std::size_t BucketLo(TimeT t) const {
+    const std::size_t b = static_cast<std::size_t>(t) >> tl_shift_;
+    return b < tl_bits_ ? b : tl_bits_ - 1;  // saturate: stays conservative
+  }
+  std::size_t BucketHi(TimeT t) const {  // exclusive end for tick-end t >= 1
+    const std::size_t b = (static_cast<std::size_t>(t - 1) >> tl_shift_) + 1;
+    return b < tl_bits_ ? b : tl_bits_;
+  }
+
   const PaContext* ctx_;
   ResourceVec avail_cap_;
 
   std::vector<std::size_t> impl_of_;
   TimingContext timing_;
-  std::vector<bool> critical0_;
+  std::vector<char> critical0_;
+
+  /// Backing store for the stage buffers and draft-region task lists;
+  /// declared before them so it outlives every container carved from it.
+  MonotonicArena arena_;
 
   /// Region pool: only the first num_regions_ entries are live; dead
   /// entries keep their task-vector capacity for reuse.
@@ -196,6 +256,12 @@ class PaScratch {
   ResourceVec used_cap_;
 
   std::vector<int> processor_of_;
+
+  // CanHost prefilter state (lazily rebuilt; epoch-checked via the timing
+  // context's windows version, so Reset() needs no invalidation pass).
+  mutable std::vector<RegionTimeline> region_tl_;
+  std::size_t tl_shift_ = 0;
+  std::size_t tl_bits_ = 1;
 
   StageBuffers buffers_;
 };

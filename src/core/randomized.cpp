@@ -124,7 +124,8 @@ PaRResult SchedulePaR(const Instance& instance, const PaROptions& options,
       result.best = std::move(candidate);
       result.found = true;
       if (options.record_trace) {
-        result.trace.push_back(
+        // Grows only on improvements — cold by definition.
+        result.trace.push_back(  // resched-lint: allow(reserve-before-push-hot)
             TracePoint{deadline.ElapsedSeconds(), best_makespan, done_now});
       }
     }

@@ -49,14 +49,17 @@ class Reachability {
     bits_.assign(n * words_, 0);
 
     // Combined adjacency (graph + ordering edges).
-    std::vector<std::vector<TaskId>>& succs = buf.combined_succs;
+    ArenaVec<std::vector<TaskId>>& succs = buf.combined_succs;
     if (succs.size() < n) succs.resize(n);
     for (std::size_t t = 0; t < n; ++t) {
       const std::vector<TaskId>& base = graph.Successors(static_cast<TaskId>(t));
       succs[t].assign(base.begin(), base.end());
     }
     for (const OrderingEdge& e : s.Timing().ExtraEdges()) {
-      succs[static_cast<std::size_t>(e.from)].push_back(e.to);
+      // Reused scratch: capacity persists across restarts, so these few
+      // appends do not reallocate in steady state.
+      auto& list = succs[static_cast<std::size_t>(e.from)];
+      list.push_back(e.to);  // resched-lint: allow(reserve-before-push-hot)
     }
 
     const std::vector<TaskId>& order =
@@ -87,12 +90,12 @@ class Reachability {
   }
 
   std::size_t words_ = 0;
-  std::vector<std::uint64_t>& bits_;
+  ArenaVec<std::uint64_t>& bits_;
 };
 
 /// Earliest start >= lo of a `duration`-long gap on controller `c` in the
 /// (start-sorted) timeline.
-TimeT FirstControllerGap(const std::vector<ReconfSlot>& timeline,
+TimeT FirstControllerGap(const ArenaVec<ReconfSlot>& timeline,
                          std::size_t c, TimeT lo, TimeT duration) {
   TimeT candidate = lo;
   for (const ReconfSlot& busy : timeline) {
@@ -109,11 +112,11 @@ TimeT FirstControllerGap(const std::vector<ReconfSlot>& timeline,
 void RunReconfigurationScheduling(const PaContext& ctx, PaScratch& s) {
   (void)ctx;
   StageBuffers& buf = s.Buffers();
-  std::vector<ReconfSlot>& timeline = buf.timeline;  // sorted by start
+  ArenaVec<ReconfSlot>& timeline = buf.timeline;  // sorted by start
   timeline.clear();
 
   // ---- build the reconfiguration task set RT.
-  std::vector<PendingReconf>& pending = buf.pending;
+  ArenaVec<PendingReconf>& pending = buf.pending;
   pending.clear();
   {
     const TimeWindows& win = s.Timing().Windows();
@@ -137,9 +140,9 @@ void RunReconfigurationScheduling(const PaContext& ctx, PaScratch& s) {
   // i's outgoing task weakly precedes j's ingoing task (so scheduling i can
   // still move j's T_MIN).
   const std::size_t m = pending.size();
-  std::vector<std::size_t>& blockers = buf.blockers;
+  ArenaVec<std::size_t>& blockers = buf.blockers;
   blockers.assign(m, 0);
-  std::vector<std::vector<std::size_t>>& blocks = buf.blocks;
+  ArenaVec<std::vector<std::size_t>>& blocks = buf.blocks;
   if (blocks.size() < m) blocks.resize(m);
   for (std::size_t i = 0; i < m; ++i) blocks[i].clear();
   for (std::size_t i = 0; i < m; ++i) {
@@ -152,7 +155,7 @@ void RunReconfigurationScheduling(const PaContext& ctx, PaScratch& s) {
     }
   }
 
-  std::vector<char>& done = buf.done;
+  ArenaVec<char>& done = buf.done;
   done.assign(m, 0);
   for (std::size_t scheduled = 0; scheduled < m; ++scheduled) {
     // Pick among available reconfigurations: critical first (paper §V-G),

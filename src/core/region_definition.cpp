@@ -55,11 +55,11 @@ void RunRegionsDefinition(const PaContext& ctx, PaScratch& s, Rng& rng) {
   StageBuffers& buf = s.Buffers();
 
   // Critical tasks always go by descending efficiency, as in the paper.
-  std::vector<TaskId>& critical = buf.critical;
+  ArenaVec<TaskId>& critical = buf.critical;
   critical.assign(ctx.CriticalByEfficiency().begin(),
                   ctx.CriticalByEfficiency().end());
 
-  std::vector<TaskId>& non_critical = buf.non_critical;
+  ArenaVec<TaskId>& non_critical = buf.non_critical;
   switch (s.Options().ordering) {
     case NonCriticalOrder::kEfficiency:
       non_critical.assign(ctx.NonCriticalByEfficiency().begin(),
@@ -85,7 +85,7 @@ void RunRegionsDefinition(const PaContext& ctx, PaScratch& s, Rng& rng) {
       // their efficiency order after all listed ones. The permutation is
       // re-read from the options every restart — PA-LS mutates it.
       const std::size_t n = ctx.NumTasks();
-      std::vector<std::size_t>& pos = buf.explicit_pos;
+      ArenaVec<std::size_t>& pos = buf.explicit_pos;
       pos.assign(n, SIZE_MAX);
       for (std::size_t i = 0; i < s.Options().explicit_order.size(); ++i) {
         const TaskId t = s.Options().explicit_order[i];

@@ -15,7 +15,7 @@ void RunSoftwareTaskBalancing(const PaContext& ctx, PaScratch& s) {
   const TaskGraph& graph = s.Inst().graph;
 
   // Software tasks that do have hardware alternatives, by increasing T_MIN.
-  std::vector<TaskId>& candidates = s.Buffers().balance_candidates;
+  ArenaVec<TaskId>& candidates = s.Buffers().balance_candidates;
   candidates.clear();
   for (std::size_t ti = 0; ti < graph.NumTasks(); ++ti) {
     const auto t = static_cast<TaskId>(ti);

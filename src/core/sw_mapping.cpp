@@ -16,7 +16,7 @@ void RunSoftwareTaskMapping(const PaContext& ctx, PaScratch& s) {
   const TaskGraph& graph = s.Inst().graph;
   const std::size_t cores = s.Inst().platform.NumProcessors();
 
-  std::vector<TaskId>& sw_tasks = s.Buffers().sw_tasks;
+  ArenaVec<TaskId>& sw_tasks = s.Buffers().sw_tasks;
   sw_tasks.clear();
   for (std::size_t ti = 0; ti < graph.NumTasks(); ++ti) {
     const auto t = static_cast<TaskId>(ti);
@@ -32,7 +32,7 @@ void RunSoftwareTaskMapping(const PaContext& ctx, PaScratch& s) {
   }
 
   // Latest-ending task per core, maintained incrementally.
-  std::vector<TaskId>& last_on_core = s.Buffers().last_on_core;
+  ArenaVec<TaskId>& last_on_core = s.Buffers().last_on_core;
   last_on_core.assign(cores, kInvalidTask);
 
   for (const TaskId t : sw_tasks) {

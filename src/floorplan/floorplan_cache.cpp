@@ -60,12 +60,12 @@ FloorplanCache::FloorplanCache(const FpgaDevice& device,
       catalog_(catalog_capacity),
       verdicts_(verdict_capacity) {}
 
-std::shared_ptr<const std::vector<Rect>> FloorplanCache::Placements(
+std::shared_ptr<const PlacementSet> FloorplanCache::Placements(
     const ResourceVec& req, std::size_t max_placements) {
   const CatalogKey key{req, max_placements};
   if (auto cached = catalog_.Find(key)) return cached;
   return catalog_.Insert(
-      key, EnumeratePrunedPlacements(fabric_, req, max_placements));
+      key, EnumeratePrunedPlacementSet(fabric_, req, max_placements));
 }
 
 bool FloorplanCache::Reusable(const Verdict& v,
@@ -121,16 +121,22 @@ FloorplanResult FloorplanCache::Query(const std::vector<ResourceVec>& regions,
   }
 
   // Full solve over the memoized catalogs, in canonical order (the same
-  // sequence FindFloorplan would build).
-  std::vector<std::shared_ptr<const std::vector<Rect>>> owned;
+  // sequence FindFloorplan would build). The canonical list is sorted, so
+  // equal requirements sit adjacent: one catalog probe (one shard lock +
+  // hash) answers the whole run of duplicates — the batched-probe pass.
+  std::vector<std::shared_ptr<const PlacementSet>> owned;
   owned.reserve(regions.size());
-  std::vector<const std::vector<Rect>*> candidates;
+  std::vector<const PlacementSet*> candidates;
   candidates.reserve(regions.size());
   bool some_region_unplaceable = false;
-  for (const std::size_t i : order) {
-    owned.push_back(
-        Placements(regions[i], options.max_placements_per_region));
-    if (owned.back()->empty()) {
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    const ResourceVec& req = key.canonical[k];
+    if (k > 0 && req == key.canonical[k - 1]) {
+      owned.push_back(owned.back());  // duplicate: reuse the last probe
+    } else {
+      owned.push_back(Placements(req, options.max_placements_per_region));
+    }
+    if (owned.back()->rects.empty()) {
       some_region_unplaceable = true;
       break;
     }

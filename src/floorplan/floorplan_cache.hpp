@@ -46,10 +46,11 @@ class FloorplanCache {
   FloorplanResult Query(const std::vector<ResourceVec>& regions,
                         const FloorplanOptions& options);
 
-  /// Pruned candidate rectangles for one requirement, memoized. Exposed
-  /// for tests and for callers that enumerate without solving.
-  std::shared_ptr<const std::vector<Rect>> Placements(
-      const ResourceVec& req, std::size_t max_placements);
+  /// Pruned candidate rectangles (with occupancy masks) for one
+  /// requirement, memoized. Exposed for tests and for callers that
+  /// enumerate without solving.
+  std::shared_ptr<const PlacementSet> Placements(const ResourceVec& req,
+                                                std::size_t max_placements);
 
   FloorplanCacheStats Stats() const;
 
@@ -91,8 +92,7 @@ class FloorplanCache {
   static bool Reusable(const Verdict& v, const FloorplanOptions& options);
 
   Fabric fabric_;
-  ConcurrentMemoMap<CatalogKey, std::vector<Rect>, CatalogKeyHash,
-                    CatalogKeyEq>
+  ConcurrentMemoMap<CatalogKey, PlacementSet, CatalogKeyHash, CatalogKeyEq>
       catalog_;
   ConcurrentMemoMap<VerdictKey, Verdict, VerdictKeyHash, VerdictKeyEq>
       verdicts_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "util/timeline.hpp"
 #include "util/timer.hpp"
 
 namespace resched {
@@ -37,7 +38,7 @@ void PruneDominated(std::vector<Rect>& placements) {
 class Search {
  public:
   Search(const Fabric& fabric,
-         const std::vector<const std::vector<Rect>*>& candidates,
+         const std::vector<const PlacementSet*>& candidates,
          const FloorplanOptions& options)
       : candidates_(candidates),
         options_(options),
@@ -48,10 +49,13 @@ class Search {
     min_area_.resize(candidates_.size());
     for (std::size_t i = 0; i < candidates_.size(); ++i) {
       std::size_t best = fabric.Columns() * fabric.Rows();
-      for (const Rect& r : *candidates_[i]) best = std::min(best, r.Area());
+      for (const Rect& r : candidates_[i]->rects) {
+        best = std::min(best, r.Area());
+      }
       min_area_[i] = best;
     }
     total_cells_ = fabric.Columns() * fabric.Rows();
+    mask_words_ = timeline::WordsFor(total_cells_);
   }
 
   /// Runs the DFS; fills `solution` (indexed like candidates_) on success.
@@ -64,9 +68,13 @@ class Search {
     // (the canonicalization contract of the header).
     std::stable_sort(order_.begin(), order_.end(),
                      [&](std::size_t a, std::size_t b) {
-                       return candidates_[a]->size() < candidates_[b]->size();
+                       return candidates_[a]->rects.size() <
+                              candidates_[b]->rects.size();
                      });
     chosen_.assign(candidates_.size(), Rect{});
+    // Occupancy image per depth: row d holds the union of the masks of
+    // the first d placed rectangles, so backtracking needs no undo.
+    used_stack_.assign((candidates_.size() + 1) * mask_words_, 0);
 
     // Suffix sums of minimum areas in search order: after placing depth d
     // regions, the rest need at least suffix_min_area_[d] free cells.
@@ -92,7 +100,11 @@ class Search {
     if (depth == order_.size()) return true;
     if (budget_exhausted_) return false;
     const std::size_t region = order_[depth];
-    for (const Rect& rect : *candidates_[region]) {
+    const PlacementSet& set = *candidates_[region];
+    const std::uint64_t* used = used_stack_.data() + depth * mask_words_;
+    std::uint64_t* next = used_stack_.data() + (depth + 1) * mask_words_;
+    for (std::size_t k = 0; k < set.rects.size(); ++k) {
+      const Rect& rect = set.rects[k];
       if (++nodes_ % 1024 == 0) {
         if ((options_.max_nodes != 0 && nodes_ >= options_.max_nodes) ||
             deadline_.Expired()) {
@@ -107,29 +119,29 @@ class Search {
           total_cells_) {
         continue;
       }
-      bool clash = false;
-      for (std::size_t d = 0; d < depth; ++d) {
-        if (rect.Overlaps(chosen_[order_[d]])) {
-          clash = true;
-          break;
-        }
-      }
-      if (clash) continue;
+      // Exact clash test: grid-aligned rectangles overlap iff they share
+      // a cell, so one word-AND against the accumulated occupancy image
+      // replaces the Rect::Overlaps loop over every placed region.
+      const std::uint64_t* mask = set.masks.data() + k * mask_words_;
+      if (timeline::AnyIntersect(mask, used, mask_words_)) continue;
       chosen_[region] = rect;
+      timeline::OrImage(next, used, mask, mask_words_);
       if (Dfs(depth + 1, used_cells + rect.Area())) return true;
       if (budget_exhausted_) return false;
     }
     return false;
   }
 
-  const std::vector<const std::vector<Rect>*>& candidates_;
+  const std::vector<const PlacementSet*>& candidates_;
   const FloorplanOptions& options_;
   Deadline deadline_;
   std::vector<std::size_t> order_;
   std::vector<Rect> chosen_;
   std::vector<std::size_t> min_area_;
   std::vector<std::size_t> suffix_min_area_;
+  std::vector<std::uint64_t> used_stack_;
   std::size_t total_cells_ = 0;
+  std::size_t mask_words_ = 0;
   std::size_t nodes_ = 0;
   bool budget_exhausted_ = false;
 };
@@ -156,9 +168,32 @@ std::vector<Rect> EnumeratePrunedPlacements(const Fabric& fabric,
   return placements;
 }
 
+PlacementSet BuildPlacementSet(const Fabric& fabric, std::vector<Rect> rects) {
+  PlacementSet set;
+  const std::size_t cols = fabric.Columns();
+  set.mask_words = timeline::WordsFor(cols * fabric.Rows());
+  set.rects = std::move(rects);
+  set.masks.assign(set.rects.size() * set.mask_words, 0);
+  for (std::size_t k = 0; k < set.rects.size(); ++k) {
+    const Rect& r = set.rects[k];
+    std::uint64_t* mask = set.masks.data() + k * set.mask_words;
+    for (std::size_t row = r.row0; row < r.row0 + r.height; ++row) {
+      const std::size_t base = row * cols + r.col0;
+      timeline::RangeSet(mask, base, base + r.width);
+    }
+  }
+  return set;
+}
+
+PlacementSet EnumeratePrunedPlacementSet(const Fabric& fabric,
+                                         const ResourceVec& req,
+                                         std::size_t max_placements) {
+  return BuildPlacementSet(
+      fabric, EnumeratePrunedPlacements(fabric, req, max_placements));
+}
+
 FloorplanResult SolveFloorplanFeasibility(
-    const Fabric& fabric,
-    const std::vector<const std::vector<Rect>*>& candidates,
+    const Fabric& fabric, const std::vector<const PlacementSet*>& candidates,
     const FloorplanOptions& options) {
   FloorplanResult result;
   Search search(fabric, candidates, options);
@@ -196,20 +231,20 @@ FloorplanResult FindFloorplan(const FpgaDevice& device,
   // against any permutation of the same regions.
   const std::vector<std::size_t> order = CanonicalRegionOrder(regions);
 
-  std::vector<std::vector<Rect>> owned;
+  std::vector<PlacementSet> owned;
   owned.reserve(regions.size());
   for (const std::size_t i : order) {
-    std::vector<Rect> placements = EnumeratePrunedPlacements(
+    PlacementSet placements = EnumeratePrunedPlacementSet(
         fabric, regions[i], options.max_placements_per_region);
-    if (placements.empty()) {
+    if (placements.rects.empty()) {
       result.seconds = timer.ElapsedSeconds();
       return result;  // some region fits nowhere: certain "no"
     }
     owned.push_back(std::move(placements));
   }
-  std::vector<const std::vector<Rect>*> candidates;
+  std::vector<const PlacementSet*> candidates;
   candidates.reserve(owned.size());
-  for (const std::vector<Rect>& c : owned) candidates.push_back(&c);
+  for (const PlacementSet& c : owned) candidates.push_back(&c);
 
   FloorplanResult canonical =
       SolveFloorplanFeasibility(fabric, candidates, options);

@@ -94,15 +94,36 @@ std::vector<Rect> EnumeratePrunedPlacements(const Fabric& fabric,
                                             const ResourceVec& req,
                                             std::size_t max_placements);
 
+/// A candidate list plus the word-packed cell-occupancy mask of every
+/// rectangle (bit row * Columns() + col of `masks[k * mask_words ..]` for
+/// rect k). The DFS clash test is then one AND over <= mask_words words
+/// instead of a Rect::Overlaps loop over all placed rectangles; grid
+/// rectangles overlap iff they share a cell, so the test is exact. Masks
+/// are built once per catalog entry and shared by every query.
+struct PlacementSet {
+  std::vector<Rect> rects;
+  std::vector<std::uint64_t> masks;
+  std::size_t mask_words = 0;
+};
+
+/// Computes the occupancy masks for `rects` on `fabric`.
+PlacementSet BuildPlacementSet(const Fabric& fabric, std::vector<Rect> rects);
+
+/// EnumeratePrunedPlacements + BuildPlacementSet in one call.
+PlacementSet EnumeratePrunedPlacementSet(const Fabric& fabric,
+                                         const ResourceVec& req,
+                                         std::size_t max_placements);
+
 /// Backtracking engine under FindFloorplan and FloorplanCache: solves the
 /// pairwise non-overlap selection over externally owned per-region
-/// candidate lists (one pointer per region, all non-null and non-empty).
-/// `result.rects` is indexed like `candidates`. Deterministic: depends
-/// only on the candidate lists, their order and the budget options — not
-/// on wall-clock time unless the time budget fires.
+/// candidate lists (one pointer per region, all non-null and non-empty,
+/// with masks built on `fabric`). `result.rects` is indexed like
+/// `candidates`. Deterministic: depends only on the candidate lists,
+/// their order and the budget options — not on wall-clock time unless
+/// the time budget fires.
 FloorplanResult SolveFloorplanFeasibility(
     const Fabric& fabric,
-    const std::vector<const std::vector<Rect>*>& candidates,
+    const std::vector<const PlacementSet*>& candidates,
     const FloorplanOptions& options);
 
 /// Optimizing variant: among floorplans found within the budget, keeps the

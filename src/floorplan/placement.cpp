@@ -49,7 +49,10 @@ std::vector<Rect> EnumerateFeasiblePlacements(const Fabric& fabric,
       for (std::size_t row0 = 0; row0 + h <= rows; ++row0) {
         RESCHED_DCHECK_MSG(row0 + h <= rows,
                            "placement extends past the fabric rows");
-        out.push_back(Rect{col0, row0, width, h});
+        // Enumeration is memoized per requirement (FloorplanCache), so
+        // this append sits off the restart hot path.
+        out.push_back(  // resched-lint: allow(reserve-before-push-hot)
+            Rect{col0, row0, width, h});
         if (max_placements != 0 && out.size() >= max_placements) return out;
       }
     }

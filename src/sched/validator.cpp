@@ -2,14 +2,56 @@
 
 #include <algorithm>
 #include <map>
+#include <utility>
 
 #include "sched/comm.hpp"
 #include "util/check.hpp"
 #include "util/string_util.hpp"
+#include "util/timeline.hpp"
 
 namespace resched {
 
 namespace {
+
+/// Bit budget of the exclusivity-proof timeline. Ticks are mapped onto at
+/// most this many buckets (bucket = tick >> shift), so the proof costs a
+/// bounded number of words regardless of the schedule horizon.
+constexpr std::size_t kFastScanBits = 4096;
+
+/// Occupies every slot's outward-rounded [start, end) on a shared bucketed
+/// bit timeline. Returns true when that *proves* the adjacent-pair
+/// interval scan would report nothing: all slots are representable
+/// (non-negative start, strictly positive length) and their bucket covers
+/// are pairwise disjoint — covers are supersets of the slots, so disjoint
+/// covers imply disjoint slots at full tick precision. Returns false on
+/// any bucket clash (real overlap or mere shared boundary bucket) or on an
+/// unrepresentable slot — the caller then runs the interval scan, whose
+/// messages stay byte-identical.
+///
+/// Why empty slots force the fallback: [3,8) and [5,5) occupy no common
+/// tick, yet the sorted scan reports "end 8 > start 5". The bit proof is
+/// only used where it implies the scan's verdict exactly.
+template <typename SlotT>
+bool ProvablyDisjoint(const std::vector<const SlotT*>& slots,
+                      timeline::BitTimeline& tl) {
+  if (slots.size() < 2) return true;
+  TimeT horizon = 0;
+  for (const SlotT* s : slots) {
+    if (s->start < 0 || s->end <= s->start) return false;
+    horizon = std::max(horizon, s->end);
+  }
+  std::size_t shift = 0;
+  while ((static_cast<std::size_t>(horizon) >> shift) > kFastScanBits) {
+    ++shift;
+  }
+  tl.ResizeAndClear((static_cast<std::size_t>(horizon) >> shift) + 1);
+  for (const SlotT* s : slots) {
+    const auto lo = static_cast<std::size_t>(s->start) >> shift;
+    const auto hi = (static_cast<std::size_t>(s->end - 1) >> shift) + 1;
+    if (tl.TestAndSet(lo, hi)) return false;
+  }
+  return true;
+}
 
 void CheckNoOverlap(const std::vector<const TaskSlot*>& slots,
                     const std::string& what,
@@ -131,26 +173,41 @@ ValidationResult ValidateSchedule(const Instance& instance,
     }
   }
 
-  // ---- V4: processor exclusivity.
-  for (std::size_t p = 0; p < platform.NumProcessors(); ++p) {
-    std::vector<const TaskSlot*> on_core;
-    for (const TaskSlot& slot : schedule.task_slots) {
-      if (!slot.OnFpga() && slot.target_index == p) on_core.push_back(&slot);
+  // One bucketing pass replaces the old per-target rescans of the whole
+  // slot table (V4, V5 and V6 each walked all n slots per target). Bucket
+  // order is schedule order, exactly what the rescans collected; slots on
+  // out-of-range targets were never collected and are already reported by
+  // V2. The bit timeline is the reusable exclusivity-proof scratch.
+  std::vector<std::vector<const TaskSlot*>> on_core(platform.NumProcessors());
+  std::vector<std::vector<const TaskSlot*>> in_region(schedule.regions.size());
+  for (const TaskSlot& slot : schedule.task_slots) {
+    if (slot.OnFpga()) {
+      if (slot.target_index < in_region.size()) {
+        in_region[slot.target_index].push_back(&slot);
+      }
+    } else if (slot.target_index < on_core.size()) {
+      on_core[slot.target_index].push_back(&slot);
     }
-    CheckNoOverlap(on_core, StrFormat("processor %zu", p), result.violations);
+  }
+  timeline::BitTimeline excl_tl;
+
+  // ---- V4: processor exclusivity.
+  for (std::size_t p = 0; p < on_core.size(); ++p) {
+    if (options.fast_scan && ProvablyDisjoint(on_core[p], excl_tl)) continue;
+    CheckNoOverlap(on_core[p], StrFormat("processor %zu", p),
+                   result.violations);
   }
 
   // ---- V5 + region membership consistency.
   for (std::size_t s = 0; s < schedule.regions.size(); ++s) {
-    std::vector<const TaskSlot*> in_region;
-    for (const TaskSlot& slot : schedule.task_slots) {
-      if (slot.OnFpga() && slot.target_index == s) in_region.push_back(&slot);
+    if (!(options.fast_scan && ProvablyDisjoint(in_region[s], excl_tl))) {
+      CheckNoOverlap(in_region[s], StrFormat("region %zu", s),
+                     result.violations);
     }
-    CheckNoOverlap(in_region, StrFormat("region %zu", s), result.violations);
 
     // The region's recorded task list must match the slots assigned to it.
     std::vector<TaskId> from_slots;
-    for (const TaskSlot* slot : in_region) from_slots.push_back(slot->task);
+    for (const TaskSlot* slot : in_region[s]) from_slots.push_back(slot->task);
     std::vector<TaskId> recorded = schedule.regions[s].tasks;
     std::sort(from_slots.begin(), from_slots.end());
     std::sort(recorded.begin(), recorded.end());
@@ -161,6 +218,16 @@ ValidationResult ValidateSchedule(const Instance& instance,
   }
 
   // ---- V6: reconfigurations between consecutive region tasks.
+  // Pre-index reconfigurations by (region, loaded task) in list order, so
+  // the per-pair lookup below is a map probe instead of a rescan of every
+  // reconfiguration. Encounter order is preserved: `found` is the LAST
+  // match and every extra match yields one duplicate message, exactly as
+  // the linear scan produced them.
+  std::map<std::pair<std::size_t, TaskId>, std::vector<const ReconfSlot*>>
+      reconf_index;
+  for (const ReconfSlot& r : schedule.reconfigurations) {
+    reconf_index[{r.region, r.loads_task}].push_back(&r);
+  }
   const ValidationOptions& opt = options;
   for (std::size_t s = 0; s < schedule.regions.size(); ++s) {
     const RegionInfo& region = schedule.regions[s];
@@ -171,17 +238,14 @@ ValidationResult ValidateSchedule(const Instance& instance,
                      static_cast<long long>(expected_reconf)));
     }
 
-    std::vector<const TaskSlot*> in_region;
-    for (const TaskSlot& slot : schedule.task_slots) {
-      if (slot.OnFpga() && slot.target_index == s) in_region.push_back(&slot);
-    }
-    std::sort(in_region.begin(), in_region.end(),
+    std::vector<const TaskSlot*> sorted = in_region[s];
+    std::sort(sorted.begin(), sorted.end(),
               [](const TaskSlot* a, const TaskSlot* b) {
                 return a->start < b->start;
               });
-    for (std::size_t i = 0; i + 1 < in_region.size(); ++i) {
-      const TaskSlot* tin = in_region[i];
-      const TaskSlot* tout = in_region[i + 1];
+    for (std::size_t i = 0; i + 1 < sorted.size(); ++i) {
+      const TaskSlot* tin = sorted[i];
+      const TaskSlot* tout = sorted[i + 1];
       // Guard against impl indices already reported as invalid by V1.
       if (tin->impl_index >= graph.GetTask(tin->task).impls.size() ||
           tout->impl_index >= graph.GetTask(tout->task).impls.size()) {
@@ -195,15 +259,14 @@ ValidationResult ValidateSchedule(const Instance& instance,
                                impl_in.module_id == impl_out.module_id;
       // Find the reconfiguration that loads tout in region s.
       const ReconfSlot* found = nullptr;
-      for (const ReconfSlot& r : schedule.reconfigurations) {
-        if (r.region == s && r.loads_task == tout->task) {
-          if (found != nullptr) {
-            fail(StrFormat("duplicate reconfiguration for task %d in region "
-                           "%zu",
-                           tout->task, s));
-          }
-          found = &r;
+      if (const auto it = reconf_index.find({s, tout->task});
+          it != reconf_index.end()) {
+        for (std::size_t m = 1; m < it->second.size(); ++m) {
+          fail(StrFormat("duplicate reconfiguration for task %d in region "
+                         "%zu",
+                         tout->task, s));
         }
+        found = it->second.back();
       }
       if (found == nullptr) {
         if (!(opt.allow_module_reuse && same_module)) {
@@ -242,12 +305,15 @@ ValidationResult ValidateSchedule(const Instance& instance,
   }
 
   // ---- V7: controller exclusivity (per controller; the paper's model
-  // has exactly one).
-  for (std::size_t c = 0; c < platform.NumReconfigurators(); ++c) {
-    std::vector<const ReconfSlot*> sorted;
-    for (const ReconfSlot& r : schedule.reconfigurations) {
-      if (r.controller == c) sorted.push_back(&r);
-    }
+  // has exactly one). Same bucket-then-prove structure as V4/V5.
+  std::vector<std::vector<const ReconfSlot*>> on_ctrl(
+      platform.NumReconfigurators());
+  for (const ReconfSlot& r : schedule.reconfigurations) {
+    if (r.controller < on_ctrl.size()) on_ctrl[r.controller].push_back(&r);
+  }
+  for (std::size_t c = 0; c < on_ctrl.size(); ++c) {
+    if (options.fast_scan && ProvablyDisjoint(on_ctrl[c], excl_tl)) continue;
+    std::vector<const ReconfSlot*> sorted = on_ctrl[c];
     std::sort(sorted.begin(), sorted.end(),
               [](const ReconfSlot* a, const ReconfSlot* b) {
                 return a->start < b->start;

@@ -53,6 +53,13 @@ struct ValidationOptions {
   /// Region fault windows: no task slot or reconfiguration may overlap
   /// [start, end) on the named region (V11).
   std::vector<RegionOutage> outages;
+  /// Prove exclusivity (V4/V5/V7) with a word-packed bit timeline and skip
+  /// the sort-and-scan when a target is provably clash-free. Violations and
+  /// their messages are byte-identical either way: any bucket clash — or
+  /// any slot the bit proof cannot represent (negative start,
+  /// empty/backwards interval) — falls back to the full interval scan.
+  /// Off exists for differential testing.
+  bool fast_scan = true;
 };
 
 struct ValidationResult {

@@ -20,12 +20,66 @@ TimingContext::TimingContext(const TaskGraph& graph)
       release_(graph.NumTasks(), 0),
       extra_out_(graph.NumTasks()),
       extra_in_(graph.NumTasks()),
-      visit_stamp_(graph.NumTasks(), 0) {}
+      visit_stamp_(graph.NumTasks(), 0) {
+  // Flatten the base graph into CSR once; the topology never changes over
+  // the context's lifetime, only the gap weights do.
+  const std::size_t n = graph.NumTasks();
+  pred_off_.resize(n + 1, 0);
+  succ_off_.resize(n + 1, 0);
+  std::size_t edges = 0;
+  for (std::size_t t = 0; t < n; ++t) {
+    edges += graph.Predecessors(static_cast<TaskId>(t)).size();
+  }
+  pred_task_.reserve(edges);
+  succ_task_.reserve(edges);
+  for (std::size_t t = 0; t < n; ++t) {
+    pred_off_[t] = pred_task_.size();
+    for (const TaskId p : graph.Predecessors(static_cast<TaskId>(t))) {
+      pred_task_.push_back(p);
+    }
+  }
+  pred_off_[n] = pred_task_.size();
+  for (std::size_t t = 0; t < n; ++t) {
+    succ_off_[t] = succ_task_.size();
+    for (const TaskId s : graph.Successors(static_cast<TaskId>(t))) {
+      succ_task_.push_back(s);
+    }
+  }
+  succ_off_[n] = succ_task_.size();
+  pred_gap_.assign(pred_task_.size(), 0);
+  succ_gap_.assign(succ_task_.size(), 0);
+}
+
+void TimingContext::WriteCsrGap(TaskId from, TaskId to, TimeT gap) {
+  const auto fi = static_cast<std::size_t>(from);
+  const auto ti = static_cast<std::size_t>(to);
+  for (std::size_t e = pred_off_[ti]; e < pred_off_[ti + 1]; ++e) {
+    if (pred_task_[e] == from) {
+      pred_gap_[e] = gap;
+      break;
+    }
+  }
+  for (std::size_t e = succ_off_[fi]; e < succ_off_[fi + 1]; ++e) {
+    if (succ_task_[e] == to) {
+      succ_gap_[e] = gap;
+      break;
+    }
+  }
+  if (gap != 0) have_base_gaps_ = true;
+}
+
+void TimingContext::ClearCsrGaps() {
+  if (!have_base_gaps_) return;
+  std::fill(pred_gap_.begin(), pred_gap_.end(), TimeT{0});
+  std::fill(succ_gap_.begin(), succ_gap_.end(), TimeT{0});
+  have_base_gaps_ = false;
+}
 
 void TimingContext::Reset() {
   std::fill(exec_.begin(), exec_.end(), TimeT{0});
   std::fill(release_.begin(), release_.end(), TimeT{0});
   base_gaps_.clear();
+  ClearCsrGaps();
   extra_.clear();
   for (auto& out : extra_out_) out.clear();
   for (auto& in : extra_in_) in.clear();
@@ -53,9 +107,10 @@ bool TimingContext::Reaches(TaskId from, TaskId to) const {
   dfs_stack_.push_back(from);
   visit_stamp_[static_cast<std::size_t>(from)] = stamp_;
   while (!dfs_stack_.empty()) {
-    const TaskId u = dfs_stack_.back();
+    const auto ui = static_cast<std::size_t>(dfs_stack_.back());
     dfs_stack_.pop_back();
-    for (const TaskId v : graph_->Successors(u)) {
+    for (std::size_t e = succ_off_[ui]; e < succ_off_[ui + 1]; ++e) {
+      const TaskId v = succ_task_[e];
       if (v == to) return true;
       auto& seen = visit_stamp_[static_cast<std::size_t>(v)];
       if (seen != stamp_) {
@@ -63,7 +118,7 @@ bool TimingContext::Reaches(TaskId from, TaskId to) const {
         dfs_stack_.push_back(v);
       }
     }
-    for (const std::size_t e : extra_out_[static_cast<std::size_t>(u)]) {
+    for (const std::size_t e : extra_out_[ui]) {
       const TaskId v = extra_[e].to;
       if (v == to) return true;
       auto& seen = visit_stamp_[static_cast<std::size_t>(v)];
@@ -117,6 +172,8 @@ void TimingContext::SetBaseEdgeGap(TaskId from, TaskId to, TimeT gap) {
   } else {
     base_gaps_.insert(it, {key, gap});
   }
+  WriteCsrGap(from, to, gap);
+  have_base_gaps_ = !base_gaps_.empty();
   dirty_ = true;
 }
 
@@ -132,10 +189,12 @@ void TimingContext::AssignBaseEdgeGaps(
     const std::vector<std::pair<std::pair<TaskId, TaskId>, TimeT>>& gaps) {
   base_gaps_.assign(gaps.begin(), gaps.end());
   std::sort(base_gaps_.begin(), base_gaps_.end());
+  ClearCsrGaps();
   for (const auto& [key, gap] : base_gaps_) {
     RESCHED_CHECK_MSG(gap >= 0, "negative base edge gap");
     RESCHED_CHECK_MSG(graph_->HasEdge(key.first, key.second),
                       "AssignBaseEdgeGaps on a missing edge");
+    WriteCsrGap(key.first, key.second, gap);
   }
   dirty_ = true;
 }
@@ -144,8 +203,7 @@ const std::vector<TaskId>& TimingContext::CombinedTopologicalOrderRef() const {
   const std::size_t n = exec_.size();
   kahn_indegree_.resize(n);
   for (std::size_t t = 0; t < n; ++t) {
-    kahn_indegree_[t] = graph_->Predecessors(static_cast<TaskId>(t)).size() +
-                        extra_in_[t].size();
+    kahn_indegree_[t] = (pred_off_[t + 1] - pred_off_[t]) + extra_in_[t].size();
   }
   // Kahn's algorithm with the order vector doubling as the FIFO queue.
   kahn_order_.clear();
@@ -153,13 +211,14 @@ const std::vector<TaskId>& TimingContext::CombinedTopologicalOrderRef() const {
     if (kahn_indegree_[t] == 0) kahn_order_.push_back(static_cast<TaskId>(t));
   }
   for (std::size_t head = 0; head < kahn_order_.size(); ++head) {
-    const TaskId t = kahn_order_[head];
-    for (const TaskId s : graph_->Successors(t)) {
+    const auto ti = static_cast<std::size_t>(kahn_order_[head]);
+    for (std::size_t e = succ_off_[ti]; e < succ_off_[ti + 1]; ++e) {
+      const TaskId s = succ_task_[e];
       if (--kahn_indegree_[static_cast<std::size_t>(s)] == 0) {
         kahn_order_.push_back(s);
       }
     }
-    for (const std::size_t e : extra_out_[static_cast<std::size_t>(t)]) {
+    for (const std::size_t e : extra_out_[ti]) {
       const TaskId s = extra_[e].to;
       if (--kahn_indegree_[static_cast<std::size_t>(s)] == 0) {
         kahn_order_.push_back(s);
@@ -192,14 +251,16 @@ void TimingContext::Recompute() const {
   windows_.latest_finish.assign(n, 0);
   windows_.critical.assign(n, false);
 
-  // Forward sweep: T_MIN.
+  // Forward sweep: T_MIN. The CSR gap arrays are all-zero unless the
+  // communication-overhead extension is active, so the common case is a
+  // pure `es[p] + exec[p]` reduction over a contiguous slice.
   auto& es = windows_.earliest_start;
   for (const TaskId t : order) {
     const auto ti = static_cast<std::size_t>(t);
     TimeT start = release_[ti];
-    for (const TaskId p : graph_->Predecessors(t)) {
-      const auto pi = static_cast<std::size_t>(p);
-      start = std::max(start, es[pi] + exec_[pi] + BaseEdgeGap(p, t));
+    for (std::size_t e = pred_off_[ti]; e < pred_off_[ti + 1]; ++e) {
+      const auto pi = static_cast<std::size_t>(pred_task_[e]);
+      start = std::max(start, es[pi] + exec_[pi] + pred_gap_[e]);
     }
     for (const std::size_t e : extra_in_[ti]) {
       const auto pi = static_cast<std::size_t>(extra_[e].from);
@@ -218,21 +279,23 @@ void TimingContext::Recompute() const {
   auto& lf = windows_.latest_finish;
   lf.assign(n, makespan);
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
-    const TaskId t = *it;
-    const auto ti = static_cast<std::size_t>(t);
-    for (const TaskId s : graph_->Successors(t)) {
-      const auto si = static_cast<std::size_t>(s);
-      lf[ti] = std::min(lf[ti], lf[si] - exec_[si] - BaseEdgeGap(t, s));
+    const auto ti = static_cast<std::size_t>(*it);
+    TimeT finish = lf[ti];
+    for (std::size_t e = succ_off_[ti]; e < succ_off_[ti + 1]; ++e) {
+      const auto si = static_cast<std::size_t>(succ_task_[e]);
+      finish = std::min(finish, lf[si] - exec_[si] - succ_gap_[e]);
     }
     for (const std::size_t e : extra_out_[ti]) {
       const auto si = static_cast<std::size_t>(extra_[e].to);
-      lf[ti] = std::min(lf[ti], lf[si] - exec_[si] - extra_[e].gap);
+      finish = std::min(finish, lf[si] - exec_[si] - extra_[e].gap);
     }
+    lf[ti] = finish;
   }
 
   for (std::size_t t = 0; t < n; ++t) {
     windows_.critical[t] = (lf[t] - es[t] == exec_[t]);
   }
+  ++version_;
   dirty_ = false;
 }
 

@@ -21,6 +21,7 @@
 // buffers — after warm-up, no call here allocates (see DESIGN.md §8).
 #pragma once
 
+#include <cstdint>
 #include <utility>
 #include <vector>
 
@@ -96,6 +97,14 @@ class TimingContext {
   const TimeWindows& Windows() const;
   TimeT Makespan() const { return Windows().makespan; }
 
+  /// Monotonic stamp of the current windows (bumped on every recompute,
+  /// never reset): callers caching window-derived state compare stamps to
+  /// detect staleness. Forces the lazy recompute first.
+  std::uint64_t WindowsVersion() const {
+    Windows();
+    return version_;
+  }
+
   /// Topological order over base + extra edges (by value; see
   /// CombinedTopologicalOrderRef for the allocation-free variant).
   std::vector<TaskId> CombinedTopologicalOrder() const;
@@ -108,6 +117,10 @@ class TimingContext {
   void Recompute() const;
   /// True when a path `from` ~> `to` exists over base + extra edges.
   bool Reaches(TaskId from, TaskId to) const;
+  /// Mirrors one base-gap table entry into the CSR gap arrays.
+  void WriteCsrGap(TaskId from, TaskId to, TimeT gap);
+  /// Zeroes the CSR gap arrays iff any entry may be non-zero.
+  void ClearCsrGaps();
 
   const TaskGraph* graph_;
   std::vector<TimeT> exec_;
@@ -115,6 +128,20 @@ class TimingContext {
   /// Sparse base-edge gap table, sorted by (from, to); nearly always empty
   /// (only the communication-overhead extension populates it).
   std::vector<std::pair<std::pair<TaskId, TaskId>, TimeT>> base_gaps_;
+  // Flat CSR image of the base graph, built once at construction. The CPM
+  // sweeps are the scheduler's innermost loop (they rerun after every
+  // ordering mutation), so they walk these contiguous arrays instead of
+  // chasing per-task adjacency vectors and doing a gap lookup per edge.
+  // `pred_gap_`/`succ_gap_` mirror base_gaps_ entry-for-entry and are all
+  // zero whenever base_gaps_ is empty (the common case).
+  std::vector<std::size_t> pred_off_;  // n + 1
+  std::vector<std::size_t> succ_off_;  // n + 1
+  std::vector<TaskId> pred_task_;
+  std::vector<TaskId> succ_task_;
+  std::vector<TimeT> pred_gap_;
+  std::vector<TimeT> succ_gap_;
+  /// True while any CSR gap slot may be non-zero (cleared lazily on Reset).
+  bool have_base_gaps_ = false;
   std::vector<OrderingEdge> extra_;
   // Extra-edge adjacency for fast sweeps.
   std::vector<std::vector<std::size_t>> extra_out_;
@@ -128,6 +155,7 @@ class TimingContext {
   mutable std::vector<TaskId> dfs_stack_;
 
   mutable TimeWindows windows_;
+  mutable std::uint64_t version_ = 0;
   mutable bool dirty_ = true;
 };
 

@@ -41,9 +41,10 @@ class Rng {
   /// Bernoulli draw with probability p of returning true.
   bool Bernoulli(double p);
 
-  /// Fisher-Yates shuffle, reproducible across platforms.
-  template <typename T>
-  void Shuffle(std::vector<T>& v) {
+  /// Fisher-Yates shuffle, reproducible across platforms. Accepts any
+  /// random-access container (std::vector with any allocator).
+  template <typename Container>
+  void Shuffle(Container& v) {
     for (std::size_t i = v.size(); i > 1; --i) {
       const auto j = static_cast<std::size_t>(
           UniformInt(0, static_cast<std::int64_t>(i) - 1));

@@ -1,0 +1,288 @@
+// Word-packed bitset timeline kernels (the ISSUE-6 hot-path library).
+//
+// The scheduler's feasibility scans all reduce to the same primitive: a set
+// of half-open index ranges over a bounded axis (time buckets, fabric
+// cells), asked either "is any index in [begin, end) occupied?" or "occupy
+// [begin, end)". These kernels pack the axis into 64-bit words so one AND
+// or OR touches 64 indices; the floorplan DFS clash test, the PA region
+// availability prefilter and the validator overlap scan all share them.
+//
+// Layout: bit i of the axis lives in words[i / 64], bit position i % 64.
+// Every kernel takes raw word pointers so callers can carve the storage
+// from an arena or a catalog entry. None of the kernels allocate.
+//
+// `timeline::scalar` mirrors every kernel with a one-bit-at-a-time
+// reference implementation — the oracle for the differential property test
+// (tests/timeline_test.cpp). Keep the two namespaces signature-identical.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace resched::timeline {
+
+inline constexpr std::size_t kWordBits = 64;
+inline constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+/// Number of 64-bit words needed to hold `bits` bits.
+constexpr std::size_t WordsFor(std::size_t bits) {
+  return (bits + kWordBits - 1) / kWordBits;
+}
+
+namespace detail {
+/// Mask with bits [b % 64, 64) set — the head of a range's first word.
+constexpr std::uint64_t HeadMask(std::size_t b) {
+  return ~std::uint64_t{0} << (b % kWordBits);
+}
+/// Mask with bits [0, e % 64] set — the tail of a range's last word,
+/// where `e` is the *inclusive* last bit index.
+constexpr std::uint64_t TailMask(std::size_t e) {
+  return ~std::uint64_t{0} >> (kWordBits - 1 - (e % kWordBits));
+}
+}  // namespace detail
+
+/// Sets every bit in [begin, end).
+inline void RangeSet(std::uint64_t* words, std::size_t begin,
+                     std::size_t end) {
+  if (begin >= end) return;
+  const std::size_t wb = begin / kWordBits;
+  const std::size_t we = (end - 1) / kWordBits;
+  const std::uint64_t head = detail::HeadMask(begin);
+  const std::uint64_t tail = detail::TailMask(end - 1);
+  if (wb == we) {
+    words[wb] |= head & tail;
+    return;
+  }
+  words[wb] |= head;
+  for (std::size_t w = wb + 1; w < we; ++w) words[w] = ~std::uint64_t{0};
+  words[we] |= tail;
+}
+
+/// Clears every bit in [begin, end).
+inline void RangeClear(std::uint64_t* words, std::size_t begin,
+                       std::size_t end) {
+  if (begin >= end) return;
+  const std::size_t wb = begin / kWordBits;
+  const std::size_t we = (end - 1) / kWordBits;
+  const std::uint64_t head = detail::HeadMask(begin);
+  const std::uint64_t tail = detail::TailMask(end - 1);
+  if (wb == we) {
+    words[wb] &= ~(head & tail);
+    return;
+  }
+  words[wb] &= ~head;
+  for (std::size_t w = wb + 1; w < we; ++w) words[w] = 0;
+  words[we] &= ~tail;
+}
+
+/// True when any bit in [begin, end) is set. Empty ranges report false.
+inline bool RangeAny(const std::uint64_t* words, std::size_t begin,
+                     std::size_t end) {
+  if (begin >= end) return false;
+  const std::size_t wb = begin / kWordBits;
+  const std::size_t we = (end - 1) / kWordBits;
+  const std::uint64_t head = detail::HeadMask(begin);
+  const std::uint64_t tail = detail::TailMask(end - 1);
+  if (wb == we) return (words[wb] & head & tail) != 0;
+  if ((words[wb] & head) != 0) return true;
+  for (std::size_t w = wb + 1; w < we; ++w) {
+    if (words[w] != 0) return true;
+  }
+  return (words[we] & tail) != 0;
+}
+
+/// Sets every bit in [begin, end); returns true when any of them was
+/// already set (the occupy-and-detect-clash primitive of the validator).
+inline bool RangeTestAndSet(std::uint64_t* words, std::size_t begin,
+                            std::size_t end) {
+  if (begin >= end) return false;
+  const std::size_t wb = begin / kWordBits;
+  const std::size_t we = (end - 1) / kWordBits;
+  const std::uint64_t head = detail::HeadMask(begin);
+  const std::uint64_t tail = detail::TailMask(end - 1);
+  if (wb == we) {
+    const std::uint64_t mask = head & tail;
+    const bool clash = (words[wb] & mask) != 0;
+    words[wb] |= mask;
+    return clash;
+  }
+  bool clash = (words[wb] & head) != 0;
+  words[wb] |= head;
+  for (std::size_t w = wb + 1; w < we; ++w) {
+    clash |= words[w] != 0;
+    words[w] = ~std::uint64_t{0};
+  }
+  clash |= (words[we] & tail) != 0;
+  words[we] |= tail;
+  return clash;
+}
+
+/// Index of the first set bit in [begin, end), or kNpos when none.
+inline std::size_t FindFirstSet(const std::uint64_t* words, std::size_t begin,
+                                std::size_t end) {
+  if (begin >= end) return kNpos;
+  const std::size_t wb = begin / kWordBits;
+  const std::size_t we = (end - 1) / kWordBits;
+  std::uint64_t mask = detail::HeadMask(begin);
+  for (std::size_t w = wb; w <= we; ++w) {
+    std::uint64_t v = words[w] & mask;
+    if (w == we) v &= detail::TailMask(end - 1);
+    if (v != 0) {
+      return w * kWordBits + static_cast<std::size_t>(std::countr_zero(v));
+    }
+    mask = ~std::uint64_t{0};
+  }
+  return kNpos;
+}
+
+/// First index i >= from with i + len <= num_bits and [i, i + len) all
+/// clear, or kNpos when no such gap exists. Zero-length requests fit at
+/// `from` whenever from <= num_bits. Skips straight past each blocking
+/// set bit rather than sliding one position at a time.
+inline std::size_t FirstFitGap(const std::uint64_t* words,
+                               std::size_t num_bits, std::size_t from,
+                               std::size_t len) {
+  if (len == 0) return from <= num_bits ? from : kNpos;
+  std::size_t i = from;
+  while (i + len <= num_bits && i + len > i) {  // second clause: overflow
+    const std::size_t blocker = FindFirstSet(words, i, i + len);
+    if (blocker == kNpos) return i;
+    i = blocker + 1;
+  }
+  return kNpos;
+}
+
+/// True when the two word arrays share any set bit.
+inline bool AnyIntersect(const std::uint64_t* a, const std::uint64_t* b,
+                         std::size_t words) {
+  std::uint64_t acc = 0;
+  for (std::size_t w = 0; w < words; ++w) acc |= a[w] & b[w];
+  return acc != 0;
+}
+
+/// dst |= src, word-wise.
+inline void OrInto(std::uint64_t* dst, const std::uint64_t* src,
+                   std::size_t words) {
+  for (std::size_t w = 0; w < words; ++w) dst[w] |= src[w];
+}
+
+/// dst = a | b, word-wise (the DFS "occupancy at depth+1" update).
+inline void OrImage(std::uint64_t* dst, const std::uint64_t* a,
+                    const std::uint64_t* b, std::size_t words) {
+  for (std::size_t w = 0; w < words; ++w) dst[w] = a[w] | b[w];
+}
+
+// One-bit-at-a-time reference implementations. Deliberately naive: the
+// property test trusts these, so keep them obviously correct.
+namespace scalar {
+
+inline bool TestBit(const std::uint64_t* words, std::size_t i) {
+  return (words[i / kWordBits] >> (i % kWordBits)) & 1u;
+}
+
+inline void SetBit(std::uint64_t* words, std::size_t i) {
+  words[i / kWordBits] |= std::uint64_t{1} << (i % kWordBits);
+}
+
+inline void ClearBit(std::uint64_t* words, std::size_t i) {
+  words[i / kWordBits] &= ~(std::uint64_t{1} << (i % kWordBits));
+}
+
+inline void RangeSet(std::uint64_t* words, std::size_t begin,
+                     std::size_t end) {
+  for (std::size_t i = begin; i < end; ++i) SetBit(words, i);
+}
+
+inline void RangeClear(std::uint64_t* words, std::size_t begin,
+                       std::size_t end) {
+  for (std::size_t i = begin; i < end; ++i) ClearBit(words, i);
+}
+
+inline bool RangeAny(const std::uint64_t* words, std::size_t begin,
+                     std::size_t end) {
+  for (std::size_t i = begin; i < end; ++i) {
+    if (TestBit(words, i)) return true;
+  }
+  return false;
+}
+
+inline bool RangeTestAndSet(std::uint64_t* words, std::size_t begin,
+                            std::size_t end) {
+  bool clash = false;
+  for (std::size_t i = begin; i < end; ++i) {
+    clash |= TestBit(words, i);
+    SetBit(words, i);
+  }
+  return clash;
+}
+
+inline std::size_t FindFirstSet(const std::uint64_t* words, std::size_t begin,
+                                std::size_t end) {
+  for (std::size_t i = begin; i < end; ++i) {
+    if (TestBit(words, i)) return i;
+  }
+  return kNpos;
+}
+
+inline std::size_t FirstFitGap(const std::uint64_t* words,
+                               std::size_t num_bits, std::size_t from,
+                               std::size_t len) {
+  if (len == 0) return from <= num_bits ? from : kNpos;
+  for (std::size_t i = from; i + len <= num_bits && i + len > i; ++i) {
+    if (!RangeAny(words, i, i + len)) return i;
+  }
+  return kNpos;
+}
+
+inline bool AnyIntersect(const std::uint64_t* a, const std::uint64_t* b,
+                         std::size_t words) {
+  for (std::size_t i = 0; i < words * kWordBits; ++i) {
+    if (TestBit(a, i) && TestBit(b, i)) return true;
+  }
+  return false;
+}
+
+}  // namespace scalar
+
+/// Owning, resizable bit axis over the kernels — the convenience wrapper
+/// the validator and PaScratch embed. Reset()/ClearAll() keep capacity.
+class BitTimeline {
+ public:
+  std::size_t NumBits() const { return bits_; }
+  std::size_t NumWords() const { return words_.size(); }
+  const std::uint64_t* data() const { return words_.data(); }
+  std::uint64_t* data() { return words_.data(); }
+
+  /// Resizes to `bits` and clears everything (capacity persists).
+  void ResizeAndClear(std::size_t bits) {
+    bits_ = bits;
+    words_.assign(WordsFor(bits), 0);
+  }
+
+  void ClearAll() { std::fill(words_.begin(), words_.end(), 0); }
+
+  void Set(std::size_t begin, std::size_t end) {
+    RangeSet(words_.data(), begin, end);
+  }
+  void Clear(std::size_t begin, std::size_t end) {
+    RangeClear(words_.data(), begin, end);
+  }
+  bool Any(std::size_t begin, std::size_t end) const {
+    return RangeAny(words_.data(), begin, end);
+  }
+  bool TestAndSet(std::size_t begin, std::size_t end) {
+    return RangeTestAndSet(words_.data(), begin, end);
+  }
+  std::size_t FirstFit(std::size_t from, std::size_t len) const {
+    return FirstFitGap(words_.data(), bits_, from, len);
+  }
+
+ private:
+  std::size_t bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace resched::timeline

@@ -1,0 +1,77 @@
+// MonotonicArena / ArenaAllocator unit tests (util/arena.hpp).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+
+#include "util/arena.hpp"
+
+namespace resched {
+namespace {
+
+TEST(ArenaTest, BumpAllocationAndAlignment) {
+  MonotonicArena arena(/*initial_bytes=*/256);
+  void* a = arena.Allocate(3, 1);
+  void* b = arena.Allocate(8, 8);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % 8, 0u);
+  EXPECT_EQ(arena.NumSlabs(), 1u);
+  EXPECT_GE(arena.BytesUsed(), 11u);
+}
+
+TEST(ArenaTest, LifoDeallocateReclaims) {
+  MonotonicArena arena(256);
+  (void)arena.Allocate(16, 8);
+  const std::size_t before = arena.BytesUsed();
+  void* top = arena.Allocate(32, 8);
+  arena.Deallocate(top, 32);
+  EXPECT_EQ(arena.BytesUsed(), before);  // top block came back
+  void* mid = arena.Allocate(32, 8);
+  (void)arena.Allocate(8, 8);
+  const std::size_t high = arena.BytesUsed();
+  arena.Deallocate(mid, 32);  // not the top: no-op until Rewind
+  EXPECT_EQ(arena.BytesUsed(), high);
+}
+
+TEST(ArenaTest, GrowsNewSlabsAndRewindCoalesces) {
+  MonotonicArena arena(64);
+  for (int i = 0; i < 20; ++i) (void)arena.Allocate(48, 8);
+  EXPECT_GT(arena.NumSlabs(), 1u);
+  const std::size_t capacity = arena.Capacity();
+  arena.Rewind();
+  EXPECT_EQ(arena.NumSlabs(), 1u);
+  EXPECT_EQ(arena.BytesUsed(), 0u);
+  EXPECT_GE(arena.Capacity(), capacity);  // high-water capacity persists
+  // The whole former working set now fits in the coalesced slab.
+  for (int i = 0; i < 20; ++i) (void)arena.Allocate(48, 8);
+  EXPECT_EQ(arena.NumSlabs(), 1u);
+}
+
+TEST(ArenaTest, ArenaVecBehavesLikeVector) {
+  MonotonicArena arena;
+  ArenaVec<int> v{ArenaAllocator<int>(arena)};
+  for (int i = 0; i < 1000; ++i) v.push_back(i);
+  EXPECT_EQ(std::accumulate(v.begin(), v.end(), 0), 999 * 1000 / 2);
+  const std::size_t cap = v.capacity();
+  v.clear();
+  EXPECT_EQ(v.capacity(), cap);  // clear keeps the arena block
+  ArenaVec<int> w{ArenaAllocator<int>(arena)};
+  w.assign(100, 7);
+  v.swap(w);  // equal allocators: swap is legal and cheap
+  EXPECT_EQ(v.size(), 100u);
+  EXPECT_EQ(w.size(), 0u);
+  ArenaVec<int> moved = std::move(v);
+  EXPECT_EQ(moved.size(), 100u);
+  EXPECT_EQ(moved[99], 7);
+}
+
+TEST(ArenaTest, AllocationsLargerThanSlabWork) {
+  MonotonicArena arena(32);
+  void* big = arena.Allocate(10'000, 64);
+  ASSERT_NE(big, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(big) % 64, 0u);
+}
+
+}  // namespace
+}  // namespace resched

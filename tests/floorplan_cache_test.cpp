@@ -254,13 +254,17 @@ TEST(FloorplanCacheTest, PlacementCatalogIsShared) {
   EXPECT_EQ(first.get(), second.get());  // same memoized object
   const Fabric fabric(device);
   const std::vector<Rect> direct = EnumeratePrunedPlacements(fabric, req, 4096);
-  ASSERT_EQ(first->size(), direct.size());
+  ASSERT_EQ(first->rects.size(), direct.size());
   for (std::size_t i = 0; i < direct.size(); ++i) {
-    EXPECT_EQ((*first)[i].col0, direct[i].col0);
-    EXPECT_EQ((*first)[i].row0, direct[i].row0);
-    EXPECT_EQ((*first)[i].width, direct[i].width);
-    EXPECT_EQ((*first)[i].height, direct[i].height);
+    EXPECT_EQ(first->rects[i].col0, direct[i].col0);
+    EXPECT_EQ(first->rects[i].row0, direct[i].row0);
+    EXPECT_EQ(first->rects[i].width, direct[i].width);
+    EXPECT_EQ(first->rects[i].height, direct[i].height);
   }
+  // Masks must agree with the rectangles they cover.
+  const PlacementSet rebuilt = BuildPlacementSet(fabric, direct);
+  EXPECT_EQ(first->mask_words, rebuilt.mask_words);
+  EXPECT_EQ(first->masks, rebuilt.masks);
   EXPECT_GE(cache.Stats().catalog_hits, 1u);
 }
 

@@ -62,12 +62,25 @@ void drop(int fd) {
   close(fd);
 }
 EOF
+mkdir -p "$TMP/src/floorplan"
+cat > "$TMP/src/floorplan/hot.cpp" <<'EOF'
+#include <vector>
+std::vector<bool> flags;
+std::vector<int> collect(int n) {
+  std::vector<int> out;
+  for (int i = 0; i < n; ++i) {
+    out.push_back(i);
+  }
+  return out;
+}
+EOF
 
 out=$("$PYTHON" "$LINT" --root "$TMP") && fail "seeded violations not detected"
 for rule in no-std-rand no-wall-clock-seed no-argless-random-device \
     no-unordered-in-output pragma-once include-cycle no-naked-new \
     no-silent-catch no-adhoc-seed-derivation \
-    no-unchecked-syscall-return; do
+    no-unchecked-syscall-return no-vector-bool-hot \
+    reserve-before-push-hot; do
   echo "$out" | grep -q "\[$rule\]" || fail "rule $rule did not fire"
 done
 
@@ -124,6 +137,33 @@ void logs() {
 EOF
 "$PYTHON" "$LINT" --root "$CLEAN" \
     || fail "no-silent-catch fired on a handled catch-all"
+
+# --- reserved / reused / out-of-scope push_back patterns are acceptable ------
+mkdir -p "$CLEAN/src/floorplan" "$CLEAN/src/sched"
+cat > "$CLEAN/src/floorplan/sized.cpp" <<'EOF'
+#include <vector>
+std::vector<int> reserved(int n) {
+  std::vector<int> out;
+  out.reserve(static_cast<unsigned long>(n));
+  for (int i = 0; i < n; ++i) out.push_back(i);
+  return out;
+}
+void refill(std::vector<int>& scratch, int n) {
+  scratch.clear();  // reuse: capacity persists across calls
+  for (int i = 0; i < n; ++i) scratch.push_back(i);
+}
+EOF
+cat > "$CLEAN/src/sched/cold.cpp" <<'EOF'
+#include <vector>
+std::vector<bool> outside_hot_scope;
+std::vector<int> collect(int n) {
+  std::vector<int> out;
+  for (int i = 0; i < n; ++i) out.push_back(i);
+  return out;
+}
+EOF
+"$PYTHON" "$LINT" --root "$CLEAN" \
+    || fail "hot-path rules fired on sanctioned usage"
 
 # --- checked / deliberately-voided syscalls are acceptable --------------------
 # Also: the rule is scoped to the service layer, so statement-position

@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
-# Perf smoke for the PA-R restart hot path, run by ctest in Release builds:
-# executes bench/micro_restart with a small fixed iteration cap and fails
-# when the reuse+cache restart rate at 8 threads regresses more than 30%
-# below the committed floor (tests/perf_baseline.txt). micro_restart itself
-# aborts on any cross-mode makespan mismatch, so this gate also re-proves
+# Perf smoke for the ISSUE-6 hot paths, run by ctest in Release builds:
+# executes bench/micro_restart and bench/micro_validate with a small fixed
+# iteration cap and fails when the reuse+cache restart rate at 8 threads,
+# or the bitset-scan validation rate, regresses more than 30% below the
+# committed floor (tests/perf_baseline.txt — `validate:` prefix selects
+# the validator floors). Both binaries abort on any fast/reference output
+# disagreement (makespans, violation lists), so this gate also re-proves
 # bit-identity on every CI run.
 #
-# Usage: perf_smoke.sh <micro_restart-binary> <baseline-file> [config]
+# Usage: perf_smoke.sh <micro_restart-binary> <baseline-file> [config] \
+#                      [micro_validate-binary]
 #   RESCHED_PERF_BASELINE  overrides the baseline file (per-machine floors)
 #   RESCHED_PERF_SCALE     overrides the bench scale (default 0.34)
 set -euo pipefail
@@ -14,6 +17,7 @@ set -euo pipefail
 BIN=$1
 BASELINE=${RESCHED_PERF_BASELINE:-$2}
 CONFIG=${3:-Release}
+VALIDATE_BIN=${4:-}
 
 if [[ "$CONFIG" != "Release" ]]; then
   echo "perf_smoke: skipped ($CONFIG build — floors are for Release)"
@@ -32,40 +36,73 @@ RESCHED_BENCH_SCALE=${RESCHED_PERF_SCALE:-0.34} RESCHED_BENCH_OUT="$OUT" \
   exit 1
 }
 
-python3 - "$OUT/micro_restart.csv" "$BASELINE" <<'EOF'
+if [[ -n "$VALIDATE_BIN" ]]; then
+  [[ -x "$VALIDATE_BIN" ]] || {
+    echo "perf_smoke: missing binary $VALIDATE_BIN" >&2; exit 1; }
+  RESCHED_BENCH_SCALE=${RESCHED_PERF_SCALE:-0.34} RESCHED_BENCH_OUT="$OUT" \
+      "$VALIDATE_BIN" > "$OUT/validate_log.txt" || {
+    echo "perf_smoke: micro_validate failed (scan disagreement):" >&2
+    cat "$OUT/validate_log.txt" >&2
+    exit 1
+  }
+fi
+
+python3 - "$OUT" "$BASELINE" <<'EOF'
 import csv
+import os
 import sys
 
-csv_path, baseline_path = sys.argv[1], sys.argv[2]
+out_dir, baseline_path = sys.argv[1], sys.argv[2]
 
-floors = {}
+restart_floors, validate_floors = {}, {}
 with open(baseline_path) as fh:
     for line in fh:
         line = line.split("#", 1)[0].strip()
         if not line:
             continue
         instance, rate = line.split()
-        floors[instance] = float(rate)
+        if instance.startswith("validate:"):
+            validate_floors[instance.removeprefix("validate:")] = float(rate)
+        else:
+            restart_floors[instance] = float(rate)
 
-measured = {}
-with open(csv_path) as fh:
-    for row in csv.DictReader(fh):
-        if row["mode"] == "reuse+cache" and row["threads"] == "8":
-            measured[row["instance"]] = float(row["restarts_per_sec"])
 
-status = 0
-for instance, floor in sorted(floors.items()):
-    rate = measured.get(instance)
-    if rate is None:
-        print(f"perf_smoke: FAIL {instance}: no measurement in {csv_path}")
-        status = 1
-        continue
-    threshold = 0.7 * floor  # 30% regression allowance below the floor
-    verdict = "ok" if rate >= threshold else "FAIL"
-    print(f"perf_smoke: {verdict} {instance}: {rate:.1f} restarts/s "
-          f"(floor {floor:.0f}, threshold {threshold:.1f})")
-    if rate < threshold:
-        status = 1
+def check(csv_path, floors, row_filter, rate_column, unit):
+    if not floors:
+        return 0
+    if not os.path.exists(csv_path):
+        print(f"perf_smoke: FAIL missing {csv_path}")
+        return 1
+    measured = {}
+    with open(csv_path) as fh:
+        for row in csv.DictReader(fh):
+            if row_filter(row):
+                measured[row["instance"]] = float(row[rate_column])
+    status = 0
+    for instance, floor in sorted(floors.items()):
+        rate = measured.get(instance)
+        if rate is None:
+            print(f"perf_smoke: FAIL {instance}: no measurement in {csv_path}")
+            status = 1
+            continue
+        threshold = 0.7 * floor  # 30% regression allowance below the floor
+        verdict = "ok" if rate >= threshold else "FAIL"
+        print(f"perf_smoke: {verdict} {instance}: {rate:.1f} {unit} "
+              f"(floor {floor:.0f}, threshold {threshold:.1f})")
+        if rate < threshold:
+            status = 1
+    return status
+
+
+status = check(
+    os.path.join(out_dir, "micro_restart.csv"), restart_floors,
+    lambda row: row["mode"] == "reuse+cache" and row["threads"] == "8",
+    "restarts_per_sec", "restarts/s")
+if os.path.exists(os.path.join(out_dir, "validate_log.txt")):
+    status |= check(
+        os.path.join(out_dir, "micro_validate.csv"), validate_floors,
+        lambda row: row["scan"] == "bitset",
+        "validations_per_sec", "validations/s")
 sys.exit(status)
 EOF
 

@@ -1,0 +1,166 @@
+// Differential property sweep for the word-packed timeline kernels
+// (util/timeline.hpp): every kernel must agree bit-for-bit with its
+// one-bit-at-a-time reference in timeline::scalar across randomized
+// interval sets, with deliberate pressure on word boundaries (indices
+// near multiples of 64) and zero-length ranges.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/timeline.hpp"
+
+namespace resched {
+namespace {
+
+namespace tl = resched::timeline;
+
+/// Draws an index biased toward word boundaries: half the time a uniform
+/// index, half the time a multiple of 64 plus a small offset in [-2, 2].
+std::size_t BoundaryBiasedIndex(Rng& rng, std::size_t num_bits) {
+  if (rng.UniformInt(0, 1) == 0) {
+    return static_cast<std::size_t>(
+        rng.UniformInt(0, static_cast<std::int64_t>(num_bits)));
+  }
+  const auto words = static_cast<std::int64_t>(num_bits / 64);
+  const std::int64_t base = 64 * rng.UniformInt(0, words);
+  const std::int64_t off = rng.UniformInt(-2, 2);
+  const std::int64_t i = base + off;
+  if (i < 0) return 0;
+  if (i > static_cast<std::int64_t>(num_bits)) return num_bits;
+  return static_cast<std::size_t>(i);
+}
+
+/// Random [begin, end) with begin <= end; occasionally zero-length.
+std::pair<std::size_t, std::size_t> RandomRange(Rng& rng,
+                                                std::size_t num_bits) {
+  std::size_t a = BoundaryBiasedIndex(rng, num_bits);
+  if (rng.UniformInt(0, 9) == 0) return {a, a};  // zero-length
+  std::size_t b = BoundaryBiasedIndex(rng, num_bits);
+  if (a > b) std::swap(a, b);
+  return {a, b};
+}
+
+class TimelineDifferentialSweep
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TimelineDifferentialSweep, KernelsMatchScalarReference) {
+  Rng rng(GetParam());
+  const auto num_bits = static_cast<std::size_t>(rng.UniformInt(1, 700));
+  const std::size_t words = tl::WordsFor(num_bits);
+
+  std::vector<std::uint64_t> fast(words, 0);
+  std::vector<std::uint64_t> ref(words, 0);
+
+  for (int step = 0; step < 400; ++step) {
+    const auto [begin, end] = RandomRange(rng, num_bits);
+    switch (rng.UniformInt(0, 5)) {
+      case 0: {
+        tl::RangeSet(fast.data(), begin, end);
+        tl::scalar::RangeSet(ref.data(), begin, end);
+        break;
+      }
+      case 1: {
+        tl::RangeClear(fast.data(), begin, end);
+        tl::scalar::RangeClear(ref.data(), begin, end);
+        break;
+      }
+      case 2: {
+        EXPECT_EQ(tl::RangeAny(fast.data(), begin, end),
+                  tl::scalar::RangeAny(ref.data(), begin, end))
+            << "RangeAny [" << begin << ", " << end << ")";
+        break;
+      }
+      case 3: {
+        EXPECT_EQ(tl::RangeTestAndSet(fast.data(), begin, end),
+                  tl::scalar::RangeTestAndSet(ref.data(), begin, end))
+            << "RangeTestAndSet [" << begin << ", " << end << ")";
+        break;
+      }
+      case 4: {
+        EXPECT_EQ(tl::FindFirstSet(fast.data(), begin, end),
+                  tl::scalar::FindFirstSet(ref.data(), begin, end))
+            << "FindFirstSet [" << begin << ", " << end << ")";
+        break;
+      }
+      case 5: {
+        const auto len =
+            static_cast<std::size_t>(rng.UniformInt(0, 130));
+        EXPECT_EQ(tl::FirstFitGap(fast.data(), num_bits, begin, len),
+                  tl::scalar::FirstFitGap(ref.data(), num_bits, begin, len))
+            << "FirstFitGap from=" << begin << " len=" << len;
+        break;
+      }
+    }
+    ASSERT_EQ(fast, ref) << "word images diverged after step " << step;
+  }
+
+  // AnyIntersect against a second randomized set.
+  std::vector<std::uint64_t> other(words, 0);
+  for (int i = 0; i < 20; ++i) {
+    const auto [begin, end] = RandomRange(rng, num_bits);
+    tl::RangeSet(other.data(), begin, end);
+  }
+  EXPECT_EQ(tl::AnyIntersect(fast.data(), other.data(), words),
+            tl::scalar::AnyIntersect(ref.data(), other.data(), words));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TimelineDifferentialSweep,
+                         ::testing::Range<std::uint64_t>(1, 40));
+
+// ------------------------------------------------- deterministic edges
+
+TEST(TimelineTest, EmptyAndFullWordRanges) {
+  std::vector<std::uint64_t> w(3, 0);
+  tl::RangeSet(w.data(), 0, 0);
+  EXPECT_EQ(w, std::vector<std::uint64_t>(3, 0));
+  EXPECT_FALSE(tl::RangeAny(w.data(), 0, 0));
+  EXPECT_FALSE(tl::RangeTestAndSet(w.data(), 64, 64));
+  EXPECT_EQ(tl::FindFirstSet(w.data(), 10, 10), tl::kNpos);
+
+  tl::RangeSet(w.data(), 0, 192);  // exactly three full words
+  EXPECT_EQ(w, std::vector<std::uint64_t>(3, ~std::uint64_t{0}));
+  tl::RangeClear(w.data(), 64, 128);  // clear the exact middle word
+  EXPECT_EQ(w[0], ~std::uint64_t{0});
+  EXPECT_EQ(w[1], 0u);
+  EXPECT_EQ(w[2], ~std::uint64_t{0});
+  EXPECT_EQ(tl::FirstFitGap(w.data(), 192, 0, 64), 64u);
+  EXPECT_EQ(tl::FirstFitGap(w.data(), 192, 0, 65), tl::kNpos);
+}
+
+TEST(TimelineTest, SingleBitStraddlesNoWord) {
+  std::vector<std::uint64_t> w(2, 0);
+  tl::RangeSet(w.data(), 63, 65);  // straddles the 0/1 word boundary
+  EXPECT_EQ(w[0], std::uint64_t{1} << 63);
+  EXPECT_EQ(w[1], std::uint64_t{1});
+  EXPECT_TRUE(tl::RangeAny(w.data(), 64, 128));
+  EXPECT_FALSE(tl::RangeAny(w.data(), 65, 128));
+  EXPECT_EQ(tl::FindFirstSet(w.data(), 0, 128), 63u);
+  EXPECT_EQ(tl::FindFirstSet(w.data(), 64, 128), 64u);
+}
+
+TEST(TimelineTest, FirstFitGapZeroLength) {
+  std::vector<std::uint64_t> w(1, ~std::uint64_t{0});
+  EXPECT_EQ(tl::FirstFitGap(w.data(), 64, 10, 0), 10u);
+  EXPECT_EQ(tl::FirstFitGap(w.data(), 64, 64, 0), 64u);
+  EXPECT_EQ(tl::FirstFitGap(w.data(), 64, 65, 0), tl::kNpos);
+  EXPECT_EQ(tl::FirstFitGap(w.data(), 64, 0, 1), tl::kNpos);
+}
+
+TEST(TimelineTest, BitTimelineWrapper) {
+  tl::BitTimeline t;
+  t.ResizeAndClear(130);
+  EXPECT_EQ(t.NumBits(), 130u);
+  EXPECT_EQ(t.NumWords(), 3u);
+  EXPECT_FALSE(t.TestAndSet(10, 70));
+  EXPECT_TRUE(t.TestAndSet(69, 71));  // bit 69/70 already occupied? 69 yes
+  EXPECT_TRUE(t.Any(0, 130));
+  EXPECT_EQ(t.FirstFit(0, 10), 0u);
+  EXPECT_EQ(t.FirstFit(5, 10), 71u);
+  t.ClearAll();
+  EXPECT_FALSE(t.Any(0, 130));
+}
+
+}  // namespace
+}  // namespace resched

@@ -3,8 +3,12 @@
 // validator pinpoints exactly that violation class.
 #include <gtest/gtest.h>
 
+#include <string>
+#include <utility>
+
 #include "sched/validator.hpp"
 #include "test_helpers.hpp"
+#include "util/rng.hpp"
 
 namespace resched {
 namespace {
@@ -347,6 +351,118 @@ TEST(ValidatorTest, AcceptsValidAttachedFloorplan) {
   ValidationOptions opt;
   opt.require_floorplan = true;
   EXPECT_TRUE(ValidateSchedule(f.instance, f.schedule, opt).ok());
+}
+
+// ---------------------------------------------------------------------------
+// fast_scan differential: the bit-timeline exclusivity proof must change
+// nothing observable. Every corpus entry is validated with fast_scan on and
+// off and the two violation lists must be byte-identical — including order.
+
+/// Runs both scans on `schedule` (plain and executed-mode) and checks the
+/// violation lists match exactly.
+void ExpectScansAgree(const Instance& instance, const Schedule& schedule,
+                      const std::string& label) {
+  for (const bool executed : {false, true}) {
+    ValidationOptions fast;
+    fast.executed = executed;
+    ValidationOptions slow = fast;
+    slow.fast_scan = false;
+    const auto rf = ValidateSchedule(instance, schedule, fast);
+    const auto rs = ValidateSchedule(instance, schedule, slow);
+    EXPECT_EQ(rf.violations, rs.violations)
+        << label << " (executed=" << executed << "):\nfast: " << rf.Summary()
+        << "\nslow: " << rs.Summary();
+  }
+}
+
+TEST(ValidatorTest, FastScanMatchesIntervalScanOnMutationCorpus) {
+  using Mutator = void (*)(Schedule&);
+  const std::pair<const char*, Mutator> corpus[] = {
+      {"valid", [](Schedule&) {}},
+      {"region overlap",
+       [](Schedule& s) {
+         const TimeT len = s.task_slots[1].end - s.task_slots[1].start;
+         s.task_slots[1].start = s.task_slots[0].start + 100;
+         s.task_slots[1].end = s.task_slots[1].start + len;
+       }},
+      {"identical twin slots",
+       [](Schedule& s) { s.task_slots[1] = s.task_slots[0]; }},
+      {"zero-length slot inside another",  // bit proof must fall back
+       [](Schedule& s) {
+         s.task_slots[1].start = s.task_slots[0].start + 5;
+         s.task_slots[1].end = s.task_slots[1].start;
+       }},
+      {"backwards slot",
+       [](Schedule& s) { std::swap(s.task_slots[0].start,
+                                   s.task_slots[0].end); }},
+      {"negative start",
+       [](Schedule& s) {
+         s.task_slots[0].start = -50;
+         s.task_slots[0].end = 950;
+       }},
+      {"huge horizon (coarse proof buckets)",
+       [](Schedule& s) {
+         s.task_slots[2].start = (TimeT{1} << 27);
+         s.task_slots[2].end = (TimeT{1} << 27) + 500;
+       }},
+      {"duplicate reconfiguration",
+       [](Schedule& s) {
+         s.reconfigurations.push_back(s.reconfigurations[0]);
+       }},
+      {"triplicate reconfiguration",
+       [](Schedule& s) {
+         s.reconfigurations.push_back(s.reconfigurations[0]);
+         s.reconfigurations.push_back(s.reconfigurations[0]);
+       }},
+      {"controller overlap",
+       [](Schedule& s) {
+         s.reconfigurations.push_back(s.reconfigurations[0]);
+         s.reconfigurations[1].start += 1;
+         s.reconfigurations[1].end += 1;
+         s.reconfigurations[1].loads_task = 0;
+       }},
+      {"unknown targets",
+       [](Schedule& s) {
+         s.task_slots[1].target_index = 7;   // no such region
+         s.task_slots[2].target_index = 9;   // no such processor
+       }},
+      {"region task list mismatch",
+       [](Schedule& s) { s.regions[0].tasks = {0}; }},
+  };
+  for (const auto& [label, mutate] : corpus) {
+    Fixture f;
+    mutate(f.schedule);
+    ExpectScansAgree(f.instance, f.schedule, label);
+  }
+}
+
+TEST(ValidatorTest, FastScanMatchesIntervalScanUnderRandomJitter) {
+  // Randomly shove every interval around (including into negative, empty
+  // and backwards shapes) and re-check agreement. Each seed exercises a
+  // different mix of clashes, fallbacks and clean proofs.
+  Rng rng(20260808);
+  for (int iter = 0; iter < 300; ++iter) {
+    Fixture f;
+    for (TaskSlot& slot : f.schedule.task_slots) {
+      slot.start += rng.UniformInt(-200, 200);
+      slot.end += rng.UniformInt(-200, 200);
+      if (rng.Bernoulli(0.2)) slot.end = slot.start;  // empty slot
+      if (rng.Bernoulli(0.15)) {                      // force shared targets
+        slot.target_index = 0;
+      }
+    }
+    for (ReconfSlot& r : f.schedule.reconfigurations) {
+      r.start += rng.UniformInt(-200, 200);
+      r.end += rng.UniformInt(-200, 200);
+    }
+    if (rng.Bernoulli(0.3)) {
+      f.schedule.reconfigurations.push_back(f.schedule.reconfigurations[0]);
+      f.schedule.reconfigurations.back().start += rng.UniformInt(-50, 50);
+    }
+    f.schedule.makespan = f.schedule.ComputeMakespan();
+    ExpectScansAgree(f.instance, f.schedule,
+                     "jitter iter " + std::to_string(iter));
+  }
 }
 
 }  // namespace

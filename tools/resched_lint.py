@@ -42,6 +42,17 @@ Rules:
                             discarded at statement position hides partial
                             writes and failed closes from the daemon; check
                             the return or cast to (void) deliberately.
+  no-vector-bool-hot        std::vector<bool> in the scheduling hot path
+                            (src/core/, src/floorplan/): the proxy-reference
+                            bit representation defeats byte indexing and
+                            vectorization; use std::vector<char> or a
+                            word-packed timeline (util/timeline.hpp).
+  reserve-before-push-hot   per-element push_back/emplace_back inside a loop
+                            in src/core/ / src/floorplan/ on a container the
+                            file never reserve()s, resize()s, assign()s or
+                            clear()s reallocates on the hot path; size it
+                            up front, or clear-and-refill a reused buffer
+                            so capacity persists.
 
 Suppress a finding by appending to the offending line:
     // resched-lint: allow(<rule-id>)
@@ -221,6 +232,21 @@ SYSCALL_STMT_RE = re.compile(
     r"|setsockopt|fsync|ftruncate|chmod)\s*\(")
 SYSCALL_SCOPE_PREFIXES = ("src/service/", "src/util/socket")
 
+# Hot-path scheduling code: per-restart cost here is multiplied by the
+# restart count, so representation and allocation discipline are linted.
+HOT_PATH_PREFIXES = ("src/core/", "src/floorplan/")
+
+VECTOR_BOOL_RE = re.compile(r"\bvector\s*<\s*bool\s*>")
+
+LOOP_RE = re.compile(r"\b(?:for|while)\s*\(")
+PUSH_RE = re.compile(
+    r"([A-Za-z_][A-Za-z0-9_]*(?:(?:\.|->)[A-Za-z_][A-Za-z0-9_]*"
+    r"|\[[^][]*\])*)\s*(?:\.|->)\s*(?:push_back|emplace_back)\s*\(")
+# Evidence that the container's capacity is managed deliberately: an
+# up-front reserve/resize/assign, or clear() (the reuse pattern — capacity
+# persists across Reset, so steady-state push_back never reallocates).
+CAPACITY_FNS = r"(?:reserve|resize|assign|clear)"
+
 CATCH_ALL_RE = re.compile(r"\bcatch\s*\(\s*\.\.\.\s*\)")
 # Tokens that make a catch-all handler acceptable: it propagates the
 # failure (throw / rethrow_exception), captures it for someone else
@@ -229,6 +255,58 @@ CATCH_ALL_RE = re.compile(r"\bcatch\s*\(\s*\.\.\.\s*\)")
 CATCH_HANDLED_RE = re.compile(
     r"\bthrow\b|\brethrow_exception\b|\bcurrent_exception\b|\bcerr\b"
     r"|\bLog\w*\s*\(|\bfprintf\s*\(|\bprintf\s*\(|\babort\s*\(")
+
+
+def _matching(text, pos, open_ch, close_ch):
+    """Index just past the delimiter closing text[pos] (== open_ch), or -1."""
+    depth = 0
+    for i in range(pos, len(text)):
+        if text[i] == open_ch:
+            depth += 1
+        elif text[i] == close_ch:
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return -1
+
+
+def lint_unreserved_push(stripped, report):
+    """Flags loop-body push_back/emplace_back on containers whose capacity
+    the file never manages (no reserve/resize/assign/clear on the same
+    expression). Operates on stripped text; nested loops dedupe by line."""
+    seen = set()
+    for m in LOOP_RE.finditer(stripped):
+        paren_open = stripped.find("(", m.start())
+        after_cond = _matching(stripped, paren_open, "(", ")")
+        if after_cond < 0:
+            continue
+        body_start = after_cond
+        while body_start < len(stripped) and stripped[body_start].isspace():
+            body_start += 1
+        if body_start >= len(stripped):
+            continue
+        if stripped[body_start] == "{":
+            body_end = _matching(stripped, body_start, "{", "}")
+        else:  # single-statement loop body
+            body_end = stripped.find(";", body_start) + 1
+        if body_end <= 0:
+            continue
+        body = stripped[body_start:body_end]
+        for pm in PUSH_RE.finditer(body):
+            name = pm.group(1)
+            lineno = stripped.count("\n", 0, body_start + pm.start(1)) + 1
+            if (lineno, name) in seen:
+                continue
+            seen.add((lineno, name))
+            evidence = re.compile(
+                re.escape(name) + r"\s*(?:\.|->)\s*" + CAPACITY_FNS +
+                r"\s*\(")
+            if not evidence.search(stripped):
+                report(
+                    lineno, "reserve-before-push-hot",
+                    f"loop-body push_back on `{name}` with no reserve/"
+                    "resize/assign/clear in this file reallocates on the "
+                    "hot path; size it up front or reuse a cleared buffer")
 
 
 def lint_unchecked_syscalls(stripped, report):
@@ -337,6 +415,12 @@ def lint_file(path, root, findings):
                 "ad-hoc HashCombine seed derivation; use "
                 "DeriveSeed(stream, index) with a named stream tag "
                 "(util/rng.hpp)")
+        if relpath.startswith(HOT_PATH_PREFIXES) and \
+                VECTOR_BOOL_RE.search(line):
+            report(
+                lineno, "no-vector-bool-hot",
+                "std::vector<bool> in hot-path code; use std::vector<char> "
+                "or a word-packed timeline (util/timeline.hpp)")
         if relpath.startswith("src/") and \
                 not relpath.startswith("src/util/"):
             if NAKED_NEW_RE.search(line):
@@ -353,6 +437,8 @@ def lint_file(path, root, findings):
     lint_silent_catches(relpath, stripped, report)
     if relpath.startswith(SYSCALL_SCOPE_PREFIXES):
         lint_unchecked_syscalls(stripped, report)
+    if relpath.startswith(HOT_PATH_PREFIXES):
+        lint_unreserved_push(stripped, report)
 
     if relpath.endswith((".hpp", ".h")):
         if not any(PRAGMA_ONCE_RE.match(l) for l in raw_lines):
@@ -428,7 +514,8 @@ def main(argv):
         for rule in ("no-unordered-in-output", "pragma-once",
                      "include-cycle", "no-naked-new", "no-silent-catch",
                      "no-adhoc-seed-derivation",
-                     "no-unchecked-syscall-return"):
+                     "no-unchecked-syscall-return", "no-vector-bool-hot",
+                     "reserve-before-push-hot"):
             print(rule)
         return 0
 
