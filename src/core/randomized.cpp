@@ -2,12 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
-#include <mutex>
 #include <optional>
 #include <thread>
 
 #include "core/pa_state.hpp"
 #include "floorplan/floorplan_cache.hpp"
+#include "util/mutex.hpp"
 #include "util/timer.hpp"
 
 namespace resched {
@@ -45,7 +45,7 @@ PaRResult SchedulePaR(const Instance& instance, const PaROptions& options,
       cache != nullptr ? cache->Stats() : FloorplanCacheStats{};
 
   PaRResult result;
-  std::mutex best_mutex;
+  Mutex best_mutex;
   TimeT best_makespan = kTimeInfinity;
 
   if (options.seed_with_deterministic) {
@@ -102,7 +102,7 @@ PaRResult SchedulePaR(const Instance& instance, const PaROptions& options,
 
       // Fast path: not an improvement, skip the floorplanner entirely.
       {
-        std::lock_guard lock(best_mutex);
+        MutexLock lock(best_mutex);
         if (candidate.makespan >= best_makespan) continue;
       }
 
@@ -115,7 +115,7 @@ PaRResult SchedulePaR(const Instance& instance, const PaROptions& options,
                                            inner.floorplan);
       if (!fp.feasible) continue;
 
-      std::lock_guard lock(best_mutex);
+      MutexLock lock(best_mutex);
       if (candidate.makespan >= best_makespan) continue;  // raced: recheck
       best_makespan = candidate.makespan;
       candidate.floorplan = fp.rects;

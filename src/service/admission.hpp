@@ -10,13 +10,16 @@
 // blocked Pop() calls keep returning the items already admitted, and once
 // the queue is empty Pop() returns false — which is exactly the graceful-
 // shutdown contract ("never lose an accepted request").
+//
+// Every state member is guarded by mu_ (compiler-checked); notifications
+// happen after the lock is dropped so a woken thread never bounces.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <utility>
+
+#include "util/mutex.hpp"
 
 namespace resched::service {
 
@@ -30,21 +33,21 @@ class BoundedQueue {
 
   /// Non-blocking admission: false when the queue is full or closed (the
   /// caller turns that into an `overloaded` / `shutting down` rejection).
-  bool TryPush(T item) {
+  bool TryPush(T item) RESCHED_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(item));
     }
-    cv_.notify_one();
+    cv_.NotifyOne();
     return true;
   }
 
   /// Blocks until an item is available or the queue is closed *and*
   /// drained; false only in the latter case.
-  bool Pop(T& out) {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+  bool Pop(T& out) RESCHED_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    while (!closed_ && items_.empty()) cv_.Wait(lock);
     if (items_.empty()) return false;
     out = std::move(items_.front());
     items_.pop_front();
@@ -53,27 +56,27 @@ class BoundedQueue {
 
   /// Stops admission and wakes every blocked Pop(); already-admitted items
   /// are still handed out (drain semantics). Idempotent.
-  void Close() {
+  void Close() RESCHED_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       closed_ = true;
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
 
-  std::size_t Size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::size_t Size() const RESCHED_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return items_.size();
   }
 
   std::size_t Capacity() const { return capacity_; }
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<T> items_;
-  std::size_t capacity_;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<T> items_ RESCHED_GUARDED_BY(mu_);
+  std::size_t capacity_;  ///< immutable after construction
+  bool closed_ RESCHED_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace resched::service

@@ -49,9 +49,11 @@ void Journal::AppendResponse(const std::string& id,
 }
 
 void Journal::AppendLine(const std::string& line) {
-  std::lock_guard<std::mutex> lock(mu_);
+  // The lock intentionally covers the stream write + flush: it IS the
+  // serialization point that keeps journal records whole lines.
+  MutexLock lock(mu_);
   out_ << line << '\n';
-  out_.flush();
+  out_.flush();  // resched-lint: allow(lock-held-over-blocking-call)
 }
 
 namespace {

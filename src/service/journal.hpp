@@ -16,9 +16,10 @@
 #pragma once
 
 #include <fstream>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/mutex.hpp"
 
 namespace resched::service {
 
@@ -34,10 +35,10 @@ class Journal {
   void AppendResponse(const std::string& id, const std::string& response_line);
 
  private:
-  void AppendLine(const std::string& line);
+  void AppendLine(const std::string& line) RESCHED_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::ofstream out_;
+  Mutex mu_;
+  std::ofstream out_ RESCHED_GUARDED_BY(mu_);
 };
 
 struct ReplayOutcome {

@@ -127,7 +127,7 @@ void RescheddServer::Admit(Request request) {
   {
     // Registered before the push so a cancel verb racing the worker can
     // always find the token.
-    std::lock_guard<std::mutex> lock(registry_mu_);
+    MutexLock lock(registry_mu_);
     registry_[id] = token;
   }
   Pending item;
@@ -138,7 +138,7 @@ void RescheddServer::Admit(Request request) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(registry_mu_);
+    MutexLock lock(registry_mu_);
     registry_.erase(id);
   }
   rejected_overloaded_.fetch_add(1, std::memory_order_relaxed);
@@ -146,7 +146,7 @@ void RescheddServer::Admit(Request request) {
 }
 
 bool RescheddServer::CancelTarget(const std::string& target) {
-  std::lock_guard<std::mutex> lock(registry_mu_);
+  MutexLock lock(registry_mu_);
   auto it = registry_.find(target);
   if (it == registry_.end()) return false;
   it->second->Cancel();
@@ -206,7 +206,7 @@ void RescheddServer::Process(Pending& item, WarmSlot& warm) {
     if (cacheable && !from_cache) result_cache_->Insert(key, body);
   }
   {
-    std::lock_guard<std::mutex> lock(registry_mu_);
+    MutexLock lock(registry_mu_);
     registry_.erase(request.id);
   }
   Respond(request.id, body);
@@ -222,15 +222,23 @@ std::string RescheddServer::Execute(const Request& request,
 FloorplanCache* RescheddServer::PoolFor(const Request& request) {
   if (!options_.floorplan_cache) return nullptr;
   const std::string key = request.platform_digest.ToHex();
-  std::lock_guard<std::mutex> lock(pool_mu_);
-  auto it = floorplan_pool_.find(key);
-  if (it == floorplan_pool_.end()) {
-    PlatformCacheEntry entry;
-    entry.anchor = request.instance;
-    entry.cache = std::make_unique<FloorplanCache>(
-        request.instance->platform.Device());
-    it = floorplan_pool_.emplace(key, std::move(entry)).first;
+  {
+    MutexLock lock(pool_mu_);
+    auto it = floorplan_pool_.find(key);
+    if (it != floorplan_pool_.end()) return it->second.cache.get();
   }
+  // Miss: build the cache outside the lock — constructing a FloorplanCache
+  // walks the whole fabric to index placements, and the old code did that
+  // under pool_mu_, stalling every worker on every platform behind one
+  // build (a gap the lock-scope audit for the annotation rollout caught).
+  // Two workers can race the same platform; the loser's empty cache is
+  // discarded by emplace, which is harmless and keeps hits pure.
+  PlatformCacheEntry entry;
+  entry.anchor = request.instance;
+  entry.cache =
+      std::make_unique<FloorplanCache>(request.instance->platform.Device());
+  MutexLock lock(pool_mu_);
+  auto it = floorplan_pool_.emplace(key, std::move(entry)).first;
   return it->second.cache.get();
 }
 
@@ -423,7 +431,7 @@ std::string RescheddServer::StatsBody() {
     body["result_cache"] = JsonValue(std::move(cache));
   }
   {
-    std::lock_guard<std::mutex> lock(pool_mu_);
+    MutexLock lock(pool_mu_);
     body["floorplan_caches"] = floorplan_pool_.size();
   }
   return OkBody(std::move(body));
@@ -431,8 +439,13 @@ std::string RescheddServer::StatsBody() {
 
 void RescheddServer::Respond(const std::string& id, const std::string& body) {
   const std::string line = WithId(id, body);
-  std::lock_guard<std::mutex> lock(write_mu_);
-  (void)transport_.WriteLine(line);
+  // Deliberately held across the transport write and the journal append:
+  // this lock's entire job is making the two one atomic step, so the
+  // journal's response order is the order the client observed (replay
+  // byte-compares against it). See the ledger in DESIGN.md §11.
+  MutexLock lock(write_mu_);
+  (void)transport_.WriteLine(  // resched-lint: allow(lock-held-over-blocking-call)
+      line);
   if (journal_) journal_->AppendResponse(id, line);
 }
 

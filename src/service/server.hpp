@@ -30,6 +30,7 @@
 #include "service/transport.hpp"
 #include "util/cancel.hpp"
 #include "util/memo_map.hpp"
+#include "util/mutex.hpp"
 
 namespace resched {
 class FloorplanCache;
@@ -112,10 +113,11 @@ class RescheddServer {
   };
 
   bool ReadLoop();
-  void Admit(Request request);
-  bool CancelTarget(const std::string& target);
+  void Admit(Request request) RESCHED_EXCLUDES(registry_mu_);
+  bool CancelTarget(const std::string& target) RESCHED_EXCLUDES(registry_mu_);
   void WorkerLoop();
-  void Process(Pending& item, WarmSlot& warm);
+  void Process(Pending& item, WarmSlot& warm)
+      RESCHED_EXCLUDES(registry_mu_, write_mu_);
   std::string Execute(const Request& request, const CancelToken& token,
                       WarmSlot& warm);
   std::string ExecuteSchedule(const Request& request, const CancelToken& token,
@@ -124,9 +126,10 @@ class RescheddServer {
                               WarmSlot& warm);
   Schedule ComputeSchedule(const Request& request, const CancelToken& token,
                            WarmSlot& warm, std::size_t& iterations);
-  std::string StatsBody();
-  FloorplanCache* PoolFor(const Request& request);
-  void Respond(const std::string& id, const std::string& body);
+  std::string StatsBody() RESCHED_EXCLUDES(pool_mu_);
+  FloorplanCache* PoolFor(const Request& request) RESCHED_EXCLUDES(pool_mu_);
+  void Respond(const std::string& id, const std::string& body)
+      RESCHED_EXCLUDES(write_mu_);
   std::string NextId();
 
   Transport& transport_;
@@ -137,13 +140,19 @@ class RescheddServer {
       result_cache_;
   std::unique_ptr<Journal> journal_;
 
-  std::mutex write_mu_;  ///< serializes transport writes + journal order
+  /// Serializes transport writes + journal order. Guards no member:
+  /// transport_ and journal_ are internally thread-safe; this lock only
+  /// pins "response hits the wire" and "response hits the journal" into
+  /// one atomic step so the journal's replay order matches the client's.
+  Mutex write_mu_;
 
-  std::mutex registry_mu_;
-  std::map<std::string, std::shared_ptr<CancelToken>> registry_;
+  Mutex registry_mu_;
+  std::map<std::string, std::shared_ptr<CancelToken>> registry_
+      RESCHED_GUARDED_BY(registry_mu_);
 
-  std::mutex pool_mu_;
-  std::map<std::string, PlatformCacheEntry> floorplan_pool_;
+  Mutex pool_mu_;
+  std::map<std::string, PlatformCacheEntry> floorplan_pool_
+      RESCHED_GUARDED_BY(pool_mu_);
 
   std::atomic<std::uint64_t> next_id_{0};
   std::string shutdown_id_;

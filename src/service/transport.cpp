@@ -20,16 +20,16 @@ bool StdioTransport::WriteLine(const std::string& line) {
 
 void PipeTransport::LineChannel::Push(std::string line) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (closed_) return;  // late line after close: dropped, like a dead pipe
     lines_.push_back(std::move(line));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 bool PipeTransport::LineChannel::Pop(std::string& line) {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this] { return closed_ || !lines_.empty(); });
+  MutexLock lock(mu_);
+  while (!closed_ && lines_.empty()) cv_.Wait(lock);
   if (lines_.empty()) return false;
   line = std::move(lines_.front());
   lines_.pop_front();
@@ -38,10 +38,10 @@ bool PipeTransport::LineChannel::Pop(std::string& line) {
 
 void PipeTransport::LineChannel::Close() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     closed_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 bool PipeTransport::ReadLine(std::string& line) {
@@ -70,36 +70,60 @@ void PipeTransport::CloseResponses() { responses_.Close(); }
 UnixSocketServerTransport::UnixSocketServerTransport(const std::string& path)
     : listener_(path) {}
 
+std::shared_ptr<UnixSocketServerTransport::Conn>
+UnixSocketServerTransport::Snapshot() {
+  MutexLock lock(mu_);
+  return conn_;
+}
+
+bool UnixSocketServerTransport::SendLine(Conn& conn, const std::string& line) {
+  // Per-connection lock: its entire purpose is covering the blocking send,
+  // so concurrent writers (greeting replay vs. worker responses) cannot
+  // interleave bytes mid-line on the stream socket.
+  MutexLock lock(conn.write_mu);
+  return conn.sock.SendAll(  // resched-lint: allow(lock-held-over-blocking-call)
+      line + "\n");
+}
+
 bool UnixSocketServerTransport::ReadLine(std::string& line) {
   for (;;) {
-    if (!client_) {
+    std::shared_ptr<Conn> conn = Snapshot();
+    if (!conn) {
       std::optional<UnixSocket> accepted = listener_.Accept();
       if (!accepted) return false;  // listener closed
-      std::lock_guard<std::mutex> lock(mu_);
-      client_.emplace(std::move(*accepted));
-      reader_.emplace(*client_);
-      if (!greeting_.empty()) {
-        (void)client_->SendAll(greeting_ + "\n");
+      conn = std::make_shared<Conn>(std::move(*accepted));
+      std::string greeting;
+      {
+        MutexLock lock(mu_);
+        conn_ = conn;
+        greeting = greeting_;
       }
+      if (!greeting.empty()) (void)SendLine(*conn, greeting);
     }
-    if (reader_->ReadLine(line)) return true;
-    // Client hung up: drop the connection and accept the next one.
-    std::lock_guard<std::mutex> lock(mu_);
-    reader_.reset();
-    client_.reset();
+    // Blocking recv outside any lock; only this thread touches the reader.
+    if (conn->reader.ReadLine(line)) return true;
+    // Client hung up: drop the connection and accept the next one. A
+    // worker mid-WriteLine still holds its own snapshot, so the socket
+    // stays valid and its send just reports the peer as gone.
+    MutexLock lock(mu_);
+    conn_.reset();
   }
 }
 
 bool UnixSocketServerTransport::WriteLine(const std::string& line) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (!client_) return false;
-  return client_->SendAll(line + "\n");
+  std::shared_ptr<Conn> conn = Snapshot();
+  if (!conn) return false;
+  return SendLine(*conn, line);
 }
 
 void UnixSocketServerTransport::SetGreeting(const std::string& line) {
-  std::lock_guard<std::mutex> lock(mu_);
-  greeting_ = line;
-  if (client_) (void)client_->SendAll(greeting_ + "\n");
+  std::shared_ptr<Conn> conn;
+  {
+    MutexLock lock(mu_);
+    greeting_ = line;
+    conn = conn_;
+  }
+  if (conn) (void)SendLine(*conn, line);
 }
 
 void UnixSocketServerTransport::Close() { listener_.Close(); }

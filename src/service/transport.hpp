@@ -19,12 +19,11 @@
 // with its own mutex — transports need not).
 #pragma once
 
-#include <condition_variable>
 #include <deque>
-#include <mutex>
-#include <optional>
+#include <memory>
 #include <string>
 
+#include "util/mutex.hpp"
 #include "util/socket.hpp"
 
 namespace resched::service {
@@ -80,15 +79,15 @@ class PipeTransport : public Transport {
  private:
   class LineChannel {
    public:
-    void Push(std::string line);
-    bool Pop(std::string& line);
-    void Close();
+    void Push(std::string line) RESCHED_EXCLUDES(mu_);
+    bool Pop(std::string& line) RESCHED_EXCLUDES(mu_);
+    void Close() RESCHED_EXCLUDES(mu_);
 
    private:
-    std::mutex mu_;
-    std::condition_variable cv_;
-    std::deque<std::string> lines_;
-    bool closed_ = false;
+    Mutex mu_;
+    CondVar cv_;
+    std::deque<std::string> lines_ RESCHED_GUARDED_BY(mu_);
+    bool closed_ RESCHED_GUARDED_BY(mu_) = false;
   };
 
   LineChannel requests_;
@@ -112,14 +111,30 @@ class UnixSocketServerTransport : public Transport {
   const std::string& Path() const { return listener_.Path(); }
 
  private:
+  /// One accepted client connection. Shared-ptr snapshots let the blocking
+  /// recv/send run outside mu_ while a concurrent swap (client hang-up →
+  /// re-accept) can never free the socket under a caller: the snapshot
+  /// keeps it alive, and I/O on a dropped connection just reports the
+  /// peer as gone. write_mu serializes the bytes of concurrent sends
+  /// (greeting replay vs. worker responses) per connection.
+  struct Conn {
+    explicit Conn(UnixSocket s) : sock(std::move(s)), reader(sock) {}
+    UnixSocket sock;
+    SocketLineReader reader;  ///< touched by the reader thread only
+    Mutex write_mu;
+  };
+
+  std::shared_ptr<Conn> Snapshot() RESCHED_EXCLUDES(mu_);
+  /// Sends one line over `conn`, holding its per-connection write lock.
+  static bool SendLine(Conn& conn, const std::string& line);
+
   UnixListener listener_;
-  /// Guards client_/reader_ swaps (reader thread) against concurrent
-  /// worker writes; the blocking recv itself runs unlocked (reads and
-  /// writes travel opposite directions on the same fd).
-  std::mutex mu_;
-  std::optional<UnixSocket> client_;
-  std::optional<SocketLineReader> reader_;
-  std::string greeting_;
+  /// Guards the connection slot and greeting only — never held across
+  /// socket I/O (the annotation rollout surfaced the old design, which
+  /// both ran SendAll under mu_ and read the slot unlocked in ReadLine).
+  Mutex mu_;
+  std::shared_ptr<Conn> conn_ RESCHED_GUARDED_BY(mu_);
+  std::string greeting_ RESCHED_GUARDED_BY(mu_);
 };
 
 }  // namespace resched::service

@@ -1,0 +1,78 @@
+// Clang thread-safety analysis annotations.
+//
+// These macros attach lock contracts to types and functions so a Clang
+// build with -Wthread-safety (the `thread-safety` CMake preset, gated in
+// CI with -Werror=thread-safety-analysis) proves lock discipline at
+// compile time — on every path, not just the ones a test executed. Under
+// GCC (which has no capability analysis) they expand to nothing, so the
+// annotated tree builds identically everywhere.
+//
+// Vocabulary (mirrors the Clang attribute names, RESCHED_-prefixed so the
+// unannotated-mutex lint rule can tell sanctioned wrappers from strays):
+//
+//   RESCHED_CAPABILITY(name)     the type is a lockable capability
+//   RESCHED_SCOPED_CAPABILITY    RAII type that acquires in its ctor and
+//                                releases in its dtor (MutexLock)
+//   RESCHED_GUARDED_BY(mu)       data member readable/writable only while
+//                                mu is held
+//   RESCHED_PT_GUARDED_BY(mu)    pointer member whose *pointee* is guarded
+//   RESCHED_REQUIRES(mu...)      caller must hold mu before calling
+//   RESCHED_ACQUIRE(mu...)       function acquires mu and does not release
+//   RESCHED_RELEASE(mu...)       function releases mu
+//   RESCHED_TRY_ACQUIRE(b, mu)   acquires mu iff the return value is b
+//   RESCHED_EXCLUDES(mu...)      caller must NOT hold mu (deadlock guard)
+//   RESCHED_ASSERT_CAPABILITY(mu) runtime assertion that mu is held
+//   RESCHED_RETURN_CAPABILITY(mu) function returns a reference to mu
+//   RESCHED_NO_THREAD_SAFETY_ANALYSIS  opt a definition out (last resort;
+//                                every use needs a ledger entry, see
+//                                DESIGN.md §11)
+//
+// Annotate members and private helpers, not call sites: the analysis then
+// checks every caller for free. New mutexes must be resched::Mutex
+// (util/mutex.hpp), never raw std::mutex — the lint's unannotated-mutex
+// rule rejects strays.
+#pragma once
+
+#if defined(__clang__) && (!defined(SWIG))
+#define RESCHED_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define RESCHED_THREAD_ANNOTATION_(x)  // no-op outside Clang
+#endif
+
+#define RESCHED_CAPABILITY(x) RESCHED_THREAD_ANNOTATION_(capability(x))
+
+#define RESCHED_SCOPED_CAPABILITY RESCHED_THREAD_ANNOTATION_(scoped_lockable)
+
+#define RESCHED_GUARDED_BY(x) RESCHED_THREAD_ANNOTATION_(guarded_by(x))
+
+#define RESCHED_PT_GUARDED_BY(x) RESCHED_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+#define RESCHED_ACQUIRE(...) \
+  RESCHED_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+#define RESCHED_ACQUIRE_SHARED(...) \
+  RESCHED_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+
+#define RESCHED_RELEASE(...) \
+  RESCHED_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+#define RESCHED_TRY_ACQUIRE(...) \
+  RESCHED_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+#define RESCHED_REQUIRES(...) \
+  RESCHED_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+#define RESCHED_REQUIRES_SHARED(...) \
+  RESCHED_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+#define RESCHED_EXCLUDES(...) \
+  RESCHED_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+#define RESCHED_ASSERT_CAPABILITY(x) \
+  RESCHED_THREAD_ANNOTATION_(assert_capability(x))
+
+#define RESCHED_RETURN_CAPABILITY(x) \
+  RESCHED_THREAD_ANNOTATION_(lock_returned(x))
+
+#define RESCHED_NO_THREAD_SAFETY_ANALYSIS \
+  RESCHED_THREAD_ANNOTATION_(no_thread_safety_analysis)

@@ -3,7 +3,8 @@
 #include <atomic>
 #include <cstdlib>
 #include <iostream>
-#include <mutex>
+
+#include "util/mutex.hpp"
 
 namespace resched {
 
@@ -47,8 +48,8 @@ void SetLogLevel(LogLevel level) {
 
 void LogMessage(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(GetLogLevel())) return;
-  static std::mutex mutex;
-  std::lock_guard lock(mutex);
+  static Mutex mutex;  // serializes the stderr sink, guards no data
+  MutexLock lock(mutex);
   std::cerr << "[resched:" << LevelName(level) << "] " << message << '\n';
 }
 

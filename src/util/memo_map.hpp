@@ -13,6 +13,8 @@
 //   * one mutex per shard; every slot access happens under its shard lock,
 //     which keeps the structure trivially TSan-clean (counters are
 //     relaxed atomics — they are monitoring data, not synchronization).
+//     The shard lock contract is annotated, so a -Wthread-safety build
+//     proves no slot is touched unlocked.
 #pragma once
 
 #include <array>
@@ -20,8 +22,9 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
+
+#include "util/mutex.hpp"
 
 namespace resched {
 
@@ -41,7 +44,11 @@ class ConcurrentMemoMap {
     std::size_t per_shard = 1;
     while (per_shard * kShards < capacity) per_shard *= 2;
     if (per_shard < kProbeWindow) per_shard = kProbeWindow;
-    for (Shard& shard : shards_) shard.slots.resize(per_shard);
+    per_shard_ = per_shard;
+    for (Shard& shard : shards_) {
+      MutexLock lock(shard.mu);
+      shard.slots.resize(per_shard);
+    }
   }
 
   ConcurrentMemoMap(const ConcurrentMemoMap&) = delete;
@@ -51,9 +58,9 @@ class ConcurrentMemoMap {
   std::shared_ptr<const Value> Find(const Key& key) const {
     const std::uint64_t h = Mix(hash_(key));
     const Shard& shard = shards_[ShardOf(h)];
-    const std::size_t mask = shard.slots.size() - 1;
+    const std::size_t mask = per_shard_ - 1;
     const std::size_t base = SlotOf(h, mask);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     for (std::size_t p = 0; p < kProbeWindow; ++p) {
       const Slot& slot = shard.slots[(base + p) & mask];
       if (slot.value && slot.hash == h && eq_(slot.key, key)) {
@@ -72,9 +79,9 @@ class ConcurrentMemoMap {
     auto stored = std::make_shared<const Value>(std::move(value));
     const std::uint64_t h = Mix(hash_(key));
     Shard& shard = shards_[ShardOf(h)];
-    const std::size_t mask = shard.slots.size() - 1;
+    const std::size_t mask = per_shard_ - 1;
     const std::size_t base = SlotOf(h, mask);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     std::size_t victim = base;
     for (std::size_t p = 0; p < kProbeWindow; ++p) {
       Slot& slot = shard.slots[(base + p) & mask];
@@ -105,7 +112,10 @@ class ConcurrentMemoMap {
     return c;
   }
 
-  std::size_t Capacity() const { return shards_[0].slots.size() * kShards; }
+  /// Construction-time constant, so it reads no guarded slot state (the
+  /// annotation rollout surfaced the old `shards_[0].slots.size()` read
+  /// as a guarded access outside the shard lock).
+  std::size_t Capacity() const { return per_shard_ * kShards; }
 
  private:
   static constexpr std::size_t kShards = 16;  // power of two
@@ -117,8 +127,8 @@ class ConcurrentMemoMap {
     std::shared_ptr<const Value> value;
   };
   struct Shard {
-    mutable std::mutex mu;
-    std::vector<Slot> slots;
+    mutable Mutex mu;
+    std::vector<Slot> slots RESCHED_GUARDED_BY(mu);
   };
 
   /// Finalizer bijection so weak user hashes still spread over shards and
@@ -139,6 +149,7 @@ class ConcurrentMemoMap {
   }
 
   std::array<Shard, kShards> shards_;
+  std::size_t per_shard_ = 0;  ///< slots per shard; fixed at construction
   mutable std::atomic<std::uint64_t> hits_{0};
   mutable std::atomic<std::uint64_t> misses_{0};
   mutable std::atomic<std::uint64_t> evictions_{0};

@@ -1,0 +1,99 @@
+// Annotated mutex / lock / condition-variable wrappers.
+//
+// Thin, zero-overhead shells over the std primitives whose only job is to
+// carry the thread-safety annotations from util/annotations.hpp, so a
+// Clang -Wthread-safety build can prove that every access to a
+// RESCHED_GUARDED_BY member happens under its lock. Raw std::mutex /
+// std::condition_variable members are banned outside this header (the
+// unannotated-mutex lint rule enforces it).
+//
+// Usage pattern:
+//
+//   class Account {
+//    public:
+//     void Deposit(int amount) RESCHED_EXCLUDES(mu_) {
+//       MutexLock lock(mu_);
+//       balance_ += amount;   // OK: mu_ held
+//     }
+//    private:
+//     mutable Mutex mu_;
+//     int balance_ RESCHED_GUARDED_BY(mu_) = 0;
+//   };
+//
+// Condition waits keep the scoped lock and re-check their predicate in an
+// explicit loop, so the guarded reads inside the predicate stay visible
+// to the analysis:
+//
+//   MutexLock lock(mu_);
+//   while (!closed_ && items_.empty()) cv_.Wait(lock);
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/annotations.hpp"
+
+namespace resched {
+
+class CondVar;
+class MutexLock;
+
+/// Annotated exclusive mutex (wraps std::mutex; same cost, same
+/// semantics, plus a capability the analysis can track).
+class RESCHED_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() RESCHED_ACQUIRE() { mu_.lock(); }
+  void Unlock() RESCHED_RELEASE() { mu_.unlock(); }
+  bool TryLock() RESCHED_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+/// RAII scoped lock over Mutex (the annotated std::unique_lock). Always
+/// holds the lock for its full scope — condition waits release/reacquire
+/// internally, which the analysis models as "held throughout", exactly
+/// the guarantee the caller observes.
+class RESCHED_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) RESCHED_ACQUIRE(mu) : lock_(mu.mu_) {}
+  ~MutexLock() RESCHED_RELEASE() {}  // lock_'s destructor unlocks
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Condition variable paired with Mutex. No predicate overloads on
+/// purpose: a lambda predicate is a separate function to the analysis and
+/// loses the caller's lock set, so waits are written as explicit loops
+/// over guarded state (see the header comment).
+class CondVar {
+ public:
+  CondVar() = default;
+
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `lock`'s mutex, blocks, and reacquires before
+  /// returning. Spurious wakeups happen; callers loop on their predicate.
+  void Wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace resched

@@ -23,26 +23,26 @@ ThreadPool::~ThreadPool() {
   // only exit on stop_ AND an empty queue). Submit() racing destruction is
   // a caller bug and trips the "Submit after shutdown" check.
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
-  cv_task_.notify_all();
+  cv_task_.NotifyAll();
   for (auto& w : workers_) w.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   RESCHED_CHECK_MSG(task != nullptr, "null task submitted");
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     RESCHED_CHECK_MSG(!stop_, "Submit after shutdown");
     queue_.push_back(std::move(task));
   }
-  cv_task_.notify_one();
+  cv_task_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock lock(mutex_);
-  cv_idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  MutexLock lock(mutex_);
+  while (!queue_.empty() || in_flight_ != 0) cv_idle_.Wait(lock);
   if (first_error_) {
     std::exception_ptr err = first_error_;
     first_error_ = nullptr;
@@ -67,8 +67,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mutex_);
-      cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stop_ && queue_.empty()) cv_task_.Wait(lock);
       if (queue_.empty()) {
         if (stop_) return;
         continue;
@@ -80,13 +80,13 @@ void ThreadPool::WorkerLoop() {
     try {
       task();
     } catch (...) {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       if (!first_error_) first_error_ = std::current_exception();
     }
     {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       --in_flight_;
-      if (queue_.empty() && in_flight_ == 0) cv_idle_.notify_all();
+      if (queue_.empty() && in_flight_ == 0) cv_idle_.NotifyAll();
     }
   }
 }

@@ -5,16 +5,20 @@
 // callables; the pool joins in its destructor so lifetimes are scoped; no
 // detached threads. Exceptions thrown by a task are captured and rethrown on
 // Wait()/ParallelFor() in the caller's thread (first one wins).
+//
+// Lock contract (compiler-checked under -Wthread-safety): every queue and
+// bookkeeping member is guarded by mutex_; workers_ is written only during
+// construction and joined in the destructor, so it needs no lock.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.hpp"
 
 namespace resched {
 
@@ -30,27 +34,28 @@ class ThreadPool {
   std::size_t ThreadCount() const { return workers_.size(); }
 
   /// Enqueues a task. Must not be called after destruction has begun.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) RESCHED_EXCLUDES(mutex_);
 
   /// Blocks until every submitted task has finished; rethrows the first
   /// captured task exception, if any.
-  void Wait();
+  void Wait() RESCHED_EXCLUDES(mutex_);
 
   /// Runs fn(i) for i in [0, n) across the pool and blocks until done.
   /// fn must be safe to invoke concurrently for distinct i.
-  void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+  void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn)
+      RESCHED_EXCLUDES(mutex_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() RESCHED_EXCLUDES(mutex_);
 
-  std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_task_;
-  std::condition_variable cv_idle_;
-  std::size_t in_flight_ = 0;
-  bool stop_ = false;
-  std::exception_ptr first_error_;
+  std::vector<std::thread> workers_;  ///< immutable after construction
+  Mutex mutex_;
+  CondVar cv_task_;
+  CondVar cv_idle_;
+  std::deque<std::function<void()>> queue_ RESCHED_GUARDED_BY(mutex_);
+  std::size_t in_flight_ RESCHED_GUARDED_BY(mutex_) = 0;
+  bool stop_ RESCHED_GUARDED_BY(mutex_) = false;
+  std::exception_ptr first_error_ RESCHED_GUARDED_BY(mutex_);
 };
 
 }  // namespace resched

@@ -54,6 +54,20 @@ Rules:
                             up front, or clear-and-refill a reused buffer
                             so capacity persists.
 
+AST rules (--ast; libclang-backed, see resched_lint_ast.py for the full
+rule prose; they skip with a notice when libclang is unavailable, and
+--ast-required turns that skip into a failure for CI):
+  arena-escape              arena-backed storage held or returned by a
+                            scope that does not own the arena.
+  cancel-poll-coverage      unbounded loops in cancellation-aware code
+                            that never poll the CancelToken.
+  lock-held-over-blocking-call
+                            a lock scope covering a blocking call
+                            (socket I/O, flush, a full solve, join...).
+  unannotated-mutex         raw std::mutex/std::condition_variable
+                            outside util/mutex.hpp, invisible to Clang
+                            thread-safety analysis.
+
 Suppress a finding by appending to the offending line:
     // resched-lint: allow(<rule-id>)
 
@@ -503,6 +517,18 @@ def main(argv):
     parser.add_argument(
         "--list-rules", action="store_true", help="print rule ids and exit")
     parser.add_argument(
+        "--ast", action="store_true",
+        help="also run the libclang AST rules over src/ (skips with a "
+        "notice when libclang is unavailable)")
+    parser.add_argument(
+        "--ast-required", action="store_true",
+        help="with --ast: fail instead of skipping when libclang is "
+        "unavailable (CI uses this)")
+    parser.add_argument(
+        "--compile-commands", default=None, metavar="PATH",
+        help="compile_commands.json for the AST rules (default: probe "
+        "build*/ under --root)")
+    parser.add_argument(
         "files", nargs="*",
         help="limit the per-file rules to these files (include-cycle still "
         "scans the whole graph)")
@@ -517,6 +543,9 @@ def main(argv):
                      "no-unchecked-syscall-return", "no-vector-bool-hot",
                      "reserve-before-push-hot"):
             print(rule)
+        from resched_lint_ast import AST_RULES
+        for rule in AST_RULES:
+            print(rule)
         return 0
 
     root = os.path.abspath(args.root)
@@ -530,6 +559,35 @@ def main(argv):
     for path in files:
         lint_file(path, root, findings)
     lint_include_cycles(root, findings)
+
+    if args.ast:
+        from resched_lint_ast import run_ast
+        limit = [os.path.abspath(f) for f in args.files] or None
+        ast_findings, skip_reason, parsed = run_ast(
+            root, limit_to=limit, compile_commands=args.compile_commands)
+        if skip_reason is not None:
+            print(f"resched_lint: AST rules skipped ({skip_reason}); "
+                  "token rules unaffected", file=sys.stderr)
+            if args.ast_required:
+                print("resched_lint: --ast-required set: treating the "
+                      "skip as a failure", file=sys.stderr)
+                return 2
+        else:
+            print(f"resched_lint: AST rules ran over {parsed} "
+                  "translation unit(s)", file=sys.stderr)
+            suppression_cache = {}
+            for relpath, lineno, rule, message in ast_findings:
+                allowed = suppression_cache.get(relpath)
+                if allowed is None:
+                    try:
+                        with open(os.path.join(root, relpath),
+                                  encoding="utf-8", errors="replace") as f:
+                            allowed = suppressions(f.read().splitlines())
+                    except OSError:
+                        allowed = {}
+                    suppression_cache[relpath] = allowed
+                if rule not in allowed.get(lineno, ()):
+                    findings.append(Finding(relpath, lineno, rule, message))
 
     for finding in sorted(findings, key=lambda f: (f.path, f.line, f.rule)):
         print(finding)

@@ -1,0 +1,232 @@
+#!/usr/bin/env python3
+"""Baseline-aware clang-tidy driver for the resched repo.
+
+Runs clang-tidy (configuration from the checked-in .clang-tidy) over the
+first-party translation units in a compile database and compares the
+findings against tools/clang_tidy_baseline.txt. The build fails only on
+NEW findings — a check regressing on a file it was previously clean on —
+so a clang-tidy upgrade that invents findings in untouched code can be
+absorbed by re-baselining instead of blocking every PR, while any
+regression a PR introduces is still a hard failure.
+
+Baseline format: one `<relpath> <check> <count>` triple per line,
+'#'-prefixed comments ignored. An empty baseline (the current state)
+means "the repo is tidy-clean" and any finding fails.
+
+Usage:
+  tools/run_clang_tidy.py --build-dir build            # gate (CI)
+  tools/run_clang_tidy.py --build-dir build --update-baseline
+
+Exit status: 0 clean (or covered by baseline), nonzero on new findings
+or an unusable environment (no clang-tidy, no compile database).
+"""
+
+import argparse
+import collections
+import concurrent.futures
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+# First-party TUs: everything the repo compiles from these roots.
+SCOPE_PREFIXES = ("src/", "tools/", "tests/", "bench/", "examples/")
+
+DIAG_RE = re.compile(
+    r"^(?P<file>[^\s:][^:]*):(?P<line>\d+):(?P<col>\d+): "
+    r"(?:warning|error): (?P<message>.*?) \[(?P<check>[^\]]+)\]$")
+
+
+def rel(path, root):
+    return os.path.relpath(os.path.realpath(path),
+                           os.path.realpath(root)).replace(os.sep, "/")
+
+
+def load_compile_db(build_dir):
+    path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.isfile(path):
+        sys.exit(f"run_clang_tidy: no compile database at {path}; "
+                 "configure with CMAKE_EXPORT_COMPILE_COMMANDS=ON "
+                 "(every preset does)")
+    with open(path, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def scoped_sources(db, root):
+    seen = set()
+    out = []
+    for entry in db:
+        path = os.path.join(entry.get("directory", ""), entry["file"])
+        relpath = rel(path, root)
+        if relpath.startswith(SCOPE_PREFIXES) and relpath not in seen:
+            seen.add(relpath)
+            out.append(os.path.realpath(path))
+    return sorted(out)
+
+
+def run_one(clang_tidy, build_dir, source):
+    proc = subprocess.run(
+        [clang_tidy, "-quiet", "-p", build_dir, source],
+        stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+        text=True, check=False)
+    return proc.stdout
+
+
+def collect_findings(clang_tidy, build_dir, sources, root, jobs):
+    """Returns ({(relpath, check): count}, [diagnostic lines]).
+
+    Diagnostics are deduplicated on (file, line, col, check) first: a
+    header finding surfaces once, not once per including TU.
+    """
+    unique = {}
+    with concurrent.futures.ThreadPoolExecutor(max_workers=jobs) as pool:
+        for output in pool.map(
+                lambda s: run_one(clang_tidy, build_dir, s), sources):
+            for line in output.splitlines():
+                m = DIAG_RE.match(line)
+                if not m:
+                    continue
+                relpath = rel(m.group("file"), root)
+                if not relpath.startswith(SCOPE_PREFIXES):
+                    continue  # system / third-party header
+                key = (relpath, m.group("line"), m.group("col"),
+                       m.group("check"))
+                unique.setdefault(
+                    key,
+                    f"{relpath}:{m.group('line')}:{m.group('col')}: "
+                    f"{m.group('message')} [{m.group('check')}]")
+    counts = collections.Counter(
+        (relpath, check) for (relpath, _, _, check) in unique)
+    return counts, sorted(unique.values())
+
+
+def load_baseline(path):
+    counts = collections.Counter()
+    if not os.path.isfile(path):
+        return counts
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) != 3 or not parts[2].isdigit():
+                sys.exit(f"run_clang_tidy: malformed baseline line "
+                         f"{path}:{lineno}: {line}")
+            counts[(parts[0], parts[1])] = int(parts[2])
+    return counts
+
+
+def write_baseline(path, counts):
+    with open(path, "w", encoding="utf-8") as f:
+        f.write("# clang-tidy baseline: `<relpath> <check> <count>` per "
+                "line.\n"
+                "# Regenerate with tools/run_clang_tidy.py "
+                "--update-baseline.\n"
+                "# CI fails only on findings beyond these counts; keep "
+                "this file empty\n"
+                "# unless a toolchain upgrade strands findings in "
+                "untouched code.\n")
+        for (relpath, check), count in sorted(counts.items()):
+            f.write(f"{relpath} {check} {count}\n")
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        prog="run_clang_tidy",
+        description="baseline-aware clang-tidy gate")
+    parser.add_argument(
+        "--root",
+        default=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        help="repository root (default: this script's repo)")
+    parser.add_argument(
+        "--build-dir", default=None,
+        help="build directory holding compile_commands.json "
+        "(default: probe build*/ under the root)")
+    parser.add_argument(
+        "--baseline", default=None,
+        help="baseline file (default: tools/clang_tidy_baseline.txt)")
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline to the current findings and exit 0")
+    parser.add_argument(
+        "--clang-tidy", default="clang-tidy",
+        help="clang-tidy executable (default: clang-tidy on PATH)")
+    parser.add_argument(
+        "--jobs", type=int, default=os.cpu_count() or 2,
+        help="parallel clang-tidy processes")
+    args = parser.parse_args(argv)
+
+    root = os.path.abspath(args.root)
+    if shutil.which(args.clang_tidy) is None:
+        sys.exit(f"run_clang_tidy: {args.clang_tidy} not found on PATH")
+
+    build_dir = args.build_dir
+    if build_dir is None:
+        for name in ("build", "build-tidy", "build-debug",
+                     "build-thread-safety"):
+            candidate = os.path.join(root, name)
+            if os.path.isfile(os.path.join(candidate,
+                                           "compile_commands.json")):
+                build_dir = candidate
+                break
+        if build_dir is None:
+            sys.exit("run_clang_tidy: no compile database found; pass "
+                     "--build-dir")
+    build_dir = os.path.abspath(build_dir)
+
+    baseline_path = args.baseline or os.path.join(
+        root, "tools", "clang_tidy_baseline.txt")
+
+    db = load_compile_db(build_dir)
+    sources = scoped_sources(db, root)
+    if not sources:
+        sys.exit("run_clang_tidy: compile database has no first-party "
+                 "sources")
+    print(f"run_clang_tidy: {len(sources)} translation unit(s), "
+          f"{args.jobs} job(s)", file=sys.stderr)
+
+    counts, diagnostics = collect_findings(
+        args.clang_tidy, build_dir, sources, root, args.jobs)
+
+    if args.update_baseline:
+        write_baseline(baseline_path, counts)
+        print(f"run_clang_tidy: baseline updated "
+              f"({sum(counts.values())} finding(s) across "
+              f"{len(counts)} file/check pair(s))", file=sys.stderr)
+        return 0
+
+    baseline = load_baseline(baseline_path)
+    regressions = {
+        key: (count, baseline.get(key, 0))
+        for key, count in counts.items() if count > baseline.get(key, 0)
+    }
+    fixed = {key for key in baseline if counts.get(key, 0) < baseline[key]}
+
+    if fixed:
+        print(f"run_clang_tidy: {len(fixed)} baseline entr(ies) improved "
+              "— consider --update-baseline to ratchet down",
+              file=sys.stderr)
+    if not regressions:
+        print(f"run_clang_tidy: clean ({sum(counts.values())} finding(s), "
+              "all covered by baseline)", file=sys.stderr)
+        return 0
+
+    print("run_clang_tidy: NEW findings vs baseline:", file=sys.stderr)
+    for (relpath, check), (now, base) in sorted(regressions.items()):
+        print(f"  {relpath} {check}: {now} (baseline {base})",
+              file=sys.stderr)
+    # Stored diagnostics are already relpath-prefixed `path:line:col:
+    # message [check]` lines; surface the ones behind a regressed key.
+    for diag in diagnostics:
+        path_part = diag.split(":", 1)[0]
+        check_part = diag.rsplit("[", 1)[-1].rstrip("]")
+        if (path_part, check_part) in regressions:
+            print(diag)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
