@@ -23,6 +23,11 @@
 
 namespace resched::service {
 
+/// Why TryPush did (not) admit an item. A full queue and a closed queue
+/// demand different client advice — "back off and retry" versus "this
+/// daemon is going away" — so the rejection carries the reason.
+enum class PushOutcome { kAccepted, kFull, kClosed };
+
 template <typename T>
 class BoundedQueue {
  public:
@@ -31,16 +36,19 @@ class BoundedQueue {
   BoundedQueue(const BoundedQueue&) = delete;
   BoundedQueue& operator=(const BoundedQueue&) = delete;
 
-  /// Non-blocking admission: false when the queue is full or closed (the
-  /// caller turns that into an `overloaded` / `shutting down` rejection).
-  bool TryPush(T item) RESCHED_EXCLUDES(mu_) {
+  /// Non-blocking admission. kFull / kClosed reject without queueing (the
+  /// caller turns them into `overloaded` / `shutting_down` responses).
+  /// Closed wins when both would apply: after Close() the capacity state
+  /// is no longer meaningful to a client.
+  PushOutcome TryPush(T item) RESCHED_EXCLUDES(mu_) {
     {
       MutexLock lock(mu_);
-      if (closed_ || items_.size() >= capacity_) return false;
+      if (closed_) return PushOutcome::kClosed;
+      if (items_.size() >= capacity_) return PushOutcome::kFull;
       items_.push_back(std::move(item));
     }
     cv_.NotifyOne();
-    return true;
+    return PushOutcome::kAccepted;
   }
 
   /// Blocks until an item is available or the queue is closed *and*

@@ -1,0 +1,93 @@
+#include "service/client.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "util/json.hpp"
+
+namespace resched::service {
+namespace {
+
+/// Best-effort id extraction from a request or response line. Empty when
+/// the line has no string id (then a retry would not be idempotent).
+std::string ExtractId(const std::string& line) {
+  try {
+    const JsonValue doc = JsonValue::Parse(line);
+    if (doc.IsObject() && doc.Contains("id") && doc.At("id").IsString()) {
+      return doc.At("id").AsString();
+    }
+  } catch (const std::exception&) {
+    // Not JSON: the server will reject it; nothing to match on.
+  }
+  return {};
+}
+
+}  // namespace
+
+RescheddClient::RescheddClient(std::string socket_path, ClientOptions options)
+    : socket_path_(std::move(socket_path)), options_(options) {}
+
+bool RescheddClient::Attempt(const std::string& line, const std::string& id,
+                             Result& result) {
+  if (!socket_) {
+    socket_ = std::make_unique<UnixSocket>(UnixSocket::Connect(socket_path_));
+    reader_ = std::make_unique<SocketLineReader>(*socket_);
+    std::string greeting;
+    if (!reader_->ReadLine(greeting)) return false;  // died mid-accept
+    result.handshake = std::move(greeting);
+  }
+  if (!socket_->SendAll(line + "\n")) return false;
+  std::string received;
+  while (reader_->ReadLine(received)) {
+    if (id.empty()) {
+      // No id to match: the next line is the answer (single-shot mode).
+      result.response = std::move(received);
+      return true;
+    }
+    if (ExtractId(received) == id) {
+      result.response = std::move(received);
+      return true;
+    }
+    // Anything else — a replayed greeting, or a stale response to a
+    // pre-reconnect submission the server finished late — is skipped.
+  }
+  return false;  // EOF before the matching response
+}
+
+RescheddClient::Result RescheddClient::Submit(const std::string& line) {
+  const std::string id = ExtractId(line);
+  // Without an id the server cannot dedup a resend, so a retry could
+  // execute twice; such lines get exactly one attempt.
+  const std::size_t max_attempts =
+      id.empty() ? 1 : std::max<std::size_t>(1, options_.max_attempts);
+
+  Result result;
+  double backoff_ms = options_.backoff_initial_ms;
+  std::string last_error = "connection failed";
+  for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(backoff_ms));
+      backoff_ms =
+          std::min(backoff_ms * options_.backoff_multiplier,
+                   options_.backoff_max_ms);
+      ++result.reconnects;
+    }
+    ++result.attempts;
+    try {
+      if (Attempt(line, id, result)) return result;
+      last_error = "server closed the connection before responding";
+    } catch (const SocketError& e) {
+      last_error = e.what();
+    }
+    reader_.reset();  // before the socket it borrows
+    socket_.reset();  // next attempt reconnects from scratch
+  }
+  throw SocketError("submit of id '" + id + "' failed after " +
+                    std::to_string(result.attempts) +
+                    " attempt(s): " + last_error);
+}
+
+}  // namespace resched::service

@@ -1,5 +1,14 @@
 #include "service/journal.hpp"
 
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iterator>
 #include <map>
 #include <thread>
 #include <utility>
@@ -7,16 +16,246 @@
 #include "service/server.hpp"
 #include "service/transport.hpp"
 #include "util/build_info.hpp"
-#include "util/common.hpp"
+#include "util/crc32c.hpp"
+#include "util/io_faults.hpp"
 #include "util/json.hpp"
 
 namespace resched::service {
+namespace {
 
-Journal::Journal(const std::string& path)
-    : out_(path, std::ios::out | std::ios::app) {
-  if (!out_) {
-    throw InstanceError("cannot open journal for appending: " + path);
+constexpr std::string_view kV2Prefix = "#v2 ";
+
+/// Cap on consecutive EINTR/EAGAIN results before an append gives up.
+/// Generous versus anything a signal storm produces, small enough that an
+/// injected 100%-EAGAIN spec terminates with a JournalError, not a hang.
+constexpr int kMaxTransientRetries = 128;
+
+std::string ErrnoText() { return std::strerror(errno); }
+
+/// Validates a v2 frame (line without its newline): prefix, decimal
+/// length, 8-hex CRC32C, payload of exactly that length and checksum.
+bool ParseV2Frame(std::string_view line, std::string_view& payload_out) {
+  if (line.size() < kV2Prefix.size() ||
+      line.substr(0, kV2Prefix.size()) != kV2Prefix) {
+    return false;
   }
+  std::size_t pos = kV2Prefix.size();
+  std::uint64_t len = 0;
+  bool any_digit = false;
+  while (pos < line.size() && line[pos] >= '0' && line[pos] <= '9') {
+    len = len * 10 + static_cast<std::uint64_t>(line[pos] - '0');
+    if (len > (std::uint64_t{1} << 30)) return false;  // absurd frame
+    ++pos;
+    any_digit = true;
+  }
+  if (!any_digit || pos >= line.size() || line[pos] != ' ') return false;
+  ++pos;
+  if (pos + 8 >= line.size()) return false;
+  std::uint32_t crc = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    const char c = line[pos + i];
+    std::uint32_t nibble = 0;
+    if (c >= '0' && c <= '9') {
+      nibble = static_cast<std::uint32_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      nibble = static_cast<std::uint32_t>(c - 'a') + 10;
+    } else {
+      return false;
+    }
+    crc = (crc << 4) | nibble;
+  }
+  pos += 8;
+  if (line[pos] != ' ') return false;
+  ++pos;
+  const std::string_view payload = line.substr(pos);
+  if (payload.size() != len) return false;
+  if (Crc32c(payload) != crc) return false;
+  payload_out = payload;
+  return true;
+}
+
+/// Parses a record payload (the JSON both versions share) into `out`.
+/// False on anything that is not a well-formed journal record.
+bool ParsePayload(std::string_view payload, int version, JournalRecord& out) {
+  JsonValue doc;
+  try {
+    doc = JsonValue::Parse(std::string(payload));
+  } catch (const std::exception&) {
+    return false;
+  }
+  try {
+    const std::string kind = doc.GetString("journal", "");
+    if (kind == "meta") {
+      out = JournalRecord{};
+      out.kind = kind;
+    } else if (kind == "request" || kind == "response") {
+      out = JournalRecord{};
+      out.kind = kind;
+      out.id = doc.GetString("id", "");
+      out.line = doc.At("line").AsString();
+      out.served = doc.GetString("served", "");
+    } else {
+      return false;
+    }
+  } catch (const std::exception&) {
+    return false;
+  }
+  out.version = version;
+  return true;
+}
+
+/// Would this complete line parse as a record (either framing)? Used to
+/// tell a torn tail (nothing valid after the failure) from interior
+/// corruption (valid records after it).
+bool LineValidates(std::string_view line) {
+  JournalRecord record;
+  if (line.size() >= kV2Prefix.size() &&
+      line.substr(0, kV2Prefix.size()) == kV2Prefix) {
+    std::string_view payload;
+    return ParseV2Frame(line, payload) && ParsePayload(payload, 2, record);
+  }
+  if (line.empty()) return false;
+  return ParsePayload(line, 1, record);
+}
+
+}  // namespace
+
+JournalSync ParseJournalSync(const std::string& text) {
+  if (text == "none") return JournalSync::kNone;
+  if (text == "batch") return JournalSync::kBatch;
+  if (text == "always") return JournalSync::kAlways;
+  throw JournalError("bad journal sync policy '" + text +
+                     "' (expected none|batch|always)");
+}
+
+std::string FrameRecordV2(std::string_view payload) {
+  char crc_hex[9];
+  std::snprintf(crc_hex, sizeof crc_hex, "%08x", Crc32c(payload));
+  std::string line;
+  line.reserve(payload.size() + 24);
+  line.append(kV2Prefix);
+  line.append(std::to_string(payload.size()));
+  line.push_back(' ');
+  line.append(crc_hex, 8);
+  line.push_back(' ');
+  line.append(payload);
+  line.push_back('\n');
+  return line;
+}
+
+JournalScan ScanJournalText(std::string_view text) {
+  JournalScan scan;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    if (nl == std::string_view::npos) break;  // unterminated tail
+    const std::string_view line = text.substr(pos, nl - pos);
+    if (line.empty()) {  // tolerated, as the v1 reader did
+      pos = nl + 1;
+      continue;
+    }
+    JournalRecord record;
+    bool parsed = false;
+    if (line.size() >= kV2Prefix.size() &&
+        line.substr(0, kV2Prefix.size()) == kV2Prefix) {
+      std::string_view payload;
+      parsed = ParseV2Frame(line, payload) && ParsePayload(payload, 2, record);
+    } else {
+      parsed = ParsePayload(line, 1, record);
+    }
+    if (!parsed) break;
+    if (record.version == 2) {
+      ++scan.v2_records;
+    } else {
+      ++scan.v1_records;
+    }
+    if (record.kind == "meta") scan.saw_meta = true;
+    scan.records.push_back(std::move(record));
+    pos = nl + 1;
+  }
+  scan.valid_bytes = pos;
+  scan.torn_bytes = text.size() - pos;
+
+  if (scan.torn_bytes > 0) {
+    // A crash tears at most the record being appended, so nothing valid
+    // can follow the failure point in an honest journal. A valid record
+    // after it means the damage is interior — refuse rather than fake a
+    // shorter history.
+    std::string_view tail = text.substr(pos);
+    const std::size_t first_nl = tail.find('\n');
+    if (first_nl != std::string_view::npos) {
+      tail = tail.substr(first_nl + 1);
+      std::size_t tpos = 0;
+      while (tpos < tail.size()) {
+        const std::size_t nl = tail.find('\n', tpos);
+        if (nl == std::string_view::npos) break;
+        if (LineValidates(tail.substr(tpos, nl - tpos))) {
+          throw JournalError(
+              "interior journal corruption: invalid record at byte " +
+              std::to_string(pos) + " is followed by valid records");
+        }
+        tpos = nl + 1;
+      }
+    }
+  }
+  return scan;
+}
+
+JournalScan ScanJournalFile(const std::string& path, bool truncate_torn) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw JournalError("cannot open journal: " + path + ": " + ErrnoText());
+  }
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  JournalScan scan = ScanJournalText(text);
+  if (truncate_torn && scan.torn_bytes > 0) {
+    const int fd = ::open(path.c_str(), O_WRONLY | O_CLOEXEC);
+    if (fd < 0) {
+      throw JournalError("cannot open journal for truncation: " + path + ": " +
+                         ErrnoText());
+    }
+    if (::ftruncate(fd, static_cast<off_t>(scan.valid_bytes)) != 0) {
+      const std::string reason = ErrnoText();
+      (void)::close(fd);
+      throw JournalError("cannot truncate torn journal tail: " + path + ": " +
+                         reason);
+    }
+    if (::close(fd) != 0) {
+      throw JournalError("close after truncation failed: " + path + ": " +
+                         ErrnoText());
+    }
+  }
+  return scan;
+}
+
+Journal::Journal(const std::string& path, JournalSync sync)
+    : path_(path), sync_(sync) {
+  struct stat st {};
+  if (::stat(path.c_str(), &st) != 0) {
+    if (errno != ENOENT) {
+      throw JournalError("cannot stat journal: " + path + ": " + ErrnoText());
+    }
+  } else if (st.st_size > 0) {
+    // Recovery-first open: cut any torn tail so this session's appends
+    // start at a record boundary, and remember what was dropped.
+    const JournalScan scan = ScanJournalFile(path, /*truncate_torn=*/true);
+    report_.valid_bytes = scan.valid_bytes;
+    report_.torn_bytes = scan.torn_bytes;
+    report_.records = scan.records.size();
+  }
+
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    throw JournalError("cannot open journal for appending: " + path + ": " +
+                       ErrnoText());
+  }
+  {
+    MutexLock lock(mu_);
+    fd_ = fd;
+  }
+
   const BuildInfo& build_info = GetBuildInfo();
   JsonObject build;
   build["version"] = build_info.version;
@@ -27,7 +266,19 @@ Journal::Journal(const std::string& path)
   meta["journal"] = "meta";
   meta["protocol"] = kProtocolVersion;
   meta["build"] = JsonValue(std::move(build));
-  AppendLine(JsonValue(std::move(meta)).Dump(-1));
+  AppendPayload(JsonValue(std::move(meta)).Dump(-1));
+}
+
+Journal::~Journal() {
+  MutexLock lock(mu_);
+  if (fd_ < 0) return;
+  if (sync_ != JournalSync::kNone && appends_since_sync_ > 0) {
+    // Best effort in a destructor: nothing useful can be done with an
+    // fsync failure during unwinding.
+    (void)io_faults::Fsync(IoStream::kJournal, fd_);
+  }
+  (void)::close(fd_);
+  fd_ = -1;
 }
 
 void Journal::AppendRequest(const std::string& id,
@@ -36,24 +287,74 @@ void Journal::AppendRequest(const std::string& id,
   record["journal"] = "request";
   record["id"] = id;
   record["line"] = raw_line;
-  AppendLine(JsonValue(std::move(record)).Dump(-1));
+  AppendPayload(JsonValue(std::move(record)).Dump(-1));
 }
 
 void Journal::AppendResponse(const std::string& id,
-                             const std::string& response_line) {
+                             const std::string& response_line,
+                             const std::string& served) {
   JsonObject record;
   record["journal"] = "response";
   record["id"] = id;
   record["line"] = response_line;
-  AppendLine(JsonValue(std::move(record)).Dump(-1));
+  if (!served.empty()) record["served"] = served;
+  AppendPayload(JsonValue(std::move(record)).Dump(-1));
 }
 
-void Journal::AppendLine(const std::string& line) {
-  // The lock intentionally covers the stream write + flush: it IS the
-  // serialization point that keeps journal records whole lines.
+void Journal::AppendPayload(const std::string& payload) {
+  const std::string line = FrameRecordV2(payload);
+  // The lock intentionally covers the write: it IS the serialization
+  // point that keeps journal records whole lines (and keeps the fsync
+  // cadence an exact count of durable records).
   MutexLock lock(mu_);
-  out_ << line << '\n';
-  out_.flush();  // resched-lint: allow(lock-held-over-blocking-call)
+  if (fd_ < 0) throw JournalError("append to a closed journal: " + path_);
+  std::size_t done = 0;
+  int transient = 0;
+  while (done < line.size()) {
+    const ssize_t n = io_faults::Write(IoStream::kJournal, fd_,
+                                       line.data() + done, line.size() - done);
+    if (n < 0) {
+      if ((errno == EINTR || errno == EAGAIN) &&
+          ++transient < kMaxTransientRetries) {
+        continue;
+      }
+      throw JournalError("journal append failed at byte " +
+                         std::to_string(done) + "/" +
+                         std::to_string(line.size()) + ": " + path_ + ": " +
+                         ErrnoText());
+    }
+    if (n == 0 && ++transient >= kMaxTransientRetries) {
+      throw JournalError("journal append made no progress at byte " +
+                         std::to_string(done) + "/" +
+                         std::to_string(line.size()) + ": " + path_);
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  ++appends_since_sync_;
+  const bool want_sync =
+      sync_ == JournalSync::kAlways ||
+      (sync_ == JournalSync::kBatch &&
+       appends_since_sync_ >= kBatchSyncInterval);
+  if (want_sync) {
+    transient = 0;
+    while (io_faults::Fsync(IoStream::kJournal, fd_) != 0) {
+      if (errno == EINTR && ++transient < kMaxTransientRetries) continue;
+      throw JournalError("journal fsync failed: " + path_ + ": " +
+                         ErrnoText());
+    }
+    appends_since_sync_ = 0;
+  }
+}
+
+void Journal::Sync() {
+  MutexLock lock(mu_);
+  if (fd_ < 0) return;
+  int transient = 0;
+  while (io_faults::Fsync(IoStream::kJournal, fd_) != 0) {
+    if (errno == EINTR && ++transient < kMaxTransientRetries) continue;
+    throw JournalError("journal fsync failed: " + path_ + ": " + ErrnoText());
+  }
+  appends_since_sync_ = 0;
 }
 
 namespace {
@@ -72,32 +373,25 @@ bool Replayable(const Request& request, const JsonValue& original_response) {
 }  // namespace
 
 ReplayOutcome ReplayJournal(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw InstanceError("cannot open journal: " + path);
+  const JournalScan scan = ScanJournalFile(path, /*truncate_torn=*/false);
+  if (!scan.saw_meta) {
+    throw InstanceError("journal has no meta record: " + path);
+  }
 
   std::vector<std::pair<std::string, std::string>> requests;  // (id, raw)
   std::map<std::string, std::string> responses;               // id -> line
-  bool saw_meta = false;
-  std::string line;
-  while (std::getline(in, line)) {
-    if (line.empty()) continue;
-    const JsonValue record = JsonValue::Parse(line);
-    const std::string kind = record.GetString("journal", "");
-    if (kind == "meta") {
-      saw_meta = true;
-    } else if (kind == "request") {
-      requests.emplace_back(record.GetString("id", ""),
-                            record.At("line").AsString());
-    } else if (kind == "response") {
-      responses[record.GetString("id", "")] = record.At("line").AsString();
-    } else {
-      throw InstanceError("not a reschedd journal record: " + line);
+  requests.reserve(scan.records.size());
+  for (const JournalRecord& record : scan.records) {
+    if (record.kind == "request") {
+      requests.emplace_back(record.id, record.line);
+    } else if (record.kind == "response") {
+      responses[record.id] = record.line;
     }
   }
-  if (!saw_meta) throw InstanceError("journal has no meta record: " + path);
 
   ReplayOutcome outcome;
   outcome.requests = requests.size();
+  outcome.torn_bytes = scan.torn_bytes;
 
   // A fresh single-worker in-process server; requests are replayed
   // serially (submit, then wait), so admission never rejects and ordering

@@ -1,5 +1,6 @@
 #include "service/protocol.hpp"
 
+#include <string_view>
 #include <utility>
 
 #include "io/instance_io.hpp"
@@ -153,6 +154,7 @@ Request ParseRequest(const std::string& line) {
       throw ProtocolError(kErrBadRequest, "unknown verb: " + verb, req.id);
     }
 
+    req.deadline_present = doc.Contains("deadline_ms");
     req.deadline_ms = doc.GetDouble("deadline_ms", 0.0);
     if (req.deadline_ms < 0.0) {
       throw ProtocolError(kErrBadRequest, "deadline_ms must be >= 0", req.id);
@@ -222,6 +224,38 @@ std::string WithId(const std::string& id, const std::string& body) {
   const std::string id_json =
       id.empty() ? std::string("null") : JsonValue(id).Dump(-1);
   return "{\"id\":" + id_json + "," + body.substr(1);
+}
+
+bool StripResponseId(const std::string& line, std::string& body_out) {
+  constexpr std::string_view kPrefix = "{\"id\":";
+  if (line.size() < kPrefix.size() + 2 ||
+      line.compare(0, kPrefix.size(), kPrefix) != 0 || line.back() != '}') {
+    return false;
+  }
+  std::size_t pos = kPrefix.size();
+  if (line[pos] == '"') {
+    // String id: skip to the closing quote, honoring backslash escapes
+    // (WithId escaped whatever the client sent, so the value may contain
+    // \" sequences).
+    ++pos;
+    while (pos < line.size()) {
+      if (line[pos] == '\\') {
+        pos += 2;
+        continue;
+      }
+      if (line[pos] == '"') break;
+      ++pos;
+    }
+    if (pos >= line.size()) return false;
+    ++pos;  // past the closing quote
+  } else {
+    // Non-string id (the `null` of an unparsable request): scan to the
+    // separating comma — no nesting is possible before it.
+    while (pos < line.size() && line[pos] != ',') ++pos;
+  }
+  if (pos >= line.size() || line[pos] != ',') return false;
+  body_out = "{" + line.substr(pos + 1);
+  return true;
 }
 
 std::string HandshakeLine() {

@@ -48,6 +48,7 @@ const char* ToString(Verb verb);
 inline constexpr const char* kErrParse = "parse_error";
 inline constexpr const char* kErrBadRequest = "bad_request";
 inline constexpr const char* kErrOverloaded = "overloaded";
+inline constexpr const char* kErrShuttingDown = "shutting_down";
 inline constexpr const char* kErrDeadline = "deadline_exceeded";
 inline constexpr const char* kErrCancelled = "cancelled";
 inline constexpr const char* kErrInternal = "internal";
@@ -92,7 +93,11 @@ struct Request {
   Verb verb = Verb::kStats;
   std::string id;       ///< client-supplied, or assigned by the server
   bool had_id = false;
-  double deadline_ms = 0.0;  ///< 0 = no deadline
+  double deadline_ms = 0.0;  ///< 0 = no deadline (unless explicitly sent)
+  /// True when the request carried a deadline_ms field at all. An explicit
+  /// `"deadline_ms":0` is a legal request for an already-expired deadline
+  /// (the shed-on-pop test relies on it) and must not read as "none".
+  bool deadline_present = false;
 
   /// schedule/simulate payload (validated against its device).
   std::shared_ptr<const Instance> instance;
@@ -131,6 +136,14 @@ std::string ErrorBody(const std::string& code, const std::string& message);
 /// Splices the id in front of a body: `{"id":"r1","ok":...}`. An empty id
 /// (unparsable request) becomes `"id":null`.
 std::string WithId(const std::string& id, const std::string& body);
+
+/// Inverse of WithId, textually: given a response line produced by
+/// WithId, recovers the exact body bytes (`{"ok":...}`) by skipping the
+/// spliced `"id":<value>,` prefix. Purely lexical on purpose — a JSON
+/// parse/re-dump round trip could legally reorder or reformat, and the
+/// warm-start cache must restore the *bit-identical* body the original
+/// daemon served. Returns false when `line` is not WithId-shaped.
+bool StripResponseId(const std::string& line, std::string& body_out);
 
 /// Greeting line sent once per connection: protocol version + build
 /// provenance (the satellite build-info stamp).

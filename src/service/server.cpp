@@ -1,5 +1,7 @@
 #include "service/server.hpp"
 
+#include <cstdio>
+#include <fstream>
 #include <utility>
 #include <vector>
 
@@ -38,8 +40,87 @@ RescheddServer::RescheddServer(Transport& transport, ServerOptions options)
         options_.result_cache_capacity);
   }
   if (!options_.journal_path.empty()) {
-    journal_ = std::make_unique<Journal>(options_.journal_path);
+    // Recovery-first: the Journal ctor truncates any torn tail before the
+    // warm-start scan below reads the file, so recovery only ever replays
+    // whole records.
+    journal_ = std::make_unique<Journal>(options_.journal_path,
+                                         options_.journal_sync);
   }
+  if (!options_.warm_start_path.empty()) WarmStart();
+}
+
+void RescheddServer::WarmStart() {
+  recovery_.enabled = true;
+  const std::string& path = options_.warm_start_path;
+  {
+    // A daemon's first boot has no journal yet: that is a cold start with
+    // warm-start armed, not an error.
+    std::ifstream probe(path);
+    if (!probe) return;
+  }
+  const JournalScan scan = ScanJournalFile(path, /*truncate_torn=*/false);
+  recovery_.records_scanned = scan.records.size();
+  recovery_.torn_bytes = scan.torn_bytes;
+  if (journal_ && path == options_.journal_path) {
+    // The Journal ctor already cut the tail; report what it dropped.
+    recovery_.torn_bytes = journal_->Report().torn_bytes;
+  }
+
+  // Pair request records with their response by id, in journal order.
+  std::map<std::string, std::string> raw_requests;
+  for (const JournalRecord& record : scan.records) {
+    if (record.kind == "request") {
+      raw_requests[record.id] = record.line;
+      continue;
+    }
+    if (record.kind != "response") continue;
+    const auto found = raw_requests.find(record.id);
+    if (found == raw_requests.end()) continue;
+
+    Request request;
+    try {
+      request = ParseRequest(found->second);
+    } catch (const ProtocolError&) {
+      continue;  // journaled by an older/newer build; not restorable
+    }
+    if (request.verb != Verb::kSchedule && request.verb != Verb::kSimulate) {
+      continue;  // control responses depend on server state
+    }
+    std::string body;
+    if (!StripResponseId(record.line, body)) continue;
+    bool was_ok = false;
+    try {
+      was_ok = JsonValue::Parse(body).GetBool("ok", false);
+    } catch (const std::exception&) {
+      continue;
+    }
+    if (!was_ok) continue;  // errors are retryable, not replayable history
+
+    RememberCompleted(record.id, body);
+    ++recovery_.dedup_restored;
+    if (result_cache_ && request.Deterministic() && request.sched.use_cache) {
+      result_cache_->Insert(HashCanonicalText(RequestKeyText(request)), body);
+      ++recovery_.cache_restored;
+    }
+  }
+}
+
+bool RescheddServer::FindCompleted(const std::string& id, std::string& body) {
+  MutexLock lock(completed_mu_);
+  const auto it = completed_.find(id);
+  if (it == completed_.end()) return false;
+  body = it->second;
+  return true;
+}
+
+void RescheddServer::RememberCompleted(const std::string& id,
+                                       const std::string& body) {
+  MutexLock lock(completed_mu_);
+  if (completed_.size() >= options_.completed_capacity &&
+      completed_.find(id) == completed_.end()) {
+    completed_.erase(completed_.begin());
+  }
+  completed_[id] = body;
 }
 
 RescheddServer::~RescheddServer() { queue_.Close(); }
@@ -69,7 +150,15 @@ void RescheddServer::Serve() {
     JsonObject body;
     body["verb"] = "shutdown";
     body["drained"] = true;
-    Respond(shutdown_id_, OkBody(std::move(body)));
+    Respond(shutdown_id_, OkBody(std::move(body)), "control");
+  }
+  if (journal_) {
+    try {
+      journal_->Sync();  // a graceful exit leaves a durable journal
+    } catch (const JournalError& e) {
+      journal_errors_.fetch_add(1, std::memory_order_relaxed);
+      std::fprintf(stderr, "reschedd: %s\n", e.what());
+    }
   }
 }
 
@@ -84,22 +173,29 @@ bool RescheddServer::ReadLoop() {
       request = ParseRequest(line);
     } catch (const ProtocolError& e) {
       rejected_invalid_.fetch_add(1, std::memory_order_relaxed);
-      Respond(e.id(), ErrorBody(e.code(), e.what()));
+      Respond(e.id(), ErrorBody(e.code(), e.what()), "error");
       continue;
     }
     if (!request.had_id) request.id = NextId();
-    if (journal_) journal_->AppendRequest(request.id, line);
+    if (journal_) {
+      try {
+        journal_->AppendRequest(request.id, line);
+      } catch (const JournalError& e) {
+        journal_errors_.fetch_add(1, std::memory_order_relaxed);
+        std::fprintf(stderr, "reschedd: %s\n", e.what());
+      }
+    }
 
     switch (request.verb) {
       case Verb::kStats:
-        Respond(request.id, StatsBody());
+        Respond(request.id, StatsBody(), "control");
         break;
       case Verb::kCancel: {
         JsonObject body;
         body["verb"] = "cancel";
         body["target"] = request.cancel_target;
         body["cancelled"] = CancelTarget(request.cancel_target);
-        Respond(request.id, OkBody(std::move(body)));
+        Respond(request.id, OkBody(std::move(body)), "control");
         break;
       }
       case Verb::kShutdown:
@@ -122,8 +218,35 @@ std::string RescheddServer::NextId() {
 
 void RescheddServer::Admit(Request request) {
   const std::string id = request.id;
+
+  // Idempotent resubmission: a client that reconnected and resent a
+  // request (it cannot tell a lost response from a slow one) must not
+  // trigger a second execution. A finished id is re-answered from the
+  // completed ledger; an id still in flight is dropped silently — the
+  // original execution's response goes to the live connection.
+  if (request.had_id) {
+    std::string body;
+    if (FindCompleted(id, body)) {
+      deduped_.fetch_add(1, std::memory_order_relaxed);
+      Respond(id, body, "dedup");
+      return;
+    }
+    {
+      MutexLock lock(registry_mu_);
+      if (registry_.find(id) != registry_.end()) {
+        deduped_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+    }
+  }
+
   auto token = std::make_shared<CancelToken>(
       request.deadline_ms > 0.0 ? request.deadline_ms / 1000.0 : 0.0);
+  if (request.deadline_present && request.deadline_ms <= 0.0) {
+    // An explicit 0ms deadline is already expired; Deadline cannot arm a
+    // zero-length window, so the token is force-expired instead.
+    token->ExpireDeadlineNow();
+  }
   {
     // Registered before the push so a cancel verb racing the worker can
     // always find the token.
@@ -133,7 +256,8 @@ void RescheddServer::Admit(Request request) {
   Pending item;
   item.request = std::move(request);
   item.token = std::move(token);
-  if (queue_.TryPush(std::move(item))) {
+  const PushOutcome outcome = queue_.TryPush(std::move(item));
+  if (outcome == PushOutcome::kAccepted) {
     accepted_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
@@ -141,8 +265,15 @@ void RescheddServer::Admit(Request request) {
     MutexLock lock(registry_mu_);
     registry_.erase(id);
   }
-  rejected_overloaded_.fetch_add(1, std::memory_order_relaxed);
-  Respond(id, ErrorBody(kErrOverloaded, "admission queue is full"));
+  if (outcome == PushOutcome::kClosed) {
+    rejected_shutting_down_.fetch_add(1, std::memory_order_relaxed);
+    Respond(id, ErrorBody(kErrShuttingDown, "server is shutting down"),
+            "error");
+  } else {
+    rejected_overloaded_.fetch_add(1, std::memory_order_relaxed);
+    Respond(id, ErrorBody(kErrOverloaded, "admission queue is full"),
+            "error");
+  }
 }
 
 bool RescheddServer::CancelTarget(const std::string& target) {
@@ -157,13 +288,51 @@ void RescheddServer::WorkerLoop() {
   WarmSlot warm;
   Pending item;
   while (queue_.Pop(item)) {
-    Process(item, warm);
+    // Deadline-aware shedding: a request whose deadline (or cancel)
+    // already fired while queued is answered here, not handed to the
+    // scheduler — and not served from the result cache either, which
+    // would fake a success the client has stopped waiting for.
+    if (item.token->Cancelled()) {
+      const std::string& id = item.request.id;
+      std::string body;
+      if (item.token->ExplicitlyCancelled()) {
+        cancelled_.fetch_add(1, std::memory_order_relaxed);
+        body = ErrorBody(kErrCancelled, "request cancelled");
+      } else {
+        deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+        body = ErrorBody(kErrDeadline, "deadline expired while queued");
+      }
+      {
+        MutexLock lock(registry_mu_);
+        registry_.erase(id);
+      }
+      Respond(id, body, "error");
+    } else {
+      Process(item, warm);
+    }
     item = Pending{};  // release the instance/token before blocking again
   }
 }
 
 void RescheddServer::Process(Pending& item, WarmSlot& warm) {
   const Request& request = item.request;
+
+  // Closes the Admit-time dedup race: a duplicate that slipped past both
+  // Admit checks (original finished between them) finds the completed
+  // entry here, because RememberCompleted runs before the registry erase.
+  if (request.had_id) {
+    std::string done_body;
+    if (FindCompleted(request.id, done_body)) {
+      deduped_.fetch_add(1, std::memory_order_relaxed);
+      {
+        MutexLock lock(registry_mu_);
+        registry_.erase(request.id);
+      }
+      Respond(request.id, done_body, "dedup");
+      return;
+    }
+  }
+
   const bool cacheable = result_cache_ != nullptr && request.Deterministic() &&
                          request.sched.use_cache;
   Digest128 key;
@@ -204,12 +373,17 @@ void RescheddServer::Process(Pending& item, WarmSlot& warm) {
   if (ok) {
     completed_ok_.fetch_add(1, std::memory_order_relaxed);
     if (cacheable && !from_cache) result_cache_->Insert(key, body);
+    // Into the dedup ledger BEFORE leaving the registry: a duplicate
+    // checks completed-then-registry, so at least one of the two must see
+    // this request at any instant. Only ok bodies are remembered — an
+    // error (deadline, overload) is exactly what a client retries.
+    if (request.had_id) RememberCompleted(request.id, body);
   }
   {
     MutexLock lock(registry_mu_);
     registry_.erase(request.id);
   }
-  Respond(request.id, body);
+  Respond(request.id, body, ok ? (from_cache ? "cache" : "exec") : "error");
 }
 
 std::string RescheddServer::Execute(const Request& request,
@@ -405,6 +579,11 @@ std::string RescheddServer::StatsBody() {
       AsInt64(deadline_expired_.load(std::memory_order_relaxed));
   counters["cache_hits"] =
       AsInt64(cache_hits_.load(std::memory_order_relaxed));
+  counters["deduped"] = AsInt64(deduped_.load(std::memory_order_relaxed));
+  counters["rejected_shutting_down"] =
+      AsInt64(rejected_shutting_down_.load(std::memory_order_relaxed));
+  counters["journal_errors"] =
+      AsInt64(journal_errors_.load(std::memory_order_relaxed));
 
   const BuildInfo& build_info = GetBuildInfo();
   JsonObject build;
@@ -434,10 +613,20 @@ std::string RescheddServer::StatsBody() {
     MutexLock lock(pool_mu_);
     body["floorplan_caches"] = floorplan_pool_.size();
   }
+  if (recovery_.enabled) {
+    JsonObject recovery;
+    recovery["records_scanned"] = recovery_.records_scanned;
+    recovery["torn_bytes"] = AsInt64(
+        static_cast<std::uint64_t>(recovery_.torn_bytes));
+    recovery["cache_restored"] = recovery_.cache_restored;
+    recovery["dedup_restored"] = recovery_.dedup_restored;
+    body["recovery"] = JsonValue(std::move(recovery));
+  }
   return OkBody(std::move(body));
 }
 
-void RescheddServer::Respond(const std::string& id, const std::string& body) {
+void RescheddServer::Respond(const std::string& id, const std::string& body,
+                             const char* served) {
   const std::string line = WithId(id, body);
   // Deliberately held across the transport write and the journal append:
   // this lock's entire job is making the two one atomic step, so the
@@ -446,7 +635,17 @@ void RescheddServer::Respond(const std::string& id, const std::string& body) {
   MutexLock lock(write_mu_);
   (void)transport_.WriteLine(  // resched-lint: allow(lock-held-over-blocking-call)
       line);
-  if (journal_) journal_->AppendResponse(id, line);
+  if (journal_) {
+    try {
+      journal_->AppendResponse(id, line, served);
+    } catch (const JournalError& e) {
+      // Surfaced, not fatal: the daemon keeps serving with a lagging
+      // journal (whose recovery scan handles the torn record), and the
+      // stats counter makes the degradation visible.
+      journal_errors_.fetch_add(1, std::memory_order_relaxed);
+      std::fprintf(stderr, "reschedd: %s\n", e.what());
+    }
+  }
 }
 
 ServiceCounters RescheddServer::Counters() const {
@@ -460,6 +659,10 @@ ServiceCounters RescheddServer::Counters() const {
   c.cancelled = cancelled_.load(std::memory_order_relaxed);
   c.deadline_expired = deadline_expired_.load(std::memory_order_relaxed);
   c.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  c.deduped = deduped_.load(std::memory_order_relaxed);
+  c.rejected_shutting_down =
+      rejected_shutting_down_.load(std::memory_order_relaxed);
+  c.journal_errors = journal_errors_.load(std::memory_order_relaxed);
   return c;
 }
 

@@ -55,8 +55,17 @@ struct ServerOptions {
   /// Share one floorplan-feasibility cache per distinct platform across
   /// requests and workers.
   bool floorplan_cache = true;
-  /// JSONL request journal (empty = disabled).
+  /// Framed request journal (empty = disabled).
   std::string journal_path;
+  /// When the journal pushes records through fsync (none|batch|always).
+  JournalSync journal_sync = JournalSync::kBatch;
+  /// Journal to replay into the result cache + dedup map at boot (empty =
+  /// cold start; a missing file is a fresh boot, not an error). Usually
+  /// the same path as journal_path on a restarted daemon.
+  std::string warm_start_path;
+  /// Bound on the id -> response dedup map (oldest-by-id eviction; a
+  /// bound, not an LRU — its job is capping memory, not hit rate).
+  std::size_t completed_capacity = 4096;
 };
 
 struct ServiceCounters {
@@ -69,6 +78,18 @@ struct ServiceCounters {
   std::uint64_t cancelled = 0;
   std::uint64_t deadline_expired = 0;
   std::uint64_t cache_hits = 0;
+  std::uint64_t deduped = 0;         ///< duplicate ids answered from history
+  std::uint64_t rejected_shutting_down = 0;
+  std::uint64_t journal_errors = 0;  ///< appends/fsyncs that failed
+};
+
+/// What a warm start recovered from the journal (all zero on cold start).
+struct RecoveryInfo {
+  bool enabled = false;
+  std::size_t records_scanned = 0;
+  std::uint64_t torn_bytes = 0;      ///< tail bytes dropped by the scan
+  std::size_t cache_restored = 0;    ///< result-cache entries re-inserted
+  std::size_t dedup_restored = 0;    ///< completed ids re-registered
 };
 
 class RescheddServer {
@@ -81,6 +102,7 @@ class RescheddServer {
   void Serve();
 
   ServiceCounters Counters() const;
+  const RecoveryInfo& Recovery() const { return recovery_; }
 
  private:
   struct Pending {
@@ -113,11 +135,22 @@ class RescheddServer {
   };
 
   bool ReadLoop();
-  void Admit(Request request) RESCHED_EXCLUDES(registry_mu_);
+  void Admit(Request request)
+      RESCHED_EXCLUDES(registry_mu_, completed_mu_);
   bool CancelTarget(const std::string& target) RESCHED_EXCLUDES(registry_mu_);
   void WorkerLoop();
   void Process(Pending& item, WarmSlot& warm)
-      RESCHED_EXCLUDES(registry_mu_, write_mu_);
+      RESCHED_EXCLUDES(registry_mu_, write_mu_, completed_mu_);
+  /// Replays options_.warm_start_path into the result cache and the
+  /// completed-id map (no re-solving — recorded bodies are restored
+  /// byte-for-byte). Called from the constructor.
+  void WarmStart() RESCHED_EXCLUDES(completed_mu_);
+  /// Looks up a completed id; true (and fills `body`) on a hit.
+  bool FindCompleted(const std::string& id, std::string& body)
+      RESCHED_EXCLUDES(completed_mu_);
+  /// Records a completed id's body, evicting at completed_capacity.
+  void RememberCompleted(const std::string& id, const std::string& body)
+      RESCHED_EXCLUDES(completed_mu_);
   std::string Execute(const Request& request, const CancelToken& token,
                       WarmSlot& warm);
   std::string ExecuteSchedule(const Request& request, const CancelToken& token,
@@ -128,8 +161,11 @@ class RescheddServer {
                            WarmSlot& warm, std::size_t& iterations);
   std::string StatsBody() RESCHED_EXCLUDES(pool_mu_);
   FloorplanCache* PoolFor(const Request& request) RESCHED_EXCLUDES(pool_mu_);
-  void Respond(const std::string& id, const std::string& body)
-      RESCHED_EXCLUDES(write_mu_);
+  /// `served` tags the journaled response record with where the body came
+  /// from ("exec", "cache", "dedup", "error", "control") — the chaos
+  /// harness counts "exec" records to prove nothing ran twice.
+  void Respond(const std::string& id, const std::string& body,
+               const char* served) RESCHED_EXCLUDES(write_mu_);
   std::string NextId();
 
   Transport& transport_;
@@ -150,6 +186,16 @@ class RescheddServer {
   std::map<std::string, std::shared_ptr<CancelToken>> registry_
       RESCHED_GUARDED_BY(registry_mu_);
 
+  /// Completed id -> response body (without id): the idempotent-
+  /// resubmission ledger. A duplicate of a finished request is re-answered
+  /// from here ("dedup") instead of re-executing; warm start seeds it from
+  /// the journal so the contract survives a restart.
+  Mutex completed_mu_;
+  std::map<std::string, std::string> completed_
+      RESCHED_GUARDED_BY(completed_mu_);
+
+  RecoveryInfo recovery_;  ///< written once in the ctor, read-only after
+
   Mutex pool_mu_;
   std::map<std::string, PlatformCacheEntry> floorplan_pool_
       RESCHED_GUARDED_BY(pool_mu_);
@@ -166,6 +212,9 @@ class RescheddServer {
   std::atomic<std::uint64_t> cancelled_{0};
   std::atomic<std::uint64_t> deadline_expired_{0};
   std::atomic<std::uint64_t> cache_hits_{0};
+  std::atomic<std::uint64_t> deduped_{0};
+  std::atomic<std::uint64_t> rejected_shutting_down_{0};
+  std::atomic<std::uint64_t> journal_errors_{0};
 };
 
 }  // namespace resched::service

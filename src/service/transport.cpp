@@ -1,19 +1,82 @@
 #include "service/transport.hpp"
 
-#include <iostream>
+#include <unistd.h>
+
+#include <cerrno>
 #include <utility>
 
+#include "util/io_faults.hpp"
+
 namespace resched::service {
+namespace {
+
+/// Bounded EINTR/EAGAIN retry budget for the stdio fd loops below (the
+/// same reasoning as the journal's: generous versus any real signal
+/// storm, finite under a 100%-fault injection spec).
+constexpr int kMaxTransientRetries = 128;
+
+}  // namespace
 
 // ---------------------------------------------------------------- Stdio --
+//
+// Raw-fd loops rather than iostreams so the fault shim sees every byte
+// (std::cin/cout buffer syscalls away from it) and so EINTR — which
+// iostreams surface as an unrecoverable badbit — is retried like every
+// other transport retries it.
 
 bool StdioTransport::ReadLine(std::string& line) {
-  return static_cast<bool>(std::getline(std::cin, line));
+  line.clear();
+  for (;;) {
+    const std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      line.assign(buffer_, 0, nl);
+      buffer_.erase(0, nl + 1);
+      return true;
+    }
+    if (eof_) {
+      if (buffer_.empty()) return false;
+      line = std::move(buffer_);  // unterminated trailing line
+      buffer_.clear();
+      return true;
+    }
+    char chunk[4096];
+    int transient = 0;
+    ssize_t n;
+    while ((n = io_faults::Read(IoStream::kStdio, STDIN_FILENO, chunk,
+                                sizeof chunk)) < 0) {
+      if ((errno == EINTR || errno == EAGAIN) &&
+          ++transient < kMaxTransientRetries) {
+        continue;
+      }
+      eof_ = true;  // persistent read failure ends the stream
+      break;
+    }
+    if (n > 0) {
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    } else if (n == 0) {
+      eof_ = true;
+    }
+  }
 }
 
 bool StdioTransport::WriteLine(const std::string& line) {
-  std::cout << line << '\n' << std::flush;
-  return static_cast<bool>(std::cout);
+  const std::string framed = line + "\n";
+  std::size_t done = 0;
+  int transient = 0;
+  while (done < framed.size()) {
+    const ssize_t n =
+        io_faults::Write(IoStream::kStdio, STDOUT_FILENO, framed.data() + done,
+                         framed.size() - done);
+    if (n < 0) {
+      if ((errno == EINTR || errno == EAGAIN) &&
+          ++transient < kMaxTransientRetries) {
+        continue;
+      }
+      return false;  // peer gone / persistent failure: response dropped
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
 }
 
 // ----------------------------------------------------------------- Pipe --

@@ -49,11 +49,17 @@ class Transport {
   virtual void SetGreeting(const std::string& line) { (void)WriteLine(line); }
 };
 
-/// Requests on stdin, responses on stdout (flushed per line).
+/// Requests on stdin, responses on stdout — raw-fd loops (with bounded
+/// EINTR/EAGAIN retries, routed through the io_faults shim) rather than
+/// iostreams, so fault injection covers this transport too.
 class StdioTransport : public Transport {
  public:
   bool ReadLine(std::string& line) override;
   bool WriteLine(const std::string& line) override;
+
+ private:
+  std::string buffer_;  ///< touched by the reader thread only
+  bool eof_ = false;
 };
 
 /// In-process pair of blocking line channels. The Transport interface is

@@ -38,9 +38,18 @@ class CancelToken {
   /// Requests cancellation; idempotent and safe from any thread.
   void Cancel() { cancelled_.store(true, std::memory_order_release); }
 
+  /// Marks the deadline as already elapsed. Needed for an explicit 0ms
+  /// budget: Deadline cannot arm a zero-length window (a budget of 0 means
+  /// "none"), and passing an epsilon instead would race the clock. Unlike
+  /// Cancel() this keeps ExplicitlyCancelled() false, so the failure maps
+  /// to `deadline_exceeded`, not `cancelled`.
+  void ExpireDeadlineNow() {
+    deadline_forced_.store(true, std::memory_order_release);
+  }
+
   /// True once Cancel() was called or the deadline elapsed.
   bool Cancelled() const {
-    return cancelled_.load(std::memory_order_acquire) || deadline_.Expired();
+    return cancelled_.load(std::memory_order_acquire) || DeadlineExpired();
   }
 
   /// True only for an explicit Cancel() (distinguishes a client-driven
@@ -49,7 +58,10 @@ class CancelToken {
     return cancelled_.load(std::memory_order_acquire);
   }
 
-  bool DeadlineExpired() const { return deadline_.Expired(); }
+  bool DeadlineExpired() const {
+    return deadline_forced_.load(std::memory_order_acquire) ||
+           deadline_.Expired();
+  }
 
   void ThrowIfCancelled() const {
     if (Cancelled()) {
@@ -61,6 +73,7 @@ class CancelToken {
 
  private:
   std::atomic<bool> cancelled_{false};
+  std::atomic<bool> deadline_forced_{false};
   Deadline deadline_;
 };
 

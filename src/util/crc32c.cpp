@@ -1,0 +1,37 @@
+#include "util/crc32c.hpp"
+
+#include <array>
+
+namespace resched {
+namespace {
+
+/// Byte-at-a-time table for the reflected Castagnoli polynomial, built
+/// once at first use (constant-time thereafter; no static-init ordering
+/// concerns because the table is function-local).
+const std::array<std::uint32_t, 256>& Table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? 0x82F63B78u : 0u);
+      }
+      t[i] = crc;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t Crc32c(std::string_view data, std::uint32_t crc) {
+  const std::array<std::uint32_t, 256>& table = Table();
+  crc = ~crc;
+  for (const char c : data) {
+    crc = table[(crc ^ static_cast<unsigned char>(c)) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace resched

@@ -1,0 +1,23 @@
+// CRC32C (Castagnoli, reflected polynomial 0x82F63B78) — the checksum
+// guarding journal v2 record frames.
+//
+// Chosen over plain CRC32 for its strictly better Hamming-distance
+// profile at the record sizes the journal writes (tens of bytes to a few
+// KiB), and because it is the checksum hardware (SSE4.2 crc32 / ARMv8 CRC
+// extensions) and other storage formats (iSCSI, ext4 metadata, LevelDB)
+// standardize on, so a future hardware fast path drops in without a
+// format change. This implementation is the portable slice-by-one table
+// variant: the journal's append path is dominated by the write syscall,
+// not the checksum.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace resched {
+
+/// CRC32C of `data`. `crc` chains partial computations: pass the previous
+/// return value to extend a running checksum (starting from 0).
+std::uint32_t Crc32c(std::string_view data, std::uint32_t crc = 0);
+
+}  // namespace resched

@@ -1,0 +1,247 @@
+#include "util/io_faults.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "util/mutex.hpp"
+#include "util/rng.hpp"
+#include "util/string_util.hpp"
+
+namespace resched {
+
+namespace {
+
+/// Armed-state flag, readable without the lock: the disarmed fast path is
+/// this single load. The full spec + PRNG live behind the mutex.
+std::atomic<bool> g_armed{false};
+
+struct ShimState {
+  Mutex mu;
+  IoFaultSpec spec RESCHED_GUARDED_BY(mu);
+  Rng rng RESCHED_GUARDED_BY(mu){0};
+  std::int64_t journal_bytes RESCHED_GUARDED_BY(mu) = 0;
+};
+
+ShimState& State() {
+  static ShimState* state = new ShimState;  // intentionally leaked:
+  // hooked syscalls may run during static destruction (journal flush from
+  // a daemon exiting), so the state must outlive every other object.
+  return *state;
+}
+
+void Arm(const IoFaultSpec& spec) {
+  ShimState& s = State();
+  MutexLock lock(s.mu);
+  s.spec = spec;
+  s.rng = Rng(spec.seed);
+  s.journal_bytes = 0;
+  g_armed.store(spec.enabled, std::memory_order_release);
+}
+
+/// Parses RESCHED_IO_FAULTS once, on the first armed-state query.
+bool EnvArmed() {
+  static const bool armed = [] {
+    const char* env = std::getenv("RESCHED_IO_FAULTS");
+    if (env == nullptr || *env == '\0') return false;
+    Arm(ParseIoFaultSpec(env));
+    return true;
+  }();
+  return armed;
+}
+
+/// Per-call fault decision for a write-like call of `count` bytes.
+struct WriteVerdict {
+  int fail_errno = 0;        ///< nonzero: return -1 with this errno
+  std::size_t allowed = 0;   ///< bytes the real syscall may move
+  std::int64_t crash_after = -1;  ///< >=0: _exit after writing this many
+};
+
+WriteVerdict DecideWrite(IoStream stream, std::size_t count) {
+  ShimState& s = State();
+  MutexLock lock(s.mu);
+  WriteVerdict v;
+  v.allowed = count;
+  if (!s.spec.enabled) return v;
+  if (s.spec.eintr > 0.0 && s.rng.Bernoulli(s.spec.eintr)) {
+    v.fail_errno = EINTR;
+    return v;
+  }
+  if (s.spec.eagain > 0.0 && s.rng.Bernoulli(s.spec.eagain)) {
+    v.fail_errno = EAGAIN;
+    return v;
+  }
+  if (count > 1 && s.spec.short_write > 0.0 &&
+      s.rng.Bernoulli(s.spec.short_write)) {
+    // Truncate to a nonzero prefix: a zero-byte "success" would loop
+    // forever in callers, which real kernels do not do for write().
+    v.allowed = static_cast<std::size_t>(
+        s.rng.UniformInt(1, static_cast<std::int64_t>(count) - 1));
+  }
+  if (stream == IoStream::kJournal && s.spec.crash_at >= 0) {
+    const std::int64_t remaining = s.spec.crash_at - s.journal_bytes;
+    if (remaining < static_cast<std::int64_t>(v.allowed)) {
+      v.crash_after = remaining < 0 ? 0 : remaining;
+      v.allowed = static_cast<std::size_t>(v.crash_after);
+    }
+  }
+  if (stream == IoStream::kJournal) {
+    s.journal_bytes += static_cast<std::int64_t>(v.allowed);
+  }
+  return v;
+}
+
+/// Per-call fault decision for a read-like call (EINTR/EAGAIN only: short
+/// reads are already the normal contract every caller handles).
+int DecideReadErrno() {
+  ShimState& s = State();
+  MutexLock lock(s.mu);
+  if (!s.spec.enabled) return 0;
+  if (s.spec.eintr > 0.0 && s.rng.Bernoulli(s.spec.eintr)) return EINTR;
+  if (s.spec.eagain > 0.0 && s.rng.Bernoulli(s.spec.eagain)) return EAGAIN;
+  return 0;
+}
+
+/// Emulates SIGKILL between a write() and its completion: the bytes
+/// already handed to the kernel survive, nothing else does. 137 is the
+/// shell's encoding of SIGKILL, which lets the harness tell an injected
+/// crash from an ordinary failure.
+[[noreturn]] void CrashNow() { _exit(137); }
+
+}  // namespace
+
+IoFaultSpec ParseIoFaultSpec(std::string_view text) {
+  IoFaultSpec spec;
+  if (text.empty()) return spec;
+  for (const std::string& item : Split(std::string(text), ',')) {
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos) {
+      throw std::runtime_error("RESCHED_IO_FAULTS: expected key=value, got '" +
+                               item + "'");
+    }
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    try {
+      if (key == "seed") {
+        spec.seed = static_cast<std::uint64_t>(std::stoull(value));
+      } else if (key == "short_write") {
+        spec.short_write = std::stod(value);
+      } else if (key == "eintr") {
+        spec.eintr = std::stod(value);
+      } else if (key == "eagain") {
+        spec.eagain = std::stod(value);
+      } else if (key == "crash_at") {
+        spec.crash_at = static_cast<std::int64_t>(std::stoll(value));
+      } else {
+        throw std::runtime_error("RESCHED_IO_FAULTS: unknown key '" + key +
+                                 "'");
+      }
+    } catch (const std::invalid_argument&) {
+      throw std::runtime_error("RESCHED_IO_FAULTS: bad value for '" + key +
+                               "': '" + value + "'");
+    } catch (const std::out_of_range&) {
+      throw std::runtime_error("RESCHED_IO_FAULTS: value out of range for '" +
+                               key + "': '" + value + "'");
+    }
+  }
+  spec.enabled = true;
+  return spec;
+}
+
+namespace io_faults {
+
+bool Enabled() {
+  if (g_armed.load(std::memory_order_acquire)) return true;
+  return EnvArmed() && g_armed.load(std::memory_order_acquire);
+}
+
+void InstallForTest(const IoFaultSpec& spec) { Arm(spec); }
+
+void Reset() {
+  IoFaultSpec disabled;
+  Arm(disabled);
+}
+
+std::int64_t JournalBytesWritten() {
+  ShimState& s = State();
+  MutexLock lock(s.mu);
+  return s.journal_bytes;
+}
+
+ssize_t Write(IoStream stream, int fd, const void* buf, std::size_t count) {
+  if (!Enabled()) return ::write(fd, buf, count);
+  const WriteVerdict v = DecideWrite(stream, count);
+  if (v.fail_errno != 0) {
+    errno = v.fail_errno;
+    return -1;
+  }
+  if (v.crash_after >= 0) {
+    // Flush the surviving prefix with the *real* syscall (retrying EINTR
+    // so the crash point is exact), then die as SIGKILL would.
+    std::size_t done = 0;
+    while (done < static_cast<std::size_t>(v.crash_after)) {
+      const ssize_t n = ::write(fd, static_cast<const char*>(buf) + done,
+                                static_cast<std::size_t>(v.crash_after) - done);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        break;  // nothing more useful to do on the way down
+      }
+      done += static_cast<std::size_t>(n);
+    }
+    CrashNow();
+  }
+  return ::write(fd, buf, v.allowed);
+}
+
+ssize_t Read(IoStream stream, int fd, void* buf, std::size_t count) {
+  (void)stream;
+  if (Enabled()) {
+    const int err = DecideReadErrno();
+    if (err != 0) {
+      errno = err;
+      return -1;
+    }
+  }
+  return ::read(fd, buf, count);
+}
+
+int Fsync(IoStream stream, int fd) {
+  (void)stream;
+  if (Enabled()) {
+    const int err = DecideReadErrno();  // same EINTR/EAGAIN draw
+    if (err == EINTR) {
+      errno = EINTR;
+      return -1;
+    }
+  }
+  return ::fsync(fd);
+}
+
+ssize_t Send(int fd, const void* buf, std::size_t count, int flags) {
+  if (!Enabled()) return ::send(fd, buf, count, flags);
+  const WriteVerdict v = DecideWrite(IoStream::kSocket, count);
+  if (v.fail_errno != 0) {
+    errno = v.fail_errno;
+    return -1;
+  }
+  return ::send(fd, buf, v.allowed, flags);
+}
+
+ssize_t Recv(int fd, void* buf, std::size_t count, int flags) {
+  if (Enabled()) {
+    const int err = DecideReadErrno();
+    if (err != 0) {
+      errno = err;
+      return -1;
+    }
+  }
+  return ::recv(fd, buf, count, flags);
+}
+
+}  // namespace io_faults
+}  // namespace resched

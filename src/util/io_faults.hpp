@@ -1,0 +1,89 @@
+// Deterministic I/O fault injection for the service layer.
+//
+// A seeded shim over the read/write/fsync/send/recv syscalls the daemon's
+// durability story depends on. When armed (via the RESCHED_IO_FAULTS
+// environment variable or InstallForTest), each hooked call may — with
+// configured probabilities drawn from a seeded PRNG — be truncated to a
+// short write, fail with EINTR or EAGAIN, or (journal stream only) write a
+// partial prefix and kill the process mid-record to emulate a power cut /
+// kill -9 at an exact byte offset. Disarmed (the production default), every
+// hook is a relaxed atomic load and a tail call to the real syscall.
+//
+// Spec grammar (comma-separated key=value):
+//
+//   RESCHED_IO_FAULTS="seed=7,short_write=0.3,eintr=0.2,eagain=0.1,crash_at=512"
+//
+//   seed=N          PRNG seed (default 0); same spec + same call sequence
+//                   => same injected faults, which is what lets the chaos
+//                   harness place crash points reproducibly.
+//   short_write=P   probability a write/send is truncated to a nonzero
+//                   random prefix (caller must loop).
+//   eintr=P         probability a call fails with errno == EINTR.
+//   eagain=P        probability a call fails with errno == EAGAIN.
+//   crash_at=K      after K cumulative bytes have reached the journal
+//                   stream, write the partial prefix up to byte K and
+//                   _exit(137) — the observable effect of SIGKILL between
+//                   a write() and its completion.
+//
+// The shim is process-global: faults are decided per call in call order,
+// so multi-threaded servers see a deterministic fault *budget* rather than
+// a deterministic per-call-site assignment (good enough for the chaos
+// harness, which asserts invariants, not exact schedules).
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace resched {
+
+/// Which logical stream a hooked call belongs to. crash_at counts journal
+/// bytes only; the probabilistic faults apply to every stream.
+enum class IoStream { kJournal, kSocket, kStdio };
+
+struct IoFaultSpec {
+  std::uint64_t seed = 0;
+  double short_write = 0.0;  ///< P(write truncated to a random prefix)
+  double eintr = 0.0;        ///< P(call fails with EINTR)
+  double eagain = 0.0;       ///< P(call fails with EAGAIN)
+  std::int64_t crash_at = -1;  ///< journal byte offset; -1 = disabled
+  bool enabled = false;
+};
+
+/// Parses the RESCHED_IO_FAULTS grammar above. Throws std::runtime_error
+/// on an unknown key or malformed value; an empty string parses to a
+/// disabled spec.
+IoFaultSpec ParseIoFaultSpec(std::string_view text);
+
+namespace io_faults {
+
+/// True when fault injection is armed. The disarmed check is one relaxed
+/// atomic load — the only cost production pays.
+bool Enabled();
+
+/// Arms the shim programmatically (chaos bench children call this after
+/// fork, before any I/O). Overrides any environment spec.
+void InstallForTest(const IoFaultSpec& spec);
+
+/// Disarms the shim and resets byte counters (test teardown).
+void Reset();
+
+/// Cumulative bytes the journal stream has written since arming (or
+/// process start). The chaos harness uses this to place the next crash
+/// point past the bytes already journaled.
+std::int64_t JournalBytesWritten();
+
+// Hooked syscalls. Signatures mirror POSIX; on injected failure they
+// return -1 with errno set, exactly like the real call. Callers keep
+// their normal errno handling and need no shim-specific logic.
+ssize_t Write(IoStream stream, int fd, const void* buf, std::size_t count);
+ssize_t Read(IoStream stream, int fd, void* buf, std::size_t count);
+int Fsync(IoStream stream, int fd);
+ssize_t Send(int fd, const void* buf, std::size_t count, int flags);
+ssize_t Recv(int fd, void* buf, std::size_t count, int flags);
+
+}  // namespace io_faults
+}  // namespace resched

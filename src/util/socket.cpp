@@ -8,6 +8,8 @@
 #include <cstring>
 #include <utility>
 
+#include "util/io_faults.hpp"
+
 namespace resched {
 
 namespace {
@@ -15,6 +17,12 @@ namespace {
 [[noreturn]] void ThrowErrno(const std::string& what) {
   throw SocketError(what + ": " + std::strerror(errno));
 }
+
+/// Bounded retry budget for transient errno results (EINTR, and EAGAIN
+/// under fault injection — these are blocking sockets, so a real kernel
+/// never returns EAGAIN here). Finite so a 100%-fault spec terminates
+/// with an error instead of spinning forever.
+constexpr int kMaxTransientRetries = 128;
 
 sockaddr_un MakeAddress(const std::string& path) {
   sockaddr_un addr{};
@@ -66,11 +74,15 @@ UnixSocket UnixSocket::Connect(const std::string& path) {
 bool UnixSocket::SendAll(std::string_view data) {
   if (fd_ < 0) throw SocketError("SendAll on a closed socket");
   std::size_t sent = 0;
+  int transient = 0;
   while (sent < data.size()) {
-    const ssize_t n =
-        ::send(fd_, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    const ssize_t n = io_faults::Send(fd_, data.data() + sent,
+                                      data.size() - sent, MSG_NOSIGNAL);
     if (n < 0) {
-      if (errno == EINTR) continue;
+      if ((errno == EINTR || errno == EAGAIN) &&
+          ++transient < kMaxTransientRetries) {
+        continue;
+      }
       if (errno == EPIPE || errno == ECONNRESET) return false;
       ThrowErrno("send");
     }
@@ -82,10 +94,14 @@ bool UnixSocket::SendAll(std::string_view data) {
 bool UnixSocket::RecvSome(std::string& buffer) {
   if (fd_ < 0) throw SocketError("RecvSome on a closed socket");
   char chunk[4096];
+  int transient = 0;
   for (;;) {
-    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    const ssize_t n = io_faults::Recv(fd_, chunk, sizeof chunk, 0);
     if (n < 0) {
-      if (errno == EINTR) continue;
+      if ((errno == EINTR || errno == EAGAIN) &&
+          ++transient < kMaxTransientRetries) {
+        continue;
+      }
       ThrowErrno("recv");
     }
     if (n == 0) return false;  // orderly EOF

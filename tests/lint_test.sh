@@ -62,6 +62,14 @@ void drop(int fd) {
   close(fd);
 }
 EOF
+cat > "$TMP/src/service/blind_log.cpp" <<'EOF'
+#include <fstream>
+#include <string>
+void append(const std::string& path, const std::string& line) {
+  std::ofstream out(path, std::ios::app);
+  out << line << "\n";
+}
+EOF
 mkdir -p "$TMP/src/floorplan"
 cat > "$TMP/src/floorplan/hot.cpp" <<'EOF'
 #include <vector>
@@ -79,8 +87,8 @@ out=$("$PYTHON" "$LINT" --root "$TMP") && fail "seeded violations not detected"
 for rule in no-std-rand no-wall-clock-seed no-argless-random-device \
     no-unordered-in-output pragma-once include-cycle no-naked-new \
     no-silent-catch no-adhoc-seed-derivation \
-    no-unchecked-syscall-return no-vector-bool-hot \
-    reserve-before-push-hot; do
+    no-unchecked-syscall-return no-unchecked-stream-write \
+    no-vector-bool-hot reserve-before-push-hot; do
   echo "$out" | grep -q "\[$rule\]" || fail "rule $rule did not fire"
 done
 
@@ -192,5 +200,32 @@ void elsewhere(int fd) {
 EOF
 "$PYTHON" "$LINT" --root "$CLEAN" \
     || fail "no-unchecked-syscall-return fired on sanctioned usage"
+
+# --- state-checked stream writes are acceptable; so are reads and other dirs --
+cat > "$CLEAN/src/service/checked_log.cpp" <<'EOF'
+#include <fstream>
+#include <stdexcept>
+#include <string>
+void append(const std::string& path, const std::string& line) {
+  std::ofstream out(path, std::ios::app);
+  out << line << "\n";
+  if (!out.good()) throw std::runtime_error("journal write failed");
+}
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);  // reads are exempt: the parser sees failures
+  std::string text, line;
+  while (std::getline(in, line)) text += line;
+  return text;
+}
+EOF
+cat > "$CLEAN/src/sched/report.cpp" <<'EOF'
+#include <fstream>
+void dump(const char* path) {
+  std::ofstream out(path);  // outside src/service/: not this rule's scope
+  out << "report\n";
+}
+EOF
+"$PYTHON" "$LINT" --root "$CLEAN" \
+    || fail "no-unchecked-stream-write fired on sanctioned usage"
 
 echo "lint_test OK"

@@ -1,0 +1,121 @@
+#!/usr/bin/env bash
+# kill -9 chaos harness for the reschedd journal + warm start, through the
+# real CLI binary ($1). Each cycle:
+#
+#   1. starts `serve --socket` with a deterministic journal crash point
+#      (RESCHED_IO_FAULTS crash_at=K: after K cumulative journal bytes the
+#      daemon writes the partial prefix and dies with exit 137 — kill -9
+#      landing mid-write), submits fresh work, then kill -9s whatever is
+#      left anyway;
+#   2. restarts with --warm-start over the same (possibly torn) journal
+#      and resubmits the same request lines.
+#
+# Asserted invariants, per cycle and across the whole run:
+#   * the warm-started daemon answers every resubmission ok — a torn tail
+#     never wedges a restart;
+#   * any response observed before the crash is reproduced byte-for-byte;
+#   * no id is ever executed twice (at most one "served":"exec" journal
+#     record per id across the entire crash history);
+#   * the surviving journal replays with zero mismatches.
+#
+# RESCHED_CRASH_CYCLES overrides the cycle count (default 100; ctest runs
+# a reduced count, CI's Release job runs the full hundred).
+set -euo pipefail
+
+CLI=$1
+CYCLES=${RESCHED_CRASH_CYCLES:-100}
+TMP=$(mktemp -d)
+SRV_PID=""
+cleanup() {
+  [ -n "$SRV_PID" ] && kill -9 "$SRV_PID" 2>/dev/null
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+fail() { echo "FAIL: $1" >&2; exit 1; }
+
+J="$TMP/journal.jsonl"
+SOCK="$TMP/reschedd.sock"
+
+wait_sock() {
+  for _ in $(seq 1 200); do
+    [ -S "$SOCK" ] && return 0
+    sleep 0.05
+  done
+  fail "server socket never appeared"
+}
+
+"$CLI" gen --tasks 8 --seed 11 --out "$TMP/i.json"
+
+for ((c = 0; c < CYCLES; c++)); do
+  # Sweep the crash point across a cycle's journal footprint so meta,
+  # request and response appends all get hit over a full run.
+  offset=$((64 + (c * 7919) % 24000))
+
+  # --- crash phase -----------------------------------------------------------
+  RESCHED_IO_FAULTS="seed=$c,crash_at=$offset" \
+    "$CLI" serve --socket "$SOCK" --workers 2 --journal "$J" \
+      --journal-sync always --warm-start "$J" 2> "$TMP/srv_a.log" &
+  SRV_PID=$!
+  wait_sock
+  for k in 1 2; do
+    id="c$c-$k"
+    # The crash is the expected outcome; a failed submit is not an error.
+    "$CLI" submit --socket "$SOCK" --instance "$TMP/i.json" --id "$id" \
+        --seed $((c * 2 + k)) --retries 1 \
+        > "$TMP/resp_a_$k" 2>/dev/null || true
+  done
+  # Whatever survived the planted crash point gets a real kill -9.
+  kill -9 "$SRV_PID" 2>/dev/null || true
+  wait "$SRV_PID" 2>/dev/null || true
+  SRV_PID=""
+  rm -f "$SOCK"
+
+  # --- recovery phase --------------------------------------------------------
+  "$CLI" serve --socket "$SOCK" --workers 2 --journal "$J" \
+      --journal-sync always --warm-start "$J" 2> "$TMP/srv_b.log" &
+  SRV_PID=$!
+  wait_sock
+  for k in 1 2; do
+    id="c$c-$k"
+    "$CLI" submit --socket "$SOCK" --instance "$TMP/i.json" --id "$id" \
+        --seed $((c * 2 + k)) --retries 5 \
+        > "$TMP/resp_b_$k" 2>/dev/null \
+        || fail "cycle $c: recovery submit of $id failed"
+    grep -q '"ok":true' "$TMP/resp_b_$k" \
+        || fail "cycle $c: recovery response for $id not ok"
+    # A response the client saw before the crash must be reproduced
+    # byte-identically by the warm-started daemon, not recomputed ad hoc.
+    if [ -s "$TMP/resp_a_$k" ] && grep -q '"ok":true' "$TMP/resp_a_$k"; then
+      cmp -s "$TMP/resp_a_$k" "$TMP/resp_b_$k" \
+          || fail "cycle $c: response for $id changed across the crash"
+    fi
+    rm -f "$TMP/resp_a_$k" "$TMP/resp_b_$k"
+  done
+  if [ "$c" -gt 0 ]; then
+    grep -q "warm start:" "$TMP/srv_b.log" \
+        || fail "cycle $c: recovery daemon printed no warm-start summary"
+  fi
+  "$CLI" submit --socket "$SOCK" --verb shutdown > /dev/null 2>&1 \
+      || fail "cycle $c: graceful shutdown failed"
+  wait "$SRV_PID" || fail "cycle $c: recovery server exited non-zero"
+  SRV_PID=""
+  rm -f "$SOCK"
+done
+
+# --- whole-history invariants -------------------------------------------------
+# Zero duplicated executions: at most one "served":"exec" record per id.
+# (The journal-record payload is a JSON object in key order, so the id is
+# the first field of every framed response record.)
+dups=$(grep '"served":"exec"' "$J" \
+    | sed -n 's/.*{"id":"\([^"]*\)".*/\1/p' | sort | uniq -d)
+[ -z "$dups" ] || fail "ids executed more than once: $dups"
+execs=$(grep -c '"served":"exec"' "$J")
+[ "$execs" -eq $((CYCLES * 2)) ] \
+    || fail "expected $((CYCLES * 2)) executions in the journal, got $execs"
+
+# The surviving journal replays byte-identically end to end.
+out=$("$CLI" replay --journal "$J") || fail "replay reported mismatches"
+echo "$out" | grep -q " 0 mismatched" || fail "replay summary: $out"
+
+echo "service_crash_test OK ($CYCLES cycles, $execs unique executions)"

@@ -129,14 +129,19 @@ class PipeServer {
 // ------------------------------------------------------------ admission --
 
 TEST(BoundedQueueTest, RejectsWhenFullAndDrainsOnClose) {
+  using service::PushOutcome;
   BoundedQueue<int> queue(2);
-  EXPECT_TRUE(queue.TryPush(1));
-  EXPECT_TRUE(queue.TryPush(2));
-  EXPECT_FALSE(queue.TryPush(3));  // full: backpressure, not blocking
+  EXPECT_EQ(queue.TryPush(1), PushOutcome::kAccepted);
+  EXPECT_EQ(queue.TryPush(2), PushOutcome::kAccepted);
+  // Full: backpressure, not blocking — and the reason is reported so the
+  // server can answer `overloaded` rather than a generic refusal.
+  EXPECT_EQ(queue.TryPush(3), PushOutcome::kFull);
   EXPECT_EQ(queue.Size(), 2u);
 
   queue.Close();
-  EXPECT_FALSE(queue.TryPush(4));  // closed: no new admissions
+  // Closed: no new admissions. Distinct from kFull — the server maps this
+  // to `shutting_down`, and closed wins even while the queue is also full.
+  EXPECT_EQ(queue.TryPush(4), PushOutcome::kClosed);
 
   int out = 0;
   EXPECT_TRUE(queue.Pop(out));  // admitted items still drain
@@ -563,6 +568,104 @@ TEST(JournalTest, ReplayReproducesResponsesByteForByte) {
   EXPECT_EQ(outcome.matched, 3u);
   EXPECT_EQ(outcome.mismatched, 0u);
   EXPECT_TRUE(outcome.ok());
+  (void)::unlink(path.c_str());
+}
+
+// ------------------------------------------------------------ robustness --
+
+TEST(RescheddServerTest, DuplicateIdIsDedupedNotReExecuted) {
+  ServerOptions options;
+  options.workers = 2;
+  PipeServer server(options);
+  const Instance instance = ServiceInstance();
+
+  JsonObject extra;
+  extra["id"] = "dup-1";
+  const std::string line =
+      MakeRequest("schedule", instance, std::move(extra));
+  const std::string first = server.SubmitAndWait(line);
+  ASSERT_TRUE(JsonValue::Parse(first).GetBool("ok", false)) << first;
+
+  // The byte-identical resend (what a reconnecting client does) is
+  // answered from the completed ledger: same bytes, no second execution.
+  const std::string again = server.SubmitAndWait(line);
+  EXPECT_EQ(again, first);
+  const service::ServiceCounters c = server.Counters();
+  EXPECT_EQ(c.deduped, 1u);
+  EXPECT_EQ(c.completed_ok, 1u);  // executed exactly once
+}
+
+TEST(RescheddServerTest, ZeroDeadlineIsShedWhileQueued) {
+  ServerOptions options;
+  options.workers = 1;
+  PipeServer server(options);
+  const Instance instance = ServiceInstance();
+
+  // An explicit 0ms deadline is already expired on arrival; the worker
+  // sheds it on Pop without running the scheduler or touching the cache.
+  JsonObject extra;
+  extra["id"] = "expired";
+  extra["deadline_ms"] = 0;
+  const std::string reply =
+      server.SubmitAndWait(MakeRequest("schedule", instance, std::move(extra)));
+  EXPECT_EQ(ErrorCode(reply), service::kErrDeadline) << reply;
+  EXPECT_EQ(IdOf(reply), "expired");
+  EXPECT_NE(reply.find("while queued"), std::string::npos) << reply;
+  const service::ServiceCounters c = server.Counters();
+  EXPECT_EQ(c.deadline_expired, 1u);
+  EXPECT_EQ(c.completed_ok, 0u);
+}
+
+TEST(RescheddServerTest, WarmStartRestoresCacheAndDedupLedger) {
+  const std::string path =
+      ::testing::TempDir() + "resched_warm_start_test.jsonl";
+  (void)::unlink(path.c_str());
+  const Instance instance = ServiceInstance();
+
+  JsonObject first_extra;
+  first_extra["id"] = "w1";
+  first_extra["seed"] = 3;
+  const std::string line =
+      MakeRequest("schedule", instance, std::move(first_extra));
+  std::string original;
+  {
+    ServerOptions options;
+    options.workers = 1;
+    options.journal_path = path;
+    PipeServer server(options);
+    original = server.SubmitAndWait(line);
+    ASSERT_TRUE(JsonValue::Parse(original).GetBool("ok", false)) << original;
+  }
+
+  // Restart over the same journal: the resent id is answered from the
+  // restored dedup ledger and a *fresh* id with the same canonical key is
+  // a result-cache hit — neither re-runs the scheduler.
+  ServerOptions warm;
+  warm.workers = 1;
+  warm.journal_path = path;
+  warm.warm_start_path = path;
+  PipeServer server(warm);
+  EXPECT_EQ(server.SubmitAndWait(line), original);
+
+  JsonObject fresh_extra;
+  fresh_extra["id"] = "w2";
+  fresh_extra["seed"] = 3;
+  const std::string fresh = server.SubmitAndWait(
+      MakeRequest("schedule", instance, std::move(fresh_extra)));
+  EXPECT_EQ(StripId(fresh), StripId(original));
+
+  const service::ServiceCounters c = server.Counters();
+  EXPECT_EQ(c.deduped, 1u);
+  EXPECT_EQ(c.cache_hits, 1u);
+  EXPECT_EQ(c.completed_ok, 1u);  // only w2's ledger entry; w1 never re-ran
+
+  const std::string stats = server.SubmitAndWait(R"({"verb":"stats"})");
+  const JsonValue doc = JsonValue::Parse(stats);
+  ASSERT_TRUE(doc.Contains("recovery")) << stats;
+  EXPECT_GE(doc.At("recovery").GetInt("cache_restored", 0), 1);
+  EXPECT_GE(doc.At("recovery").GetInt("dedup_restored", 0), 1);
+  EXPECT_EQ(doc.At("recovery").GetInt("torn_bytes", -1), 0);
+  server.Shutdown();
   (void)::unlink(path.c_str());
 }
 

@@ -53,6 +53,7 @@
 #include "sched/svg.hpp"
 #include "sched/metrics.hpp"
 #include "sched/validator.hpp"
+#include "service/client.hpp"
 #include "service/journal.hpp"
 #include "service/server.hpp"
 #include "service/transport.hpp"
@@ -99,12 +100,14 @@ int Usage() {
       "  resched_cli serve    (--socket PATH | --stdio) [--workers N]\n"
       "                       [--queue N] [--no-result-cache]\n"
       "                       [--no-floorplan-cache] [--journal f.jsonl]\n"
+      "                       [--journal-sync none|batch|always]\n"
+      "                       [--warm-start f.jsonl]\n"
       "  resched_cli submit   (--print | --socket PATH) [--verb V] [--id ID]\n"
       "                       [--instance f.json] [--algo A] [--seed S]\n"
       "                       [--iterations N] [--budget SEC]\n"
       "                       [--deadline-ms MS] [--no-cache] [--trials N]\n"
       "                       [--fault-rate R] [--policy P] [--jitter J]\n"
-      "                       [--target ID]\n"
+      "                       [--target ID] [--retries N] [--backoff-ms MS]\n"
       "  resched_cli replay   --journal f.jsonl\n"
       "  resched_cli --version\n";
   return 2;
@@ -412,6 +415,17 @@ int CmdDot(const Flags& flags) {
   return 0;
 }
 
+/// One-line warm-start summary on stderr (only when --warm-start was given),
+/// so operators see what a restarted daemon recovered before it serves.
+void PrintRecovery(const service::RescheddServer& server) {
+  const service::RecoveryInfo& r = server.Recovery();
+  if (!r.enabled) return;
+  std::cerr << "reschedd: warm start: " << r.records_scanned
+            << " record(s) scanned, " << r.torn_bytes << " torn byte(s), "
+            << r.cache_restored << " cache entr(ies) restored, "
+            << r.dedup_restored << " dedup entr(ies) restored\n";
+}
+
 int CmdServe(const Flags& flags) {
   service::ServerOptions options;
   options.workers = static_cast<std::size_t>(flags.GetInt("workers", 2));
@@ -420,6 +434,9 @@ int CmdServe(const Flags& flags) {
   options.result_cache = !flags.GetBool("no-result-cache", false);
   options.floorplan_cache = !flags.GetBool("no-floorplan-cache", false);
   options.journal_path = flags.GetString("journal", "");
+  options.journal_sync =
+      service::ParseJournalSync(flags.GetString("journal-sync", "batch"));
+  options.warm_start_path = flags.GetString("warm-start", "");
 
   const std::string socket_path = flags.GetString("socket", "");
   const bool stdio = flags.GetBool("stdio", false);
@@ -430,6 +447,7 @@ int CmdServe(const Flags& flags) {
   if (stdio) {
     service::StdioTransport transport;
     service::RescheddServer server(transport, options);
+    PrintRecovery(server);
     server.Serve();
     const service::ServiceCounters c = server.Counters();
     std::cerr << "reschedd: " << c.received << " request(s), " << c.accepted
@@ -440,6 +458,7 @@ int CmdServe(const Flags& flags) {
   service::UnixSocketServerTransport transport(socket_path);
   std::cerr << "reschedd: listening on " << transport.Path() << "\n";
   service::RescheddServer server(transport, options);
+  PrintRecovery(server);
   server.Serve();
   const service::ServiceCounters c = server.Counters();
   std::cerr << "reschedd: " << c.received << " request(s), " << c.accepted
@@ -501,25 +520,25 @@ int CmdSubmit(const Flags& flags) {
     throw FlagError("submit needs --print or --socket PATH");
   }
 
-  UnixSocket socket = UnixSocket::Connect(socket_path);
-  SocketLineReader reader(socket);
-  std::string handshake;
-  if (!reader.ReadLine(handshake)) {
-    std::cerr << "error: server closed before handshake\n";
+  service::ClientOptions copts;
+  copts.max_attempts =
+      static_cast<std::size_t>(flags.GetInt("retries", 5));
+  copts.backoff_initial_ms = flags.GetDouble("backoff-ms", 20.0);
+  service::RescheddClient client(socket_path, copts);
+  service::RescheddClient::Result result;
+  try {
+    result = client.Submit(line);
+  } catch (const SocketError& e) {
+    std::cerr << "error: " << e.what() << "\n";
     return 1;
   }
-  std::cerr << handshake << "\n";
-  if (!socket.SendAll(line + "\n")) {
-    std::cerr << "error: server closed while sending\n";
-    return 1;
+  std::cerr << result.handshake << "\n";
+  if (result.reconnects > 0) {
+    std::cerr << "reschedd client: " << result.attempts << " attempt(s), "
+              << result.reconnects << " reconnect(s)\n";
   }
-  std::string response;
-  if (!reader.ReadLine(response)) {
-    std::cerr << "error: server closed before responding\n";
-    return 1;
-  }
-  std::cout << response << "\n";
-  return JsonValue::Parse(response).GetBool("ok", false) ? 0 : 1;
+  std::cout << result.response << "\n";
+  return JsonValue::Parse(result.response).GetBool("ok", false) ? 0 : 1;
 }
 
 int CmdReplay(const Flags& flags) {

@@ -42,6 +42,14 @@ Rules:
                             discarded at statement position hides partial
                             writes and failed closes from the daemon; check
                             the return or cast to (void) deliberately.
+  no-unchecked-stream-write
+                            in src/service/ an iostream that is written
+                            (<< or .write()) but whose state is never
+                            checked (!stream / good() / fail() / bad())
+                            turns disk-full and short-write failures into
+                            silently dropped journal records; check the
+                            stream, or use the fd-based journal writer
+                            which reports JournalError.
   no-vector-bool-hot        std::vector<bool> in the scheduling hot path
                             (src/core/, src/floorplan/): the proxy-reference
                             bit representation defeats byte indexing and
@@ -246,6 +254,13 @@ SYSCALL_STMT_RE = re.compile(
     r"|setsockopt|fsync|ftruncate|chmod)\s*\(")
 SYSCALL_SCOPE_PREFIXES = ("src/service/", "src/util/socket")
 
+# File-stream writes in the service layer must check stream state: an
+# ofstream swallows write failures (disk full, quota) until someone asks.
+# Matches `ofstream out` / `fstream out` declarations; `ifstream` (reads)
+# is exempt — a failed read is visible to the parser consuming it.
+STREAM_DECL_RE = re.compile(r"\bo?fstream\s+([A-Za-z_]\w*)")
+STREAM_SCOPE_PREFIXES = ("src/service/",)
+
 # Hot-path scheduling code: per-restart cost here is multiplied by the
 # restart count, so representation and allocation discipline are linted.
 HOT_PATH_PREFIXES = ("src/core/", "src/floorplan/")
@@ -333,6 +348,35 @@ def lint_unchecked_syscalls(stripped, report):
             lineno, "no-unchecked-syscall-return",
             f"return value of {m.group(2)}() is discarded; handle the "
             "failure or cast to (void) deliberately")
+
+
+def lint_unchecked_stream_writes(stripped, report):
+    """Flags file streams that are written but never state-checked. For
+    every `ofstream`/`fstream` declaration, a `<<` or `.write()` on that
+    name with no `!name` / `name.good()` / `name.fail()` / `name.bad()`
+    anywhere in the file means write failures (ENOSPC, quota) vanish —
+    fatal for anything journal-shaped. Works on stripped text, so names in
+    strings or comments cannot trigger or satisfy the rule."""
+    seen = set()
+    for m in STREAM_DECL_RE.finditer(stripped):
+        name = m.group(1)
+        if name in seen:
+            continue
+        seen.add(name)
+        escaped = re.escape(name)
+        write_re = re.compile(
+            rf"\b{escaped}\s*(?:<<|\.\s*write\s*\()")
+        evidence_re = re.compile(
+            rf"!\s*{escaped}\b"
+            rf"|\b{escaped}\s*\.\s*(?:good|fail|bad)\s*\(")
+        first = write_re.search(stripped, m.end())
+        if first and not evidence_re.search(stripped):
+            lineno = stripped.count("\n", 0, first.start()) + 1
+            report(
+                lineno, "no-unchecked-stream-write",
+                f"`{name}` is written but its stream state is never "
+                "checked; a full disk silently drops records — test "
+                f"!{name} or {name}.good() after writing")
 
 
 def lint_silent_catches(relpath, stripped, report):
@@ -451,6 +495,8 @@ def lint_file(path, root, findings):
     lint_silent_catches(relpath, stripped, report)
     if relpath.startswith(SYSCALL_SCOPE_PREFIXES):
         lint_unchecked_syscalls(stripped, report)
+    if relpath.startswith(STREAM_SCOPE_PREFIXES):
+        lint_unchecked_stream_writes(stripped, report)
     if relpath.startswith(HOT_PATH_PREFIXES):
         lint_unreserved_push(stripped, report)
 
@@ -540,7 +586,8 @@ def main(argv):
         for rule in ("no-unordered-in-output", "pragma-once",
                      "include-cycle", "no-naked-new", "no-silent-catch",
                      "no-adhoc-seed-derivation",
-                     "no-unchecked-syscall-return", "no-vector-bool-hot",
+                     "no-unchecked-syscall-return",
+                     "no-unchecked-stream-write", "no-vector-bool-hot",
                      "reserve-before-push-hot"):
             print(rule)
         from resched_lint_ast import AST_RULES
