@@ -24,6 +24,7 @@
 #include <new>
 
 #include "bench_common.hpp"
+#include "util/simd.hpp"
 
 namespace {
 std::atomic<std::uint64_t> g_allocs{0};
@@ -143,7 +144,8 @@ int main() {
              std::to_string(result.best.makespan),
              std::to_string(fc.queries), std::to_string(fc.hits),
              std::to_string(fc.misses), std::to_string(fc.evictions),
-             StrFormat("%.4f", fc.HitRate())});
+             StrFormat("%.4f", fc.HitRate()),
+             simd::BackendName(simd::ActiveBackend())});
         if (mode.floorplan_cache && legacy_rate[threads == 8u] > 0.0) {
           const double speedup = rate / legacy_rate[threads == 8u];
           std::cout << "   speedup vs legacy @" << threads
@@ -160,7 +162,7 @@ int main() {
            {"instance", "num_tasks", "mode", "threads", "iterations",
             "seconds", "restarts_per_sec", "allocs_per_iter",
             "best_makespan_us", "cache_queries", "cache_hits", "cache_misses",
-            "cache_evictions", "cache_hit_rate"},
+            "cache_evictions", "cache_hit_rate", "simd"},
            csv_rows);
   if (speedup_count_8t > 0) {
     std::cout << "\ngeomean speedup @8 threads (reuse+cache vs legacy): "

@@ -18,6 +18,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "util/simd.hpp"
 #include "util/timer.hpp"
 
 using namespace resched;
@@ -87,7 +88,8 @@ int main() {
       csv_rows.push_back({instance.name, std::to_string(n), name,
                           std::to_string(reps), StrFormat("%.6f", seconds),
                           StrFormat("%.1f", rate),
-                          std::to_string(violations)});
+                          std::to_string(violations),
+                          simd::BackendName(simd::ActiveBackend())});
       if (fast_scan && interval_rate > 0.0) {
         const double speedup = rate / interval_rate;
         std::cout << "   speedup vs interval scan: "
@@ -99,7 +101,7 @@ int main() {
   }
   WriteCsv(config, "micro_validate",
            {"instance", "num_tasks", "scan", "validations", "seconds",
-            "validations_per_sec", "violations"},
+            "validations_per_sec", "violations", "simd"},
            csv_rows);
   if (speedup_count > 0) {
     std::cout << "\ngeomean speedup (bitset vs interval): "

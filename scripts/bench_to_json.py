@@ -19,10 +19,19 @@ downstream tooling can compare numerically.
 
 Usage:
     bench_to_json.py [--out-dir DIR] [csv-or-dir ...]
+    bench_to_json.py --diff [--baseline-dir DIR] [csv-or-dir ...]
 
 With no positional arguments, converts every ``*.csv`` under
 ``bench_results/``. JSON files land next to each CSV unless --out-dir is
 given. Stdlib only.
+
+``--diff`` compares each CSV against the committed ``BENCH_<name>.json``
+(from --baseline-dir, default ``bench_results/``) instead of writing
+anything: rows are matched on the identity columns both sides share
+(instance / num_tasks / mode / threads / scan / simd), and every shared
+numeric column is reported as ``old -> new (delta, pct)``. Rows present on
+only one side are listed. Exit status is 0 when every row pairs up —
+deltas are informational — and 1 on unpaired rows or a missing baseline.
 """
 
 import argparse
@@ -30,6 +39,11 @@ import csv
 import json
 import sys
 from pathlib import Path
+
+# Columns that identify a row rather than measure it; the row key for
+# --diff is the ordered tuple of these that appear in both headers.
+KEY_HINTS = ("instance", "num_tasks", "mode", "threads", "scan", "simd",
+             "impl", "kind", "name")
 
 
 def coerce(cell: str):
@@ -74,6 +88,72 @@ def convert(csv_path: Path, out_dir: Path | None) -> Path:
     return out_path
 
 
+def load_rows(csv_path: Path) -> tuple[list[str], list[dict]]:
+    with csv_path.open(newline="") as fh:
+        reader = csv.reader(fh)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ValueError(f"{csv_path}: empty CSV")
+        rows = [
+            {key: coerce(cell) for key, cell in zip(header, raw)}
+            for raw in reader
+        ]
+    return header, rows
+
+
+def diff_one(csv_path: Path, baseline_dir: Path) -> int:
+    """Prints numeric deltas vs the committed JSON; returns 0 when every
+    row pairs up (deltas themselves are informational, not failures)."""
+    baseline_path = baseline_dir / f"BENCH_{csv_path.stem}.json"
+    if not baseline_path.is_file():
+        print(f"{csv_path.stem}: no baseline at {baseline_path}")
+        return 1
+    with baseline_path.open() as fh:
+        baseline = json.load(fh)
+    header, new_rows = load_rows(csv_path)
+    old_rows = baseline.get("rows", [])
+    old_header = baseline.get("columns", [])
+
+    keys = [k for k in KEY_HINTS if k in header and k in old_header]
+    if not keys:
+        print(f"{csv_path.stem}: no shared identity columns; cannot pair rows")
+        return 1
+    numeric = [
+        c for c in header
+        if c in old_header and c not in keys
+    ]
+
+    def row_key(row: dict) -> tuple:
+        return tuple(row.get(k) for k in keys)
+
+    old_by_key = {row_key(r): r for r in old_rows}
+    new_by_key = {row_key(r): r for r in new_rows}
+    status = 0
+    print(f"== {csv_path.stem} (keyed on {', '.join(keys)}) ==")
+    for key, new in new_by_key.items():
+        old = old_by_key.get(key)
+        label = "/".join(str(k) for k in key)
+        if old is None:
+            print(f"  {label}: only in new run")
+            status = 1
+            continue
+        for col in numeric:
+            a, b = old.get(col), new.get(col)
+            if not isinstance(a, (int, float)) or not isinstance(b, (int, float)):
+                continue
+            if a == b:
+                continue
+            delta = b - a
+            pct = f", {100.0 * delta / a:+.1f}%" if a else ""
+            print(f"  {label} {col}: {a} -> {b} ({delta:+g}{pct})")
+    for key in old_by_key:
+        if key not in new_by_key:
+            print(f"  {'/'.join(str(k) for k in key)}: only in baseline")
+            status = 1
+    return status
+
+
 def gather(arguments: list[str]) -> list[Path]:
     if not arguments:
         arguments = ["bench_results"]
@@ -107,6 +187,18 @@ def main() -> int:
         default=None,
         help="directory for the JSON files (default: next to each CSV)",
     )
+    parser.add_argument(
+        "--diff",
+        action="store_true",
+        help="compare CSVs against committed BENCH_<name>.json instead of "
+        "converting",
+    )
+    parser.add_argument(
+        "--baseline-dir",
+        type=Path,
+        default=Path("bench_results"),
+        help="where the baseline BENCH_<name>.json files live (--diff only)",
+    )
     args = parser.parse_args()
 
     try:
@@ -121,12 +213,13 @@ def main() -> int:
     status = 0
     for csv_path in csvs:
         try:
-            out_path = convert(csv_path, args.out_dir)
+            if args.diff:
+                status = max(status, diff_one(csv_path, args.baseline_dir))
+            else:
+                print(convert(csv_path, args.out_dir))
         except ValueError as err:
             print(f"error: {err}", file=sys.stderr)
             status = 1
-            continue
-        print(out_path)
     return status
 
 

@@ -160,19 +160,20 @@ bool PaScratch::TimelineClear(std::size_t region, const DraftRegion& r,
   if (region_tl_.size() < num_regions_) region_tl_.resize(num_regions_);
   RegionTimeline& tl = region_tl_[region];
   if (tl.version != version || tl.ntasks != r.tasks.size()) {
-    tl.words.assign(timeline::WordsFor(tl_bits_), 0);  // keeps capacity
+    tl.index.ResizeAndClear(tl_bits_);  // keeps capacity
     for (const TaskId u : r.tasks) {
       const auto ui = static_cast<std::size_t>(u);
       const TimeT s = win.earliest_start[ui];
-      timeline::RangeSet(tl.words.data(), BucketLo(s),
-                         BucketHi(s + timing_.ExecTime(u)));
+      tl.index.Set(BucketLo(s), BucketHi(s + timing_.ExecTime(u)));
     }
     tl.version = version;
     tl.ntasks = r.tasks.size();
   }
   const TimeT qs = start_t > room ? start_t - room : 0;
   const TimeT qe = end_t + room;
-  return !timeline::RangeAny(tl.words.data(), BucketLo(qs), BucketHi(qe));
+  // O(1) occupancy probe: prefix-popcount difference over the bucket
+  // window instead of a word scan.
+  return !tl.index.AnySet(BucketLo(qs), BucketHi(qe));
 }
 
 bool PaScratch::WouldAvoidReconf(std::size_t region, TaskId t,

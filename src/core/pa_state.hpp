@@ -16,6 +16,7 @@
 // threads.
 #pragma once
 
+#include <utility>
 #include <vector>
 
 #include "core/pa_context.hpp"
@@ -95,6 +96,19 @@ struct StageBuffers {
   ArenaVec<std::vector<TaskId>> combined_succs;
   /// Controller timeline produced by §V-G, consumed by the assembly.
   ArenaVec<ReconfSlot> timeline;
+  /// Per-controller view of the §V-G timeline: the controller's own slots
+  /// (sorted by start; disjoint, so ends are monotone too), a prefix-sum
+  /// gap index over bucketed time answering "is this window clear?" in
+  /// O(1), a fully-set-prefix cursor for it, and the resume index of the
+  /// exact-scan fallback (see FirstLaneGap). Heap-backed like the nested
+  /// vectors above: lane count tracks the platform, not the restart.
+  struct ControllerLane {
+    std::vector<std::pair<TimeT, TimeT>> slots;
+    timeline::GapIndex index;
+    timeline::GapCursor cursor;
+    std::size_t resume = 0;
+  };
+  std::vector<ControllerLane> lanes;
 
   // Final assembly.
   ArenaVec<TaskId> ingoing_of;
@@ -210,16 +224,25 @@ class PaScratch {
 
   StageBuffers& Buffers() { return buffers_; }
 
+  // ---- bucketed time axis (shared by the CanHost prefilter and the §V-G
+  // controller lanes): bucket b covers ticks [b << shift, (b+1) << shift),
+  // outward-rounded on store and on query so a clear bucket window proves
+  // tick-level disjointness. Saturates at the axis end (conservative).
+  std::size_t TimeBuckets() const { return tl_bits_; }
+  std::size_t TimeBucketLo(TimeT t) const { return BucketLo(t); }
+  /// Exclusive bucket end for an exclusive tick end t >= 1.
+  std::size_t TimeBucketHi(TimeT t) const { return BucketHi(t); }
+
  private:
-  /// Coarse per-region occupancy image over bucketed time: bit b covers
-  /// ticks [b << tl_shift_, (b + 1) << tl_shift_), outward-rounded on
-  /// store and on query, so all-clear proves slot disjointness and CanHost
-  /// can accept without the pairwise scan. A clash only falls back to the
+  /// Coarse per-region occupancy image over bucketed time, held as a
+  /// prefix-popcount GapIndex: outward-rounded on store and on query, so
+  /// an O(1) AnySet() == false proves slot disjointness and CanHost can
+  /// accept without the pairwise scan. A clash only falls back to the
   /// exact loop — decisions are bit-identical either way.
   struct RegionTimeline {
     std::uint64_t version = 0;
     std::size_t ntasks = static_cast<std::size_t>(-1);
-    std::vector<std::uint64_t> words;
+    timeline::GapIndex index;
   };
 
   /// True when the bucketed image proves [start_t - room, end_t + room)
@@ -289,6 +312,18 @@ void RunSoftwareTaskMapping(const PaContext& ctx, PaScratch& s);
 /// §V-G: schedules the reconfiguration tasks on the single controller;
 /// leaves the controller timeline in s.Buffers().timeline.
 void RunReconfigurationScheduling(const PaContext& ctx, PaScratch& s);
+
+/// Earliest start >= `lo` of a `duration`-long gap in one controller's
+/// slot list (sorted by start, pairwise disjoint — so ends are monotone).
+/// `resume`, when non-null, is a skip hint: on entry, an index i such
+/// that every slot before i ended at or before some earlier query's
+/// result; it is validated against `lo` (and recomputed by binary search
+/// when stale), and updated on exit to the first slot index not wholly
+/// before the returned start. Bit-identical to the head-to-tail scan for
+/// every (lo, duration) — the hint only skips slots that end at or
+/// before `lo`. Exposed for the differential regression test.
+TimeT FirstLaneGap(const std::vector<std::pair<TimeT, TimeT>>& slots,
+                   TimeT lo, TimeT duration, std::size_t* resume);
 
 /// Final assembly: repairs any residual reconfiguration/slot inconsistency
 /// introduced by late delay propagation, then freezes starts/ends into

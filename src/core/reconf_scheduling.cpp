@@ -93,21 +93,35 @@ class Reachability {
   ArenaVec<std::uint64_t>& bits_;
 };
 
-/// Earliest start >= lo of a `duration`-long gap on controller `c` in the
-/// (start-sorted) timeline.
-TimeT FirstControllerGap(const ArenaVec<ReconfSlot>& timeline,
-                         std::size_t c, TimeT lo, TimeT duration) {
-  TimeT candidate = lo;
-  for (const ReconfSlot& busy : timeline) {
-    if (busy.controller != c) continue;
-    if (busy.end <= candidate) continue;
-    if (busy.start >= candidate + duration) break;
-    candidate = busy.end;
+}  // namespace
+
+TimeT FirstLaneGap(const std::vector<std::pair<TimeT, TimeT>>& slots,
+                   TimeT lo, TimeT duration, std::size_t* resume) {
+  std::size_t i = resume ? *resume : 0;
+  // A hint is valid when every slot before it ends at or before lo; ends
+  // are monotone (disjoint slots sorted by start), so checking the last
+  // skipped slot covers the whole prefix. Stale hints (a smaller lo than
+  // the previous query, or an insertion since) fall back to binary search
+  // over the monotone ends.
+  if (i > slots.size() || (i > 0 && slots[i - 1].second > lo)) {
+    i = static_cast<std::size_t>(
+        std::partition_point(slots.begin(), slots.end(),
+                             [lo](const std::pair<TimeT, TimeT>& s) {
+                               return s.second <= lo;
+                             }) -
+        slots.begin());
   }
+  TimeT candidate = lo;
+  for (; i < slots.size(); ++i) {
+    if (slots[i].second <= candidate) continue;
+    if (slots[i].first >= candidate + duration) break;
+    candidate = slots[i].second;
+  }
+  // Every slot before i now ends at or before candidate — a valid hint
+  // for any future query with lo >= candidate.
+  if (resume) *resume = i;
   return candidate;
 }
-
-}  // namespace
 
 void RunReconfigurationScheduling(const PaContext& ctx, PaScratch& s) {
   (void)ctx;
@@ -133,6 +147,19 @@ void RunReconfigurationScheduling(const PaContext& ctx, PaScratch& s) {
     }
   }
   if (pending.empty()) return;
+
+  // Per-controller lanes: slot list + bucketed gap index + cursors. The
+  // gap index is set-only within one run (slots are only ever added), the
+  // GapCursor soundness precondition.
+  const std::size_t controllers = s.Inst().platform.NumReconfigurators();
+  if (buf.lanes.size() < controllers) buf.lanes.resize(controllers);
+  for (std::size_t c = 0; c < controllers; ++c) {
+    StageBuffers::ControllerLane& lane = buf.lanes[c];
+    lane.slots.clear();
+    lane.index.ResizeAndClear(s.TimeBuckets());
+    lane.cursor = {};
+    lane.resume = 0;
+  }
 
   const Reachability reach(s, buf);
 
@@ -180,16 +207,28 @@ void RunReconfigurationScheduling(const PaContext& ctx, PaScratch& s) {
 
     const PendingReconf& r = pending[pick];
     // Pick the controller offering the earliest gap (always controller 0
-    // in the paper's single-controller model).
-    const std::size_t controllers =
-        s.Inst().platform.NumReconfigurators();
+    // in the paper's single-controller model). The O(1) gap-index probe
+    // answers the common "controller free at T_MIN" case without touching
+    // the slot list; a blocked bucket window falls back to the exact
+    // resume-cursor walk — bit-identical either way (outward-rounded
+    // buckets: a clear window proves no tick-level overlap, so the exact
+    // scan would return lo too; an occupied window decides nothing).
     std::size_t best_c = 0;
     TimeT start = kTimeInfinity;
     for (std::size_t c = 0; c < controllers; ++c) {
-      const TimeT gap_start = FirstControllerGap(timeline, c, pick_tmin, r.exe);
+      StageBuffers::ControllerLane& lane = buf.lanes[c];
+      const std::size_t blo = s.TimeBucketLo(pick_tmin);
+      const std::size_t bhi = s.TimeBucketHi(pick_tmin + r.exe);
+      TimeT gap_start;
+      if (lane.index.FirstGap(blo, bhi - blo, &lane.cursor) == blo) {
+        gap_start = pick_tmin;
+      } else {
+        gap_start = FirstLaneGap(lane.slots, pick_tmin, r.exe, &lane.resume);
+      }
       if (gap_start < start) {
         start = gap_start;
         best_c = c;
+        if (start == pick_tmin) break;  // no controller can start earlier
       }
     }
     const TimeT end = start + r.exe;
@@ -200,6 +239,12 @@ void RunReconfigurationScheduling(const PaContext& ctx, PaScratch& s) {
           return a.start < b.start;
         });
     timeline.insert(pos, slot);
+    StageBuffers::ControllerLane& lane = buf.lanes[best_c];
+    const std::pair<TimeT, TimeT> lane_slot{start, end};
+    lane.slots.insert(
+        std::upper_bound(lane.slots.begin(), lane.slots.end(), lane_slot),
+        lane_slot);
+    lane.index.Set(s.TimeBucketLo(start), s.TimeBucketHi(end));
 
     // Delay propagation: the outgoing task cannot start before the
     // reconfiguration completes; the window recomputation carries the

@@ -1,6 +1,7 @@
 #include "floorplan/floorplanner.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <numeric>
 
 #include "util/timeline.hpp"
@@ -39,23 +40,31 @@ class Search {
  public:
   Search(const Fabric& fabric,
          const std::vector<const PlacementSet*>& candidates,
-         const FloorplanOptions& options)
+         const FloorplanOptions& options,
+         const std::vector<std::vector<std::uint32_t>>* visit_order)
       : candidates_(candidates),
         options_(options),
+        visit_order_(visit_order),
+        capacity_(fabric.Capacity()),
         deadline_(options.time_budget_seconds) {
     // Minimum rectangle area (in grid cells) each region can occupy — the
     // basis of the area-capacity prune that proves infeasibility quickly
-    // at high utilization.
+    // at high utilization. Catalog entries carry it precomputed; fall back
+    // to a scan for hand-built PlacementSets (tests).
     min_area_.resize(candidates_.size());
     for (std::size_t i = 0; i < candidates_.size(); ++i) {
-      std::size_t best = fabric.Columns() * fabric.Rows();
-      for (const Rect& r : candidates_[i]->rects) {
-        best = std::min(best, r.Area());
+      std::size_t best = candidates_[i]->min_area;
+      if (best == 0) {
+        best = fabric.Columns() * fabric.Rows();
+        for (const Rect& r : candidates_[i]->rects) {
+          best = std::min(best, r.Area());
+        }
       }
       min_area_[i] = best;
     }
     total_cells_ = fabric.Columns() * fabric.Rows();
     mask_words_ = timeline::WordsFor(total_cells_);
+    kinds_ = capacity_.size();
   }
 
   /// Runs the DFS; fills `solution` (indexed like candidates_) on success.
@@ -88,6 +97,32 @@ class Search {
       return false;
     }
 
+    // Per-kind analogue over the candidates' minimum resource footprints.
+    // Each rectangle consumes at least min_res of its region (a footprint
+    // always covers the requirement), and rectangles never overlap, so
+    // consumption is additive per kind — a suffix that exceeds capacity
+    // in any kind is a certain "no". Strictly stronger than the aggregate
+    // requirement pre-check because min footprints exceed requirements.
+    const bool have_min_res = HaveMinRes();
+    if (have_min_res) {
+      suffix_min_res_.assign((order_.size() + 1) * kinds_, 0);
+      for (std::size_t d = order_.size(); d-- > 0;) {
+        const ResourceVec& mr = candidates_[order_[d]]->min_res;
+        for (std::size_t k = 0; k < kinds_; ++k) {
+          suffix_min_res_[d * kinds_ + k] =
+              suffix_min_res_[(d + 1) * kinds_ + k] + mr[k];
+        }
+      }
+      for (std::size_t k = 0; k < kinds_; ++k) {
+        if (suffix_min_res_[k] > capacity_[k]) {
+          budget_exhausted = false;  // proven infeasible at the root
+          nodes = 0;
+          return false;
+        }
+      }
+      consumed_stack_.assign((order_.size() + 1) * kinds_, 0);
+    }
+
     const bool ok = Dfs(0, /*used_cells=*/0);
     budget_exhausted = budget_exhausted_;
     nodes = nodes_;
@@ -96,6 +131,15 @@ class Search {
   }
 
  private:
+  /// Whether every candidate set carries per-rect resource footprints
+  /// (catalog-built sets do; hand-built test sets may not).
+  bool HaveMinRes() const {
+    for (const PlacementSet* set : candidates_) {
+      if (set->rect_res.size() != set->rects.size()) return false;
+    }
+    return !candidates_.empty();
+  }
+
   bool Dfs(std::size_t depth, std::size_t used_cells) {
     if (depth == order_.size()) return true;
     if (budget_exhausted_) return false;
@@ -103,7 +147,13 @@ class Search {
     const PlacementSet& set = *candidates_[region];
     const std::uint64_t* used = used_stack_.data() + depth * mask_words_;
     std::uint64_t* next = used_stack_.data() + (depth + 1) * mask_words_;
-    for (std::size_t k = 0; k < set.rects.size(); ++k) {
+    const bool res_prune = !suffix_min_res_.empty();
+    const std::int64_t* consumed =
+        res_prune ? consumed_stack_.data() + depth * kinds_ : nullptr;
+    const std::vector<std::uint32_t>* perm =
+        visit_order_ ? &(*visit_order_)[region] : nullptr;
+    for (std::size_t j = 0; j < set.rects.size(); ++j) {
+      const std::size_t k = perm ? (*perm)[j] : j;
       const Rect& rect = set.rects[k];
       if (++nodes_ % 1024 == 0) {
         if ((options_.max_nodes != 0 && nodes_ >= options_.max_nodes) ||
@@ -119,13 +169,52 @@ class Search {
           total_cells_) {
         continue;
       }
+      // Per-kind capacity prune: consumption is additive per kind (no
+      // overlap), and every remaining region needs at least its min_res.
+      if (res_prune) {
+        const ResourceVec& rr = set.rect_res[k];
+        const std::int64_t* suffix =
+            suffix_min_res_.data() + (depth + 1) * kinds_;
+        bool over = false;
+        for (std::size_t kk = 0; kk < kinds_; ++kk) {
+          if (consumed[kk] + rr[kk] + suffix[kk] > capacity_[kk]) {
+            over = true;
+            break;
+          }
+        }
+        if (over) continue;
+      }
       // Exact clash test: grid-aligned rectangles overlap iff they share
       // a cell, so one word-AND against the accumulated occupancy image
       // replaces the Rect::Overlaps loop over every placed region.
       const std::uint64_t* mask = set.masks.data() + k * mask_words_;
       if (timeline::AnyIntersect(mask, used, mask_words_)) continue;
-      chosen_[region] = rect;
       timeline::OrImage(next, used, mask, mask_words_);
+      // Union-mask prune: a remaining region whose candidate-cell union
+      // retains fewer free cells than its minimum footprint has no live
+      // candidate left — this subtree is barren, skip it. (Sound and
+      // order-preserving: only subtrees with no full assignment are cut.)
+      bool barren = false;
+      for (std::size_t d2 = depth + 1; d2 < order_.size() && !barren; ++d2) {
+        const PlacementSet& rest = *candidates_[order_[d2]];
+        if (rest.union_mask.size() != mask_words_) continue;
+        std::size_t free_cells = 0;
+        for (std::size_t w = 0; w < mask_words_; ++w) {
+          free_cells += static_cast<std::size_t>(
+              std::popcount(rest.union_mask[w] & ~next[w]));
+        }
+        barren = free_cells < min_area_[order_[d2]];
+      }
+      if (barren) continue;
+      chosen_[region] = rect;
+      if (res_prune) {
+        const ResourceVec& rr = set.rect_res[k];
+        std::int64_t* next_consumed =
+            consumed_stack_.data() + (depth + 1) * kinds_;
+        for (std::size_t kk = 0; kk < kinds_; ++kk) {
+          next_consumed[kk] = consumed[kk] + rr[kk];
+        }
+      }
       if (Dfs(depth + 1, used_cells + rect.Area())) return true;
       if (budget_exhausted_) return false;
     }
@@ -134,14 +223,19 @@ class Search {
 
   const std::vector<const PlacementSet*>& candidates_;
   const FloorplanOptions& options_;
+  const std::vector<std::vector<std::uint32_t>>* visit_order_;
+  ResourceVec capacity_;
   Deadline deadline_;
   std::vector<std::size_t> order_;
   std::vector<Rect> chosen_;
   std::vector<std::size_t> min_area_;
   std::vector<std::size_t> suffix_min_area_;
+  std::vector<std::int64_t> suffix_min_res_;
+  std::vector<std::int64_t> consumed_stack_;
   std::vector<std::uint64_t> used_stack_;
   std::size_t total_cells_ = 0;
   std::size_t mask_words_ = 0;
+  std::size_t kinds_ = 0;
   std::size_t nodes_ = 0;
   bool budget_exhausted_ = false;
 };
@@ -174,6 +268,10 @@ PlacementSet BuildPlacementSet(const Fabric& fabric, std::vector<Rect> rects) {
   set.mask_words = timeline::WordsFor(cols * fabric.Rows());
   set.rects = std::move(rects);
   set.masks.assign(set.rects.size() * set.mask_words, 0);
+  set.union_mask.assign(set.mask_words, 0);
+  set.rect_res.reserve(set.rects.size());
+  set.min_area = cols * fabric.Rows();
+  set.min_res = fabric.Capacity();
   for (std::size_t k = 0; k < set.rects.size(); ++k) {
     const Rect& r = set.rects[k];
     std::uint64_t* mask = set.masks.data() + k * set.mask_words;
@@ -181,6 +279,17 @@ PlacementSet BuildPlacementSet(const Fabric& fabric, std::vector<Rect> rects) {
       const std::size_t base = row * cols + r.col0;
       timeline::RangeSet(mask, base, base + r.width);
     }
+    timeline::OrInto(set.union_mask.data(), mask, set.mask_words);
+    const ResourceVec res = fabric.RectResources(r.col0, r.width, r.height);
+    for (std::size_t kind = 0; kind < set.min_res.size(); ++kind) {
+      set.min_res[kind] = std::min(set.min_res[kind], res[kind]);
+    }
+    set.rect_res.push_back(res);
+    set.min_area = std::min(set.min_area, r.Area());
+  }
+  if (set.rects.empty()) {
+    set.min_res = fabric.Model().ZeroVec();
+    set.min_area = 0;
   }
   return set;
 }
@@ -194,9 +303,10 @@ PlacementSet EnumeratePrunedPlacementSet(const Fabric& fabric,
 
 FloorplanResult SolveFloorplanFeasibility(
     const Fabric& fabric, const std::vector<const PlacementSet*>& candidates,
-    const FloorplanOptions& options) {
+    const FloorplanOptions& options,
+    const std::vector<std::vector<std::uint32_t>>* visit_order) {
   FloorplanResult result;
-  Search search(fabric, candidates, options);
+  Search search(fabric, candidates, options, visit_order);
   std::vector<Rect> solution;
   const bool ok =
       search.Run(solution, result.budget_exhausted, result.nodes_explored);

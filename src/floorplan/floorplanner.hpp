@@ -26,6 +26,16 @@
 
 namespace resched {
 
+/// Candidate visit order inside the floorplan DFS. kEnumeration walks the
+/// pruned placement list in enumeration order (the historical behaviour
+/// and the default). kLearned reorders each region's candidates by the
+/// historical success rate of its (requirement, fabric-band) bucket as
+/// collected by FloorplanCache, with a stable tie-break back to
+/// enumeration order — deterministic for a single-threaded driver, but
+/// cross-run stats accumulation means two concurrent runs may diverge in
+/// *which* feasible floorplan they find (never in feasibility itself).
+enum class FpValueOrder : std::uint8_t { kEnumeration, kLearned };
+
 struct FloorplanOptions {
   /// Wall-clock budget for one feasibility query; <= 0 disables.
   double time_budget_seconds = 1.0;
@@ -33,6 +43,8 @@ struct FloorplanOptions {
   std::size_t max_nodes = 2'000'000;
   /// Cap on enumerated placements per region (0 = unlimited).
   std::size_t max_placements_per_region = 4096;
+  /// DFS candidate visit order (see FpValueOrder).
+  FpValueOrder value_order = FpValueOrder::kEnumeration;
 };
 
 struct FloorplanResult {
@@ -56,6 +68,10 @@ struct FloorplanCacheStats {
   std::uint64_t evictions = 0;
   std::uint64_t catalog_hits = 0;
   std::uint64_t catalog_misses = 0;
+  /// DFS nodes explored by cache-miss solves (budget-bounded work the
+  /// cache could not avoid) — the denominator the value-ordering ablation
+  /// reports against.
+  std::uint64_t solve_nodes = 0;
 
   double HitRate() const {
     return queries == 0 ? 0.0
@@ -73,6 +89,7 @@ struct FloorplanCacheStats {
     d.evictions = evictions - earlier.evictions;
     d.catalog_hits = catalog_hits - earlier.catalog_hits;
     d.catalog_misses = catalog_misses - earlier.catalog_misses;
+    d.solve_nodes = solve_nodes - earlier.solve_nodes;
     return d;
   }
 };
@@ -104,6 +121,20 @@ struct PlacementSet {
   std::vector<Rect> rects;
   std::vector<std::uint64_t> masks;
   std::size_t mask_words = 0;
+  /// Per-rect resource footprint (`rect_res[k]` for rects[k]) — what the
+  /// rectangle actually consumes of each fabric resource kind, always
+  /// componentwise >= the region requirement it was enumerated for.
+  std::vector<ResourceVec> rect_res;
+  /// Componentwise minimum of rect_res over all candidates: the least any
+  /// placement of this region can consume per kind. Basis of the DFS
+  /// per-kind capacity suffix prune.
+  ResourceVec min_res;
+  /// OR of all candidate masks (mask_words words): every fabric cell this
+  /// region could possibly occupy. If fewer than `min_area` of those cells
+  /// remain free, no candidate of this region can be placed.
+  std::vector<std::uint64_t> union_mask;
+  /// Minimum rectangle area over all candidates, in grid cells.
+  std::size_t min_area = 0;
 };
 
 /// Computes the occupancy masks for `rects` on `fabric`.
@@ -119,12 +150,18 @@ PlacementSet EnumeratePrunedPlacementSet(const Fabric& fabric,
 /// candidate lists (one pointer per region, all non-null and non-empty,
 /// with masks built on `fabric`). `result.rects` is indexed like
 /// `candidates`. Deterministic: depends only on the candidate lists,
-/// their order and the budget options — not on wall-clock time unless
-/// the time budget fires.
+/// their order, `visit_order` and the budget options — not on wall-clock
+/// time unless the time budget fires.
+///
+/// `visit_order`, when non-null, holds one permutation of [0, rects.size())
+/// per region (indexed like `candidates`): the DFS visits region i's
+/// candidates in that order instead of enumeration order. This is how
+/// FpValueOrder::kLearned is injected; nullptr means enumeration order.
 FloorplanResult SolveFloorplanFeasibility(
     const Fabric& fabric,
     const std::vector<const PlacementSet*>& candidates,
-    const FloorplanOptions& options);
+    const FloorplanOptions& options,
+    const std::vector<std::vector<std::uint32_t>>* visit_order = nullptr);
 
 /// Optimizing variant: among floorplans found within the budget, keeps the
 /// one occupying the fewest grid cells (the compactness objective of the

@@ -1,0 +1,415 @@
+// Runtime-dispatched SIMD word kernels under util/timeline.hpp.
+//
+// The timeline kernels are loops over arrays of 64-bit occupancy words.
+// This header provides the bulk-word primitives behind them in three
+// interchangeable backends:
+//
+//   scalar — portable word-at-a-time loops (the fallback, always built);
+//   avx2   — 256-bit AVX2 blocks (x86-64, compiled with a `target`
+//            attribute so the baseline build stays generic; selected at
+//            runtime only when CPUID reports AVX2);
+//   neon   — 128-bit NEON blocks (aarch64, where NEON is architecturally
+//            guaranteed, so support is a compile-time fact).
+//
+// The backend is resolved once, on the first call to Active(): the
+// RESCHED_SIMD environment variable (scalar|avx2|neon) overrides the
+// detector; otherwise the best supported backend wins. Requesting an
+// unsupported backend aborts loudly — an explicit override that silently
+// degraded would defeat the CI equivalence legs that depend on it.
+//
+// Contract (DESIGN.md §13): every backend computes bit-identical results
+// for every kernel — these are pure bitwise/word reductions with no
+// floating point and no reassociation hazards, so equality is exact, and
+// tests/timeline_test.cpp differential-tests every backend reachable on
+// the build machine against the timeline::scalar oracle.
+//
+// All raw intrinsics in the repository live in this header; the
+// `no-raw-intrinsics-outside-simd` lint rule (tools/resched_lint.py)
+// rejects them anywhere else.
+//
+// Thread safety: Active() resolution is an idempotent atomic publish and
+// may race freely. SetBackend() is a test hook — call it only while no
+// other thread is inside a kernel.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#define RESCHED_SIMD_HAVE_X86 1
+#include <immintrin.h>
+#else
+#define RESCHED_SIMD_HAVE_X86 0
+#endif
+
+#if defined(__aarch64__)
+#define RESCHED_SIMD_HAVE_NEON 1
+#include <arm_neon.h>
+#else
+#define RESCHED_SIMD_HAVE_NEON 0
+#endif
+
+namespace resched::simd {
+
+enum class Backend : std::uint8_t { kScalar = 0, kAvx2 = 1, kNeon = 2 };
+
+/// One resolved implementation of the bulk word primitives. All kernels
+/// operate on arrays of 64-bit words; `n` counts words. None allocate.
+struct KernelTable {
+  Backend backend;
+  const char* name;
+  /// dst[i] |= src[i] for i in [0, n).
+  void (*or_into)(std::uint64_t* dst, const std::uint64_t* src,
+                  std::size_t n);
+  /// dst[i] = a[i] | b[i] for i in [0, n).
+  void (*or3)(std::uint64_t* dst, const std::uint64_t* a,
+              const std::uint64_t* b, std::size_t n);
+  /// True when (a[i] & b[i]) != 0 for any i in [0, n).
+  bool (*any_intersect)(const std::uint64_t* a, const std::uint64_t* b,
+                        std::size_t n);
+  /// True when any word in [0, n) is nonzero.
+  bool (*any_nonzero)(const std::uint64_t* words, std::size_t n);
+  /// Smallest w in [wb, we) with words[w] != 0, or we when none.
+  std::size_t (*first_nonzero)(const std::uint64_t* words, std::size_t wb,
+                               std::size_t we);
+  /// words[i] = value for i in [0, n).
+  void (*fill)(std::uint64_t* words, std::uint64_t value, std::size_t n);
+};
+
+// ---- scalar backend (always available) ------------------------------------
+
+namespace detail {
+
+inline void ScalarOrInto(std::uint64_t* dst, const std::uint64_t* src,
+                         std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] |= src[i];
+}
+
+inline void ScalarOr3(std::uint64_t* dst, const std::uint64_t* a,
+                      const std::uint64_t* b, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = a[i] | b[i];
+}
+
+inline bool ScalarAnyIntersect(const std::uint64_t* a, const std::uint64_t* b,
+                               std::size_t n) {
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < n; ++i) acc |= a[i] & b[i];
+  return acc != 0;
+}
+
+inline bool ScalarAnyNonzero(const std::uint64_t* words, std::size_t n) {
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < n; ++i) acc |= words[i];
+  return acc != 0;
+}
+
+inline std::size_t ScalarFirstNonzero(const std::uint64_t* words,
+                                      std::size_t wb, std::size_t we) {
+  for (std::size_t w = wb; w < we; ++w) {
+    if (words[w] != 0) return w;
+  }
+  return we;
+}
+
+inline void ScalarFill(std::uint64_t* words, std::uint64_t value,
+                       std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) words[i] = value;
+}
+
+inline constexpr KernelTable kScalarTable = {
+    Backend::kScalar, "scalar",        &ScalarOrInto,
+    &ScalarOr3,       &ScalarAnyIntersect, &ScalarAnyNonzero,
+    &ScalarFirstNonzero, &ScalarFill,
+};
+
+// ---- AVX2 backend (x86, runtime-gated) ------------------------------------
+
+#if RESCHED_SIMD_HAVE_X86
+
+__attribute__((target("avx2"))) inline void Avx2OrInto(
+    std::uint64_t* dst, const std::uint64_t* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_or_si256(d, s));
+  }
+  for (; i < n; ++i) dst[i] |= src[i];
+}
+
+__attribute__((target("avx2"))) inline void Avx2Or3(std::uint64_t* dst,
+                                                    const std::uint64_t* a,
+                                                    const std::uint64_t* b,
+                                                    std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_or_si256(va, vb));
+  }
+  for (; i < n; ++i) dst[i] = a[i] | b[i];
+}
+
+__attribute__((target("avx2"))) inline bool Avx2AnyIntersect(
+    const std::uint64_t* a, const std::uint64_t* b, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    if (!_mm256_testz_si256(va, vb)) return true;
+  }
+  std::uint64_t acc = 0;
+  for (; i < n; ++i) acc |= a[i] & b[i];
+  return acc != 0;
+}
+
+__attribute__((target("avx2"))) inline bool Avx2AnyNonzero(
+    const std::uint64_t* words, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(words + i));
+    if (!_mm256_testz_si256(v, v)) return true;
+  }
+  std::uint64_t acc = 0;
+  for (; i < n; ++i) acc |= words[i];
+  return acc != 0;
+}
+
+__attribute__((target("avx2"))) inline std::size_t Avx2FirstNonzero(
+    const std::uint64_t* words, std::size_t wb, std::size_t we) {
+  std::size_t w = wb;
+  for (; w + 4 <= we; w += 4) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(words + w));
+    if (!_mm256_testz_si256(v, v)) break;  // some word in this block
+  }
+  for (; w < we; ++w) {
+    if (words[w] != 0) return w;
+  }
+  return we;
+}
+
+__attribute__((target("avx2"))) inline void Avx2Fill(std::uint64_t* words,
+                                                     std::uint64_t value,
+                                                     std::size_t n) {
+  std::size_t i = 0;
+  const __m256i v = _mm256_set1_epi64x(static_cast<long long>(value));
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(words + i), v);
+  }
+  for (; i < n; ++i) words[i] = value;
+}
+
+inline constexpr KernelTable kAvx2Table = {
+    Backend::kAvx2, "avx2",          &Avx2OrInto,
+    &Avx2Or3,       &Avx2AnyIntersect, &Avx2AnyNonzero,
+    &Avx2FirstNonzero, &Avx2Fill,
+};
+
+#endif  // RESCHED_SIMD_HAVE_X86
+
+// ---- NEON backend (aarch64, architecturally guaranteed) -------------------
+
+#if RESCHED_SIMD_HAVE_NEON
+
+inline void NeonOrInto(std::uint64_t* dst, const std::uint64_t* src,
+                       std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_u64(dst + i, vorrq_u64(vld1q_u64(dst + i), vld1q_u64(src + i)));
+  }
+  for (; i < n; ++i) dst[i] |= src[i];
+}
+
+inline void NeonOr3(std::uint64_t* dst, const std::uint64_t* a,
+                    const std::uint64_t* b, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_u64(dst + i, vorrq_u64(vld1q_u64(a + i), vld1q_u64(b + i)));
+  }
+  for (; i < n; ++i) dst[i] = a[i] | b[i];
+}
+
+inline bool NeonAnyIntersect(const std::uint64_t* a, const std::uint64_t* b,
+                             std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint64x2_t v = vandq_u64(vld1q_u64(a + i), vld1q_u64(b + i));
+    if ((vgetq_lane_u64(v, 0) | vgetq_lane_u64(v, 1)) != 0) return true;
+  }
+  std::uint64_t acc = 0;
+  for (; i < n; ++i) acc |= a[i] & b[i];
+  return acc != 0;
+}
+
+inline bool NeonAnyNonzero(const std::uint64_t* words, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint64x2_t v = vld1q_u64(words + i);
+    if ((vgetq_lane_u64(v, 0) | vgetq_lane_u64(v, 1)) != 0) return true;
+  }
+  std::uint64_t acc = 0;
+  for (; i < n; ++i) acc |= words[i];
+  return acc != 0;
+}
+
+inline std::size_t NeonFirstNonzero(const std::uint64_t* words,
+                                    std::size_t wb, std::size_t we) {
+  std::size_t w = wb;
+  for (; w + 2 <= we; w += 2) {
+    const uint64x2_t v = vld1q_u64(words + w);
+    if ((vgetq_lane_u64(v, 0) | vgetq_lane_u64(v, 1)) != 0) break;
+  }
+  for (; w < we; ++w) {
+    if (words[w] != 0) return w;
+  }
+  return we;
+}
+
+inline void NeonFill(std::uint64_t* words, std::uint64_t value,
+                     std::size_t n) {
+  std::size_t i = 0;
+  const uint64x2_t v = vdupq_n_u64(value);
+  for (; i + 2 <= n; i += 2) vst1q_u64(words + i, v);
+  for (; i < n; ++i) words[i] = value;
+}
+
+inline constexpr KernelTable kNeonTable = {
+    Backend::kNeon, "neon",          &NeonOrInto,
+    &NeonOr3,       &NeonAnyIntersect, &NeonAnyNonzero,
+    &NeonFirstNonzero, &NeonFill,
+};
+
+#endif  // RESCHED_SIMD_HAVE_NEON
+
+}  // namespace detail
+
+inline const char* BackendName(Backend b) {
+  switch (b) {
+    case Backend::kScalar:
+      return "scalar";
+    case Backend::kAvx2:
+      return "avx2";
+    case Backend::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+/// Whether `b` can run on this build + machine.
+inline bool Supported(Backend b) {
+  switch (b) {
+    case Backend::kScalar:
+      return true;
+    case Backend::kAvx2:
+#if RESCHED_SIMD_HAVE_X86
+      // Note: the builtin returns a feature *mask*, not a boolean — always
+      // compare against zero (truncating it to an exit code once read as
+      // "unsupported" on a machine that very much has AVX2).
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+    case Backend::kNeon:
+      return RESCHED_SIMD_HAVE_NEON != 0;
+  }
+  return false;
+}
+
+namespace detail {
+
+inline const KernelTable* TableFor(Backend b) {
+  switch (b) {
+#if RESCHED_SIMD_HAVE_X86
+    case Backend::kAvx2:
+      return &kAvx2Table;
+#endif
+#if RESCHED_SIMD_HAVE_NEON
+    case Backend::kNeon:
+      return &kNeonTable;
+#endif
+    default:
+      return &kScalarTable;
+  }
+}
+
+inline std::atomic<const KernelTable*>& ActiveSlot() {
+  static std::atomic<const KernelTable*> slot{nullptr};
+  return slot;
+}
+
+/// Startup resolution: RESCHED_SIMD override first, else best supported.
+inline const KernelTable* Resolve() {
+  if (const char* env = std::getenv("RESCHED_SIMD");
+      env != nullptr && *env != '\0') {
+    Backend requested = Backend::kScalar;
+    if (std::strcmp(env, "scalar") == 0) {
+      requested = Backend::kScalar;
+    } else if (std::strcmp(env, "avx2") == 0) {
+      requested = Backend::kAvx2;
+    } else if (std::strcmp(env, "neon") == 0) {
+      requested = Backend::kNeon;
+    } else {
+      std::fprintf(stderr,
+                   "RESCHED_SIMD=%s: unknown backend (expected "
+                   "scalar|avx2|neon)\n",
+                   env);
+      std::abort();
+    }
+    if (!Supported(requested)) {
+      std::fprintf(stderr,
+                   "RESCHED_SIMD=%s: backend not supported on this "
+                   "machine/build\n",
+                   env);
+      std::abort();
+    }
+    return TableFor(requested);
+  }
+  if (Supported(Backend::kAvx2)) return TableFor(Backend::kAvx2);
+  if (Supported(Backend::kNeon)) return TableFor(Backend::kNeon);
+  return TableFor(Backend::kScalar);
+}
+
+}  // namespace detail
+
+/// The resolved kernel table (startup resolution on first use).
+inline const KernelTable& Active() {
+  const KernelTable* t =
+      detail::ActiveSlot().load(std::memory_order_acquire);
+  if (t == nullptr) {
+    // Racing first calls all resolve to the same inline table object, so
+    // publishing twice is harmless.
+    t = detail::Resolve();
+    detail::ActiveSlot().store(t, std::memory_order_release);
+  }
+  return *t;
+}
+
+inline Backend ActiveBackend() { return Active().backend; }
+
+/// Test hook: forces a backend for subsequent kernel calls. Aborts on an
+/// unsupported backend (same policy as the env override).
+inline void SetBackend(Backend b) {
+  if (!Supported(b)) {
+    std::fprintf(stderr, "simd::SetBackend(%s): backend not supported\n",
+                 BackendName(b));
+    std::abort();
+  }
+  detail::ActiveSlot().store(detail::TableFor(b), std::memory_order_release);
+}
+
+}  // namespace resched::simd

@@ -14,6 +14,12 @@
 // `timeline::scalar` mirrors every kernel with a one-bit-at-a-time
 // reference implementation — the oracle for the differential property test
 // (tests/timeline_test.cpp). Keep the two namespaces signature-identical.
+//
+// Bulk word spans are routed through util/simd.hpp (runtime AVX2/NEON
+// dispatch, RESCHED_SIMD override). Spans shorter than kDispatchMinWords
+// keep the inline word loop: an indirect call costs more than it saves on
+// the 3-word fabric masks of the floorplan DFS. Every backend is
+// bit-identical (DESIGN.md §13), so the split never changes a result.
 #pragma once
 
 #include <algorithm>
@@ -22,10 +28,16 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/simd.hpp"
+
 namespace resched::timeline {
 
 inline constexpr std::size_t kWordBits = 64;
 inline constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+/// Word spans at least this long go through the simd dispatch table;
+/// shorter spans use the inline loop (indirect-call break-even).
+inline constexpr std::size_t kDispatchMinWords = 4;
 
 /// Number of 64-bit words needed to hold `bits` bits.
 constexpr std::size_t WordsFor(std::size_t bits) {
@@ -57,7 +69,11 @@ inline void RangeSet(std::uint64_t* words, std::size_t begin,
     return;
   }
   words[wb] |= head;
-  for (std::size_t w = wb + 1; w < we; ++w) words[w] = ~std::uint64_t{0};
+  if (we - wb - 1 >= kDispatchMinWords) {
+    simd::Active().fill(words + wb + 1, ~std::uint64_t{0}, we - wb - 1);
+  } else {
+    for (std::size_t w = wb + 1; w < we; ++w) words[w] = ~std::uint64_t{0};
+  }
   words[we] |= tail;
 }
 
@@ -74,7 +90,11 @@ inline void RangeClear(std::uint64_t* words, std::size_t begin,
     return;
   }
   words[wb] &= ~head;
-  for (std::size_t w = wb + 1; w < we; ++w) words[w] = 0;
+  if (we - wb - 1 >= kDispatchMinWords) {
+    simd::Active().fill(words + wb + 1, 0, we - wb - 1);
+  } else {
+    for (std::size_t w = wb + 1; w < we; ++w) words[w] = 0;
+  }
   words[we] &= ~tail;
 }
 
@@ -88,8 +108,12 @@ inline bool RangeAny(const std::uint64_t* words, std::size_t begin,
   const std::uint64_t tail = detail::TailMask(end - 1);
   if (wb == we) return (words[wb] & head & tail) != 0;
   if ((words[wb] & head) != 0) return true;
-  for (std::size_t w = wb + 1; w < we; ++w) {
-    if (words[w] != 0) return true;
+  if (we - wb - 1 >= kDispatchMinWords) {
+    if (simd::Active().any_nonzero(words + wb + 1, we - wb - 1)) return true;
+  } else {
+    for (std::size_t w = wb + 1; w < we; ++w) {
+      if (words[w] != 0) return true;
+    }
   }
   return (words[we] & tail) != 0;
 }
@@ -111,9 +135,14 @@ inline bool RangeTestAndSet(std::uint64_t* words, std::size_t begin,
   }
   bool clash = (words[wb] & head) != 0;
   words[wb] |= head;
-  for (std::size_t w = wb + 1; w < we; ++w) {
-    clash |= words[w] != 0;
-    words[w] = ~std::uint64_t{0};
+  if (we - wb - 1 >= kDispatchMinWords) {
+    clash |= simd::Active().any_nonzero(words + wb + 1, we - wb - 1);
+    simd::Active().fill(words + wb + 1, ~std::uint64_t{0}, we - wb - 1);
+  } else {
+    for (std::size_t w = wb + 1; w < we; ++w) {
+      clash |= words[w] != 0;
+      words[w] = ~std::uint64_t{0};
+    }
   }
   clash |= (words[we] & tail) != 0;
   words[we] |= tail;
@@ -126,12 +155,46 @@ inline std::size_t FindFirstSet(const std::uint64_t* words, std::size_t begin,
   if (begin >= end) return kNpos;
   const std::size_t wb = begin / kWordBits;
   const std::size_t we = (end - 1) / kWordBits;
-  std::uint64_t mask = detail::HeadMask(begin);
-  for (std::size_t w = wb; w <= we; ++w) {
+  std::uint64_t v = words[wb] & detail::HeadMask(begin);
+  if (wb == we) {
+    v &= detail::TailMask(end - 1);
+    if (v == 0) return kNpos;
+    return wb * kWordBits + static_cast<std::size_t>(std::countr_zero(v));
+  }
+  if (v != 0) {
+    return wb * kWordBits + static_cast<std::size_t>(std::countr_zero(v));
+  }
+  std::size_t w;
+  if (we - wb - 1 >= kDispatchMinWords) {
+    w = simd::Active().first_nonzero(words, wb + 1, we);
+  } else {
+    for (w = wb + 1; w < we && words[w] == 0; ++w) {
+    }
+  }
+  if (w < we) {
+    return w * kWordBits +
+           static_cast<std::size_t>(std::countr_zero(words[w]));
+  }
+  v = words[we] & detail::TailMask(end - 1);
+  if (v == 0) return kNpos;
+  return we * kWordBits + static_cast<std::size_t>(std::countr_zero(v));
+}
+
+/// Index of the last set bit in [begin, end), or kNpos when none — the
+/// maximal-jump primitive of GapIndex::FirstGap (a window containing a set
+/// bit admits no gap start at or before its last set bit).
+inline std::size_t FindLastSet(const std::uint64_t* words, std::size_t begin,
+                               std::size_t end) {
+  if (begin >= end) return kNpos;
+  const std::size_t wb = begin / kWordBits;
+  const std::size_t we = (end - 1) / kWordBits;
+  std::uint64_t mask = detail::TailMask(end - 1);
+  for (std::size_t w = we + 1; w-- > wb;) {
     std::uint64_t v = words[w] & mask;
-    if (w == we) v &= detail::TailMask(end - 1);
+    if (w == wb) v &= detail::HeadMask(begin);
     if (v != 0) {
-      return w * kWordBits + static_cast<std::size_t>(std::countr_zero(v));
+      return w * kWordBits + (kWordBits - 1) -
+             static_cast<std::size_t>(std::countl_zero(v));
     }
     mask = ~std::uint64_t{0};
   }
@@ -155,9 +218,62 @@ inline std::size_t FirstFitGap(const std::uint64_t* words,
   return kNpos;
 }
 
+/// Resume cursor for repeated gap probes against a timeline whose
+/// occupancy only grows (set-only mutation between probes, the PA
+/// slot-search pattern). Tracks the fully-set prefix: every bit in
+/// [0, head_full_bits) is set, so no gap can ever start there and probes
+/// may skip it without changing any result. The invariant is monotone
+/// under RangeSet — clearing bits invalidates the cursor (re-zero it).
+struct GapCursor {
+  std::size_t head_full_bits = 0;
+};
+
+namespace detail {
+/// Advances the cursor to the current first clear bit (word-stepped, never
+/// rescans below the previous position).
+inline void AdvanceGapCursor(const std::uint64_t* words, std::size_t num_bits,
+                             GapCursor* cursor) {
+  std::size_t hfb = cursor->head_full_bits;
+  if (hfb >= num_bits) return;
+  std::size_t w = hfb / kWordBits;
+  // Treat bits below hfb as set: they are, by the cursor invariant.
+  std::uint64_t v = words[w];
+  if (hfb % kWordBits != 0) {
+    v |= ~std::uint64_t{0} >> (kWordBits - hfb % kWordBits);
+  }
+  while (~v == 0) {
+    ++w;
+    if (w * kWordBits >= num_bits) {
+      cursor->head_full_bits = num_bits;
+      return;
+    }
+    v = words[w];
+  }
+  hfb = w * kWordBits + static_cast<std::size_t>(std::countr_one(v));
+  cursor->head_full_bits = hfb < num_bits ? hfb : num_bits;
+}
+}  // namespace detail
+
+/// FirstFitGap with a resume cursor: bit-identical to the cursor-less
+/// overload for any (from, len) as long as no bit was cleared since the
+/// cursor was last reset — a set bit can never start a gap, so skipping
+/// the known-full prefix cannot change the answer. Repeated probes on a
+/// grow-only timeline become incremental instead of head-rescans.
+inline std::size_t FirstFitGap(const std::uint64_t* words,
+                               std::size_t num_bits, std::size_t from,
+                               std::size_t len, GapCursor* cursor) {
+  if (len == 0) return from <= num_bits ? from : kNpos;
+  detail::AdvanceGapCursor(words, num_bits, cursor);
+  return FirstFitGap(words, num_bits,
+                     std::max(from, cursor->head_full_bits), len);
+}
+
 /// True when the two word arrays share any set bit.
 inline bool AnyIntersect(const std::uint64_t* a, const std::uint64_t* b,
                          std::size_t words) {
+  if (words >= kDispatchMinWords) {
+    return simd::Active().any_intersect(a, b, words);
+  }
   std::uint64_t acc = 0;
   for (std::size_t w = 0; w < words; ++w) acc |= a[w] & b[w];
   return acc != 0;
@@ -166,13 +282,39 @@ inline bool AnyIntersect(const std::uint64_t* a, const std::uint64_t* b,
 /// dst |= src, word-wise.
 inline void OrInto(std::uint64_t* dst, const std::uint64_t* src,
                    std::size_t words) {
+  if (words >= kDispatchMinWords) {
+    simd::Active().or_into(dst, src, words);
+    return;
+  }
   for (std::size_t w = 0; w < words; ++w) dst[w] |= src[w];
 }
 
 /// dst = a | b, word-wise (the DFS "occupancy at depth+1" update).
 inline void OrImage(std::uint64_t* dst, const std::uint64_t* a,
                     const std::uint64_t* b, std::size_t words) {
+  if (words >= kDispatchMinWords) {
+    simd::Active().or3(dst, a, b, words);
+    return;
+  }
   for (std::size_t w = 0; w < words; ++w) dst[w] = a[w] | b[w];
+}
+
+/// Popcount of the set bits in [begin, end).
+inline std::size_t RangeCount(const std::uint64_t* words, std::size_t begin,
+                              std::size_t end) {
+  if (begin >= end) return 0;
+  const std::size_t wb = begin / kWordBits;
+  const std::size_t we = (end - 1) / kWordBits;
+  const std::uint64_t head = detail::HeadMask(begin);
+  const std::uint64_t tail = detail::TailMask(end - 1);
+  if (wb == we) {
+    return static_cast<std::size_t>(std::popcount(words[wb] & head & tail));
+  }
+  std::size_t count = static_cast<std::size_t>(std::popcount(words[wb] & head));
+  for (std::size_t w = wb + 1; w < we; ++w) {
+    count += static_cast<std::size_t>(std::popcount(words[w]));
+  }
+  return count + static_cast<std::size_t>(std::popcount(words[we] & tail));
 }
 
 // One-bit-at-a-time reference implementations. Deliberately naive: the
@@ -227,6 +369,23 @@ inline std::size_t FindFirstSet(const std::uint64_t* words, std::size_t begin,
   return kNpos;
 }
 
+inline std::size_t FindLastSet(const std::uint64_t* words, std::size_t begin,
+                               std::size_t end) {
+  for (std::size_t i = end; i-- > begin;) {
+    if (TestBit(words, i)) return i;
+  }
+  return kNpos;
+}
+
+inline std::size_t RangeCount(const std::uint64_t* words, std::size_t begin,
+                              std::size_t end) {
+  std::size_t count = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    if (TestBit(words, i)) ++count;
+  }
+  return count;
+}
+
 inline std::size_t FirstFitGap(const std::uint64_t* words,
                                std::size_t num_bits, std::size_t from,
                                std::size_t len) {
@@ -245,7 +404,119 @@ inline bool AnyIntersect(const std::uint64_t* a, const std::uint64_t* b,
   return false;
 }
 
+inline void OrInto(std::uint64_t* dst, const std::uint64_t* src,
+                   std::size_t words) {
+  for (std::size_t i = 0; i < words * kWordBits; ++i) {
+    if (TestBit(src, i)) SetBit(dst, i);
+  }
+}
+
 }  // namespace scalar
+
+/// Prefix-popcount gap index: a word-packed occupancy axis plus the
+/// running popcount of every word prefix, maintained incrementally on
+/// Set(). Count() over any range is O(1) (prefix difference + two partial
+/// words), so window-emptiness probes — the `FirstControllerGap`-style
+/// "does a length-L window at position p have zero occupancy?" question —
+/// never rescan the axis, and FirstGap() advances past the *last* set bit
+/// of each blocked window (one O(words) backward scan) instead of
+/// bit-stepping.
+///
+/// Maintenance invariant (DESIGN.md §13): prefix_[w] equals the popcount
+/// of words_[0..w) after every public call. Mutation is set-only between
+/// ResizeAndClear()/ClearAll() — exactly the monotone occupancy pattern of
+/// the PA slot search — which also keeps GapCursor probes valid.
+class GapIndex {
+ public:
+  std::size_t NumBits() const { return bits_; }
+  const std::uint64_t* words() const { return words_.data(); }
+
+  /// Resizes to `bits` and clears everything (capacity persists).
+  void ResizeAndClear(std::size_t bits) {
+    bits_ = bits;
+    words_.assign(WordsFor(bits), 0);
+    prefix_.assign(WordsFor(bits) + 1, 0);
+  }
+
+  void ClearAll() {
+    std::fill(words_.begin(), words_.end(), 0);
+    std::fill(prefix_.begin(), prefix_.end(), 0);
+  }
+
+  /// Sets every bit in [begin, end), updating the prefix array with the
+  /// per-word popcount deltas in the same pass — O(words from begin).
+  void Set(std::size_t begin, std::size_t end) {
+    if (begin >= end) return;
+    const std::size_t wb = begin / kWordBits;
+    const std::size_t we = (end - 1) / kWordBits;
+    const std::uint64_t head = detail::HeadMask(begin);
+    const std::uint64_t tail = detail::TailMask(end - 1);
+    std::uint32_t added = 0;
+    for (std::size_t w = wb; w <= we; ++w) {
+      std::uint64_t mask = ~std::uint64_t{0};
+      if (w == wb) mask &= head;
+      if (w == we) mask &= tail;
+      const std::uint64_t grown = mask & ~words_[w];
+      words_[w] |= mask;
+      added += static_cast<std::uint32_t>(std::popcount(grown));
+      prefix_[w + 1] += added;
+    }
+    for (std::size_t w = we + 1; w < words_.size(); ++w) {
+      prefix_[w + 1] += added;
+    }
+  }
+
+  /// Number of set bits in [begin, end) — O(1) via the prefix array.
+  std::size_t Count(std::size_t begin, std::size_t end) const {
+    if (begin >= end) return 0;
+    const std::size_t wb = begin / kWordBits;
+    const std::size_t we = (end - 1) / kWordBits;
+    const std::uint64_t head = detail::HeadMask(begin);
+    const std::uint64_t tail = detail::TailMask(end - 1);
+    if (wb == we) {
+      return static_cast<std::size_t>(
+          std::popcount(words_[wb] & head & tail));
+    }
+    return static_cast<std::size_t>(std::popcount(words_[wb] & head)) +
+           (prefix_[we] - prefix_[wb + 1]) +
+           static_cast<std::size_t>(std::popcount(words_[we] & tail));
+  }
+
+  bool AnySet(std::size_t begin, std::size_t end) const {
+    return Count(begin, end) != 0;
+  }
+
+  /// First index i >= from with i + len <= NumBits() and [i, i + len) all
+  /// clear, or kNpos. Same contract as FirstFitGap, but each blocked
+  /// window is rejected in O(1) and skipped past its *last* set bit (any
+  /// start at or before it would still contain it), so the scan makes
+  /// O(words)-style jumps instead of per-blocker bit steps.
+  std::size_t FirstGap(std::size_t from, std::size_t len) const {
+    if (len == 0) return from <= bits_ ? from : kNpos;
+    std::size_t i = from;
+    while (i + len <= bits_ && i + len > i) {  // second clause: overflow
+      if (Count(i, i + len) == 0) return i;
+      const std::size_t last = FindLastSet(words_.data(), i, i + len);
+      i = last + 1;
+    }
+    return kNpos;
+  }
+
+  /// FirstGap with a resume cursor (see GapCursor): bit-identical under
+  /// set-only mutation, incremental across probes.
+  std::size_t FirstGap(std::size_t from, std::size_t len,
+                       GapCursor* cursor) const {
+    if (len == 0) return from <= bits_ ? from : kNpos;
+    detail::AdvanceGapCursor(words_.data(), bits_, cursor);
+    return FirstGap(std::max(from, cursor->head_full_bits), len);
+  }
+
+ private:
+  std::size_t bits_ = 0;
+  std::vector<std::uint64_t> words_;
+  /// prefix_[w] = popcount of words_[0..w); size words_.size() + 1.
+  std::vector<std::uint32_t> prefix_;
+};
 
 /// Owning, resizable bit axis over the kernels — the convenience wrapper
 /// the validator and PaScratch embed. Reset()/ClearAll() keep capacity.

@@ -201,15 +201,16 @@ TEST(FloorplanCacheTest, MatchesUncachedAnswers) {
 
 TEST(FloorplanCacheTest, BudgetExhaustedIsNeverProvenInfeasible) {
   const FpgaDevice device = MakeXc7z020();
-  // Thirteen such regions pass the aggregate pre-check but admit no packing;
-  // with an 8-placement catalog the proof needs ~5k search nodes — past the
-  // first node-budget checkpoint (1024) yet instant to complete.
-  const std::vector<ResourceVec> regions(13, ResourceVec({900, 8, 10}));
+  // Twelve such regions pass the aggregate pre-check and the per-kind
+  // min-footprint root check but admit no packing; with a 12-placement
+  // catalog the proof needs ~9k search nodes — past the first node-budget
+  // checkpoint (1024) yet instant to complete.
+  const std::vector<ResourceVec> regions(12, ResourceVec({1000, 10, 14}));
 
   FloorplanOptions unlimited;
   unlimited.time_budget_seconds = 0.0;
   unlimited.max_nodes = 0;
-  unlimited.max_placements_per_region = 8;
+  unlimited.max_placements_per_region = 12;
   const auto truth = FindFloorplan(device, regions, unlimited);
   ASSERT_FALSE(truth.budget_exhausted);
   ASSERT_GT(truth.nodes_explored, 2048u)

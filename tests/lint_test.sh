@@ -82,13 +82,22 @@ std::vector<int> collect(int n) {
   return out;
 }
 EOF
+cat > "$TMP/src/core/rogue_simd.cpp" <<'EOF'
+#include <immintrin.h>
+bool any(const unsigned long long* a, const unsigned long long* b) {
+  __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a));
+  __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b));
+  return _mm256_testz_si256(va, vb) == 0;
+}
+EOF
 
 out=$("$PYTHON" "$LINT" --root "$TMP") && fail "seeded violations not detected"
 for rule in no-std-rand no-wall-clock-seed no-argless-random-device \
     no-unordered-in-output pragma-once include-cycle no-naked-new \
     no-silent-catch no-adhoc-seed-derivation \
     no-unchecked-syscall-return no-unchecked-stream-write \
-    no-vector-bool-hot reserve-before-push-hot; do
+    no-vector-bool-hot reserve-before-push-hot \
+    no-raw-intrinsics-outside-simd; do
   echo "$out" | grep -q "\[$rule\]" || fail "rule $rule did not fire"
 done
 
@@ -227,5 +236,37 @@ void dump(const char* path) {
 EOF
 "$PYTHON" "$LINT" --root "$CLEAN" \
     || fail "no-unchecked-stream-write fired on sanctioned usage"
+
+# --- intrinsics are sanctioned only inside src/util/simd.hpp ------------------
+# NEON spellings must be caught too, and the dispatch layer itself is the
+# one file allowed to contain raw intrinsics.
+mkdir -p "$CLEAN/src/util"
+cat > "$CLEAN/src/util/simd.hpp" <<'EOF'
+#pragma once
+#include <cstdint>
+namespace resched::simd {
+inline std::uint64_t OrLane(const std::uint64_t* p) {
+#if defined(__AVX2__)
+  __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+  (void)v;
+#endif
+  return p[0];
+}
+}  // namespace resched::simd
+EOF
+"$PYTHON" "$LINT" --root "$CLEAN" \
+    || fail "no-raw-intrinsics-outside-simd fired on src/util/simd.hpp"
+mkdir -p "$TMP/src/sched"
+cat > "$TMP/src/sched/neon_rogue.cpp" <<'EOF'
+#include <arm_neon.h>
+unsigned long long first(const unsigned long long* p) {
+  uint64x2_t v = vld1q_u64(p);
+  return vgetq_lane_u64(v, 0);
+}
+EOF
+out=$("$PYTHON" "$LINT" --root "$TMP" "$TMP/src/sched/neon_rogue.cpp") \
+    && fail "NEON intrinsics outside the simd layer not detected"
+echo "$out" | grep -q "\[no-raw-intrinsics-outside-simd\]" \
+    || fail "no-raw-intrinsics-outside-simd did not fire on NEON spellings"
 
 echo "lint_test OK"

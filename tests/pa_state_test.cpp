@@ -4,10 +4,14 @@
 // Eq.-(6) estimate — all against the PR-4 PaContext/PaScratch split.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <optional>
+#include <utility>
+#include <vector>
 
 #include "core/pa_state.hpp"
 #include "test_helpers.hpp"
+#include "util/rng.hpp"
 
 namespace resched {
 namespace {
@@ -228,6 +232,60 @@ TEST(PaStateTest, AdoptedPrecomputeMatchesContext) {
               ctx.InitialExecTimes()[t]);
     EXPECT_EQ(state.WasCritical(static_cast<TaskId>(t)),
               ctx.InitialCriticalMask()[t]);
+  }
+}
+
+// Oracle for pa::FirstLaneGap: repeatedly bump the candidate past any slot
+// that overlaps [candidate, candidate + duration) until a fixpoint. Quadratic
+// and cursor-free — correctness is obvious by inspection.
+TimeT NaiveLaneGap(const std::vector<std::pair<TimeT, TimeT>>& slots,
+                   TimeT lo, TimeT duration) {
+  TimeT candidate = lo;
+  bool moved = true;
+  while (moved) {
+    moved = false;
+    for (const auto& s : slots) {
+      if (s.first < candidate + duration && s.second > candidate) {
+        candidate = s.second;
+        moved = true;
+      }
+    }
+  }
+  return candidate;
+}
+
+// Differential sweep for the resume-cursor slot search (PR 9 satellite):
+// random disjoint lanes built the way production builds them (each insertion
+// lands in a gap the search itself found), probed with a mix of monotone and
+// deliberately stale (backwards) queries sharing one resume cursor. Every
+// answer must be bit-identical to the naive rescan-from-zero oracle, and to
+// the cursor-less call.
+TEST(PaStateTest, FirstLaneGapMatchesNaiveScan) {
+  Rng rng(20260808);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<std::pair<TimeT, TimeT>> slots;
+    std::size_t resume = 0;
+    TimeT frontier = 0;  // keeps the monotone probes roughly advancing
+    for (int step = 0; step < 150; ++step) {
+      const bool stale = rng.UniformInt(0, 4) == 0;
+      const TimeT lo = stale ? rng.UniformInt(0, 500)
+                             : frontier + rng.UniformInt(0, 40);
+      const TimeT duration = rng.UniformInt(1, 60);
+      const TimeT expected = NaiveLaneGap(slots, lo, duration);
+      EXPECT_EQ(pa::FirstLaneGap(slots, lo, duration, &resume), expected)
+          << "trial=" << trial << " step=" << step << " lo=" << lo
+          << " dur=" << duration;
+      EXPECT_EQ(pa::FirstLaneGap(slots, lo, duration, nullptr), expected)
+          << "cursor-less call diverged at trial=" << trial
+          << " step=" << step;
+      if (rng.UniformInt(0, 2) != 0) {
+        // Book the found gap, exactly as RunReconfigurationScheduling does.
+        const std::pair<TimeT, TimeT> slot{expected, expected + duration};
+        slots.insert(std::upper_bound(slots.begin(), slots.end(), slot),
+                     slot);
+        if (!stale) frontier = std::max(frontier, lo);
+      }
+    }
   }
 }
 

@@ -61,6 +61,16 @@ Rules:
                             clear()s reallocates on the hot path; size it
                             up front, or clear-and-refill a reused buffer
                             so capacity persists.
+  no-raw-intrinsics-outside-simd
+                            raw SIMD intrinsics (_mm*/vld1q*/vst1q*/
+                            __builtin_ia32_*/__m128-style vector types)
+                            anywhere but src/util/simd.hpp: the dispatch
+                            layer there is the single place allowed to
+                            touch ISA-specific code, so every variant stays
+                            behind the runtime-selected kernel table and
+                            the scalar oracle keeps its differential-test
+                            coverage. Route new vector code through
+                            simd::KernelTable.
 
 AST rules (--ast; libclang-backed, see resched_lint_ast.py for the full
 rule prose; they skip with a notice when libclang is unavailable, and
@@ -264,6 +274,15 @@ STREAM_SCOPE_PREFIXES = ("src/service/",)
 # Hot-path scheduling code: per-restart cost here is multiplied by the
 # restart count, so representation and allocation discipline are linted.
 HOT_PATH_PREFIXES = ("src/core/", "src/floorplan/")
+
+# Raw SIMD intrinsics and ISA vector types. Only the dispatch layer may
+# contain them; everything else goes through simd::KernelTable.
+INTRINSIC_RE = re.compile(
+    r"(?<![\w])(_mm\d*_\w+|vld[1-4]q?_\w+|vst[1-4]q?_\w+"
+    r"|v(?:orr|and|eor|dup|get|set|ceq|min|max|add|sub)q?\w*_[usf]\d+\b"
+    r"|__builtin_ia32_\w+|__m(?:64|128|256|512)[id]?\b"
+    r"|(?:uint|int|float)(?:8|16|32|64)x\d+_t\b)")
+SIMD_LAYER_FILE = "src/util/simd.hpp"
 
 VECTOR_BOOL_RE = re.compile(r"\bvector\s*<\s*bool\s*>")
 
@@ -473,6 +492,12 @@ def lint_file(path, root, findings):
                 "ad-hoc HashCombine seed derivation; use "
                 "DeriveSeed(stream, index) with a named stream tag "
                 "(util/rng.hpp)")
+        if relpath != SIMD_LAYER_FILE and INTRINSIC_RE.search(line):
+            report(
+                lineno, "no-raw-intrinsics-outside-simd",
+                "raw SIMD intrinsic outside src/util/simd.hpp; add a "
+                "kernel to simd::KernelTable so it stays behind runtime "
+                "dispatch and the scalar differential tests")
         if relpath.startswith(HOT_PATH_PREFIXES) and \
                 VECTOR_BOOL_RE.search(line):
             report(
@@ -588,7 +613,8 @@ def main(argv):
                      "no-adhoc-seed-derivation",
                      "no-unchecked-syscall-return",
                      "no-unchecked-stream-write", "no-vector-bool-hot",
-                     "reserve-before-push-hot"):
+                     "reserve-before-push-hot",
+                     "no-raw-intrinsics-outside-simd"):
             print(rule)
         from resched_lint_ast import AST_RULES
         for rule in AST_RULES:
