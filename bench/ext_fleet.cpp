@@ -1,0 +1,441 @@
+// Extension: fleet-scale reschedd. Two closed-loop harnesses in one
+// binary, both asserting hard properties rather than just measuring:
+//
+//  1. Multi-tenant fairness. One daemon (workers=1, cache off) serves a
+//     quiet tenant alone, then the same quiet tenant next to a chatty
+//     tenant submitting 10x the requests with 10x the window. Weighted
+//     DRR admission (quiet=4, chatty=1) must keep the quiet tenant's p99
+//     queue wait at or below 2x its solo value — the chatty tenant is
+//     not allowed to starve it. Queue-wait quantiles come from the
+//     server's own per-tenant samples (stats verb), not client clocks.
+//
+//  2. Cross-layout consistency. The same schedule-request set runs
+//     through the consistent-hash router against 1, 2, and 4 TCP
+//     backends; response bodies (ids stripped) must be byte-identical
+//     across layouts. Any divergence is a determinism regression and the
+//     bench fails.
+#include <algorithm>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <thread>
+
+#include "bench_common.hpp"
+#include "io/instance_io.hpp"
+#include "router/router.hpp"
+#include "service/server.hpp"
+#include "service/transport.hpp"
+#include "util/build_info.hpp"
+#include "util/timer.hpp"
+
+using namespace resched;
+using namespace resched::bench;
+
+namespace {
+
+std::string StripId(const std::string& line) {
+  const std::size_t comma = line.find(',');
+  std::string body = "{";
+  body += line.substr(comma + 1);
+  return body;
+}
+
+std::string ScheduleLine(const Instance& instance, const std::string& id,
+                         std::int64_t seed, const std::string& tenant) {
+  JsonObject request;
+  request["verb"] = "schedule";
+  request["id"] = id;
+  request["instance"] = InstanceToJson(instance);
+  request["seed"] = seed;
+  if (!tenant.empty()) request["tenant"] = tenant;
+  return JsonValue(std::move(request)).Dump(-1);
+}
+
+// ------------------------------------------------------------- fairness --
+
+struct TenantSpec {
+  std::string name;
+  std::size_t requests = 0;
+  std::size_t window = 0;
+};
+
+struct TenantOutcome {
+  double queue_p50_ms = 0.0;
+  double queue_p99_ms = 0.0;
+  std::uint64_t admitted = 0;
+  std::size_t requests = 0;
+  std::size_t window = 0;
+};
+
+struct FairnessResult {
+  double total_seconds = 0.0;
+  std::map<std::string, TenantOutcome> tenants;
+  std::size_t total_requests = 0;
+};
+
+/// Drives all tenants' request lists closed-loop over one pipe-transport
+/// daemon (each tenant keeps its own window outstanding) and reads the
+/// per-tenant queue-wait quantiles back from the stats verb.
+FairnessResult RunFairness(const Instance& instance,
+                           const std::vector<TenantSpec>& specs,
+                           const std::map<std::string, std::uint32_t>&
+                               weights) {
+  struct LiveTenant {
+    const TenantSpec* spec = nullptr;
+    std::vector<std::string> lines;
+    std::size_t next = 0;
+    std::size_t inflight = 0;
+  };
+  std::vector<LiveTenant> live;
+  std::size_t total = 0;
+  for (const TenantSpec& spec : specs) {
+    LiveTenant t;
+    t.spec = &spec;
+    t.lines.reserve(spec.requests);
+    for (std::size_t i = 0; i < spec.requests; ++i) {
+      // Fixed seed: uniform service times make the queue-wait comparison
+      // about admission order, not workload luck.
+      t.lines.push_back(ScheduleLine(
+          instance, spec.name + "-" + std::to_string(i), 7, spec.name));
+    }
+    total += spec.requests;
+    live.push_back(std::move(t));
+  }
+
+  service::PipeTransport pipe;
+  service::ServerOptions options;
+  options.workers = 1;  // one executor: admission order is service order
+  options.result_cache = false;
+  options.queue_capacity = total + 64;  // per-tenant: never overloads
+  options.tenant_weights = weights;
+  options.record_latency_samples = true;  // exact p50/p99 from samples
+  service::RescheddServer server(pipe, options);
+  std::thread serve([&server] { server.Serve(); });
+  std::string line;
+  if (!pipe.Receive(line)) {
+    std::cerr << "FATAL: no handshake\n";
+    std::exit(1);
+  }
+
+  // Warm the executor (allocator pools, code paths) under a throwaway
+  // tenant so neither measured run pays first-touch costs in its tail.
+  for (std::size_t i = 0; i < 16; ++i) {
+    pipe.Send(ScheduleLine(instance, "warm-" + std::to_string(i), 7,
+                           "warm"));
+  }
+  for (std::size_t i = 0; i < 16; ++i) {
+    if (!pipe.Receive(line)) {
+      std::cerr << "FATAL: server closed during warmup\n";
+      std::exit(1);
+    }
+  }
+
+  FairnessResult result;
+  result.total_requests = total;
+  WallTimer clock;
+  std::size_t done = 0;
+  while (done < total) {
+    for (LiveTenant& t : live) {
+      while (t.next < t.lines.size() && t.inflight < t.spec->window) {
+        pipe.Send(t.lines[t.next]);
+        ++t.next;
+        ++t.inflight;
+      }
+    }
+    if (!pipe.Receive(line)) {
+      std::cerr << "FATAL: server closed mid-run\n";
+      std::exit(1);
+    }
+    const JsonValue response = JsonValue::Parse(line);
+    const std::string id = response.GetString("id", "");
+    const std::string tenant = id.substr(0, id.find('-'));
+    bool matched = false;
+    for (LiveTenant& t : live) {
+      if (t.spec->name != tenant) continue;
+      if (t.inflight == 0 || !response.GetBool("ok", false)) {
+        std::cerr << "FATAL: dropped/duplicated/failed response: " << line
+                  << "\n";
+        std::exit(1);
+      }
+      --t.inflight;
+      matched = true;
+    }
+    if (!matched) {
+      std::cerr << "FATAL: response for unknown tenant: " << line << "\n";
+      std::exit(1);
+    }
+    ++done;
+  }
+  result.total_seconds = clock.ElapsedSeconds();
+
+  pipe.Send("{\"verb\":\"stats\",\"id\":\"__st\"}");
+  while (pipe.Receive(line)) {
+    if (JsonValue::Parse(line).GetString("id", "") == "__st") break;
+  }
+  const JsonValue stats = JsonValue::Parse(line);
+  if (!stats.Contains("tenants")) {
+    std::cerr << "FATAL: stats body carries no tenants section: " << line
+              << "\n";
+    std::exit(1);
+  }
+  for (const TenantSpec& spec : specs) {
+    if (!stats.At("tenants").Contains(spec.name)) {
+      std::cerr << "FATAL: no stats for tenant " << spec.name << "\n";
+      std::exit(1);
+    }
+    const JsonValue& t = stats.At("tenants").At(spec.name);
+    TenantOutcome outcome;
+    outcome.queue_p50_ms = t.GetDouble("queue_wait_p50_ms", -1.0);
+    outcome.queue_p99_ms = t.GetDouble("queue_wait_p99_ms", -1.0);
+    outcome.admitted =
+        static_cast<std::uint64_t>(t.GetInt("admitted", 0));
+    outcome.requests = spec.requests;
+    outcome.window = spec.window;
+    if (outcome.admitted != spec.requests) {
+      std::cerr << "FATAL: tenant " << spec.name << " admitted "
+                << outcome.admitted << " of " << spec.requests << "\n";
+      std::exit(1);
+    }
+    result.tenants[spec.name] = outcome;
+  }
+
+  pipe.Send("{\"verb\":\"shutdown\"}");
+  while (pipe.Receive(line)) {
+    if (line.find("\"verb\":\"shutdown\"") != std::string::npos) break;
+  }
+  serve.join();
+  return result;
+}
+
+// -------------------------------------------------------- layout sweep --
+
+/// One reschedd daemon on an ephemeral localhost TCP port (the bench-side
+/// twin of the router test's backend; no gtest here).
+class FleetBackend {
+ public:
+  FleetBackend() : transport_("127.0.0.1", 0) {
+    service::ServerOptions options;
+    options.workers = 1;
+    server_ = std::make_unique<service::RescheddServer>(transport_, options);
+    thread_ = std::thread([this] { server_->Serve(); });
+  }
+
+  // The router's shutdown broadcast normally stops the server first;
+  // Close is idempotent and just makes teardown unconditional.
+  ~FleetBackend() {
+    transport_.Close();
+    thread_.join();
+  }
+
+  std::uint16_t Port() const { return transport_.Port(); }
+
+ private:
+  service::TcpServerTransport transport_;
+  std::unique_ptr<service::RescheddServer> server_;
+  std::thread thread_;
+};
+
+struct LayoutResult {
+  double total_seconds = 0.0;
+  std::vector<double> latencies_ms;
+  std::map<std::string, std::string> bodies;  ///< id -> stripped body
+};
+
+/// Runs the request list through a router fronting `num_backends` TCP
+/// daemons, a fixed window outstanding, and collects response bodies.
+LayoutResult RunLayout(const std::vector<std::string>& lines,
+                       std::size_t num_backends, std::size_t window) {
+  std::vector<std::unique_ptr<FleetBackend>> backends;
+  router::RouterOptions options;
+  for (std::size_t i = 0; i < num_backends; ++i) {
+    backends.push_back(std::make_unique<FleetBackend>());
+    router::RouterBackend b;
+    b.name = "be" + std::to_string(i);
+    b.host = "127.0.0.1";
+    b.port = backends.back()->Port();
+    options.backends.push_back(b);
+  }
+  options.queue_capacity_per_backend = lines.size() + window;
+
+  service::PipeTransport pipe;
+  router::RescheddRouter router(pipe, options);
+  std::thread serve([&router] { router.Serve(); });
+  std::string line;
+  if (!pipe.Receive(line)) {
+    std::cerr << "FATAL: no router handshake\n";
+    std::exit(1);
+  }
+
+  LayoutResult result;
+  std::map<std::string, double> sent_at;
+  WallTimer clock;
+  std::size_t next = 0;
+  std::size_t done = 0;
+  while (done < lines.size()) {
+    while (next < lines.size() && next - done < window) {
+      std::string id = "f";
+      id += std::to_string(next);
+      sent_at[std::move(id)] = clock.ElapsedSeconds();
+      pipe.Send(lines[next]);
+      ++next;
+    }
+    if (!pipe.Receive(line)) {
+      std::cerr << "FATAL: router closed mid-run\n";
+      std::exit(1);
+    }
+    const JsonValue response = JsonValue::Parse(line);
+    const std::string id = response.GetString("id", "");
+    const auto started = sent_at.find(id);
+    if (started == sent_at.end() || !response.GetBool("ok", false)) {
+      std::cerr << "FATAL: dropped/duplicated/failed response: " << line
+                << "\n";
+      std::exit(1);
+    }
+    result.latencies_ms.push_back(
+        (clock.ElapsedSeconds() - started->second) * 1e3);
+    sent_at.erase(started);
+    result.bodies[id] = StripId(line);
+    ++done;
+  }
+  result.total_seconds = clock.ElapsedSeconds();
+
+  pipe.Send("{\"verb\":\"shutdown\",\"id\":\"__stop\"}");
+  while (pipe.Receive(line)) {
+    if (JsonValue::Parse(line).GetString("id", "") == "__stop") break;
+  }
+  serve.join();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  const BenchConfig config = LoadConfig();
+  const BuildInfo& build_info = GetBuildInfo();
+  std::string build = build_info.version;
+  build += "+";
+  build += build_info.git;
+  std::vector<std::vector<std::string>> csv_rows;
+
+  // --- part 1: weighted-fair admission under a 10:1 chatty tenant -------
+  // Enough quiet samples that p99 is an order statistic, not the max of a
+  // short run — the tail comparison below needs a stable baseline.
+  const std::size_t quiet_requests = std::max<std::size_t>(
+      150, static_cast<std::size_t>(300.0 * config.scale));
+  // A mid-size instance keeps service times well above scheduler jitter,
+  // so the p99 ratio reflects admission order rather than OS noise.
+  const Instance uniform = Group(config, 40).front();
+  // Quiet window 8 > its DRR quantum (4): the quiet tenant keeps a
+  // standing backlog, so it stays in the ring and the weighted quantum
+  // ratio — not ring-rejoin timing — decides its queue wait.
+  const std::vector<TenantSpec> solo = {{"quiet", quiet_requests, 8}};
+  const std::vector<TenantSpec> mixed = {
+      {"quiet", quiet_requests, 8},
+      {"chatty", quiet_requests * 10, 40},
+  };
+  const std::map<std::string, std::uint32_t> weights = {{"quiet", 4},
+                                                        {"chatty", 1}};
+  std::cout << "=== Extension: fleet fairness (quiet=" << quiet_requests
+            << " reqs, chatty=10x, DRR weights quiet:4 chatty:1) ===\n";
+  PrintRow({"mode", "tenant", "reqs", "window", "queue p50[ms]",
+            "queue p99[ms]", "req/s"});
+  const FairnessResult solo_run = RunFairness(uniform, solo, weights);
+  const FairnessResult mixed_run = RunFairness(uniform, mixed, weights);
+  for (const auto* run : {&solo_run, &mixed_run}) {
+    const char* mode = run == &solo_run ? "solo" : "mixed";
+    const double rps =
+        static_cast<double>(run->total_requests) / run->total_seconds;
+    for (const auto& [tenant, outcome] : run->tenants) {
+      PrintRow({mode, tenant, std::to_string(outcome.requests),
+                std::to_string(outcome.window),
+                StrFormat("%.2f", outcome.queue_p50_ms),
+                StrFormat("%.2f", outcome.queue_p99_ms),
+                StrFormat("%.1f", rps)});
+      std::string name = mode;
+      name += "/";
+      name += tenant;
+      csv_rows.push_back(
+          {std::move(name), mode, "1", tenant,
+           std::to_string(outcome.requests),
+           StrFormat("%.3f", outcome.queue_p50_ms),
+           StrFormat("%.3f", outcome.queue_p99_ms), StrFormat("%.2f", rps),
+           "0", build});
+    }
+  }
+  const double solo_p99 = solo_run.tenants.at("quiet").queue_p99_ms;
+  const double mixed_p99 = mixed_run.tenants.at("quiet").queue_p99_ms;
+  if (mixed_p99 > 2.0 * solo_p99) {
+    std::cerr << "FATAL: chatty tenant starved the quiet tenant: p99 queue"
+              << " wait " << StrFormat("%.2f", mixed_p99) << "ms mixed vs "
+              << StrFormat("%.2f", solo_p99) << "ms solo (limit 2x)\n";
+    return 1;
+  }
+  std::cout << "fairness holds: quiet p99 queue wait "
+            << StrFormat("%.2f", mixed_p99) << "ms mixed <= 2x "
+            << StrFormat("%.2f", solo_p99) << "ms solo\n\n";
+
+  // --- part 2: byte-identity across 1/2/4-backend layouts ---------------
+  const std::size_t fleet_requests = std::max<std::size_t>(
+      24, static_cast<std::size_t>(96.0 * config.scale));
+  const std::size_t window = 8;
+  std::vector<Instance> instances = Group(config, 10);
+  const std::vector<Instance> larger = Group(config, 30);
+  instances.resize(std::min<std::size_t>(instances.size(), 4));
+  instances.insert(instances.end(), larger.begin(),
+                   larger.begin() +
+                       static_cast<std::ptrdiff_t>(
+                           std::min<std::size_t>(larger.size(), 4)));
+  std::vector<std::string> lines;
+  lines.reserve(fleet_requests);
+  for (std::size_t i = 0; i < fleet_requests; ++i) {
+    lines.push_back(ScheduleLine(instances[i % instances.size()],
+                                 "f" + std::to_string(i),
+                                 static_cast<std::int64_t>(1 + i % 3), ""));
+  }
+  std::cout << "=== Extension: fleet layout consistency ("
+            << fleet_requests << " requests, window " << window
+            << ") ===\n";
+  PrintRow({"backends", "total[s]", "req/s", "p50[ms]", "p99[ms]",
+            "divergent"});
+  std::map<std::string, std::string> reference;
+  for (const std::size_t num_backends : {1u, 2u, 4u}) {
+    const LayoutResult r = RunLayout(lines, num_backends, window);
+    std::size_t divergent = 0;
+    if (reference.empty()) {
+      reference = r.bodies;
+    } else {
+      for (const auto& [id, body] : r.bodies) {
+        const auto ref = reference.find(id);
+        if (ref == reference.end() || ref->second != body) ++divergent;
+      }
+    }
+    const double rps =
+        static_cast<double>(fleet_requests) / r.total_seconds;
+    const double p50 = Percentile(r.latencies_ms, 50.0);
+    const double p99 = Percentile(r.latencies_ms, 99.0);
+    PrintRow({std::to_string(num_backends),
+              StrFormat("%.3f", r.total_seconds), StrFormat("%.1f", rps),
+              StrFormat("%.2f", p50), StrFormat("%.2f", p99),
+              std::to_string(divergent)});
+    std::string name = "layout/";
+    name += std::to_string(num_backends);
+    csv_rows.push_back({std::move(name), "layout",
+                        std::to_string(num_backends), "default",
+                        std::to_string(fleet_requests),
+                        StrFormat("%.3f", p50), StrFormat("%.3f", p99),
+                        StrFormat("%.2f", rps),
+                        std::to_string(divergent), build});
+    if (divergent != 0) {
+      std::cerr << "FATAL: " << divergent << " response bodies diverge at "
+                << num_backends << " backends — determinism regression\n";
+      return 1;
+    }
+  }
+  std::cout << "zero cross-layout divergence across 1/2/4 backends\n";
+
+  WriteCsv(config, "fleet",
+           {"name", "mode", "backends", "tenant", "requests", "p50_ms",
+            "p99_ms", "throughput_rps", "divergent", "build"},
+           csv_rows);
+  return 0;
+}

@@ -1,0 +1,88 @@
+#include "router/ring.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "io/instance_hash.hpp"
+
+namespace resched::router {
+namespace {
+
+/// FNV-1a offset basis — the standard starting state for the vnode hash
+/// stream (the instance digest uses different bases, so ring points and
+/// shard points are independent streams).
+constexpr std::uint64_t kRingBasis = 0xcbf29ce484222325ULL;
+
+/// Avalanche finalizer (the murmur3 fmix64 constants). Raw FNV-1a mixes
+/// the trailing bytes of short labels — exactly the part of a vnode label
+/// that varies — into the high bits poorly, and the ring is ordered by
+/// those high bits; without this step vnode points cluster by label
+/// prefix and ownership shares drift far from the configured weights.
+std::uint64_t Mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+HashRing::HashRing(const std::vector<std::string>& names,
+                   const std::vector<std::uint32_t>& weights,
+                   std::size_t vnodes_per_weight) {
+  if (names.size() != weights.size()) {
+    throw std::invalid_argument("HashRing: names/weights size mismatch");
+  }
+  backend_count_ = names.size();
+  if (vnodes_per_weight == 0) vnodes_per_weight = 1;
+  for (std::size_t b = 0; b < names.size(); ++b) {
+    const std::uint32_t weight = weights[b] == 0 ? 1u : weights[b];
+    const std::size_t vnodes = static_cast<std::size_t>(weight) *
+                               vnodes_per_weight;
+    for (std::size_t k = 0; k < vnodes; ++k) {
+      const std::string label = names[b] + "#" + std::to_string(k);
+      nodes_.push_back(Node{Mix64(Fnv1a64(label, kRingBasis)),
+                            static_cast<std::uint32_t>(b)});
+    }
+  }
+  // Point ties (hash collisions between vnodes) resolve by backend index
+  // so the ring layout is a pure function of the configuration.
+  std::sort(nodes_.begin(), nodes_.end(), [](const Node& a, const Node& b) {
+    return a.point != b.point ? a.point < b.point : a.backend < b.backend;
+  });
+}
+
+std::size_t HashRing::Primary(std::uint64_t point) const {
+  if (nodes_.empty()) {
+    throw std::logic_error("HashRing::Primary on an empty ring");
+  }
+  const auto it = std::lower_bound(
+      nodes_.begin(), nodes_.end(), point,
+      [](const Node& n, std::uint64_t p) { return n.point < p; });
+  return it == nodes_.end() ? nodes_.front().backend : it->backend;
+}
+
+std::vector<std::size_t> HashRing::Preference(std::uint64_t point) const {
+  std::vector<std::size_t> order;
+  if (nodes_.empty()) return order;
+  order.reserve(backend_count_);
+  std::vector<bool> seen(backend_count_, false);
+  auto it = std::lower_bound(
+      nodes_.begin(), nodes_.end(), point,
+      [](const Node& n, std::uint64_t p) { return n.point < p; });
+  if (it == nodes_.end()) it = nodes_.begin();
+  for (std::size_t walked = 0;
+       walked < nodes_.size() && order.size() < backend_count_; ++walked) {
+    if (!seen[it->backend]) {
+      seen[it->backend] = true;
+      order.push_back(it->backend);
+    }
+    ++it;
+    if (it == nodes_.end()) it = nodes_.begin();
+  }
+  return order;
+}
+
+}  // namespace resched::router

@@ -1,0 +1,58 @@
+// Weighted consistent-hash ring for the reschedd router.
+//
+// Each backend contributes `weight * vnodes_per_weight` virtual nodes,
+// placed at Fnv1a64(name + "#" + k). A request's shard point looks up the
+// first vnode clockwise; its *preference list* is the distinct-backend
+// successor order from that point. Two properties make this the right
+// structure for a scheduling fleet:
+//
+//   * Stability — adding or removing one backend only remaps the keys
+//     whose successor vnode belonged to it (~1/N of the space), so the
+//     per-backend dedup ledgers and result caches stay warm across
+//     rebalances.
+//   * Deterministic failover — the preference list is a pure function of
+//     the shard point and the ring layout, so every router instance (and
+//     the consistency harness) agrees on which backend is "next" when the
+//     primary is down, without coordination.
+//
+// The ring itself is immutable and knows nothing about health; the router
+// walks the preference list skipping backends it has marked unhealthy.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace resched::router {
+
+class HashRing {
+ public:
+  /// `names` and `weights` are parallel; weight 0 is promoted to 1 (a
+  /// configured backend always owns some keyspace).
+  HashRing(const std::vector<std::string>& names,
+           const std::vector<std::uint32_t>& weights,
+           std::size_t vnodes_per_weight = 64);
+
+  std::size_t BackendCount() const { return backend_count_; }
+  std::size_t VnodeCount() const { return nodes_.size(); }
+
+  /// Index of the backend owning `point` (first vnode at or after it,
+  /// wrapping). Requires a non-empty ring.
+  std::size_t Primary(std::uint64_t point) const;
+
+  /// All backends in successor order from `point`, each exactly once —
+  /// element 0 is Primary(point), the rest is the failover order.
+  std::vector<std::size_t> Preference(std::uint64_t point) const;
+
+ private:
+  struct Node {
+    std::uint64_t point;
+    std::uint32_t backend;
+  };
+
+  std::vector<Node> nodes_;  ///< sorted by (point, backend)
+  std::size_t backend_count_ = 0;
+};
+
+}  // namespace resched::router

@@ -11,12 +11,18 @@
 // the queue is empty Pop() returns false — which is exactly the graceful-
 // shutdown contract ("never lose an accepted request").
 //
+// During drain, items whose deadline already passed (as judged by the
+// installed expiry probe) are handed out *first* and flagged, so shutdown
+// sheds doomed work immediately instead of executing a live backlog in
+// front of requests that can only be answered with deadline errors.
+//
 // Every state member is guarded by mu_ (compiler-checked); notifications
 // happen after the lock is dropped so a woken thread never bounces.
 #pragma once
 
 #include <cstddef>
 #include <deque>
+#include <functional>
 #include <utility>
 
 #include "util/mutex.hpp"
@@ -51,12 +57,35 @@ class BoundedQueue {
     return PushOutcome::kAccepted;
   }
 
+  /// Installs the drain-expiry probe: `probe(item)` answers "is this item
+  /// already past its deadline?". Install before threads start popping
+  /// (the server wires it up during construction).
+  void SetExpiryProbe(std::function<bool(const T&)> probe)
+      RESCHED_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    expiry_probe_ = std::move(probe);
+  }
+
   /// Blocks until an item is available or the queue is closed *and*
-  /// drained; false only in the latter case.
-  bool Pop(T& out) RESCHED_EXCLUDES(mu_) {
+  /// drained; false only in the latter case. Once the queue is closed,
+  /// items the expiry probe reports as already expired are returned ahead
+  /// of FIFO order with `*expired_in_drain = true`, so a draining server
+  /// sheds them without executing the live work queued in front.
+  bool Pop(T& out, bool* expired_in_drain = nullptr) RESCHED_EXCLUDES(mu_) {
+    if (expired_in_drain != nullptr) *expired_in_drain = false;
     MutexLock lock(mu_);
     while (!closed_ && items_.empty()) cv_.Wait(lock);
     if (items_.empty()) return false;
+    if (closed_ && expiry_probe_) {
+      for (auto it = items_.begin(); it != items_.end(); ++it) {
+        if (expiry_probe_(*it)) {
+          out = std::move(*it);
+          items_.erase(it);
+          if (expired_in_drain != nullptr) *expired_in_drain = true;
+          return true;
+        }
+      }
+    }
     out = std::move(items_.front());
     items_.pop_front();
     return true;
@@ -85,6 +114,7 @@ class BoundedQueue {
   std::deque<T> items_ RESCHED_GUARDED_BY(mu_);
   std::size_t capacity_;  ///< immutable after construction
   bool closed_ RESCHED_GUARDED_BY(mu_) = false;
+  std::function<bool(const T&)> expiry_probe_ RESCHED_GUARDED_BY(mu_);
 };
 
 }  // namespace resched::service

@@ -24,23 +24,70 @@ std::string ExtractId(const std::string& line) {
   return {};
 }
 
+void RealSleepMs(double ms) {
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
 }  // namespace
 
+ClientEndpoint ClientEndpoint::Unix(std::string path) {
+  ClientEndpoint ep;
+  ep.tcp = false;
+  ep.path = std::move(path);
+  return ep;
+}
+
+ClientEndpoint ClientEndpoint::Tcp(std::string host, std::uint16_t port) {
+  ClientEndpoint ep;
+  ep.tcp = true;
+  ep.host = std::move(host);
+  ep.port = port;
+  return ep;
+}
+
+std::string ClientEndpoint::Describe() const {
+  if (tcp) return host + ":" + std::to_string(port);
+  return path;
+}
+
 RescheddClient::RescheddClient(std::string socket_path, ClientOptions options)
-    : socket_path_(std::move(socket_path)), options_(options) {}
+    : RescheddClient(ClientEndpoint::Unix(std::move(socket_path)),
+                     std::move(options)) {}
+
+RescheddClient::RescheddClient(ClientEndpoint endpoint, ClientOptions options)
+    : endpoint_(std::move(endpoint)), options_(std::move(options)) {}
+
+bool RescheddClient::ReadLine(std::string& out) {
+  if (endpoint_.tcp) {
+    return framer_->Read(out) == FrameResult::kFrame;
+  }
+  return reader_->ReadLine(out);
+}
+
+bool RescheddClient::SendLine(const std::string& line) {
+  if (endpoint_.tcp) return WriteFrame(*socket_, line);
+  return socket_->SendAll(line + "\n");
+}
 
 bool RescheddClient::Attempt(const std::string& line, const std::string& id,
                              Result& result) {
   if (!socket_) {
-    socket_ = std::make_unique<UnixSocket>(UnixSocket::Connect(socket_path_));
-    reader_ = std::make_unique<SocketLineReader>(*socket_);
+    if (endpoint_.tcp) {
+      socket_ = std::make_unique<StreamSocket>(
+          StreamSocket::ConnectTcp(endpoint_.host, endpoint_.port));
+      framer_ = std::make_unique<FrameReader>(*socket_);
+    } else {
+      socket_ = std::make_unique<StreamSocket>(
+          StreamSocket::Connect(endpoint_.path));
+      reader_ = std::make_unique<SocketLineReader>(*socket_);
+    }
     std::string greeting;
-    if (!reader_->ReadLine(greeting)) return false;  // died mid-accept
+    if (!ReadLine(greeting)) return false;  // died mid-accept
     result.handshake = std::move(greeting);
   }
-  if (!socket_->SendAll(line + "\n")) return false;
+  if (!SendLine(line)) return false;
   std::string received;
-  while (reader_->ReadLine(received)) {
+  while (ReadLine(received)) {
     if (id.empty()) {
       // No id to match: the next line is the answer (single-shot mode).
       result.response = std::move(received);
@@ -62,14 +109,16 @@ RescheddClient::Result RescheddClient::Submit(const std::string& line) {
   // execute twice; such lines get exactly one attempt.
   const std::size_t max_attempts =
       id.empty() ? 1 : std::max<std::size_t>(1, options_.max_attempts);
+  const auto sleep_ms =
+      options_.sleep_fn ? options_.sleep_fn
+                        : std::function<void(double)>(RealSleepMs);
 
   Result result;
   double backoff_ms = options_.backoff_initial_ms;
   std::string last_error = "connection failed";
   for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
     if (attempt > 0) {
-      std::this_thread::sleep_for(
-          std::chrono::duration<double, std::milli>(backoff_ms));
+      sleep_ms(backoff_ms);
       backoff_ms =
           std::min(backoff_ms * options_.backoff_multiplier,
                    options_.backoff_max_ms);
@@ -82,11 +131,12 @@ RescheddClient::Result RescheddClient::Submit(const std::string& line) {
     } catch (const SocketError& e) {
       last_error = e.what();
     }
-    reader_.reset();  // before the socket it borrows
+    framer_.reset();  // before the socket they borrow
+    reader_.reset();
     socket_.reset();  // next attempt reconnects from scratch
   }
-  throw SocketError("submit of id '" + id + "' failed after " +
-                    std::to_string(result.attempts) +
+  throw SocketError("submit of id '" + id + "' to " + endpoint_.Describe() +
+                    " failed after " + std::to_string(result.attempts) +
                     " attempt(s): " + last_error);
 }
 

@@ -1,0 +1,78 @@
+#include "service/framing.hpp"
+
+#include <cstring>
+#include <limits>
+
+namespace resched::service {
+
+std::string FrameHeader(std::size_t payload_size) {
+  if (payload_size > std::numeric_limits<std::uint32_t>::max()) {
+    throw SocketError("frame payload too large for u32 length field (" +
+                      std::to_string(payload_size) + " bytes)");
+  }
+  const auto n = static_cast<std::uint32_t>(payload_size);
+  std::string header(kFrameHeaderBytes, '\0');
+  header[0] = kFrameMagic[0];
+  header[1] = kFrameMagic[1];
+  header[2] = kFrameMagic[2];
+  header[3] = static_cast<char>(kFrameVersion);
+  header[4] = static_cast<char>(n & 0xff);
+  header[5] = static_cast<char>((n >> 8) & 0xff);
+  header[6] = static_cast<char>((n >> 16) & 0xff);
+  header[7] = static_cast<char>((n >> 24) & 0xff);
+  return header;
+}
+
+bool WriteFrame(StreamSocket& socket, std::string_view payload) {
+  std::string wire = FrameHeader(payload.size());
+  wire.append(payload);
+  return socket.SendAll(wire);
+}
+
+const char* FrameResultName(FrameResult r) {
+  switch (r) {
+    case FrameResult::kFrame: return "frame";
+    case FrameResult::kEof: return "eof";
+    case FrameResult::kBadMagic: return "bad_magic";
+    case FrameResult::kBadVersion: return "bad_version";
+    case FrameResult::kTooLarge: return "too_large";
+    case FrameResult::kTorn: return "torn";
+  }
+  return "unknown";
+}
+
+bool FrameReader::Fill(std::size_t need) {
+  while (buffer_.size() < need) {
+    if (eof_) return false;
+    if (!socket_->RecvSome(buffer_)) eof_ = true;
+  }
+  return true;
+}
+
+FrameResult FrameReader::Read(std::string& payload) {
+  if (!Fill(kFrameHeaderBytes)) {
+    return buffer_.empty() ? FrameResult::kEof : FrameResult::kTorn;
+  }
+  if (std::memcmp(buffer_.data(), kFrameMagic, sizeof(kFrameMagic)) != 0) {
+    return FrameResult::kBadMagic;
+  }
+  if (static_cast<std::uint8_t>(buffer_[3]) != kFrameVersion) {
+    return FrameResult::kBadVersion;
+  }
+  const std::uint32_t len =
+      static_cast<std::uint32_t>(static_cast<std::uint8_t>(buffer_[4])) |
+      (static_cast<std::uint32_t>(static_cast<std::uint8_t>(buffer_[5]))
+       << 8) |
+      (static_cast<std::uint32_t>(static_cast<std::uint8_t>(buffer_[6]))
+       << 16) |
+      (static_cast<std::uint32_t>(static_cast<std::uint8_t>(buffer_[7]))
+       << 24);
+  // Reject before Fill so a hostile length prefix never drives allocation.
+  if (len > max_frame_bytes_) return FrameResult::kTooLarge;
+  if (!Fill(kFrameHeaderBytes + len)) return FrameResult::kTorn;
+  payload.assign(buffer_, kFrameHeaderBytes, len);
+  buffer_.erase(0, kFrameHeaderBytes + len);
+  return FrameResult::kFrame;
+}
+
+}  // namespace resched::service

@@ -1,0 +1,90 @@
+// Length-prefixed binary framing for the reschedd TCP transport.
+//
+// The JSON-lines protocol delimits messages with '\n', which is fine over
+// a unix socket on one host but fragile for fleet traffic: large
+// instances make the reader scan megabytes for a newline, and a single
+// embedded newline from a buggy client desynchronizes the stream with no
+// way to tell where the next message starts. Frames fix both: every
+// message is
+//
+//   offset  size  field
+//   0       3     magic "RSF"
+//   3       1     protocol version (kFrameVersion)
+//   4       4     payload length, unsigned little-endian
+//   8       n     payload (a protocol line WITHOUT the trailing '\n')
+//
+// The magic+version byte doubles as the transport-level handshake: a peer
+// speaking a different framing version (or raw JSON-lines by mistake)
+// fails the very first ReadFrame with kBadMagic/kBadVersion and the
+// connection is dropped before any payload is interpreted. The length
+// field is checked against a per-connection limit before any allocation,
+// so a hostile length cannot balloon memory.
+//
+// All I/O goes through StreamSocket::SendAll/RecvSome, which route
+// through util/io_faults — the kill -9 chaos harness and fault shim cover
+// framed TCP exactly like the journal and unix-socket paths. This file is
+// the only place in src/service/ + src/router/ allowed to touch the raw
+// socket byte stream (the no-unframed-tcp-write lint rule pins everything
+// above it to WriteFrame/ReadFrame).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/socket.hpp"
+
+namespace resched::service {
+
+inline constexpr char kFrameMagic[3] = {'R', 'S', 'F'};
+inline constexpr std::uint8_t kFrameVersion = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 8;
+
+/// Default per-connection frame payload cap (also the read limit the TCP
+/// transport enforces): generous for big instances, small enough that a
+/// hostile length prefix cannot balloon the resident set.
+inline constexpr std::size_t kDefaultMaxFrameBytes = 64u << 20;  // 64 MiB
+
+/// Serializes the 8-byte header for a payload of `payload_size` bytes.
+std::string FrameHeader(std::size_t payload_size);
+
+/// Sends one frame (header + payload in a single SendAll so the kernel
+/// sees one write). Returns false when the peer is gone, like SendAll;
+/// throws SocketError on other failures or when the payload exceeds the
+/// u32 length field.
+bool WriteFrame(StreamSocket& socket, std::string_view payload);
+
+enum class FrameResult {
+  kFrame,       ///< `payload` holds one complete frame payload.
+  kEof,         ///< orderly EOF on a frame boundary
+  kBadMagic,    ///< peer is not speaking RSF framing
+  kBadVersion,  ///< RSF magic but an unknown version byte
+  kTooLarge,    ///< length prefix exceeds the configured limit
+  kTorn,        ///< EOF mid-frame (peer died / crashed mid-write)
+};
+
+const char* FrameResultName(FrameResult r);
+
+/// Buffered frame reader over a StreamSocket. Anything but kFrame is
+/// terminal for the connection: the stream position can no longer be
+/// trusted, so callers drop the connection rather than resynchronize.
+class FrameReader {
+ public:
+  explicit FrameReader(StreamSocket& socket,
+                       std::size_t max_frame_bytes = kDefaultMaxFrameBytes)
+      : socket_(&socket), max_frame_bytes_(max_frame_bytes) {}
+
+  FrameResult Read(std::string& payload);
+
+ private:
+  /// Blocks until `buffer_` holds at least `need` bytes. Returns false on
+  /// EOF first.
+  bool Fill(std::size_t need);
+
+  StreamSocket* socket_;
+  std::size_t max_frame_bytes_;
+  std::string buffer_;
+  bool eof_ = false;
+};
+
+}  // namespace resched::service

@@ -1,0 +1,245 @@
+#include "service/metrics_export.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace resched::service {
+namespace {
+
+std::string Errno(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+/// Prometheus label-value escaping: backslash, double quote, newline.
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// Integral values print without a decimal point (counters read naturally
+/// and diffs stay clean); everything else gets round-trip-enough %g.
+std::string FormatValue(double value) {
+  if (std::isfinite(value) && value == std::floor(value) &&
+      std::fabs(value) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", value);
+    return buf;
+  }
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.10g", value);
+  return buf;
+}
+
+void AppendSample(std::string& out, const std::string& name,
+                  const MetricSample& sample) {
+  out += name;
+  if (!sample.labels.empty()) {
+    out += '{';
+    bool first = true;
+    for (const auto& [k, v] : sample.labels) {
+      if (!first) out += ',';
+      first = false;
+      out += k;
+      out += "=\"";
+      out += EscapeLabelValue(v);
+      out += '"';
+    }
+    out += '}';
+  }
+  out += ' ';
+  out += FormatValue(sample.value);
+  out += '\n';
+}
+
+}  // namespace
+
+const std::vector<double>& LatencyHistogram::BucketBoundsMs() {
+  // 0.5ms .. 8192ms in powers of two: queue waits and service times for
+  // schedule requests live squarely in this range; anything slower lands
+  // in +Inf and is visible as "over 8s" without more resolution.
+  static const std::vector<double> kBounds = {
+      0.5, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192};
+  return kBounds;
+}
+
+void LatencyHistogram::Record(double ms) {
+  const std::vector<double>& bounds = BucketBoundsMs();
+  std::size_t idx = bounds.size();  // +Inf bucket
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    if (ms <= bounds[i]) {
+      idx = i;
+      break;
+    }
+  }
+  MutexLock lock(mu_);
+  if (buckets_.empty()) buckets_.assign(bounds.size() + 1, 0);
+  ++buckets_[idx];
+  sum_ms_ += ms;
+  ++count_;
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::Take() const {
+  MutexLock lock(mu_);
+  Snapshot snap;
+  snap.buckets = buckets_.empty()
+                     ? std::vector<std::uint64_t>(
+                           BucketBoundsMs().size() + 1, 0)
+                     : buckets_;
+  snap.sum_ms = sum_ms_;
+  snap.count = count_;
+  return snap;
+}
+
+double HistogramQuantileMs(const LatencyHistogram::Snapshot& snap, double q) {
+  if (snap.count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const std::vector<double>& bounds = LatencyHistogram::BucketBoundsMs();
+  const double rank = q * static_cast<double>(snap.count);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < snap.buckets.size(); ++i) {
+    const double next = cumulative + static_cast<double>(snap.buckets[i]);
+    if (next >= rank && snap.buckets[i] > 0) {
+      const double lo = (i == 0) ? 0.0 : bounds[i - 1];
+      // The +Inf bucket has no upper bound; report its lower edge (the
+      // largest finite bound) rather than inventing a value.
+      if (i >= bounds.size()) return lo;
+      const double hi = bounds[i];
+      const double frac =
+          (rank - cumulative) / static_cast<double>(snap.buckets[i]);
+      return lo + (hi - lo) * frac;
+    }
+    cumulative = next;
+  }
+  return bounds.back();
+}
+
+void AppendHistogramFamily(std::vector<MetricFamily>& families,
+                           const std::string& name, const std::string& help,
+                           const std::map<std::string, std::string>& labels,
+                           const LatencyHistogram::Snapshot& snap) {
+  // Find (or start) the family so several label sets share one family
+  // block, as the exposition format requires.
+  MetricFamily* family = nullptr;
+  for (MetricFamily& f : families) {
+    if (f.name == name) {
+      family = &f;
+      break;
+    }
+  }
+  if (family == nullptr) {
+    families.push_back(MetricFamily{name, help, "histogram", {}});
+    family = &families.back();
+  }
+  const std::vector<double>& bounds = LatencyHistogram::BucketBoundsMs();
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < snap.buckets.size(); ++i) {
+    cumulative += snap.buckets[i];
+    MetricSample s;
+    s.labels = labels;
+    s.labels["le"] =
+        i < bounds.size() ? FormatValue(bounds[i]) : std::string("+Inf");
+    s.labels["__kind"] = "bucket";  // internal marker consumed by render
+    s.value = static_cast<double>(cumulative);
+    family->samples.push_back(std::move(s));
+  }
+  MetricSample sum;
+  sum.labels = labels;
+  sum.labels["__kind"] = "sum";
+  sum.value = snap.sum_ms;
+  family->samples.push_back(std::move(sum));
+  MetricSample count;
+  count.labels = labels;
+  count.labels["__kind"] = "count";
+  count.value = static_cast<double>(snap.count);
+  family->samples.push_back(std::move(count));
+}
+
+std::string RenderPrometheus(const std::vector<MetricFamily>& families) {
+  std::string out;
+  for (const MetricFamily& family : families) {
+    out += "# HELP " + family.name + " " + family.help + "\n";
+    out += "# TYPE " + family.name + " " + family.type + "\n";
+    for (const MetricSample& sample : family.samples) {
+      const auto kind = sample.labels.find("__kind");
+      if (kind == sample.labels.end()) {
+        AppendSample(out, family.name, sample);
+        continue;
+      }
+      // Histogram sub-series: strip the internal marker and pick the
+      // suffixed series name.
+      MetricSample plain = sample;
+      const std::string k = kind->second;
+      plain.labels.erase("__kind");
+      if (k == "bucket") {
+        AppendSample(out, family.name + "_bucket", plain);
+      } else if (k == "sum") {
+        plain.labels.erase("le");
+        AppendSample(out, family.name + "_sum", plain);
+      } else {
+        plain.labels.erase("le");
+        AppendSample(out, family.name + "_count", plain);
+      }
+    }
+  }
+  return out;
+}
+
+bool WriteTextfileAtomic(const std::string& path, const std::string& content,
+                         std::string* error) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    if (error != nullptr) *error = Errno("open " + tmp);
+    return false;
+  }
+  std::size_t done = 0;
+  while (done < content.size()) {
+    const ssize_t n =
+        ::write(fd, content.data() + done, content.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (error != nullptr) *error = Errno("write " + tmp);
+      (void)::close(fd);
+      (void)::unlink(tmp.c_str());
+      return false;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  // fsync before rename: otherwise a crash can leave the *renamed* file
+  // empty — the same torn-state the atomic rename exists to prevent.
+  if (::fsync(fd) != 0) {
+    if (error != nullptr) *error = Errno("fsync " + tmp);
+    (void)::close(fd);
+    (void)::unlink(tmp.c_str());
+    return false;
+  }
+  if (::close(fd) != 0) {
+    if (error != nullptr) *error = Errno("close " + tmp);
+    (void)::unlink(tmp.c_str());
+    return false;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    if (error != nullptr) *error = Errno("rename " + tmp + " -> " + path);
+    (void)::unlink(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace resched::service

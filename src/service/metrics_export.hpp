@@ -1,0 +1,86 @@
+// Prometheus-textfile metrics export for reschedd and reschedd-router.
+//
+// Deliberately a *textfile* writer, not an HTTP endpoint: the daemons
+// already own their sockets for the request protocol, and the Prometheus
+// node_exporter textfile collector (or a plain `cat`/`curl file://`)
+// picks the file up without the service growing an HTTP stack. The file
+// is replaced atomically — written to `<path>.tmp`, fsync'd, then
+// rename(2)'d over the target — so a scraper never observes a torn
+// half-written exposition.
+//
+// The model is the minimal slice of the Prometheus exposition format the
+// fleet needs: counter and gauge families with optional labels, and
+// histogram families with cumulative `le` buckets plus `_sum`/`_count`.
+// Families render in the order given; samples in the order added — the
+// callers build them from sorted maps, so output is deterministic and
+// diff-able, which the router smoke test's format check relies on.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/mutex.hpp"
+
+namespace resched::service {
+
+/// One labeled sample: `name{tenant="acme"} 42`.
+struct MetricSample {
+  std::map<std::string, std::string> labels;  ///< sorted => stable output
+  double value = 0.0;
+};
+
+struct MetricFamily {
+  std::string name;
+  std::string help;
+  std::string type;  ///< "counter" | "gauge" | "histogram"
+  std::vector<MetricSample> samples;
+};
+
+/// Fixed-bound latency histogram (power-of-two millisecond buckets,
+/// 0.5ms .. ~8s, +Inf). Thread-safe; Snapshot() is consistent.
+class LatencyHistogram {
+ public:
+  struct Snapshot {
+    std::vector<std::uint64_t> buckets;  ///< per-bucket (non-cumulative)
+    double sum_ms = 0.0;
+    std::uint64_t count = 0;
+  };
+
+  /// Upper bounds in ms, one per bucket, excluding the implicit +Inf.
+  static const std::vector<double>& BucketBoundsMs();
+
+  void Record(double ms);
+  Snapshot Take() const;
+
+ private:
+  mutable Mutex mu_;
+  std::vector<std::uint64_t> buckets_ RESCHED_GUARDED_BY(mu_);
+  double sum_ms_ RESCHED_GUARDED_BY(mu_) = 0.0;
+  std::uint64_t count_ RESCHED_GUARDED_BY(mu_) = 0;
+};
+
+/// Interpolated quantile estimate (q in [0,1]) from a histogram snapshot,
+/// assuming uniform density inside a bucket — the usual Prometheus
+/// histogram_quantile. Returns 0 for an empty histogram.
+double HistogramQuantileMs(const LatencyHistogram::Snapshot& snap, double q);
+
+/// Appends a histogram family (cumulative buckets, `_sum`, `_count`) for
+/// `snap` with the given base labels to `families`.
+void AppendHistogramFamily(std::vector<MetricFamily>& families,
+                           const std::string& name, const std::string& help,
+                           const std::map<std::string, std::string>& labels,
+                           const LatencyHistogram::Snapshot& snap);
+
+/// Renders families in the exposition text format (`# HELP` / `# TYPE`
+/// headers plus samples, '\n'-terminated).
+std::string RenderPrometheus(const std::vector<MetricFamily>& families);
+
+/// Atomically replaces `path` with `content` (tmp file + fsync + rename).
+/// Returns false with `error` filled on any syscall failure; the target
+/// is never left torn.
+bool WriteTextfileAtomic(const std::string& path, const std::string& content,
+                         std::string* error);
+
+}  // namespace resched::service

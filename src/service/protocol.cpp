@@ -112,7 +112,20 @@ JsonParseLimits RequestParseLimits() {
   JsonParseLimits limits;
   limits.max_depth = 32;
   limits.max_bytes = 4u << 20;  // 4 MiB per request line
+  // {"verb":"schedule","verb":"stats"} must be an error, not a coin flip
+  // over which copy the validator saw versus which one ran.
+  limits.reject_duplicate_keys = true;
   return limits;
+}
+
+bool ValidTenantName(const std::string& tenant) {
+  if (tenant.empty() || tenant.size() > 64) return false;
+  for (const char c : tenant) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '.' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
 }
 
 Request ParseRequest(const std::string& line) {
@@ -158,6 +171,16 @@ Request ParseRequest(const std::string& line) {
     req.deadline_ms = doc.GetDouble("deadline_ms", 0.0);
     if (req.deadline_ms < 0.0) {
       throw ProtocolError(kErrBadRequest, "deadline_ms must be >= 0", req.id);
+    }
+
+    if (doc.Contains("tenant")) {
+      const JsonValue& tenant = doc.At("tenant");
+      if (!tenant.IsString() || !ValidTenantName(tenant.AsString())) {
+        throw ProtocolError(
+            kErrBadRequest,
+            "tenant must be 1-64 chars from [A-Za-z0-9_.-]", req.id);
+      }
+      req.tenant = tenant.AsString();
     }
 
     if (req.verb == Verb::kSchedule || req.verb == Verb::kSimulate) {

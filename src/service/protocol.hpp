@@ -7,6 +7,7 @@
 //
 // Request:  {"verb": "schedule"|"simulate"|"cancel"|"stats"|"shutdown",
 //            "id": "...",            // optional; server assigns "r<N>"
+//            "tenant": "acme",       // optional fairness tenant ("default")
 //            "deadline_ms": 250,     // optional per-request deadline
 //            "instance": {...},      // schedule/simulate: inline instance
 //            "algo": "pa"|"par"|"allsw", "seed": S,
@@ -52,6 +53,13 @@ inline constexpr const char* kErrShuttingDown = "shutting_down";
 inline constexpr const char* kErrDeadline = "deadline_exceeded";
 inline constexpr const char* kErrCancelled = "cancelled";
 inline constexpr const char* kErrInternal = "internal";
+/// Router-only: every candidate backend for the request is unhealthy.
+inline constexpr const char* kErrUnavailable = "unavailable";
+
+/// Tenant assigned to requests that carry no "tenant" field. Old clients
+/// land here and must observe bit-identical behaviour to the pre-tenant
+/// protocol (the tenant never enters RequestKeyText or response bodies).
+inline constexpr const char* kDefaultTenant = "default";
 
 /// A rejected request line. `id` is the request id when it could be
 /// extracted (so the client can still match the error response).
@@ -99,6 +107,13 @@ struct Request {
   /// (the shed-on-pop test relies on it) and must not read as "none".
   bool deadline_present = false;
 
+  /// Admission-fairness tenant from the optional "tenant" field
+  /// ([A-Za-z0-9_.-], at most 64 chars), kDefaultTenant when absent.
+  /// Deliberately NOT part of RequestKeyText: results are tenant-
+  /// independent, the result cache is shared across tenants, and old
+  /// clients (no field) get bit-identical bodies.
+  std::string tenant = kDefaultTenant;
+
   /// schedule/simulate payload (validated against its device).
   std::shared_ptr<const Instance> instance;
   Digest128 instance_digest;
@@ -114,8 +129,15 @@ struct Request {
 };
 
 /// Hardened limits for untrusted request lines (tight versus the on-disk
-/// file defaults): 4 MiB per line, nesting depth 32.
+/// file defaults): 4 MiB per line, nesting depth 32, duplicate object
+/// keys rejected (a repeated key would silently change which value the
+/// server acts on).
 JsonParseLimits RequestParseLimits();
+
+/// True when `tenant` is a legal tenant name: 1-64 chars from
+/// [A-Za-z0-9_.-]. Keeps tenant names safe to embed in metrics labels,
+/// stats keys and filenames.
+bool ValidTenantName(const std::string& tenant);
 
 /// Parses and validates one request line; throws ProtocolError carrying a
 /// stable error code (and the id when it was readable).

@@ -22,6 +22,19 @@ namespace {
 
 std::int64_t AsInt64(std::uint64_t v) { return static_cast<std::int64_t>(v); }
 
+FairQueueOptions MakeQueueOptions(const ServerOptions& options) {
+  FairQueueOptions q;
+  q.per_tenant_capacity = options.queue_capacity;
+  q.per_tenant_inflight = options.per_tenant_inflight;
+  q.weights = options.tenant_weights;
+  q.default_weight = options.default_tenant_weight;
+  return q;
+}
+
+/// Bound on the exact-sample vectors (record_latency_samples) so a long
+/// bench run cannot grow them without limit.
+constexpr std::size_t kMaxLatencySamples = 1u << 16;
+
 }  // namespace
 
 RescheddServer::WarmSlot::WarmSlot() = default;
@@ -30,10 +43,14 @@ RescheddServer::WarmSlot::~WarmSlot() = default;
 RescheddServer::RescheddServer(Transport& transport, ServerOptions options)
     : transport_(transport),
       options_(options),
-      queue_(options.queue_capacity) {
+      queue_(MakeQueueOptions(options)) {
   RESCHED_CHECK_MSG(options_.workers > 0, "reschedd needs at least 1 worker");
   RESCHED_CHECK_MSG(options_.queue_capacity > 0,
                     "admission queue capacity must be positive");
+  // Drain-expiry probe: lets Close()-time draining hand out already-dead
+  // requests first so shutdown never executes doomed work.
+  queue_.SetExpiryProbe(
+      [](const Pending& p) { return p.token != nullptr && p.token->Cancelled(); });
   if (options_.result_cache) {
     result_cache_ = std::make_unique<
         ConcurrentMemoMap<Digest128, std::string, DigestHash>>(
@@ -123,17 +140,32 @@ void RescheddServer::RememberCompleted(const std::string& id,
   completed_[id] = body;
 }
 
-RescheddServer::~RescheddServer() { queue_.Close(); }
+RescheddServer::~RescheddServer() {
+  queue_.Close();
+  if (metrics_thread_.joinable()) {
+    // Serve() normally joins; this is the Serve-threw (or never-ran) path.
+    {
+      MutexLock lock(metrics_mu_);
+      metrics_stop_ = true;
+    }
+    metrics_cv_.NotifyAll();
+    metrics_thread_.join();
+  }
+}
 
 void RescheddServer::Serve() {
   transport_.SetGreeting(HandshakeLine());
+
+  if (!options_.metrics_out_path.empty()) {
+    metrics_thread_ = std::thread([this] { MetricsLoop(); });
+  }
 
   // Destruction order matters: `closer` runs before `pool`'s destructor,
   // so even when ReadLoop throws (transport failure) the queue closes
   // first and the workers drain and exit instead of blocking in Pop().
   ThreadPool pool(options_.workers);
   struct QueueCloser {
-    BoundedQueue<Pending>& queue;
+    WeightedFairQueue<Pending>& queue;
     ~QueueCloser() { queue.Close(); }
   } closer{queue_};
 
@@ -159,6 +191,15 @@ void RescheddServer::Serve() {
       journal_errors_.fetch_add(1, std::memory_order_relaxed);
       std::fprintf(stderr, "reschedd: %s\n", e.what());
     }
+  }
+  if (metrics_thread_.joinable()) {
+    {
+      MutexLock lock(metrics_mu_);
+      metrics_stop_ = true;
+    }
+    metrics_cv_.NotifyAll();
+    metrics_thread_.join();
+    WriteMetricsNow();  // final snapshot covers the full lifetime
   }
 }
 
@@ -218,6 +259,8 @@ std::string RescheddServer::NextId() {
 
 void RescheddServer::Admit(Request request) {
   const std::string id = request.id;
+  const std::string tenant = request.tenant;
+  TenantStats& tstats = TenantStatsFor(tenant);
 
   // Idempotent resubmission: a client that reconnected and resent a
   // request (it cannot tell a lost response from a slow one) must not
@@ -228,6 +271,7 @@ void RescheddServer::Admit(Request request) {
     std::string body;
     if (FindCompleted(id, body)) {
       deduped_.fetch_add(1, std::memory_order_relaxed);
+      tstats.deduped.fetch_add(1, std::memory_order_relaxed);
       Respond(id, body, "dedup");
       return;
     }
@@ -235,6 +279,7 @@ void RescheddServer::Admit(Request request) {
       MutexLock lock(registry_mu_);
       if (registry_.find(id) != registry_.end()) {
         deduped_.fetch_add(1, std::memory_order_relaxed);
+        tstats.deduped.fetch_add(1, std::memory_order_relaxed);
         return;
       }
     }
@@ -256,9 +301,11 @@ void RescheddServer::Admit(Request request) {
   Pending item;
   item.request = std::move(request);
   item.token = std::move(token);
-  const PushOutcome outcome = queue_.TryPush(std::move(item));
+  item.admitted_at_ms = static_cast<double>(uptime_.ElapsedMicros()) / 1000.0;
+  const PushOutcome outcome = queue_.TryPush(tenant, std::move(item));
   if (outcome == PushOutcome::kAccepted) {
     accepted_.fetch_add(1, std::memory_order_relaxed);
+    tstats.admitted.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   {
@@ -267,10 +314,12 @@ void RescheddServer::Admit(Request request) {
   }
   if (outcome == PushOutcome::kClosed) {
     rejected_shutting_down_.fetch_add(1, std::memory_order_relaxed);
+    tstats.shed_shutdown.fetch_add(1, std::memory_order_relaxed);
     Respond(id, ErrorBody(kErrShuttingDown, "server is shutting down"),
             "error");
   } else {
     rejected_overloaded_.fetch_add(1, std::memory_order_relaxed);
+    tstats.shed_overload.fetch_add(1, std::memory_order_relaxed);
     Respond(id, ErrorBody(kErrOverloaded, "admission queue is full"),
             "error");
   }
@@ -287,7 +336,15 @@ bool RescheddServer::CancelTarget(const std::string& target) {
 void RescheddServer::WorkerLoop() {
   WarmSlot warm;
   Pending item;
-  while (queue_.Pop(item)) {
+  bool expired_in_drain = false;
+  while (queue_.Pop(item, &expired_in_drain)) {
+    const std::string tenant = item.request.tenant;
+    TenantStats& tstats = TenantStatsFor(tenant);
+    RecordQueueWait(tstats, static_cast<double>(uptime_.ElapsedMicros()) / 1000.0 -
+                                item.admitted_at_ms);
+    if (expired_in_drain) {
+      tstats.drain_shed.fetch_add(1, std::memory_order_relaxed);
+    }
     // Deadline-aware shedding: a request whose deadline (or cancel)
     // already fired while queued is answered here, not handed to the
     // scheduler — and not served from the result cache either, which
@@ -297,9 +354,11 @@ void RescheddServer::WorkerLoop() {
       std::string body;
       if (item.token->ExplicitlyCancelled()) {
         cancelled_.fetch_add(1, std::memory_order_relaxed);
+        tstats.cancelled.fetch_add(1, std::memory_order_relaxed);
         body = ErrorBody(kErrCancelled, "request cancelled");
       } else {
         deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+        tstats.deadline_expired.fetch_add(1, std::memory_order_relaxed);
         body = ErrorBody(kErrDeadline, "deadline expired while queued");
       }
       {
@@ -308,14 +367,19 @@ void RescheddServer::WorkerLoop() {
       }
       Respond(id, body, "error");
     } else {
+      WallTimer service;
       Process(item, warm);
+      tstats.service_time.Record(static_cast<double>(service.ElapsedMicros()) /
+                                 1000.0);
     }
     item = Pending{};  // release the instance/token before blocking again
+    queue_.OnDone(tenant);
   }
 }
 
 void RescheddServer::Process(Pending& item, WarmSlot& warm) {
   const Request& request = item.request;
+  TenantStats& tstats = TenantStatsFor(request.tenant);
 
   // Closes the Admit-time dedup race: a duplicate that slipped past both
   // Admit checks (original finished between them) finds the completed
@@ -324,6 +388,7 @@ void RescheddServer::Process(Pending& item, WarmSlot& warm) {
     std::string done_body;
     if (FindCompleted(request.id, done_body)) {
       deduped_.fetch_add(1, std::memory_order_relaxed);
+      tstats.deduped.fetch_add(1, std::memory_order_relaxed);
       {
         MutexLock lock(registry_mu_);
         registry_.erase(request.id);
@@ -347,6 +412,7 @@ void RescheddServer::Process(Pending& item, WarmSlot& warm) {
       ok = true;
       from_cache = true;
       cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      tstats.cache_hits.fetch_add(1, std::memory_order_relaxed);
     }
   }
 
@@ -356,16 +422,20 @@ void RescheddServer::Process(Pending& item, WarmSlot& warm) {
       item.token->ThrowIfCancelled();
       body = Execute(request, *item.token, warm);
       ok = true;
+      tstats.exec.fetch_add(1, std::memory_order_relaxed);
     } catch (const CancelledError&) {
       if (item.token->ExplicitlyCancelled()) {
         cancelled_.fetch_add(1, std::memory_order_relaxed);
+        tstats.cancelled.fetch_add(1, std::memory_order_relaxed);
         body = ErrorBody(kErrCancelled, "request cancelled");
       } else {
         deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+        tstats.deadline_expired.fetch_add(1, std::memory_order_relaxed);
         body = ErrorBody(kErrDeadline, "deadline exceeded");
       }
     } catch (const std::exception& e) {
       failed_.fetch_add(1, std::memory_order_relaxed);
+      tstats.failed.fetch_add(1, std::memory_order_relaxed);
       body = ErrorBody(kErrInternal, e.what());
     }
   }
@@ -613,6 +683,63 @@ std::string RescheddServer::StatsBody() {
     MutexLock lock(pool_mu_);
     body["floorplan_caches"] = floorplan_pool_.size();
   }
+
+  // Per-tenant section: admission outcomes, served-by breakdown and
+  // queue-wait / service-time quantiles (exact when sample recording is
+  // on, histogram-interpolated otherwise).
+  {
+    std::map<std::string, std::size_t> depths = queue_.Depths();
+    std::vector<std::pair<std::string, TenantStats*>> snapshot;
+    {
+      MutexLock lock(tenants_mu_);
+      snapshot.reserve(tenant_stats_.size());
+      for (const auto& [name, stats] : tenant_stats_) {
+        snapshot.emplace_back(name, stats.get());
+      }
+    }
+    JsonObject tenants;
+    for (const auto& [name, stats] : snapshot) {
+      JsonObject t;
+      t["admitted"] = AsInt64(stats->admitted.load(std::memory_order_relaxed));
+      t["shed_overload"] =
+          AsInt64(stats->shed_overload.load(std::memory_order_relaxed));
+      t["shed_shutdown"] =
+          AsInt64(stats->shed_shutdown.load(std::memory_order_relaxed));
+      t["cancelled"] =
+          AsInt64(stats->cancelled.load(std::memory_order_relaxed));
+      t["deadline_expired"] =
+          AsInt64(stats->deadline_expired.load(std::memory_order_relaxed));
+      t["exec"] = AsInt64(stats->exec.load(std::memory_order_relaxed));
+      t["cache_hits"] =
+          AsInt64(stats->cache_hits.load(std::memory_order_relaxed));
+      t["deduped"] = AsInt64(stats->deduped.load(std::memory_order_relaxed));
+      t["failed"] = AsInt64(stats->failed.load(std::memory_order_relaxed));
+      t["drain_shed"] =
+          AsInt64(stats->drain_shed.load(std::memory_order_relaxed));
+      const auto depth = depths.find(name);
+      t["queue_depth"] =
+          depth != depths.end() ? depth->second : std::size_t{0};
+      double p50 = 0.0;
+      double p99 = 0.0;
+      QueueWaitQuantiles(*stats, p50, p99);
+      t["queue_wait_p50_ms"] = p50;
+      t["queue_wait_p99_ms"] = p99;
+      const LatencyHistogram::Snapshot service = stats->service_time.Take();
+      t["service_p50_ms"] = HistogramQuantileMs(service, 0.50);
+      t["service_p99_ms"] = HistogramQuantileMs(service, 0.99);
+      tenants[name] = JsonValue(std::move(t));
+    }
+    body["tenants"] = JsonValue(std::move(tenants));
+  }
+  if (!options_.metrics_out_path.empty()) {
+    JsonObject metrics;
+    metrics["path"] = options_.metrics_out_path;
+    metrics["writes"] =
+        AsInt64(metrics_writes_.load(std::memory_order_relaxed));
+    metrics["errors"] =
+        AsInt64(metrics_errors_.load(std::memory_order_relaxed));
+    body["metrics"] = JsonValue(std::move(metrics));
+  }
   if (recovery_.enabled) {
     JsonObject recovery;
     recovery["records_scanned"] = recovery_.records_scanned;
@@ -645,6 +772,156 @@ void RescheddServer::Respond(const std::string& id, const std::string& body,
       journal_errors_.fetch_add(1, std::memory_order_relaxed);
       std::fprintf(stderr, "reschedd: %s\n", e.what());
     }
+  }
+}
+
+RescheddServer::TenantStats& RescheddServer::TenantStatsFor(
+    const std::string& tenant) {
+  MutexLock lock(tenants_mu_);
+  auto it = tenant_stats_.find(tenant);
+  if (it == tenant_stats_.end()) {
+    it = tenant_stats_.emplace(tenant, std::make_unique<TenantStats>()).first;
+  }
+  return *it->second;
+}
+
+void RescheddServer::RecordQueueWait(TenantStats& stats, double wait_ms) {
+  if (wait_ms < 0.0) wait_ms = 0.0;
+  stats.queue_wait.Record(wait_ms);
+  if (options_.record_latency_samples) {
+    MutexLock lock(stats.samples_mu);
+    if (stats.queue_wait_samples.size() < kMaxLatencySamples) {
+      stats.queue_wait_samples.push_back(wait_ms);
+    }
+  }
+}
+
+void RescheddServer::QueueWaitQuantiles(TenantStats& stats, double& p50,
+                                        double& p99) {
+  if (options_.record_latency_samples) {
+    std::vector<double> samples;
+    {
+      MutexLock lock(stats.samples_mu);
+      samples = stats.queue_wait_samples;
+    }
+    if (!samples.empty()) {
+      p50 = Percentile(samples, 50.0);
+      p99 = Percentile(samples, 99.0);
+      return;
+    }
+  }
+  const LatencyHistogram::Snapshot snap = stats.queue_wait.Take();
+  p50 = HistogramQuantileMs(snap, 0.50);
+  p99 = HistogramQuantileMs(snap, 0.99);
+}
+
+std::vector<MetricFamily> RescheddServer::BuildMetricFamilies() {
+  std::vector<MetricFamily> families;
+
+  MetricFamily up{"reschedd_up", "Whether this reschedd process is serving.",
+                  "gauge", {}};
+  up.samples.push_back(MetricSample{{}, 1.0});
+  families.push_back(std::move(up));
+
+  MetricFamily requests{"reschedd_requests_total",
+                        "Request events by outcome across all tenants.",
+                        "counter",
+                        {}};
+  const auto add_event = [&requests](const char* event, std::uint64_t v) {
+    requests.samples.push_back(
+        MetricSample{{{"event", event}}, static_cast<double>(v)});
+  };
+  const ServiceCounters c = Counters();
+  add_event("received", c.received);
+  add_event("accepted", c.accepted);
+  add_event("rejected_overloaded", c.rejected_overloaded);
+  add_event("rejected_invalid", c.rejected_invalid);
+  add_event("completed_ok", c.completed_ok);
+  add_event("failed", c.failed);
+  add_event("cancelled", c.cancelled);
+  add_event("deadline_expired", c.deadline_expired);
+  add_event("cache_hits", c.cache_hits);
+  add_event("deduped", c.deduped);
+  add_event("rejected_shutting_down", c.rejected_shutting_down);
+  add_event("journal_errors", c.journal_errors);
+  families.push_back(std::move(requests));
+
+  MetricFamily depth{"reschedd_queue_depth",
+                     "Currently queued requests per tenant.", "gauge", {}};
+  for (const auto& [tenant, n] : queue_.Depths()) {
+    depth.samples.push_back(
+        MetricSample{{{"tenant", tenant}}, static_cast<double>(n)});
+  }
+  families.push_back(std::move(depth));
+
+  std::vector<std::pair<std::string, TenantStats*>> snapshot;
+  {
+    MutexLock lock(tenants_mu_);
+    snapshot.reserve(tenant_stats_.size());
+    for (const auto& [name, stats] : tenant_stats_) {
+      snapshot.emplace_back(name, stats.get());
+    }
+  }
+  MetricFamily tenant_requests{
+      "reschedd_tenant_requests_total",
+      "Per-tenant request outcomes (admitted, shed, served-by).", "counter",
+      {}};
+  for (const auto& [name, stats] : snapshot) {
+    const auto add = [&tenant_requests, &name = name](const char* outcome,
+                                                      std::uint64_t v) {
+      tenant_requests.samples.push_back(MetricSample{
+          {{"tenant", name}, {"outcome", outcome}}, static_cast<double>(v)});
+    };
+    add("admitted", stats->admitted.load(std::memory_order_relaxed));
+    add("shed_overload", stats->shed_overload.load(std::memory_order_relaxed));
+    add("shed_shutdown", stats->shed_shutdown.load(std::memory_order_relaxed));
+    add("cancelled", stats->cancelled.load(std::memory_order_relaxed));
+    add("deadline_expired",
+        stats->deadline_expired.load(std::memory_order_relaxed));
+    add("exec", stats->exec.load(std::memory_order_relaxed));
+    add("cache", stats->cache_hits.load(std::memory_order_relaxed));
+    add("dedup", stats->deduped.load(std::memory_order_relaxed));
+    add("failed", stats->failed.load(std::memory_order_relaxed));
+    add("drain_shed", stats->drain_shed.load(std::memory_order_relaxed));
+  }
+  families.push_back(std::move(tenant_requests));
+
+  for (const auto& [name, stats] : snapshot) {
+    AppendHistogramFamily(families, "reschedd_tenant_queue_wait_ms",
+                          "Queue wait per tenant in milliseconds.",
+                          {{"tenant", name}}, stats->queue_wait.Take());
+  }
+  for (const auto& [name, stats] : snapshot) {
+    AppendHistogramFamily(families, "reschedd_tenant_service_ms",
+                          "Service time per tenant in milliseconds.",
+                          {{"tenant", name}}, stats->service_time.Take());
+  }
+  return families;
+}
+
+void RescheddServer::WriteMetricsNow() {
+  std::string error;
+  if (WriteTextfileAtomic(options_.metrics_out_path,
+                          RenderPrometheus(BuildMetricFamilies()), &error)) {
+    metrics_writes_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    metrics_errors_.fetch_add(1, std::memory_order_relaxed);
+    std::fprintf(stderr, "reschedd: metrics write failed: %s\n",
+                 error.c_str());
+  }
+}
+
+void RescheddServer::MetricsLoop() {
+  const double interval_s =
+      options_.metrics_interval_ms > 0.0 ? options_.metrics_interval_ms / 1000.0
+                                         : 1.0;
+  for (;;) {
+    {
+      MutexLock lock(metrics_mu_);
+      if (!metrics_stop_) (void)metrics_cv_.WaitFor(lock, interval_s);
+      if (metrics_stop_) return;  // Serve() writes the final snapshot
+    }
+    WriteMetricsNow();
   }
 }
 

@@ -1,18 +1,23 @@
 // reschedd — the batch scheduling service core.
 //
 // One reader thread (the caller of Serve()) parses request lines, answers
-// control verbs (stats/cancel) inline, and admits scheduling work into a
-// BoundedQueue; a util/thread_pool worker pool drains the queue. Each
-// worker keeps a warm (PaContext, PaScratch) slot that is reused across
-// consecutive requests for the same instance+options, and all workers
-// share one FloorplanCache per distinct platform plus one result cache
-// keyed on the canonical request digest — an identical submission is
-// served bit-identically from the cache without touching the scheduler.
+// control verbs (stats/cancel) inline, and admits scheduling work into
+// per-tenant weighted-fair queues (service/fair_queue.hpp); a
+// util/thread_pool worker pool drains them under deficit round-robin.
+// Each worker keeps a warm (PaContext, PaScratch) slot that is reused
+// across consecutive requests for the same instance+options, and all
+// workers share one FloorplanCache per distinct platform plus one result
+// cache keyed on the canonical request digest — an identical submission
+// is served bit-identically from the cache without touching the
+// scheduler. The result cache is shared across tenants (tenant is an
+// admission concept, not part of the request key).
 //
 // Lifecycle guarantees:
-//   * admission is non-blocking: a full queue rejects with `overloaded`;
+//   * admission is non-blocking: a tenant at its queue capacity rejects
+//     with `overloaded` (backpressure per tenant, not buffering);
 //   * every accepted request gets exactly one response, even across a
-//     shutdown (the queue drains before Serve() returns);
+//     shutdown (the queues drain before Serve() returns, shedding
+//     already-expired items first);
 //   * the shutdown verb's own response is written last;
 //   * deadlines and cancel verbs unwind cooperatively through the PA/PA-R
 //     cancellation hooks — a worker is never killed mid-flight.
@@ -23,14 +28,18 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
-#include "service/admission.hpp"
+#include "service/fair_queue.hpp"
 #include "service/journal.hpp"
+#include "service/metrics_export.hpp"
 #include "service/protocol.hpp"
 #include "service/transport.hpp"
 #include "util/cancel.hpp"
 #include "util/memo_map.hpp"
 #include "util/mutex.hpp"
+#include "util/timer.hpp"
 
 namespace resched {
 class FloorplanCache;
@@ -66,6 +75,23 @@ struct ServerOptions {
   /// Bound on the id -> response dedup map (oldest-by-id eviction; a
   /// bound, not an LRU — its job is capping memory, not hit rate).
   std::size_t completed_capacity = 4096;
+
+  /// Tenant -> DRR weight (quantum); unlisted tenants get
+  /// default_tenant_weight. queue_capacity above is the *per-tenant*
+  /// capacity (with only the default tenant active, admission behaves
+  /// exactly like the old single BoundedQueue).
+  std::map<std::string, std::uint32_t> tenant_weights;
+  std::uint32_t default_tenant_weight = 1;
+  /// Max popped-but-unfinished requests per tenant (0 = unlimited).
+  std::size_t per_tenant_inflight = 0;
+  /// Prometheus textfile target (empty = disabled). Written atomically
+  /// every metrics_interval_ms and once more on Serve() exit.
+  std::string metrics_out_path;
+  double metrics_interval_ms = 1000.0;
+  /// Keep exact per-tenant queue-wait samples (bounded) so stats can
+  /// report exact p50/p99 instead of histogram-interpolated estimates.
+  /// Bench/test-only: off by default to keep the serving path lean.
+  bool record_latency_samples = false;
 };
 
 struct ServiceCounters {
@@ -108,6 +134,27 @@ class RescheddServer {
   struct Pending {
     Request request;
     std::shared_ptr<CancelToken> token;
+    double admitted_at_ms = 0.0;  ///< uptime stamp for queue-wait metrics
+  };
+
+  /// Per-tenant observability. Counters are atomics and the histograms
+  /// are internally locked, so the map lock (tenants_mu_) only covers
+  /// slot creation/lookup — hot-path updates never serialize on it.
+  struct TenantStats {
+    std::atomic<std::uint64_t> admitted{0};
+    std::atomic<std::uint64_t> shed_overload{0};
+    std::atomic<std::uint64_t> shed_shutdown{0};
+    std::atomic<std::uint64_t> cancelled{0};
+    std::atomic<std::uint64_t> deadline_expired{0};
+    std::atomic<std::uint64_t> exec{0};
+    std::atomic<std::uint64_t> cache_hits{0};
+    std::atomic<std::uint64_t> deduped{0};
+    std::atomic<std::uint64_t> failed{0};
+    std::atomic<std::uint64_t> drain_shed{0};  ///< expired-first drain pops
+    LatencyHistogram queue_wait;
+    LatencyHistogram service_time;
+    Mutex samples_mu;
+    std::vector<double> queue_wait_samples RESCHED_GUARDED_BY(samples_mu);
   };
 
   /// Per-worker warm slot: the (context, scratch) pair is rebuilt only
@@ -159,8 +206,19 @@ class RescheddServer {
                               WarmSlot& warm);
   Schedule ComputeSchedule(const Request& request, const CancelToken& token,
                            WarmSlot& warm, std::size_t& iterations);
-  std::string StatsBody() RESCHED_EXCLUDES(pool_mu_);
+  std::string StatsBody() RESCHED_EXCLUDES(pool_mu_, tenants_mu_);
   FloorplanCache* PoolFor(const Request& request) RESCHED_EXCLUDES(pool_mu_);
+  /// Finds (or creates) the stats slot for `tenant`.
+  TenantStats& TenantStatsFor(const std::string& tenant)
+      RESCHED_EXCLUDES(tenants_mu_);
+  void RecordQueueWait(TenantStats& stats, double wait_ms);
+  /// Exact p50/p99 from recorded samples when enabled, histogram
+  /// interpolation otherwise.
+  void QueueWaitQuantiles(TenantStats& stats, double& p50, double& p99);
+  std::vector<MetricFamily> BuildMetricFamilies()
+      RESCHED_EXCLUDES(tenants_mu_);
+  void WriteMetricsNow();
+  void MetricsLoop() RESCHED_EXCLUDES(metrics_mu_);
   /// `served` tags the journaled response record with where the body came
   /// from ("exec", "cache", "dedup", "error", "control") — the chaos
   /// harness counts "exec" records to prove nothing ran twice.
@@ -171,7 +229,8 @@ class RescheddServer {
   Transport& transport_;
   ServerOptions options_;
 
-  BoundedQueue<Pending> queue_;
+  WeightedFairQueue<Pending> queue_;
+  WallTimer uptime_;  ///< monotonic base for queue-wait stamps
   std::unique_ptr<ConcurrentMemoMap<Digest128, std::string, DigestHash>>
       result_cache_;
   std::unique_ptr<Journal> journal_;
@@ -215,6 +274,19 @@ class RescheddServer {
   std::atomic<std::uint64_t> deduped_{0};
   std::atomic<std::uint64_t> rejected_shutting_down_{0};
   std::atomic<std::uint64_t> journal_errors_{0};
+
+  Mutex tenants_mu_;
+  /// unique_ptr slots so references stay stable while the map grows.
+  std::map<std::string, std::unique_ptr<TenantStats>> tenant_stats_
+      RESCHED_GUARDED_BY(tenants_mu_);
+
+  /// Metrics-writer thread state (runs only when metrics_out_path set).
+  std::thread metrics_thread_;
+  Mutex metrics_mu_;
+  CondVar metrics_cv_;
+  bool metrics_stop_ RESCHED_GUARDED_BY(metrics_mu_) = false;
+  std::atomic<std::uint64_t> metrics_writes_{0};
+  std::atomic<std::uint64_t> metrics_errors_{0};
 };
 
 }  // namespace resched::service

@@ -144,7 +144,8 @@ bool UnixSocketServerTransport::SendLine(Conn& conn, const std::string& line) {
   // so concurrent writers (greeting replay vs. worker responses) cannot
   // interleave bytes mid-line on the stream socket.
   MutexLock lock(conn.write_mu);
-  return conn.sock.SendAll(  // resched-lint: allow(lock-held-over-blocking-call)
+  // Unix-domain line protocol, not TCP framing — raw send is the format.
+  return conn.sock.SendAll(  // resched-lint: allow(lock-held-over-blocking-call,no-unframed-tcp-write)
       line + "\n");
 }
 
@@ -189,6 +190,85 @@ void UnixSocketServerTransport::SetGreeting(const std::string& line) {
   if (conn) (void)SendLine(*conn, line);
 }
 
-void UnixSocketServerTransport::Close() { listener_.Close(); }
+void UnixSocketServerTransport::Close() {
+  listener_.Close();
+  // Also wake a reader parked in recv(2) on the live connection; without
+  // this, Close only stops *new* connections and a blocked ReadLine keeps
+  // the serve loop alive until the peer hangs up.
+  if (std::shared_ptr<Conn> conn = Snapshot()) conn->sock.Shutdown();
+}
+
+// ------------------------------------------------------------------ TCP --
+
+TcpServerTransport::TcpServerTransport(const std::string& host,
+                                       std::uint16_t port,
+                                       std::size_t max_frame_bytes)
+    : listener_(host, port), max_frame_bytes_(max_frame_bytes) {}
+
+std::shared_ptr<TcpServerTransport::Conn> TcpServerTransport::Snapshot() {
+  MutexLock lock(mu_);
+  return conn_;
+}
+
+bool TcpServerTransport::SendFrame(Conn& conn, const std::string& line) {
+  // Per-connection lock covering the blocking send, so concurrent writers
+  // (greeting replay vs. worker responses) cannot interleave frames.
+  MutexLock lock(conn.write_mu);
+  return WriteFrame(  // resched-lint: allow(lock-held-over-blocking-call)
+      conn.sock, line);
+}
+
+bool TcpServerTransport::ReadLine(std::string& line) {
+  for (;;) {
+    std::shared_ptr<Conn> conn = Snapshot();
+    if (!conn) {
+      std::optional<StreamSocket> accepted = listener_.Accept();
+      if (!accepted) return false;  // listener closed
+      conn = std::make_shared<Conn>(std::move(*accepted), max_frame_bytes_);
+      std::string greeting;
+      {
+        MutexLock lock(mu_);
+        conn_ = conn;
+        greeting = greeting_;
+      }
+      if (!greeting.empty()) (void)SendFrame(*conn, greeting);
+    }
+    // Blocking recv outside any lock; only this thread touches the reader.
+    const FrameResult r = conn->reader.Read(line);
+    if (r == FrameResult::kFrame) return true;
+    if (r != FrameResult::kEof) {
+      framing_errors_.fetch_add(1, std::memory_order_relaxed);
+    }
+    // EOF or framing violation: drop the connection and accept the next
+    // one. A worker mid-WriteLine still holds its own snapshot, so the
+    // socket stays valid and its send just reports the peer as gone.
+    MutexLock lock(mu_);
+    conn_.reset();
+  }
+}
+
+bool TcpServerTransport::WriteLine(const std::string& line) {
+  std::shared_ptr<Conn> conn = Snapshot();
+  if (!conn) return false;
+  return SendFrame(*conn, line);
+}
+
+void TcpServerTransport::SetGreeting(const std::string& line) {
+  std::shared_ptr<Conn> conn;
+  {
+    MutexLock lock(mu_);
+    greeting_ = line;
+    conn = conn_;
+  }
+  if (conn) (void)SendFrame(*conn, line);
+}
+
+void TcpServerTransport::Close() {
+  listener_.Close();
+  // Same contract as the unix transport: wake a reader parked on the
+  // live connection, not just the accept loop.
+  if (std::shared_ptr<Conn> conn = Snapshot()) conn->sock.Shutdown();
+}
 
 }  // namespace resched::service
+

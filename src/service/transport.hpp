@@ -1,11 +1,17 @@
 // Line transports for the reschedd protocol.
 //
-// The server speaks to exactly one Transport; the three implementations
-// trade deployment for determinism:
+// The server speaks to exactly one Transport; the implementations trade
+// deployment for determinism:
 //
-//   * UnixSocketServerTransport — the production daemon path: one client
+//   * UnixSocketServerTransport — the single-host daemon path: one client
 //     connection at a time over a Unix-domain socket, re-accepting after a
 //     disconnect, greeting each connection with the handshake line.
+//   * TcpServerTransport — the fleet path: same one-client-at-a-time
+//     contract over localhost TCP, but messages travel as length-prefixed
+//     RSF frames (service/framing.hpp) instead of '\n'-delimited lines,
+//     with a per-connection read limit and a framing-version handshake.
+//     The Transport interface still trades whole protocol lines; framing
+//     is invisible above this class.
 //   * StdioTransport — `reschedd --stdio`: requests on stdin, responses on
 //     stdout. Lets CI drive a full server lifecycle through a plain pipe
 //     with no filesystem socket and no cleanup.
@@ -19,10 +25,13 @@
 // with its own mutex — transports need not).
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <deque>
 #include <memory>
 #include <string>
 
+#include "service/framing.hpp"
 #include "util/mutex.hpp"
 #include "util/socket.hpp"
 
@@ -139,6 +148,53 @@ class UnixSocketServerTransport : public Transport {
   /// socket I/O (the annotation rollout surfaced the old design, which
   /// both ran SendAll under mu_ and read the slot unlocked in ReadLine).
   Mutex mu_;
+  std::shared_ptr<Conn> conn_ RESCHED_GUARDED_BY(mu_);
+  std::string greeting_ RESCHED_GUARDED_BY(mu_);
+};
+
+/// TCP server endpoint speaking RSF frames: accepts one client at a time
+/// on host:port (port 0 = kernel-assigned ephemeral port, readable via
+/// Port()), re-accepts after a disconnect, replays the greeting frame on
+/// every accept. A connection that violates framing (wrong magic or
+/// version byte, frame above the read limit, EOF mid-frame) is dropped —
+/// the byte stream cannot be trusted past the first bad header — and the
+/// event is counted in FramingErrors().
+class TcpServerTransport : public Transport {
+ public:
+  TcpServerTransport(const std::string& host, std::uint16_t port,
+                     std::size_t max_frame_bytes = kDefaultMaxFrameBytes);
+
+  bool ReadLine(std::string& line) override;
+  bool WriteLine(const std::string& line) override;
+  void SetGreeting(const std::string& line) override;
+
+  /// Stops accepting; a blocked ReadLine returns false.
+  void Close();
+
+  const std::string& Host() const { return listener_.Host(); }
+  std::uint16_t Port() const { return listener_.Port(); }
+  std::uint64_t FramingErrors() const {
+    return framing_errors_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Same shared-ptr snapshot discipline as the unix-socket transport
+  /// (see UnixSocketServerTransport::Conn); only the wire format differs.
+  struct Conn {
+    explicit Conn(StreamSocket s, std::size_t max_frame)
+        : sock(std::move(s)), reader(sock, max_frame) {}
+    StreamSocket sock;
+    FrameReader reader;  ///< touched by the reader thread only
+    Mutex write_mu;
+  };
+
+  std::shared_ptr<Conn> Snapshot() RESCHED_EXCLUDES(mu_);
+  static bool SendFrame(Conn& conn, const std::string& line);
+
+  TcpListener listener_;
+  std::size_t max_frame_bytes_;
+  std::atomic<std::uint64_t> framing_errors_{0};
+  Mutex mu_;  ///< guards the slot + greeting only, never held across I/O
   std::shared_ptr<Conn> conn_ RESCHED_GUARDED_BY(mu_);
   std::string greeting_ RESCHED_GUARDED_BY(mu_);
 };

@@ -303,6 +303,9 @@ class Parser {
       std::string key = ParseString();
       SkipWhitespace();
       Expect(':');
+      if (limits_.reject_duplicate_keys && obj.count(key) != 0) {
+        Fail("duplicate object key \"" + key + "\"");
+      }
       obj.emplace(std::move(key), ParseValue());
       SkipWhitespace();
       const char c = Peek();

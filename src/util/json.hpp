@@ -40,6 +40,13 @@ struct JsonParseLimits {
   std::size_t max_depth = 96;
   /// Maximum document size in bytes.
   std::size_t max_bytes = 256u << 20;  // 256 MiB
+  /// When set, a repeated key inside one object raises JsonError instead
+  /// of silently keeping the first occurrence. Off by default for
+  /// compatibility with trusted on-disk files; the reschedd request path
+  /// turns it on — a duplicate key in a hostile request would otherwise
+  /// make "what the server validated" and "what the server executed"
+  /// diverge silently.
+  bool reject_duplicate_keys = false;
 };
 
 class JsonValue {

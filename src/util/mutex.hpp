@@ -28,6 +28,7 @@
 //   while (!closed_ && items_.empty()) cv_.Wait(lock);
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -88,6 +89,15 @@ class CondVar {
   /// Atomically releases `lock`'s mutex, blocks, and reacquires before
   /// returning. Spurious wakeups happen; callers loop on their predicate.
   void Wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+  /// As Wait, but gives up after `seconds`. Returns false on timeout, true
+  /// on a notify (or spurious wakeup — callers loop on their predicate
+  /// either way). Used by periodic background threads (metrics writer,
+  /// backend prober) so shutdown can interrupt the sleep.
+  bool WaitFor(MutexLock& lock, double seconds) {
+    return cv_.wait_for(lock.lock_, std::chrono::duration<double>(seconds)) ==
+           std::cv_status::no_timeout;
+  }
 
   void NotifyOne() { cv_.notify_one(); }
   void NotifyAll() { cv_.notify_all(); }

@@ -1,5 +1,8 @@
 #include "util/socket.hpp"
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -35,11 +38,32 @@ sockaddr_un MakeAddress(const std::string& path) {
   return addr;
 }
 
+/// Numeric-IPv4-or-"localhost" resolver. Deliberately not getaddrinfo:
+/// the fleet runs on loopback (tests, single-host deployments) and a
+/// resolver stub keeps connect/bind deterministic and dependency-free.
+sockaddr_in MakeInetAddress(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string numeric = (host == "localhost") ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, numeric.c_str(), &addr.sin_addr) != 1) {
+    throw SocketError("not a numeric IPv4 address (or \"localhost\"): " +
+                      host);
+  }
+  return addr;
+}
+
+void SetNoDelay(int fd) {
+  const int one = 1;
+  // Best effort: losing Nagle-off costs latency, not correctness.
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
 }  // namespace
 
-// ---------------------------------------------------------------- UnixSocket
+// -------------------------------------------------------------- StreamSocket
 
-UnixSocket::~UnixSocket() {
+StreamSocket::~StreamSocket() {
   if (fd_ >= 0) {
     // Best effort in a destructor: nothing useful can be done with a close
     // failure during unwinding.
@@ -48,10 +72,10 @@ UnixSocket::~UnixSocket() {
   }
 }
 
-UnixSocket::UnixSocket(UnixSocket&& other) noexcept
+StreamSocket::StreamSocket(StreamSocket&& other) noexcept
     : fd_(std::exchange(other.fd_, -1)) {}
 
-UnixSocket& UnixSocket::operator=(UnixSocket&& other) noexcept {
+StreamSocket& StreamSocket::operator=(StreamSocket&& other) noexcept {
   if (this != &other) {
     if (fd_ >= 0) (void)::close(fd_);
     fd_ = std::exchange(other.fd_, -1);
@@ -59,11 +83,11 @@ UnixSocket& UnixSocket::operator=(UnixSocket&& other) noexcept {
   return *this;
 }
 
-UnixSocket UnixSocket::Connect(const std::string& path) {
+StreamSocket StreamSocket::Connect(const std::string& path) {
   const sockaddr_un addr = MakeAddress(path);
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd < 0) ThrowErrno("socket");
-  UnixSocket s(fd);
+  StreamSocket s(fd);
   if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
                 sizeof(addr)) != 0) {
     ThrowErrno("connect to " + path);
@@ -71,7 +95,21 @@ UnixSocket UnixSocket::Connect(const std::string& path) {
   return s;
 }
 
-bool UnixSocket::SendAll(std::string_view data) {
+StreamSocket StreamSocket::ConnectTcp(const std::string& host,
+                                      std::uint16_t port) {
+  const sockaddr_in addr = MakeInetAddress(host, port);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) ThrowErrno("socket");
+  StreamSocket s(fd);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ThrowErrno("connect to " + host + ":" + std::to_string(port));
+  }
+  SetNoDelay(fd);
+  return s;
+}
+
+bool StreamSocket::SendAll(std::string_view data) {
   if (fd_ < 0) throw SocketError("SendAll on a closed socket");
   std::size_t sent = 0;
   int transient = 0;
@@ -91,7 +129,7 @@ bool UnixSocket::SendAll(std::string_view data) {
   return true;
 }
 
-bool UnixSocket::RecvSome(std::string& buffer) {
+bool StreamSocket::RecvSome(std::string& buffer) {
   if (fd_ < 0) throw SocketError("RecvSome on a closed socket");
   char chunk[4096];
   int transient = 0;
@@ -110,7 +148,12 @@ bool UnixSocket::RecvSome(std::string& buffer) {
   }
 }
 
-void UnixSocket::Close() {
+void StreamSocket::Shutdown() {
+  if (fd_ < 0) return;
+  (void)::shutdown(fd_, SHUT_RDWR);
+}
+
+void StreamSocket::Close() {
   if (fd_ < 0) return;
   const int fd = std::exchange(fd_, -1);
   if (::close(fd) != 0) ThrowErrno("close");
@@ -155,12 +198,12 @@ UnixListener::~UnixListener() {
   }
 }
 
-std::optional<UnixSocket> UnixListener::Accept() {
+std::optional<StreamSocket> UnixListener::Accept() {
   for (;;) {
     const int fd = fd_;
     if (fd < 0) return std::nullopt;
     const int client = ::accept(fd, nullptr, nullptr);
-    if (client >= 0) return UnixSocket(client);
+    if (client >= 0) return StreamSocket(client);
     if (errno == EINTR) continue;
     // Close() from another thread closes the fd under us; accept then
     // reports EBADF (or ECONNABORTED/EINVAL depending on timing). All mean
@@ -175,6 +218,107 @@ std::optional<UnixSocket> UnixListener::Accept() {
 void UnixListener::Close() {
   if (fd_ < 0) return;
   const int fd = std::exchange(fd_, -1);
+  // close(2) alone does not wake a sibling thread parked in accept(2);
+  // shutdown(2) does for AF_UNIX listeners (accept reports EINVAL, which
+  // Accept treats as the orderly-shutdown signal).
+  (void)::shutdown(fd, SHUT_RDWR);
+  if (::close(fd) != 0) ThrowErrno("close listener");
+}
+
+// ---------------------------------------------------------------- TcpListener
+
+TcpListener::TcpListener(const std::string& host, std::uint16_t port)
+    : host_(host), port_(port) {
+  sockaddr_in addr = MakeInetAddress(host, port);
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) ThrowErrno("socket");
+  // Without SO_REUSEADDR a restart within TIME_WAIT of the old daemon's
+  // connections fails with EADDRINUSE; harmless for the ephemeral-port
+  // (port 0) case tests use.
+  const int one = 1;
+  if (::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) != 0) {
+    const int saved = errno;
+    (void)::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    ThrowErrno("setsockopt SO_REUSEADDR");
+  }
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int saved = errno;
+    (void)::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    ThrowErrno("bind " + host + ":" + std::to_string(port));
+  }
+  if (port == 0) {
+    // Learn the kernel-assigned ephemeral port so callers can announce it.
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+      const int saved = errno;
+      (void)::close(fd_);
+      fd_ = -1;
+      errno = saved;
+      ThrowErrno("getsockname");
+    }
+    port_ = ntohs(bound.sin_port);
+  }
+  if (::listen(fd_, SOMAXCONN) != 0) {
+    const int saved = errno;
+    (void)::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    ThrowErrno("listen on " + host + ":" + std::to_string(port_));
+  }
+}
+
+TcpListener::~TcpListener() {
+  if (fd_ >= 0) {
+    (void)::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::optional<StreamSocket> TcpListener::Accept() {
+  for (;;) {
+    const int fd = fd_;
+    if (fd < 0) return std::nullopt;
+    const int client = ::accept(fd, nullptr, nullptr);
+    if (client >= 0) {
+      if (fd_ < 0) {
+        // Close() ran while we were parked: this is (or races with) its
+        // wake-up self-connection, not a client to serve.
+        (void)::close(client);
+        return std::nullopt;
+      }
+      SetNoDelay(client);
+      return StreamSocket(client);
+    }
+    if (errno == EINTR) continue;
+    // Same orderly-shutdown contract as UnixListener::Accept.
+    if (errno == EBADF || errno == EINVAL || errno == ECONNABORTED) {
+      return std::nullopt;
+    }
+    ThrowErrno("accept on " + host_ + ":" + std::to_string(port_));
+  }
+}
+
+void TcpListener::Close() {
+  if (fd_ < 0) return;
+  const int fd = std::exchange(fd_, -1);
+  // Unlike the AF_UNIX case, neither close(2) nor shutdown(2) wakes a
+  // thread parked in accept(2) on a TCP listener (observed on Linux 6.x).
+  // Complete one throwaway self-connection instead: accept returns it,
+  // sees fd_ already cleared, and reports the orderly shutdown.
+  const int wake = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (wake >= 0) {
+    sockaddr_in addr =
+        MakeInetAddress(host_ == "0.0.0.0" ? "127.0.0.1" : host_, port_);
+    (void)::connect(wake, reinterpret_cast<const sockaddr*>(&addr),
+                    sizeof(addr));
+    (void)::close(wake);
+  }
   if (::close(fd) != 0) ThrowErrno("close listener");
 }
 

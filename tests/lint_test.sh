@@ -91,13 +91,23 @@ bool any(const unsigned long long* a, const unsigned long long* b) {
 }
 EOF
 
+mkdir -p "$TMP/src/router"
+cat > "$TMP/src/router/bad_write.cpp" <<'EOF'
+#include "util/socket.hpp"
+void leak_frame(resched::StreamSocket& sock, const std::string& line) {
+  sock.SendAll(line);
+  std::string buf;
+  sock.RecvSome(buf);
+}
+EOF
+
 out=$("$PYTHON" "$LINT" --root "$TMP") && fail "seeded violations not detected"
 for rule in no-std-rand no-wall-clock-seed no-argless-random-device \
     no-unordered-in-output pragma-once include-cycle no-naked-new \
     no-silent-catch no-adhoc-seed-derivation \
     no-unchecked-syscall-return no-unchecked-stream-write \
     no-vector-bool-hot reserve-before-push-hot \
-    no-raw-intrinsics-outside-simd; do
+    no-raw-intrinsics-outside-simd no-unframed-tcp-write; do
   echo "$out" | grep -q "\[$rule\]" || fail "rule $rule did not fire"
 done
 
@@ -236,6 +246,31 @@ void dump(const char* path) {
 EOF
 "$PYTHON" "$LINT" --root "$CLEAN" \
     || fail "no-unchecked-stream-write fired on sanctioned usage"
+
+# --- framed TCP writes are acceptable; raw ones outside scope too -------------
+mkdir -p "$CLEAN/src/router"
+cat > "$CLEAN/src/router/framed.cpp" <<'EOF'
+#include "service/framing.hpp"
+#include "util/socket.hpp"
+bool forward(resched::StreamSocket& sock, const std::string& line) {
+  if (!resched::service::WriteFrame(sock, line)) return false;
+  resched::service::FrameReader reader(sock);
+  std::string response;
+  return reader.Read(response) == resched::service::FrameResult::kFrame;
+}
+void probe(resched::StreamSocket& sock) {
+  std::string buf;
+  sock.RecvSome(buf);  // resched-lint: allow(no-unframed-tcp-write)
+}
+EOF
+cat > "$CLEAN/src/service/line_client.cpp" <<'EOF'
+#include "util/socket.hpp"
+bool send_line(resched::StreamSocket& sock, const std::string& line) {
+  return sock.SendAll(line + "\n");  // newline transport: not this scope
+}
+EOF
+"$PYTHON" "$LINT" --root "$CLEAN" \
+    || fail "no-unframed-tcp-write fired on sanctioned usage"
 
 # --- intrinsics are sanctioned only inside src/util/simd.hpp ------------------
 # NEON spellings must be caught too, and the dispatch layer itself is the

@@ -1,0 +1,131 @@
+#!/usr/bin/env bash
+# Distributed-consistency harness for the reschedd fleet: the same request
+# set must produce byte-identical responses across shard layouts —
+#   A. one backend behind the router,
+#   B. four backends behind the router,
+#   C. four backends where one is kill -9'd between submissions, forcing
+#      the mark-unhealthy + re-route path for its shard of the keyspace.
+# On top of the byte-identity check, the per-backend journals must show
+# each id executed at most once across the whole fleet (exec-once).
+# Invoked by ctest with the CLI binary path as $1.
+set -euo pipefail
+
+CLI=$1
+TMP=$(mktemp -d)
+PIDS=()
+cleanup() {
+  for pid in ${PIDS[@]+"${PIDS[@]}"}; do kill -9 "$pid" 2>/dev/null || true; done
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+fail() { echo "FAIL: $1" >&2; exit 1; }
+
+JOBS=8
+for i in $(seq 1 "$JOBS"); do
+  "$CLI" gen --tasks $((6 + i)) --seed $((40 + i)) --out "$TMP/i$i.json"
+done
+
+# Starts `serve --port 0 --journal ...`; leaves the pid in BACKEND_PID and
+# the announced port in BACKEND_PORT. Not a command substitution — that
+# subshell would lose the PIDS bookkeeping and block on the pipe the
+# background server keeps open.
+start_backend() {
+  local tag=$1
+  "$CLI" serve --port 0 --workers 1 --journal "$TMP/$tag.journal.jsonl" \
+      > /dev/null 2> "$TMP/$tag.err" &
+  BACKEND_PID=$!
+  PIDS+=("$BACKEND_PID")
+  BACKEND_PORT=""
+  for _ in $(seq 1 100); do
+    BACKEND_PORT=$(sed -n 's/^reschedd: listening on .*:\([0-9]*\)$/\1/p' \
+        "$TMP/$tag.err")
+    [ -n "$BACKEND_PORT" ] && break
+    sleep 0.1
+  done
+  [ -n "$BACKEND_PORT" ] || fail "backend $tag never announced its port"
+}
+
+start_router() {
+  local sock=$1 backends=$2 err=$3
+  # One connect attempt per backend keeps the C-layout failover quick; the
+  # re-route path, not patient dialing, is what this harness measures.
+  "$CLI" route --socket "$sock" --backends "$backends" --attempts 1 \
+      --probe-interval-ms 100 2> "$err" &
+  PIDS+=($!)
+  for _ in $(seq 1 100); do
+    [ -S "$sock" ] && break
+    sleep 0.1
+  done
+  [ -S "$sock" ] || fail "router socket $sock never appeared"
+}
+
+submit_range() {  # sock out_dir first last
+  local sock=$1 dir=$2 first=$3 last=$4
+  for i in $(seq "$first" "$last"); do
+    "$CLI" submit --socket "$sock" --instance "$TMP/i$i.json" --id "c$i" \
+        > "$dir/c$i.out" 2>/dev/null || fail "submit c$i via $sock failed"
+  done
+}
+
+# --- layout A: a singleton fleet ---------------------------------------------
+mkdir -p "$TMP/A" "$TMP/B" "$TMP/C"
+start_backend a0
+start_router "$TMP/ra.sock" "127.0.0.1:$BACKEND_PORT" "$TMP/ra.err"
+submit_range "$TMP/ra.sock" "$TMP/A" 1 "$JOBS"
+"$CLI" submit --socket "$TMP/ra.sock" --verb shutdown >/dev/null 2>&1 \
+    || fail "layout A shutdown failed"
+
+# --- layout B: four shards ----------------------------------------------------
+BACKENDS_B=""
+for n in 0 1 2 3; do
+  start_backend "b$n"
+  BACKENDS_B="$BACKENDS_B${BACKENDS_B:+,}127.0.0.1:$BACKEND_PORT"
+done
+start_router "$TMP/rb.sock" "$BACKENDS_B" "$TMP/rb.err"
+submit_range "$TMP/rb.sock" "$TMP/B" 1 "$JOBS"
+"$CLI" submit --socket "$TMP/rb.sock" --verb shutdown >/dev/null 2>&1 \
+    || fail "layout B shutdown failed"
+
+# --- layout C: four shards, one murdered mid-run ------------------------------
+BACKENDS_C=""
+VICTIM_PID=""
+for n in 0 1 2 3; do
+  start_backend "c$n"
+  [ "$n" -eq 1 ] && VICTIM_PID=$BACKEND_PID
+  BACKENDS_C="$BACKENDS_C${BACKENDS_C:+,}127.0.0.1:$BACKEND_PORT"
+done
+start_router "$TMP/rc.sock" "$BACKENDS_C" "$TMP/rc.err"
+submit_range "$TMP/rc.sock" "$TMP/C" 1 $((JOBS / 2))
+kill -9 "$VICTIM_PID"
+wait "$VICTIM_PID" 2>/dev/null || true
+# A cancel broadcast dials every backend, so it deterministically trips
+# the failed-dial detector for the corpse (a schedule would only do so if
+# its shard happened to land there).
+"$CLI" submit --socket "$TMP/rc.sock" --verb cancel --target nosuch \
+    >/dev/null 2>&1 || true
+submit_range "$TMP/rc.sock" "$TMP/C" $((JOBS / 2 + 1)) "$JOBS"
+"$CLI" submit --socket "$TMP/rc.sock" --verb stats > "$TMP/rc.stats" \
+    2>/dev/null || fail "layout C stats failed"
+grep -q '"healthy":false' "$TMP/rc.stats" \
+    || fail "router never noticed the kill -9"
+"$CLI" submit --socket "$TMP/rc.sock" --verb shutdown >/dev/null 2>&1 \
+    || fail "layout C shutdown failed"
+
+# --- zero cross-layout divergence --------------------------------------------
+for i in $(seq 1 "$JOBS"); do
+  cmp "$TMP/A/c$i.out" "$TMP/B/c$i.out" \
+      || fail "c$i diverges between layouts A and B"
+  cmp "$TMP/A/c$i.out" "$TMP/C/c$i.out" \
+      || fail "c$i diverges between layouts A and C (kill -9 path)"
+done
+
+# --- exec-once across each fleet's journals ----------------------------------
+for layout in a b c; do
+  dups=$(cat "$TMP/$layout"*.journal.jsonl 2>/dev/null \
+      | grep '"served":"exec"' \
+      | sed -n 's/.*{"id":"\([^"]*\)".*/\1/p' | sort | uniq -d)
+  [ -z "$dups" ] || fail "layout $layout executed twice: $dups"
+done
+
+echo "router_consistency OK"

@@ -1,0 +1,117 @@
+#!/usr/bin/env bash
+# Fleet smoke for the reschedd router: two TCP backends behind a
+# consistent-hash router, byte-compare against a single direct backend,
+# a router stats probe, and a format check of the Prometheus textfile.
+# Invoked by ctest with the CLI binary path as $1.
+set -euo pipefail
+
+CLI=$1
+TMP=$(mktemp -d)
+PIDS=()
+cleanup() {
+  for pid in ${PIDS[@]+"${PIDS[@]}"}; do kill "$pid" 2>/dev/null || true; done
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+fail() { echo "FAIL: $1" >&2; exit 1; }
+
+# Starts `serve --port 0` and leaves the kernel-assigned port (harvested
+# from the "listening on host:port" stderr announcement) in BACKEND_PORT
+# and the pid in BACKEND_PID. Deliberately not a command substitution:
+# that would run in a subshell (losing the PIDS bookkeeping) and block on
+# the pipe the background server keeps open.
+start_backend() {
+  local err=$1; shift
+  "$CLI" serve --port 0 --workers 1 "$@" > /dev/null 2> "$err" &
+  BACKEND_PID=$!
+  PIDS+=("$BACKEND_PID")
+  BACKEND_PORT=""
+  for _ in $(seq 1 100); do
+    BACKEND_PORT=$(sed -n 's/^reschedd: listening on .*:\([0-9]*\)$/\1/p' \
+        "$err")
+    [ -n "$BACKEND_PORT" ] && break
+    sleep 0.1
+  done
+  [ -n "$BACKEND_PORT" ] || fail "backend never announced its port ($err)"
+}
+
+"$CLI" gen --tasks 10 --seed 11 --out "$TMP/a.json"
+"$CLI" gen --tasks 14 --seed 12 --out "$TMP/b.json"
+"$CLI" gen --tasks 18 --seed 13 --out "$TMP/c.json"
+
+# --- reference: every request against one direct backend ----------------------
+start_backend "$TMP/ref.err"
+REF_PORT=$BACKEND_PORT
+for job in a b c; do
+  "$CLI" submit --tcp "127.0.0.1:$REF_PORT" --instance "$TMP/$job.json" \
+      --id "j$job" > "$TMP/ref.$job.out" 2>/dev/null \
+      || fail "direct submit $job failed"
+done
+"$CLI" submit --tcp "127.0.0.1:$REF_PORT" --verb shutdown > /dev/null 2>&1 \
+    || fail "reference backend shutdown failed"
+
+# --- fleet: the same requests through the router over two shards --------------
+start_backend "$TMP/b1.err"
+P1=$BACKEND_PORT
+B1_PID=$BACKEND_PID
+start_backend "$TMP/b2.err"
+P2=$BACKEND_PORT
+B2_PID=$BACKEND_PID
+ROUTER_SOCK="$TMP/router.sock"
+METRICS="$TMP/router.prom"
+"$CLI" route --socket "$ROUTER_SOCK" \
+    --backends "127.0.0.1:$P1,127.0.0.1:$P2" \
+    --metrics-out "$METRICS" --metrics-interval-ms 100 \
+    2> "$TMP/router.err" &
+ROUTER_PID=$!
+PIDS+=("$ROUTER_PID")
+for _ in $(seq 1 100); do
+  [ -S "$ROUTER_SOCK" ] && break
+  sleep 0.1
+done
+[ -S "$ROUTER_SOCK" ] || fail "router socket never appeared"
+
+for job in a b c; do
+  "$CLI" submit --socket "$ROUTER_SOCK" --instance "$TMP/$job.json" \
+      --id "j$job" > "$TMP/fleet.$job.out" 2>/dev/null \
+      || fail "routed submit $job failed"
+  cmp "$TMP/ref.$job.out" "$TMP/fleet.$job.out" \
+      || fail "routed response for $job differs from the direct one"
+done
+
+# The stats verb is answered by the router itself, not forwarded.
+"$CLI" submit --socket "$ROUTER_SOCK" --verb stats > "$TMP/stats.out" \
+    2>/dev/null || fail "router stats failed"
+grep -q '"router":true' "$TMP/stats.out" || fail "stats not from the router"
+grep -q '"healthy":true' "$TMP/stats.out" || fail "backends not healthy"
+
+# --- metrics textfile format --------------------------------------------------
+for _ in $(seq 1 100); do
+  [ -s "$METRICS" ] && break
+  sleep 0.1
+done
+[ -s "$METRICS" ] || fail "metrics textfile never written"
+grep -q '^# HELP reschedd_router_up ' "$METRICS" || fail "metrics HELP line"
+grep -q '^# TYPE reschedd_router_up gauge$' "$METRICS" || fail "metrics TYPE"
+grep -q '^reschedd_router_backend_healthy{backend="127.0.0.1:' "$METRICS" \
+    || fail "per-backend gauge missing"
+# Every non-comment line must be `name{labels} value` or `name value`.
+bad=$(grep -v '^#' "$METRICS" | grep -vc \
+    '^[a-zA-Z_:][a-zA-Z0-9_:]*\({[^}]*}\)\? -\?[0-9.eE+-]\+$' || true)
+[ "$bad" -eq 0 ] || fail "$bad malformed metric line(s) in $METRICS"
+
+# --- drain: router shutdown broadcasts to the backends ------------------------
+"$CLI" submit --socket "$ROUTER_SOCK" --verb shutdown > "$TMP/shutdown.out" \
+    2>/dev/null || fail "router shutdown failed"
+grep -q '"drained":true' "$TMP/shutdown.out" || fail "router did not drain"
+wait "$ROUTER_PID" || fail "router exited non-zero"
+# The broadcast shut the backends down too.
+for _ in $(seq 1 100); do
+  kill -0 "$B1_PID" 2>/dev/null || kill -0 "$B2_PID" 2>/dev/null || break
+  sleep 0.1
+done
+kill -0 "$B1_PID" 2>/dev/null && fail "backend 1 survived the broadcast"
+kill -0 "$B2_PID" 2>/dev/null && fail "backend 2 survived the broadcast"
+
+echo "router_smoke OK"

@@ -1,0 +1,309 @@
+// Tests for the reschedd fleet router: consistent-hash ring properties,
+// end-to-end routing over real TCP backends, failover when a backend dies
+// mid-run, and the cross-layout byte-identity contract (the same request
+// set must produce identical bodies whether it runs against one daemon or
+// a sharded fleet).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "io/instance_io.hpp"
+#include "router/ring.hpp"
+#include "router/router.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+#include "service/transport.hpp"
+#include "test_helpers.hpp"
+#include "util/json.hpp"
+
+namespace resched {
+namespace {
+
+using router::HashRing;
+using router::RescheddRouter;
+using router::RouterBackend;
+using router::RouterOptions;
+
+// ----------------------------------------------------------------- ring --
+
+TEST(HashRingTest, PreferenceCoversAllBackendsExactlyOnce) {
+  const HashRing ring({"a", "b", "c"}, {1, 1, 1});
+  for (std::uint64_t point : {0ull, 1ull, 0x123456789abcdefull,
+                              0xffffffffffffffffull}) {
+    std::vector<std::size_t> pref = ring.Preference(point);
+    ASSERT_EQ(pref.size(), 3u);
+    EXPECT_EQ(pref[0], ring.Primary(point));
+    std::sort(pref.begin(), pref.end());
+    EXPECT_EQ(pref, (std::vector<std::size_t>{0, 1, 2}));
+  }
+}
+
+TEST(HashRingTest, LayoutIsDeterministicAndWeightsSkewOwnership) {
+  const HashRing ring1({"a", "b"}, {4, 1});
+  const HashRing ring2({"a", "b"}, {4, 1});
+  std::size_t heavy = 0;
+  const std::size_t kPoints = 4096;
+  for (std::size_t i = 0; i < kPoints; ++i) {
+    const std::uint64_t point = i * 0x9e3779b97f4a7c15ull;
+    ASSERT_EQ(ring1.Primary(point), ring2.Primary(point));
+    if (ring1.Primary(point) == 0) ++heavy;
+  }
+  // Weight 4:1 → backend 0 should own roughly 80% of the keyspace; accept
+  // a generous band (the vnode placement is hash-random).
+  EXPECT_GT(heavy, kPoints * 6 / 10);
+  EXPECT_LT(heavy, kPoints * 95 / 100);
+}
+
+TEST(HashRingTest, AddingABackendOnlyStealsKeysForItself) {
+  const HashRing before({"a", "b", "c"}, {1, 1, 1});
+  const HashRing after({"a", "b", "c", "d"}, {1, 1, 1, 1});
+  std::size_t moved = 0;
+  const std::size_t kPoints = 4096;
+  for (std::size_t i = 0; i < kPoints; ++i) {
+    const std::uint64_t point = i * 0x9e3779b97f4a7c15ull + 17;
+    const std::size_t was = before.Primary(point);
+    const std::size_t now = after.Primary(point);
+    if (was != now) {
+      // The consistent-hashing contract: a key only moves *to* the new
+      // backend, never between survivors.
+      EXPECT_EQ(now, 3u) << "key moved between surviving backends";
+      ++moved;
+    }
+  }
+  EXPECT_GT(moved, 0u);           // d owns something
+  EXPECT_LT(moved, kPoints / 2);  // and far from everything
+}
+
+// ------------------------------------------------------------ fleet e2e --
+
+Instance RouterInstance(std::size_t tasks) {
+  Instance instance;
+  instance.name = "router-test-" + std::to_string(tasks);
+  instance.platform = testing::MakeSmallPlatform();
+  instance.graph = testing::MakeChain(tasks);
+  return instance;
+}
+
+std::string ScheduleLine(const Instance& instance, const std::string& id,
+                         const std::string& tenant = "") {
+  JsonObject request;
+  request["verb"] = "schedule";
+  request["id"] = id;
+  request["instance"] = InstanceToJson(instance);
+  if (!tenant.empty()) request["tenant"] = tenant;
+  return JsonValue(std::move(request)).Dump(-1);
+}
+
+std::string StripId(const std::string& line) {
+  const std::size_t comma = line.find(',');
+  EXPECT_NE(comma, std::string::npos) << line;
+  return "{" + line.substr(comma + 1);
+}
+
+/// One reschedd daemon on an ephemeral localhost TCP port.
+class TcpBackend {
+ public:
+  TcpBackend() : transport_("127.0.0.1", 0) {
+    service::ServerOptions options;
+    options.workers = 1;
+    server_ = std::make_unique<service::RescheddServer>(transport_, options);
+    thread_ = std::thread([this] { server_->Serve(); });
+  }
+
+  ~TcpBackend() { Sever(); }
+
+  /// kill -9 equivalent for routing purposes: drop the listener and the
+  /// live connection so the router sees connection failures. (The process
+  /// stays alive — this tests re-routing, not crash recovery, which the
+  /// journal harness owns.) Also the orderly teardown: Close wakes the
+  /// serve loop, which drains and exits. Idempotent — the router's own
+  /// shutdown broadcast may already have stopped the server.
+  void Sever() {
+    if (stopped_) return;
+    stopped_ = true;
+    transport_.Close();
+    thread_.join();
+  }
+
+  std::uint16_t Port() const { return transport_.Port(); }
+
+ private:
+  service::TcpServerTransport transport_;
+  std::unique_ptr<service::RescheddServer> server_;
+  std::thread thread_;
+  bool stopped_ = false;
+};
+
+/// A router over a PipeTransport front, serving from a background thread.
+class PipeRouter {
+ public:
+  explicit PipeRouter(RouterOptions options)
+      : router_(pipe_, options), thread_([this] { router_.Serve(); }) {
+    EXPECT_TRUE(pipe_.Receive(handshake_));
+  }
+
+  ~PipeRouter() { Shutdown(); }
+
+  std::string SubmitAndWait(const std::string& line) {
+    pipe_.Send(line);
+    std::string response;
+    EXPECT_TRUE(pipe_.Receive(response));
+    return response;
+  }
+
+  void Shutdown() {
+    if (stopped_) return;
+    stopped_ = true;
+    pipe_.Send(R"({"verb":"shutdown","id":"__rstop"})");
+    std::string line;
+    while (pipe_.Receive(line)) {
+      if (JsonValue::Parse(line).GetString("id", "") == "__rstop") break;
+    }
+    thread_.join();
+  }
+
+  RescheddRouter& Router() { return router_; }
+  const std::string& Handshake() const { return handshake_; }
+
+ private:
+  service::PipeTransport pipe_;
+  RescheddRouter router_;
+  std::thread thread_;
+  std::string handshake_;
+  bool stopped_ = false;
+};
+
+RouterOptions OptionsFor(const std::vector<TcpBackend*>& backends) {
+  RouterOptions options;
+  for (std::size_t i = 0; i < backends.size(); ++i) {
+    RouterBackend b;
+    b.name = "be" + std::to_string(i);
+    b.host = "127.0.0.1";
+    b.port = backends[i]->Port();
+    options.backends.push_back(b);
+  }
+  // Keep failover fast in tests: one connect attempt per backend, short
+  // probe period.
+  options.attempts_per_backend = 1;
+  options.probe_interval_ms = 50.0;
+  return options;
+}
+
+TEST(RouterTest, ShardsAcrossBackendsWithByteIdenticalBodies) {
+  // Reference run: every request against one daemon.
+  std::map<std::string, std::string> reference;
+  {
+    TcpBackend solo;
+    PipeRouter router(OptionsFor({&solo}));
+    EXPECT_EQ(JsonValue::Parse(router.Handshake()).GetInt("protocol", -1),
+              service::kProtocolVersion);
+    for (std::size_t tasks = 3; tasks <= 8; ++tasks) {
+      const std::string id = "q" + std::to_string(tasks);
+      reference[id] =
+          StripId(router.SubmitAndWait(ScheduleLine(RouterInstance(tasks),
+                                                    id)));
+    }
+  }
+  // Fleet run: same requests against three shards.
+  {
+    TcpBackend b0, b1, b2;
+    PipeRouter router(OptionsFor({&b0, &b1, &b2}));
+    for (std::size_t tasks = 3; tasks <= 8; ++tasks) {
+      const std::string id = "q" + std::to_string(tasks);
+      const std::string response =
+          router.SubmitAndWait(ScheduleLine(RouterInstance(tasks), id));
+      EXPECT_TRUE(JsonValue::Parse(response).GetBool("ok", false))
+          << response;
+      EXPECT_EQ(StripId(response), reference[id]) << id;
+    }
+    // The stats verb answers from the router itself.
+    const std::string stats =
+        router.SubmitAndWait(R"({"verb":"stats","id":"st"})");
+    const JsonValue doc = JsonValue::Parse(stats);
+    EXPECT_TRUE(doc.GetBool("router", false)) << stats;
+    ASSERT_TRUE(doc.Contains("backends"));
+    EXPECT_EQ(doc.At("backends").AsObject().size(), 3u);
+    std::int64_t forwarded = 0;
+    for (const auto& [name, b] : doc.At("backends").AsObject()) {
+      forwarded += b.GetInt("forwarded", 0);
+    }
+    EXPECT_EQ(forwarded, 6);
+    ASSERT_TRUE(doc.Contains("tenants"));
+    EXPECT_EQ(
+        doc.At("tenants").At("default").GetInt("forwarded", -1), 6);
+  }
+}
+
+TEST(RouterTest, ReroutesToTheNextBackendWhenOneDies) {
+  TcpBackend b0, b1;
+  PipeRouter router(OptionsFor({&b0, &b1}));
+
+  // Warm both shards, remembering reference bodies.
+  std::map<std::string, std::string> bodies;
+  for (std::size_t tasks = 3; tasks <= 8; ++tasks) {
+    const std::string id = "w" + std::to_string(tasks);
+    const std::string response =
+        router.SubmitAndWait(ScheduleLine(RouterInstance(tasks), id));
+    ASSERT_TRUE(JsonValue::Parse(response).GetBool("ok", false)) << response;
+    bodies[id] = StripId(response);
+  }
+
+  b1.Sever();
+
+  // Every request — including those whose primary was the dead backend —
+  // must still be answered ok, with the same deterministic body.
+  for (std::size_t tasks = 3; tasks <= 8; ++tasks) {
+    const std::string id = "k" + std::to_string(tasks);
+    const std::string response =
+        router.SubmitAndWait(ScheduleLine(RouterInstance(tasks), id));
+    ASSERT_TRUE(JsonValue::Parse(response).GetBool("ok", false)) << response;
+    EXPECT_EQ(StripId(response),
+              bodies["w" + std::to_string(tasks)]) << id;
+  }
+  // The dead backend is out of rotation until its probe succeeds (it
+  // never will here — the listener is gone).
+  EXPECT_FALSE(router.Router().BackendHealthy(1));
+  EXPECT_TRUE(router.Router().BackendHealthy(0));
+}
+
+TEST(RouterTest, AllBackendsDeadYieldsUnavailableNotAHang) {
+  TcpBackend b0;
+  PipeRouter router(OptionsFor({&b0}));
+  b0.Sever();
+  const std::string response =
+      router.SubmitAndWait(ScheduleLine(RouterInstance(4), "dead1"));
+  const JsonValue doc = JsonValue::Parse(response);
+  EXPECT_FALSE(doc.GetBool("ok", true)) << response;
+  EXPECT_EQ(doc.At("error").GetString("code", ""),
+            service::kErrUnavailable) << response;
+}
+
+TEST(RouterTest, CancelBroadcastsAndIdlessRequestsGetAnId) {
+  TcpBackend b0, b1;
+  PipeRouter router(OptionsFor({&b0, &b1}));
+  // Nothing is running, so the broadcast ORs two falses.
+  const std::string cancel = router.SubmitAndWait(
+      R"({"verb":"cancel","id":"c1","target":"nope"})");
+  const JsonValue doc = JsonValue::Parse(cancel);
+  EXPECT_TRUE(doc.GetBool("ok", false)) << cancel;
+  EXPECT_FALSE(doc.GetBool("cancelled", true)) << cancel;
+
+  // An id-less request gets a router-assigned id ("x<N>") so the
+  // idempotent forwarding path works; the response carries it back.
+  JsonObject bare;
+  bare["verb"] = "schedule";
+  bare["instance"] = InstanceToJson(RouterInstance(3));
+  const std::string response =
+      router.SubmitAndWait(JsonValue(std::move(bare)).Dump(-1));
+  const JsonValue routed = JsonValue::Parse(response);
+  EXPECT_TRUE(routed.GetBool("ok", false)) << response;
+  EXPECT_EQ(routed.GetString("id", "").rfind("x", 0), 0u) << response;
+}
+
+}  // namespace
+}  // namespace resched

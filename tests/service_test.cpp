@@ -8,9 +8,11 @@
 // only make the slow request slower.
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <fstream>
 #include <map>
 #include <string>
 #include <thread>
@@ -20,12 +22,17 @@
 #include "io/instance_io.hpp"
 #include "io/schedule_io.hpp"
 #include "service/admission.hpp"
+#include "service/client.hpp"
+#include "service/fair_queue.hpp"
+#include "service/framing.hpp"
 #include "service/journal.hpp"
+#include "service/metrics_export.hpp"
 #include "service/protocol.hpp"
 #include "service/server.hpp"
 #include "service/transport.hpp"
 #include "test_helpers.hpp"
 #include "util/cancel.hpp"
+#include "util/mutex.hpp"
 #include "util/socket.hpp"
 
 namespace resched {
@@ -698,6 +705,498 @@ TEST(SocketTransportTest, EndToEndOverAUnixSocket) {
   EXPECT_EQ(JsonValue::Parse(line).GetString("verb", ""), "shutdown");
   serve.join();
   client.Close();
+}
+
+// ------------------------------------------------------ duplicate keys --
+
+TEST(ProtocolTest, DuplicateKeysAreRejectedNotCoinFlipped) {
+  // Hostile payload: which verb wins would depend on parser internals.
+  const std::string hostile =
+      R"({"verb":"schedule","verb":"stats","id":"h1"})";
+  try {
+    (void)service::ParseRequest(hostile);
+    FAIL() << "duplicate verb key must not parse";
+  } catch (const service::ProtocolError& e) {
+    EXPECT_EQ(e.code(), service::kErrParse);
+    EXPECT_NE(std::string(e.what()).find("duplicate"), std::string::npos);
+  }
+  // The strictness is opt-in: file-loading paths keep accepting documents
+  // with repeated keys (first occurrence wins, as before).
+  const JsonValue lax = JsonValue::Parse(R"({"a":1,"a":2})");
+  EXPECT_EQ(lax.At("a").AsInt(), 1);
+  JsonParseLimits strict;
+  strict.reject_duplicate_keys = true;
+  EXPECT_THROW((void)JsonValue::Parse(R"({"a":1,"a":2})", strict),
+               JsonError);
+}
+
+// -------------------------------------------------------------- tenants --
+
+TEST(ProtocolTest, TenantFieldParsesValidatesAndDefaults) {
+  const service::Request absent =
+      service::ParseRequest(R"({"verb":"stats"})");
+  EXPECT_EQ(absent.tenant, service::kDefaultTenant);
+
+  const service::Request named =
+      service::ParseRequest(R"({"verb":"stats","tenant":"acme-7.b_x"})");
+  EXPECT_EQ(named.tenant, "acme-7.b_x");
+
+  EXPECT_TRUE(service::ValidTenantName("a"));
+  EXPECT_TRUE(service::ValidTenantName(std::string(64, 'x')));
+  EXPECT_FALSE(service::ValidTenantName(""));
+  EXPECT_FALSE(service::ValidTenantName(std::string(65, 'x')));
+  EXPECT_FALSE(service::ValidTenantName("has space"));
+  EXPECT_FALSE(service::ValidTenantName("quote\""));
+
+  for (const std::string bad :
+       {R"({"verb":"stats","tenant":""})",
+        R"({"verb":"stats","tenant":"bad tenant"})",
+        R"({"verb":"stats","tenant":42})"}) {
+    try {
+      (void)service::ParseRequest(bad);
+      FAIL() << bad;
+    } catch (const service::ProtocolError& e) {
+      EXPECT_EQ(e.code(), service::kErrBadRequest) << bad;
+    }
+  }
+}
+
+TEST(RescheddServerTest, TenantFieldDoesNotChangeResponseBodies) {
+  ServerOptions options;
+  options.workers = 1;
+  PipeServer server(options);
+  const Instance instance = ServiceInstance();
+
+  const std::string plain = server.SubmitAndWait(
+      MakeRequest("schedule", instance, {{"id", "t1"}, {"seed", 7}}));
+  const std::string tenanted = server.SubmitAndWait(MakeRequest(
+      "schedule", instance,
+      {{"id", "t2"}, {"seed", 7}, {"tenant", "acme"}}));
+  ASSERT_TRUE(JsonValue::Parse(plain).GetBool("ok", false)) << plain;
+  // The tenant routes admission only; the response body (and the shared
+  // result cache: "served":"cache" here proves cross-tenant reuse) is
+  // byte-identical to the tenantless request.
+  EXPECT_EQ(StripId(plain), StripId(tenanted));
+}
+
+// ----------------------------------------------------- weighted fairness --
+
+using IntFairQueue = service::WeightedFairQueue<int>;
+
+TEST(FairQueueTest, SingleTenantDegeneratesToFifo) {
+  service::FairQueueOptions options;
+  options.per_tenant_capacity = 3;
+  IntFairQueue queue(options);
+  EXPECT_EQ(queue.TryPush("default", 1), service::PushOutcome::kAccepted);
+  EXPECT_EQ(queue.TryPush("default", 2), service::PushOutcome::kAccepted);
+  EXPECT_EQ(queue.TryPush("default", 3), service::PushOutcome::kAccepted);
+  EXPECT_EQ(queue.TryPush("default", 4), service::PushOutcome::kFull);
+  int out = 0;
+  for (const int expect : {1, 2, 3}) {
+    ASSERT_TRUE(queue.Pop(out));
+    EXPECT_EQ(out, expect);
+    queue.OnDone("default");
+  }
+  queue.Close();
+  EXPECT_EQ(queue.TryPush("default", 5), service::PushOutcome::kClosed);
+  EXPECT_FALSE(queue.Pop(out));
+}
+
+TEST(FairQueueTest, WeightsGiveProportionalTurns) {
+  service::FairQueueOptions options;
+  options.weights["heavy"] = 2;
+  IntFairQueue queue(options);
+  // heavy enters the ring first; values encode tenant (100s = heavy).
+  for (int i = 0; i < 6; ++i) queue.TryPush("heavy", 100 + i);
+  for (int i = 0; i < 3; ++i) queue.TryPush("light", 200 + i);
+  std::vector<int> order;
+  int out = 0;
+  for (int i = 0; i < 9; ++i) {
+    ASSERT_TRUE(queue.Pop(out));
+    order.push_back(out);
+    queue.OnDone(out < 200 ? "heavy" : "light");
+  }
+  // DRR with w=2 vs w=1: two heavy per light while both are backlogged,
+  // then the heavy tail drains.
+  EXPECT_EQ(order, (std::vector<int>{100, 101, 200, 102, 103, 201, 104, 105,
+                                     202}));
+}
+
+TEST(FairQueueTest, InflightCapDefersTheTurnWithoutConsumingIt) {
+  service::FairQueueOptions options;
+  options.per_tenant_inflight = 1;
+  IntFairQueue queue(options);
+  queue.TryPush("a", 1);
+  queue.TryPush("a", 2);
+  queue.TryPush("b", 10);
+  int out = 0;
+  ASSERT_TRUE(queue.Pop(out));
+  EXPECT_EQ(out, 1);  // a's turn
+  ASSERT_TRUE(queue.Pop(out));
+  EXPECT_EQ(out, 10);  // a capped -> deferred, b serves
+  queue.OnDone("a");
+  ASSERT_TRUE(queue.Pop(out));
+  EXPECT_EQ(out, 2);  // a's slot freed
+}
+
+TEST(FairQueueTest, DrainHandsOutExpiredItemsFirst) {
+  service::FairQueueOptions options;
+  IntFairQueue queue(options);
+  queue.SetExpiryProbe([](const int& v) { return v < 0; });
+  queue.TryPush("a", 1);
+  queue.TryPush("a", -2);
+  queue.TryPush("b", 3);
+  queue.Close();
+  int out = 0;
+  bool expired = false;
+  ASSERT_TRUE(queue.Pop(out, &expired));
+  EXPECT_EQ(out, -2);  // jumped its FIFO position
+  EXPECT_TRUE(expired);
+  queue.OnDone("a");
+  std::vector<int> rest;
+  while (queue.Pop(out, &expired)) {
+    EXPECT_FALSE(expired);
+    rest.push_back(out);
+  }
+  std::sort(rest.begin(), rest.end());
+  EXPECT_EQ(rest, (std::vector<int>{1, 3}));
+}
+
+TEST(BoundedQueueTest, DrainHandsOutExpiredItemsFirst) {
+  BoundedQueue<int> queue(8);
+  queue.SetExpiryProbe([](const int& v) { return v < 0; });
+  queue.TryPush(1);
+  queue.TryPush(2);
+  queue.TryPush(-3);
+  queue.TryPush(4);
+  queue.Close();
+  int out = 0;
+  bool expired = false;
+  ASSERT_TRUE(queue.Pop(out, &expired));
+  EXPECT_EQ(out, -3);
+  EXPECT_TRUE(expired);
+  for (const int expect : {1, 2, 4}) {
+    ASSERT_TRUE(queue.Pop(out, &expired));
+    EXPECT_EQ(out, expect);
+    EXPECT_FALSE(expired);
+  }
+  EXPECT_FALSE(queue.Pop(out, &expired));
+}
+
+// ------------------------------------------------------- client backoff --
+
+/// A deliberately unreliable unix-socket daemon: greets, records the
+/// request line, then drops the first `failures` connections without
+/// answering. Connection `failures + 1` responds properly.
+class FlakyServer {
+ public:
+  explicit FlakyServer(std::string path, std::size_t failures)
+      : listener_(path), failures_(failures), thread_([this] { Run(); }) {}
+
+  ~FlakyServer() {
+    listener_.Close();
+    thread_.join();
+  }
+
+  std::vector<std::string> Lines() {
+    MutexLock lock(mu_);
+    return lines_;
+  }
+
+ private:
+  void Run() {
+    for (;;) {
+      std::optional<UnixSocket> sock = listener_.Accept();
+      if (!sock.has_value()) return;
+      (void)sock->SendAll("{\"greeting\":1}\n");
+      SocketLineReader reader(*sock);
+      std::string line;
+      if (!reader.ReadLine(line)) continue;
+      std::size_t served;
+      {
+        MutexLock lock(mu_);
+        lines_.push_back(line);
+        served = lines_.size();
+      }
+      if (served <= failures_) continue;  // hang up without answering
+      const std::string id = JsonValue::Parse(line).GetString("id", "");
+      (void)sock->SendAll("{\"id\":\"" + id + "\",\"ok\":true}\n");
+    }
+  }
+
+  UnixListener listener_;
+  const std::size_t failures_;
+  Mutex mu_;
+  std::vector<std::string> lines_ RESCHED_GUARDED_BY(mu_);
+  std::thread thread_;
+};
+
+TEST(ClientBackoffTest, SleepsFollowTheCappedExponentialSequence) {
+  const std::string path =
+      "/tmp/resched_flaky_" + std::to_string(::getpid()) + "a.sock";
+  FlakyServer server(path, 1000);  // never answers
+
+  std::vector<double> sleeps;
+  service::ClientOptions options;
+  options.max_attempts = 5;
+  options.backoff_initial_ms = 20.0;
+  options.backoff_max_ms = 100.0;
+  options.backoff_multiplier = 2.0;
+  options.sleep_fn = [&sleeps](double ms) { sleeps.push_back(ms); };
+  service::RescheddClient client(path, options);
+  EXPECT_THROW((void)client.Submit(R"({"verb":"stats","id":"b1"})"),
+               SocketError);
+  // 4 retries after the first attempt: 20, 40, 80, then the 160 clamps.
+  EXPECT_EQ(sleeps, (std::vector<double>{20.0, 40.0, 80.0, 100.0}));
+}
+
+TEST(ClientBackoffTest, ResubmittedLinesAreByteIdentical) {
+  const std::string path =
+      "/tmp/resched_flaky_" + std::to_string(::getpid()) + "b.sock";
+  FlakyServer server(path, 2);  // two drops, then serve
+
+  std::vector<double> sleeps;
+  service::ClientOptions options;
+  options.sleep_fn = [&sleeps](double ms) { sleeps.push_back(ms); };
+  service::RescheddClient client(path, options);
+  const std::string line = R"({"verb":"stats","id":"rq-9"})";
+  const service::RescheddClient::Result result = client.Submit(line);
+  EXPECT_EQ(result.attempts, 3u);
+  EXPECT_EQ(result.reconnects, 2u);
+  EXPECT_EQ(JsonValue::Parse(result.response).GetString("id", ""), "rq-9");
+
+  // The retry path must resubmit the *same bytes* — that is what makes
+  // the server-side dedup ledger able to recognize the resend.
+  const std::vector<std::string> lines = server.Lines();
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], line);
+  EXPECT_EQ(lines[1], line);
+  EXPECT_EQ(lines[2], line);
+  EXPECT_EQ(sleeps, (std::vector<double>{20.0, 40.0}));
+}
+
+// -------------------------------------------------------------- framing --
+
+/// A connected StreamSocket pair over socketpair(2).
+struct SocketPair {
+  SocketPair() {
+    int fds[2];
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    a = StreamSocket(fds[0]);
+    b = StreamSocket(fds[1]);
+  }
+  StreamSocket a, b;
+};
+
+TEST(FramingTest, HeaderLayoutIsMagicVersionLengthLe) {
+  const std::string header = service::FrameHeader(0x01020304);
+  ASSERT_EQ(header.size(), service::kFrameHeaderBytes);
+  EXPECT_EQ(header[0], 'R');
+  EXPECT_EQ(header[1], 'S');
+  EXPECT_EQ(header[2], 'F');
+  EXPECT_EQ(header[3], 1);
+  EXPECT_EQ(static_cast<unsigned char>(header[4]), 0x04);  // little-endian
+  EXPECT_EQ(static_cast<unsigned char>(header[5]), 0x03);
+  EXPECT_EQ(static_cast<unsigned char>(header[6]), 0x02);
+  EXPECT_EQ(static_cast<unsigned char>(header[7]), 0x01);
+}
+
+TEST(FramingTest, RoundTripsFramesAndReportsEofAtBoundary) {
+  SocketPair pair;
+  ASSERT_TRUE(service::WriteFrame(pair.a, "hello"));
+  ASSERT_TRUE(service::WriteFrame(pair.a, ""));
+  ASSERT_TRUE(service::WriteFrame(pair.a, std::string(100000, 'x')));
+  pair.a.Close();
+
+  service::FrameReader reader(pair.b);
+  std::string payload;
+  ASSERT_EQ(reader.Read(payload), service::FrameResult::kFrame);
+  EXPECT_EQ(payload, "hello");
+  ASSERT_EQ(reader.Read(payload), service::FrameResult::kFrame);
+  EXPECT_EQ(payload, "");
+  ASSERT_EQ(reader.Read(payload), service::FrameResult::kFrame);
+  EXPECT_EQ(payload, std::string(100000, 'x'));
+  EXPECT_EQ(reader.Read(payload), service::FrameResult::kEof);
+}
+
+TEST(FramingTest, RejectsBadMagicVersionTornAndOversizedFrames) {
+  {
+    SocketPair pair;
+    ASSERT_TRUE(pair.a.SendAll(std::string("XSF\x01\x01\x00\x00\x00z", 9)));
+    service::FrameReader reader(pair.b);
+    std::string payload;
+    EXPECT_EQ(reader.Read(payload), service::FrameResult::kBadMagic);
+  }
+  {
+    SocketPair pair;
+    ASSERT_TRUE(pair.a.SendAll(std::string("RSF\x02\x01\x00\x00\x00z", 9)));
+    service::FrameReader reader(pair.b);
+    std::string payload;
+    EXPECT_EQ(reader.Read(payload), service::FrameResult::kBadVersion);
+  }
+  {
+    SocketPair pair;
+    // Header promises 10 bytes; only 3 arrive before EOF.
+    ASSERT_TRUE(pair.a.SendAll(std::string("RSF\x01\x0a\x00\x00\x00", 8)));
+    ASSERT_TRUE(pair.a.SendAll("abc"));
+    pair.a.Close();
+    service::FrameReader reader(pair.b);
+    std::string payload;
+    EXPECT_EQ(reader.Read(payload), service::FrameResult::kTorn);
+  }
+  {
+    SocketPair pair;
+    ASSERT_TRUE(service::WriteFrame(pair.a, std::string(64, 'y')));
+    service::FrameReader reader(pair.b, /*max_frame_bytes=*/16);
+    std::string payload;
+    // The limit check happens on the *header*, before any allocation.
+    EXPECT_EQ(reader.Read(payload), service::FrameResult::kTooLarge);
+  }
+}
+
+// ------------------------------------------------------------- tcp e2e --
+
+TEST(TcpTransportTest, EndToEndOverTcpWithFramedClient) {
+  service::TcpServerTransport transport("127.0.0.1", 0);
+  ASSERT_GT(transport.Port(), 0);
+  ServerOptions options;
+  options.workers = 1;
+  RescheddServer server(transport, options);
+  std::thread serve([&server] { server.Serve(); });
+
+  // A garbage (unframed) connection must be dropped without poisoning the
+  // daemon for the next, well-framed client.
+  {
+    StreamSocket raw = StreamSocket::ConnectTcp("127.0.0.1",
+                                                transport.Port());
+    ASSERT_TRUE(raw.SendAll("garbage!"));  // 8 bytes = one bad header
+    raw.Close();
+  }
+
+  service::RescheddClient client(
+      service::ClientEndpoint::Tcp("127.0.0.1", transport.Port()));
+  const Instance instance = ServiceInstance();
+  const service::RescheddClient::Result result = client.Submit(
+      MakeRequest("schedule", instance, {{"id", "tcp1"}}));
+  EXPECT_TRUE(JsonValue::Parse(result.response).GetBool("ok", false))
+      << result.response;
+  EXPECT_EQ(JsonValue::Parse(result.handshake).GetInt("protocol", -1),
+            service::kProtocolVersion);
+
+  const service::RescheddClient::Result bye =
+      client.Submit(R"({"verb":"shutdown","id":"tcp2"})");
+  EXPECT_EQ(JsonValue::Parse(bye.response).GetString("verb", ""), "shutdown");
+  serve.join();
+  EXPECT_GE(transport.FramingErrors(), 1u);
+}
+
+// -------------------------------------------------------------- metrics --
+
+TEST(MetricsExportTest, RendersFamiliesWithEscapedLabels) {
+  std::vector<service::MetricFamily> families;
+  service::MetricFamily counter{
+      "svc_requests_total", "Requests by tenant.", "counter", {}};
+  service::MetricSample sample;
+  sample.labels["tenant"] = "we\"ird\\name\n";
+  sample.value = 3;
+  counter.samples.push_back(sample);
+  families.push_back(counter);
+
+  const std::string text = service::RenderPrometheus(families);
+  EXPECT_EQ(text,
+            "# HELP svc_requests_total Requests by tenant.\n"
+            "# TYPE svc_requests_total counter\n"
+            "svc_requests_total{tenant=\"we\\\"ird\\\\name\\n\"} 3\n");
+}
+
+TEST(MetricsExportTest, HistogramRendersCumulativeBucketsSumAndCount) {
+  service::LatencyHistogram histogram;
+  histogram.Record(0.3);
+  histogram.Record(3.0);
+  histogram.Record(100000.0);  // lands in +Inf
+
+  std::vector<service::MetricFamily> families;
+  service::AppendHistogramFamily(families, "svc_wait_ms", "Queue wait.",
+                                 {{"tenant", "a"}}, histogram.Take());
+  const std::string text = service::RenderPrometheus(families);
+  EXPECT_NE(text.find("svc_wait_ms_bucket{le=\"0.5\",tenant=\"a\"} 1\n"),
+            std::string::npos) << text;
+  EXPECT_NE(text.find("svc_wait_ms_bucket{le=\"4\",tenant=\"a\"} 2\n"),
+            std::string::npos) << text;
+  EXPECT_NE(text.find("svc_wait_ms_bucket{le=\"+Inf\",tenant=\"a\"} 3\n"),
+            std::string::npos) << text;
+  EXPECT_NE(text.find("svc_wait_ms_count{tenant=\"a\"} 3\n"),
+            std::string::npos) << text;
+  EXPECT_NE(text.find("svc_wait_ms_sum{tenant=\"a\"} "), std::string::npos)
+      << text;
+
+  // Interpolated quantiles stay inside the populated buckets.
+  const double p50 = service::HistogramQuantileMs(histogram.Take(), 0.5);
+  EXPECT_GT(p50, 0.0);
+  EXPECT_LE(p50, 4.0);
+}
+
+TEST(MetricsExportTest, TextfileReplacementIsAtomicAndReportsErrors) {
+  const std::string path =
+      "/tmp/resched_metrics_" + std::to_string(::getpid()) + ".prom";
+  std::string error;
+  ASSERT_TRUE(service::WriteTextfileAtomic(path, "metric_a 1\n", &error))
+      << error;
+  ASSERT_TRUE(service::WriteTextfileAtomic(path, "metric_a 2\n", &error))
+      << error;
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "metric_a 2\n");
+  (void)::unlink(path.c_str());
+
+  EXPECT_FALSE(service::WriteTextfileAtomic(
+      "/nonexistent-dir/metrics.prom", "x 1\n", &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(RescheddServerTest, StatsReportPerTenantCountersAndMetricsWriter) {
+  const std::string metrics_path =
+      "/tmp/resched_srv_metrics_" + std::to_string(::getpid()) + ".prom";
+  ServerOptions options;
+  options.workers = 1;
+  options.tenant_weights["gold"] = 4;
+  options.metrics_out_path = metrics_path;
+  options.metrics_interval_ms = 50.0;
+  {
+    PipeServer server(options);
+    const Instance instance = ServiceInstance();
+    for (int i = 0; i < 3; ++i) {
+      const std::string response = server.SubmitAndWait(MakeRequest(
+          "schedule", instance,
+          {{"id", "g" + std::to_string(i)}, {"tenant", "gold"}}));
+      ASSERT_TRUE(JsonValue::Parse(response).GetBool("ok", false));
+    }
+    const std::string stats =
+        server.SubmitAndWait(R"({"verb":"stats","id":"s"})");
+    const JsonValue doc = JsonValue::Parse(stats);
+    ASSERT_TRUE(doc.Contains("tenants")) << stats;
+    const JsonValue& gold = doc.At("tenants").At("gold");
+    EXPECT_EQ(gold.GetInt("admitted", -1), 3);
+    // First run executes, repeats hit the result cache.
+    EXPECT_EQ(gold.GetInt("exec", -1), 1);
+    EXPECT_EQ(gold.GetInt("cache_hits", -1), 2);
+    ASSERT_TRUE(doc.Contains("metrics")) << stats;
+    EXPECT_EQ(doc.At("metrics").GetString("path", ""), metrics_path);
+  }
+  // Serve() writes a final snapshot on the way out.
+  std::ifstream in(metrics_path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("# TYPE reschedd_tenant_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(
+      content.find(
+          "reschedd_tenant_requests_total{outcome=\"admitted\","
+          "tenant=\"gold\"} 3"),
+      std::string::npos)
+      << content;
+  (void)::unlink(metrics_path.c_str());
 }
 
 }  // namespace

@@ -20,14 +20,22 @@
 //                        [--seed S] [--jitter J] [--scenario-out fs.json]
 //   resched_cli info     --instance f.json
 //   resched_cli dot      --instance f.json
-//   resched_cli serve    (--socket PATH | --stdio) [--workers N] [--queue N]
-//                        [--no-result-cache] [--no-floorplan-cache]
-//                        [--journal f.jsonl]
-//   resched_cli submit   (--print | --socket PATH) [--verb V] [--id ID]
+//   resched_cli serve    (--socket PATH | --port N | --stdio) [--workers N]
+//                        [--queue N] [--no-result-cache]
+//                        [--no-floorplan-cache] [--journal f.jsonl]
+//                        [--tenant-weights a=4,b=1] [--tenant-inflight N]
+//                        [--metrics-out f.prom] [--metrics-interval-ms MS]
+//   resched_cli submit   (--print | --socket PATH | --tcp HOST:PORT)
+//                        [--verb V] [--id ID] [--tenant NAME]
 //                        [--instance f.json] [--algo A] [--seed S]
 //                        [--iterations N] [--budget SEC] [--deadline-ms MS]
 //                        [--no-cache] [--trials N] [--fault-rate R]
 //                        [--policy P] [--jitter J] [--target ID]
+//   resched_cli route    (--socket PATH | --port N | --stdio)
+//                        --backends host:port[:weight],...
+//                        [--attempts N] [--probe-interval-ms MS]
+//                        [--route-queue N] [--vnodes N]
+//                        [--metrics-out f.prom] [--metrics-interval-ms MS]
 //   resched_cli replay   --journal f.jsonl
 //   resched_cli --version
 //
@@ -52,6 +60,7 @@
 #include "sched/gantt.hpp"
 #include "sched/svg.hpp"
 #include "sched/metrics.hpp"
+#include "router/router.hpp"
 #include "sched/validator.hpp"
 #include "service/client.hpp"
 #include "service/journal.hpp"
@@ -97,17 +106,29 @@ int Usage() {
       "                       [--scenario-out fs.json]\n"
       "  resched_cli info     --instance f.json\n"
       "  resched_cli dot      --instance f.json\n"
-      "  resched_cli serve    (--socket PATH | --stdio) [--workers N]\n"
+      "  resched_cli serve    (--socket PATH | --port N | --stdio)\n"
+      "                       [--host H] [--workers N]\n"
       "                       [--queue N] [--no-result-cache]\n"
       "                       [--no-floorplan-cache] [--journal f.jsonl]\n"
       "                       [--journal-sync none|batch|always]\n"
       "                       [--warm-start f.jsonl]\n"
-      "  resched_cli submit   (--print | --socket PATH) [--verb V] [--id ID]\n"
+      "                       [--tenant-weights a=4,b=1]\n"
+      "                       [--tenant-inflight N]\n"
+      "                       [--metrics-out f.prom]\n"
+      "                       [--metrics-interval-ms MS]\n"
+      "  resched_cli submit   (--print | --socket PATH | --tcp HOST:PORT)\n"
+      "                       [--verb V] [--id ID] [--tenant NAME]\n"
       "                       [--instance f.json] [--algo A] [--seed S]\n"
       "                       [--iterations N] [--budget SEC]\n"
       "                       [--deadline-ms MS] [--no-cache] [--trials N]\n"
       "                       [--fault-rate R] [--policy P] [--jitter J]\n"
       "                       [--target ID] [--retries N] [--backoff-ms MS]\n"
+      "  resched_cli route    (--socket PATH | --port N | --stdio)\n"
+      "                       --backends host:port[:weight],...\n"
+      "                       [--host H] [--attempts N]\n"
+      "                       [--probe-interval-ms MS] [--route-queue N]\n"
+      "                       [--vnodes N] [--metrics-out f.prom]\n"
+      "                       [--metrics-interval-ms MS]\n"
       "  resched_cli replay   --journal f.jsonl\n"
       "  resched_cli --version\n";
   return 2;
@@ -434,6 +455,62 @@ void PrintRecovery(const service::RescheddServer& server) {
             << r.dedup_restored << " dedup entr(ies) restored\n";
 }
 
+/// Parses `--tenant-weights a=4,b=1` into the per-tenant weight map.
+std::map<std::string, std::uint32_t> ParseTenantWeights(
+    const std::string& spec) {
+  std::map<std::string, std::uint32_t> weights;
+  if (spec.empty()) return weights;
+  for (const std::string& entry : Split(spec, ',')) {
+    const std::vector<std::string> kv = Split(entry, '=');
+    if (kv.size() != 2 || kv[0].empty()) {
+      throw FlagError("bad --tenant-weights entry: " + entry);
+    }
+    const long weight = std::stol(kv[1]);
+    if (weight <= 0) {
+      throw FlagError("tenant weight must be positive: " + entry);
+    }
+    weights[kv[0]] = static_cast<std::uint32_t>(weight);
+  }
+  return weights;
+}
+
+/// Parses `--backends host:port[:weight],...` into the router fleet.
+std::vector<router::RouterBackend> ParseBackends(const std::string& spec) {
+  std::vector<router::RouterBackend> backends;
+  for (const std::string& entry : Split(spec, ',')) {
+    if (entry.empty()) continue;
+    const std::vector<std::string> parts = Split(entry, ':');
+    if (parts.size() < 2 || parts.size() > 3 || parts[0].empty()) {
+      throw FlagError("bad --backends entry (want host:port[:weight]): " +
+                      entry);
+    }
+    router::RouterBackend backend;
+    backend.host = parts[0];
+    const long port = std::stol(parts[1]);
+    if (port <= 0 || port > 65535) {
+      throw FlagError("bad backend port in: " + entry);
+    }
+    backend.port = static_cast<std::uint16_t>(port);
+    if (parts.size() == 3) {
+      const long weight = std::stol(parts[2]);
+      if (weight <= 0) throw FlagError("bad backend weight in: " + entry);
+      backend.weight = static_cast<std::uint32_t>(weight);
+    }
+    backends.push_back(std::move(backend));
+  }
+  if (backends.empty()) {
+    throw FlagError("--backends needs at least one host:port entry");
+  }
+  return backends;
+}
+
+void PrintServeCounters(const service::RescheddServer& server) {
+  const service::ServiceCounters c = server.Counters();
+  std::cerr << "reschedd: " << c.received << " request(s), " << c.accepted
+            << " accepted, " << c.rejected_overloaded << " overloaded, "
+            << c.cache_hits << " cache hit(s)\n";
+}
+
 int CmdServe(const Flags& flags) {
   service::ServerOptions options;
   options.workers = static_cast<std::size_t>(flags.GetInt("workers", 2));
@@ -445,11 +522,20 @@ int CmdServe(const Flags& flags) {
   options.journal_sync =
       service::ParseJournalSync(flags.GetString("journal-sync", "batch"));
   options.warm_start_path = flags.GetString("warm-start", "");
+  options.tenant_weights = ParseTenantWeights(
+      flags.GetString("tenant-weights", ""));
+  options.per_tenant_inflight =
+      static_cast<std::size_t>(flags.GetInt("tenant-inflight", 0));
+  options.metrics_out_path = flags.GetString("metrics-out", "");
+  options.metrics_interval_ms =
+      flags.GetDouble("metrics-interval-ms", 1000.0);
 
   const std::string socket_path = flags.GetString("socket", "");
   const bool stdio = flags.GetBool("stdio", false);
-  if (socket_path.empty() == !stdio) {
-    throw FlagError("serve needs exactly one of --socket PATH or --stdio");
+  const bool tcp = flags.Has("port");
+  if ((socket_path.empty() ? 0 : 1) + (stdio ? 1 : 0) + (tcp ? 1 : 0) != 1) {
+    throw FlagError(
+        "serve needs exactly one of --socket PATH, --port N or --stdio");
   }
 
   if (stdio) {
@@ -457,10 +543,21 @@ int CmdServe(const Flags& flags) {
     service::RescheddServer server(transport, options);
     PrintRecovery(server);
     server.Serve();
-    const service::ServiceCounters c = server.Counters();
-    std::cerr << "reschedd: " << c.received << " request(s), " << c.accepted
-              << " accepted, " << c.rejected_overloaded << " overloaded, "
-              << c.cache_hits << " cache hit(s)\n";
+    PrintServeCounters(server);
+    return 0;
+  }
+  if (tcp) {
+    service::TcpServerTransport transport(
+        flags.GetString("host", "127.0.0.1"),
+        static_cast<std::uint16_t>(flags.GetInt("port", 0)));
+    // Harvested by the fleet test harnesses when --port 0 picked an
+    // ephemeral port — keep the format stable.
+    std::cerr << "reschedd: listening on " << transport.Host() << ":"
+              << transport.Port() << "\n";
+    service::RescheddServer server(transport, options);
+    PrintRecovery(server);
+    server.Serve();
+    PrintServeCounters(server);
     return 0;
   }
   service::UnixSocketServerTransport transport(socket_path);
@@ -468,10 +565,52 @@ int CmdServe(const Flags& flags) {
   service::RescheddServer server(transport, options);
   PrintRecovery(server);
   server.Serve();
-  const service::ServiceCounters c = server.Counters();
-  std::cerr << "reschedd: " << c.received << " request(s), " << c.accepted
-            << " accepted, " << c.rejected_overloaded << " overloaded, "
-            << c.cache_hits << " cache hit(s)\n";
+  PrintServeCounters(server);
+  return 0;
+}
+
+int CmdRoute(const Flags& flags) {
+  router::RouterOptions options;
+  options.backends = ParseBackends(flags.GetString("backends", ""));
+  options.attempts_per_backend =
+      static_cast<std::size_t>(flags.GetInt("attempts", 2));
+  options.probe_interval_ms = flags.GetDouble("probe-interval-ms", 200.0);
+  options.queue_capacity_per_backend =
+      static_cast<std::size_t>(flags.GetInt("route-queue", 256));
+  options.vnodes_per_weight =
+      static_cast<std::size_t>(flags.GetInt("vnodes", 64));
+  options.metrics_out_path = flags.GetString("metrics-out", "");
+  options.metrics_interval_ms =
+      flags.GetDouble("metrics-interval-ms", 1000.0);
+
+  const std::string socket_path = flags.GetString("socket", "");
+  const bool stdio = flags.GetBool("stdio", false);
+  const bool tcp = flags.Has("port");
+  if ((socket_path.empty() ? 0 : 1) + (stdio ? 1 : 0) + (tcp ? 1 : 0) != 1) {
+    throw FlagError(
+        "route needs exactly one of --socket PATH, --port N or --stdio");
+  }
+
+  if (stdio) {
+    service::StdioTransport transport;
+    router::RescheddRouter router(transport, options);
+    router.Serve();
+    return 0;
+  }
+  if (tcp) {
+    service::TcpServerTransport transport(
+        flags.GetString("host", "127.0.0.1"),
+        static_cast<std::uint16_t>(flags.GetInt("port", 0)));
+    std::cerr << "reschedd-router: listening on " << transport.Host() << ":"
+              << transport.Port() << "\n";
+    router::RescheddRouter router(transport, options);
+    router.Serve();
+    return 0;
+  }
+  service::UnixSocketServerTransport transport(socket_path);
+  std::cerr << "reschedd-router: listening on " << transport.Path() << "\n";
+  router::RescheddRouter router(transport, options);
+  router.Serve();
   return 0;
 }
 
@@ -485,6 +624,8 @@ std::string BuildRequestLine(const Flags& flags) {
   if (!id.empty()) request["id"] = id;
   const double deadline_ms = flags.GetDouble("deadline-ms", 0.0);
   if (deadline_ms > 0.0) request["deadline_ms"] = deadline_ms;
+  const std::string tenant = flags.GetString("tenant", "");
+  if (!tenant.empty()) request["tenant"] = tenant;
 
   if (verb == "schedule" || verb == "simulate") {
     const Instance instance = LoadInstanceFlag(flags);
@@ -524,15 +665,29 @@ int CmdSubmit(const Flags& flags) {
     return 0;
   }
   const std::string socket_path = flags.GetString("socket", "");
-  if (socket_path.empty()) {
-    throw FlagError("submit needs --print or --socket PATH");
+  const std::string tcp = flags.GetString("tcp", "");
+  if (socket_path.empty() == tcp.empty()) {
+    throw FlagError("submit needs --print, --socket PATH or --tcp HOST:PORT");
+  }
+  service::ClientEndpoint endpoint;
+  if (!tcp.empty()) {
+    const std::vector<std::string> parts = Split(tcp, ':');
+    if (parts.size() != 2 || parts[0].empty()) {
+      throw FlagError("bad --tcp (want HOST:PORT): " + tcp);
+    }
+    const long port = std::stol(parts[1]);
+    if (port <= 0 || port > 65535) throw FlagError("bad --tcp port: " + tcp);
+    endpoint = service::ClientEndpoint::Tcp(
+        parts[0], static_cast<std::uint16_t>(port));
+  } else {
+    endpoint = service::ClientEndpoint::Unix(socket_path);
   }
 
   service::ClientOptions copts;
   copts.max_attempts =
       static_cast<std::size_t>(flags.GetInt("retries", 5));
   copts.backoff_initial_ms = flags.GetDouble("backoff-ms", 20.0);
-  service::RescheddClient client(socket_path, copts);
+  service::RescheddClient client(endpoint, copts);
   service::RescheddClient::Result result;
   try {
     result = client.Submit(line);
@@ -579,6 +734,7 @@ int Main(int argc, char** argv) {
   if (command == "info") return CmdInfo(flags);
   if (command == "dot") return CmdDot(flags);
   if (command == "serve") return CmdServe(flags);
+  if (command == "route") return CmdRoute(flags);
   if (command == "submit") return CmdSubmit(flags);
   if (command == "replay") return CmdReplay(flags);
   return Usage();

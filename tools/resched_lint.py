@@ -271,6 +271,16 @@ SYSCALL_SCOPE_PREFIXES = ("src/service/", "src/util/socket")
 STREAM_DECL_RE = re.compile(r"\bo?fstream\s+([A-Za-z_]\w*)")
 STREAM_SCOPE_PREFIXES = ("src/service/",)
 
+# TCP payloads must go through the RSF framing layer (service/framing.hpp):
+# one raw send on a framed connection desynchronizes the peer's frame
+# parser for the rest of the connection. Scoped to the router and the TCP
+# server transport; the unix-socket transport's newline protocol carries an
+# explicit per-line allow.
+UNFRAMED_WRITE_RE = re.compile(
+    r"(?:\.|->)\s*(?:SendAll|RecvSome)\s*\(|::\s*(?:send|recv)\s*\(")
+UNFRAMED_SCOPE_PREFIXES = ("src/router/",)
+UNFRAMED_SCOPE_FILES = ("src/service/transport.cpp",)
+
 # Hot-path scheduling code: per-restart cost here is multiplied by the
 # restart count, so representation and allocation discipline are linted.
 HOT_PATH_PREFIXES = ("src/core/", "src/floorplan/")
@@ -516,6 +526,14 @@ def lint_file(path, root, findings):
                 report(
                     lineno, "no-naked-new",
                     "naked `delete` outside src/util/; use RAII owners")
+        if (relpath.startswith(UNFRAMED_SCOPE_PREFIXES) or
+                relpath in UNFRAMED_SCOPE_FILES) and \
+                UNFRAMED_WRITE_RE.search(line):
+            report(
+                lineno, "no-unframed-tcp-write",
+                "raw socket send/recv in framed-TCP code; go through "
+                "WriteFrame/FrameReader (service/framing.hpp) so the "
+                "peer's frame parser stays in sync")
 
     lint_silent_catches(relpath, stripped, report)
     if relpath.startswith(SYSCALL_SCOPE_PREFIXES):
@@ -614,7 +632,8 @@ def main(argv):
                      "no-unchecked-syscall-return",
                      "no-unchecked-stream-write", "no-vector-bool-hot",
                      "reserve-before-push-hot",
-                     "no-raw-intrinsics-outside-simd"):
+                     "no-raw-intrinsics-outside-simd",
+                     "no-unframed-tcp-write"):
             print(rule)
         from resched_lint_ast import AST_RULES
         for rule in AST_RULES:
